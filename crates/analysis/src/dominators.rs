@@ -1,0 +1,318 @@
+//! Dominator trees (§5.2).
+//!
+//! Two algorithms are provided, as discussed in the paper:
+//!
+//! * the simple iterative algorithm of Cooper, Harvey and Kennedy [14],
+//!   which `cealc` uses because per-function graphs are small (§7), and
+//! * the Lengauer–Tarjan algorithm [26] (the "asymptotically efficient"
+//!   alternative), used here to cross-check the iterative one in the
+//!   property tests.
+
+use crate::graph::{Node, ProgramGraph, ROOT};
+
+/// A dominator tree over a [`ProgramGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomTree {
+    /// `idom[n]` is the immediate dominator of node `n`; `None` for the
+    /// root and for unreachable nodes.
+    pub idom: Vec<Option<Node>>,
+    /// Children lists (the tree edges), indexed by node.
+    pub children: Vec<Vec<Node>>,
+}
+
+impl DomTree {
+    fn from_idoms(idom: Vec<Option<Node>>) -> DomTree {
+        let mut children = vec![Vec::new(); idom.len()];
+        for (n, d) in idom.iter().enumerate() {
+            if let Some(d) = d {
+                children[*d as usize].push(n as Node);
+            }
+        }
+        DomTree { idom, children }
+    }
+
+    /// Whether `n` is reachable (the root always is).
+    pub fn reachable(&self, n: Node) -> bool {
+        n == ROOT || self.idom[n as usize].is_some()
+    }
+
+    /// The nodes of the subtree rooted at `n`, including `n` (preorder).
+    pub fn subtree(&self, n: Node) -> Vec<Node> {
+        let mut out = vec![n];
+        let mut i = 0;
+        while i < out.len() {
+            let u = out[i];
+            out.extend_from_slice(&self.children[u as usize]);
+            i += 1;
+        }
+        out
+    }
+
+    /// Whether `a` dominates `b` (walks idom links; for tests).
+    pub fn dominates(&self, a: Node, b: Node) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur as usize] {
+                Some(d) => cur = d,
+                None => return cur == a,
+            }
+        }
+    }
+}
+
+/// Computes the dominator tree with the iterative algorithm of Cooper,
+/// Harvey and Kennedy ("A simple, fast dominance algorithm").
+pub fn dominators_iterative(g: &ProgramGraph) -> DomTree {
+    let n = g.len();
+    let rpo = g.reverse_postorder();
+    let mut order = vec![u32::MAX; n]; // rpo index per node
+    for (i, &u) in rpo.iter().enumerate() {
+        order[u as usize] = i as u32;
+    }
+    let mut idom: Vec<Option<Node>> = vec![None; n];
+    idom[ROOT as usize] = Some(ROOT);
+
+    let intersect = |idom: &[Option<Node>], order: &[u32], mut a: Node, mut b: Node| -> Node {
+        while a != b {
+            while order[a as usize] > order[b as usize] {
+                a = idom[a as usize].expect("processed node has idom");
+            }
+            while order[b as usize] > order[a as usize] {
+                b = idom[b as usize].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &u in rpo.iter().skip(1) {
+            // First processed predecessor.
+            let mut new_idom: Option<Node> = None;
+            for &p in &g.preds[u as usize] {
+                if order[p as usize] == u32::MAX {
+                    continue; // unreachable predecessor
+                }
+                if idom[p as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, p, cur),
+                });
+            }
+            if let Some(nd) = new_idom {
+                if idom[u as usize] != Some(nd) {
+                    idom[u as usize] = Some(nd);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom[ROOT as usize] = None;
+    DomTree::from_idoms(idom)
+}
+
+/// Computes the dominator tree with the Lengauer–Tarjan algorithm
+/// (simple path-compression variant, O(m log n)).
+pub fn dominators_lengauer_tarjan(g: &ProgramGraph) -> DomTree {
+    let n = g.len();
+    // DFS numbering.
+    let mut dfnum = vec![u32::MAX; n];
+    let mut vertex: Vec<Node> = Vec::with_capacity(n);
+    let mut parent = vec![u32::MAX; n];
+    {
+        let mut stack = vec![(ROOT, u32::MAX)];
+        while let Some((u, p)) = stack.pop() {
+            if dfnum[u as usize] != u32::MAX {
+                continue;
+            }
+            dfnum[u as usize] = vertex.len() as u32;
+            vertex.push(u);
+            parent[u as usize] = p;
+            // Push in reverse so the first successor is visited first.
+            for &v in g.succs[u as usize].iter().rev() {
+                if dfnum[v as usize] == u32::MAX {
+                    stack.push((v, u));
+                }
+            }
+        }
+    }
+    let count = vertex.len();
+    let mut semi = vec![u32::MAX; n]; // semidominator dfnum
+    for &v in &vertex {
+        semi[v as usize] = dfnum[v as usize];
+    }
+    let mut idom_n = vec![u32::MAX; n];
+    let mut samedom = vec![u32::MAX; n];
+    let mut bucket: Vec<Vec<Node>> = vec![Vec::new(); n];
+
+    // Union-find with path compression tracking min-semi on the path.
+    let mut ancestor = vec![u32::MAX; n];
+    let mut best = vec![u32::MAX; n];
+    fn ancestor_with_lowest_semi(
+        v: Node,
+        ancestor: &mut [u32],
+        best: &mut [u32],
+        semi: &[u32],
+    ) -> Node {
+        let a = ancestor[v as usize];
+        if a != u32::MAX && ancestor[a as usize] != u32::MAX {
+            let b = ancestor_with_lowest_semi(a, ancestor, best, semi);
+            ancestor[v as usize] = ancestor[a as usize];
+            if semi[b as usize] < semi[best[v as usize] as usize] {
+                best[v as usize] = b as u32;
+            }
+        }
+        if best[v as usize] == u32::MAX {
+            v
+        } else {
+            best[v as usize]
+        }
+    }
+
+    for i in (1..count).rev() {
+        let w = vertex[i];
+        let p = parent[w as usize];
+        // Semidominator of w.
+        let mut s = semi[w as usize];
+        for &v in &g.preds[w as usize] {
+            if dfnum[v as usize] == u32::MAX {
+                continue; // unreachable
+            }
+            let sprime = if dfnum[v as usize] <= dfnum[w as usize] {
+                dfnum[v as usize]
+            } else {
+                let u = ancestor_with_lowest_semi(v, &mut ancestor, &mut best, &semi);
+                semi[u as usize]
+            };
+            s = s.min(sprime);
+        }
+        semi[w as usize] = s;
+        bucket[vertex[s as usize] as usize].push(w);
+        // Link w to its parent.
+        ancestor[w as usize] = p;
+        best[w as usize] = w;
+        // Process the parent's bucket.
+        let drained: Vec<Node> = std::mem::take(&mut bucket[p as usize]);
+        for v in drained {
+            let y = ancestor_with_lowest_semi(v, &mut ancestor, &mut best, &semi);
+            if semi[y as usize] == semi[v as usize] {
+                idom_n[v as usize] = p;
+            } else {
+                samedom[v as usize] = y;
+            }
+        }
+    }
+    for i in 1..count {
+        let w = vertex[i];
+        if samedom[w as usize] != u32::MAX {
+            idom_n[w as usize] = idom_n[samedom[w as usize] as usize];
+        }
+    }
+
+    let mut idom: Vec<Option<Node>> = vec![None; n];
+    for i in 1..count {
+        let w = vertex[i];
+        if idom_n[w as usize] != u32::MAX {
+            idom[w as usize] = Some(idom_n[w as usize]);
+        }
+    }
+    DomTree::from_idoms(idom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_from_edges(n: usize, edges: &[(Node, Node)], entries: &[Node]) -> ProgramGraph {
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for &e in entries {
+            succs[ROOT as usize].push(e);
+            preds[e as usize].push(ROOT);
+        }
+        for &(a, b) in edges {
+            succs[a as usize].push(b);
+            preds[b as usize].push(a);
+        }
+        ProgramGraph { succs, preds, entries: entries.to_vec(), read_entry: vec![false; n] }
+    }
+
+    #[test]
+    fn diamond() {
+        // root -> 1; 1 -> 2, 3; 2 -> 4; 3 -> 4
+        let g = graph_from_edges(5, &[(1, 2), (1, 3), (2, 4), (3, 4)], &[1]);
+        let d = dominators_iterative(&g);
+        assert_eq!(d.idom[1], Some(ROOT));
+        assert_eq!(d.idom[2], Some(1));
+        assert_eq!(d.idom[3], Some(1));
+        assert_eq!(d.idom[4], Some(1));
+        assert_eq!(d, dominators_lengauer_tarjan(&g));
+    }
+
+    #[test]
+    fn multiple_entries_split_dominance() {
+        // root -> 1 and root -> 3 (read entry); 1 -> 2 -> 3; 3 -> 4.
+        let g = graph_from_edges(5, &[(1, 2), (2, 3), (3, 4)], &[1, 3]);
+        let d = dominators_iterative(&g);
+        // 3 is reachable directly from root, so its idom is the root,
+        // not 2 — exactly why read entries define units.
+        assert_eq!(d.idom[3], Some(ROOT));
+        assert_eq!(d.idom[4], Some(3));
+        assert_eq!(d, dominators_lengauer_tarjan(&g));
+    }
+
+    #[test]
+    fn loops_and_unreachable() {
+        // root -> 1; 1 -> 2; 2 -> 1 (loop); 3 unreachable.
+        let g = graph_from_edges(4, &[(1, 2), (2, 1)], &[1]);
+        let d = dominators_iterative(&g);
+        assert_eq!(d.idom[1], Some(ROOT));
+        assert_eq!(d.idom[2], Some(1));
+        assert_eq!(d.idom[3], None);
+        assert!(!d.reachable(3));
+        assert_eq!(d, dominators_lengauer_tarjan(&g));
+    }
+
+    #[test]
+    fn random_graphs_agree() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for case in 0..300 {
+            let n = rng.gen_range(2..40usize);
+            let mut edges = Vec::new();
+            let nedges = rng.gen_range(0..n * 2);
+            for _ in 0..nedges {
+                let a = rng.gen_range(1..n) as Node;
+                let b = rng.gen_range(1..n) as Node;
+                edges.push((a, b));
+            }
+            let mut entries: Vec<Node> = vec![1];
+            for v in 2..n {
+                if rng.gen_bool(0.2) {
+                    entries.push(v as Node);
+                }
+            }
+            let g = graph_from_edges(n, &edges, &entries);
+            let a = dominators_iterative(&g);
+            let b = dominators_lengauer_tarjan(&g);
+            assert_eq!(a.idom, b.idom, "case {case}: {edges:?} entries {entries:?}");
+        }
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let g = graph_from_edges(5, &[(1, 2), (1, 3), (2, 4), (3, 4)], &[1]);
+        let d = dominators_iterative(&g);
+        let mut sub = d.subtree(1);
+        sub.sort_unstable();
+        assert_eq!(sub, vec![1, 2, 3, 4]);
+        assert!(d.dominates(1, 4));
+        assert!(!d.dominates(2, 4));
+    }
+}

@@ -1,0 +1,183 @@
+//! Rooted program graphs (§5.1), in the intra-procedural variant the
+//! compiler uses (§7).
+//!
+//! The graph for a function has one node per basic block plus a
+//! distinguished root. Edges represent intra-procedural control
+//! transfers (`goto` and conditional jumps). *Entry nodes* — the
+//! function's entry block and every *read-entry* (the target of a read
+//! block's jump) — get an edge from the root. Tail-jump and call edges
+//! are inter-procedural; as §7 observes, they always target function
+//! nodes whose immediate dominator is the root, so each function's
+//! subgraph can be analyzed independently.
+
+use ceal_ir::cl::{Block, Func, Jump, Label};
+
+/// Node id within a [`ProgramGraph`]; 0 is the root, block `l` is
+/// `l + 1`.
+pub type Node = u32;
+
+/// The distinguished root node.
+pub const ROOT: Node = 0;
+
+/// Converts a block label to its graph node.
+#[inline]
+pub fn node_of(l: Label) -> Node {
+    l.0 + 1
+}
+
+/// Converts a non-root graph node back to its block label.
+///
+/// # Panics
+///
+/// Panics on the root node.
+#[inline]
+pub fn label_of(n: Node) -> Label {
+    assert_ne!(n, ROOT, "the root node is not a block");
+    Label(n - 1)
+}
+
+/// A rooted control-flow graph for one function.
+#[derive(Clone, Debug)]
+pub struct ProgramGraph {
+    /// Successor lists, indexed by node.
+    pub succs: Vec<Vec<Node>>,
+    /// Predecessor lists, indexed by node.
+    pub preds: Vec<Vec<Node>>,
+    /// The nodes the root points at (the function entry and every
+    /// read-entry), in ascending order.
+    pub entries: Vec<Node>,
+    /// `read_entry[n]` is true if node `n` is the target of a read
+    /// block's jump.
+    pub read_entry: Vec<bool>,
+}
+
+impl ProgramGraph {
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Returns `true` if the graph has no block nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Nodes in reverse post-order from the root (reachable only).
+    pub fn reverse_postorder(&self) -> Vec<Node> {
+        let n = self.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 open, 2 done
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (node, next-child).
+        let mut stack: Vec<(Node, usize)> = vec![(ROOT, 0)];
+        state[ROOT as usize] = 1;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[u as usize].len() {
+                let v = self.succs[u as usize][*i];
+                *i += 1;
+                if state[v as usize] == 0 {
+                    state[v as usize] = 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                state[u as usize] = 2;
+                post.push(u);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Builds the rooted graph of `f` (§5.1 restricted to one function).
+pub fn build_graph(f: &Func) -> ProgramGraph {
+    let n = f.blocks.len() + 1;
+    let mut succs = vec![Vec::new(); n];
+    let mut preds = vec![Vec::new(); n];
+    let mut read_entry = vec![false; n];
+
+    let add_edge = |succs: &mut Vec<Vec<Node>>, preds: &mut Vec<Vec<Node>>, a: Node, b: Node| {
+        if !succs[a as usize].contains(&b) {
+            succs[a as usize].push(b);
+            preds[b as usize].push(a);
+        }
+    };
+
+    for l in f.labels() {
+        let b = f.block(l);
+        for t in b.goto_targets() {
+            add_edge(&mut succs, &mut preds, node_of(l), node_of(t));
+        }
+        // Mark read entries: targets of a read block's jump.
+        if b.is_read() {
+            if let Block::Cmd(_, Jump::Goto(t)) = b {
+                read_entry[node_of(*t) as usize] = true;
+            }
+        }
+    }
+
+    // Root edges: the function entry node plus every read entry.
+    let mut entries = vec![node_of(f.entry)];
+    for l in f.labels() {
+        let nd = node_of(l);
+        if read_entry[nd as usize] && !entries.contains(&nd) {
+            entries.push(nd);
+        }
+    }
+    entries.sort_unstable();
+    for &e in &entries {
+        add_edge(&mut succs, &mut preds, ROOT, e);
+    }
+
+    ProgramGraph { succs, preds, entries, read_entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_ir::build::FuncBuilder;
+    use ceal_ir::cl::*;
+
+    /// The Fig. 8 shape in miniature: entry reads, then branches.
+    fn sample() -> Func {
+        let mut f = FuncBuilder::new("f", true);
+        let m = f.param(Ty::ModRef);
+        let x = f.local(Ty::Int);
+        let l0 = f.reserve(); // x := read m ; goto l1
+        let l1 = f.reserve(); // cond x [goto l2] [goto l3]
+        let l2 = f.reserve(); // nop ; goto l3
+        let l3 = f.reserve_done();
+        f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        f.define(
+            l1,
+            Block::Cond(Atom::Var(x), Jump::Goto(l2), Jump::Goto(l3)),
+        );
+        f.define(l2, Block::Cmd(Cmd::Nop, Jump::Goto(l3)));
+        f.finish()
+    }
+
+    #[test]
+    fn entries_include_read_targets() {
+        let f = sample();
+        let g = build_graph(&f);
+        // Entry block L0 (node 1) and read entry L1 (node 2).
+        assert_eq!(g.entries, vec![1, 2]);
+        assert!(g.read_entry[2]);
+        assert!(!g.read_entry[1]);
+        assert!(g.succs[ROOT as usize].contains(&1));
+        assert!(g.succs[ROOT as usize].contains(&2));
+    }
+
+    #[test]
+    fn rpo_starts_at_root_and_covers_reachable() {
+        let g = build_graph(&sample());
+        let rpo = g.reverse_postorder();
+        assert_eq!(rpo[0], ROOT);
+        assert_eq!(rpo.len(), 5); // root + 4 blocks, all reachable
+    }
+
+    #[test]
+    fn label_node_round_trip() {
+        assert_eq!(label_of(node_of(Label(7))), Label(7));
+    }
+}

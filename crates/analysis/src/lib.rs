@@ -1,0 +1,22 @@
+//! # ceal-analysis — program graphs, dominators, liveness, units
+//!
+//! The analyses behind CEAL's normalization phase (§5, §7):
+//!
+//! * [`graph`] — rooted program graphs with read-entry edges (§5.1),
+//! * [`dominators`] — the Cooper–Harvey–Kennedy iterative algorithm the
+//!   compiler uses, cross-checked against Lengauer–Tarjan (§5.2, §7),
+//! * [`liveness`] — iterative live-variable analysis providing `live(l)`
+//!   and `ML(P)` (§5.3),
+//! * [`units`] — dominator-tree units and the Lemma 2 property.
+
+#![warn(missing_docs)]
+
+pub mod dominators;
+pub mod graph;
+pub mod liveness;
+pub mod units;
+
+pub use dominators::{dominators_iterative, dominators_lengauer_tarjan, DomTree};
+pub use graph::{build_graph, label_of, node_of, ProgramGraph, ROOT};
+pub use liveness::{free_vars, liveness, Liveness, VarSet};
+pub use units::{cross_unit_violations, unit_of, units, Unit};

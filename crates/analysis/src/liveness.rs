@@ -1,0 +1,359 @@
+//! Live-variable analysis (§5.3, §7).
+//!
+//! Normalization needs, for each block `l`, the set `live(l)` of
+//! variables live at the start of `l`: these become the formal
+//! arguments of the fresh function created for `l` (Fig. 7, line 13).
+//! We use the standard iterative backward dataflow analysis, run per
+//! function (§7); `ML(P)` — the maximum number of live variables over
+//! all blocks — bounds the size growth of normalization (Theorem 3).
+
+use ceal_ir::cl::*;
+
+/// Dense bit set over variables. Equality ignores capacity (trailing
+/// zero words), so sets that grew differently still compare equal.
+#[derive(Clone, Debug)]
+pub struct VarSet {
+    bits: Vec<u64>,
+}
+
+impl PartialEq for VarSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.bits.len().max(other.bits.len());
+        (0..n).all(|i| {
+            self.bits.get(i).copied().unwrap_or(0) == other.bits.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for VarSet {}
+
+impl VarSet {
+    /// An empty set sized for `nvars` variables.
+    pub fn new(nvars: usize) -> Self {
+        VarSet { bits: vec![0; nvars.div_ceil(64)] }
+    }
+
+    /// Inserts `v`; returns whether it was newly added. Grows the set
+    /// if `v` is beyond its current capacity.
+    pub fn insert(&mut self, v: Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        let old = self.bits[w];
+        self.bits[w] |= 1 << b;
+        self.bits[w] != old
+    }
+
+    /// Removes `v`.
+    pub fn remove(&mut self, v: Var) {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        if w < self.bits.len() {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        self.bits.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`; returns whether anything changed.
+    pub fn union_with(&mut self, other: &VarSet) -> bool {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Members in ascending variable order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter_map(move |b| {
+                if word & (1u64 << b) != 0 {
+                    Some(Var((w * 64 + b) as u32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+fn atom_uses(a: &Atom, out: &mut VarSet) {
+    if let Atom::Var(v) = a {
+        out.insert(*v);
+    }
+}
+
+fn expr_uses(e: &Expr, out: &mut VarSet) {
+    match e {
+        Expr::Atom(a) => atom_uses(a, out),
+        Expr::Prim(_, xs) => xs.iter().for_each(|a| atom_uses(a, out)),
+        Expr::Index(x, a) => {
+            out.insert(*x);
+            atom_uses(a, out);
+        }
+    }
+}
+
+/// Variables used by a command (before its definition takes effect).
+pub fn cmd_uses(c: &Cmd, nvars: usize) -> VarSet {
+    let mut s = VarSet::new(nvars);
+    match c {
+        Cmd::Nop => {}
+        Cmd::Assign(_, e) => expr_uses(e, &mut s),
+        Cmd::Store(x, i, v) => {
+            s.insert(*x);
+            atom_uses(i, &mut s);
+            atom_uses(v, &mut s);
+        }
+        Cmd::Modref(_) => {}
+        Cmd::ModrefKeyed(_, k) => k.iter().for_each(|a| atom_uses(a, &mut s)),
+        Cmd::ModrefInit(x, a) => {
+            s.insert(*x);
+            atom_uses(a, &mut s);
+        }
+        Cmd::Read(_, m) => {
+            s.insert(*m);
+        }
+        Cmd::Write(m, a) => {
+            s.insert(*m);
+            atom_uses(a, &mut s);
+        }
+        Cmd::Alloc { words, args, .. } => {
+            atom_uses(words, &mut s);
+            args.iter().for_each(|a| atom_uses(a, &mut s));
+        }
+        Cmd::Call(_, args) => args.iter().for_each(|a| atom_uses(a, &mut s)),
+    }
+    s
+}
+
+/// The variable defined by a command, if any.
+pub fn cmd_def(c: &Cmd) -> Option<Var> {
+    match c {
+        Cmd::Assign(d, _)
+        | Cmd::Modref(d)
+        | Cmd::ModrefKeyed(d, _)
+        | Cmd::Read(d, _)
+        | Cmd::Alloc { dst: d, .. } => Some(*d),
+        _ => None,
+    }
+}
+
+fn jump_uses(j: &Jump, out: &mut VarSet) {
+    if let Jump::Tail(_, args) = j {
+        args.iter().for_each(|a| atom_uses(a, out));
+    }
+}
+
+/// The result of liveness analysis for one function.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// `live_in[l]`: variables live at the start of block `l`.
+    pub live_in: Vec<VarSet>,
+    /// Maximum live-set size over all blocks (the paper's `ML`).
+    pub max_live: usize,
+}
+
+/// Runs the iterative live-variable analysis on `f`.
+pub fn liveness(f: &Func) -> Liveness {
+    let nvars = f.var_count();
+    let nblocks = f.blocks.len();
+    // gen/kill per block.
+    let mut gen: Vec<VarSet> = Vec::with_capacity(nblocks);
+    let mut kill: Vec<Option<Var>> = Vec::with_capacity(nblocks);
+    for b in &f.blocks {
+        let (g, k) = match b {
+            Block::Done => (VarSet::new(nvars), None),
+            Block::Cond(a, j1, j2) => {
+                let mut s = VarSet::new(nvars);
+                atom_uses(a, &mut s);
+                jump_uses(j1, &mut s);
+                jump_uses(j2, &mut s);
+                (s, None)
+            }
+            Block::Cmd(c, j) => {
+                let mut s = cmd_uses(c, nvars);
+                let def = cmd_def(c);
+                // Jump uses happen after the definition.
+                let mut ju = VarSet::new(nvars);
+                jump_uses(j, &mut ju);
+                if let Some(d) = def {
+                    ju.remove(d);
+                }
+                s.union_with(&ju);
+                (s, def)
+            }
+        };
+        gen.push(g);
+        kill.push(k);
+    }
+
+    let mut live_in: Vec<VarSet> = gen.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Backward over blocks (order is a heuristic only).
+        for l in (0..nblocks).rev() {
+            // live_out = union of live_in(goto successors).
+            let mut out = VarSet::new(nvars);
+            for t in f.blocks[l].goto_targets() {
+                out.union_with(&live_in[t.0 as usize]);
+            }
+            if let Some(d) = kill[l] {
+                out.remove(d);
+            }
+            out.union_with(&gen[l]);
+            if out != live_in[l] {
+                live_in[l] = out;
+                changed = true;
+            }
+        }
+    }
+    let max_live = live_in.iter().map(|s| s.len()).max().unwrap_or(0);
+    Liveness { live_in, max_live }
+}
+
+/// Free variables of a set of blocks: everything mentioned (used or
+/// defined) — Fig. 7 line 14.
+pub fn free_vars(f: &Func, labels: &[Label]) -> VarSet {
+    let nvars = f.var_count();
+    let mut s = VarSet::new(nvars);
+    for &l in labels {
+        match f.block(l) {
+            Block::Done => {}
+            Block::Cond(a, j1, j2) => {
+                atom_uses(a, &mut s);
+                jump_uses(j1, &mut s);
+                jump_uses(j2, &mut s);
+            }
+            Block::Cmd(c, j) => {
+                s.union_with(&cmd_uses(c, nvars));
+                if let Some(d) = cmd_def(c) {
+                    s.insert(d);
+                }
+                jump_uses(j, &mut s);
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_ir::build::FuncBuilder;
+
+    #[test]
+    fn varset_basics() {
+        let mut s = VarSet::new(100);
+        assert!(s.insert(Var(3)));
+        assert!(s.insert(Var(70)));
+        assert!(!s.insert(Var(3)));
+        assert!(s.contains(Var(70)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Var(3), Var(70)]);
+        s.remove(Var(3));
+        assert!(!s.contains(Var(3)));
+    }
+
+    /// f(m, d): L0: x := read m; L1: y := x + c; L2: write d y; L3: done
+    /// where c is a parameter used late — live across the read.
+    #[test]
+    fn liveness_across_read() {
+        let mut fb = FuncBuilder::new("f", true);
+        let m = fb.param(Ty::ModRef);
+        let d = fb.param(Ty::ModRef);
+        let c = fb.param(Ty::Int);
+        let x = fb.local(Ty::Int);
+        let y = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve();
+        let l3 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        fb.define(
+            l1,
+            Block::Cmd(
+                Cmd::Assign(y, Expr::Prim(Prim::Add, vec![Atom::Var(x), Atom::Var(c)])),
+                Jump::Goto(l2),
+            ),
+        );
+        fb.define(l2, Block::Cmd(Cmd::Write(d, Atom::Var(y)), Jump::Goto(l3)));
+        let f = fb.finish();
+        let lv = liveness(&f);
+        // At L1 (the read entry): x (just read), c, d live; m dead.
+        let at_l1 = &lv.live_in[l1.0 as usize];
+        assert!(at_l1.contains(x) && at_l1.contains(c) && at_l1.contains(d));
+        assert!(!at_l1.contains(m));
+        // At L0: m, c, d live.
+        let at_l0 = &lv.live_in[l0.0 as usize];
+        assert!(at_l0.contains(m) && at_l0.contains(d) && at_l0.contains(c));
+        assert!(!at_l0.contains(x));
+        assert_eq!(lv.max_live, 3);
+    }
+
+    #[test]
+    fn loop_liveness_converges() {
+        // L0: i := 10 ; goto L1
+        // L1: cond i [goto L2] [goto L3]
+        // L2: i := i - 1 ; goto L1
+        // L3: done
+        let mut fb = FuncBuilder::new("loop", true);
+        let i = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve();
+        let l3 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Assign(i, Expr::Atom(Atom::Int(10))), Jump::Goto(l1)));
+        fb.define(l1, Block::Cond(Atom::Var(i), Jump::Goto(l2), Jump::Goto(l3)));
+        fb.define(
+            l2,
+            Block::Cmd(
+                Cmd::Assign(i, Expr::Prim(Prim::Sub, vec![Atom::Var(i), Atom::Int(1)])),
+                Jump::Goto(l1),
+            ),
+        );
+        let f = fb.finish();
+        let lv = liveness(&f);
+        assert!(lv.live_in[l1.0 as usize].contains(i));
+        assert!(lv.live_in[l2.0 as usize].contains(i));
+        assert!(!lv.live_in[l0.0 as usize].contains(i));
+    }
+
+    #[test]
+    fn free_vars_collects_defs_and_uses() {
+        let mut fb = FuncBuilder::new("f", true);
+        let a = fb.local(Ty::Int);
+        let b = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve_done();
+        fb.define(
+            l0,
+            Block::Cmd(Cmd::Assign(b, Expr::Atom(Atom::Var(a))), Jump::Goto(l1)),
+        );
+        let f = fb.finish();
+        let fv = free_vars(&f, &[Label(0)]);
+        assert!(fv.contains(a) && fv.contains(b));
+        assert_eq!(fv.len(), 2);
+    }
+}

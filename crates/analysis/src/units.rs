@@ -1,0 +1,127 @@
+//! Units (§5.2): the subtrees hanging off the dominator-tree root.
+//!
+//! Let `T` be the dominator tree of a rooted program graph. Each child
+//! `u` of the root *defines* a unit consisting of `u` and all its
+//! descendants. Normalization turns each unit whose defining node is
+//! not a function node (intra-procedurally: not the function's entry)
+//! into a fresh function.
+//!
+//! Lemma 2 guarantees the restructuring is sound: every cross-unit
+//! edge targets the defining node of its destination unit, so only
+//! edges into defining nodes need to be redirected to tail calls.
+
+use crate::dominators::DomTree;
+use crate::graph::{Node, ProgramGraph, ROOT};
+
+/// One unit of the dominator tree.
+#[derive(Clone, Debug)]
+pub struct Unit {
+    /// The defining node (a child of the root).
+    pub defining: Node,
+    /// All members, in dominator-tree preorder (`members[0] == defining`).
+    pub members: Vec<Node>,
+}
+
+/// Computes the units of a dominator tree (children of the root and
+/// their subtrees).
+pub fn units(dt: &DomTree) -> Vec<Unit> {
+    dt.children[ROOT as usize]
+        .iter()
+        .map(|&c| Unit { defining: c, members: dt.subtree(c) })
+        .collect()
+}
+
+/// The unit index of every node (`None` for the root and unreachable
+/// nodes).
+pub fn unit_of(dt: &DomTree, us: &[Unit]) -> Vec<Option<usize>> {
+    let mut out = vec![None; dt.idom.len()];
+    for (i, u) in us.iter().enumerate() {
+        for &m in &u.members {
+            out[m as usize] = Some(i);
+        }
+    }
+    out
+}
+
+/// Checks Lemma 2 on a graph: every cross-unit edge `(u, v)` has `v`
+/// equal to the defining node of `v`'s unit. Returns the violations
+/// (always empty for correct dominator trees; used as a property test).
+pub fn cross_unit_violations(g: &ProgramGraph, dt: &DomTree, us: &[Unit]) -> Vec<(Node, Node)> {
+    let owner = unit_of(dt, us);
+    let mut bad = Vec::new();
+    for (a, succs) in g.succs.iter().enumerate() {
+        if a as Node == ROOT {
+            continue;
+        }
+        for &b in succs {
+            match (owner[a], owner[b as usize]) {
+                (Some(ua), Some(ub)) if ua != ub => {
+                    if us[ub].defining != b {
+                        bad.push((a as Node, b));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominators::dominators_iterative;
+    use crate::graph::ProgramGraph;
+
+    fn graph_from_edges(n: usize, edges: &[(Node, Node)], entries: &[Node]) -> ProgramGraph {
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for &e in entries {
+            succs[ROOT as usize].push(e);
+            preds[e as usize].push(ROOT);
+        }
+        for &(a, b) in edges {
+            succs[a as usize].push(b);
+            preds[b as usize].push(a);
+        }
+        ProgramGraph { succs, preds, entries: entries.to_vec(), read_entry: vec![false; n] }
+    }
+
+    #[test]
+    fn two_units() {
+        // root -> 1, root -> 3; 1 -> 2 -> 3; 3 -> 4.
+        let g = graph_from_edges(5, &[(1, 2), (2, 3), (3, 4)], &[1, 3]);
+        let dt = dominators_iterative(&g);
+        let us = units(&dt);
+        assert_eq!(us.len(), 2);
+        let mut defs: Vec<Node> = us.iter().map(|u| u.defining).collect();
+        defs.sort_unstable();
+        assert_eq!(defs, vec![1, 3]);
+        assert!(cross_unit_violations(&g, &dt, &us).is_empty());
+    }
+
+    /// Lemma 2 as a property over random rooted graphs.
+    #[test]
+    fn lemma2_random() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let n = rng.gen_range(2..50usize);
+            let mut edges = Vec::new();
+            for _ in 0..rng.gen_range(0..n * 3) {
+                edges.push((rng.gen_range(1..n) as Node, rng.gen_range(1..n) as Node));
+            }
+            let mut entries = vec![1 as Node];
+            for v in 2..n {
+                if rng.gen_bool(0.25) {
+                    entries.push(v as Node);
+                }
+            }
+            let g = graph_from_edges(n, &edges, &entries);
+            let dt = dominators_iterative(&g);
+            let us = units(&dt);
+            let bad = cross_unit_violations(&g, &dt, &us);
+            assert!(bad.is_empty(), "Lemma 2 violated: {bad:?} edges {edges:?}");
+        }
+    }
+}

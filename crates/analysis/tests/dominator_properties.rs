@@ -1,0 +1,92 @@
+//! Dominator trees checked against the definition: brute-force
+//! reachability-based dominance on random graphs must agree with both
+//! fast algorithms.
+
+use ceal_analysis::dominators::{dominators_iterative, dominators_lengauer_tarjan};
+use ceal_analysis::graph::{Node, ProgramGraph, ROOT};
+use proptest::prelude::*;
+
+fn graph_from(n: usize, edges: &[(Node, Node)], entries: &[Node]) -> ProgramGraph {
+    let mut succs = vec![Vec::new(); n];
+    let mut preds = vec![Vec::new(); n];
+    for &e in entries {
+        succs[ROOT as usize].push(e);
+        preds[e as usize].push(ROOT);
+    }
+    for &(a, b) in edges {
+        succs[a as usize].push(b);
+        preds[b as usize].push(a);
+    }
+    ProgramGraph { succs, preds, entries: entries.to_vec(), read_entry: vec![false; n] }
+}
+
+/// Reachable set from the root avoiding `blocked`.
+fn reach_avoiding(g: &ProgramGraph, blocked: Node) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    if blocked == ROOT {
+        return seen;
+    }
+    let mut stack = vec![ROOT];
+    seen[ROOT as usize] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &g.succs[u as usize] {
+            if v != blocked && !seen[v as usize] {
+                seen[v as usize] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Checks that the computed idom really dominates (removing it cuts the
+/// node from the root), along the whole idom chain, and that both
+/// algorithms agree.
+fn check(n: usize, edges: Vec<(Node, Node)>, entries: Vec<Node>) {
+    let g = graph_from(n, &edges, &entries);
+    let a = dominators_iterative(&g);
+    let b = dominators_lengauer_tarjan(&g);
+    assert_eq!(a.idom, b.idom, "algorithms disagree");
+    let reachable = reach_avoiding(&g, u32::MAX);
+    for v in 1..n as Node {
+        match a.idom[v as usize] {
+            None => assert!(!reachable[v as usize], "reachable node {v} lacks an idom"),
+            Some(d) => {
+                assert!(reachable[v as usize]);
+                let cut = reach_avoiding(&g, d);
+                assert!(
+                    d == ROOT || !cut[v as usize],
+                    "idom {d} does not dominate {v}"
+                );
+                let mut anc = d;
+                while anc != ROOT {
+                    let cut = reach_avoiding(&g, anc);
+                    assert!(!cut[v as usize], "chain node {anc} does not dominate {v}");
+                    anc = a.idom[anc as usize].expect("chain reaches root");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #[test]
+    fn idom_satisfies_the_dominance_definition(
+        n in 2usize..24,
+        edge_seeds in prop::collection::vec((1u32..24, 1u32..24), 0..48),
+        entry_seeds in prop::collection::vec(1u32..24, 1..4),
+    ) {
+        let edges: Vec<(Node, Node)> = edge_seeds
+            .into_iter()
+            .map(|(a, b)| ((a as usize % (n - 1) + 1) as Node, (b as usize % (n - 1) + 1) as Node))
+            .collect();
+        let mut entries: Vec<Node> = entry_seeds
+            .into_iter()
+            .map(|e| (e as usize % (n - 1) + 1) as Node)
+            .collect();
+        entries.sort_unstable();
+        entries.dedup();
+        check(n, edges, entries);
+    }
+}

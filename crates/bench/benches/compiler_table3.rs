@@ -1,0 +1,25 @@
+//! Criterion bench behind Table 3 / Fig. 15: cealc pipeline time per
+//! benchmark source, against the front-only baseline.
+
+use ceal_compiler::pipeline::{compile, compile_baseline};
+use ceal_lang::{benchmarks, frontend};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cealc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_cealc");
+    for (name, src) in benchmarks::all() {
+        let (cl, _) = frontend(src).unwrap();
+        g.bench_function(name, |b| b.iter(|| std::hint::black_box(compile(&cl).unwrap())));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3_baseline");
+    for (name, src) in benchmarks::all() {
+        let (cl, _) = frontend(src).unwrap();
+        g.bench_function(name, |b| b.iter(|| std::hint::black_box(compile_baseline(&cl))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cealc);
+criterion_main!(benches);

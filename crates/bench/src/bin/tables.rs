@@ -1,0 +1,343 @@
+//! Regenerates the paper's tables and figures (§8). See `--help`.
+
+use ceal_bench::{fmt_bytes, fmt_n, fmt_ratio, fmt_secs, Opts};
+use ceal_suite::harness::Bench;
+
+fn main() {
+    let (sub, opts) = Opts::from_env();
+    match sub.as_deref() {
+        Some("table1") => table1(&opts),
+        Some("table2") => table2(&opts),
+        Some("table3") => table3(&opts),
+        Some("fig14") => fig14(&opts),
+        Some("fig13") => fig13(&opts),
+        Some("fig15") => fig15(&opts),
+        Some("ablation") => ablation(&opts),
+        Some("handopt") => handopt(&opts),
+        Some("all") => {
+            table1(&opts);
+            table2(&opts);
+            table3(&opts);
+            fig13(&opts);
+            fig14(&opts);
+            fig15(&opts);
+            ablation(&opts);
+            handopt(&opts);
+        }
+        _ => {
+            eprintln!(
+                "usage: tables <table1|table2|table3|fig13|fig14|fig15|ablation|all> \
+                 [--n-big N] [--n-small N] [--edits N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table 1: summary of measurements for all benchmarks.
+fn table1(opts: &Opts) {
+    let n_big = opts.get_usize("n-big", 200_000);
+    let n_small = opts.get_usize("n-small", 50_000);
+    let edits = opts.get_usize("edits", 250);
+    let seed = opts.get_usize("seed", 42) as u64;
+
+    println!("\n=== Table 1: summary of measurements (paper: n=10M/1M on a 2GHz Xeon) ===");
+    println!("(scaled inputs: {} for the paper's 10M rows, {} for its 1M rows)\n", fmt_n(n_big), fmt_n(n_small));
+    println!(
+        "{:<10} {:>8} | {:>9} {:>9} {:>6} | {:>10} {:>9} | {:>10} | {}",
+        "App", "n", "Cnv.", "Self.", "O.H.", "Ave.Update", "Speedup", "Max Live", "ok"
+    );
+    println!("{}", "-".repeat(96));
+    for b in Bench::all() {
+        let n = if b.big_input() { n_big } else { n_small };
+        let m = b.measure(n, edits, seed);
+        println!(
+            "{:<10} {:>8} | {:>9} {:>9} {:>6} | {:>10} {:>9} | {:>10} | {}",
+            m.name,
+            fmt_n(m.n),
+            fmt_secs(m.conv_s),
+            fmt_secs(m.self_s),
+            fmt_ratio(m.overhead()),
+            fmt_secs(m.update_s),
+            fmt_ratio(m.speedup()),
+            fmt_bytes(m.max_live),
+            if m.ok { "yes" } else { "MISMATCH" },
+        );
+    }
+    println!();
+}
+
+/// Fig. 13: tcon from-scratch times, update times and speedup vs n.
+fn fig13(opts: &Opts) {
+    let edits = opts.get_usize("edits", 250);
+    let seed = opts.get_usize("seed", 42) as u64;
+    let max_n = opts.get_usize("max-n", 100_000);
+    println!("\n=== Fig. 13: tcon (tree contraction) vs input size ===\n");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>11} | {:>9}",
+        "n", "Cnv (s)", "Self (s)", "Update (s)", "Speedup"
+    );
+    println!("{}", "-".repeat(60));
+    let mut n = 1000;
+    while n <= max_n {
+        let m = Bench::Tcon.measure(n, edits, seed);
+        println!(
+            "{:>8} | {:>10} {:>10} | {:>11} | {:>9}",
+            fmt_n(n),
+            fmt_secs(m.conv_s),
+            fmt_secs(m.self_s),
+            fmt_secs(m.update_s),
+            fmt_ratio(m.speedup())
+        );
+        n = if n.to_string().starts_with('1') { n * 2 } else { n * 5 / 2 };
+    }
+    println!("\n(The paper's Fig. 13 shows ~constant-factor overhead, logarithmic");
+    println!(" update growth, and speedups exceeding four orders of magnitude.)\n");
+}
+
+/// Table 2: CEAL vs the SaSML model on the common benchmarks (§8.4).
+fn table2(opts: &Opts) {
+    use ceal_sasml::{compare, table2_benches};
+    let n_big = opts.get_usize("n-big", 50_000);
+    let n_small = opts.get_usize("n-small", 10_000);
+    let edits = opts.get_usize("edits", 150);
+    let seed = opts.get_usize("seed", 42) as u64;
+    println!("\n=== Table 2: CEAL vs the SaSML model (paper: n=1M / 100K) ===\n");
+    println!(
+        "{:<10} {:>7} | {:>9} {:>9} {:>6} | {:>10} {:>10} {:>6} | {:>9} {:>9} {:>5}",
+        "App", "n", "CEAL", "SaSML", "S/C", "CEAL upd", "SaSML upd", "S/C", "CEAL mem", "SaSML mem", "S/C"
+    );
+    println!("{}", "-".repeat(112));
+    for b in table2_benches() {
+        let n = if b.big_input() { n_big } else { n_small };
+        let c = compare(b, n, edits, seed);
+        assert!(c.ceal.ok && c.sasml.ok, "{}: output mismatch", c.name);
+        println!(
+            "{:<10} {:>7} | {:>9} {:>9} {:>6} | {:>10} {:>10} {:>6} | {:>9} {:>9} {:>5}",
+            c.name,
+            fmt_n(n),
+            fmt_secs(c.ceal.self_s),
+            fmt_secs(c.sasml.self_s),
+            fmt_ratio(c.fromscratch_ratio()),
+            fmt_secs(c.ceal.update_s),
+            fmt_secs(c.sasml.update_s),
+            fmt_ratio(c.propagation_ratio()),
+            fmt_bytes(c.ceal.max_live),
+            fmt_bytes(c.sasml.max_live),
+            fmt_ratio(c.space_ratio()),
+        );
+    }
+    println!("\n(The paper measures CEAL 5-27x faster from scratch, 3-16x faster");
+    println!(" propagation, and up to 5x less space than SaSML.)\n");
+}
+
+/// Fig. 14: the SaSML model's propagation slowdown vs input size, for
+/// several fixed heap sizes (quicksort, as in the paper).
+fn fig14(opts: &Opts) {
+    use ceal_sasml::{heap_limited_slowdown, live_need};
+    let edits = opts.get_usize("edits", 60);
+    let seed = opts.get_usize("seed", 42) as u64;
+    // Heap sizes anchored to the need at a mid-range size.
+    let base = live_need(2_000, seed);
+    let heaps = [8 * base, 4 * base, 2 * base];
+    println!("\n=== Fig. 14: SaSML/CEAL propagation slowdown vs input size (quicksort) ===\n");
+    println!(
+        "{:>8} | {:>14} {:>14} {:>14}",
+        "n",
+        format!("heap {}", fmt_bytes(heaps[0])),
+        format!("heap {}", fmt_bytes(heaps[1])),
+        format!("heap {}", fmt_bytes(heaps[2]))
+    );
+    println!("{}", "-".repeat(58));
+    for n in [500usize, 1_000, 2_000, 4_000, 8_000] {
+        let mut row = format!("{:>8} |", fmt_n(n));
+        for &h in &heaps {
+            let (slow, fits) = heap_limited_slowdown(n, edits, seed, h);
+            if slow.is_infinite() {
+                row += &format!(" {:>14}", "(ended)");
+            } else if fits {
+                row += &format!(" {:>14}", fmt_ratio(slow));
+            } else {
+                row += &format!(" {:>14}", format!("{} (!)", fmt_ratio(slow)));
+            }
+        }
+        println!("{row}");
+    }
+    println!("\n((!) = live data exceeds the heap: in the paper the line ends there.");
+    println!(" The slowdown is not constant and grows super-linearly with input size.)\n");
+}
+
+/// Table 3: cealc vs the gcc-style baseline — compile times and output
+/// sizes for the benchmark programs (§8.5).
+fn table3(_opts: &Opts) {
+    use ceal_compiler::pipeline::{compile, compile_baseline};
+    use ceal_lang::{benchmarks, frontend};
+    println!("\n=== Table 3: compilation times and code sizes (cealc vs baseline) ===\n");
+    println!(
+        "{:<18} {:>6} | {:>10} {:>9} | {:>10} {:>9} | {:>6} {:>6}",
+        "Program", "Lines", "cealc (s)", "size", "base (s)", "size", "T/T", "S/S"
+    );
+    println!("{}", "-".repeat(88));
+    for (name, src) in benchmarks::all() {
+        let lines = src.lines().count();
+        let (cl, _) = frontend(src).expect("frontend");
+        // Average cealc over repetitions (compilation is fast).
+        let reps = 20;
+        let t0 = std::time::Instant::now();
+        let mut out = None;
+        for _ in 0..reps {
+            out = Some(compile(&cl).expect("cealc"));
+        }
+        let cealc_s = t0.elapsed().as_secs_f64() / reps as f64;
+        let out = out.expect("at least one rep");
+        let t1 = std::time::Instant::now();
+        let mut base = (String::new(), 0.0);
+        for _ in 0..reps {
+            base = compile_baseline(&cl);
+        }
+        let base_s = t1.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "{:<18} {:>6} | {:>10} {:>8}B | {:>10} {:>8}B | {:>6.1} {:>6.1}",
+            name,
+            lines,
+            fmt_secs(cealc_s),
+            out.stats.c_bytes,
+            fmt_secs(base_s),
+            base.0.len(),
+            cealc_s / base_s,
+            out.stats.c_bytes as f64 / base.0.len() as f64,
+        );
+    }
+    println!("\n(The paper reports cealc 3-8x slower than gcc with 2-5x larger output.)\n");
+}
+
+/// Fig. 15: cealc compile time vs generated code size (near-linear).
+fn fig15(_opts: &Opts) {
+    use ceal_compiler::pipeline::compile;
+    use ceal_lang::{benchmarks, frontend};
+    println!("\n=== Fig. 15: compile time vs generated code size ===\n");
+    println!("{:>18} | {:>12} | {:>12} | {:>14}", "program", "out bytes", "time (s)", "ns per byte");
+    println!("{}", "-".repeat(66));
+    let mut progs: Vec<(String, String)> =
+        benchmarks::all().iter().map(|(n, s)| (n.to_string(), s.to_string())).collect();
+    // Also synthesize larger programs by concatenating sources whose
+    // definitions do not collide, to extend the size axis (the paper's
+    // driver is similarly a concatenation).
+    let c2 = format!("{}\n{}", benchmarks::EXPTREES, benchmarks::QUICKSORT);
+    let c4 = format!("{c2}\n{}\n{}", benchmarks::QUICKHULL, benchmarks::TCON);
+    progs.push(("combined-2".to_string(), c2));
+    progs.push(("combined-4".to_string(), c4));
+    for (name, src) in &progs {
+        let Ok((cl, _)) = frontend(src) else {
+            println!("{name:>18} | (frontend skipped)");
+            continue;
+        };
+        let reps = 20;
+        let t0 = std::time::Instant::now();
+        let mut bytes = 0;
+        for _ in 0..reps {
+            bytes = compile(&cl).expect("cealc").stats.c_bytes;
+        }
+        let secs = t0.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "{:>18} | {:>12} | {:>12} | {:>14.1}",
+            name,
+            bytes,
+            fmt_secs(secs),
+            secs * 1e9 / bytes as f64
+        );
+    }
+    println!("\n(Near-constant ns/byte = compile time linear in output size, Theorem 5.)\n");
+}
+
+/// §8.3's hand-optimized comparison: the self-adjusting tree
+/// contraction vs a purpose-built incremental algorithm maintaining the
+/// same observable (the paper measures CEAL 3-4x slower).
+fn handopt(opts: &Opts) {
+    use ceal_runtime::prelude::*;
+    use ceal_suite::handopt::HandTcon;
+    use ceal_suite::sac::tcon::{build_tree, tcon_program};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::time::Instant;
+
+    let n = opts.get_usize("n", 20_000);
+    let edits = opts.get_usize("edits", 500);
+    let seed = opts.get_usize("seed", 42) as u64;
+    println!("\n=== §8.3: self-adjusting tcon vs hand-optimized incremental algorithm ===\n");
+
+    // Self-adjusting version.
+    let (p, tcon) = tcon_program();
+    let mut e = Engine::new(p);
+    let tree = build_tree(&mut e, n, seed);
+    let res = e.meta_modref();
+    e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 1);
+    let picks: Vec<usize> = (0..edits).map(|_| rng.gen_range(0..tree.edges.len())).collect();
+    let t0 = Instant::now();
+    let mut updates = 0u32;
+    for &i in &picks {
+        if tree.delete_edge(&mut e, i) {
+            e.propagate();
+            tree.insert_edge(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let sac_update = t0.elapsed().as_secs_f64() / updates as f64;
+
+    // Hand-optimized version over the same tree and edit sequence.
+    let mut hand = HandTcon::new(&tree.parents);
+    assert_eq!(hand.root_weight(), n as i64);
+    let t1 = Instant::now();
+    let mut hand_updates = 0u32;
+    let mut checksum = 0i64;
+    for &i in &picks {
+        if hand.cut(i + 1) {
+            checksum ^= hand.root_weight();
+            hand.link(i + 1);
+            checksum ^= hand.root_weight();
+            hand_updates += 2;
+        }
+    }
+    let hand_update = t1.elapsed().as_secs_f64() / hand_updates.max(1) as f64;
+    std::hint::black_box(checksum);
+
+    println!("n = {}, {} updates each:", fmt_n(n), updates);
+    println!("  self-adjusting tcon : {}/update", fmt_secs(sac_update));
+    println!("  hand-optimized      : {}/update", fmt_secs(hand_update));
+    println!("  framework cost      : {:.1}x slower", sac_update / hand_update);
+    println!("\n(The paper measures its compiled tcon 3-4x slower than the");
+    println!(" hand-optimized implementation of [6]; a general-purpose trace");
+    println!(" pays for what a purpose-built update algorithm hard-codes.)\n");
+}
+
+/// DESIGN.md §6 ablations: memoization and keyed allocation switched off.
+fn ablation(opts: &Opts) {
+    use ceal_runtime::EngineConfig;
+    let n = opts.get_usize("n", 30_000);
+    let edits = opts.get_usize("edits", 100);
+    let seed = opts.get_usize("seed", 42) as u64;
+    let configs = [
+        ("full", EngineConfig { memo: true, keyed_alloc: true, sml_sim: None }),
+        ("no-memo", EngineConfig { memo: false, keyed_alloc: true, sml_sim: None }),
+        ("no-keyed-alloc", EngineConfig { memo: true, keyed_alloc: false, sml_sim: None }),
+        ("neither", EngineConfig { memo: false, keyed_alloc: false, sml_sim: None }),
+    ];
+    println!("\n=== Ablation: average update time (n={}, {} edit positions) ===\n", fmt_n(n), edits);
+    println!(
+        "{:<10} | {:>12} {:>12} {:>14} {:>12}",
+        "bench", "full", "no-memo", "no-keyed-alloc", "neither"
+    );
+    println!("{}", "-".repeat(68));
+    for b in [Bench::Map, Bench::Reverse, Bench::Minimum, Bench::Exptrees] {
+        let mut row = format!("{:<10} |", b.name());
+        for (_, cfg) in configs {
+            let m = b.measure_with(n, edits, seed, cfg);
+            assert!(m.ok, "{} ablation output mismatch", b.name());
+            row += &format!(" {:>12}", fmt_secs(m.update_s));
+        }
+        println!("{row}");
+    }
+    println!("\n(Memoization and keyed allocation together give the orders-of-magnitude");
+    println!(" update speedups; without them propagation degenerates toward re-execution.)\n");
+}

@@ -1,0 +1,155 @@
+//! `cealc` — the CEAL compiler driver.
+//!
+//! ```text
+//! cealc FILE.ceal                # compile, report statistics
+//! cealc FILE.ceal --emit-cl      # print the lowered CL
+//! cealc FILE.ceal --emit-norm    # print the normalized CL (§5)
+//! cealc FILE.ceal --emit-c       # print the generated C (§6, Fig. 12)
+//! cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit SLOT=VAL ...]
+//!                                # execute: inputs become modifiables,
+//!                                # one output modifiable is printed;
+//!                                # each --edit modifies an input and
+//!                                # propagates, printing the new output
+//! ```
+
+use ceal_compiler::pipeline::compile;
+use ceal_runtime::prelude::*;
+use ceal_vm::{load, VmOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: cealc FILE.ceal [--emit-cl|--emit-norm|--emit-c]");
+        eprintln!("       cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit IDX=VAL ...]");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cealc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ast = match ceal_lang::parser::parse(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cealc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (cl, _names) = match ceal_lang::lower::lower(&ast) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cealc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = ceal_ir::validate::validate(&cl) {
+        eprintln!("cealc: internal: lowered program invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--emit-cl") {
+        print!("{}", ceal_ir::print::print_program(&cl));
+        return ExitCode::SUCCESS;
+    }
+    let out = match compile(&cl) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cealc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--emit-norm") {
+        print!("{}", ceal_ir::print::print_program(&out.normalized));
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--emit-c") {
+        print!("{}", out.c_code);
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--run") {
+        let Some(entry_name) = args.get(pos + 1) else {
+            eprintln!("cealc: --run needs an entry function name");
+            return ExitCode::FAILURE;
+        };
+        let ins: Vec<i64> = args
+            .iter()
+            .position(|a| a == "--in")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+            .unwrap_or_default();
+        let mut b = ProgramBuilder::new();
+        let loaded = load(&out.target, &mut b, VmOptions::default());
+        let Some(entry) = loaded.entry(&out.target, entry_name) else {
+            eprintln!("cealc: no function `{entry_name}`");
+            return ExitCode::FAILURE;
+        };
+        let mut e = Engine::new(b.build());
+        let in_mods: Vec<ModRef> = ins
+            .iter()
+            .map(|&v| {
+                let m = e.meta_modref();
+                e.modify(m, Value::Int(v));
+                m
+            })
+            .collect();
+        let res = e.meta_modref();
+        let mut run_args: Vec<Value> = in_mods.iter().map(|&m| Value::ModRef(m)).collect();
+        run_args.push(Value::ModRef(res));
+        e.run_core(entry, &run_args);
+        println!("{entry_name}({ins:?}) = {}", e.deref(res));
+        // Apply edits: --edit IDX=VAL, in order.
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--edit" {
+                if let Some(spec) = it.next() {
+                    if let Some((i, v)) = spec.split_once('=') {
+                        let (Ok(i), Ok(v)) = (i.parse::<usize>(), v.parse::<i64>()) else {
+                            eprintln!("cealc: bad --edit {spec}");
+                            return ExitCode::FAILURE;
+                        };
+                        if i >= in_mods.len() {
+                            eprintln!("cealc: --edit index {i} out of range");
+                            return ExitCode::FAILURE;
+                        }
+                        let before = e.stats().reads_reexecuted;
+                        e.modify(in_mods[i], Value::Int(v));
+                        e.propagate();
+                        println!(
+                            "after in[{i}] := {v}: {} ({} reads re-executed)",
+                            e.deref(res),
+                            e.stats().reads_reexecuted - before
+                        );
+                    }
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default: statistics report.
+    println!("cealc: {path}");
+    let s = &out.stats;
+    println!(
+        "  frontend: {} functions, {} blocks, {} words",
+        s.normalize.funcs_in, s.normalize.blocks_in, s.input_words
+    );
+    println!(
+        "  normalize: +{} unit functions, ML = {}, {:.1} ms ({} trivial tails inlined)",
+        s.normalize.funcs_out - s.normalize.funcs_in,
+        s.normalize.max_live,
+        s.normalize_s * 1e3,
+        s.inline.tails_inlined
+    );
+    println!(
+        "  translate: {} instructions, {} read sites, {} closure arities, {:.1} ms",
+        out.target.stats.instrs,
+        out.target.stats.read_sites,
+        out.target.stats.mono_instances,
+        s.translate_s * 1e3
+    );
+    println!("  emit C: {} bytes, {:.1} ms", s.c_bytes, s.emit_s * 1e3);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,21 @@
+//! # ceal-compiler — cealc's middle and back end
+//!
+//! * [`normalize`] — the unit-splitting normalization of §5 (Fig. 7),
+//! * [`translate`] — translation to trampolined target code (§6.2–6.3),
+//! * [`target`] — the target-code representation the VM executes,
+//! * [`emit_c`] — C emission mirroring Fig. 12,
+//! * [`pipeline`] — the `cealc` driver with per-phase timing and the
+//!   front-only baseline used by Table 3.
+
+#![warn(missing_docs)]
+
+pub mod emit_c;
+pub mod normalize;
+pub mod optimize;
+pub mod pipeline;
+pub mod target;
+pub mod translate;
+
+pub use normalize::{normalize, NormalizeError, NormalizeStats};
+pub use optimize::{inline_trivial_returns, InlineStats};
+pub use translate::{translate, TranslateError};

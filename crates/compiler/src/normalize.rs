@@ -1,0 +1,402 @@
+//! Normalization (§5, Fig. 7): restructure a CL program so that every
+//! read command is immediately followed by a tail jump.
+//!
+//! For each core function we build the rooted program graph (§5.1),
+//! compute its dominator tree (§5.2) and split it into *units* — the
+//! subtrees hanging off the root. Each unit whose defining node is not
+//! the function's entry (intra-procedural analogue of "not a function
+//! node") is *critical*: it becomes a fresh function whose formal
+//! parameters are the variables live at its defining block (Fig. 7,
+//! line 13) — with the convention that for read entries the variable
+//! the read defines comes first, matching the run-time system's
+//! value-substitution protocol (§6.2). Edges into critical nodes become
+//! tail jumps; Lemma 2 guarantees no other edges cross units.
+//!
+//! The intra-procedural variant follows §7: tail and call edges always
+//! target function nodes whose immediate dominator is the root, so
+//! per-function analysis gives the same units.
+
+use std::collections::HashMap;
+
+use ceal_analysis::{
+    build_graph, dominators_iterative, free_vars, label_of, liveness, node_of, units, VarSet,
+};
+use ceal_ir::cl::*;
+
+/// Statistics from normalization (feeds Table 3 / Theorems 3–4 checks).
+#[derive(Clone, Debug, Default)]
+pub struct NormalizeStats {
+    /// Functions in the input program.
+    pub funcs_in: usize,
+    /// Functions in the output (input + fresh unit functions).
+    pub funcs_out: usize,
+    /// Basic blocks in the input.
+    pub blocks_in: usize,
+    /// Basic blocks in the output (Theorem 3: equal to `blocks_in`
+    /// minus unreachable blocks).
+    pub blocks_out: usize,
+    /// Unreachable blocks dropped.
+    pub unreachable_dropped: usize,
+    /// Maximum live-variable count over all blocks (the paper's ML(P)).
+    pub max_live: usize,
+}
+
+/// Errors normalization can detect in malformed inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NormalizeError(pub String);
+
+impl std::fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "normalization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Normalizes `p`.
+///
+/// # Errors
+///
+/// Fails if two different read blocks jump to the same entry defining
+/// different result variables (the lowering never produces this).
+pub fn normalize(p: &Program) -> Result<(Program, NormalizeStats), NormalizeError> {
+    let mut stats = NormalizeStats {
+        funcs_in: p.funcs.len(),
+        blocks_in: p.block_count(),
+        ..Default::default()
+    };
+    let mut out_funcs: Vec<Func> = Vec::new();
+    let mut fresh: Vec<Func> = Vec::new();
+    // Fresh functions are appended after the originals; we know their
+    // indices in advance.
+    let mut next_fresh = p.funcs.len() as u32;
+
+    for (fi, f) in p.funcs.iter().enumerate() {
+        if !f.is_core {
+            out_funcs.push(f.clone());
+            continue;
+        }
+        let (main, news, dropped, ml) =
+            normalize_func(f, FuncRef(fi as u32), &mut next_fresh)?;
+        stats.unreachable_dropped += dropped;
+        stats.max_live = stats.max_live.max(ml);
+        out_funcs.push(main);
+        fresh.extend(news);
+    }
+    out_funcs.extend(fresh);
+    let out = Program { funcs: out_funcs };
+    stats.funcs_out = out.funcs.len();
+    stats.blocks_out = out.block_count();
+    Ok((out, stats))
+}
+
+/// Normalizes one function; returns the rewritten original, the fresh
+/// unit functions, the number of unreachable blocks dropped, and ML(f).
+fn normalize_func(
+    f: &Func,
+    self_ref: FuncRef,
+    next_fresh: &mut u32,
+) -> Result<(Func, Vec<Func>, usize, usize), NormalizeError> {
+    let g = build_graph(f);
+    let dt = dominators_iterative(&g);
+    let us = units(&dt);
+    let lv = liveness(f);
+
+    // Unit index per node.
+    let mut owner: Vec<Option<usize>> = vec![None; g.len()];
+    for (i, u) in us.iter().enumerate() {
+        for &m in &u.members {
+            owner[m as usize] = Some(i);
+        }
+    }
+    let entry_node = node_of(f.entry);
+    let dropped = f
+        .labels()
+        .filter(|l| owner[node_of(*l) as usize].is_none())
+        .count();
+
+    // For each read entry, the (unique) variable defined by the reads
+    // that enter it.
+    let mut read_var: HashMap<u32, Var> = HashMap::new();
+    for l in f.labels() {
+        if let Block::Cmd(Cmd::Read(x, _), Jump::Goto(t)) = f.block(l) {
+            let nd = node_of(*t);
+            if let Some(prev) = read_var.insert(nd, *x) {
+                if prev != *x {
+                    return Err(NormalizeError(format!(
+                        "in `{}`: reads defining {prev:?} and {x:?} both enter {t:?}; \
+                         rename so each read entry has a unique result variable",
+                        f.name
+                    )));
+                }
+            }
+        }
+    }
+
+    // Decide, per unit, whether it is critical, and if so assign its
+    // fresh function reference and parameter list.
+    struct UnitPlan {
+        critical: bool,
+        /// Target function for tail jumps into this unit.
+        func: FuncRef,
+        /// Ordered parameter variables (read variable first if any).
+        params: Vec<Var>,
+        /// Label remap: old label -> new label within the new function.
+        remap: HashMap<Label, Label>,
+    }
+    let mut plans: Vec<UnitPlan> = Vec::with_capacity(us.len());
+    // The original function keeps only its entry unit (if non-critical).
+    for u in &us {
+        let d = u.defining;
+        let critical = !(d == entry_node && !g.read_entry[d as usize]);
+        let mut params: Vec<Var> = Vec::new();
+        if critical {
+            let dl = label_of(d);
+            let live = &lv.live_in[dl.0 as usize];
+            if let Some(&rv) = read_var.get(&d) {
+                params.push(rv);
+                params.extend(live.iter().filter(|v| *v != rv));
+            } else {
+                params.extend(live.iter());
+            }
+        }
+        let func = if critical {
+            let r = FuncRef(*next_fresh);
+            *next_fresh += 1;
+            r
+        } else {
+            FuncRef(u32::MAX) // stays in the original function
+        };
+        let mut remap = HashMap::new();
+        for (i, &m) in u.members.iter().enumerate() {
+            remap.insert(label_of(m), Label(i as u32));
+        }
+        plans.push(UnitPlan { critical, func, params, remap });
+    }
+
+    // Rewrites the jumps of one block belonging to unit `ui`.
+    let rewrite_jump = |ui: usize, src: Label, j: &Jump| -> Result<Jump, NormalizeError> {
+        match j {
+            Jump::Tail(..) => Ok(j.clone()),
+            Jump::Goto(t) => {
+                let tnode = node_of(*t);
+                let tu = owner[tnode as usize].ok_or_else(|| {
+                    NormalizeError(format!("goto into unreachable block {t:?}"))
+                })?;
+                let tplan = &plans[tu];
+                let cross = tu != ui;
+                let from_read = f.block(src).is_read();
+                if cross || (from_read && tnode == us[tu].defining) {
+                    // Must become a tail jump (Fig. 7 lines 20–29).
+                    debug_assert_eq!(us[tu].defining, tnode, "Lemma 2 violated");
+                    if !tplan.critical {
+                        // Cross-unit edge into the entry unit: only
+                        // possible when the entry is not a read entry;
+                        // then it is a self tail call to the original
+                        // function — which keeps its own parameters.
+                        let args =
+                            f.params.iter().map(|(_, v)| Atom::Var(*v)).collect::<Vec<_>>();
+                        return Ok(Jump::Tail(self_ref, args));
+                    }
+                    let args = tplan.params.iter().map(|&v| Atom::Var(v)).collect();
+                    Ok(Jump::Tail(tplan.func, args))
+                } else {
+                    // Intra-unit, non-critical edge: stays a goto,
+                    // remapped into the unit's new label space.
+                    let new = plans[ui].remap.get(t).copied().ok_or_else(|| {
+                        NormalizeError(format!("intra-unit target {t:?} missing from remap"))
+                    })?;
+                    Ok(Jump::Goto(new))
+                }
+            }
+        }
+    };
+
+    let rewrite_block = |ui: usize, l: Label| -> Result<Block, NormalizeError> {
+        Ok(match f.block(l) {
+            Block::Done => Block::Done,
+            Block::Cond(a, j1, j2) => {
+                Block::Cond(*a, rewrite_jump(ui, l, j1)?, rewrite_jump(ui, l, j2)?)
+            }
+            Block::Cmd(c, j) => Block::Cmd(c.clone(), rewrite_jump(ui, l, j)?),
+        })
+    };
+
+    // Build the fresh functions and the original's remaining body.
+    let mut news = Vec::new();
+    let mut main_blocks: Option<Vec<Block>> = None;
+    for (ui, u) in us.iter().enumerate() {
+        let mut blocks = Vec::with_capacity(u.members.len());
+        for &m in &u.members {
+            blocks.push(rewrite_block(ui, label_of(m))?);
+        }
+        let plan = &plans[ui];
+        if plan.critical {
+            // Locals: free variables of the (rewritten) body minus the
+            // parameters (Fig. 7 line 15), computed after rewriting so
+            // tail-jump arguments count as uses.
+            let tmp = Func {
+                name: String::new(),
+                params: Vec::new(),
+                locals: Vec::new(),
+                blocks: blocks.clone(),
+                entry: Label(0),
+                is_core: true,
+            };
+            let all_labels: Vec<Label> = tmp.labels().collect();
+            let mut fv: VarSet = free_vars_with(&tmp, &all_labels, f.var_count());
+            for &pv in &plan.params {
+                fv.remove(pv);
+            }
+            let dl = label_of(u.defining);
+            let var_ty = build_type_map(f);
+            news.push(Func {
+                name: format!("{}__L{}", f.name, dl.0),
+                params: plan
+                    .params
+                    .iter()
+                    .map(|&v| (var_ty.get(&v).copied().unwrap_or(Ty::Int), v))
+                    .collect(),
+                locals: fv
+                    .iter()
+                    .map(|v| (var_ty.get(&v).copied().unwrap_or(Ty::Int), v))
+                    .collect(),
+                blocks,
+                entry: Label(0),
+                is_core: true,
+            });
+        } else {
+            main_blocks = Some(blocks);
+        }
+    }
+
+    // The original function: either its surviving entry unit, or (when
+    // the entry itself became critical) a stub that tail-calls it.
+    let main_blocks = match main_blocks {
+        Some(b) => b,
+        None => {
+            let entry_unit = owner[entry_node as usize]
+                .ok_or_else(|| NormalizeError("entry unreachable".into()))?;
+            let plan = &plans[entry_unit];
+            let args = plan.params.iter().map(|&v| Atom::Var(v)).collect();
+            vec![Block::Cmd(Cmd::Nop, Jump::Tail(plan.func, args))]
+        }
+    };
+    let main = Func {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        locals: f.locals.clone(),
+        blocks: main_blocks,
+        entry: Label(0),
+        is_core: f.is_core,
+    };
+    Ok((main, news, dropped, lv.max_live))
+}
+
+/// `free_vars` with an explicit variable-count (the fresh function
+/// shares the original's variable numbering).
+fn free_vars_with(f: &Func, labels: &[Label], nvars: usize) -> VarSet {
+    let mut s = VarSet::new(nvars.max(f.var_count()));
+    let fv = free_vars(f, labels);
+    s.union_with(&fv);
+    s
+}
+
+fn build_type_map(f: &Func) -> HashMap<Var, Ty> {
+    f.params.iter().chain(f.locals.iter()).map(|&(t, v)| (v, t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_ir::build::{FuncBuilder, ProgramBuilder};
+    use ceal_ir::validate::{is_normal, validate};
+
+    /// A function with a read not followed by a tail: the copy example.
+    fn copy_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("copy");
+        let mut fb = FuncBuilder::new("copy", true);
+        let m = fb.param(Ty::ModRef);
+        let d = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(l2)));
+        pb.define(fr, fb.finish());
+        pb.finish()
+    }
+
+    #[test]
+    fn copy_becomes_normal() {
+        let p = copy_program();
+        assert!(!is_normal(&p));
+        let (q, stats) = normalize(&p).unwrap();
+        validate(&q).unwrap();
+        assert!(is_normal(&q), "{}", ceal_ir::print::print_program(&q));
+        // One fresh function for the read entry.
+        assert_eq!(stats.funcs_out, stats.funcs_in + 1);
+        // Block count preserved (Theorem 3): 3 in copy, 1 extra... the
+        // original keeps its read block; the fresh one holds the rest.
+        assert_eq!(stats.blocks_out, stats.blocks_in);
+        // Fresh function's first parameter is the read variable.
+        let fresh = &q.funcs[1];
+        assert_eq!(fresh.params.first().map(|(_, v)| *v), Some(Var(2)));
+    }
+
+    /// Self-loop through a read: `L0: x := read m ; goto L0`.
+    #[test]
+    fn read_loop_on_entry() {
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("spin");
+        let mut fb = FuncBuilder::new("spin", true);
+        let m = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l0)));
+        pb.define(fr, fb.finish());
+        let p = pb.finish();
+        let (q, _) = normalize(&p).unwrap();
+        validate(&q).unwrap();
+        assert!(is_normal(&q), "{}", ceal_ir::print::print_program(&q));
+        // And with the read on a non-entry block:
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("spin2");
+        let mut fb = FuncBuilder::new("spin2", true);
+        let m = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        fb.define(l0, Block::Cmd(Cmd::Nop, Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        pb.define(fr, fb.finish());
+        let p = pb.finish();
+        let (q, _) = normalize(&p).unwrap();
+        validate(&q).unwrap();
+        assert!(is_normal(&q), "{}", ceal_ir::print::print_program(&q));
+    }
+
+    #[test]
+    fn conflicting_read_vars_is_an_error() {
+        // Two reads with different dsts converging on one label.
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("bad");
+        let mut fb = FuncBuilder::new("bad", true);
+        let m = fb.param(Ty::ModRef);
+        let c = fb.param(Ty::Int);
+        let x = fb.local(Ty::Int);
+        let y = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve();
+        let l3 = fb.reserve_done();
+        fb.define(l0, Block::Cond(Atom::Var(c), Jump::Goto(l1), Jump::Goto(l2)));
+        fb.define(l1, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l3)));
+        fb.define(l2, Block::Cmd(Cmd::Read(y, m), Jump::Goto(l3)));
+        pb.define(fr, fb.finish());
+        let p = pb.finish();
+        assert!(normalize(&p).is_err());
+    }
+}

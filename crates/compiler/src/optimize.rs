@@ -1,0 +1,281 @@
+//! Post-normalization optimizations.
+//!
+//! Normalization can create *trivial* functions — units whose body is a
+//! single `done` block (the paper's `eval_final`, Fig. 5). Footnote 3:
+//! "In practice we eliminate such trivial calls by inlining the
+//! return." This pass rewrites every tail jump to a trivial function
+//! into a direct `done`, then sweeps functions that are no longer
+//! referenced.
+
+use std::collections::HashSet;
+
+use ceal_ir::cl::*;
+
+/// Statistics from [`inline_trivial_returns`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InlineStats {
+    /// Tail jumps rewritten into returns.
+    pub tails_inlined: usize,
+    /// Trivial functions removed.
+    pub funcs_removed: usize,
+}
+
+fn is_trivial(f: &Func) -> bool {
+    f.is_core && f.blocks.len() == 1 && matches!(f.blocks[0], Block::Done)
+}
+
+/// Inlines tail calls to `done`-only functions and removes the
+/// functions that become unreferenced.
+pub fn inline_trivial_returns(p: &Program) -> (Program, InlineStats) {
+    let trivial: HashSet<u32> = p
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| is_trivial(f))
+        .map(|(i, _)| i as u32)
+        .collect();
+    let mut stats = InlineStats::default();
+    if trivial.is_empty() {
+        return (p.clone(), stats);
+    }
+
+    // Rewrite jumps. A command block whose tail goes to a trivial
+    // function becomes a goto to a (shared, possibly fresh) done block;
+    // conditional arms likewise. Only functions whose calls were
+    // actually inlined become sweep candidates — an unreferenced
+    // trivial function may be a program entry point and must stay.
+    let mut inlined_targets: HashSet<u32> = HashSet::new();
+    let mut funcs: Vec<Func> = Vec::with_capacity(p.funcs.len());
+    for f in &p.funcs {
+        let mut f = f.clone();
+        // Find or reserve a done block to redirect to.
+        let mut done_label =
+            f.labels().find(|&l| matches!(f.block(l), Block::Done));
+        let needs: Vec<Label> = f
+            .labels()
+            .filter(|&l| {
+                let tail_to_trivial = |j: &Jump| {
+                    matches!(j, Jump::Tail(g, _) if trivial.contains(&g.0))
+                };
+                match f.block(l) {
+                    Block::Done => false,
+                    Block::Cond(_, j1, j2) => tail_to_trivial(j1) || tail_to_trivial(j2),
+                    Block::Cmd(_, j) => tail_to_trivial(j),
+                }
+            })
+            .collect();
+        if !needs.is_empty() && done_label.is_none() {
+            f.blocks.push(Block::Done);
+            done_label = Some(Label((f.blocks.len() - 1) as u32));
+        }
+        if let Some(dl) = done_label {
+            for l in needs {
+                let inlined = &mut inlined_targets;
+                let mut rewrite = |j: &mut Jump, stats: &mut InlineStats| {
+                    if let Jump::Tail(g, _) = j {
+                        if trivial.contains(&g.0) {
+                            inlined.insert(g.0);
+                            *j = Jump::Goto(dl);
+                            stats.tails_inlined += 1;
+                        }
+                    }
+                };
+                match &mut f.blocks[l.0 as usize] {
+                    Block::Done => {}
+                    Block::Cond(_, j1, j2) => {
+                        rewrite(j1, &mut stats);
+                        rewrite(j2, &mut stats);
+                    }
+                    Block::Cmd(_, j) => rewrite(j, &mut stats),
+                }
+            }
+        }
+        funcs.push(f);
+    }
+
+    // Sweep trivial functions that are now unreferenced (keeping the
+    // FuncRef numbering dense requires a remap).
+    let mut referenced: HashSet<u32> = HashSet::new();
+    for f in &funcs {
+        for b in &f.blocks {
+            fn note_jump(j: &Jump, referenced: &mut HashSet<u32>) {
+                if let Jump::Tail(g, _) = j {
+                    referenced.insert(g.0);
+                }
+            }
+            match b {
+                Block::Done => {}
+                Block::Cond(_, j1, j2) => {
+                    note_jump(j1, &mut referenced);
+                    note_jump(j2, &mut referenced);
+                }
+                Block::Cmd(c, j) => {
+                    match c {
+                        Cmd::Alloc { init, args, .. } => {
+                            referenced.insert(init.0);
+                            for a in args {
+                                if let Atom::Func(g) = a {
+                                    referenced.insert(g.0);
+                                }
+                            }
+                        }
+                        Cmd::Call(g, args) => {
+                            referenced.insert(g.0);
+                            for a in args {
+                                if let Atom::Func(x) = a {
+                                    referenced.insert(x.0);
+                                }
+                            }
+                        }
+                        Cmd::Assign(_, Expr::Atom(Atom::Func(g))) => {
+                            referenced.insert(g.0);
+                        }
+                        _ => {}
+                    }
+                    note_jump(j, &mut referenced);
+                }
+            }
+        }
+    }
+    let removable: HashSet<u32> = inlined_targets
+        .iter()
+        .copied()
+        .filter(|i| !referenced.contains(i))
+        .collect();
+    stats.funcs_removed = removable.len();
+    if removable.is_empty() {
+        return (Program { funcs }, stats);
+    }
+    // Remap function references.
+    let mut remap = vec![u32::MAX; funcs.len()];
+    let mut kept = Vec::new();
+    for (i, f) in funcs.into_iter().enumerate() {
+        if removable.contains(&(i as u32)) {
+            continue;
+        }
+        remap[i] = kept.len() as u32;
+        kept.push(f);
+    }
+    for f in &mut kept {
+        for b in &mut f.blocks {
+            let fix_jump = |j: &mut Jump| {
+                if let Jump::Tail(g, _) = j {
+                    g.0 = remap[g.0 as usize];
+                }
+            };
+            match b {
+                Block::Done => {}
+                Block::Cond(_, j1, j2) => {
+                    fix_jump(j1);
+                    fix_jump(j2);
+                }
+                Block::Cmd(c, j) => {
+                    match c {
+                        Cmd::Alloc { init, args, .. } => {
+                            init.0 = remap[init.0 as usize];
+                            for a in args {
+                                if let Atom::Func(g) = a {
+                                    g.0 = remap[g.0 as usize];
+                                }
+                            }
+                        }
+                        Cmd::Call(g, args) => {
+                            g.0 = remap[g.0 as usize];
+                            for a in args {
+                                if let Atom::Func(x) = a {
+                                    x.0 = remap[x.0 as usize];
+                                }
+                            }
+                        }
+                        Cmd::Assign(_, Expr::Atom(Atom::Func(g))) => {
+                            g.0 = remap[g.0 as usize];
+                        }
+                        _ => {}
+                    }
+                    fix_jump(j);
+                }
+            }
+        }
+    }
+    (Program { funcs: kept }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_ir::build::{FuncBuilder, ProgramBuilder};
+    use ceal_ir::validate::validate;
+
+    /// main: {L0: nop ; tail fin()}  fin: {L0: done}
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let fin = pb.declare("fin");
+        let mut fb = FuncBuilder::new("main", true);
+        fb.push(Block::Cmd(Cmd::Nop, Jump::Tail(fin, vec![])));
+        pb.define(main, fb.finish());
+        let mut fb = FuncBuilder::new("fin", true);
+        fb.push(Block::Done);
+        pb.define(fin, fb.finish());
+        pb.finish()
+    }
+
+    #[test]
+    fn inlines_and_sweeps() {
+        let p = sample();
+        let (q, stats) = inline_trivial_returns(&p);
+        validate(&q).unwrap();
+        assert_eq!(stats.tails_inlined, 1);
+        assert_eq!(stats.funcs_removed, 1);
+        assert_eq!(q.funcs.len(), 1);
+        // main now ends in goto -> done.
+        assert!(matches!(
+            q.func(FuncRef(0)).block(Label(0)),
+            Block::Cmd(Cmd::Nop, Jump::Goto(_))
+        ));
+    }
+
+    #[test]
+    fn keeps_referenced_trivial_functions() {
+        // A trivial function used as an alloc initializer stays.
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let fin = pb.declare("fin");
+        let mut fb = FuncBuilder::new("main", true);
+        let p0 = fb.local(Ty::Ptr);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve_done();
+        fb.define(
+            l0,
+            Block::Cmd(
+                Cmd::Alloc { dst: p0, words: Atom::Int(1), init: fin, args: vec![] },
+                Jump::Goto(l1),
+            ),
+        );
+        pb.define(main, fb.finish());
+        let mut fb = FuncBuilder::new("fin", true);
+        fb.push(Block::Done);
+        pb.define(fin, fb.finish());
+        let (q, stats) = inline_trivial_returns(&pb.finish());
+        validate(&q).unwrap();
+        assert_eq!(stats.funcs_removed, 0);
+        assert_eq!(q.funcs.len(), 2);
+    }
+
+    #[test]
+    fn no_trivial_functions_is_a_no_op() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let mut fb = FuncBuilder::new("main", true);
+        fb.push(Block::Done);
+        pb.define(main, fb.finish());
+        let p = pb.finish();
+        // `main` is trivial but never tail-called; removing the program
+        // entry would be wrong — it is unreferenced but must stay.
+        let (q, stats) = inline_trivial_returns(&p);
+        let _ = stats;
+        // Entry functions must survive: we keep unreferenced trivial
+        // functions only if... they are removed! Guard against that.
+        assert!(q.find("main").is_some(), "entry function must not be swept");
+    }
+}

@@ -1,0 +1,170 @@
+//! The `cealc` pipeline driver (§7) and the Table 3 baseline.
+//!
+//! `compile` runs the full pipeline on a CL program: normalization
+//! (graphs, dominator trees, liveness, unit splitting), translation to
+//! target code, and C emission — recording per-phase wall times and
+//! size statistics. `compile_baseline` is the analogue of compiling
+//! the source directly with gcc, "treating CEAL primitives as ordinary
+//! functions with external definitions" (§8.5): it only parses/lowers
+//! and emits plain C.
+
+use std::time::Instant;
+
+use ceal_ir::cl::Program;
+
+use crate::emit_c::{emit_c, emit_c_baseline};
+use crate::normalize::{normalize, NormalizeError, NormalizeStats};
+use crate::optimize::{inline_trivial_returns, InlineStats};
+use crate::target::TProgram;
+use crate::translate::{translate, TranslateError};
+
+/// Everything `cealc` produces for one program.
+#[derive(Clone, Debug)]
+pub struct CompileOutput {
+    /// The normalized CL program.
+    pub normalized: Program,
+    /// Translated target code (executed by `ceal-vm`).
+    pub target: TProgram,
+    /// Generated C text (Fig. 12 style).
+    pub c_code: String,
+    /// Pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+/// Timing and size statistics for Table 3 / Fig. 15.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Seconds spent in normalization (graphs, dominators, liveness,
+    /// restructuring).
+    pub normalize_s: f64,
+    /// Seconds spent translating to target code.
+    pub translate_s: f64,
+    /// Seconds spent emitting C.
+    pub emit_s: f64,
+    /// Normalization statistics (block counts, ML).
+    pub normalize: NormalizeStats,
+    /// Trivial-return inlining statistics (footnote 3).
+    pub inline: InlineStats,
+    /// Bytes of generated C.
+    pub c_bytes: usize,
+    /// Target-code size in words.
+    pub target_words: usize,
+    /// Input program size in words.
+    pub input_words: usize,
+}
+
+impl PipelineStats {
+    /// Total compilation seconds.
+    pub fn total_s(&self) -> f64 {
+        self.normalize_s + self.translate_s + self.emit_s
+    }
+}
+
+/// Compilation errors (normalization or translation).
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// Normalization failed.
+    Normalize(NormalizeError),
+    /// Translation failed.
+    Translate(TranslateError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Normalize(e) => write!(f, "{e}"),
+            CompileError::Translate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<NormalizeError> for CompileError {
+    fn from(e: NormalizeError) -> Self {
+        CompileError::Normalize(e)
+    }
+}
+
+impl From<TranslateError> for CompileError {
+    fn from(e: TranslateError) -> Self {
+        CompileError::Translate(e)
+    }
+}
+
+/// Runs the full `cealc` pipeline on a lowered CL program.
+///
+/// # Errors
+///
+/// Propagates normalization and translation failures.
+pub fn compile(p: &Program) -> Result<CompileOutput, CompileError> {
+    let input_words = p.repr_words();
+
+    let t0 = Instant::now();
+    let (normalized, nstats) = normalize(p)?;
+    let (normalized, istats) = inline_trivial_returns(&normalized);
+    let normalize_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let target = translate(&normalized)?;
+    let translate_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let c_code = emit_c(&normalized);
+    let emit_s = t2.elapsed().as_secs_f64();
+
+    let stats = PipelineStats {
+        normalize_s,
+        translate_s,
+        emit_s,
+        normalize: nstats,
+        inline: istats,
+        c_bytes: c_code.len(),
+        target_words: target.repr_words(),
+        input_words,
+    };
+    Ok(CompileOutput { normalized, target, c_code, stats })
+}
+
+/// The gcc-style baseline: emit plain C without normalization.
+/// Returns the C text and the seconds spent.
+pub fn compile_baseline(p: &Program) -> (String, f64) {
+    let t0 = Instant::now();
+    let c = emit_c_baseline(p);
+    (c, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_ir::build::{FuncBuilder, ProgramBuilder};
+    use ceal_ir::cl::*;
+    use ceal_ir::validate::is_normal;
+
+    fn copy_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("copy");
+        let mut fb = FuncBuilder::new("copy", true);
+        let m = fb.param(Ty::ModRef);
+        let d = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(l2)));
+        pb.define(fr, fb.finish());
+        pb.finish()
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let out = compile(&copy_program()).unwrap();
+        assert!(is_normal(&out.normalized));
+        assert!(out.stats.c_bytes > 0);
+        assert!(out.stats.target_words > 0);
+        assert!(out.target.find("copy").is_some());
+        let (base_c, _) = compile_baseline(&copy_program());
+        assert!(out.c_code.len() > base_c.len(), "cealc output is larger (Table 3)");
+    }
+}

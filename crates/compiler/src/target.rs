@@ -1,0 +1,220 @@
+//! Target code: the output of the §6 translation.
+//!
+//! The paper translates normalized CL into C that manipulates closures
+//! and returns them to a trampoline (Fig. 12). Our target is the
+//! executable analogue: register-machine functions whose terminators
+//! mirror the translation exactly — `Done` (`return NULL`), `Tail`
+//! (`return closure_make(f, x)` — or, with the §6.3 read-trampolining
+//! refinement, a direct call), and `ReadTail` (`return
+//! modref_read(y, closure_make(f, NULL::z))`). The `ceal-vm` crate
+//! interprets this code against the run-time system.
+
+use ceal_ir::cl::Prim;
+use ceal_runtime::Value;
+
+/// A virtual register (one per CL variable).
+pub type Reg = u16;
+
+/// A target-function index within a [`TProgram`].
+pub type TFuncId = u32;
+
+/// Instruction operands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TOperand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate value.
+    Imm(Value),
+    /// A function constant (resolved to an engine `FuncId` at load
+    /// time).
+    Fun(TFuncId),
+}
+
+/// Target instructions. Control flow within a function uses instruction
+/// indices (`pc`s); the three `return`-like terminators end execution
+/// of the function body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TInstr {
+    /// `dst := src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: TOperand,
+    },
+    /// `dst := op(a)` or `dst := op(a, b)`.
+    Prim {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: Prim,
+        /// First operand.
+        a: TOperand,
+        /// Second operand for binary operators.
+        b: Option<TOperand>,
+    },
+    /// `dst := ptr[off]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Block pointer register.
+        ptr: Reg,
+        /// Slot index.
+        off: TOperand,
+    },
+    /// `ptr[off] := val` (initializers only, §4.2).
+    Store {
+        /// Block pointer register.
+        ptr: Reg,
+        /// Slot index.
+        off: TOperand,
+        /// Stored value.
+        val: TOperand,
+    },
+    /// `dst := modref()` with an allocation key.
+    Modref {
+        /// Destination register.
+        dst: Reg,
+        /// Key operands (empty for plain `modref()`).
+        key: Vec<TOperand>,
+    },
+    /// `modref_init(&ptr[off])`.
+    ModrefInit {
+        /// Block pointer register.
+        ptr: Reg,
+        /// Slot index.
+        off: TOperand,
+    },
+    /// `write m val`.
+    Write {
+        /// Modifiable register.
+        m: Reg,
+        /// Value written.
+        val: TOperand,
+    },
+    /// `dst := alloc words init(args)`.
+    Alloc {
+        /// Destination register.
+        dst: Reg,
+        /// Size in words.
+        words: TOperand,
+        /// Initializer function.
+        init: TFuncId,
+        /// Initializer arguments / allocation key.
+        args: Vec<TOperand>,
+    },
+    /// `call f(args)`: nested trampoline (Fig. 12 `closure_run`).
+    Call {
+        /// Callee.
+        f: TFuncId,
+        /// Arguments.
+        args: Vec<TOperand>,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump(u32),
+    /// Conditional branch.
+    Branch {
+        /// Condition operand (C truthiness).
+        c: TOperand,
+        /// Target when true.
+        t: u32,
+        /// Target when false.
+        f: u32,
+    },
+    /// `tail f(args)`: `return closure_make(f, args)`.
+    Tail {
+        /// Callee.
+        f: TFuncId,
+        /// Arguments.
+        args: Vec<TOperand>,
+    },
+    /// `x := read m ; tail f(x, args)`:
+    /// `return modref_read(m, closure_make(f, NULL::args))`.
+    ReadTail {
+        /// Modifiable register.
+        m: Reg,
+        /// Continuation function (receives the value first).
+        f: TFuncId,
+        /// Remaining closure arguments.
+        args: Vec<TOperand>,
+    },
+    /// `done`: `return NULL`.
+    Done,
+}
+
+/// A translated function.
+#[derive(Clone, Debug)]
+pub struct TFunc {
+    /// Diagnostic name (source function or fresh unit name).
+    pub name: String,
+    /// Registers receiving the arguments, in order.
+    pub params: Vec<Reg>,
+    /// Total register count.
+    pub nregs: u16,
+    /// Instruction sequence.
+    pub code: Vec<TInstr>,
+    /// Whether this is core (self-adjusting) code.
+    pub is_core: bool,
+}
+
+/// Statistics from translation (feeds Table 3 and §6.3's discussion).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TranslateStats {
+    /// Total instructions emitted.
+    pub instrs: usize,
+    /// Functions translated.
+    pub funcs: usize,
+    /// Closure-creation sites (tail jumps + read continuations): what
+    /// the basic translation trampolines.
+    pub closure_sites: usize,
+    /// Read sites (the only closures the §6.3 refinement keeps).
+    pub read_sites: usize,
+    /// Distinct `closure_make` arities instantiated by
+    /// monomorphization (§6.3).
+    pub mono_instances: usize,
+}
+
+/// A complete target program.
+#[derive(Clone, Debug)]
+pub struct TProgram {
+    /// Functions, indexed by [`TFuncId`].
+    pub funcs: Vec<TFunc>,
+    /// Translation statistics.
+    pub stats: TranslateStats,
+}
+
+impl TProgram {
+    /// Looks up a function by name.
+    pub fn find(&self, name: &str) -> Option<TFuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| i as TFuncId)
+    }
+
+    /// Representation size in words (Theorem 5's output-size measure).
+    pub fn repr_words(&self) -> usize {
+        let op = |_: &TOperand| 1usize;
+        let ops = |v: &[TOperand]| v.len();
+        let mut words = 0;
+        for f in &self.funcs {
+            words += 2 + f.params.len();
+            for i in &f.code {
+                words += 1 + match i {
+                    TInstr::Move { src, .. } => op(src),
+                    TInstr::Prim { a, b, .. } => op(a) + b.as_ref().map_or(0, op),
+                    TInstr::Load { off, .. } => 1 + op(off),
+                    TInstr::Store { off, val, .. } => 1 + op(off) + op(val),
+                    TInstr::Modref { key, .. } => ops(key),
+                    TInstr::ModrefInit { off, .. } => 1 + op(off),
+                    TInstr::Write { val, .. } => 1 + op(val),
+                    TInstr::Alloc { words: w, args, .. } => 2 + op(w) + ops(args),
+                    TInstr::Call { args, .. } => 1 + ops(args),
+                    TInstr::Jump(_) => 1,
+                    TInstr::Branch { .. } => 3,
+                    TInstr::Tail { args, .. } => 1 + ops(args),
+                    TInstr::ReadTail { args, .. } => 2 + ops(args),
+                    TInstr::Done => 0,
+                };
+            }
+        }
+        words
+    }
+}

@@ -1,0 +1,285 @@
+//! Translation of normalized CL to target code (§6.2, Fig. 12), with
+//! the §6.3 refinements accounted for in the emitted statistics.
+
+use std::collections::HashSet;
+
+use ceal_ir::cl::{self, Atom, Block, Cmd, Expr, Jump};
+use ceal_ir::validate::is_normal;
+use ceal_runtime::Value;
+
+use crate::target::{Reg, TFunc, TInstr, TOperand, TProgram, TranslateStats};
+
+/// Translation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranslateError(pub String);
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "translation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+fn operand(a: &Atom) -> TOperand {
+    match a {
+        Atom::Var(v) => TOperand::Reg(v.0 as Reg),
+        Atom::Int(i) => TOperand::Imm(Value::Int(*i)),
+        Atom::Float(f) => TOperand::Imm(Value::Float(*f)),
+        Atom::Nil => TOperand::Imm(Value::Nil),
+        Atom::Func(f) => TOperand::Fun(f.0),
+    }
+}
+
+/// Translates a normalized CL program.
+///
+/// # Errors
+///
+/// Fails if the program is not in normal form, or a read's tail jump
+/// does not pass the read result as its first argument (the §6.2
+/// substitution convention, which the normalizer guarantees).
+pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
+    if !is_normal(p) {
+        return Err(TranslateError(
+            "program is not in normal form; run normalization first".into(),
+        ));
+    }
+    let mut funcs = Vec::with_capacity(p.funcs.len());
+    let mut stats = TranslateStats { funcs: p.funcs.len(), ..Default::default() };
+    let mut arities: HashSet<usize> = HashSet::new();
+
+    for f in &p.funcs {
+        let nregs = f.var_count().max(1) as u16;
+        // Block label -> first pc of the block; resolved in two passes.
+        let mut code: Vec<TInstr> = Vec::new();
+        let mut block_pc: Vec<u32> = Vec::with_capacity(f.blocks.len());
+        let mut patches: Vec<(usize, cl::Label, bool)> = Vec::new(); // (pc, target, is_branch_false)
+
+        for b in &f.blocks {
+            block_pc.push(code.len() as u32);
+            match b {
+                Block::Done => code.push(TInstr::Done),
+                Block::Cond(a, j1, j2) => {
+                    // Emit a branch; goto arms become pc patches, tail
+                    // arms get stub blocks appended afterwards.
+                    let c = operand(a);
+                    let pc = code.len();
+                    code.push(TInstr::Branch { c, t: u32::MAX, f: u32::MAX });
+                    match j1 {
+                        Jump::Goto(l) => patches.push((pc, *l, false)),
+                        Jump::Tail(g, args) => {
+                            let t = code.len() as u32;
+                            if let TInstr::Branch { t: tt, .. } = &mut code[pc] {
+                                *tt = t;
+                            }
+                            stats.closure_sites += 1;
+                            arities.insert(args.len());
+                            code.push(TInstr::Tail {
+                                f: g.0,
+                                args: args.iter().map(operand).collect(),
+                            });
+                        }
+                    }
+                    match j2 {
+                        Jump::Goto(l) => patches.push((pc, *l, true)),
+                        Jump::Tail(g, args) => {
+                            let t = code.len() as u32;
+                            if let TInstr::Branch { f: ff, .. } = &mut code[pc] {
+                                *ff = t;
+                            }
+                            stats.closure_sites += 1;
+                            arities.insert(args.len());
+                            code.push(TInstr::Tail {
+                                f: g.0,
+                                args: args.iter().map(operand).collect(),
+                            });
+                        }
+                    }
+                }
+                Block::Cmd(c, j) => {
+                    // The read command fuses with its tail jump.
+                    if let Cmd::Read(x, m) = c {
+                        let Jump::Tail(g, args) = j else {
+                            unreachable!("normal form checked above");
+                        };
+                        if args.first() != Some(&Atom::Var(*x)) {
+                            return Err(TranslateError(format!(
+                                "in `{}`: read result {x:?} is not the first argument of \
+                                 the following tail jump",
+                                f.name
+                            )));
+                        }
+                        stats.read_sites += 1;
+                        stats.closure_sites += 1;
+                        arities.insert(args.len());
+                        code.push(TInstr::ReadTail {
+                            m: m.0 as Reg,
+                            f: g.0,
+                            args: args[1..].iter().map(operand).collect(),
+                        });
+                        continue;
+                    }
+                    match c {
+                        Cmd::Nop => {}
+                        Cmd::Assign(d, e) => {
+                            let dst = d.0 as Reg;
+                            match e {
+                                Expr::Atom(a) => {
+                                    code.push(TInstr::Move { dst, src: operand(a) })
+                                }
+                                Expr::Prim(op, xs) => match xs.as_slice() {
+                                    [a] => code.push(TInstr::Prim {
+                                        dst,
+                                        op: *op,
+                                        a: operand(a),
+                                        b: None,
+                                    }),
+                                    [a, b] => code.push(TInstr::Prim {
+                                        dst,
+                                        op: *op,
+                                        a: operand(a),
+                                        b: Some(operand(b)),
+                                    }),
+                                    other => {
+                                        return Err(TranslateError(format!(
+                                            "primitive arity {} unsupported",
+                                            other.len()
+                                        )))
+                                    }
+                                },
+                                Expr::Index(x, a) => code.push(TInstr::Load {
+                                    dst,
+                                    ptr: x.0 as Reg,
+                                    off: operand(a),
+                                }),
+                            }
+                        }
+                        Cmd::Store(x, i, v) => code.push(TInstr::Store {
+                            ptr: x.0 as Reg,
+                            off: operand(i),
+                            val: operand(v),
+                        }),
+                        Cmd::Modref(d) => {
+                            code.push(TInstr::Modref { dst: d.0 as Reg, key: Vec::new() })
+                        }
+                        Cmd::ModrefKeyed(d, k) => code.push(TInstr::Modref {
+                            dst: d.0 as Reg,
+                            key: k.iter().map(operand).collect(),
+                        }),
+                        Cmd::ModrefInit(x, i) => code.push(TInstr::ModrefInit {
+                            ptr: x.0 as Reg,
+                            off: operand(i),
+                        }),
+                        Cmd::Write(m, a) => {
+                            code.push(TInstr::Write { m: m.0 as Reg, val: operand(a) })
+                        }
+                        Cmd::Alloc { dst, words, init, args } => code.push(TInstr::Alloc {
+                            dst: dst.0 as Reg,
+                            words: operand(words),
+                            init: init.0,
+                            args: args.iter().map(operand).collect(),
+                        }),
+                        Cmd::Call(g, args) => code.push(TInstr::Call {
+                            f: g.0,
+                            args: args.iter().map(operand).collect(),
+                        }),
+                        Cmd::Read(..) => unreachable!("handled above"),
+                    }
+                    match j {
+                        Jump::Goto(l) => {
+                            let pc = code.len();
+                            code.push(TInstr::Jump(u32::MAX));
+                            patches.push((pc, *l, false));
+                        }
+                        Jump::Tail(g, args) => {
+                            stats.closure_sites += 1;
+                            arities.insert(args.len());
+                            code.push(TInstr::Tail {
+                                f: g.0,
+                                args: args.iter().map(operand).collect(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Resolve label patches.
+        for (pc, l, is_false_arm) in patches {
+            let target = block_pc[l.0 as usize];
+            match &mut code[pc] {
+                TInstr::Jump(t) => *t = target,
+                TInstr::Branch { t, f, .. } => {
+                    if is_false_arm {
+                        *f = target;
+                    } else {
+                        *t = target;
+                    }
+                }
+                other => unreachable!("patch target {other:?}"),
+            }
+        }
+        // Entry must be block 0 for pc 0 to be the entry.
+        if f.entry.0 != 0 {
+            return Err(TranslateError(format!(
+                "in `{}`: entry must be the first block (got {:?})",
+                f.name, f.entry
+            )));
+        }
+        stats.instrs += code.len();
+        funcs.push(TFunc {
+            name: f.name.clone(),
+            params: f.params.iter().map(|(_, v)| v.0 as Reg).collect(),
+            nregs,
+            code,
+            is_core: f.is_core,
+        });
+    }
+    stats.mono_instances = arities.len();
+    Ok(TProgram { funcs, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use ceal_ir::build::{FuncBuilder, ProgramBuilder};
+    use ceal_ir::cl::*;
+
+    fn copy_program() -> cl::Program {
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("copy");
+        let mut fb = FuncBuilder::new("copy", true);
+        let m = fb.param(Ty::ModRef);
+        let d = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(l2)));
+        pb.define(fr, fb.finish());
+        pb.finish()
+    }
+
+    #[test]
+    fn rejects_non_normal() {
+        assert!(translate(&copy_program()).is_err());
+    }
+
+    #[test]
+    fn translates_normalized_copy() {
+        let (q, _) = normalize(&copy_program()).unwrap();
+        let t = translate(&q).unwrap();
+        assert_eq!(t.funcs.len(), 2);
+        // The original function ends in a ReadTail.
+        let main = &t.funcs[0];
+        assert!(
+            main.code.iter().any(|i| matches!(i, TInstr::ReadTail { .. })),
+            "{:?}",
+            main.code
+        );
+        assert!(t.stats.read_sites >= 1);
+        assert!(t.stats.mono_instances >= 1);
+        assert!(t.repr_words() > 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! A small builder DSL for constructing CL programs in code (used by
+//! the compiler's lowering, by tests, and by the random program
+//! generator in the property tests).
+
+use crate::cl::*;
+
+/// Builds one [`Func`] incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use ceal_ir::build::FuncBuilder;
+/// use ceal_ir::cl::*;
+///
+/// let mut f = FuncBuilder::new("copy", true);
+/// let m = f.param(Ty::ModRef);
+/// let d = f.param(Ty::ModRef);
+/// let x = f.local(Ty::Int);
+/// let l0 = f.reserve();
+/// let l1 = f.reserve();
+/// let ldone = f.reserve_done();
+/// f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+/// f.define(l1, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(ldone)));
+/// let func = f.finish();
+/// assert_eq!(func.blocks.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    params: Vec<(Ty, Var)>,
+    locals: Vec<(Ty, Var)>,
+    blocks: Vec<Option<Block>>,
+    next_var: u32,
+    is_core: bool,
+    /// The open block of the chain-style API (see [`FuncBuilder::open`]).
+    cur: Option<Label>,
+}
+
+impl FuncBuilder {
+    /// Starts a function named `name`; `is_core` marks `ceal` functions.
+    pub fn new(name: &str, is_core: bool) -> Self {
+        FuncBuilder {
+            name: name.to_string(),
+            params: Vec::new(),
+            locals: Vec::new(),
+            blocks: Vec::new(),
+            next_var: 0,
+            is_core,
+            cur: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Chain-style construction: an *open* block accumulates commands
+    // one block at a time (CL has one command per block), each linked
+    // to the next by `goto`, until a `close_*` terminator.
+    // ------------------------------------------------------------------
+
+    /// Opens reserved label `l` as the current chain position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chain is already open.
+    pub fn open(&mut self, l: Label) {
+        assert!(self.cur.is_none(), "a chain is already open");
+        self.cur = Some(l);
+    }
+
+    fn cur_or_open(&mut self) -> Label {
+        match self.cur {
+            Some(l) => l,
+            None => {
+                let l = self.reserve();
+                self.cur = Some(l);
+                l
+            }
+        }
+    }
+
+    /// Appends command `c` to the open chain (auto-opens the entry).
+    pub fn emit_cmd(&mut self, c: Cmd) {
+        let cur = self.cur_or_open();
+        let next = self.reserve();
+        self.define(cur, Block::Cmd(c, Jump::Goto(next)));
+        self.cur = Some(next);
+    }
+
+    /// Ends the open chain with `goto l`.
+    pub fn close_goto(&mut self, l: Label) {
+        let cur = self.cur_or_open();
+        self.define(cur, Block::Cmd(Cmd::Nop, Jump::Goto(l)));
+        self.cur = None;
+    }
+
+    /// Ends the open chain with a conditional.
+    pub fn close_cond(&mut self, c: Atom, t: Label, f: Label) {
+        let cur = self.cur_or_open();
+        self.define(cur, Block::Cond(c, Jump::Goto(t), Jump::Goto(f)));
+        self.cur = None;
+    }
+
+    /// Ends the open chain with `done`.
+    pub fn close_done(&mut self) {
+        let cur = self.cur_or_open();
+        self.define(cur, Block::Done);
+        self.cur = None;
+    }
+
+    /// Ends the open chain with `tail f(args)`.
+    pub fn close_tail(&mut self, f: FuncRef, args: Vec<Atom>) {
+        let cur = self.cur_or_open();
+        self.define(cur, Block::Cmd(Cmd::Nop, Jump::Tail(f, args)));
+        self.cur = None;
+    }
+
+    /// Declares the next parameter.
+    pub fn param(&mut self, ty: Ty) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        self.params.push((ty, v));
+        v
+    }
+
+    /// Declares a local variable.
+    pub fn local(&mut self, ty: Ty) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        self.locals.push((ty, v));
+        v
+    }
+
+    /// Reserves a label to be defined later (for forward references).
+    pub fn reserve(&mut self) -> Label {
+        self.blocks.push(None);
+        Label((self.blocks.len() - 1) as u32)
+    }
+
+    /// Reserves and immediately defines a `done` block.
+    pub fn reserve_done(&mut self) -> Label {
+        let l = self.reserve();
+        self.define(l, Block::Done);
+        l
+    }
+
+    /// Defines a reserved label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already defined.
+    pub fn define(&mut self, l: Label, b: Block) {
+        let slot = &mut self.blocks[l.0 as usize];
+        assert!(slot.is_none(), "label {l:?} defined twice in {}", self.name);
+        *slot = Some(b);
+    }
+
+    /// Appends a new defined block, returning its label.
+    pub fn push(&mut self, b: Block) -> Label {
+        let l = self.reserve();
+        self.define(l, b);
+        l
+    }
+
+    /// Finalizes the function; entry is label 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reserved label is undefined or no block exists.
+    pub fn finish(self) -> Func {
+        assert!(!self.blocks.is_empty(), "function {} has no blocks", self.name);
+        let blocks = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("label L{i} undefined in {}", self.name)))
+            .collect();
+        Func {
+            name: self.name,
+            params: self.params,
+            locals: self.locals,
+            blocks,
+            entry: Label(0),
+            is_core: self.is_core,
+        }
+    }
+}
+
+/// Builds a [`Program`] from functions; resolves forward references by
+/// pre-declaring names.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    names: Vec<String>,
+    funcs: Vec<Option<Func>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function name, returning its reference.
+    pub fn declare(&mut self, name: &str) -> FuncRef {
+        self.names.push(name.to_string());
+        self.funcs.push(None);
+        FuncRef((self.funcs.len() - 1) as u32)
+    }
+
+    /// Provides the body for a declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double definition or name mismatch.
+    pub fn define(&mut self, f: FuncRef, func: Func) {
+        assert_eq!(func.name, self.names[f.0 as usize], "name mismatch");
+        let slot = &mut self.funcs[f.0 as usize];
+        assert!(slot.is_none(), "function {} defined twice", func.name);
+        *slot = Some(func);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared function lacks a definition.
+    pub fn finish(self) -> Program {
+        let funcs = self
+            .funcs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {} undefined", self.names[i])))
+            .collect();
+        Program { funcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn unfinished_label_panics() {
+        let mut f = FuncBuilder::new("f", true);
+        let _ = f.reserve();
+        let _ = f.finish();
+    }
+
+    #[test]
+    fn chain_api_builds_valid_functions() {
+        let mut f = FuncBuilder::new("chain", true);
+        let x = f.local(Ty::Int);
+        f.emit_cmd(Cmd::Assign(x, Expr::Atom(Atom::Int(1))));
+        let t = f.reserve();
+        let e = f.reserve();
+        f.close_cond(Atom::Var(x), t, e);
+        f.open(t);
+        f.emit_cmd(Cmd::Assign(x, Expr::Atom(Atom::Int(2))));
+        f.close_done();
+        f.open(e);
+        f.close_done();
+        let func = f.finish();
+        assert_eq!(func.entry, Label(0));
+        let p = Program { funcs: vec![func] };
+        crate::validate::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn program_builder_round_trip() {
+        let mut p = ProgramBuilder::new();
+        let fr = p.declare("f");
+        let mut f = FuncBuilder::new("f", true);
+        f.push(Block::Done);
+        p.define(fr, f.finish());
+        let prog = p.finish();
+        assert_eq!(prog.func(fr).name, "f");
+    }
+}

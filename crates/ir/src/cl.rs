@@ -1,0 +1,351 @@
+//! CL — the Core Language (§4, Fig. 6).
+//!
+//! CL is the simplified variant of C the paper uses to formalize
+//! core-CEAL and the normalization/translation phases. Programs are
+//! sets of functions; each function is a set of uniquely labeled basic
+//! blocks of three forms: `done`, `cond x j1 j2`, and command-and-jump
+//! `c ; j`. Commands cover assignment, array access, modifiable
+//! creation/read/write, allocation with a stylized initializer, and
+//! (non-tail) calls; jumps are `goto l` and `tail f(x)`.
+
+use std::fmt;
+
+/// A variable, scoped to its function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block label, scoped to its function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A function name (index into [`Program::funcs`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncRef(pub u32);
+
+impl fmt::Debug for FuncRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// CL types (Fig. 6): `int`, `modref_t`, pointers — plus `float`, which
+/// the benchmarks use (§8.2 exptrees).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// Machine integer.
+    Int,
+    /// Double-precision float.
+    Float,
+    /// Modifiable reference.
+    ModRef,
+    /// Pointer to a heap block.
+    Ptr,
+}
+
+/// Atomic operands: variables and constants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Atom {
+    /// A local variable or parameter.
+    Var(Var),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// The null pointer (`NULL`).
+    Nil,
+    /// A function used as a value (initializers for `alloc`).
+    Func(FuncRef),
+}
+
+/// Primitive operators (`o` in Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Prim {
+    /// Addition (ints or floats).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder (ints).
+    Mod,
+    /// Equality (any values).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Expressions (`e` in Fig. 6): atoms, primitive applications, and
+/// array dereference `x[y]`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// An atom.
+    Atom(Atom),
+    /// `o(x, y, ...)`.
+    Prim(Prim, Vec<Atom>),
+    /// `x[y]`: load slot `y` of the block pointed to by `x`.
+    Index(Var, Atom),
+}
+
+/// Commands (`c` in Fig. 6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cmd {
+    /// `nop`.
+    Nop,
+    /// `x := e`.
+    Assign(Var, Expr),
+    /// `x[y] := e` (initialization-time stores only, §4.2).
+    Store(Var, Atom, Atom),
+    /// `x := modref()`.
+    Modref(Var),
+    /// `x := modref_keyed(k...)` — extension: a modifiable whose
+    /// allocation is keyed (see `ceal-runtime`); plain `modref()` has an
+    /// empty key.
+    ModrefKeyed(Var, Vec<Atom>),
+    /// `modref_init(&x[y])`: create a modifiable *inside* slot `y` of
+    /// block `x` (Fig. 11's `modref_init`, used by initializers).
+    ModrefInit(Var, Atom),
+    /// `x := read y`.
+    Read(Var, Var),
+    /// `write x y`.
+    Write(Var, Atom),
+    /// `x := alloc y f z`: allocate `y` words, initialize by calling
+    /// `f(x, z...)`.
+    Alloc {
+        /// Destination variable receiving the block pointer.
+        dst: Var,
+        /// Number of words.
+        words: Atom,
+        /// Initializer function.
+        init: FuncRef,
+        /// Extra initializer arguments (also the allocation key).
+        args: Vec<Atom>,
+    },
+    /// `call f(x)`: run `f` to completion, then continue.
+    Call(FuncRef, Vec<Atom>),
+}
+
+/// Jumps (`j` in Fig. 6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Jump {
+    /// `goto l`.
+    Goto(Label),
+    /// `tail f(x)`: transfer control, never returns.
+    Tail(FuncRef, Vec<Atom>),
+}
+
+/// Basic blocks (`b` in Fig. 6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Block {
+    /// `{l : done}`: completes the current function.
+    Done,
+    /// `{l : cond x j1 j2}`.
+    Cond(Atom, Jump, Jump),
+    /// `{l : c ; j}`.
+    Cmd(Cmd, Jump),
+}
+
+impl Block {
+    /// The jump targets of this block (0, 1 or 2 gotos; tail calls are
+    /// inter-procedural and not included).
+    pub fn goto_targets(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        let mut add = |j: &Jump| {
+            if let Jump::Goto(l) = j {
+                out.push(*l);
+            }
+        };
+        match self {
+            Block::Done => {}
+            Block::Cond(_, j1, j2) => {
+                add(j1);
+                add(j2);
+            }
+            Block::Cmd(_, j) => add(j),
+        }
+        out
+    }
+
+    /// Whether this is a command block whose command is a read (§5:
+    /// "read block").
+    pub fn is_read(&self) -> bool {
+        matches!(self, Block::Cmd(Cmd::Read(..), _))
+    }
+}
+
+/// A function definition: `f(t1 x){t2 y; b}`.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Diagnostic name.
+    pub name: String,
+    /// Formal parameters (type and variable).
+    pub params: Vec<(Ty, Var)>,
+    /// Local variable declarations.
+    pub locals: Vec<(Ty, Var)>,
+    /// Basic blocks, indexed by [`Label`].
+    pub blocks: Vec<Block>,
+    /// The entry label.
+    pub entry: Label,
+    /// Whether this is a core function (marked `ceal`); meta functions
+    /// are compiled without normalization.
+    pub is_core: bool,
+}
+
+impl Func {
+    /// The block at `l`.
+    pub fn block(&self, l: Label) -> &Block {
+        &self.blocks[l.0 as usize]
+    }
+
+    /// All labels in order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> {
+        (0..self.blocks.len() as u32).map(Label)
+    }
+
+    /// Number of distinct variables (params + locals), assuming dense
+    /// numbering from 0.
+    pub fn var_count(&self) -> usize {
+        self.params
+            .iter()
+            .chain(self.locals.iter())
+            .map(|(_, v)| v.0 as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A CL program: a set of functions.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Function definitions, indexed by [`FuncRef`].
+    pub funcs: Vec<Func>,
+}
+
+impl Program {
+    /// The function referenced by `f`.
+    pub fn func(&self, f: FuncRef) -> &Func {
+        &self.funcs[f.0 as usize]
+    }
+
+    /// Looks a function up by name.
+    pub fn find(&self, name: &str) -> Option<FuncRef> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncRef(i as u32))
+    }
+
+    /// Total number of basic blocks (the paper's size measure `n`).
+    pub fn block_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.blocks.len()).sum()
+    }
+
+    /// Number of words needed to represent the program (the paper's
+    /// size measure `m`): roughly one word per atom/command slot.
+    pub fn repr_words(&self) -> usize {
+        fn atom_words(_a: &Atom) -> usize {
+            1
+        }
+        fn expr_words(e: &Expr) -> usize {
+            match e {
+                Expr::Atom(a) => atom_words(a),
+                Expr::Prim(_, xs) => 1 + xs.len(),
+                Expr::Index(_, a) => 2 + atom_words(a),
+            }
+        }
+        let mut words = 0;
+        for f in &self.funcs {
+            words += 2 + f.params.len() + f.locals.len();
+            for b in &f.blocks {
+                words += 1;
+                words += match b {
+                    Block::Done => 1,
+                    Block::Cond(a, j1, j2) => atom_words(a) + jump_words(j1) + jump_words(j2),
+                    Block::Cmd(c, j) => {
+                        jump_words(j)
+                            + match c {
+                                Cmd::Nop => 1,
+                                Cmd::Assign(_, e) => 1 + expr_words(e),
+                                Cmd::Store(_, a, b) => 2 + atom_words(a) + atom_words(b),
+                                Cmd::Modref(_) => 2,
+                                Cmd::ModrefKeyed(_, k) => 2 + k.len(),
+                                Cmd::ModrefInit(_, a) => 2 + atom_words(a),
+                                Cmd::Read(_, _) => 3,
+                                Cmd::Write(_, a) => 2 + atom_words(a),
+                                Cmd::Alloc { args, .. } => 4 + args.len(),
+                                Cmd::Call(_, args) => 2 + args.len(),
+                            }
+                    }
+                };
+            }
+        }
+        fn jump_words(j: &Jump) -> usize {
+            match j {
+                Jump::Goto(_) => 1,
+                Jump::Tail(_, args) => 2 + args.len(),
+            }
+        }
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_helpers() {
+        let b = Block::Cond(
+            Atom::Var(Var(0)),
+            Jump::Goto(Label(1)),
+            Jump::Tail(FuncRef(0), vec![]),
+        );
+        assert_eq!(b.goto_targets(), vec![Label(1)]);
+        assert!(!b.is_read());
+        let r = Block::Cmd(Cmd::Read(Var(1), Var(0)), Jump::Goto(Label(2)));
+        assert!(r.is_read());
+        assert_eq!(r.goto_targets(), vec![Label(2)]);
+    }
+
+    #[test]
+    fn size_measures() {
+        let f = Func {
+            name: "f".into(),
+            params: vec![(Ty::ModRef, Var(0))],
+            locals: vec![(Ty::Int, Var(1))],
+            blocks: vec![
+                Block::Cmd(Cmd::Read(Var(1), Var(0)), Jump::Goto(Label(1))),
+                Block::Done,
+            ],
+            entry: Label(0),
+            is_core: true,
+        };
+        let p = Program { funcs: vec![f] };
+        assert_eq!(p.block_count(), 2);
+        assert!(p.repr_words() > 5);
+        assert_eq!(p.find("f"), Some(FuncRef(0)));
+        assert_eq!(p.find("g"), None);
+    }
+}

@@ -1,0 +1,383 @@
+//! A reference interpreter for CL with *conventional* semantics:
+//! modifiables are plain mutable cells, nothing is traced.
+//!
+//! This is the executable counterpart of §8.1's conventional versions
+//! ("replacing modifiable references with conventional references") and
+//! the oracle for the compiler's differential tests: a CL program, its
+//! normalized form, and the translated target code must all compute the
+//! same store.
+
+use std::collections::HashMap;
+
+use crate::cl::*;
+
+/// Interpreter values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IValue {
+    /// Null / unit.
+    Nil,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Pointer to a machine block.
+    Ptr(usize),
+    /// A modifiable cell.
+    ModRef(usize),
+    /// A function value.
+    Func(FuncRef),
+}
+
+impl IValue {
+    fn truthy(self) -> bool {
+        !matches!(self, IValue::Nil | IValue::Int(0)) && self != IValue::Float(0.0)
+    }
+}
+
+/// Errors raised by the reference interpreter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterpError(pub String);
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interpreter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+type IResult<T> = Result<T, InterpError>;
+
+fn err<T>(msg: impl Into<String>) -> IResult<T> {
+    Err(InterpError(msg.into()))
+}
+
+/// The conventional machine: a block store and a modifiable store.
+#[derive(Debug, Default)]
+pub struct Machine {
+    /// Heap blocks.
+    pub blocks: Vec<Vec<IValue>>,
+    /// Modifiable cells.
+    pub modrefs: Vec<IValue>,
+    /// Execution step budget (guards against non-terminating inputs in
+    /// randomized tests).
+    pub fuel: u64,
+}
+
+impl Machine {
+    /// A machine with the given step budget.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Machine { blocks: Vec::new(), modrefs: Vec::new(), fuel }
+    }
+
+    /// Allocates a block of `words` slots.
+    pub fn alloc_block(&mut self, words: usize) -> IValue {
+        self.blocks.push(vec![IValue::Nil; words]);
+        IValue::Ptr(self.blocks.len() - 1)
+    }
+
+    /// Creates a modifiable cell holding `v`.
+    pub fn alloc_modref(&mut self, v: IValue) -> IValue {
+        self.modrefs.push(v);
+        IValue::ModRef(self.modrefs.len() - 1)
+    }
+
+    /// Reads a modifiable cell.
+    pub fn deref(&self, m: IValue) -> IResult<IValue> {
+        match m {
+            IValue::ModRef(i) => Ok(self.modrefs[i]),
+            other => err(format!("deref of non-modref {other:?}")),
+        }
+    }
+
+    fn step(&mut self) -> IResult<()> {
+        if self.fuel == 0 {
+            return err("out of fuel");
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Runs function `f` of `p` with `args` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on type confusion, arity mismatch, out-of-range
+    /// access, or fuel exhaustion.
+    pub fn run(&mut self, p: &Program, f: FuncRef, args: &[IValue]) -> IResult<()> {
+        let func = p.func(f);
+        if args.len() != func.params.len() {
+            return err(format!(
+                "arity mismatch calling {}: got {}, want {}",
+                func.name,
+                args.len(),
+                func.params.len()
+            ));
+        }
+        let mut env: HashMap<Var, IValue> = HashMap::new();
+        for ((_, v), a) in func.params.iter().zip(args) {
+            env.insert(*v, *a);
+        }
+        let mut cur = func.entry;
+        let mut cur_func = f;
+        loop {
+            self.step()?;
+            let func = p.func(cur_func);
+            let jump = match func.block(cur) {
+                Block::Done => return Ok(()),
+                Block::Cond(a, j1, j2) => {
+                    if self.atom(&env, a)?.truthy() {
+                        j1.clone()
+                    } else {
+                        j2.clone()
+                    }
+                }
+                Block::Cmd(c, j) => {
+                    self.exec_cmd(p, &mut env, c)?;
+                    j.clone()
+                }
+            };
+            match jump {
+                Jump::Goto(l) => cur = l,
+                Jump::Tail(g, targs) => {
+                    let vals: Vec<IValue> =
+                        targs.iter().map(|a| self.atom(&env, a)).collect::<IResult<_>>()?;
+                    let gfunc = p.func(g);
+                    if vals.len() != gfunc.params.len() {
+                        return err(format!(
+                            "arity mismatch tail-calling {}: got {}, want {}",
+                            gfunc.name,
+                            vals.len(),
+                            gfunc.params.len()
+                        ));
+                    }
+                    env.clear();
+                    for ((_, v), a) in gfunc.params.iter().zip(&vals) {
+                        env.insert(*v, *a);
+                    }
+                    cur_func = g;
+                    cur = gfunc.entry;
+                }
+            }
+        }
+    }
+
+    fn atom(&self, env: &HashMap<Var, IValue>, a: &Atom) -> IResult<IValue> {
+        Ok(match a {
+            Atom::Var(v) => *env.get(v).unwrap_or(&IValue::Nil),
+            Atom::Int(i) => IValue::Int(*i),
+            Atom::Float(f) => IValue::Float(*f),
+            Atom::Nil => IValue::Nil,
+            Atom::Func(f) => IValue::Func(*f),
+        })
+    }
+
+    fn exec_cmd(
+        &mut self,
+        p: &Program,
+        env: &mut HashMap<Var, IValue>,
+        c: &Cmd,
+    ) -> IResult<()> {
+        match c {
+            Cmd::Nop => {}
+            Cmd::Assign(d, e) => {
+                let v = self.eval(env, e)?;
+                env.insert(*d, v);
+            }
+            Cmd::Store(x, i, v) => {
+                let ptr = self.atom(env, &Atom::Var(*x))?;
+                let idx = match self.atom(env, i)? {
+                    IValue::Int(k) if k >= 0 => k as usize,
+                    other => return err(format!("bad index {other:?}")),
+                };
+                let val = self.atom(env, v)?;
+                match ptr {
+                    IValue::Ptr(b) => {
+                        let block = &mut self.blocks[b];
+                        if idx >= block.len() {
+                            return err("store out of bounds");
+                        }
+                        block[idx] = val;
+                    }
+                    other => return err(format!("store to non-pointer {other:?}")),
+                }
+            }
+            Cmd::Modref(d) | Cmd::ModrefKeyed(d, _) => {
+                let m = self.alloc_modref(IValue::Nil);
+                env.insert(*d, m);
+            }
+            Cmd::ModrefInit(x, i) => {
+                let ptr = self.atom(env, &Atom::Var(*x))?;
+                let idx = match self.atom(env, i)? {
+                    IValue::Int(k) if k >= 0 => k as usize,
+                    other => return err(format!("bad index {other:?}")),
+                };
+                let m = self.alloc_modref(IValue::Nil);
+                match ptr {
+                    IValue::Ptr(b) => {
+                        if idx >= self.blocks[b].len() {
+                            return err("modref_init out of bounds");
+                        }
+                        self.blocks[b][idx] = m;
+                    }
+                    other => return err(format!("modref_init on non-pointer {other:?}")),
+                }
+            }
+            Cmd::Read(d, m) => {
+                let mv = self.atom(env, &Atom::Var(*m))?;
+                let v = self.deref(mv)?;
+                env.insert(*d, v);
+            }
+            Cmd::Write(m, a) => {
+                let mv = self.atom(env, &Atom::Var(*m))?;
+                let v = self.atom(env, a)?;
+                match mv {
+                    IValue::ModRef(i) => self.modrefs[i] = v,
+                    other => return err(format!("write to non-modref {other:?}")),
+                }
+            }
+            Cmd::Alloc { dst, words, init, args } => {
+                let w = match self.atom(env, words)? {
+                    IValue::Int(k) if k >= 0 => k as usize,
+                    other => return err(format!("bad alloc size {other:?}")),
+                };
+                let loc = self.alloc_block(w);
+                let mut iargs = vec![loc];
+                for a in args {
+                    iargs.push(self.atom(env, a)?);
+                }
+                self.run(p, *init, &iargs)?;
+                env.insert(*dst, loc);
+            }
+            Cmd::Call(f, args) => {
+                let vals: Vec<IValue> =
+                    args.iter().map(|a| self.atom(env, a)).collect::<IResult<_>>()?;
+                self.run(p, *f, &vals)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&self, env: &HashMap<Var, IValue>, e: &Expr) -> IResult<IValue> {
+        match e {
+            Expr::Atom(a) => self.atom(env, a),
+            Expr::Index(x, i) => {
+                let ptr = self.atom(env, &Atom::Var(*x))?;
+                let idx = match self.atom(env, i)? {
+                    IValue::Int(k) if k >= 0 => k as usize,
+                    other => return err(format!("bad index {other:?}")),
+                };
+                match ptr {
+                    IValue::Ptr(b) => {
+                        let block = &self.blocks[b];
+                        block.get(idx).copied().ok_or_else(|| InterpError("load oob".into()))
+                    }
+                    other => err(format!("load from non-pointer {other:?}")),
+                }
+            }
+            Expr::Prim(op, xs) => {
+                let vals: Vec<IValue> =
+                    xs.iter().map(|a| self.atom(env, a)).collect::<IResult<_>>()?;
+                prim_eval(*op, &vals)
+            }
+        }
+    }
+}
+
+fn prim_eval(op: Prim, vals: &[IValue]) -> IResult<IValue> {
+    use IValue::*;
+    let bi = |b: bool| Int(b as i64);
+    match (op, vals) {
+        (Prim::Not, [a]) => Ok(bi(!a.truthy())),
+        (Prim::Neg, [Int(a)]) => Ok(Int(-a)),
+        (Prim::Neg, [Float(a)]) => Ok(Float(-a)),
+        (Prim::Add, [Int(a), Int(b)]) => Ok(Int(a.wrapping_add(*b))),
+        (Prim::Sub, [Int(a), Int(b)]) => Ok(Int(a.wrapping_sub(*b))),
+        (Prim::Mul, [Int(a), Int(b)]) => Ok(Int(a.wrapping_mul(*b))),
+        (Prim::Div, [Int(a), Int(b)]) => {
+            if *b == 0 {
+                err("division by zero")
+            } else {
+                Ok(Int(a.wrapping_div(*b)))
+            }
+        }
+        (Prim::Mod, [Int(a), Int(b)]) => {
+            if *b == 0 {
+                err("mod by zero")
+            } else {
+                Ok(Int(a.wrapping_rem(*b)))
+            }
+        }
+        (Prim::Add, [Float(a), Float(b)]) => Ok(Float(a + b)),
+        (Prim::Sub, [Float(a), Float(b)]) => Ok(Float(a - b)),
+        (Prim::Mul, [Float(a), Float(b)]) => Ok(Float(a * b)),
+        (Prim::Div, [Float(a), Float(b)]) => Ok(Float(a / b)),
+        (Prim::Eq, [a, b]) => Ok(bi(a == b)),
+        (Prim::Ne, [a, b]) => Ok(bi(a != b)),
+        (Prim::Lt, [Int(a), Int(b)]) => Ok(bi(a < b)),
+        (Prim::Le, [Int(a), Int(b)]) => Ok(bi(a <= b)),
+        (Prim::Gt, [Int(a), Int(b)]) => Ok(bi(a > b)),
+        (Prim::Ge, [Int(a), Int(b)]) => Ok(bi(a >= b)),
+        (Prim::Lt, [Float(a), Float(b)]) => Ok(bi(a < b)),
+        (Prim::Le, [Float(a), Float(b)]) => Ok(bi(a <= b)),
+        (Prim::Gt, [Float(a), Float(b)]) => Ok(bi(a > b)),
+        (Prim::Ge, [Float(a), Float(b)]) => Ok(bi(a >= b)),
+        _ => err(format!("bad primitive application {op:?} {vals:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{FuncBuilder, ProgramBuilder};
+
+    /// f(m, d): x := read m; x := x + 1; write d x; done
+    fn incr_program() -> (Program, FuncRef) {
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("incr");
+        let mut f = FuncBuilder::new("incr", true);
+        let m = f.param(Ty::ModRef);
+        let d = f.param(Ty::ModRef);
+        let x = f.local(Ty::Int);
+        let l0 = f.reserve();
+        let l1 = f.reserve();
+        let l2 = f.reserve();
+        let l3 = f.reserve_done();
+        f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        f.define(
+            l1,
+            Block::Cmd(
+                Cmd::Assign(x, Expr::Prim(Prim::Add, vec![Atom::Var(x), Atom::Int(1)])),
+                Jump::Goto(l2),
+            ),
+        );
+        f.define(l2, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(l3)));
+        pb.define(fr, f.finish());
+        (pb.finish(), fr)
+    }
+
+    #[test]
+    fn runs_incr() {
+        let (p, f) = incr_program();
+        let mut m = Machine::with_fuel(1000);
+        let inp = m.alloc_modref(IValue::Int(41));
+        let out = m.alloc_modref(IValue::Nil);
+        m.run(&p, f, &[inp, out]).unwrap();
+        assert_eq!(m.deref(out).unwrap(), IValue::Int(42));
+    }
+
+    #[test]
+    fn loops_consume_fuel() {
+        let mut f = FuncBuilder::new("spin", true);
+        f.push(Block::Cmd(Cmd::Nop, Jump::Goto(Label(0))));
+        let p = Program { funcs: vec![f.finish()] };
+        let mut m = Machine::with_fuel(100);
+        assert_eq!(m.run(&p, FuncRef(0), &[]), err::<()>("out of fuel"));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(prim_eval(Prim::Div, &[IValue::Int(1), IValue::Int(0)]).is_err());
+        assert_eq!(prim_eval(Prim::Div, &[IValue::Int(7), IValue::Int(2)]), Ok(IValue::Int(3)));
+    }
+}

@@ -1,0 +1,22 @@
+//! # ceal-ir — CL, the Core Language (§4)
+//!
+//! The intermediate representation of the CEAL compiler: CL programs
+//! are sets of functions made of labeled basic blocks (Fig. 6), with
+//! modifiable operations (`modref`, `read`, `write`), stylized
+//! allocation, non-returning `tail` jumps and non-tail `call`s.
+//!
+//! This crate provides the IR itself ([`cl`]), builders ([`build`]), a
+//! validator and the §5 normal-form predicate ([`validate`]), a pretty
+//! printer ([`print`]), and a conventional-semantics reference
+//! interpreter ([`interp`]) used as the oracle in the compiler's
+//! differential tests.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod cl;
+pub mod interp;
+pub mod print;
+pub mod validate;
+
+pub use cl::{Atom, Block, Cmd, Expr, Func, FuncRef, Jump, Label, Prim, Program, Ty, Var};

@@ -1,0 +1,134 @@
+//! Pretty-printing of CL programs in the paper's concrete syntax.
+
+use crate::cl::*;
+use std::fmt::Write;
+
+fn atom(p: &Program, a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => format!("v{}", v.0),
+        Atom::Int(i) => i.to_string(),
+        Atom::Float(f) => format!("{f:?}"),
+        Atom::Nil => "NULL".to_string(),
+        Atom::Func(f) => p.func(*f).name.clone(),
+    }
+}
+
+fn atoms(p: &Program, xs: &[Atom]) -> String {
+    xs.iter().map(|a| atom(p, a)).collect::<Vec<_>>().join(", ")
+}
+
+fn prim(op: Prim) -> &'static str {
+    match op {
+        Prim::Add => "+",
+        Prim::Sub => "-",
+        Prim::Mul => "*",
+        Prim::Div => "/",
+        Prim::Mod => "%",
+        Prim::Eq => "==",
+        Prim::Ne => "!=",
+        Prim::Lt => "<",
+        Prim::Le => "<=",
+        Prim::Gt => ">",
+        Prim::Ge => ">=",
+        Prim::Not => "!",
+        Prim::Neg => "-",
+    }
+}
+
+fn expr(p: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Atom(a) => atom(p, a),
+        Expr::Prim(op, xs) => match xs.len() {
+            1 => format!("{}{}", prim(*op), atom(p, &xs[0])),
+            2 => format!("{} {} {}", atom(p, &xs[0]), prim(*op), atom(p, &xs[1])),
+            _ => format!("{}({})", prim(*op), atoms(p, xs)),
+        },
+        Expr::Index(x, a) => format!("v{}[{}]", x.0, atom(p, a)),
+    }
+}
+
+fn cmd(p: &Program, c: &Cmd) -> String {
+    match c {
+        Cmd::Nop => "nop".to_string(),
+        Cmd::Assign(d, e) => format!("v{} := {}", d.0, expr(p, e)),
+        Cmd::Store(x, i, v) => format!("v{}[{}] := {}", x.0, atom(p, i), atom(p, v)),
+        Cmd::Modref(d) => format!("v{} := modref()", d.0),
+        Cmd::ModrefKeyed(d, k) => format!("v{} := modref_keyed({})", d.0, atoms(p, k)),
+        Cmd::ModrefInit(x, a) => format!("modref_init(&v{}[{}])", x.0, atom(p, a)),
+        Cmd::Read(d, m) => format!("v{} := read v{}", d.0, m.0),
+        Cmd::Write(m, a) => format!("write v{} {}", m.0, atom(p, a)),
+        Cmd::Alloc { dst, words, init, args } => format!(
+            "v{} := alloc {} {} ({})",
+            dst.0,
+            atom(p, words),
+            p.func(*init).name,
+            atoms(p, args)
+        ),
+        Cmd::Call(f, args) => format!("call {}({})", p.func(*f).name, atoms(p, args)),
+    }
+}
+
+fn jump(p: &Program, j: &Jump) -> String {
+    match j {
+        Jump::Goto(l) => format!("goto L{}", l.0),
+        Jump::Tail(f, args) => format!("tail {}({})", p.func(*f).name, atoms(p, args)),
+    }
+}
+
+/// Renders one function.
+pub fn print_func(p: &Program, f: &Func) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .map(|(t, v)| format!("{t:?} v{}", v.0))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let locals = f
+        .locals
+        .iter()
+        .map(|(t, v)| format!("{t:?} v{}", v.0))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let kw = if f.is_core { "ceal " } else { "" };
+    let _ = writeln!(out, "{kw}{}({params}) {{ {locals};", f.name);
+    for l in f.labels() {
+        let entry = if l == f.entry { " // entry" } else { "" };
+        let body = match f.block(l) {
+            Block::Done => "done".to_string(),
+            Block::Cond(a, j1, j2) => {
+                format!("cond {} [{}] [{}]", atom(p, a), jump(p, j1), jump(p, j2))
+            }
+            Block::Cmd(c, j) => format!("{} ; {}", cmd(p, c), jump(p, j)),
+        };
+        let _ = writeln!(out, "  L{}: {body}{entry}", l.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the whole program.
+pub fn print_program(p: &Program) -> String {
+    p.funcs.iter().map(|f| print_func(p, f)).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FuncBuilder;
+
+    #[test]
+    fn prints_readably() {
+        let mut f = FuncBuilder::new("eval", true);
+        let root = f.param(Ty::ModRef);
+        let t = f.local(Ty::Ptr);
+        let l0 = f.reserve();
+        let l1 = f.reserve_done();
+        f.define(l0, Block::Cmd(Cmd::Read(t, root), Jump::Goto(l1)));
+        let p = Program { funcs: vec![f.finish()] };
+        let s = print_program(&p);
+        assert!(s.contains("ceal eval(ModRef v0)"));
+        assert!(s.contains("v1 := read v0 ; goto L1"));
+        assert!(s.contains("L1: done"));
+    }
+}

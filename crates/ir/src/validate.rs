@@ -1,0 +1,238 @@
+//! Well-formedness checks and the normal-form predicate (§5).
+
+use crate::cl::*;
+
+/// A validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function in which the problem was found.
+    pub func: String,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "in function `{}`: {}", self.func, self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks structural well-formedness: labels in range, variables
+/// declared, referenced functions exist, entry valid.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn validate(p: &Program) -> Result<(), ValidateError> {
+    for func in &p.funcs {
+        let err = |msg: String| ValidateError { func: func.name.clone(), msg };
+        let nblocks = func.blocks.len() as u32;
+        if func.entry.0 >= nblocks {
+            return Err(err(format!("entry {:?} out of range", func.entry)));
+        }
+        let mut declared = vec![false; func.var_count()];
+        for (_, v) in func.params.iter().chain(func.locals.iter()) {
+            if (v.0 as usize) < declared.len() {
+                declared[v.0 as usize] = true;
+            }
+        }
+        let check_var = |v: Var| -> Result<(), ValidateError> {
+            if (v.0 as usize) < declared.len() && declared[v.0 as usize] {
+                Ok(())
+            } else {
+                Err(err(format!("undeclared variable {v:?}")))
+            }
+        };
+        let check_atom = |a: &Atom| -> Result<(), ValidateError> {
+            match a {
+                Atom::Var(v) => check_var(*v),
+                Atom::Func(f) => {
+                    if (f.0 as usize) < p.funcs.len() {
+                        Ok(())
+                    } else {
+                        Err(err(format!("unknown function {f:?}")))
+                    }
+                }
+                _ => Ok(()),
+            }
+        };
+        let check_func = |f: FuncRef| -> Result<(), ValidateError> {
+            if (f.0 as usize) < p.funcs.len() {
+                Ok(())
+            } else {
+                Err(err(format!("unknown function {f:?}")))
+            }
+        };
+        let check_jump = |j: &Jump| -> Result<(), ValidateError> {
+            match j {
+                Jump::Goto(l) => {
+                    if l.0 < nblocks {
+                        Ok(())
+                    } else {
+                        Err(err(format!("goto to unknown label {l:?}")))
+                    }
+                }
+                Jump::Tail(f, args) => {
+                    check_func(*f)?;
+                    for a in args {
+                        check_atom(a)?;
+                    }
+                    Ok(())
+                }
+            }
+        };
+        for b in &func.blocks {
+            match b {
+                Block::Done => {}
+                Block::Cond(a, j1, j2) => {
+                    check_atom(a)?;
+                    check_jump(j1)?;
+                    check_jump(j2)?;
+                }
+                Block::Cmd(c, j) => {
+                    match c {
+                        Cmd::Nop => {}
+                        Cmd::Assign(d, e) => {
+                            check_var(*d)?;
+                            match e {
+                                Expr::Atom(a) => check_atom(a)?,
+                                Expr::Prim(_, xs) => {
+                                    for a in xs {
+                                        check_atom(a)?;
+                                    }
+                                }
+                                Expr::Index(x, a) => {
+                                    check_var(*x)?;
+                                    check_atom(a)?;
+                                }
+                            }
+                        }
+                        Cmd::Store(x, a, v) => {
+                            check_var(*x)?;
+                            check_atom(a)?;
+                            check_atom(v)?;
+                        }
+                        Cmd::Modref(d) => check_var(*d)?,
+                        Cmd::ModrefKeyed(d, k) => {
+                            check_var(*d)?;
+                            for a in k {
+                                check_atom(a)?;
+                            }
+                        }
+                        Cmd::ModrefInit(x, a) => {
+                            check_var(*x)?;
+                            check_atom(a)?;
+                        }
+                        Cmd::Read(d, m) => {
+                            check_var(*d)?;
+                            check_var(*m)?;
+                        }
+                        Cmd::Write(m, a) => {
+                            check_var(*m)?;
+                            check_atom(a)?;
+                        }
+                        Cmd::Alloc { dst, words, init, args } => {
+                            check_var(*dst)?;
+                            check_atom(words)?;
+                            check_func(*init)?;
+                            for a in args {
+                                check_atom(a)?;
+                            }
+                        }
+                        Cmd::Call(f, args) => {
+                            check_func(*f)?;
+                            for a in args {
+                                check_atom(a)?;
+                            }
+                        }
+                    }
+                    check_jump(j)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The normal-form predicate (§5): every read command is in a tail-jump
+/// block, i.e. followed immediately by a tail jump.
+pub fn is_normal(p: &Program) -> bool {
+    p.funcs.iter().all(|f| {
+        f.blocks.iter().all(|b| match b {
+            Block::Cmd(Cmd::Read(..), j) => matches!(j, Jump::Tail(..)),
+            _ => true,
+        })
+    })
+}
+
+/// Lists the read blocks violating normal form (diagnostics).
+pub fn non_normal_reads(p: &Program) -> Vec<(String, Label)> {
+    let mut out = Vec::new();
+    for f in &p.funcs {
+        for l in f.labels() {
+            if let Block::Cmd(Cmd::Read(..), Jump::Goto(_)) = f.block(l) {
+                out.push((f.name.clone(), l));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{FuncBuilder, ProgramBuilder};
+
+    fn sample(normal: bool) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let fr = pb.declare("f");
+        let gr = pb.declare("g");
+        let mut f = FuncBuilder::new("f", true);
+        let m = f.param(Ty::ModRef);
+        let x = f.local(Ty::Int);
+        let l0 = f.reserve();
+        let l1 = f.reserve_done();
+        if normal {
+            f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Tail(gr, vec![Atom::Var(x)])));
+        } else {
+            f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        }
+        pb.define(fr, f.finish());
+        let mut g = FuncBuilder::new("g", true);
+        let _ = g.param(Ty::Int);
+        g.push(Block::Done);
+        pb.define(gr, g.finish());
+        pb.finish()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert_eq!(validate(&sample(true)), Ok(()));
+        assert_eq!(validate(&sample(false)), Ok(()));
+    }
+
+    #[test]
+    fn normal_form_detection() {
+        assert!(is_normal(&sample(true)));
+        assert!(!is_normal(&sample(false)));
+        assert_eq!(non_normal_reads(&sample(false)).len(), 1);
+    }
+
+    #[test]
+    fn detects_bad_label() {
+        let mut f = FuncBuilder::new("f", true);
+        f.push(Block::Cmd(Cmd::Nop, Jump::Goto(Label(9))));
+        let p = Program { funcs: vec![f.finish()] };
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn detects_undeclared_var() {
+        let mut f = FuncBuilder::new("f", true);
+        f.push(Block::Cmd(Cmd::Modref(Var(5)), Jump::Goto(Label(0))));
+        let p = Program { funcs: vec![f.finish()] };
+        assert!(validate(&p).is_err());
+    }
+}

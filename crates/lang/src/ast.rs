@@ -1,0 +1,143 @@
+//! Abstract syntax for the CEAL surface language (§2, Figs. 1–2).
+//!
+//! CEAL is C extended with modifiables: struct definitions, functions
+//! marked `ceal` (core), and C statements/expressions plus the
+//! primitives `modref()`, `modref_keyed(...)`, `read(m)`,
+//! `write(m, v)`, `alloc(n, init, args...)`, `modref_init()` (for
+//! modifiable fields in initializers) and `sizeof(T)`.
+
+/// Surface types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SType {
+    /// `int` (and C's implicit int).
+    Int,
+    /// `float` / `double`.
+    Float,
+    /// `modref_t*`.
+    ModRef,
+    /// `void*` or any unknown pointer.
+    VoidPtr,
+    /// `T*` where `T` is a struct.
+    StructPtr(String),
+    /// `void` (function results only).
+    Void,
+}
+
+/// A struct definition: named word-sized fields.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name (e.g. `node_t`).
+    pub name: String,
+    /// Fields in declaration order; each occupies one word.
+    pub fields: Vec<(SType, String)>,
+    /// Which fields are *modifiable fields* (§10's proposed `mod`
+    /// keyword): reads and writes of these go through the change
+    /// propagation machinery with ordinary field syntax.
+    pub mod_fields: Vec<bool>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum SExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `NULL`.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Binary operation (C operator spelling).
+    Binary(&'static str, Box<SExpr>, Box<SExpr>),
+    /// Unary `!` or `-`.
+    Unary(&'static str, Box<SExpr>),
+    /// `p->field`.
+    Field(Box<SExpr>, String),
+    /// `p[i]` (word indexing).
+    Index(Box<SExpr>, Box<SExpr>),
+    /// Function or primitive call.
+    Call(String, Vec<SExpr>),
+    /// `(T*)e` / `(int)e`: a static cast (no run-time effect).
+    Cast(SType, Box<SExpr>),
+    /// `sizeof(T)`: struct size in words.
+    SizeOf(String),
+}
+
+/// L-values.
+#[derive(Clone, Debug)]
+pub enum SLValue {
+    /// A variable.
+    Var(String),
+    /// `p->field`.
+    Field(SExpr, String),
+    /// `p[i]`.
+    Index(SExpr, SExpr),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum SStmt {
+    /// `T x;` or `T x = e;`
+    Decl(SType, String, Option<SExpr>, u32),
+    /// `lv = e;`
+    Assign(SLValue, SExpr, u32),
+    /// An expression for effect (a call).
+    Expr(SExpr, u32),
+    /// `if (c) s1 else s2`.
+    If(SExpr, Vec<SStmt>, Vec<SStmt>, u32),
+    /// `while (c) s`.
+    While(SExpr, Vec<SStmt>, u32),
+    /// `return;` (core functions return nothing, §2).
+    Return(u32),
+    /// `return e;` — only in value-returning functions, which the
+    /// compiler DPS-converts automatically (§10 "Support for Return
+    /// Values").
+    ReturnValue(SExpr, u32),
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// `true` for `ceal` functions (all functions in core files).
+    pub is_core: bool,
+    /// `true` when the declared return type is a value type: the
+    /// compiler adds a hidden destination modifiable and converts
+    /// `return e` and call sites to destination-passing style (§10).
+    pub returns_value: bool,
+    /// Parameters.
+    pub params: Vec<(SType, String)>,
+    /// Body statements.
+    pub body: Vec<SStmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A parsed CEAL translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct SourceFile {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Function definitions.
+    pub funcs: Vec<FuncDef>,
+}
+
+impl SourceFile {
+    /// Looks up a struct by name.
+    pub fn find_struct(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Field offset (in words) within a struct.
+    pub fn field_offset(&self, sname: &str, fname: &str) -> Option<usize> {
+        self.find_struct(sname)?.fields.iter().position(|(_, f)| f == fname)
+    }
+
+    /// Struct size in words.
+    pub fn struct_words(&self, sname: &str) -> Option<usize> {
+        self.find_struct(sname).map(|s| s.fields.len())
+    }
+}

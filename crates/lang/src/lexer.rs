@@ -1,0 +1,228 @@
+//! Lexer for the CEAL surface language (§2): C syntax with the `ceal`
+//! keyword and the modifiable primitives as ordinary identifiers.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operators.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error messages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Source line number.
+    pub line: u32,
+}
+
+/// Lexing errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "->", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", "[", "]", ";", ",", "=", "<",
+    ">", "+", "-", "*", "/", "%", "!", ".",
+];
+
+/// Tokenizes CEAL source. Supports `//` and `/* */` comments and `#`
+/// preprocessor-style lines (ignored to keep sources C-flavored).
+///
+/// # Errors
+///
+/// Fails on unterminated comments and unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    'outer: while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments and preprocessor lines.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'#' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start_line = line;
+            i += 2;
+            while i + 1 < b.len() {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                if b[i] == b'*' && b[i + 1] == b'/' {
+                    i += 2;
+                    continue 'outer;
+                }
+                i += 1;
+            }
+            return Err(LexError { msg: "unterminated comment".into(), line: start_line });
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                is_float = true;
+                i += 1;
+                if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                    i += 1;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| LexError {
+                    msg: format!("bad float literal `{text}`"),
+                    line,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| LexError {
+                    msg: format!("bad integer literal `{text}`"),
+                    line,
+                })?)
+            };
+            out.push(Token { tok, line });
+            continue;
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        // Punctuation (longest match first).
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Token { tok: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError { msg: format!("unexpected character `{}`", c as char), line });
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_core_snippet() {
+        let toks = kinds("ceal eval(modref_t* root) { node_t* t = read(root); }");
+        assert_eq!(toks[0], Tok::Ident("ceal".into()));
+        assert!(toks.contains(&Tok::Punct("*")));
+        assert!(toks.contains(&Tok::Ident("read".into())));
+        assert_eq!(*toks.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn numbers_and_arrows() {
+        let toks = kinds("t->num 42 3.5 1e3");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("t".into()),
+                Tok::Punct("->"),
+                Tok::Ident("num".into()),
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1e3),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // x\n/* multi\nline */ b\n#include <x>\nc").unwrap();
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 5)]);
+    }
+
+    #[test]
+    fn bad_char_is_an_error() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

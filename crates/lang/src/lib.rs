@@ -1,0 +1,75 @@
+//! # ceal-lang — the CEAL surface language (§2)
+//!
+//! A C-like language with modifiable references: struct definitions,
+//! `ceal`-marked core functions, and the primitives `modref()`,
+//! `read(m)`, `write(m, v)`, `alloc(n, init, args...)` and
+//! `modref_init()` for modifiable fields. `parse` + `lower` take CEAL
+//! source to CL (§4.3), ready for `ceal-compiler`.
+//!
+//! ```
+//! let src = r#"
+//!     ceal copy(modref_t* m, modref_t* d) {
+//!         int x = (int) read(m);
+//!         write(d, x);
+//!         return;
+//!     }
+//! "#;
+//! let ast = ceal_lang::parser::parse(src).unwrap();
+//! let (cl, names) = ceal_lang::lower::lower(&ast).unwrap();
+//! assert!(names.contains_key("copy"));
+//! assert_eq!(cl.funcs.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use lower::{lower, LowerError};
+pub use parser::{parse, ParseError};
+
+/// Convenience: parse and lower in one step.
+///
+/// # Errors
+///
+/// Returns the parse or lowering error message with its line number.
+pub fn frontend(
+    src: &str,
+) -> Result<(ceal_ir::cl::Program, std::collections::HashMap<String, ceal_ir::cl::FuncRef>), String>
+{
+    let ast = parse(src).map_err(|e| e.to_string())?;
+    lower(&ast).map_err(|e| e.to_string())
+}
+
+/// The benchmark sources of §8.5 (Table 3), embedded in the crate.
+pub mod benchmarks {
+    /// Expression trees (Figs. 1–2).
+    pub const EXPTREES: &str = include_str!("../benchmarks/exptrees.ceal");
+    /// List primitives: map, filter, reverse.
+    pub const LIST: &str = include_str!("../benchmarks/list.ceal");
+    /// Mergesort.
+    pub const MERGESORT: &str = include_str!("../benchmarks/mergesort.ceal");
+    /// Quicksort.
+    pub const QUICKSORT: &str = include_str!("../benchmarks/quicksort.ceal");
+    /// Quickhull.
+    pub const QUICKHULL: &str = include_str!("../benchmarks/quickhull.ceal");
+    /// Tree contraction.
+    pub const TCON: &str = include_str!("../benchmarks/tcon.ceal");
+    /// The combined test driver.
+    pub const DRIVER: &str = include_str!("../benchmarks/driver.ceal");
+
+    /// All Table 3 programs with the paper's row names.
+    pub fn all() -> [(&'static str, &'static str); 7] {
+        [
+            ("Expression trees", EXPTREES),
+            ("List primitives", LIST),
+            ("Mergesort", MERGESORT),
+            ("Quicksort", QUICKSORT),
+            ("Quickhull", QUICKHULL),
+            ("Tree contraction", TCON),
+            ("Test Driver", DRIVER),
+        ]
+    }
+}

@@ -1,0 +1,729 @@
+//! Lowering CEAL to CL (§4.3): replace structured control flow with
+//! blocks and gotos, statements with command blocks, `return` with
+//! `done`, and struct field accesses with word-indexed loads/stores.
+
+use std::collections::HashMap;
+
+use ceal_ir::cl::{Atom, Block, Cmd, Expr, FuncRef, Jump, Label, Prim, Program, Ty, Var};
+
+use crate::ast::*;
+
+/// Lowering errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerError {
+    /// Description.
+    pub msg: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+type LResult<T> = Result<T, LowerError>;
+
+fn cl_ty(t: &SType) -> Ty {
+    match t {
+        SType::Int => Ty::Int,
+        SType::Float => Ty::Float,
+        SType::ModRef => Ty::ModRef,
+        SType::VoidPtr | SType::StructPtr(_) | SType::Void => Ty::Ptr,
+    }
+}
+
+/// Lowers a parsed source file to CL. Returns the program and the map
+/// from function names to references.
+///
+/// # Errors
+///
+/// Reports unknown names, bad field accesses, arity mismatches and
+/// misused primitives, with source lines.
+pub fn lower(sf: &SourceFile) -> LResult<(Program, HashMap<String, FuncRef>)> {
+    let mut names = HashMap::new();
+    for (i, f) in sf.funcs.iter().enumerate() {
+        if names.insert(f.name.clone(), FuncRef(i as u32)).is_some() {
+            return Err(LowerError {
+                msg: format!("function `{}` defined twice", f.name),
+                line: f.line,
+            });
+        }
+    }
+    let mut funcs = Vec::with_capacity(sf.funcs.len());
+    for f in sf.funcs.iter() {
+        funcs.push(FnLower::new(sf, &names, f).run()?);
+    }
+    Ok((Program { funcs }, names))
+}
+
+struct FnLower<'a> {
+    sf: &'a SourceFile,
+    names: &'a HashMap<String, FuncRef>,
+    src: &'a FuncDef,
+    vars: HashMap<String, (Var, SType)>,
+    params: Vec<(Ty, Var)>,
+    locals: Vec<(Ty, Var)>,
+    next_var: u32,
+    blocks: Vec<Option<Block>>,
+    /// The currently open (reserved, undefined) block.
+    cur: Label,
+    /// §10 automatic DPS: the hidden destination modifiable for
+    /// value-returning functions.
+    ret_dest: Option<Var>,
+    /// Per-function counter giving each DPS call site a distinct
+    /// allocation key.
+    dps_sites: i64,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(sf: &'a SourceFile, names: &'a HashMap<String, FuncRef>, src: &'a FuncDef) -> Self {
+        let mut me = FnLower {
+            sf,
+            names,
+            src,
+            vars: HashMap::new(),
+            params: Vec::new(),
+            locals: Vec::new(),
+            next_var: 0,
+            blocks: Vec::new(),
+            cur: Label(0),
+            ret_dest: None,
+            dps_sites: 0,
+        };
+        me.cur = me.reserve();
+        me
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> LResult<T> {
+        Err(LowerError { msg: msg.into(), line })
+    }
+
+    fn reserve(&mut self) -> Label {
+        self.blocks.push(None);
+        Label((self.blocks.len() - 1) as u32)
+    }
+
+    fn define(&mut self, l: Label, b: Block) {
+        debug_assert!(self.blocks[l.0 as usize].is_none());
+        self.blocks[l.0 as usize] = Some(b);
+    }
+
+    /// Appends command `c` to the open chain.
+    fn emit(&mut self, c: Cmd) {
+        let next = self.reserve();
+        let cur = self.cur;
+        self.define(cur, Block::Cmd(c, Jump::Goto(next)));
+        self.cur = next;
+    }
+
+    fn fresh(&mut self, ty: SType) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        self.locals.push((cl_ty(&ty), v));
+        v
+    }
+
+    fn declare(&mut self, name: &str, ty: SType, line: u32, is_param: bool) -> LResult<Var> {
+        if is_param && self.vars.contains_key(name) {
+            return self.err(line, format!("parameter `{name}` already declared"));
+        }
+        // Locals may shadow outer declarations (C block scoping); the
+        // scoped-statement helpers restore the outer binding.
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        if is_param {
+            self.params.push((cl_ty(&ty), v));
+        } else {
+            self.locals.push((cl_ty(&ty), v));
+        }
+        self.vars.insert(name.to_string(), (v, ty));
+        Ok(v)
+    }
+
+    fn run(mut self) -> LResult<ceal_ir::cl::Func> {
+        for (ty, name) in &self.src.params {
+            self.declare(name, ty.clone(), self.src.line, true)?;
+        }
+        if self.src.returns_value {
+            // Hidden destination parameter (the DPS conversion of §10).
+            let v = Var(self.next_var);
+            self.next_var += 1;
+            self.params.push((Ty::ModRef, v));
+            self.ret_dest = Some(v);
+        }
+        let body = self.src.body.clone();
+        self.stmts(&body)?;
+        // Fall off the end: done.
+        let cur = self.cur;
+        self.define(cur, Block::Done);
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .map(|b| b.expect("all reserved blocks are defined"))
+            .collect();
+        let mut func = ceal_ir::cl::Func {
+            name: self.src.name.clone(),
+            params: self.params,
+            locals: self.locals,
+            blocks,
+            entry: Label(0),
+            is_core: self.src.is_core,
+        };
+        peephole_tail_calls(&mut func);
+        Ok(func)
+    }
+
+    fn stmts(&mut self, ss: &[SStmt]) -> LResult<()> {
+        for s in ss {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    /// Lowers a nested statement list with C block scoping: bindings
+    /// declared inside do not escape.
+    fn scoped_stmts(&mut self, ss: &[SStmt]) -> LResult<()> {
+        let saved = self.vars.clone();
+        self.stmts(ss)?;
+        self.vars = saved;
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &SStmt) -> LResult<()> {
+        match s {
+            SStmt::Decl(ty, name, init, line) => {
+                let init_atom = match init {
+                    Some(e) => Some(self.expr(e, *line)?.0),
+                    None => None,
+                };
+                let v = self.declare(name, ty.clone(), *line, false)?;
+                if let Some(a) = init_atom {
+                    self.emit(Cmd::Assign(v, Expr::Atom(a)));
+                }
+                Ok(())
+            }
+            SStmt::Assign(lv, rhs, line) => self.assign(lv, rhs, *line),
+            SStmt::Expr(e, line) => {
+                match e {
+                    SExpr::Call(..) => {
+                        let _ = self.expr(e, *line)?;
+                        Ok(())
+                    }
+                    _ => self.err(*line, "expression statement has no effect"),
+                }
+            }
+            SStmt::If(c, then_b, else_b, line) => {
+                let (ca, _) = self.expr(c, *line)?;
+                let then_l = self.reserve();
+                let else_l = self.reserve();
+                let join = self.reserve();
+                let cur = self.cur;
+                self.define(
+                    cur,
+                    Block::Cond(ca, Jump::Goto(then_l), Jump::Goto(else_l)),
+                );
+                self.cur = then_l;
+                self.scoped_stmts(then_b)?;
+                let end_then = self.cur;
+                self.define(end_then, Block::Cmd(Cmd::Nop, Jump::Goto(join)));
+                self.cur = else_l;
+                self.scoped_stmts(else_b)?;
+                let end_else = self.cur;
+                self.define(end_else, Block::Cmd(Cmd::Nop, Jump::Goto(join)));
+                self.cur = join;
+                Ok(())
+            }
+            SStmt::While(c, body, line) => {
+                let head = self.reserve();
+                let cur = self.cur;
+                self.define(cur, Block::Cmd(Cmd::Nop, Jump::Goto(head)));
+                self.cur = head;
+                // The condition may itself lower to commands (e.g. a
+                // read); re-evaluate it each iteration from `head`.
+                let (ca, _) = self.expr(c, *line)?;
+                let body_l = self.reserve();
+                let exit = self.reserve();
+                let cond_end = self.cur;
+                self.define(
+                    cond_end,
+                    Block::Cond(ca, Jump::Goto(body_l), Jump::Goto(exit)),
+                );
+                self.cur = body_l;
+                self.scoped_stmts(body)?;
+                let body_end = self.cur;
+                self.define(body_end, Block::Cmd(Cmd::Nop, Jump::Goto(head)));
+                self.cur = exit;
+                Ok(())
+            }
+            SStmt::Return(line) => {
+                if self.src.returns_value {
+                    return self.err(*line, "value-returning function must `return expr;`");
+                }
+                let cur = self.cur;
+                self.define(cur, Block::Done);
+                // Anything after `return` in this chain is unreachable;
+                // give it a fresh (dropped) chain.
+                self.cur = self.reserve();
+                Ok(())
+            }
+            SStmt::ReturnValue(e, line) => {
+                let Some(dest) = self.ret_dest else {
+                    return self.err(
+                        *line,
+                        "core (`ceal`/void) functions cannot return values (§2); \
+                         declare a value return type to opt into DPS conversion",
+                    );
+                };
+                let (a, _) = self.expr(e, *line)?;
+                self.emit(Cmd::Write(dest, a));
+                let cur = self.cur;
+                self.define(cur, Block::Done);
+                self.cur = self.reserve();
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, lv: &SLValue, rhs: &SExpr, line: u32) -> LResult<()> {
+        // Special form: field/slot initialized as a modifiable.
+        let is_modref_init =
+            matches!(rhs, SExpr::Call(n, args) if n == "modref_init" && args.is_empty());
+        match lv {
+            SLValue::Var(name) => {
+                if is_modref_init {
+                    return self.err(line, "modref_init() initializes struct fields; use \
+                                           modref() for standalone modifiables");
+                }
+                let (a, _) = self.expr(rhs, line)?;
+                let (v, _) = self.lookup(name, line)?;
+                self.emit(Cmd::Assign(v, Expr::Atom(a)));
+                Ok(())
+            }
+            SLValue::Field(p, fname) => {
+                let (pa, pty) = self.expr(p, line)?;
+                let pv = self.as_var(pa, &pty, line)?;
+                let off = self.field_off(&pty, fname, line)?;
+                if is_modref_init {
+                    self.emit(Cmd::ModrefInit(pv, Atom::Int(off as i64)));
+                } else if self.field_is_mod(&pty, fname) {
+                    // §10 modifiable field: assignment is an implicit
+                    // write through the slot's modifiable.
+                    let (ra, _) = self.expr(rhs, line)?;
+                    let mv = self.fresh(SType::ModRef);
+                    self.emit(Cmd::Assign(mv, Expr::Index(pv, Atom::Int(off as i64))));
+                    self.emit(Cmd::Write(mv, ra));
+                } else {
+                    let (ra, _) = self.expr(rhs, line)?;
+                    self.emit(Cmd::Store(pv, Atom::Int(off as i64), ra));
+                }
+                Ok(())
+            }
+            SLValue::Index(p, i) => {
+                let (pa, pty) = self.expr(p, line)?;
+                let pv = self.as_var(pa, &pty, line)?;
+                let (ia, _) = self.expr(i, line)?;
+                if is_modref_init {
+                    self.emit(Cmd::ModrefInit(pv, ia));
+                } else {
+                    let (ra, _) = self.expr(rhs, line)?;
+                    self.emit(Cmd::Store(pv, ia, ra));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str, line: u32) -> LResult<(Var, SType)> {
+        self.vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LowerError { msg: format!("unknown variable `{name}`"), line })
+    }
+
+    fn field_is_mod(&self, pty: &SType, fname: &str) -> bool {
+        if let SType::StructPtr(sname) = pty {
+            if let Some(sd) = self.sf.find_struct(sname) {
+                if let Some(i) = sd.fields.iter().position(|(_, f)| f == fname) {
+                    return sd.mod_fields.get(i).copied().unwrap_or(false);
+                }
+            }
+        }
+        false
+    }
+
+    fn field_off(&self, pty: &SType, fname: &str, line: u32) -> LResult<usize> {
+        match pty {
+            SType::StructPtr(s) => self.sf.field_offset(s, fname).ok_or_else(|| LowerError {
+                msg: format!("struct `{s}` has no field `{fname}`"),
+                line,
+            }),
+            other => Err(LowerError {
+                msg: format!("`->{fname}` on non-struct-pointer {other:?}"),
+                line,
+            }),
+        }
+    }
+
+    fn field_ty(&self, pty: &SType, fname: &str, line: u32) -> LResult<SType> {
+        match pty {
+            SType::StructPtr(s) => self
+                .sf
+                .find_struct(s)
+                .and_then(|sd| sd.fields.iter().find(|(_, f)| f == fname))
+                .map(|(t, _)| t.clone())
+                .ok_or_else(|| LowerError {
+                    msg: format!("struct `{s}` has no field `{fname}`"),
+                    line,
+                }),
+            other => Err(LowerError {
+                msg: format!("`->{fname}` on non-struct-pointer {other:?}"),
+                line,
+            }),
+        }
+    }
+
+    /// Materializes an atom into a variable (for commands that require
+    /// variable operands, like `read`).
+    fn as_var(&mut self, a: Atom, ty: &SType, line: u32) -> LResult<Var> {
+        match a {
+            Atom::Var(v) => Ok(v),
+            Atom::Nil => self.err(line, "NULL used where a variable is required"),
+            other => {
+                let v = self.fresh(ty.clone());
+                self.emit(Cmd::Assign(v, Expr::Atom(other)));
+                Ok(v)
+            }
+        }
+    }
+
+    /// Lowers an expression to an atom, emitting commands for its
+    /// effects; returns the atom and its static type.
+    fn expr(&mut self, e: &SExpr, line: u32) -> LResult<(Atom, SType)> {
+        match e {
+            SExpr::Int(i) => Ok((Atom::Int(*i), SType::Int)),
+            SExpr::Float(f) => Ok((Atom::Float(*f), SType::Float)),
+            SExpr::Null => Ok((Atom::Nil, SType::VoidPtr)),
+            SExpr::Var(name) => {
+                if let Some((v, t)) = self.vars.get(name) {
+                    Ok((Atom::Var(*v), t.clone()))
+                } else if let Some(f) = self.names.get(name) {
+                    Ok((Atom::Func(*f), SType::VoidPtr))
+                } else {
+                    self.err(line, format!("unknown variable `{name}`"))
+                }
+            }
+            SExpr::Cast(ty, inner) => {
+                let (a, _) = self.expr(inner, line)?;
+                Ok((a, ty.clone()))
+            }
+            SExpr::SizeOf(s) => {
+                let words = self.sf.struct_words(s).ok_or_else(|| LowerError {
+                    msg: format!("sizeof of unknown struct `{s}`"),
+                    line,
+                })?;
+                Ok((Atom::Int(words as i64), SType::Int))
+            }
+            SExpr::Field(p, fname) => {
+                let (pa, pty) = self.expr(p, line)?;
+                let pv = self.as_var(pa, &pty, line)?;
+                let off = self.field_off(&pty, fname, line)?;
+                let fty = self.field_ty(&pty, fname, line)?;
+                let tmp = self.fresh(fty.clone());
+                self.emit(Cmd::Assign(tmp, Expr::Index(pv, Atom::Int(off as i64))));
+                if self.field_is_mod(&pty, fname) {
+                    // §10 modifiable field: the slot holds a modifiable;
+                    // field access is an implicit read.
+                    let out = self.fresh(fty.clone());
+                    self.emit(Cmd::Read(out, tmp));
+                    return Ok((Atom::Var(out), fty));
+                }
+                Ok((Atom::Var(tmp), fty))
+            }
+            SExpr::Index(p, i) => {
+                let (pa, pty) = self.expr(p, line)?;
+                let pv = self.as_var(pa, &pty, line)?;
+                let (ia, _) = self.expr(i, line)?;
+                let tmp = self.fresh(SType::VoidPtr);
+                self.emit(Cmd::Assign(tmp, Expr::Index(pv, ia)));
+                Ok((Atom::Var(tmp), SType::VoidPtr))
+            }
+            SExpr::Unary(op, inner) => {
+                let (a, t) = self.expr(inner, line)?;
+                let prim = match *op {
+                    "!" => Prim::Not,
+                    "-" => Prim::Neg,
+                    other => return self.err(line, format!("unknown unary `{other}`")),
+                };
+                let tmp = self.fresh(t.clone());
+                self.emit(Cmd::Assign(tmp, Expr::Prim(prim, vec![a])));
+                Ok((Atom::Var(tmp), t))
+            }
+            SExpr::Binary(op, l, r) => self.binary(op, l, r, line),
+            SExpr::Call(name, args) => self.call(name, args, line),
+        }
+    }
+
+    fn binary(&mut self, op: &str, l: &SExpr, r: &SExpr, line: u32) -> LResult<(Atom, SType)> {
+        // Short-circuit operators lower to control flow.
+        if op == "&&" || op == "||" {
+            let out = self.fresh(SType::Int);
+            let (la, _) = self.expr(l, line)?;
+            let rhs_l = self.reserve();
+            let short_l = self.reserve();
+            let join = self.reserve();
+            let cur = self.cur;
+            if op == "&&" {
+                self.define(cur, Block::Cond(la, Jump::Goto(rhs_l), Jump::Goto(short_l)));
+            } else {
+                self.define(cur, Block::Cond(la, Jump::Goto(short_l), Jump::Goto(rhs_l)));
+            }
+            // Short arm: the result is 0 for &&, 1 for ||.
+            self.cur = short_l;
+            let short_val = if op == "&&" { 0 } else { 1 };
+            self.emit(Cmd::Assign(out, Expr::Atom(Atom::Int(short_val))));
+            let end_short = self.cur;
+            self.define(end_short, Block::Cmd(Cmd::Nop, Jump::Goto(join)));
+            // RHS arm: result is rhs != 0.
+            self.cur = rhs_l;
+            let (ra, _) = self.expr(r, line)?;
+            self.emit(Cmd::Assign(out, Expr::Prim(Prim::Ne, vec![ra, Atom::Int(0)])));
+            let end_rhs = self.cur;
+            self.define(end_rhs, Block::Cmd(Cmd::Nop, Jump::Goto(join)));
+            self.cur = join;
+            return Ok((Atom::Var(out), SType::Int));
+        }
+        let (la, lt) = self.expr(l, line)?;
+        let (ra, _) = self.expr(r, line)?;
+        let prim = match op {
+            "+" => Prim::Add,
+            "-" => Prim::Sub,
+            "*" => Prim::Mul,
+            "/" => Prim::Div,
+            "%" => Prim::Mod,
+            "==" => Prim::Eq,
+            "!=" => Prim::Ne,
+            "<" => Prim::Lt,
+            "<=" => Prim::Le,
+            ">" => Prim::Gt,
+            ">=" => Prim::Ge,
+            other => return self.err(line, format!("unknown operator `{other}`")),
+        };
+        let rty = match prim {
+            Prim::Add | Prim::Sub | Prim::Mul | Prim::Div | Prim::Mod => lt,
+            _ => SType::Int,
+        };
+        let tmp = self.fresh(rty.clone());
+        self.emit(Cmd::Assign(tmp, Expr::Prim(prim, vec![la, ra])));
+        Ok((Atom::Var(tmp), rty))
+    }
+
+    fn call(&mut self, name: &str, args: &[SExpr], line: u32) -> LResult<(Atom, SType)> {
+        match name {
+            "read" => {
+                let [m] = args else {
+                    return self.err(line, "read takes one modifiable");
+                };
+                let (ma, mt) = self.expr(m, line)?;
+                let mv = self.as_var(ma, &mt, line)?;
+                let tmp = self.fresh(SType::VoidPtr);
+                self.emit(Cmd::Read(tmp, mv));
+                Ok((Atom::Var(tmp), SType::VoidPtr))
+            }
+            "write" => {
+                let [m, v] = args else {
+                    return self.err(line, "write takes a modifiable and a value");
+                };
+                let (ma, mt) = self.expr(m, line)?;
+                let mv = self.as_var(ma, &mt, line)?;
+                let (va, _) = self.expr(v, line)?;
+                self.emit(Cmd::Write(mv, va));
+                Ok((Atom::Nil, SType::Void))
+            }
+            "modref" => {
+                if !args.is_empty() {
+                    return self.err(line, "modref takes no arguments (use modref_keyed)");
+                }
+                let tmp = self.fresh(SType::ModRef);
+                self.emit(Cmd::Modref(tmp));
+                Ok((Atom::Var(tmp), SType::ModRef))
+            }
+            "modref_keyed" => {
+                let mut key = Vec::new();
+                for a in args {
+                    key.push(self.expr(a, line)?.0);
+                }
+                let tmp = self.fresh(SType::ModRef);
+                self.emit(Cmd::ModrefKeyed(tmp, key));
+                Ok((Atom::Var(tmp), SType::ModRef))
+            }
+            "modref_init" => {
+                self.err(line, "modref_init() may only appear as `p->field = modref_init();`")
+            }
+            "alloc" => {
+                if args.len() < 2 {
+                    return self.err(line, "alloc takes (words, initializer, args...)");
+                }
+                let (wa, _) = self.expr(&args[0], line)?;
+                let init = match &args[1] {
+                    SExpr::Var(n) => *self.names.get(n).ok_or_else(|| LowerError {
+                        msg: format!("unknown initializer `{n}`"),
+                        line,
+                    })?,
+                    _ => return self.err(line, "alloc initializer must be a function name"),
+                };
+                if self.sf.funcs[init.0 as usize].returns_value {
+                    return self.err(
+                        line,
+                        "alloc initializers cannot return values (they may not read \
+                         or write modifiables, §4.2)",
+                    );
+                }
+                let mut rest = Vec::new();
+                for a in &args[2..] {
+                    rest.push(self.expr(a, line)?.0);
+                }
+                let tmp = self.fresh(SType::VoidPtr);
+                self.emit(Cmd::Alloc { dst: tmp, words: wa, init, args: rest });
+                Ok((Atom::Var(tmp), SType::VoidPtr))
+            }
+            _ => {
+                let f = *self.names.get(name).ok_or_else(|| LowerError {
+                    msg: format!("unknown function `{name}`"),
+                    line,
+                })?;
+                let callee = &self.sf.funcs[f.0 as usize];
+                let want = callee.params.len();
+                let callee_returns = callee.returns_value;
+                if args.len() != want {
+                    return self.err(
+                        line,
+                        format!("`{name}` takes {want} arguments, got {}", args.len()),
+                    );
+                }
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(self.expr(a, line)?.0);
+                }
+                if callee_returns {
+                    // §10 automatic DPS conversion of the call site:
+                    //   x = f(a);  ==>  m := modref_keyed(site);
+                    //                   call f(a, m); x := read m
+                    self.dps_sites += 1;
+                    let site = self.dps_sites;
+                    let m = self.fresh(SType::ModRef);
+                    let mut key = vec![Atom::Int(site)];
+                    key.extend(vals.iter().copied());
+                    self.emit(Cmd::ModrefKeyed(m, key));
+                    vals.push(Atom::Var(m));
+                    self.emit(Cmd::Call(f, vals));
+                    let out = self.fresh(SType::VoidPtr);
+                    self.emit(Cmd::Read(out, m));
+                    Ok((Atom::Var(out), SType::VoidPtr))
+                } else {
+                    self.emit(Cmd::Call(f, vals));
+                    Ok((Atom::Nil, SType::Void))
+                }
+            }
+        }
+    }
+}
+
+/// Replaces `call f(x); goto l` where `l: done` with `nop; tail f(x)`:
+/// source-level tail calls become CL tail jumps, as the paper's
+/// examples assume (Fig. 2's recursive eval).
+fn peephole_tail_calls(f: &mut ceal_ir::cl::Func) {
+    let dones: Vec<bool> = f.blocks.iter().map(|b| matches!(b, Block::Done)).collect();
+    for b in &mut f.blocks {
+        if let Block::Cmd(Cmd::Call(g, args), Jump::Goto(l)) = b {
+            if dones[l.0 as usize] {
+                let (g, args) = (*g, std::mem::take(args));
+                *b = Block::Cmd(Cmd::Nop, Jump::Tail(g, args));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use ceal_ir::validate::validate;
+
+    const EVAL: &str = r#"
+    struct node { int kind; int op; modref_t* left; modref_t* right; };
+    struct leaf { int kind; int num; };
+
+    ceal eval(modref_t* root, modref_t* res) {
+        node* t = (node*) read(root);
+        if (t->kind == 0) {
+            leaf* l = (leaf*) t;
+            write(res, l->num);
+        } else {
+            modref_t* ma = modref();
+            modref_t* mb = modref();
+            eval(t->left, ma);
+            eval(t->right, mb);
+            int a = (int) read(ma);
+            int b = (int) read(mb);
+            if (t->op == 0) { write(res, a + b); } else { write(res, a - b); }
+        }
+        return;
+    }
+    "#;
+
+    #[test]
+    fn lowers_eval() {
+        let sf = parse(EVAL).unwrap();
+        let (p, names) = lower(&sf).unwrap();
+        validate(&p).unwrap();
+        assert!(names.contains_key("eval"));
+        let f = &p.funcs[0];
+        assert!(f.is_core);
+        // Contains reads, writes, calls, a conditional.
+        let has = |pred: &dyn Fn(&Block) -> bool| f.blocks.iter().any(|b| pred(b));
+        assert!(has(&|b| matches!(b, Block::Cmd(Cmd::Read(..), _))));
+        assert!(has(&|b| matches!(b, Block::Cmd(Cmd::Write(..), _))));
+        assert!(has(&|b| matches!(b, Block::Cmd(Cmd::Call(..), _))));
+        assert!(has(&|b| matches!(b, Block::Cond(..))));
+    }
+
+    #[test]
+    fn lowers_while_and_shortcircuit() {
+        let src = "ceal f(modref_t* m) { int i = 10; int s = 0; \
+                   while (i > 0 && s < 100) { s = s + i; i = i - 1; } \
+                   write(m, s); return; }";
+        let sf = parse(src).unwrap();
+        let (p, _) = lower(&sf).unwrap();
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let sf = parse("ceal f() { write(q, 1); return; }").unwrap();
+        let e = lower(&sf).unwrap_err();
+        assert!(e.msg.contains("unknown variable `q`"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let sf = parse("ceal g(int a) { return; } ceal f() { g(); return; }").unwrap();
+        assert!(lower(&sf).is_err());
+    }
+
+    #[test]
+    fn modref_init_field_form() {
+        let src = "struct cell { int data; modref_t* next; }\n\
+                   void init_cell(cell* c, int d) { c->data = d; c->next = modref_init(); }";
+        let sf = parse(src).unwrap();
+        let (p, _) = lower(&sf).unwrap();
+        validate(&p).unwrap();
+        assert!(p.funcs[0]
+            .blocks
+            .iter()
+            .any(|b| matches!(b, Block::Cmd(Cmd::ModrefInit(..), _))));
+    }
+}

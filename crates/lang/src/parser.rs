@@ -1,0 +1,562 @@
+//! Recursive-descent parser for CEAL (C-like syntax, §2).
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// Parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.msg, line: e.line }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    struct_names: Vec<String>,
+}
+
+/// Parses a CEAL translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic problem with its line number.
+pub fn parse(src: &str) -> PResult<SourceFile> {
+    let toks = lex(src)?;
+    // Pre-scan struct names so casts and declarations can be
+    // distinguished from expressions.
+    let mut struct_names = Vec::new();
+    for w in toks.windows(2) {
+        if w[0].tok == Tok::Ident("struct".into()) {
+            if let Tok::Ident(n) = &w[1].tok {
+                struct_names.push(n.clone());
+            }
+        }
+        // `typedef struct {...} name_t;` style is not supported; use
+        // `struct name { ... };` and refer to it as `name*`.
+    }
+    let mut p = Parser { toks, pos: 0, struct_names };
+    p.source_file()
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(x) if *x == p)
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.at_punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other}"))
+            }
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(s) => {
+                matches!(s.as_str(), "int" | "long" | "float" | "double" | "void" | "modref_t")
+                    || self.struct_names.iter().any(|n| n == s)
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_type(&mut self) -> PResult<SType> {
+        let name = self.ident()?;
+        let mut stars = 0;
+        while self.eat_punct("*") {
+            stars += 1;
+        }
+        let ty = match (name.as_str(), stars) {
+            ("int" | "long", 0) => SType::Int,
+            ("float" | "double", 0) => SType::Float,
+            ("modref_t", 1) => SType::ModRef,
+            ("void", 0) => SType::Void,
+            ("void", _) => SType::VoidPtr,
+            ("int" | "long" | "float" | "double", _) => SType::VoidPtr,
+            (s, n) if n >= 1 && self.struct_names.iter().any(|x| x == s) => {
+                SType::StructPtr(s.to_string())
+            }
+            (s, 0) if self.struct_names.iter().any(|x| x == s) => {
+                return self.err(format!("struct `{s}` must be used through a pointer"))
+            }
+            (s, _) => return self.err(format!("unknown type `{s}`")),
+        };
+        Ok(ty)
+    }
+
+    fn source_file(&mut self) -> PResult<SourceFile> {
+        let mut out = SourceFile::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "struct" => {
+                    out.structs.push(self.struct_def()?);
+                }
+                Tok::Ident(_) => {
+                    out.funcs.push(self.func_def()?);
+                }
+                other => return self.err(format!("expected item, found {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn struct_def(&mut self) -> PResult<StructDef> {
+        let line = self.line();
+        let kw = self.ident()?;
+        debug_assert_eq!(kw, "struct");
+        let name = self.ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        let mut mod_fields = Vec::new();
+        while !self.eat_punct("}") {
+            // §10's modifiable fields: `mod int num;`
+            let is_mod = if let Tok::Ident(s) = self.peek() {
+                if s == "mod" {
+                    self.bump();
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            let ty = self.parse_type()?;
+            let fname = self.ident()?;
+            self.expect_punct(";")?;
+            fields.push((ty, fname));
+            mod_fields.push(is_mod);
+        }
+        self.eat_punct(";");
+        Ok(StructDef { name, fields, mod_fields, line })
+    }
+
+    fn func_def(&mut self) -> PResult<FuncDef> {
+        let line = self.line();
+        // Return type: `ceal` or `void` return nothing (§2); a value
+        // type opts into the automatic DPS conversion of §10.
+        let (is_core, returns_value) = match self.peek() {
+            Tok::Ident(s) if s == "ceal" => {
+                self.bump();
+                (true, false)
+            }
+            _ => {
+                let ty = self.parse_type()?;
+                let rv = matches!(ty, SType::Int | SType::Float)
+                    || matches!(ty, SType::StructPtr(_) | SType::VoidPtr | SType::ModRef);
+                (true, rv) // all functions in a CEAL core file are core
+            }
+        };
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDef { name, is_core, returns_value, params, body, line })
+    }
+
+    fn block(&mut self) -> PResult<Vec<SStmt>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt_or_block(&mut self) -> PResult<Vec<SStmt>> {
+        if self.at_punct("{") {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<SStmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "if" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let c = self.expr()?;
+                self.expect_punct(")")?;
+                let then_b = self.stmt_or_block()?;
+                let else_b = if self.peek() == &Tok::Ident("else".into()) {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(SStmt::If(c, then_b, else_b, line))
+            }
+            Tok::Ident(s) if s == "while" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let c = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.stmt_or_block()?;
+                Ok(SStmt::While(c, body, line))
+            }
+            Tok::Ident(s) if s == "return" => {
+                self.bump();
+                if self.eat_punct(";") {
+                    Ok(SStmt::Return(line))
+                } else {
+                    // §10 automatic DPS: value returns are allowed and
+                    // converted; the lowering rejects them in `ceal`
+                    // (void) functions.
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(SStmt::ReturnValue(e, line))
+                }
+            }
+            _ if self.is_type_start() && matches!(self.peek2(), Tok::Ident(_) | Tok::Punct("*")) => {
+                // Declaration.
+                let ty = self.parse_type()?;
+                let name = self.ident()?;
+                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                self.expect_punct(";")?;
+                Ok(SStmt::Decl(ty, name, init, line))
+            }
+            _ => {
+                // Assignment or expression statement.
+                let e = self.expr()?;
+                if self.eat_punct("=") {
+                    let lv = match e {
+                        SExpr::Var(v) => SLValue::Var(v),
+                        SExpr::Field(p, f) => SLValue::Field(*p, f),
+                        SExpr::Index(p, i) => SLValue::Index(*p, *i),
+                        _ => return self.err("invalid assignment target"),
+                    };
+                    let rhs = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(SStmt::Assign(lv, rhs, line))
+                } else {
+                    self.expect_punct(";")?;
+                    Ok(SStmt::Expr(e, line))
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self) -> PResult<SExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.and_expr()?;
+        while self.eat_punct("||") {
+            let r = self.and_expr()?;
+            e = SExpr::Binary("||", Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.eq_expr()?;
+        while self.eat_punct("&&") {
+            let r = self.eq_expr()?;
+            e = SExpr::Binary("&&", Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn eq_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.rel_expr()?;
+        loop {
+            let op = if self.eat_punct("==") {
+                "=="
+            } else if self.eat_punct("!=") {
+                "!="
+            } else {
+                break;
+            };
+            let r = self.rel_expr()?;
+            e = SExpr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn rel_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                "<="
+            } else if self.eat_punct(">=") {
+                ">="
+            } else if self.eat_punct("<") {
+                "<"
+            } else if self.eat_punct(">") {
+                ">"
+            } else {
+                break;
+            };
+            let r = self.add_expr()?;
+            e = SExpr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                "+"
+            } else if self.eat_punct("-") {
+                "-"
+            } else {
+                break;
+            };
+            let r = self.mul_expr()?;
+            e = SExpr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                "*"
+            } else if self.eat_punct("/") {
+                "/"
+            } else if self.eat_punct("%") {
+                "%"
+            } else {
+                break;
+            };
+            let r = self.unary_expr()?;
+            e = SExpr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> PResult<SExpr> {
+        if self.eat_punct("!") {
+            return Ok(SExpr::Unary("!", Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(SExpr::Unary("-", Box::new(self.unary_expr()?)));
+        }
+        // Cast: '(' type-start ... ')' expr.
+        if self.at_punct("(") {
+            let save = self.pos;
+            self.bump();
+            if self.is_type_start() {
+                if let Ok(ty) = self.parse_type() {
+                    if self.eat_punct(")") {
+                        let e = self.unary_expr()?;
+                        return Ok(SExpr::Cast(ty, Box::new(e)));
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> PResult<SExpr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat_punct("->") {
+                let f = self.ident()?;
+                e = SExpr::Field(Box::new(e), f);
+            } else if self.eat_punct("[") {
+                let i = self.expr()?;
+                self.expect_punct("]")?;
+                e = SExpr::Index(Box::new(e), Box::new(i));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> PResult<SExpr> {
+        match self.bump() {
+            Tok::Int(i) => Ok(SExpr::Int(i)),
+            Tok::Float(f) => Ok(SExpr::Float(f)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s == "NULL" => Ok(SExpr::Null),
+            Tok::Ident(s) if s == "sizeof" => {
+                self.expect_punct("(")?;
+                let n = self.ident()?;
+                self.eat_punct("*");
+                self.expect_punct(")")?;
+                Ok(SExpr::SizeOf(n))
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(SExpr::Call(name, args))
+                } else {
+                    Ok(SExpr::Var(name))
+                }
+            }
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found {other}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVAL: &str = r#"
+    struct node { int kind; int op; modref_t* left; modref_t* right; };
+    struct leaf { int kind; int num; };
+
+    ceal eval(modref_t* root, modref_t* res) {
+        node* t = (node*) read(root);
+        if (t->kind == 0) {
+            leaf* l = (leaf*) t;
+            write(res, l->num);
+        } else {
+            modref_t* ma = modref();
+            modref_t* mb = modref();
+            eval(t->left, ma);
+            eval(t->right, mb);
+            int a = (int) read(ma);
+            int b = (int) read(mb);
+            if (t->op == 0) { write(res, a + b); } else { write(res, a - b); }
+        }
+        return;
+    }
+    "#;
+
+    #[test]
+    fn parses_eval() {
+        let sf = parse(EVAL).unwrap();
+        assert_eq!(sf.structs.len(), 2);
+        assert_eq!(sf.funcs.len(), 1);
+        let f = &sf.funcs[0];
+        assert_eq!(f.name, "eval");
+        assert!(f.is_core);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(sf.field_offset("node", "left"), Some(2));
+        assert_eq!(sf.struct_words("leaf"), Some(2));
+    }
+
+    #[test]
+    fn parses_while_loop() {
+        let sf = parse("ceal f(modref_t* m) { int i = 10; while (i) { i = i - 1; } return; }")
+            .unwrap();
+        assert!(matches!(sf.funcs[0].body[1], SStmt::While(..)));
+    }
+
+    #[test]
+    fn value_returns_parse_and_lowering_checks_them() {
+        // `return e;` is now syntax (the §10 DPS conversion); the
+        // lowering rejects it in void/`ceal` functions.
+        let sf = parse("ceal f() { return 3; }").unwrap();
+        assert!(matches!(sf.funcs[0].body[0], SStmt::ReturnValue(..)));
+        assert!(!sf.funcs[0].returns_value);
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let e = parse("ceal f() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn casts_vs_parens() {
+        let sf = parse(
+            "struct s { int a; };\nceal f(modref_t* m) { s* p = (s*) read(m); int x = (1 + 2); return; }",
+        )
+        .unwrap();
+        let body = &sf.funcs[0].body;
+        assert!(matches!(&body[0], SStmt::Decl(SType::StructPtr(n), _, Some(SExpr::Cast(..)), _) if n == "s"));
+        assert!(matches!(&body[1], SStmt::Decl(SType::Int, _, Some(SExpr::Binary(..)), _)));
+    }
+}

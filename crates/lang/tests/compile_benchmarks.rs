@@ -1,0 +1,12 @@
+//! Every embedded benchmark source must go through the whole frontend.
+use ceal_ir::validate::validate;
+use ceal_lang::{benchmarks, frontend};
+
+#[test]
+fn all_benchmark_sources_lower_and_validate() {
+    for (name, src) in benchmarks::all() {
+        let (p, _) = frontend(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(p.block_count() > 4, "{name} suspiciously small");
+    }
+}

@@ -1,0 +1,80 @@
+//! Frontend diagnostics: bad programs are rejected with pointed,
+//! line-numbered messages rather than panics.
+
+use ceal_lang::{frontend, parser::parse};
+
+fn err_of(src: &str) -> String {
+    frontend(src).unwrap_err()
+}
+
+#[test]
+fn parse_errors_carry_lines() {
+    let e = parse("ceal f() {\n  int x = ;\n}").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert!(e.to_string().contains("expected expression"), "{e}");
+}
+
+#[test]
+fn unterminated_constructs() {
+    assert!(parse("ceal f() { if (1) { }").is_err());
+    assert!(parse("struct s { int a; ").is_err());
+    assert!(parse("/* no end").is_err());
+}
+
+#[test]
+fn unknown_types_and_structs() {
+    let e = err_of("ceal f(widget* w) { return; }");
+    assert!(e.contains("unknown type `widget`"), "{e}");
+    let e = err_of("struct s { int a; }\nceal f(s x) { return; }");
+    assert!(e.contains("through a pointer"), "{e}");
+}
+
+#[test]
+fn unknown_names() {
+    let e = err_of("ceal f() { g(); return; }");
+    assert!(e.contains("unknown function `g`"), "{e}");
+    let e = err_of("ceal f() { int x = y + 1; return; }");
+    assert!(e.contains("unknown variable `y`"), "{e}");
+}
+
+#[test]
+fn bad_field_access() {
+    let e = err_of(
+        "struct s { int a; }\nceal f(s* p, modref_t* out) { write(out, p->b); return; }",
+    );
+    assert!(e.contains("no field `b`"), "{e}");
+    let e = err_of("ceal f(int x, modref_t* out) { write(out, x->a); return; }");
+    assert!(e.contains("non-struct-pointer"), "{e}");
+}
+
+#[test]
+fn primitive_misuse() {
+    let e = err_of("ceal f(modref_t* m) { int x = read(m, m); return; }");
+    assert!(e.contains("read takes one modifiable"), "{e}");
+    let e = err_of("ceal f(modref_t* m) { modref_t* q = modref(7); return; }");
+    assert!(e.contains("modref takes no arguments"), "{e}");
+    let e = err_of("ceal f() { void* p = alloc(2); return; }");
+    assert!(e.contains("alloc takes"), "{e}");
+    let e = err_of("ceal f(modref_t* m) { modref_t* q = modref_init(); return; }");
+    assert!(e.contains("modref_init"), "{e}");
+}
+
+#[test]
+fn double_definitions() {
+    let e = err_of("ceal f() { return; } ceal f() { return; }");
+    assert!(e.contains("defined twice"), "{e}");
+    let e = err_of("ceal f(int a, int a) { return; }");
+    assert!(e.contains("already declared"), "{e}");
+}
+
+#[test]
+fn statements_without_effect() {
+    let e = err_of("ceal f(int x) { x + 1; return; }");
+    assert!(e.contains("no effect"), "{e}");
+}
+
+#[test]
+fn assignment_targets() {
+    let e = err_of("ceal f(int x) { x + 1 = 2; return; }");
+    assert!(e.contains("invalid assignment target"), "{e}");
+}

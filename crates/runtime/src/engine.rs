@@ -1,0 +1,1621 @@
+//! The self-adjusting computation engine: trace construction, change
+//! propagation, memoization and keyed allocation.
+//!
+//! This is the run-time system of §6.1 together with the semantics of
+//! §1's "dynamic dependence graph": executing a core program builds a
+//! *trace* — a time-ordered sequence of read, write and allocation
+//! records. A read record stores the closure that consumed the value
+//! (the paper's `modref_read(m, c)`), and the *interval* of timestamps
+//! its execution covered. When the mutator modifies a modifiable,
+//! the reads that observed the old value become *dirty*; `propagate`
+//! re-executes them in trace order, splicing new trace over old and
+//! purging whatever the new execution did not reuse.
+//!
+//! Two mechanisms make propagation fast (§1, §6.1):
+//!
+//! * **Memoization**: when a re-execution performs a read whose
+//!   (modifiable, closure, value) key matches a read in the discarded
+//!   region, the old subtrace is reused as-is and re-execution stops.
+//! * **Keyed allocation** (ISMM'08): `alloc(size, init, args)` performed
+//!   during re-execution *steals* a matching allocation from the
+//!   discarded region, so locations — and therefore the modifiables
+//!   inside them — keep their identity across updates.
+//!
+//! Execution is trampoline-based exactly as in §6.2: core functions
+//! return [`Tail`] values; `Tail::Call` continues the chain, and
+//! `Tail::Read` both records the dependence and continues with the
+//! value substituted as the first argument.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+use crate::heap::{BlockKind, Heap, NIL};
+use crate::order::{OrderList, Time};
+use crate::program::{Program, Tail};
+use crate::stats::{cost, Stats};
+use crate::value::{FuncId, Interner, Loc, ModRef, StrId, Value};
+
+/// Simulation of an SML-style run-time (boxed values + tracing GC),
+/// used by the `ceal-sasml` crate to reproduce the paper's Table 2 /
+/// Fig. 14 comparison against SaSML (see DESIGN.md §2). Every traced
+/// operation allocates `box_words` of short-lived garbage; when the
+/// garbage allocated since the last collection exceeds the headroom
+/// between the live set and `heap_limit`, a mark pass walks the whole
+/// live trace — so propagation slows down without bound as the heap
+/// limit approaches the live size, as the paper observes (§8.4).
+#[derive(Clone, Copy, Debug)]
+pub struct SmlSim {
+    /// Simulated heap limit in bytes (`None` = unbounded heap, GC every
+    /// 8 MiB of garbage).
+    pub heap_limit: Option<usize>,
+    /// Words per garbage box.
+    pub box_words: usize,
+    /// Boxes allocated per traced operation. Calibrated (see
+    /// `ceal-sasml`) so the from-scratch slowdown matches the ~9×
+    /// the paper measures for SaSML; the propagation and space
+    /// behaviors then *emerge* from the model.
+    pub boxes_per_op: usize,
+}
+
+impl Default for SmlSim {
+    fn default() -> Self {
+        SmlSim { heap_limit: None, box_words: 4, boxes_per_op: 100 }
+    }
+}
+
+/// Feature switches for ablation experiments (DESIGN.md §6).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Enable read-level memoization (trace reuse). Off ⇒ every dirty
+    /// read re-executes its entire extent.
+    pub memo: bool,
+    /// Enable keyed allocation (location reuse). Off ⇒ every
+    /// re-execution allocates fresh blocks.
+    pub keyed_alloc: bool,
+    /// SML-style cost simulation (boxed values, tracing GC); see
+    /// [`SmlSim`]. `None` (the default) disables it entirely.
+    pub sml_sim: Option<SmlSim>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { memo: true, keyed_alloc: true, sml_sim: None }
+    }
+}
+
+#[derive(Debug)]
+struct ReadNode {
+    modref: ModRef,
+    func: FuncId,
+    /// Closure environment *without* the substituted value.
+    args: Box<[Value]>,
+    /// The value observed at the last (re-)execution.
+    last_value: Value,
+    /// Hash of (modref, func, args, last_value): the memo key.
+    key_hash: u64,
+    start: Time,
+    end: Time,
+    prev_reader: u32,
+    next_reader: u32,
+    queued: bool,
+    live: bool,
+}
+
+#[derive(Debug)]
+struct WriteNode {
+    modref: ModRef,
+    value: Value,
+    time: Time,
+    prev_write: u32,
+    next_write: u32,
+    live: bool,
+}
+
+#[derive(Debug)]
+struct AllocNode {
+    /// Hash of (words, init, args): the allocation key.
+    key_hash: u64,
+    words: u32,
+    init: FuncId,
+    args: Box<[Value]>,
+    loc: Loc,
+    time: Time,
+    live: bool,
+}
+
+/// What a timestamp in the trace stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Payload {
+    /// A bare timestamp (interval boundaries of the core run).
+    Plain,
+    /// Start of a read interval.
+    Read(u32),
+    /// End of a read interval.
+    ReadEnd(u32),
+    /// A write record.
+    Write(u32),
+    /// An allocation record.
+    Alloc(u32),
+}
+
+/// Reserved initializer id used by [`Engine::modref`]; never dispatched.
+const MODREF_INIT: FuncId = FuncId(u32::MAX - 1);
+
+/// Memo and allocation tables are keyed by values that are already
+/// hashes; pass them through unchanged instead of re-hashing.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher is only used with u64 keys")
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type KeyMap = HashMap<u64, Vec<u32>, BuildHasherDefault<IdentityHasher>>;
+
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    let h = (h ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 29)
+}
+
+fn hash_key(tag: u64, a: u64, b: u64, vals: &[Value], extra: Option<Value>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    struct Fx(u64);
+    impl Hasher for Fx {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = mix(self.0, b as u64);
+            }
+        }
+        fn write_u8(&mut self, v: u8) {
+            self.0 = mix(self.0, v as u64);
+        }
+        fn write_u64(&mut self, v: u64) {
+            self.0 = mix(self.0, v);
+        }
+    }
+    let mut h = Fx(mix(mix(tag, a), b));
+    for v in vals {
+        v.hash(&mut h);
+    }
+    if let Some(v) = extra {
+        v.hash(&mut h);
+    }
+    let mut out = h.0;
+    out = mix(out, vals.len() as u64);
+    out
+}
+
+fn prepend(v: Value, rest: &[Value]) -> Box<[Value]> {
+    let mut out = Vec::with_capacity(rest.len() + 1);
+    out.push(v);
+    out.extend_from_slice(rest);
+    out.into_boxed_slice()
+}
+
+/// The self-adjusting computation engine.
+///
+/// An `Engine` hosts one or more core computations: the mutator
+/// constructs inputs with the meta-level operations
+/// ([`Engine::meta_modref`], [`Engine::meta_alloc`], [`Engine::modify`],
+/// [`Engine::deref`]), runs cores with [`Engine::run_core`] (multiple
+/// cores may coexist — the paper's footnote 1), and thereafter
+/// alternates [`Engine::modify`] and [`Engine::propagate`] (§2, Fig. 3).
+///
+/// # Examples
+///
+/// ```
+/// use ceal_runtime::engine::Engine;
+/// use ceal_runtime::program::{ProgramBuilder, Tail};
+/// use ceal_runtime::value::Value;
+///
+/// // Core: copy the input modifiable into the output modifiable.
+/// let mut b = ProgramBuilder::new();
+/// let body = b.native("copy_body", |e, args| {
+///     let out = args[1].modref();
+///     e.write(out, args[0]);
+///     Tail::Done
+/// });
+/// let copy = b.native("copy", move |_e, args| {
+///     Tail::read(args[0].modref(), body, &args[1..])
+/// });
+///
+/// let mut e = Engine::new(b.build());
+/// let inp = e.meta_modref();
+/// let out = e.meta_modref();
+/// e.modify(inp, Value::Int(1));
+/// e.run_core(copy, &[Value::ModRef(inp), Value::ModRef(out)]);
+/// assert_eq!(e.deref(out), Value::Int(1));
+///
+/// e.modify(inp, Value::Int(7));
+/// e.propagate();
+/// assert_eq!(e.deref(out), Value::Int(7));
+/// ```
+pub struct Engine {
+    program: Rc<Program>,
+    config: EngineConfig,
+    ord: OrderList,
+    payloads: Vec<Payload>,
+    heap: Heap,
+    interner: Interner,
+
+    reads: Vec<ReadNode>,
+    free_reads: Vec<u32>,
+    writes: Vec<WriteNode>,
+    free_writes: Vec<u32>,
+    allocs: Vec<AllocNode>,
+    free_allocs: Vec<u32>,
+
+    /// Memo table: read key hash → read node indices.
+    memo_table: KeyMap,
+    /// Keyed-allocation table: alloc key hash → alloc node indices.
+    alloc_table: KeyMap,
+
+    /// Change-propagation priority queue: read indices, heap-ordered by
+    /// start timestamp.
+    queue: Vec<u32>,
+    /// Stack of reads whose intervals are currently open.
+    open: Vec<u32>,
+
+    /// Current insertion point in the trace.
+    cur: Time,
+    /// End of the current re-execution window (None during initial run).
+    window_end: Option<Time>,
+    /// Blocks currently being initialized (write-once enforcement).
+    init_stack: Vec<Loc>,
+    /// Blocks whose allocation record was purged; freed at the end of
+    /// `propagate`.
+    pending_free: Vec<Loc>,
+
+    /// SML-simulation state: boxed garbage awaiting collection.
+    sim_garbage: Vec<Box<[u64]>>,
+    sim_since_gc: usize,
+
+    core_ran: bool,
+    executing: bool,
+    stats: Stats,
+    /// When set, logs every trace operation to stderr (small inputs
+    /// only; used by the engine's own debugging sessions and tests).
+    pub debug_log: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("trace_len", &self.ord.len())
+            .field("queue", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine for `program` with the default configuration.
+    pub fn new(program: Rc<Program>) -> Self {
+        Self::with_config(program, EngineConfig::default())
+    }
+
+    /// Creates an engine with explicit feature switches (for ablations).
+    pub fn with_config(program: Rc<Program>, config: EngineConfig) -> Self {
+        let ord = OrderList::new();
+        let cur = ord.first();
+        Engine {
+            program,
+            config,
+            ord,
+            payloads: vec![Payload::Plain; 2],
+            heap: Heap::new(),
+            interner: Interner::new(),
+            reads: Vec::new(),
+            free_reads: Vec::new(),
+            writes: Vec::new(),
+            free_writes: Vec::new(),
+            allocs: Vec::new(),
+            free_allocs: Vec::new(),
+            memo_table: KeyMap::default(),
+            alloc_table: KeyMap::default(),
+            queue: Vec::new(),
+            open: Vec::new(),
+            cur,
+            window_end: None,
+            init_stack: Vec::new(),
+            pending_free: Vec::new(),
+            sim_garbage: Vec::new(),
+            sim_since_gc: 0,
+            core_ran: false,
+            executing: false,
+            stats: Stats::default(),
+            debug_log: false,
+        }
+    }
+
+    /// Run-time statistics (counters and live-space accounting).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics (harness support: resetting the
+    /// live-space high-water mark between phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// The engine's string interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interns a string, returning a `Value::Str`.
+    pub fn intern(&mut self, s: &str) -> Value {
+        Value::Str(self.interner.intern(s))
+    }
+
+    /// Compares two interned strings by content.
+    pub fn str_cmp(&self, a: StrId, b: StrId) -> std::cmp::Ordering {
+        self.interner.cmp(a, b)
+    }
+
+    /// Number of live trace timestamps (diagnostics).
+    pub fn trace_len(&self) -> usize {
+        self.ord.len()
+    }
+
+    /// Number of dirty reads awaiting propagation.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Meta (mutator) operations — §2 "The Meta Language".
+    // ------------------------------------------------------------------
+
+    /// Creates a modifiable at the meta level (`modref` in the paper).
+    pub fn meta_modref(&mut self) -> ModRef {
+        self.stats.grow(cost::META);
+        self.heap.alloc_meta(Value::Nil, None)
+    }
+
+    /// Allocates an untraced block (`alloc` in the meta language). Must
+    /// be freed explicitly with [`Engine::kill`].
+    pub fn meta_alloc(&mut self, words: usize) -> Loc {
+        self.stats.grow(words * cost::WORD);
+        self.heap.alloc_block(words, BlockKind::Meta)
+    }
+
+    /// Frees a mutator allocation (`kill` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not a live meta-level block.
+    pub fn kill(&mut self, loc: Loc) {
+        assert_eq!(self.heap.kind(loc), BlockKind::Meta, "kill of a core allocation");
+        self.stats.shrink(self.heap.block_len(loc) * cost::WORD);
+        self.free_block_and_metas(loc);
+    }
+
+    /// Creates a modifiable inside a meta-level block slot, so mutators
+    /// can build linked structures whose links the core reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not a meta-level block.
+    pub fn meta_modref_in(&mut self, loc: Loc, off: usize) -> ModRef {
+        assert_eq!(self.heap.kind(loc), BlockKind::Meta, "meta_modref_in on core block");
+        let m = self.heap.alloc_meta(Value::Nil, Some(loc));
+        self.stats.grow(cost::META);
+        self.heap.store(loc, off, Value::ModRef(m));
+        m
+    }
+
+    /// Stores into a meta-level block (mutator-owned memory is not
+    /// write-once).
+    pub fn meta_store(&mut self, loc: Loc, off: usize, v: Value) {
+        assert_eq!(self.heap.kind(loc), BlockKind::Meta, "meta_store on core block");
+        self.heap.store(loc, off, v);
+    }
+
+    /// Reads the current contents of a modifiable (`deref`).
+    pub fn deref(&self, m: ModRef) -> Value {
+        let meta = self.heap.meta(m);
+        if meta.writes_tail == NIL {
+            meta.base
+        } else {
+            self.writes[meta.writes_tail as usize].value
+        }
+    }
+
+    /// Modifies the contents of `m` (`modify`), dirtying the reads that
+    /// observed the previous value so the next [`Engine::propagate`]
+    /// updates the computation.
+    pub fn modify(&mut self, m: ModRef, v: Value) {
+        let old = self.heap.meta(m).base;
+        if old == v {
+            return;
+        }
+        self.heap.meta_mut(m).base = v;
+        // Dirty the reads governed by the base value: those that precede
+        // every core write of `m`.
+        let first_write = self.heap.meta(m).writes_head;
+        let bound = if first_write == NIL { None } else { Some(self.writes[first_write as usize].time) };
+        let mut r = self.heap.meta(m).reads_head;
+        while r != NIL {
+            let next = self.reads[r as usize].next_reader;
+            let rd = &self.reads[r as usize];
+            let governed = match bound {
+                None => true,
+                Some(t) => self.ord.lt(rd.start, t),
+            };
+            if governed && rd.last_value != v {
+                self.queue_push(r);
+            } else if governed {
+                // value restored before propagation: nothing to do
+            } else {
+                break; // readers are sorted by start; rest are past bound
+            }
+            r = next;
+        }
+    }
+
+    /// Runs core function `f` with `args` from scratch (`run_core`).
+    ///
+    /// May be called more than once: each call creates an additional
+    /// self-adjusting core whose trace is appended after the existing
+    /// ones, all updated by the same [`Engine::propagate`] — the richer
+    /// multi-core interface the paper's actual language offers
+    /// (footnote 1). Cores may share inputs and even read each other's
+    /// output modifiables, as long as a later core only *reads* what an
+    /// earlier core wrote (trace order is update order).
+    pub fn run_core(&mut self, f: FuncId, args: &[Value]) {
+        self.core_ran = true;
+        self.executing = true;
+        // Append after all existing trace (before the end sentinel).
+        self.cur = self.ord.prev(self.ord.last());
+        self.window_end = None;
+        self.run_chain(f, args.into());
+        self.executing = false;
+    }
+
+    /// Propagates all pending modifications (`propagate`), re-executing
+    /// dirty reads in trace order until the computation is consistent
+    /// with the modified data.
+    pub fn propagate(&mut self) {
+        assert!(self.core_ran, "propagate before run_core");
+        self.stats.propagations += 1;
+        self.executing = true;
+        while let Some(r) = self.queue_pop() {
+            let m = self.reads[r as usize].modref;
+            let v = self.value_at(m, self.reads[r as usize].start);
+            if v == self.reads[r as usize].last_value {
+                self.stats.reads_skipped += 1;
+                continue;
+            }
+            self.re_execute(r, v);
+        }
+        self.executing = false;
+        self.flush_pending_free();
+    }
+
+    // ------------------------------------------------------------------
+    // Core operations — §2 "The Core Language" / Fig. 11 RTS interface.
+    // ------------------------------------------------------------------
+
+    /// Writes `v` into modifiable `m` (`write` / `modref_write`).
+    /// Creates a write trace record and dirties downstream reads whose
+    /// observed value changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside core execution.
+    pub fn write(&mut self, m: ModRef, v: Value) {
+        assert!(self.executing, "core write outside core execution");
+        self.sim_op();
+        let prev = self.value_at(m, self.cur);
+        let idx = self.alloc_write_slot();
+        let t = self.insert_time(Payload::Write(idx));
+        let node = &mut self.writes[idx as usize];
+        node.modref = m;
+        node.value = v;
+        node.time = t;
+        node.live = true;
+        self.stats.writes_created += 1;
+        self.stats.grow(cost::WRITE_NODE);
+        self.link_write_sorted(m, idx);
+        if self.debug_log && prev != v {
+            eprintln!("  WRITE {m:?} := {v:?} (was {prev:?})");
+        }
+        if prev != v {
+            // Dirty reads in (t, next write); they observed `prev`.
+            let next_bound = {
+                let nw = self.writes[idx as usize].next_write;
+                if nw == NIL {
+                    None
+                } else {
+                    Some(self.writes[nw as usize].time)
+                }
+            };
+            let mut r = self.heap.meta(m).reads_head;
+            while r != NIL {
+                let next = self.reads[r as usize].next_reader;
+                let rd = &self.reads[r as usize];
+                if self.ord.lt(t, rd.start) {
+                    match next_bound {
+                        Some(b) if !self.ord.lt(rd.start, b) => break,
+                        _ => {
+                            if rd.last_value != v {
+                                self.queue_push(r);
+                            }
+                        }
+                    }
+                }
+                r = next;
+            }
+        }
+    }
+
+    /// Creates a standalone modifiable in the core (`modref()`).
+    /// Implemented as a keyed allocation of a one-slot block holding the
+    /// modifiable, so that re-executions reuse the same location.
+    ///
+    /// All un-keyed modifiables share one allocation key; programs that
+    /// create many should use [`Engine::modref_keyed`] so reuse lookups
+    /// stay fast and re-executions re-pair with "their" modifiable.
+    pub fn modref(&mut self) -> ModRef {
+        let loc = self.alloc(1, MODREF_INIT, &[]);
+        self.heap.load(loc, 0).modref()
+    }
+
+    /// Creates a standalone modifiable whose allocation is keyed by
+    /// `key` (typically the data the modifiable is "about"), exactly
+    /// like the key arguments of [`Engine::alloc`].
+    pub fn modref_keyed(&mut self, key: &[Value]) -> ModRef {
+        let loc = self.alloc(1, MODREF_INIT, key);
+        self.heap.load(loc, 0).modref()
+    }
+
+    /// Reads a block slot (untracked: non-modifiable core memory is
+    /// write-once, §4.2, so no dependence needs recording).
+    #[inline]
+    pub fn load(&self, loc: Loc, off: usize) -> Value {
+        self.heap.load(loc, off)
+    }
+
+    /// Stores into a block currently being initialized. CL's
+    /// correct-usage restriction 1 (§4.2): arrays are side-effected only
+    /// during initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not under initialization.
+    pub fn store(&mut self, loc: Loc, off: usize, v: Value) {
+        assert!(
+            self.init_stack.contains(&loc),
+            "store to {loc:?} outside its initializer (write-once violation)"
+        );
+        self.heap.store(loc, off, v);
+    }
+
+    /// Creates a modifiable in slot `off` of a block being initialized
+    /// (`modref_init` placed via `allocate`, Fig. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not under initialization.
+    pub fn modref_init(&mut self, loc: Loc, off: usize) -> ModRef {
+        assert!(
+            self.init_stack.contains(&loc),
+            "modref_init on {loc:?} outside its initializer"
+        );
+        let m = self.heap.alloc_meta(Value::Nil, Some(loc));
+        if self.debug_log {
+            eprintln!("  META {m:?} owner={loc:?} slot={off}");
+        }
+        self.stats.grow(cost::META);
+        self.heap.store(loc, off, Value::ModRef(m));
+        m
+    }
+
+    /// Allocates a `words`-slot block and initializes it by running
+    /// `init(loc, args...)` (`allocate`, Fig. 11).
+    ///
+    /// During re-execution with keyed allocation enabled, a matching
+    /// allocation in the discarded window is *stolen*: the same location
+    /// is returned (initialization is skipped — contents are a function
+    /// of the key) and the allocation record moves to the new trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside core execution.
+    pub fn alloc(&mut self, words: usize, init: FuncId, args: &[Value]) -> Loc {
+        assert!(self.executing, "core alloc outside core execution");
+        self.sim_op();
+        let key_hash = hash_key(0xA110C, words as u64, init.0 as u64, args, None);
+        if self.config.keyed_alloc && self.window_end.is_some() {
+            if let Some(idx) = self.find_stealable(key_hash, words, init, args) {
+                return self.steal_alloc(idx);
+            }
+        }
+        let loc = self.heap.alloc_block(words, BlockKind::Core);
+        self.stats.grow(words * cost::WORD);
+        let idx = self.alloc_alloc_slot();
+        let t = self.insert_time(Payload::Alloc(idx));
+        let node = &mut self.allocs[idx as usize];
+        node.key_hash = key_hash;
+        node.words = words as u32;
+        node.init = init;
+        node.args = args.into();
+        node.loc = loc;
+        node.time = t;
+        node.live = true;
+        self.stats.allocs_created += 1;
+        self.stats.grow(cost::ALLOC_NODE + args.len() * cost::ARG_WORD);
+        self.alloc_table.entry(key_hash).or_default().push(idx);
+        if self.debug_log {
+            eprintln!("  FRESH-ALLOC a{idx} loc={loc:?} key_args={args:?} at@{}", self.ord.label(t));
+        }
+        // Run the initializer.
+        if init == MODREF_INIT {
+            let m = self.heap.alloc_meta(Value::Nil, Some(loc));
+            if self.debug_log {
+                eprintln!("  META {m:?} owner={loc:?} (standalone modref)");
+            }
+            self.stats.grow(cost::META);
+            self.heap.store(loc, 0, Value::ModRef(m));
+        } else {
+            self.init_stack.push(loc);
+            let init_args = prepend(Value::Ptr(loc), args);
+            self.run_init_chain(init, init_args);
+            let popped = self.init_stack.pop();
+            debug_assert_eq!(popped, Some(loc));
+        }
+        loc
+    }
+
+    /// Runs an initializer's tail-call chain. Initializers may allocate
+    /// and store, but §4.2's correct-usage restriction 2 forbids them
+    /// from reading or writing modifiables — reads are rejected here
+    /// (writes are already impossible before `modref_init`, and traced
+    /// writes inside initializers would corrupt the allocation's
+    /// reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initializer performs a read.
+    fn run_init_chain(&mut self, f: FuncId, args: Box<[Value]>) {
+        let program = Rc::clone(&self.program);
+        let mut f = f;
+        let mut args = args;
+        loop {
+            match program.invoke(f, self, &args) {
+                Tail::Done => return,
+                Tail::Call(g, a) => {
+                    f = g;
+                    args = a;
+                }
+                Tail::Read(..) => {
+                    panic!(
+                        "initializer `{}` performed a read (violates §4.2 restriction 2)",
+                        program.name(f)
+                    )
+                }
+            }
+        }
+    }
+
+    /// Performs a (non-tail) call of core function `f`: a fresh
+    /// trampoline runs `f`'s tail-call chain to completion (the CL
+    /// `call` command; translated as `closure_run(f(x))`, Fig. 12).
+    pub fn call(&mut self, f: FuncId, args: &[Value]) {
+        assert!(self.executing, "core call outside core execution");
+        self.run_chain(f, args.into());
+    }
+
+    /// SML-simulation hook: allocate boxing garbage and, when the heap
+    /// headroom is exhausted, run a mark pass over the live trace.
+    #[inline]
+    fn sim_op(&mut self) {
+        let Some(sim) = self.config.sml_sim else { return };
+        let bytes = sim.box_words * 8 * sim.boxes_per_op;
+        for _ in 0..sim.boxes_per_op {
+            self.sim_garbage.push(vec![0u64; sim.box_words].into_boxed_slice());
+        }
+        self.sim_since_gc += bytes;
+        self.stats.grow(bytes);
+        let live = self.stats.live_bytes - self.sim_since_gc.min(self.stats.live_bytes);
+        let headroom = match sim.heap_limit {
+            Some(limit) => limit.saturating_sub(live).max(4 * 1024),
+            None => 8 << 20,
+        };
+        if self.sim_since_gc >= headroom {
+            self.sim_gc();
+        }
+    }
+
+    /// A tracing collection: mark cost proportional to the live trace,
+    /// then the garbage is dropped (swept).
+    fn sim_gc(&mut self) {
+        self.stats.gc_runs += 1;
+        // Mark: walk the whole live timestamp list.
+        let mut t = self.ord.first();
+        let mut marked = 0u64;
+        while !t.is_none() {
+            marked += 1;
+            if t == self.ord.last() {
+                break;
+            }
+            t = self.ord.next(t);
+        }
+        self.stats.gc_marked += marked;
+        self.stats.shrink(self.sim_since_gc);
+        self.sim_since_gc = 0;
+        self.sim_garbage.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Trampoline and trace construction.
+    // ------------------------------------------------------------------
+
+    fn run_chain(&mut self, f: FuncId, args: Box<[Value]>) {
+        let base = self.open.len();
+        let program = Rc::clone(&self.program);
+        let mut f = f;
+        let mut args = args;
+        loop {
+            let tail = program.invoke(f, self, &args);
+            match tail {
+                Tail::Done => break,
+                Tail::Call(g, a) => {
+                    f = g;
+                    args = a;
+                }
+                Tail::Read(m, g, a) => {
+                    if self.config.memo && self.window_end.is_some() {
+                        if let Some(hit) = self.find_memo_match(m, g, &a) {
+                            self.splice_to(hit);
+                            break;
+                        }
+                    }
+                    let (r, v) = self.new_read(m, g, a);
+                    self.open.push(r);
+                    args = prepend(v, &self.reads[r as usize].args);
+                    f = g;
+                }
+            }
+        }
+        // Close the intervals of reads opened by this chain, innermost
+        // first, so intervals nest properly.
+        while self.open.len() > base {
+            let r = self.open.pop().expect("open stack underflow");
+            let t = self.insert_time(Payload::ReadEnd(r));
+            self.reads[r as usize].end = t;
+        }
+    }
+
+    fn new_read(&mut self, m: ModRef, f: FuncId, args: Box<[Value]>) -> (u32, Value) {
+        self.sim_op();
+        if self.debug_log {
+            eprintln!("  NEW-READ {m:?} func={} args={args:?} cur@{}", self.program.name(f), self.ord.label(self.cur));
+        }
+        let idx = self.alloc_read_slot();
+        let t = self.insert_time(Payload::Read(idx));
+        if self.debug_log {
+            eprintln!("    (new read id r{idx} at {t:?}@{})", self.ord.label(t));
+        }
+        let v = self.value_at(m, t);
+        let key_hash = hash_key(0x5EAD, m.0 as u64, f.0 as u64, &args, Some(v));
+        let arg_bytes = args.len() * cost::ARG_WORD;
+        let node = &mut self.reads[idx as usize];
+        node.modref = m;
+        node.func = f;
+        node.args = args;
+        node.last_value = v;
+        node.key_hash = key_hash;
+        node.start = t;
+        node.end = Time::NONE;
+        node.queued = false;
+        node.live = true;
+        self.stats.reads_created += 1;
+        self.stats.grow(cost::READ_NODE + arg_bytes);
+        self.link_reader_sorted(m, idx);
+        self.memo_table.entry(key_hash).or_default().push(idx);
+        (idx, v)
+    }
+
+    /// Searches the memo table for a read in the current window matching
+    /// (m, f, args, current value). Returns the earliest match.
+    fn find_memo_match(&mut self, m: ModRef, f: FuncId, args: &[Value], ) -> Option<u32> {
+        let wend = self.window_end?;
+        let v = self.value_at_cur_for(m);
+        let key_hash = hash_key(0x5EAD, m.0 as u64, f.0 as u64, args, Some(v));
+        let cands = self.memo_table.get(&key_hash)?;
+        let mut best: Option<u32> = None;
+        for &idx in cands {
+            let rd = &self.reads[idx as usize];
+            if !rd.live
+                || rd.modref != m
+                || rd.func != f
+                || rd.last_value != v
+                || rd.args.as_ref() != args
+            {
+                continue;
+            }
+            if rd.end.is_none() {
+                continue; // a read opened by the current chain
+            }
+            // Strictly inside the window: start after the insertion
+            // point, whole interval before the window end.
+            if self.ord.lt(self.cur, rd.start)
+                && self.ord.lt(rd.start, wend)
+                && self.ord.lt(rd.end, wend)
+            {
+                match best {
+                    None => best = Some(idx),
+                    Some(b) if self.ord.lt(rd.start, self.reads[b as usize].start) => {
+                        best = Some(idx)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        best
+    }
+
+    /// Reuses read `hit`'s subtrace: purge the old trace between the
+    /// insertion point and `hit`, then continue after `hit`'s interval.
+    fn splice_to(&mut self, hit: u32) {
+        if self.debug_log {
+            eprintln!("  MEMO-HIT r{hit} func={} modref={:?} seg=({}..{}) cur@{}", self.program.name(self.reads[hit as usize].func), self.reads[hit as usize].modref, self.ord.label(self.reads[hit as usize].start), self.ord.label(self.reads[hit as usize].end), self.ord.label(self.cur));
+        }
+        self.stats.memo_hits += 1;
+        let start = self.reads[hit as usize].start;
+        let end = self.reads[hit as usize].end;
+        self.trash(self.cur, start);
+        self.cur = end;
+    }
+
+    fn re_execute(&mut self, r: u32, v: Value) {
+        debug_assert!(self.reads[r as usize].live);
+        let saved_cur = self.cur;
+        let saved_window = self.window_end;
+        let start = self.reads[r as usize].start;
+        let end = self.reads[r as usize].end;
+        self.cur = start;
+        self.window_end = Some(end);
+        // Refresh the read's memo identity under the new value.
+        self.memo_remove(r);
+        {
+            let node = &mut self.reads[r as usize];
+            node.last_value = v;
+            node.key_hash =
+                hash_key(0x5EAD, node.modref.0 as u64, node.func.0 as u64, &node.args, Some(v));
+        }
+        let key_hash = self.reads[r as usize].key_hash;
+        self.memo_table.entry(key_hash).or_default().push(r);
+        self.stats.reads_reexecuted += 1;
+
+        let f = self.reads[r as usize].func;
+        let args = prepend(v, &self.reads[r as usize].args);
+        if self.debug_log {
+            eprintln!(
+                "REEXEC r{r} func={} modref={:?} v={:?} args={:?} window=({:?}@{},{:?}@{})",
+                self.program.name(f), self.reads[r as usize].modref, v, &args[1..],
+                start, self.ord.label(start), end, self.ord.label(end)
+            );
+        }
+        self.run_chain(f, args);
+        let wend = self.window_end.expect("window vanished");
+        self.trash(self.cur, wend);
+        self.cur = saved_cur;
+        self.window_end = saved_window;
+    }
+
+    // ------------------------------------------------------------------
+    // Keyed allocation.
+    // ------------------------------------------------------------------
+
+    fn find_stealable(&self, key_hash: u64, words: usize, init: FuncId, args: &[Value]) -> Option<u32> {
+        let wend = self.window_end?;
+        let cands = self.alloc_table.get(&key_hash)?;
+        let mut best: Option<u32> = None;
+        for &idx in cands {
+            let a = &self.allocs[idx as usize];
+            if !a.live || a.words as usize != words || a.init != init || a.args.as_ref() != args {
+                continue;
+            }
+            if self.ord.lt(self.cur, a.time) && self.ord.lt(a.time, wend) {
+                match best {
+                    None => best = Some(idx),
+                    Some(b) if self.ord.lt(a.time, self.allocs[b as usize].time) => best = Some(idx),
+                    _ => {}
+                }
+            }
+        }
+        best
+    }
+
+    /// Reuses allocation record `idx` from the discarded region,
+    /// keeping its block (and the modifiables inside) alive with the
+    /// same identity.
+    ///
+    /// Reuse is *monotone*, exactly like memo reuse: the trace between
+    /// the insertion point and the stolen record is purged and the
+    /// insertion point advances past it. (A non-monotone steal could
+    /// pluck a block out of a region that a later memo match reuses,
+    /// leaving that reused segment reading the block in its old role
+    /// while the block serves a new one.)
+    fn steal_alloc(&mut self, idx: u32) -> Loc {
+        if self.debug_log {
+            eprintln!(
+                "  STEAL a{idx} loc={:?} key_args={:?} at@{} cur@{}",
+                self.allocs[idx as usize].loc,
+                self.allocs[idx as usize].args,
+                self.ord.label(self.allocs[idx as usize].time),
+                self.ord.label(self.cur)
+            );
+        }
+        self.stats.allocs_stolen += 1;
+        let t = self.allocs[idx as usize].time;
+        self.trash(self.cur, t);
+        self.cur = t;
+        self.allocs[idx as usize].loc
+    }
+
+    // ------------------------------------------------------------------
+    // Trace purging.
+    // ------------------------------------------------------------------
+
+    /// Purges the trace strictly between `from` and `to`: removes every
+    /// record the new execution did not reuse, undoing its effects
+    /// (reader registrations, memo entries, writes, allocations).
+    fn trash(&mut self, from: Time, to: Time) {
+        let mut cur = self.ord.next(from);
+        while cur != to {
+            debug_assert!(!cur.is_none(), "trash ran past the trace end");
+            let next = self.ord.next(cur);
+            match self.payloads[cur.index()] {
+                Payload::Plain => {
+                    self.ord.delete(cur);
+                    self.stats.shrink(cost::TIME_NODE);
+                }
+                Payload::Read(r) => {
+                    if self.reads[r as usize].live {
+                        self.trash_read(r);
+                    }
+                    // Queued zombies keep their start timestamp until
+                    // popped (the queue orders by it).
+                    if !self.reads[r as usize].queued {
+                        self.ord.delete(cur);
+                        self.stats.shrink(cost::TIME_NODE);
+                        self.reads[r as usize].start = Time::NONE;
+                        self.maybe_free_read_slot(r);
+                    }
+                }
+                Payload::ReadEnd(r) => {
+                    debug_assert!(
+                        !self.reads[r as usize].live,
+                        "interval end purged before its start"
+                    );
+                    self.ord.delete(cur);
+                    self.stats.shrink(cost::TIME_NODE);
+                    self.reads[r as usize].end = Time::NONE;
+                    self.maybe_free_read_slot(r);
+                }
+                Payload::Write(w) => {
+                    self.trash_write(w);
+                    self.ord.delete(cur);
+                    self.stats.shrink(cost::TIME_NODE);
+                }
+                Payload::Alloc(a) => {
+                    self.trash_alloc(a);
+                    self.ord.delete(cur);
+                    self.stats.shrink(cost::TIME_NODE);
+                }
+            }
+            self.stats.nodes_purged += 1;
+            cur = next;
+        }
+    }
+
+    fn trash_read(&mut self, r: u32) {
+        if self.debug_log {
+            eprintln!("  PURGE-READ r{r} func={} modref={:?} interval=({:?}@{},{:?})",
+                self.program.name(self.reads[r as usize].func),
+                self.reads[r as usize].modref,
+                self.reads[r as usize].start,
+                self.ord.label(self.reads[r as usize].start),
+                self.reads[r as usize].end);
+        }
+        debug_assert!(self.reads[r as usize].live);
+        self.unlink_reader(r);
+        self.memo_remove(r);
+        let node = &mut self.reads[r as usize];
+        node.live = false;
+        let bytes = cost::READ_NODE + node.args.len() * cost::ARG_WORD;
+        self.stats.shrink(bytes);
+    }
+
+    fn trash_write(&mut self, w: u32) {
+        debug_assert!(self.writes[w as usize].live);
+        let m = self.writes[w as usize].modref;
+        let wtime = self.writes[w as usize].time;
+        let wvalue = self.writes[w as usize].value;
+        let next_write = self.writes[w as usize].next_write;
+        self.unlink_write(w);
+        // Reads in (wtime, next write) were governed by this write; they
+        // are now governed by whatever precedes. Dirty those whose value
+        // changes.
+        let newval = self.value_at(m, wtime);
+        if newval != wvalue {
+            let bound = if next_write == NIL {
+                None
+            } else {
+                Some(self.writes[next_write as usize].time)
+            };
+            let mut r = self.heap.meta(m).reads_head;
+            while r != NIL {
+                let next = self.reads[r as usize].next_reader;
+                let rd = &self.reads[r as usize];
+                if self.ord.lt(wtime, rd.start) {
+                    match bound {
+                        Some(b) if !self.ord.lt(rd.start, b) => break,
+                        _ => {
+                            if rd.last_value != newval {
+                                self.queue_push(r);
+                            }
+                        }
+                    }
+                }
+                r = next;
+            }
+        }
+        self.writes[w as usize].live = false;
+        self.free_writes.push(w);
+        self.stats.shrink(cost::WRITE_NODE);
+    }
+
+    fn trash_alloc(&mut self, a: u32) {
+        if self.debug_log {
+            eprintln!("  PURGE-ALLOC a{a} loc={:?} key_args={:?}", self.allocs[a as usize].loc, self.allocs[a as usize].args);
+        }
+        debug_assert!(self.allocs[a as usize].live);
+        let node = &mut self.allocs[a as usize];
+        node.live = false;
+        let key = node.key_hash;
+        let loc = node.loc;
+        let bytes = cost::ALLOC_NODE + node.args.len() * cost::ARG_WORD;
+        if let Some(v) = self.alloc_table.get_mut(&key) {
+            if let Some(pos) = v.iter().position(|&x| x == a) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.alloc_table.remove(&key);
+            }
+        }
+        self.free_allocs.push(a);
+        self.stats.shrink(bytes);
+        self.stats.blocks_collected += 1;
+        self.pending_free.push(loc);
+    }
+
+    /// Frees blocks whose allocations were purged, together with the
+    /// modifiables they own. Deferred to the end of propagation so that
+    /// later purge steps can still unlink their trace records.
+    fn flush_pending_free(&mut self) {
+        while let Some(loc) = self.pending_free.pop() {
+            self.stats.shrink(self.heap.block_len(loc) * cost::WORD);
+            self.free_block_and_metas(loc);
+        }
+    }
+
+    fn free_block_and_metas(&mut self, loc: Loc) {
+        let metas: Vec<ModRef> = self
+            .heap
+            .block_slots(loc)
+            .filter_map(|v| v.as_modref())
+            .filter(|&m| self.heap.meta_is_live(m) && self.heap.meta(m).owner == Some(loc))
+            .collect();
+        for m in metas {
+            #[cfg(debug_assertions)]
+            {
+                let r = self.heap.meta(m).reads_head;
+                if r != NIL {
+                    let rd = &self.reads[r as usize];
+                    let lb = if self.ord.is_live(rd.start) { self.ord.label(rd.start) } else { 0 };
+                    panic!(
+                        "collected modifiable {m:?} still has reader r{r}: func={} live={} queued={} last_value={:?} interval=({:?}@{lb},{:?})",
+                        self.program.name(rd.func),
+                        rd.live,
+                        rd.queued,
+                        rd.last_value,
+                        rd.start,
+                        rd.end
+                    );
+                }
+            }
+            debug_assert_eq!(self.heap.meta(m).writes_head, NIL);
+            if self.debug_log {
+                eprintln!("  FREE-META {m:?} owner={loc:?}");
+            }
+            self.heap.free_meta(m);
+            self.stats.shrink(cost::META);
+        }
+        self.heap.free_block(loc);
+    }
+
+    fn maybe_free_read_slot(&mut self, r: u32) {
+        let node = &self.reads[r as usize];
+        if !node.live && !node.queued && node.start.is_none() && node.end.is_none() {
+            let bytes_args = std::mem::take(&mut self.reads[r as usize].args);
+            drop(bytes_args);
+            self.free_reads.push(r);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Modifiable read/write lists and value lookup.
+    // ------------------------------------------------------------------
+
+    /// The value a read at time `t` observes: the latest write at or
+    /// before `t`, else the mutator's base value.
+    fn value_at(&self, m: ModRef, t: Time) -> Value {
+        let meta = self.heap.meta(m);
+        let mut w = meta.writes_tail;
+        while w != NIL {
+            let node = &self.writes[w as usize];
+            if self.ord.le(node.time, t) {
+                return node.value;
+            }
+            w = node.prev_write;
+        }
+        meta.base
+    }
+
+    fn value_at_cur_for(&self, m: ModRef) -> Value {
+        self.value_at(m, self.cur)
+    }
+
+    fn link_write_sorted(&mut self, m: ModRef, idx: u32) {
+        let t = self.writes[idx as usize].time;
+        let meta = self.heap.meta(m);
+        let mut after = meta.writes_tail; // insert after `after`
+        while after != NIL && self.ord.lt(t, self.writes[after as usize].time) {
+            after = self.writes[after as usize].prev_write;
+        }
+        let before = if after == NIL {
+            self.heap.meta(m).writes_head
+        } else {
+            self.writes[after as usize].next_write
+        };
+        self.writes[idx as usize].prev_write = after;
+        self.writes[idx as usize].next_write = before;
+        if after == NIL {
+            self.heap.meta_mut(m).writes_head = idx;
+        } else {
+            self.writes[after as usize].next_write = idx;
+        }
+        if before == NIL {
+            self.heap.meta_mut(m).writes_tail = idx;
+        } else {
+            self.writes[before as usize].prev_write = idx;
+        }
+    }
+
+    fn unlink_write(&mut self, w: u32) {
+        let m = self.writes[w as usize].modref;
+        let prev = self.writes[w as usize].prev_write;
+        let next = self.writes[w as usize].next_write;
+        if prev == NIL {
+            self.heap.meta_mut(m).writes_head = next;
+        } else {
+            self.writes[prev as usize].next_write = next;
+        }
+        if next == NIL {
+            self.heap.meta_mut(m).writes_tail = prev;
+        } else {
+            self.writes[next as usize].prev_write = prev;
+        }
+    }
+
+    fn link_reader_sorted(&mut self, m: ModRef, idx: u32) {
+        let t = self.reads[idx as usize].start;
+        let meta = self.heap.meta(m);
+        let mut after = meta.reads_tail;
+        while after != NIL && self.ord.lt(t, self.reads[after as usize].start) {
+            after = self.reads[after as usize].prev_reader;
+        }
+        let before = if after == NIL {
+            self.heap.meta(m).reads_head
+        } else {
+            self.reads[after as usize].next_reader
+        };
+        self.reads[idx as usize].prev_reader = after;
+        self.reads[idx as usize].next_reader = before;
+        if after == NIL {
+            self.heap.meta_mut(m).reads_head = idx;
+        } else {
+            self.reads[after as usize].next_reader = idx;
+        }
+        if before == NIL {
+            self.heap.meta_mut(m).reads_tail = idx;
+        } else {
+            self.reads[before as usize].prev_reader = idx;
+        }
+    }
+
+    fn unlink_reader(&mut self, r: u32) {
+        let m = self.reads[r as usize].modref;
+        let prev = self.reads[r as usize].prev_reader;
+        let next = self.reads[r as usize].next_reader;
+        if prev == NIL {
+            self.heap.meta_mut(m).reads_head = next;
+        } else {
+            self.reads[prev as usize].next_reader = next;
+        }
+        if next == NIL {
+            self.heap.meta_mut(m).reads_tail = prev;
+        } else {
+            self.reads[next as usize].prev_reader = prev;
+        }
+        self.reads[r as usize].prev_reader = NIL;
+        self.reads[r as usize].next_reader = NIL;
+    }
+
+    fn memo_remove(&mut self, r: u32) {
+        let key = self.reads[r as usize].key_hash;
+        if let Some(v) = self.memo_table.get_mut(&key) {
+            if let Some(pos) = v.iter().position(|&x| x == r) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.memo_table.remove(&key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slot allocation.
+    // ------------------------------------------------------------------
+
+    fn alloc_read_slot(&mut self) -> u32 {
+        if let Some(i) = self.free_reads.pop() {
+            i
+        } else {
+            self.reads.push(ReadNode {
+                modref: ModRef(0),
+                func: FuncId(0),
+                args: Box::new([]),
+                last_value: Value::Nil,
+                key_hash: 0,
+                start: Time::NONE,
+                end: Time::NONE,
+                prev_reader: NIL,
+                next_reader: NIL,
+                queued: false,
+                live: false,
+            });
+            (self.reads.len() - 1) as u32
+        }
+    }
+
+    fn alloc_write_slot(&mut self) -> u32 {
+        if let Some(i) = self.free_writes.pop() {
+            i
+        } else {
+            self.writes.push(WriteNode {
+                modref: ModRef(0),
+                value: Value::Nil,
+                time: Time::NONE,
+                prev_write: NIL,
+                next_write: NIL,
+                live: false,
+            });
+            (self.writes.len() - 1) as u32
+        }
+    }
+
+    fn alloc_alloc_slot(&mut self) -> u32 {
+        if let Some(i) = self.free_allocs.pop() {
+            i
+        } else {
+            self.allocs.push(AllocNode {
+                key_hash: 0,
+                words: 0,
+                init: FuncId(0),
+                args: Box::new([]),
+                loc: Loc(0),
+                time: Time::NONE,
+                live: false,
+            });
+            (self.allocs.len() - 1) as u32
+        }
+    }
+
+    fn insert_time(&mut self, p: Payload) -> Time {
+        let t = self.ord.insert_after(self.cur);
+        if t.index() >= self.payloads.len() {
+            self.payloads.resize(t.index() + 1, Payload::Plain);
+        }
+        self.payloads[t.index()] = p;
+        self.cur = t;
+        self.stats.grow(cost::TIME_NODE);
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Priority queue (binary heap over read start timestamps).
+    // ------------------------------------------------------------------
+
+    fn queue_push(&mut self, r: u32) {
+        if self.reads[r as usize].queued {
+            return;
+        }
+        self.reads[r as usize].queued = true;
+        self.queue.push(r);
+        self.sift_up(self.queue.len() - 1);
+    }
+
+    fn queue_pop(&mut self) -> Option<u32> {
+        loop {
+            if self.queue.is_empty() {
+                return None;
+            }
+            let last = self.queue.len() - 1;
+            self.queue.swap(0, last);
+            let r = self.queue.pop().expect("queue non-empty");
+            if !self.queue.is_empty() {
+                self.sift_down(0);
+            }
+            self.reads[r as usize].queued = false;
+            if self.reads[r as usize].live {
+                return Some(r);
+            }
+            // A purged zombie: release its deferred timestamp(s) and slot.
+            let start = self.reads[r as usize].start;
+            if !start.is_none() {
+                self.ord.delete(start);
+                self.stats.shrink(cost::TIME_NODE);
+                self.reads[r as usize].start = Time::NONE;
+            }
+            let end = self.reads[r as usize].end;
+            if !end.is_none() {
+                self.ord.delete(end);
+                self.stats.shrink(cost::TIME_NODE);
+                self.reads[r as usize].end = Time::NONE;
+            }
+            self.maybe_free_read_slot(r);
+        }
+    }
+
+    #[inline]
+    fn queue_less(&self, a: u32, b: u32) -> bool {
+        self.ord.lt(self.reads[a as usize].start, self.reads[b as usize].start)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.queue_less(self.queue[i], self.queue[parent]) {
+                self.queue.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.queue.len() && self.queue_less(self.queue[l], self.queue[smallest]) {
+                smallest = l;
+            }
+            if r < self.queue.len() && self.queue_less(self.queue[r], self.queue[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.queue.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Test/debug support.
+    // ------------------------------------------------------------------
+
+    /// Renders the current trace (the dynamic dependence graph, §1) as
+    /// text: one line per record in trace order, with read intervals,
+    /// their closures, and write/alloc records. Intended for debugging
+    /// and teaching; size is O(trace), so use on small computations.
+    pub fn dump_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut depth = 0usize;
+        let mut t = self.ord.next(self.ord.first());
+        while t != self.ord.last() {
+            let pad = |d: usize| "  ".repeat(d);
+            match self.payloads[t.index()] {
+                Payload::Plain => {}
+                Payload::Read(r) => {
+                    let rd = &self.reads[r as usize];
+                    if rd.live {
+                        let _ = writeln!(
+                            out,
+                            "{}read {:?} -> {} = {:?}{}",
+                            pad(depth),
+                            rd.modref,
+                            self.program.name(rd.func),
+                            rd.last_value,
+                            if rd.queued { "  [dirty]" } else { "" },
+                        );
+                        depth += 1;
+                    }
+                }
+                Payload::ReadEnd(r) => {
+                    if self.reads[r as usize].live {
+                        depth = depth.saturating_sub(1);
+                    }
+                }
+                Payload::Write(w) => {
+                    let wr = &self.writes[w as usize];
+                    let _ = writeln!(
+                        out,
+                        "{}write {:?} := {:?}",
+                        pad(depth),
+                        wr.modref,
+                        wr.value
+                    );
+                }
+                Payload::Alloc(a) => {
+                    let al = &self.allocs[a as usize];
+                    let _ = writeln!(
+                        out,
+                        "{}alloc {:?} ({} words, init {})",
+                        pad(depth),
+                        al.loc,
+                        al.words,
+                        if al.init == MODREF_INIT {
+                            "modref"
+                        } else {
+                            self.program.name(al.init)
+                        },
+                    );
+                }
+            }
+            t = self.ord.next(t);
+        }
+        out
+    }
+
+    /// Checks internal invariants (test support): order-list linkage,
+    /// trace payload consistency, reader/writer list sorting and
+    /// membership, memo-table liveness, and queue flags.
+    pub fn check_invariants(&self) {
+        self.ord.check_invariants();
+        // Reads: intervals well-formed.
+        for (i, rd) in self.reads.iter().enumerate() {
+            if rd.live {
+                assert!(self.ord.is_live(rd.start), "live read r{i} has dead start");
+                assert!(
+                    self.heap.meta_is_live(rd.modref),
+                    "live read r{i} on dead modref {:?}",
+                    rd.modref
+                );
+                if !rd.end.is_none() {
+                    assert!(self.ord.is_live(rd.end), "live read r{i} has dead end");
+                    assert!(self.ord.lt(rd.start, rd.end), "read r{i} interval inverted");
+                }
+            }
+        }
+        // Trace walk: every payload matches a live record whose recorded
+        // timestamp is this node.
+        let mut t = self.ord.next(self.ord.first());
+        while t != self.ord.last() {
+            match self.payloads[t.index()] {
+                Payload::Plain => {}
+                Payload::Read(r) => {
+                    let rd = &self.reads[r as usize];
+                    assert_eq!(rd.start, t, "read r{r} start mismatch");
+                    assert!(
+                        rd.live || rd.queued,
+                        "trace contains a dead, unqueued read r{r}"
+                    );
+                }
+                Payload::ReadEnd(r) => {
+                    let rd = &self.reads[r as usize];
+                    assert_eq!(rd.end, t, "read r{r} end mismatch");
+                    assert!(rd.live, "end marker for dead read r{r}");
+                }
+                Payload::Write(w) => {
+                    let wr = &self.writes[w as usize];
+                    assert!(wr.live, "trace contains dead write w{w}");
+                    assert_eq!(wr.time, t, "write w{w} time mismatch");
+                }
+                Payload::Alloc(a) => {
+                    let al = &self.allocs[a as usize];
+                    assert!(al.live, "trace contains dead alloc a{a}");
+                    assert_eq!(al.time, t, "alloc a{a} time mismatch");
+                    assert!(self.heap.is_live(al.loc), "alloc a{a} block freed");
+                }
+            }
+            t = self.ord.next(t);
+        }
+        // Reader and writer lists: sorted by time, members live.
+        for (ri, rd) in self.reads.iter().enumerate() {
+            if !rd.live {
+                continue;
+            }
+            // The read must be in its modref's reader list.
+            let mut found = false;
+            let mut r = self.heap.meta(rd.modref).reads_head;
+            let mut prev: Option<Time> = None;
+            while r != crate::heap::NIL {
+                let node = &self.reads[r as usize];
+                assert!(node.live, "reader list contains dead read r{r}");
+                if let Some(p) = prev {
+                    assert!(self.ord.lt(p, node.start), "reader list unsorted");
+                }
+                prev = Some(node.start);
+                if r as usize == ri {
+                    found = true;
+                }
+                r = node.next_reader;
+            }
+            assert!(found, "live read r{ri} missing from its reader list");
+        }
+        for (wi, wr) in self.writes.iter().enumerate() {
+            if !wr.live {
+                continue;
+            }
+            let mut found = false;
+            let mut w = self.heap.meta(wr.modref).writes_head;
+            let mut prev: Option<Time> = None;
+            while w != crate::heap::NIL {
+                let node = &self.writes[w as usize];
+                assert!(node.live, "write list contains dead write w{w}");
+                if let Some(p) = prev {
+                    assert!(self.ord.lt(p, node.time), "write list unsorted");
+                }
+                prev = Some(node.time);
+                if w as usize == wi {
+                    found = true;
+                }
+                w = node.next_write;
+            }
+            assert!(found, "live write w{wi} missing from its write list");
+        }
+        // Memo table entries point at live reads with matching hashes.
+        for (&h, entries) in &self.memo_table {
+            for &r in entries {
+                let rd = &self.reads[r as usize];
+                assert!(rd.live, "memo table holds dead read r{r}");
+                assert_eq!(rd.key_hash, h, "memo hash mismatch for r{r}");
+            }
+        }
+        for (&h, entries) in &self.alloc_table {
+            for &a in entries {
+                let al = &self.allocs[a as usize];
+                assert!(al.live, "alloc table holds dead alloc a{a}");
+                assert_eq!(al.key_hash, h, "alloc hash mismatch for a{a}");
+            }
+        }
+        for &q in &self.queue {
+            assert!(self.reads[q as usize].queued, "queue entry not flagged");
+            assert!(self.ord.is_live(self.reads[q as usize].start));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The core heap: blocks of word-sized slots, plus modifiable metadata.
+//!
+//! CEAL programs allocate memory through `alloc` and create modifiables
+//! either standalone (`modref()`) or inline in blocks (`modref_init`,
+//! §6.1). The run-time system owns all of it so that trace purging can
+//! collect core allocations automatically (§2, "CEAL provides its own
+//! memory manager").
+//!
+//! A *block* is a fixed-size array of [`Value`] slots. A *modifiable* is
+//! a slot whose contents are tracked: it owns metadata (current base
+//! value, intrusive lists of read and write trace nodes) stored in a
+//! separate slab and referenced from the slot via [`Value::ModRef`].
+
+use crate::value::{Loc, ModRef, Value};
+
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Who allocated a block (mutator allocations are never auto-collected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Allocated by the core via traced `alloc`; collected when its
+    /// allocation trace node is purged.
+    Core,
+    /// Allocated by the mutator (`alloc` in the meta language); freed
+    /// only by an explicit `kill`.
+    Meta,
+}
+
+#[derive(Debug)]
+struct BlockSlot {
+    data: Vec<Value>,
+    kind: BlockKind,
+    live: bool,
+}
+
+/// Metadata of one modifiable reference.
+///
+/// The read- and write-lists are intrusive doubly-linked lists whose
+/// nodes live in the engine's trace slabs; the heap only stores the
+/// head/tail indices (u32, `NIL`-terminated) and does not interpret them.
+#[derive(Debug)]
+pub(crate) struct MetaSlot {
+    /// Value given by the mutator (or `Value::Nil` before any write).
+    /// Reads that precede every core write are governed by this.
+    pub base: Value,
+    /// First/last read trace node, ordered by start time.
+    pub reads_head: u32,
+    pub reads_tail: u32,
+    /// First/last write trace node, ordered by time.
+    pub writes_head: u32,
+    pub writes_tail: u32,
+    /// Block this modifiable lives in (`None` for standalone metas that
+    /// the mutator created directly).
+    pub owner: Option<Loc>,
+    pub live: bool,
+}
+
+/// The core heap. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Heap {
+    blocks: Vec<BlockSlot>,
+    free_blocks: Vec<u32>,
+    metas: Vec<MetaSlot>,
+    free_metas: Vec<u32>,
+    live_words: usize,
+    live_metas: usize,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Words currently live in blocks (for space accounting, Table 1).
+    pub fn live_words(&self) -> usize {
+        self.live_words
+    }
+
+    /// Live modifiable-metadata records.
+    pub fn live_metas(&self) -> usize {
+        self.live_metas
+    }
+
+    /// Allocates a block of `words` slots, all `Value::Nil`.
+    pub fn alloc_block(&mut self, words: usize, kind: BlockKind) -> Loc {
+        self.live_words += words;
+        let slot = BlockSlot { data: vec![Value::Nil; words], kind, live: true };
+        if let Some(i) = self.free_blocks.pop() {
+            self.blocks[i as usize] = slot;
+            Loc(i)
+        } else {
+            self.blocks.push(slot);
+            Loc((self.blocks.len() - 1) as u32)
+        }
+    }
+
+    /// Frees a block. The caller is responsible for having freed or
+    /// detached any modifiables inside it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already dead.
+    pub fn free_block(&mut self, loc: Loc) {
+        let b = &mut self.blocks[loc.0 as usize];
+        assert!(b.live, "double free of {loc:?}");
+        b.live = false;
+        self.live_words -= b.data.len();
+        b.data = Vec::new();
+        self.free_blocks.push(loc.0);
+    }
+
+    /// Whether `loc` refers to a live block.
+    pub fn is_live(&self, loc: Loc) -> bool {
+        (loc.0 as usize) < self.blocks.len() && self.blocks[loc.0 as usize].live
+    }
+
+    /// The kind of a live block.
+    pub fn kind(&self, loc: Loc) -> BlockKind {
+        debug_assert!(self.is_live(loc));
+        self.blocks[loc.0 as usize].kind
+    }
+
+    /// Number of slots in a live block.
+    pub fn block_len(&self, loc: Loc) -> usize {
+        debug_assert!(self.is_live(loc), "block_len of dead {loc:?}");
+        self.blocks[loc.0 as usize].data.len()
+    }
+
+    /// Reads slot `off` of block `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is dead or `off` is out of bounds.
+    #[inline]
+    #[track_caller]
+    pub fn load(&self, loc: Loc, off: usize) -> Value {
+        let b = &self.blocks[loc.0 as usize];
+        assert!(b.live, "load from dead {loc:?}");
+        b.data[off]
+    }
+
+    /// Writes slot `off` of block `loc` (no tracking: initialization and
+    /// meta-level stores only; the engine enforces the write-once
+    /// discipline of §4.2).
+    #[inline]
+    #[track_caller]
+    pub fn store(&mut self, loc: Loc, off: usize, v: Value) {
+        let b = &mut self.blocks[loc.0 as usize];
+        assert!(b.live, "store to dead {loc:?}");
+        b.data[off] = v;
+    }
+
+    /// Creates a fresh modifiable metadata record.
+    pub(crate) fn alloc_meta(&mut self, base: Value, owner: Option<Loc>) -> ModRef {
+        self.live_metas += 1;
+        let slot = MetaSlot {
+            base,
+            reads_head: NIL,
+            reads_tail: NIL,
+            writes_head: NIL,
+            writes_tail: NIL,
+            owner,
+            live: true,
+        };
+        if let Some(i) = self.free_metas.pop() {
+            self.metas[i as usize] = slot;
+            ModRef(i)
+        } else {
+            self.metas.push(slot);
+            ModRef((self.metas.len() - 1) as u32)
+        }
+    }
+
+    /// Frees a modifiable metadata record; its read/write lists must be
+    /// empty.
+    pub(crate) fn free_meta(&mut self, m: ModRef) {
+        let s = &mut self.metas[m.0 as usize];
+        assert!(s.live, "double free of {m:?}");
+        debug_assert_eq!(s.reads_head, NIL, "freeing modref with live readers");
+        debug_assert_eq!(s.writes_head, NIL, "freeing modref with live writes");
+        s.live = false;
+        self.live_metas -= 1;
+        self.free_metas.push(m.0);
+    }
+
+    /// Whether `m` is a live modifiable.
+    pub fn meta_is_live(&self, m: ModRef) -> bool {
+        (m.0 as usize) < self.metas.len() && self.metas[m.0 as usize].live
+    }
+
+    #[inline]
+    pub(crate) fn meta(&self, m: ModRef) -> &MetaSlot {
+        let s = &self.metas[m.0 as usize];
+        debug_assert!(s.live, "access to dead {m:?}");
+        s
+    }
+
+    #[inline]
+    pub(crate) fn meta_mut(&mut self, m: ModRef) -> &mut MetaSlot {
+        let s = &mut self.metas[m.0 as usize];
+        debug_assert!(s.live, "access to dead {m:?}");
+        s
+    }
+
+    /// Iterates over the slots of a block (test/debug support).
+    pub fn block_slots(&self, loc: Loc) -> impl Iterator<Item = Value> + '_ {
+        let b = &self.blocks[loc.0 as usize];
+        assert!(b.live);
+        b.data.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let mut h = Heap::new();
+        let b = h.alloc_block(3, BlockKind::Core);
+        assert_eq!(h.block_len(b), 3);
+        assert_eq!(h.load(b, 1), Value::Nil);
+        h.store(b, 1, Value::Int(9));
+        assert_eq!(h.load(b, 1), Value::Int(9));
+        assert_eq!(h.live_words(), 3);
+        h.free_block(b);
+        assert_eq!(h.live_words(), 0);
+        assert!(!h.is_live(b));
+    }
+
+    #[test]
+    fn block_ids_are_reused() {
+        let mut h = Heap::new();
+        let a = h.alloc_block(1, BlockKind::Core);
+        h.free_block(a);
+        let b = h.alloc_block(2, BlockKind::Meta);
+        assert_eq!(a, b, "slot reused");
+        assert_eq!(h.kind(b), BlockKind::Meta);
+        assert_eq!(h.block_len(b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_block_panics() {
+        let mut h = Heap::new();
+        let b = h.alloc_block(1, BlockKind::Core);
+        h.free_block(b);
+        h.free_block(b);
+    }
+
+    #[test]
+    fn meta_lifecycle() {
+        let mut h = Heap::new();
+        let m = h.alloc_meta(Value::Int(5), None);
+        assert!(h.meta_is_live(m));
+        assert_eq!(h.meta(m).base, Value::Int(5));
+        assert_eq!(h.live_metas(), 1);
+        h.free_meta(m);
+        assert!(!h.meta_is_live(m));
+        assert_eq!(h.live_metas(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load from dead")]
+    fn load_after_free_panics() {
+        let mut h = Heap::new();
+        let b = h.alloc_block(1, BlockKind::Core);
+        h.free_block(b);
+        h.load(b, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Programs: tables of core functions the engine can dispatch.
+//!
+//! Translated CEAL code (§6.2) consists of functions that run straight-
+//! line code and then *return a closure to the active trampoline*: either
+//! `Done` (the CL `done` block), a tail call, or a read paired with the
+//! closure that consumes the value. Native Rust functions written in
+//! this style are exactly what the paper's translation emits as C; the
+//! VM crate additionally registers interpreted functions through
+//! [`OpaqueFn`].
+
+use crate::engine::Engine;
+use crate::value::{FuncId, ModRef, Value};
+
+/// What a core function hands back to the trampoline (Fig. 12).
+#[derive(Debug)]
+pub enum Tail {
+    /// The CL `done` block: the current tail-call chain is complete.
+    Done,
+    /// `tail f(args)`: continue the chain with `f`.
+    Call(FuncId, Box<[Value]>),
+    /// `x := read m; tail f(x, args)`: read the modifiable and continue
+    /// with its contents prepended to `args` (the paper's `NULL`
+    /// place-holder convention, §6.2).
+    Read(ModRef, FuncId, Box<[Value]>),
+}
+
+impl Tail {
+    /// Convenience constructor for [`Tail::Call`].
+    pub fn call(f: FuncId, args: &[Value]) -> Tail {
+        Tail::Call(f, args.into())
+    }
+
+    /// Convenience constructor for [`Tail::Read`].
+    pub fn read(m: ModRef, f: FuncId, args: &[Value]) -> Tail {
+        Tail::Read(m, f, args.into())
+    }
+}
+
+/// A core function implemented as a Rust closure: the analogue of the C
+/// functions `cealc` emits. Closures may capture the [`FuncId`]s of the
+/// other functions they tail-call.
+pub type NativeFn = Box<dyn Fn(&mut Engine, &[Value]) -> Tail>;
+
+/// A core function with interpreted or stateful implementation (used by
+/// the `ceal-vm` crate for translated target code).
+pub trait OpaqueFn {
+    /// Runs the function body; like [`NativeFn`], the body may perform
+    /// engine operations (`alloc`, `write`, nested `call`) and must end
+    /// by returning a [`Tail`].
+    fn invoke(&self, engine: &mut Engine, args: &[Value]) -> Tail;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "<opaque>"
+    }
+}
+
+enum Impl {
+    Native { f: NativeFn, name: String },
+    Opaque(Box<dyn OpaqueFn>),
+}
+
+/// An immutable table of core functions, built once with
+/// [`ProgramBuilder`] and shared by the engine.
+///
+/// # Examples
+///
+/// ```
+/// use ceal_runtime::program::{ProgramBuilder, Tail};
+///
+/// let mut b = ProgramBuilder::new();
+/// let noop = b.declare("noop");
+/// b.define_native(noop, |_e, _args| Tail::Done);
+/// let program = b.build();
+/// assert_eq!(program.name(noop), "noop");
+/// ```
+pub struct Program {
+    funcs: Vec<Impl>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program").field("funcs", &self.funcs.len()).finish()
+    }
+}
+
+impl Program {
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Returns `true` if the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// The diagnostic name of function `f`.
+    pub fn name(&self, f: FuncId) -> &str {
+        match &self.funcs[f.0 as usize] {
+            Impl::Native { name, .. } => name,
+            Impl::Opaque(b) => b.name(),
+        }
+    }
+
+    /// Invokes function `f`. Used by the engine's trampoline.
+    pub(crate) fn invoke(&self, f: FuncId, engine: &mut Engine, args: &[Value]) -> Tail {
+        match &self.funcs[f.0 as usize] {
+            Impl::Native { f, .. } => f(engine, args),
+            Impl::Opaque(b) => b.invoke(engine, args),
+        }
+    }
+}
+
+/// Builder for [`Program`].
+///
+/// Functions are *declared* first (yielding their [`FuncId`], so that
+/// mutually recursive functions can reference each other) and *defined*
+/// afterwards.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    funcs: Vec<Option<Impl>>,
+    names: Vec<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function named `name`, returning its id.
+    pub fn declare(&mut self, name: &str) -> FuncId {
+        self.funcs.push(None);
+        self.names.push(name.to_string());
+        FuncId((self.funcs.len() - 1) as u32)
+    }
+
+    /// Defines a previously declared function with a native body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is already defined.
+    pub fn define_native(
+        &mut self,
+        f: FuncId,
+        body: impl Fn(&mut Engine, &[Value]) -> Tail + 'static,
+    ) {
+        let slot = &mut self.funcs[f.0 as usize];
+        assert!(slot.is_none(), "function {} defined twice", self.names[f.0 as usize]);
+        *slot = Some(Impl::Native { f: Box::new(body), name: self.names[f.0 as usize].clone() });
+    }
+
+    /// Declares and defines a native function in one step.
+    pub fn native(
+        &mut self,
+        name: &str,
+        body: impl Fn(&mut Engine, &[Value]) -> Tail + 'static,
+    ) -> FuncId {
+        let f = self.declare(name);
+        self.define_native(f, body);
+        f
+    }
+
+    /// Defines a previously declared function with an opaque body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is already defined.
+    pub fn define_opaque(&mut self, f: FuncId, body: Box<dyn OpaqueFn>) {
+        let slot = &mut self.funcs[f.0 as usize];
+        assert!(slot.is_none(), "function {} defined twice", self.names[f.0 as usize]);
+        *slot = Some(Impl::Opaque(body));
+    }
+
+    /// Finalizes the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared function was never defined.
+    pub fn build(self) -> std::rc::Rc<Program> {
+        let funcs = self
+            .funcs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {} declared but not defined", self.names[i])))
+            .collect();
+        std::rc::Rc::new(Program { funcs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_then_define() {
+        let mut b = ProgramBuilder::new();
+        let f = b.declare("f");
+        let g = b.native("g", |_e, _a| Tail::Done);
+        b.define_native(f, |_e, _a| Tail::Done);
+        let p = b.build();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(f), "f");
+        assert_eq!(p.name(g), "g");
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but not defined")]
+    fn missing_definition_panics() {
+        let mut b = ProgramBuilder::new();
+        b.declare("ghost");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_definition_panics() {
+        let mut b = ProgramBuilder::new();
+        let f = b.native("f", |_e, _a| Tail::Done);
+        b.define_native(f, |_e, _a| Tail::Done);
+    }
+}

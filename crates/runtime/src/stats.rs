@@ -1,0 +1,108 @@
+//! Run-time statistics: operation counters and live-space accounting.
+//!
+//! The paper's Table 1 reports "Max Live" — the maximum live memory over
+//! a from-scratch run plus the test-mutator run. We account for every
+//! run-time structure (heap words, modifiable metadata, trace nodes,
+//! timestamps, closure environments) with fixed per-record costs that
+//! mirror the C implementation's record sizes.
+
+/// Approximate byte costs of run-time records, used for live-space
+/// accounting. These mirror the field counts of the C RTS records.
+pub mod cost {
+    /// One timestamp (label + two links).
+    pub const TIME_NODE: usize = 24;
+    /// A read trace node (modref, closure header, two timestamps' links,
+    /// reader-list links, hash).
+    pub const READ_NODE: usize = 72;
+    /// A write trace node.
+    pub const WRITE_NODE: usize = 40;
+    /// An allocation trace node.
+    pub const ALLOC_NODE: usize = 56;
+    /// Modifiable metadata (base value + four list ends + owner).
+    pub const META: usize = 48;
+    /// One heap word.
+    pub const WORD: usize = 8;
+    /// Per closure-argument word (boxed environments).
+    pub const ARG_WORD: usize = 8;
+}
+
+/// Counters exposed by [`crate::engine::Engine::stats`].
+///
+/// All counters are cumulative over the engine's lifetime except
+/// `live_bytes`, which tracks the current footprint, and
+/// `max_live_bytes`, its high-water mark.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Read trace nodes created (initial run + re-executions).
+    pub reads_created: u64,
+    /// Write trace nodes created.
+    pub writes_created: u64,
+    /// Allocation trace nodes created (fresh blocks).
+    pub allocs_created: u64,
+    /// Allocations satisfied by stealing a matching block from the
+    /// re-execution window (keyed allocation, §6.1 / ISMM'08).
+    pub allocs_stolen: u64,
+    /// Memoization hits: a read matched in the window and its subtrace
+    /// was spliced in instead of re-executing.
+    pub memo_hits: u64,
+    /// Reads re-executed by change propagation.
+    pub reads_reexecuted: u64,
+    /// Reads popped from the queue but skipped (already purged, or value
+    /// unchanged after intervening writes).
+    pub reads_skipped: u64,
+    /// Trace nodes purged ("trashed") during change propagation.
+    pub nodes_purged: u64,
+    /// Blocks collected when their allocation node was purged.
+    pub blocks_collected: u64,
+    /// Calls to `propagate`.
+    pub propagations: u64,
+    /// Simulated-GC runs (SML simulation only).
+    pub gc_runs: u64,
+    /// Total objects marked by the simulated GC.
+    pub gc_marked: u64,
+    /// Current accounted footprint in bytes.
+    pub live_bytes: usize,
+    /// High-water mark of `live_bytes`.
+    pub max_live_bytes: usize,
+}
+
+impl Stats {
+    /// Adds `n` bytes to the live footprint, updating the high-water mark.
+    #[inline]
+    pub(crate) fn grow(&mut self, n: usize) {
+        self.live_bytes += n;
+        if self.live_bytes > self.max_live_bytes {
+            self.max_live_bytes = self.live_bytes;
+        }
+    }
+
+    /// Removes `n` bytes from the live footprint.
+    #[inline]
+    pub(crate) fn shrink(&mut self, n: usize) {
+        debug_assert!(self.live_bytes >= n, "live-byte accounting underflow");
+        self.live_bytes = self.live_bytes.saturating_sub(n);
+    }
+
+    /// Resets the high-water mark to the current footprint (used by
+    /// harnesses that measure phases separately).
+    pub fn reset_max_live(&mut self) {
+        self.max_live_bytes = self.live_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let mut s = Stats::default();
+        s.grow(100);
+        s.grow(50);
+        s.shrink(120);
+        assert_eq!(s.live_bytes, 30);
+        assert_eq!(s.max_live_bytes, 150);
+        s.reset_max_live();
+        assert_eq!(s.max_live_bytes, 30);
+    }
+}

@@ -1,0 +1,395 @@
+//! Word-sized run-time values.
+//!
+//! CEAL modifiables hold word-sized contents (`void*` in the paper, §2).
+//! The reproduction mirrors that discipline with a small `Copy` enum:
+//! integers, floats (bit-compared), pointers to core-heap blocks,
+//! modifiable handles, function references and interned strings.
+
+use std::fmt;
+
+/// Handle to a core-heap block (see [`crate::heap`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u32);
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Handle to a modifiable reference's metadata (see [`crate::heap`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModRef(pub u32);
+
+impl fmt::Debug for ModRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Index of a function in a [`crate::program::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Handle to an interned string (see [`Interner`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+impl fmt::Debug for StrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A word-sized run-time value.
+///
+/// `Value` is the uniform currency of the run-time system: modifiable
+/// contents, heap-block slots, and closure arguments are all `Value`s,
+/// mirroring the `void*`-typed primitives of CEAL (§2). Floats compare
+/// and hash by bit pattern so that `Value` can be a key in memo tables.
+///
+/// # Examples
+///
+/// ```
+/// use ceal_runtime::value::Value;
+/// let v = Value::Int(41 + 1);
+/// assert_eq!(v, Value::Int(42));
+/// assert_eq!(v.as_int(), Some(42));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub enum Value {
+    /// The null pointer / unit value (`NULL` in CEAL programs).
+    #[default]
+    Nil,
+    /// A signed machine integer.
+    Int(i64),
+    /// A double-precision float (equality and hashing are bit-wise).
+    Float(f64),
+    /// A pointer to a core-heap block.
+    Ptr(Loc),
+    /// A modifiable reference.
+    ModRef(ModRef),
+    /// A function reference (CEAL permits passing function pointers to
+    /// `alloc` as initializers).
+    Func(FuncId),
+    /// An interned string (used by the sorting benchmarks, §8.2).
+    Str(StrId),
+}
+
+impl Value {
+    /// Truthiness as in C: everything but `Nil`, `Int(0)` and `Float(0.0)`
+    /// is true.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::Nil => false,
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            _ => true,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float`.
+    #[inline]
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The block pointer, if this is a `Ptr`.
+    #[inline]
+    pub fn as_ptr(self) -> Option<Loc> {
+        match self {
+            Value::Ptr(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The modifiable handle, if this is a `ModRef`.
+    #[inline]
+    pub fn as_modref(self) -> Option<ModRef> {
+        match self {
+            Value::ModRef(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int`; core programs that reach this
+    /// are type-incorrect, mirroring undefined behavior in C.
+    #[inline]
+    #[track_caller]
+    pub fn int(self) -> i64 {
+        self.as_int().unwrap_or_else(|| panic!("expected Int, got {self:?}"))
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Float`.
+    #[inline]
+    #[track_caller]
+    pub fn float(self) -> f64 {
+        self.as_float().unwrap_or_else(|| panic!("expected Float, got {self:?}"))
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Ptr`.
+    #[inline]
+    #[track_caller]
+    pub fn ptr(self) -> Loc {
+        self.as_ptr().unwrap_or_else(|| panic!("expected Ptr, got {self:?}"))
+    }
+
+    /// The modifiable payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `ModRef`.
+    #[inline]
+    #[track_caller]
+    pub fn modref(self) -> ModRef {
+        self.as_modref().unwrap_or_else(|| panic!("expected ModRef, got {self:?}"))
+    }
+
+    /// The string payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Str`.
+    #[inline]
+    #[track_caller]
+    pub fn str_id(self) -> StrId {
+        match self {
+            Value::Str(s) => s,
+            _ => panic!("expected Str, got {self:?}"),
+        }
+    }
+
+    /// The function payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Func`.
+    #[inline]
+    #[track_caller]
+    pub fn func(self) -> FuncId {
+        match self {
+            Value::Func(f) => f,
+            _ => panic!("expected Func, got {self:?}"),
+        }
+    }
+
+    /// A stable 3-bit tag used for hashing.
+    #[inline]
+    fn tag(self) -> u8 {
+        match self {
+            Value::Nil => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Ptr(_) => 3,
+            Value::ModRef(_) => 4,
+            Value::Func(_) => 5,
+            Value::Str(_) => 6,
+        }
+    }
+
+    /// Payload bits used for hashing and equality.
+    #[inline]
+    fn bits(self) -> u64 {
+        match self {
+            Value::Nil => 0,
+            Value::Int(i) => i as u64,
+            Value::Float(f) => f.to_bits(),
+            Value::Ptr(Loc(p)) => p as u64,
+            Value::ModRef(ModRef(m)) => m as u64,
+            Value::Func(FuncId(f)) => f as u64,
+            Value::Str(StrId(s)) => s as u64,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.tag() == other.tag() && self.bits() == other.bits()
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.tag());
+        state.write_u64(self.bits());
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Ptr(l) => write!(f, "{l:?}"),
+            Value::ModRef(m) => write!(f, "{m:?}"),
+            Value::Func(g) => write!(f, "{g:?}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Int(b as i64)
+    }
+}
+
+/// A string interner: maps strings to dense [`StrId`]s so string values
+/// stay word-sized and compare by id or by content.
+///
+/// # Examples
+///
+/// ```
+/// use ceal_runtime::value::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("apple");
+/// let b = i.intern("banana");
+/// let a2 = i.intern("apple");
+/// assert_eq!(a, a2);
+/// assert!(i.resolve(a) < i.resolve(b));
+/// ```
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    map: std::collections::HashMap<Box<str>, StrId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id; repeated calls with equal content
+    /// return equal ids.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = StrId(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// The content of an interned string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: StrId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Lexicographic comparison of two interned strings by content.
+    pub fn cmp(&self, a: StrId, b: StrId) -> std::cmp::Ordering {
+        self.resolve(a).cmp(self.resolve(b))
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn float_nan_equality_is_bitwise() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b, "identical NaN bits compare equal");
+        assert_eq!(h(a), h(b));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0), "distinct bit patterns differ");
+    }
+
+    #[test]
+    fn tags_distinguish_same_bits() {
+        assert_ne!(Value::Int(3), Value::Ptr(Loc(3)));
+        assert_ne!(Value::Ptr(Loc(3)), Value::ModRef(ModRef(3)));
+        assert_ne!(Value::Nil, Value::Int(0));
+    }
+
+    #[test]
+    fn truthiness_matches_c() {
+        assert!(!Value::Nil.is_true());
+        assert!(!Value::Int(0).is_true());
+        assert!(Value::Int(-1).is_true());
+        assert!(!Value::Float(0.0).is_true());
+        assert!(Value::Ptr(Loc(0)).is_true());
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let mut i = Interner::new();
+        let ids: Vec<_> = ["a", "bb", "a", "ccc"].iter().map(|s| i.intern(s)).collect();
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(i.resolve(ids[1]), "bb");
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.cmp(ids[0], ids[1]), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the run-time substrates: the
+//! order-maintenance list against a vector reference, and change
+//! propagation against from-scratch re-execution over random dependency
+//! networks with random edit scripts.
+
+use ceal_runtime::order::OrderList;
+use ceal_runtime::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Order maintenance vs a reference Vec.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum OrdOp {
+    /// Insert after the element at (index % (len+1)); 0 = after the
+    /// front sentinel.
+    Insert(usize),
+    /// Delete the element at (index % len), if any.
+    Delete(usize),
+}
+
+fn ord_ops() -> impl Strategy<Value = Vec<OrdOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..1000).prop_map(OrdOp::Insert),
+            (0usize..1000).prop_map(OrdOp::Delete),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn order_list_matches_reference(ops in ord_ops()) {
+        let mut ord = OrderList::new();
+        let mut reference: Vec<ceal_runtime::order::Time> = Vec::new();
+        for op in ops {
+            match op {
+                OrdOp::Insert(i) => {
+                    let pos = i % (reference.len() + 1);
+                    let after = if pos == 0 { ord.first() } else { reference[pos - 1] };
+                    let t = ord.insert_after(after);
+                    reference.insert(pos, t);
+                }
+                OrdOp::Delete(i) => {
+                    if !reference.is_empty() {
+                        let pos = i % reference.len();
+                        ord.delete(reference.remove(pos));
+                    }
+                }
+            }
+        }
+        ord.check_invariants();
+        prop_assert_eq!(ord.len(), reference.len());
+        for w in reference.windows(2) {
+            prop_assert_eq!(ord.cmp(w[0], w[1]), std::cmp::Ordering::Less);
+        }
+        // Next/prev agree with the reference order.
+        for (i, &t) in reference.iter().enumerate() {
+            let next = ord.next(t);
+            if i + 1 < reference.len() {
+                prop_assert_eq!(next, reference[i + 1]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A random DAG of adders: change propagation == from-scratch.
+// ---------------------------------------------------------------------
+
+/// Builds a program where node i computes `out_i := in_a + in_b` over
+/// earlier nodes/inputs, then compares propagation against recomputing.
+fn adder_network(seed: u64, n_inputs: usize, n_nodes: usize, rounds: usize) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut b = ProgramBuilder::new();
+    let add_b = b.declare("add_b");
+    let add = b.declare("add");
+    b.define_native(add, move |_e, args| Tail::read(args[0].modref(), add_b, &args[1..]));
+    // add_b(v, b_m, out) -> read b -> add_c(w, v, out)
+    let add_c = b.declare("add_c");
+    b.define_native(add_b, move |_e, args| {
+        Tail::read(args[1].modref(), add_c, &[args[0], args[2]])
+    });
+    b.define_native(add_c, move |e, args| {
+        e.write(args[2].modref(), Value::Int(args[0].int() + args[1].int()));
+        Tail::Done
+    });
+    // driver(net_block, count): call add for each triple.
+    let driver = b.declare("driver");
+    b.define_native(driver, move |e, args| {
+        let net = args[0].ptr();
+        let count = args[1].int();
+        for i in 0..count {
+            let a = e.load(net, (3 * i) as usize);
+            let bb = e.load(net, (3 * i + 1) as usize);
+            let o = e.load(net, (3 * i + 2) as usize);
+            e.call(add, &[a, bb, o]);
+        }
+        Tail::Done
+    });
+
+    let mut e = Engine::new(b.build());
+    let inputs: Vec<ModRef> = (0..n_inputs)
+        .map(|_| {
+            let m = e.meta_modref();
+            e.modify(m, Value::Int(rng.gen_range(-50..50)));
+            m
+        })
+        .collect();
+    // Wiring: node i reads two earlier signals.
+    let mut signals: Vec<ModRef> = inputs.clone();
+    let net = e.meta_alloc(3 * n_nodes);
+    let mut wiring = Vec::new();
+    for i in 0..n_nodes {
+        let a = signals[rng.gen_range(0..signals.len())];
+        let bb = signals[rng.gen_range(0..signals.len())];
+        let o = e.meta_modref();
+        e.meta_store(net, 3 * i, Value::ModRef(a));
+        e.meta_store(net, 3 * i + 1, Value::ModRef(bb));
+        e.meta_store(net, 3 * i + 2, Value::ModRef(o));
+        wiring.push((a, bb, o));
+        signals.push(o);
+    }
+    e.run_core(driver, &[Value::Ptr(net), Value::Int(n_nodes as i64)]);
+
+    // Oracle: recompute all signals from input values.
+    let recompute = |e: &Engine| -> Vec<i64> {
+        let mut vals: std::collections::HashMap<ModRef, i64> =
+            inputs.iter().map(|&m| (m, e.deref(m).int())).collect();
+        let mut outs = Vec::new();
+        for &(a, bb, o) in &wiring {
+            let v = vals[&a] + vals[&bb];
+            vals.insert(o, v);
+            outs.push(v);
+        }
+        outs
+    };
+    let outputs: Vec<ModRef> = wiring.iter().map(|&(_, _, o)| o).collect();
+    let read_all =
+        |e: &Engine| -> Vec<i64> { outputs.iter().map(|&m| e.deref(m).int()).collect() };
+    assert_eq!(read_all(&e), recompute(&e), "initial run");
+
+    for _ in 0..rounds {
+        // Change a few inputs at once (batch modification).
+        let k = rng.gen_range(1..=3.min(n_inputs));
+        for _ in 0..k {
+            let m = inputs[rng.gen_range(0..n_inputs)];
+            e.modify(m, Value::Int(rng.gen_range(-50..50)));
+        }
+        e.propagate();
+        assert_eq!(read_all(&e), recompute(&e), "after batch edit");
+    }
+    e.check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #[test]
+    fn adder_network_propagates_correctly(
+        seed in 0u64..10_000,
+        n_inputs in 1usize..6,
+        n_nodes in 1usize..40,
+    ) {
+        adder_network(seed, n_inputs, n_nodes, 6);
+    }
+}

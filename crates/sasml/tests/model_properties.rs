@@ -1,0 +1,63 @@
+//! Properties of the SaSML cost model beyond the calibration tests in
+//! the crate root.
+
+use ceal_runtime::{EngineConfig, SmlSim};
+use ceal_sasml::{compare, sasml_config, table2_benches};
+use ceal_suite::harness::Bench;
+
+#[test]
+fn config_shape() {
+    let c = sasml_config(Some(1 << 20));
+    assert!(c.memo && c.keyed_alloc, "SaSML memoizes and reuses (8.4)");
+    let sim = c.sml_sim.expect("simulation enabled");
+    assert_eq!(sim.heap_limit, Some(1 << 20));
+    assert!(sim.boxes_per_op > 0);
+}
+
+#[test]
+fn model_outputs_stay_correct_across_suite() {
+    // The cost model must never change results: spot-check three
+    // different benchmark shapes (list, reduction, geometry).
+    for b in [Bench::Filter, Bench::Minimum, Bench::Quickhull] {
+        let m = b.measure_with(800, 20, 3, sasml_config(None));
+        assert!(m.ok, "{} output mismatch under the SaSML model", b.name());
+    }
+}
+
+#[test]
+fn gc_runs_are_counted() {
+    use ceal_runtime::prelude::*;
+    use ceal_suite::input::int_list;
+    use ceal_suite::sac::listops::map_program;
+    let (p, map) = map_program();
+    // Tiny heap limit: collections must happen during the initial run.
+    let cfg = EngineConfig {
+        memo: true,
+        keyed_alloc: true,
+        sml_sim: Some(SmlSim { heap_limit: Some(64 * 1024), box_words: 4, boxes_per_op: 10 }),
+    };
+    let mut e = Engine::with_config(p, cfg);
+    let l = int_list(&mut e, 2_000, 5);
+    let out = e.meta_modref();
+    e.run_core(map, &[Value::ModRef(l.head), Value::ModRef(out)]);
+    assert!(e.stats().gc_runs > 0, "tight heap must trigger collections");
+    assert!(e.stats().gc_marked > 0);
+}
+
+#[test]
+fn every_table2_bench_is_in_the_suite() {
+    // The common-benchmark list matches 8.4's Table 2 rows.
+    let names: Vec<&str> = table2_benches().iter().map(|b| b.name()).collect();
+    assert_eq!(
+        names,
+        ["filter", "map", "reverse", "minimum", "sum", "quicksort", "quickhull", "diameter"]
+    );
+}
+
+#[test]
+fn comparison_ratios_are_positive_and_finite() {
+    let c = compare(Bench::Reverse, 1_500, 25, 11);
+    for r in [c.fromscratch_ratio(), c.propagation_ratio(), c.space_ratio()] {
+        assert!(r.is_finite() && r > 0.0, "bad ratio {r}");
+    }
+}

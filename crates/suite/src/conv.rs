@@ -1,0 +1,552 @@
+//! Conventional (non-self-adjusting) versions of the benchmarks.
+//!
+//! The paper derives its conventional versions from the CEAL sources by
+//! replacing modifiables with plain one-word references (§8.1): the
+//! result is ordinary pointer-based C. We mirror that: list benchmarks
+//! run over arena-allocated linked lists (pointer-chasing and per-cell
+//! allocation, like the C versions), and the geometry benchmarks use
+//! the same recursion and the same strict predicates as the
+//! self-adjusting versions so outputs are comparable bit-for-bit.
+
+use crate::input::Point;
+
+/// An arena-allocated singly-linked list: the conventional analogue of
+/// the modifiable lists (a cell is `[data, next]`, `next` a plain word).
+#[derive(Clone, Debug)]
+pub struct List<T> {
+    cells: Vec<(T, u32)>,
+    head: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<T: Copy> List<T> {
+    /// Builds a list from a slice, preserving order.
+    pub fn from_slice(data: &[T]) -> Self {
+        let mut cells = Vec::with_capacity(data.len());
+        for (i, &x) in data.iter().enumerate() {
+            let next = if i + 1 < data.len() { (i + 1) as u32 } else { NIL };
+            cells.push((x, next));
+        }
+        let head = if data.is_empty() { NIL } else { 0 };
+        List { cells, head }
+    }
+
+    /// An empty list sharing no arena.
+    pub fn new() -> Self {
+        List { cells: Vec::new(), head: NIL }
+    }
+
+    fn cons_into(arena: &mut Vec<(T, u32)>, data: T, next: u32) -> u32 {
+        arena.push((data, next));
+        (arena.len() - 1) as u32
+    }
+
+    /// Collects the list into a `Vec` (for checking outputs).
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        while cur != NIL {
+            let (d, next) = self.cells[cur as usize];
+            out.push(d);
+            cur = next;
+        }
+        out
+    }
+
+    /// Number of elements (walks the list).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head;
+        while cur != NIL {
+            n += 1;
+            cur = self.cells[cur as usize].1;
+        }
+        n
+    }
+
+    /// Returns `true` if the list has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+}
+
+impl<T: Copy> Default for List<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Conventional `map`: fresh output list with `f` applied per cell.
+pub fn map_list<T: Copy, U: Copy>(l: &List<T>, f: impl Fn(T) -> U) -> List<U> {
+    let mut out: Vec<(U, u32)> = Vec::new();
+    let mut head = NIL;
+    let mut tail = NIL;
+    let mut cur = l.head;
+    while cur != NIL {
+        let (d, next) = l.cells[cur as usize];
+        let c = List::cons_into(&mut out, f(d), NIL);
+        if tail == NIL {
+            head = c;
+        } else {
+            out[tail as usize].1 = c;
+        }
+        tail = c;
+        cur = next;
+    }
+    List { cells: out, head }
+}
+
+/// Conventional `filter`.
+pub fn filter_list<T: Copy>(l: &List<T>, keep: impl Fn(T) -> bool) -> List<T> {
+    let mut out: Vec<(T, u32)> = Vec::new();
+    let mut head = NIL;
+    let mut tail = NIL;
+    let mut cur = l.head;
+    while cur != NIL {
+        let (d, next) = l.cells[cur as usize];
+        if keep(d) {
+            let c = List::cons_into(&mut out, d, NIL);
+            if tail == NIL {
+                head = c;
+            } else {
+                out[tail as usize].1 = c;
+            }
+            tail = c;
+        }
+        cur = next;
+    }
+    List { cells: out, head }
+}
+
+/// Conventional `reverse`.
+pub fn reverse_list<T: Copy>(l: &List<T>) -> List<T> {
+    let mut out: Vec<(T, u32)> = Vec::new();
+    let mut head = NIL;
+    let mut cur = l.head;
+    while cur != NIL {
+        let (d, next) = l.cells[cur as usize];
+        head = List::cons_into(&mut out, d, head);
+        cur = next;
+    }
+    List { cells: out, head }
+}
+
+/// Conventional `minimum` (returns `None` on empty input).
+pub fn minimum_list(l: &List<i64>) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    let mut cur = l.head;
+    while cur != NIL {
+        let (d, next) = l.cells[cur as usize];
+        best = Some(best.map_or(d, |b| b.min(d)));
+        cur = next;
+    }
+    best
+}
+
+/// Conventional `sum`.
+pub fn sum_list(l: &List<i64>) -> Option<i64> {
+    let mut acc: Option<i64> = None;
+    let mut cur = l.head;
+    while cur != NIL {
+        let (d, next) = l.cells[cur as usize];
+        acc = Some(acc.unwrap_or(0) + d);
+        cur = next;
+    }
+    acc
+}
+
+/// Conventional quicksort on a linked list (same algorithm as the
+/// self-adjusting version: head pivot, partition, recurse).
+pub fn quicksort_list<T: Copy, F: Fn(T, T) -> bool + Copy>(l: &List<T>, le: F) -> List<T> {
+    // Copy into a fresh arena and sort links.
+    let mut arena: Vec<(T, u32)> = l.cells.clone();
+    let head = qs(&mut arena, l.head, NIL, le);
+    List { cells: arena, head }
+}
+
+fn qs<T: Copy, F: Fn(T, T) -> bool + Copy>(
+    arena: &mut Vec<(T, u32)>,
+    l: u32,
+    rest: u32,
+    le: F,
+) -> u32 {
+    if l == NIL {
+        return rest;
+    }
+    let (pivot, mut cur) = arena[l as usize];
+    // Partition the tail.
+    let (mut le_h, mut gt_h) = (NIL, NIL);
+    while cur != NIL {
+        let (d, next) = arena[cur as usize];
+        if le(d, pivot) {
+            arena[cur as usize].1 = le_h;
+            le_h = cur;
+        } else {
+            arena[cur as usize].1 = gt_h;
+            gt_h = cur;
+        }
+        cur = next;
+    }
+    let gt_sorted = qs(arena, gt_h, rest, le);
+    arena[l as usize].1 = gt_sorted;
+    qs(arena, le_h, l, le)
+}
+
+/// Conventional mergesort on a linked list.
+pub fn mergesort_list<T: Copy, F: Fn(T, T) -> bool + Copy>(l: &List<T>, le: F) -> List<T> {
+    let mut arena = l.cells.clone();
+    let head = ms(&mut arena, l.head, le);
+    List { cells: arena, head }
+}
+
+fn ms<T: Copy, F: Fn(T, T) -> bool + Copy>(arena: &mut Vec<(T, u32)>, l: u32, le: F) -> u32 {
+    if l == NIL || arena[l as usize].1 == NIL {
+        return l;
+    }
+    // Split alternating.
+    let (mut a, mut b) = (NIL, NIL);
+    let mut cur = l;
+    let mut to_a = true;
+    while cur != NIL {
+        let next = arena[cur as usize].1;
+        if to_a {
+            arena[cur as usize].1 = a;
+            a = cur;
+        } else {
+            arena[cur as usize].1 = b;
+            b = cur;
+        }
+        to_a = !to_a;
+        cur = next;
+    }
+    let sa = ms(arena, a, le);
+    let sb = ms(arena, b, le);
+    merge(arena, sa, sb, le)
+}
+
+fn merge<T: Copy, F: Fn(T, T) -> bool + Copy>(
+    arena: &mut Vec<(T, u32)>,
+    mut a: u32,
+    mut b: u32,
+    le: F,
+) -> u32 {
+    let mut head = NIL;
+    let mut tail = NIL;
+    while a != NIL && b != NIL {
+        let take_a = le(arena[a as usize].0, arena[b as usize].0);
+        let w = if take_a { &mut a } else { &mut b };
+        let cell = *w;
+        *w = arena[cell as usize].1;
+        if tail == NIL {
+            head = cell;
+        } else {
+            arena[tail as usize].1 = cell;
+        }
+        tail = cell;
+    }
+    let rest = if a != NIL { a } else { b };
+    if tail == NIL {
+        head = rest;
+    } else {
+        arena[tail as usize].1 = rest;
+    }
+    head
+}
+
+// ----------------------------------------------------------------------
+// Geometry (same predicates as the self-adjusting versions).
+// ----------------------------------------------------------------------
+
+fn cross(p: Point, a: Point, b: Point) -> f64 {
+    (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+}
+
+/// Conventional quickhull: the hull of `pts` in boundary order. Ties in
+/// the extreme-point and farthest-point selections go to the
+/// lowest-index point, matching the self-adjusting version's pointer
+/// tie-break.
+pub fn quickhull(pts: &[Point]) -> Vec<Point> {
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    let idx: Vec<usize> = (0..pts.len()).collect();
+    let mn = *idx
+        .iter()
+        .min_by(|&&a, &&b| {
+            pts[a].x.partial_cmp(&pts[b].x).unwrap().then(a.cmp(&b))
+        })
+        .expect("non-empty");
+    let mx = *idx
+        .iter()
+        .min_by(|&&a, &&b| {
+            pts[b].x.partial_cmp(&pts[a].x).unwrap().then(a.cmp(&b))
+        })
+        .expect("non-empty");
+    if mn == mx {
+        return vec![pts[mn]];
+    }
+    let mut hull = vec![pts[mn]];
+    let upper: Vec<usize> =
+        idx.iter().copied().filter(|&i| cross(pts[i], pts[mn], pts[mx]) > 0.0).collect();
+    qh_rec(pts, &upper, mn, mx, &mut hull);
+    hull.push(pts[mx]);
+    let lower: Vec<usize> =
+        idx.iter().copied().filter(|&i| cross(pts[i], pts[mx], pts[mn]) > 0.0).collect();
+    qh_rec(pts, &lower, mx, mn, &mut hull);
+    hull
+}
+
+fn qh_rec(pts: &[Point], set: &[usize], a: usize, b: usize, hull: &mut Vec<Point>) {
+    if set.is_empty() {
+        return;
+    }
+    let pm = *set
+        .iter()
+        .min_by(|&&p, &&q| {
+            cross(pts[q], pts[a], pts[b])
+                .partial_cmp(&cross(pts[p], pts[a], pts[b]))
+                .unwrap()
+                .then(p.cmp(&q))
+        })
+        .expect("non-empty");
+    let left_a: Vec<usize> =
+        set.iter().copied().filter(|&i| cross(pts[i], pts[a], pts[pm]) > 0.0).collect();
+    let left_b: Vec<usize> =
+        set.iter().copied().filter(|&i| cross(pts[i], pts[pm], pts[b]) > 0.0).collect();
+    qh_rec(pts, &left_a, a, pm, hull);
+    hull.push(pts[pm]);
+    qh_rec(pts, &left_b, pm, b, hull);
+}
+
+/// Conventional diameter: maximum pairwise distance over hull vertices.
+pub fn diameter(pts: &[Point]) -> f64 {
+    let hull = quickhull(pts);
+    let mut best = 0.0f64;
+    for p in &hull {
+        for q in &hull {
+            best = best.max(p.dist2(*q));
+        }
+    }
+    best.sqrt()
+}
+
+/// Conventional distance: minimum vertex-to-vertex distance between the
+/// hulls of two point sets (see the note in [`crate::sac::geom`]).
+pub fn distance(a: &[Point], b: &[Point]) -> f64 {
+    let (ha, hb) = (quickhull(a), quickhull(b));
+    let mut best = f64::INFINITY;
+    for p in &ha {
+        for q in &hb {
+            best = best.min(p.dist2(*q));
+        }
+    }
+    best.sqrt()
+}
+
+// ----------------------------------------------------------------------
+// Expression trees and tree contraction (plain mirrors of the
+// mutator-built structures, extracted once and evaluated conventionally).
+// ----------------------------------------------------------------------
+
+/// A plain expression tree: the conventional counterpart of the
+/// mutator-built structure in [`crate::sac::exptrees`].
+#[derive(Clone, Debug)]
+pub enum ExpMirror {
+    /// A float leaf.
+    Leaf(f64),
+    /// `op` is 0 for `+`, 1 for `-`.
+    Node(i64, Box<ExpMirror>, Box<ExpMirror>),
+}
+
+/// Conventional expression-tree evaluation.
+pub fn eval_exp(t: &ExpMirror) -> f64 {
+    match t {
+        ExpMirror::Leaf(v) => *v,
+        ExpMirror::Node(op, l, r) => {
+            let (a, b) = (eval_exp(l), eval_exp(r));
+            if *op == 0 {
+                a + b
+            } else {
+                a - b
+            }
+        }
+    }
+}
+
+/// A plain binary tree in an arena: `(left, right)` child indices.
+#[derive(Clone, Debug, Default)]
+pub struct TreeMirror {
+    /// Child indices per node (`u32::MAX` = none); node 0 is the root.
+    pub children: Vec<(u32, u32)>,
+}
+
+/// Conventional Miller–Reif contraction over a plain tree: the same
+/// rake/compress rounds as [`crate::sac::tcon`] (coins keyed on node
+/// index and round), returning the total weight reachable from node 0.
+/// This is the baseline the paper derives by replacing modifiables
+/// with plain words.
+pub fn contract_tree(t: &TreeMirror) -> i64 {
+    #[derive(Clone, Copy)]
+    struct N {
+        l: u32,
+        r: u32,
+        w: i64,
+    }
+    fn coin(idx: u32, rk: u64) -> bool {
+        let x = (idx as u64) ^ rk.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & 1 == 0
+    }
+    fn is_leaf(arena: &[N], v: u32) -> bool {
+        arena[v as usize].l == NIL && arena[v as usize].r == NIL
+    }
+    // One contraction round over the subtree at v; returns the new index
+    // in `out`.
+    fn cr(arena: &[N], v: u32, rk: u64, out: &mut Vec<N>) -> u32 {
+        let n = arena[v as usize];
+        let push = |out: &mut Vec<N>, n: N| -> u32 {
+            out.push(n);
+            (out.len() - 1) as u32
+        };
+        match (n.l, n.r) {
+            (NIL, NIL) => push(out, n),
+            (c, NIL) | (NIL, c) => {
+                if is_leaf(arena, c) {
+                    push(out, N { l: NIL, r: NIL, w: n.w + arena[c as usize].w })
+                } else if coin(v, rk) {
+                    let cc = cr(arena, c, rk, out);
+                    out[cc as usize].w += n.w;
+                    cc
+                } else {
+                    let cc = cr(arena, c, rk, out);
+                    push(out, N { l: cc, r: NIL, w: n.w })
+                }
+            }
+            (l, r) => match (is_leaf(arena, l), is_leaf(arena, r)) {
+                (true, true) => push(out, N {
+                    l: NIL,
+                    r: NIL,
+                    w: n.w + arena[l as usize].w + arena[r as usize].w,
+                }),
+                (true, false) => {
+                    let cc = cr(arena, r, rk, out);
+                    push(out, N { l: cc, r: NIL, w: n.w + arena[l as usize].w })
+                }
+                (false, true) => {
+                    let cc = cr(arena, l, rk, out);
+                    push(out, N { l: cc, r: NIL, w: n.w + arena[r as usize].w })
+                }
+                (false, false) => {
+                    let lc = cr(arena, l, rk, out);
+                    let rc = cr(arena, r, rk, out);
+                    push(out, N { l: lc, r: rc, w: n.w })
+                }
+            },
+        }
+    }
+
+    if t.children.is_empty() {
+        return 0;
+    }
+    let mut cur: Vec<N> = t.children.iter().map(|&(l, r)| N { l, r, w: 1 }).collect();
+    let mut root = 0u32;
+    let mut rk = 0u64;
+    loop {
+        if is_leaf(&cur, root) {
+            return cur[root as usize].w;
+        }
+        let mut next: Vec<N> = Vec::new();
+        let new_root = cr(&cur, root, rk, &mut next);
+        cur = next;
+        root = new_root;
+        rk += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{random_ints, random_points_unit_square};
+
+    #[test]
+    fn list_round_trip() {
+        let l = List::from_slice(&[1, 2, 3]);
+        assert_eq!(l.to_vec(), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+        assert!(List::<i64>::new().is_empty());
+    }
+
+    #[test]
+    fn map_filter_reverse() {
+        let l = List::from_slice(&[1i64, 2, 3, 4]);
+        assert_eq!(map_list(&l, |x| x * 2).to_vec(), vec![2, 4, 6, 8]);
+        assert_eq!(filter_list(&l, |x| x % 2 == 0).to_vec(), vec![2, 4]);
+        assert_eq!(reverse_list(&l).to_vec(), vec![4, 3, 2, 1]);
+        assert_eq!(minimum_list(&l), Some(1));
+        assert_eq!(sum_list(&l), Some(10));
+        assert_eq!(minimum_list(&List::new()), None);
+    }
+
+    #[test]
+    fn sorts_agree_with_std() {
+        let data = random_ints(500, 5);
+        let l = List::from_slice(&data);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(quicksort_list(&l, |a, b| a <= b).to_vec(), expect);
+        assert_eq!(mergesort_list(&l, |a, b| a <= b).to_vec(), expect);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        let pts = random_points_unit_square(300, 3);
+        let hull = quickhull(&pts);
+        assert!(hull.len() >= 3);
+        let m = hull.len();
+        for i in 0..m {
+            let (a, b) = (hull[i], hull[(i + 1) % m]);
+            for p in &pts {
+                assert!(cross(*p, a, b) <= 1e-12, "point outside hull edge {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn contract_tree_counts_nodes() {
+        // A small tree: 0 -> (1, 2); 1 -> (3, _).
+        let t = TreeMirror {
+            children: vec![(1, 2), (3, u32::MAX), (u32::MAX, u32::MAX), (u32::MAX, u32::MAX)],
+        };
+        assert_eq!(contract_tree(&t), 4);
+        assert_eq!(contract_tree(&TreeMirror::default()), 0);
+        let single = TreeMirror { children: vec![(u32::MAX, u32::MAX)] };
+        assert_eq!(contract_tree(&single), 1);
+    }
+
+    #[test]
+    fn eval_exp_mirror() {
+        let t = ExpMirror::Node(
+            1,
+            Box::new(ExpMirror::Leaf(5.0)),
+            Box::new(ExpMirror::Node(
+                0,
+                Box::new(ExpMirror::Leaf(2.0)),
+                Box::new(ExpMirror::Leaf(1.0)),
+            )),
+        );
+        assert!((eval_exp(&t) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_and_distance_sanity() {
+        let pts = vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 1.0, y: 0.0 },
+            Point { x: 0.5, y: 0.5 },
+        ];
+        assert!((diameter(&pts) - 1.0).abs() < 1e-12);
+        let b = vec![Point { x: 3.0, y: 0.0 }, Point { x: 4.0, y: 0.0 }];
+        assert!((distance(&pts, &b) - 2.0).abs() < 1e-12);
+    }
+}
+

@@ -1,0 +1,668 @@
+//! Measurement harness implementing the paper's methodology (§8.1).
+//!
+//! For each benchmark we measure:
+//!
+//! * the from-scratch time of the *conventional* version (modifiables
+//!   replaced by plain words);
+//! * the from-scratch time of the *self-adjusting* version (the
+//!   **overhead** is their ratio);
+//! * the average time for a small modification, using the *test
+//!   mutator*: for (a sample of) the input elements, delete the element
+//!   and propagate, then insert it back and propagate — the average is
+//!   total time over number of updates (the **speedup** is the
+//!   conventional from-scratch time over this average);
+//! * the maximum live space (Table 1's "Max Live").
+//!
+//! Every measurement also cross-checks the self-adjusting output
+//! against the conventional oracle, initially and after every edit
+//! round trip.
+
+use std::time::Instant;
+
+use ceal_runtime::prelude::*;
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+use crate::conv;
+use crate::input::{self, checksum, collect_list};
+use crate::sac;
+use crate::sac::sort::value_le;
+
+/// One row of Table 1 (plus bookkeeping).
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name as in the paper.
+    pub name: &'static str,
+    /// Input size.
+    pub n: usize,
+    /// Conventional from-scratch seconds.
+    pub conv_s: f64,
+    /// Self-adjusting from-scratch seconds.
+    pub self_s: f64,
+    /// Average seconds per update (delete or insert + propagate).
+    pub update_s: f64,
+    /// Number of updates performed by the test mutator.
+    pub updates: usize,
+    /// Maximum accounted live bytes over the whole session.
+    pub max_live: usize,
+    /// Output agreement between the two versions, checked throughout.
+    pub ok: bool,
+}
+
+impl Measurement {
+    /// Overhead: self-adjusting over conventional from-scratch time.
+    pub fn overhead(&self) -> f64 {
+        self.self_s / self.conv_s
+    }
+
+    /// Speedup of change propagation over conventional recomputation.
+    pub fn speedup(&self) -> f64 {
+        self.conv_s / self.update_s
+    }
+}
+
+/// Times `f`, repeating until at least ~20 ms have elapsed so that fast
+/// conventional runs are measured meaningfully; returns seconds/run.
+pub fn time_avg(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        f();
+        reps += 1;
+        let el = start.elapsed();
+        if el.as_millis() >= 20 || reps >= 1000 {
+            return el.as_secs_f64() / reps as f64;
+        }
+    }
+}
+
+fn time_once(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// The benchmark suite of §8.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bench {
+    /// List filter (keep x iff f(x) even).
+    Filter,
+    /// List map with f(x) = x/3 + x/7 + x/9.
+    Map,
+    /// List reverse.
+    Reverse,
+    /// List minimum (randomized pairing reduction).
+    Minimum,
+    /// List sum.
+    Sum,
+    /// Quicksort on 32-char strings.
+    Quicksort,
+    /// Mergesort on 32-char strings.
+    Mergesort,
+    /// Convex hull of uniform points.
+    Quickhull,
+    /// Diameter of a point set.
+    Diameter,
+    /// Distance between two convex point sets.
+    Distance,
+    /// Expression-tree evaluation over floats.
+    Exptrees,
+    /// Miller–Reif tree contraction.
+    Tcon,
+}
+
+impl Bench {
+    /// All benchmarks, in Table 1's order.
+    pub fn all() -> [Bench; 12] {
+        [
+            Bench::Filter,
+            Bench::Map,
+            Bench::Reverse,
+            Bench::Minimum,
+            Bench::Sum,
+            Bench::Quicksort,
+            Bench::Quickhull,
+            Bench::Diameter,
+            Bench::Exptrees,
+            Bench::Mergesort,
+            Bench::Distance,
+            Bench::Tcon,
+        ]
+    }
+
+    /// Benchmark name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Filter => "filter",
+            Bench::Map => "map",
+            Bench::Reverse => "reverse",
+            Bench::Minimum => "minimum",
+            Bench::Sum => "sum",
+            Bench::Quicksort => "quicksort",
+            Bench::Mergesort => "mergesort",
+            Bench::Quickhull => "quickhull",
+            Bench::Diameter => "diameter",
+            Bench::Distance => "distance",
+            Bench::Exptrees => "exptrees",
+            Bench::Tcon => "tcon",
+        }
+    }
+
+    /// Whether the paper ran this benchmark at 10M (true) or 1M (false)
+    /// in Table 1; we scale both down by `scale`.
+    pub fn big_input(self) -> bool {
+        matches!(
+            self,
+            Bench::Filter | Bench::Map | Bench::Reverse | Bench::Minimum | Bench::Sum
+                | Bench::Exptrees
+        )
+    }
+
+    /// Measures this benchmark with the default engine configuration.
+    pub fn measure(self, n: usize, max_edits: usize, seed: u64) -> Measurement {
+        self.measure_with(n, max_edits, seed, EngineConfig::default())
+    }
+
+    /// Measures with an explicit engine configuration (ablations).
+    pub fn measure_with(
+        self,
+        n: usize,
+        max_edits: usize,
+        seed: u64,
+        config: EngineConfig,
+    ) -> Measurement {
+        match self {
+            Bench::Filter => {
+                let (p, f) = sac::listops::filter_program();
+                list_bench(self.name(), p, f, n, max_edits, seed, config, |d| {
+                    let l = conv::List::from_slice(d);
+                    let out = conv::filter_list(&l, sac::listops::paper_filter_keep);
+                    out.to_vec().into_iter().map(Value::Int).collect()
+                })
+            }
+            Bench::Map => {
+                let (p, f) = sac::listops::map_program();
+                list_bench(self.name(), p, f, n, max_edits, seed, config, |d| {
+                    let l = conv::List::from_slice(d);
+                    conv::map_list(&l, sac::listops::paper_map_fn)
+                        .to_vec()
+                        .into_iter()
+                        .map(Value::Int)
+                        .collect()
+                })
+            }
+            Bench::Reverse => {
+                let (p, f) = sac::listops::reverse_program();
+                list_bench(self.name(), p, f, n, max_edits, seed, config, |d| {
+                    let l = conv::List::from_slice(d);
+                    conv::reverse_list(&l).to_vec().into_iter().map(Value::Int).collect()
+                })
+            }
+            Bench::Minimum => {
+                let (p, f) = sac::reduce::minimum_program();
+                scalar_list_bench(self.name(), p, f, n, max_edits, seed, config, |d| {
+                    conv::minimum_list(&conv::List::from_slice(d)).map(Value::Int)
+                })
+            }
+            Bench::Sum => {
+                let (p, f) = sac::reduce::sum_program();
+                scalar_list_bench(self.name(), p, f, n, max_edits, seed, config, |d| {
+                    conv::sum_list(&conv::List::from_slice(d)).map(Value::Int)
+                })
+            }
+            Bench::Quicksort => {
+                let (p, f) = sac::sort::quicksort_program();
+                sort_bench(self.name(), p, f, n, max_edits, seed, config, true)
+            }
+            Bench::Mergesort => {
+                let (p, f) = sac::sort::mergesort_program();
+                sort_bench(self.name(), p, f, n, max_edits, seed, config, false)
+            }
+            Bench::Quickhull => quickhull_bench(n, max_edits, seed, config),
+            Bench::Diameter => diameter_bench(n, max_edits, seed, config),
+            Bench::Distance => distance_bench(n, max_edits, seed, config),
+            Bench::Exptrees => exptrees_bench(n, max_edits, seed, config),
+            Bench::Tcon => tcon_bench(n, max_edits, seed, config),
+        }
+    }
+}
+
+fn edit_positions(n: usize, max_edits: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
+    order.shuffle(&mut rng);
+    order.truncate(max_edits.min(n));
+    order
+}
+
+/// Shared driver for benchmarks producing an output *list* from an int
+/// input list.
+#[allow(clippy::too_many_arguments)]
+fn list_bench(
+    name: &'static str,
+    p: std::rc::Rc<Program>,
+    entry: FuncId,
+    n: usize,
+    max_edits: usize,
+    seed: u64,
+    config: EngineConfig,
+    oracle: impl Fn(&[i64]) -> Vec<Value>,
+) -> Measurement {
+    let data = input::random_ints(n, seed);
+    let conv_s = time_avg(|| {
+        std::hint::black_box(oracle(&data));
+    });
+
+    let mut e = Engine::with_config(p, config);
+    let l = input::build_list(&mut e, &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>());
+    let out = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]));
+    let mut ok = checksum(collect_list(&e, out)) == checksum(oracle(&data));
+
+    let positions = edit_positions(n, max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= checksum(collect_list(&e, out)) == checksum(oracle(&data));
+    Measurement {
+        name,
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+/// Shared driver for benchmarks reducing an int list to a scalar.
+#[allow(clippy::too_many_arguments)]
+fn scalar_list_bench(
+    name: &'static str,
+    p: std::rc::Rc<Program>,
+    entry: FuncId,
+    n: usize,
+    max_edits: usize,
+    seed: u64,
+    config: EngineConfig,
+    oracle: impl Fn(&[i64]) -> Option<Value>,
+) -> Measurement {
+    let data = input::random_ints(n, seed);
+    let conv_s = time_avg(|| {
+        std::hint::black_box(oracle(&data));
+    });
+
+    let mut e = Engine::with_config(p, config);
+    let l = input::build_list(&mut e, &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>());
+    let res = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(res)]));
+    let mut ok = e.deref(res) == oracle(&data).unwrap_or(Value::Nil);
+
+    let positions = edit_positions(n, max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= e.deref(res) == oracle(&data).unwrap_or(Value::Nil);
+    Measurement {
+        name,
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+/// Shared driver for the sorts (string inputs).
+#[allow(clippy::too_many_arguments)]
+fn sort_bench(
+    name: &'static str,
+    p: std::rc::Rc<Program>,
+    entry: FuncId,
+    n: usize,
+    max_edits: usize,
+    seed: u64,
+    config: EngineConfig,
+    quick: bool,
+) -> Measurement {
+    let strings = input::random_strings(n, seed);
+    // Conventional version: linked-list sort over string handles,
+    // comparing contents (the C version's strcmp on char*).
+    let idx: Vec<u32> = (0..n as u32).collect();
+    let conv_input = conv::List::from_slice(&idx);
+    let le = |a: u32, b: u32| strings[a as usize] <= strings[b as usize];
+    let conv_s = time_avg(|| {
+        let out = if quick {
+            conv::quicksort_list(&conv_input, le)
+        } else {
+            conv::mergesort_list(&conv_input, le)
+        };
+        std::hint::black_box(out);
+    });
+
+    let mut e = Engine::with_config(p, config);
+    let vals: Vec<Value> = strings.iter().map(|s| e.intern(s)).collect();
+    let l = input::build_list(&mut e, &vals);
+    let out = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]));
+    let check = |e: &Engine, expect_len: usize| -> bool {
+        let got = collect_list(e, out);
+        got.windows(2).all(|w| value_le(e, w[0], w[1])) && got.len() == expect_len
+    };
+    let mut ok = check(&e, n);
+
+    let positions = edit_positions(n, max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= check(&e, n);
+    Measurement {
+        name,
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+fn quickhull_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
+    let pts = input::random_points_unit_square(n, seed);
+    let conv_s = time_avg(|| {
+        std::hint::black_box(conv::quickhull(&pts));
+    });
+    let (p, fns) = sac::geom::geom_program();
+    let mut e = Engine::with_config(p, config);
+    let l = input::build_point_list(&mut e, &pts);
+    let hull_m = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]));
+    let hull_len = |e: &Engine| -> usize {
+        let mut len = 0;
+        let mut v = e.deref(hull_m);
+        while let Value::Ptr(c) = v {
+            len += 1;
+            v = e.deref(e.load(c, input::CELL_NEXT).modref());
+        }
+        len
+    };
+    let mut ok = hull_len(&e) == conv::quickhull(&pts).len();
+
+    let positions = edit_positions(n, max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= hull_len(&e) == conv::quickhull(&pts).len();
+    Measurement {
+        name: "quickhull",
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+fn diameter_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
+    let pts = input::random_points_unit_square(n, seed);
+    let conv_s = time_avg(|| {
+        std::hint::black_box(conv::diameter(&pts));
+    });
+    let (p, fns) = sac::geom::geom_program();
+    let mut e = Engine::with_config(p, config);
+    let l = input::build_point_list(&mut e, &pts);
+    let res = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(fns.diameter, &[Value::ModRef(l.head), Value::ModRef(res)]));
+    let close = |a: Value, b: f64| (a.float() - b).abs() < 1e-9;
+    let mut ok = close(e.deref(res), conv::diameter(&pts));
+
+    let positions = edit_positions(n, max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= close(e.deref(res), conv::diameter(&pts));
+    Measurement {
+        name: "diameter",
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+fn distance_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
+    let (pa, pb) = input::random_points_two_squares(n, seed);
+    let conv_s = time_avg(|| {
+        std::hint::black_box(conv::distance(&pa, &pb));
+    });
+    let (p, fns) = sac::geom::geom_program();
+    let mut e = Engine::with_config(p, config);
+    let la = input::build_point_list(&mut e, &pa);
+    let lb = input::build_point_list(&mut e, &pb);
+    let res = e.meta_modref();
+    let self_s = time_once(|| {
+        e.run_core(
+            fns.distance,
+            &[Value::ModRef(la.head), Value::ModRef(lb.head), Value::ModRef(res)],
+        )
+    });
+    let close = |a: Value, b: f64| (a.float() - b).abs() < 1e-9;
+    let mut ok = close(e.deref(res), conv::distance(&pa, &pb));
+
+    let positions = edit_positions(pa.len(), max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if la.delete(&mut e, i) {
+            e.propagate();
+            la.insert(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= close(e.deref(res), conv::distance(&pa, &pb));
+    Measurement {
+        name: "distance",
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+fn exptrees_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
+    let (p, eval) = sac::exptrees::exptrees_program();
+    let mut e = Engine::with_config(p, config);
+    let tree = sac::exptrees::build_exptree(&mut e, n, seed);
+    // Extract the plain mirror for the conventional baseline.
+    let mirror = extract_exp_mirror(&e, e.deref(tree.root));
+    let conv_s = time_avg(|| {
+        std::hint::black_box(conv::eval_exp(&mirror));
+    });
+
+    let res = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(eval, &[Value::ModRef(tree.root), Value::ModRef(res)]));
+    let close = |a: Value, b: f64| (a.float() - b).abs() < 1e-6 * (1.0 + b.abs());
+    let mut ok = close(e.deref(res), conv::eval_exp(&mirror));
+
+    let positions = edit_positions(tree.leaves.len(), max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        let (slot, _, leaf, alt) = tree.leaves[i];
+        e.modify(slot, alt);
+        e.propagate();
+        e.modify(slot, leaf);
+        e.propagate();
+        updates += 2;
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= close(e.deref(res), conv::eval_exp(&mirror));
+    Measurement {
+        name: "exptrees",
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+fn extract_exp_mirror(e: &Engine, v: Value) -> conv::ExpMirror {
+    use crate::sac::exptrees::{KIND_LEAF, ND_KIND, ND_LEFT, ND_PAYLOAD, ND_RIGHT};
+    let t = v.ptr();
+    if e.load(t, ND_KIND).int() == KIND_LEAF {
+        conv::ExpMirror::Leaf(e.load(t, ND_PAYLOAD).float())
+    } else {
+        let l = extract_exp_mirror(e, e.deref(e.load(t, ND_LEFT).modref()));
+        let r = extract_exp_mirror(e, e.deref(e.load(t, ND_RIGHT).modref()));
+        conv::ExpMirror::Node(e.load(t, ND_PAYLOAD).int(), Box::new(l), Box::new(r))
+    }
+}
+
+fn tcon_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
+    let (p, tcon) = sac::tcon::tcon_program();
+    let mut e = Engine::with_config(p, config);
+    let tree = sac::tcon::build_tree(&mut e, n, seed);
+    let mirror = extract_tree_mirror(&e, tree.root);
+    let conv_s = time_avg(|| {
+        std::hint::black_box(conv::contract_tree(&mirror));
+    });
+
+    let res = e.meta_modref();
+    let self_s =
+        time_once(|| e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]));
+    let mut ok = e.deref(res) == Value::Int(n as i64);
+
+    let positions = edit_positions(tree.edges.len(), max_edits, seed);
+    let mut updates = 0usize;
+    let t = Instant::now();
+    for &i in &positions {
+        if tree.delete_edge(&mut e, i) {
+            e.propagate();
+            tree.insert_edge(&mut e, i);
+            e.propagate();
+            updates += 2;
+        }
+    }
+    let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
+    ok &= e.deref(res) == Value::Int(n as i64);
+    Measurement {
+        name: "tcon",
+        n,
+        conv_s,
+        self_s,
+        update_s,
+        updates,
+        max_live: e.stats().max_live_bytes,
+        ok,
+    }
+}
+
+fn extract_tree_mirror(e: &Engine, root: ModRef) -> conv::TreeMirror {
+    use crate::sac::tcon::{TN_LEFT, TN_RIGHT};
+    let mut children = Vec::new();
+    fn go(e: &Engine, v: Value, out: &mut Vec<(u32, u32)>) -> u32 {
+        match v {
+            Value::Nil => u32::MAX,
+            Value::Ptr(t) => {
+                let me = out.len() as u32;
+                out.push((u32::MAX, u32::MAX));
+                let l = go(e, e.deref(e.load(t, TN_LEFT).modref()), out);
+                let r = go(e, e.deref(e.load(t, TN_RIGHT).modref()), out);
+                out[me as usize] = (l, r);
+                me
+            }
+            other => panic!("malformed tree value {other:?}"),
+        }
+    }
+    let root_idx = go(e, e.deref(root), &mut children);
+    assert!(root_idx == 0 || children.is_empty());
+    conv::TreeMirror { children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_measure_small() {
+        for b in Bench::all() {
+            let m = b.measure(120, 10, 1);
+            assert!(m.ok, "{} output check failed", m.name);
+            assert!(m.conv_s > 0.0 && m.self_s > 0.0 && m.update_s > 0.0);
+            assert!(m.updates > 0);
+            assert!(m.max_live > 0);
+        }
+    }
+
+    #[test]
+    fn overheads_and_speedups_are_sane_at_moderate_size() {
+        let m = Bench::Map.measure(4000, 50, 2);
+        assert!(m.ok);
+        // Self-adjusting from-scratch is slower than conventional...
+        assert!(m.overhead() > 1.0, "overhead {} <= 1", m.overhead());
+        // ...but updates beat recomputation at this size.
+        assert!(m.speedup() > 1.0, "speedup {} <= 1", m.speedup());
+    }
+}

@@ -1,0 +1,295 @@
+//! Input generators and mutator-side data structures (§8.1–8.2).
+//!
+//! * Lists of uniformly random integers (list primitives).
+//! * Lists of random 32-character strings (sorting benchmarks).
+//! * Points drawn uniformly from unit squares (geometry benchmarks).
+//! * Random balanced expression trees / random binary trees.
+//!
+//! Each input exposes the handles the *test mutator* needs: for every
+//! element, the modifiable holding it (so the element can be deleted and
+//! re-inserted, §8.1).
+
+use ceal_runtime::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Layout of mutator-built list cells: `[data, next]` where `next` is a
+/// modifiable created with [`Engine::meta_modref_in`].
+pub const CELL_DATA: usize = 0;
+/// Slot index of the `next` modifiable in a list cell.
+pub const CELL_NEXT: usize = 1;
+
+/// A mutator-owned modifiable list, with the per-element handles needed
+/// by the test mutator.
+#[derive(Debug)]
+pub struct InputList {
+    /// The modifiable holding the first cell pointer.
+    pub head: ModRef,
+    /// For element `i`: the cell pointer.
+    pub cells: Vec<Value>,
+    /// For element `i`: the modifiable that points *at* the cell (the
+    /// predecessor's `next`, or `head` for element 0).
+    pub slots: Vec<ModRef>,
+    /// Slot index of the `next` modifiable inside a cell (1 for plain
+    /// list cells, [`PT_NEXT`] for point cells).
+    pub next_slot: usize,
+}
+
+impl InputList {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Deletes element `i` by pointing its slot past it. Returns `false`
+    /// if the element is already deleted.
+    pub fn delete(&self, e: &mut Engine, i: usize) -> bool {
+        let cell = self.cells[i];
+        if e.deref(self.slots[i]) != cell {
+            return false;
+        }
+        let next_m = e.load(cell.ptr(), self.next_slot).modref();
+        let after = e.deref(next_m);
+        e.modify(self.slots[i], after);
+        true
+    }
+
+    /// Re-inserts element `i` (which must be the most recent deletion at
+    /// this position: its own `next` still points at the proper tail).
+    pub fn insert(&self, e: &mut Engine, i: usize) {
+        e.modify(self.slots[i], self.cells[i]);
+    }
+}
+
+/// Builds a mutator list from `data` values.
+pub fn build_list(e: &mut Engine, data: &[Value]) -> InputList {
+    let head = e.meta_modref();
+    let mut cells = Vec::with_capacity(data.len());
+    let mut slots = Vec::with_capacity(data.len());
+    let mut slot = head;
+    for &x in data {
+        let c = e.meta_alloc(2);
+        e.meta_store(c, CELL_DATA, x);
+        let next = e.meta_modref_in(c, CELL_NEXT);
+        e.modify(slot, Value::Ptr(c));
+        cells.push(Value::Ptr(c));
+        slots.push(slot);
+        slot = next;
+    }
+    e.modify(slot, Value::Nil);
+    InputList { head, cells, slots, next_slot: CELL_NEXT }
+}
+
+/// Uniformly random integers in `[0, 1_000_000)` (list primitives, §8.2).
+pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+/// Random 32-character lowercase strings (sorting benchmarks, §8.2).
+pub fn random_strings(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5742);
+    (0..n)
+        .map(|_| (0..32).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect())
+        .collect()
+}
+
+/// Builds an integer input list.
+pub fn int_list(e: &mut Engine, n: usize, seed: u64) -> InputList {
+    let data: Vec<Value> = random_ints(n, seed).into_iter().map(Value::Int).collect();
+    build_list(e, &data)
+}
+
+/// Builds a string input list (strings interned in the engine).
+pub fn str_list(e: &mut Engine, n: usize, seed: u64) -> InputList {
+    let data: Vec<Value> =
+        random_strings(n, seed).iter().map(|s| e.intern(s)).collect();
+    build_list(e, &data)
+}
+
+/// A 2-D point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Squared Euclidean distance.
+    pub fn dist2(self, other: Point) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        dx * dx + dy * dy
+    }
+
+    /// Twice the signed area of triangle (a, b, self): positive when
+    /// `self` is to the left of the directed line a→b.
+    pub fn cross(self, a: Point, b: Point) -> f64 {
+        (b.x - a.x) * (self.y - a.y) - (b.y - a.y) * (self.x - a.x)
+    }
+}
+
+/// Uniform points in the unit square (quickhull, diameter, §8.2).
+pub fn random_points_unit_square(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9017);
+    (0..n).map(|_| Point { x: rng.gen::<f64>(), y: rng.gen::<f64>() }).collect()
+}
+
+/// Half the points from each of two non-overlapping unit squares
+/// (distance, §8.2): squares `[0,1)²` and `[2,3)×[0,1)`.
+pub fn random_points_two_squares(n: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD157);
+    let a = (0..n / 2).map(|_| Point { x: rng.gen::<f64>(), y: rng.gen::<f64>() }).collect();
+    let b = (0..n - n / 2)
+        .map(|_| Point { x: 2.0 + rng.gen::<f64>(), y: rng.gen::<f64>() })
+        .collect();
+    (a, b)
+}
+
+/// Layout of a point block: `[x, y]` plus list linkage handled by
+/// [`build_point_list`]: cells are `[ptr_to_point? , next]` — we store
+/// points inline: `[x, y, next]`.
+pub const PT_X: usize = 0;
+/// Slot of the y coordinate.
+pub const PT_Y: usize = 1;
+/// Slot of the `next` modifiable in a point cell.
+pub const PT_NEXT: usize = 2;
+
+/// Builds a mutator list of point cells `[x, y, next]`.
+pub fn build_point_list(e: &mut Engine, pts: &[Point]) -> InputList {
+    let head = e.meta_modref();
+    let mut cells = Vec::with_capacity(pts.len());
+    let mut slots = Vec::with_capacity(pts.len());
+    let mut slot = head;
+    for p in pts {
+        let c = e.meta_alloc(3);
+        e.meta_store(c, PT_X, Value::Float(p.x));
+        e.meta_store(c, PT_Y, Value::Float(p.y));
+        let next = e.meta_modref_in(c, PT_NEXT);
+        e.modify(slot, Value::Ptr(c));
+        cells.push(Value::Ptr(c));
+        slots.push(slot);
+        slot = next;
+    }
+    e.modify(slot, Value::Nil);
+    InputList { head, cells, slots, next_slot: PT_NEXT }
+}
+
+/// Reads a point back from its cell.
+pub fn load_point(e: &Engine, cell: Value) -> Point {
+    let c = cell.ptr();
+    Point { x: e.load(c, PT_X).float(), y: e.load(c, PT_Y).float() }
+}
+
+/// Collects a core/meta output list of `[data, next-modref]` cells.
+pub fn collect_list(e: &Engine, head: ModRef) -> Vec<Value> {
+    let mut out = Vec::new();
+    let mut v = e.deref(head);
+    while let Value::Ptr(c) = v {
+        out.push(e.load(c, CELL_DATA));
+        v = e.deref(e.load(c, CELL_NEXT).modref());
+    }
+    assert_eq!(v, Value::Nil, "malformed list tail");
+    out
+}
+
+/// A simple order-insensitive checksum over values, for comparing a
+/// self-adjusting output against a conventional oracle cheaply.
+pub fn checksum(values: impl IntoIterator<Item = Value>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (i, v) in values.into_iter().enumerate() {
+        let x = match v {
+            Value::Nil => 0u64,
+            Value::Int(i) => i as u64,
+            Value::Float(f) => f.to_bits(),
+            Value::Str(s) => 0x5757 ^ s.0 as u64,
+            Value::Ptr(p) => 0x7070 ^ p.0 as u64,
+            Value::ModRef(m) => 0x4040 ^ m.0 as u64,
+            Value::Func(f) => 0x3030 ^ f.0 as u64,
+        };
+        h = h
+            .wrapping_mul(0x100000001b3)
+            .rotate_left(7)
+            .wrapping_add(x.wrapping_mul(i as u64 + 0x9E37_79B9));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_runtime::Engine;
+    use ceal_runtime::ProgramBuilder;
+
+    fn empty_engine() -> Engine {
+        Engine::new(ProgramBuilder::new().build())
+    }
+
+    #[test]
+    fn build_and_walk_int_list() {
+        let mut e = empty_engine();
+        let l = int_list(&mut e, 100, 1);
+        assert_eq!(l.len(), 100);
+        // Walk via slots semantics: deref head chain equals cells order.
+        let mut v = e.deref(l.head);
+        let mut seen = 0;
+        while let Value::Ptr(c) = v {
+            assert_eq!(Value::Ptr(c), l.cells[seen]);
+            v = e.deref(e.load(c, CELL_NEXT).modref());
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn delete_then_insert_restores() {
+        let mut e = empty_engine();
+        let l = int_list(&mut e, 10, 2);
+        assert!(l.delete(&mut e, 4));
+        assert!(!l.delete(&mut e, 4), "double delete detected");
+        let mut v = e.deref(l.head);
+        let mut count = 0;
+        while let Value::Ptr(c) = v {
+            v = e.deref(e.load(c, CELL_NEXT).modref());
+            count += 1;
+        }
+        assert_eq!(count, 9);
+        l.insert(&mut e, 4);
+        let mut v = e.deref(l.head);
+        let mut count = 0;
+        while let Value::Ptr(c) = v {
+            v = e.deref(e.load(c, CELL_NEXT).modref());
+            count += 1;
+        }
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_ints(50, 3), random_ints(50, 3));
+        assert_ne!(random_ints(50, 3), random_ints(50, 4));
+        assert_eq!(random_strings(5, 3), random_strings(5, 3));
+        for s in random_strings(5, 3) {
+            assert_eq!(s.len(), 32);
+        }
+        let (a, b) = random_points_two_squares(101, 9);
+        assert_eq!(a.len() + b.len(), 101);
+        assert!(a.iter().all(|p| p.x < 1.0));
+        assert!(b.iter().all(|p| p.x >= 2.0));
+    }
+
+    #[test]
+    fn cross_sign_convention() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 1.0, y: 0.0 };
+        let above = Point { x: 0.5, y: 1.0 };
+        let below = Point { x: 0.5, y: -1.0 };
+        assert!(above.cross(a, b) > 0.0);
+        assert!(below.cross(a, b) < 0.0);
+    }
+}

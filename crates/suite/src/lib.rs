@@ -1,0 +1,18 @@
+//! # ceal-suite — the paper's benchmark suite
+//!
+//! Self-adjusting and conventional versions of every benchmark in §8.2
+//! of *CEAL: A C-Based Language for Self-Adjusting Computation*
+//! (PLDI 2009): the list primitives (`filter`, `map`, `reverse`,
+//! `minimum`, `sum`), the sorting algorithms (`quicksort`,
+//! `mergesort`), the computational-geometry algorithms (`quickhull`,
+//! `diameter`, `distance`), expression trees (`exptrees`), and
+//! Miller–Reif tree contraction (`tcon`), together with the input
+//! generators and the test-mutator measurement harness of §8.1.
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod handopt;
+pub mod harness;
+pub mod input;
+pub mod sac;

@@ -1,0 +1,550 @@
+//! Self-adjusting computational geometry: `quickhull`, `diameter`,
+//! `distance` (§8.2).
+//!
+//! `quickhull` is the classic divide-and-conquer convex hull, built from
+//! the self-adjusting combinators: a projection pass, two extreme-point
+//! reductions, parameterized "left-of-line" filters, and a recursive
+//! splitter. `diameter` and `distance` use quickhull as a subroutine
+//! (as in the paper) and then take an extremum over hull-vertex pairs.
+//!
+//! Note (DESIGN.md §2): the paper does not specify its exact `distance`
+//! formulation; we compute the minimum *vertex-to-vertex* distance
+//! between the two hulls (the conventional baseline computes the same
+//! quantity), which preserves the computational structure —
+//! quickhull subroutine plus a pairwise extremum.
+
+use ceal_runtime::prelude::*;
+
+use crate::input::{CELL_DATA, CELL_NEXT, PT_NEXT, PT_X, PT_Y};
+use crate::sac::listops::build_filter;
+use crate::sac::reduce::build_reduce;
+
+#[inline]
+fn coords(e: &Engine, v: Value) -> (f64, f64) {
+    let l = v.ptr();
+    (e.load(l, PT_X).float(), e.load(l, PT_Y).float())
+}
+
+/// Twice the signed area of (a, b, p): > 0 when `p` is strictly left of
+/// the directed line a→b. Arguments are point-cell pointers.
+fn cross3(e: &Engine, p: Value, a: Value, b: Value) -> f64 {
+    let (px, py) = coords(e, p);
+    let (ax, ay) = coords(e, a);
+    let (bx, by) = coords(e, b);
+    (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+}
+
+fn dist2(e: &Engine, p: Value, q: Value) -> f64 {
+    let (px, py) = coords(e, p);
+    let (qx, qy) = coords(e, q);
+    (px - qx) * (px - qx) + (py - qy) * (py - qy)
+}
+
+/// Deterministic tie-break on point-cell pointers.
+#[inline]
+fn tie(a: Value, b: Value) -> Value {
+    if a.ptr() <= b.ptr() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Functions shared by the three geometry benchmarks.
+#[derive(Clone, Copy, Debug)]
+pub struct GeomFns {
+    /// `quickhull(in_m, hull_m)`: convex hull of the point list as a
+    /// list of `[point_ptr, next]` cells in boundary order.
+    pub quickhull: FuncId,
+    /// `diameter(in_m, res_m)`: maximum pairwise distance (a Float).
+    pub diameter: FuncId,
+    /// `distance(a_in_m, b_in_m, res_m)`: minimum distance between the
+    /// hulls of two point sets (a Float).
+    pub distance: FuncId,
+}
+
+/// Builds the geometry benchmark family into `b`.
+pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
+    // Projection: point cells [x, y, next] -> [ptr, next] cells.
+    let init_proj = b.native("geom_init_proj", |e, args| {
+        let loc = args[0].ptr();
+        e.store(loc, CELL_DATA, args[1]);
+        e.modref_init(loc, CELL_NEXT);
+        Tail::Done
+    });
+    let proj_body = b.declare("geom_proj_body");
+    let proj = b.declare("geom_proj");
+    b.define_native(proj, move |_e, args| Tail::read(args[0].modref(), proj_body, &args[1..]));
+    b.define_native(proj_body, move |e, args| {
+        let out_m = args[1].modref();
+        match args[0] {
+            Value::Nil => {
+                e.write(out_m, Value::Nil);
+                Tail::Done
+            }
+            v => {
+                let c = v.ptr();
+                let out_cell = e.alloc(2, init_proj, &[v, v]);
+                e.write(out_m, Value::Ptr(out_cell));
+                let next_in = e.load(c, PT_NEXT).modref();
+                let next_out = e.load(out_cell, CELL_NEXT);
+                Tail::read(next_in, proj_body, &[next_out])
+            }
+        }
+    });
+
+    // Extreme-point reductions over [ptr, next] lists.
+    let min_x = build_reduce(b, "geom_minx", |e, a, bb, _p| {
+        let (ax, _) = coords(e, a);
+        let (bx, _) = coords(e, bb);
+        if ax < bx {
+            a
+        } else if bx < ax {
+            bb
+        } else {
+            tie(a, bb)
+        }
+    });
+    let max_x = build_reduce(b, "geom_maxx", |e, a, bb, _p| {
+        let (ax, _) = coords(e, a);
+        let (bx, _) = coords(e, bb);
+        if ax > bx {
+            a
+        } else if bx > ax {
+            bb
+        } else {
+            tie(a, bb)
+        }
+    });
+    // Farthest point from the directed line p1->p2 (params = [p1, p2]).
+    let max_dist = build_reduce(b, "geom_maxdist", |e, a, bb, p| {
+        let da = cross3(e, a, p[0], p[1]);
+        let db = cross3(e, bb, p[0], p[1]);
+        if da > db {
+            a
+        } else if db > da {
+            bb
+        } else {
+            tie(a, bb)
+        }
+    });
+
+    // Keep points strictly left of the directed line p1->p2.
+    let init_cell = b.native("geom_init_cell", |e, args| {
+        let loc = args[0].ptr();
+        e.store(loc, CELL_DATA, args[1]);
+        e.modref_init(loc, CELL_NEXT);
+        Tail::Done
+    });
+    let left_of =
+        build_filter(b, "geom_leftof", init_cell, |e, v, p| cross3(e, v, p[0], p[1]) > 0.0);
+
+    // Hull output cells.
+    let init_hull = b.native("geom_init_hull", |e, args| {
+        let loc = args[0].ptr();
+        e.store(loc, CELL_DATA, args[1]);
+        e.modref_init(loc, CELL_NEXT);
+        Tail::Done
+    });
+
+    // qh_rec(f_m, a, b, d_m, rest): hull points strictly left of a->b,
+    // written into d_m, terminated by `rest`.
+    let qh_rec = b.declare("geom_qh_rec");
+    let qh_rec_body = b.declare("geom_qh_rec_body");
+    let qh_pm = b.declare("geom_qh_pm");
+    b.define_native(qh_rec, move |_e, args| Tail::read(args[0].modref(), qh_rec_body, &args[1..]));
+    b.define_native(qh_rec_body, move |e, args| {
+        // (v, a, b, d_m, rest) — but we also need f_m for the reduce, so
+        // qh_rec passes it along in the closure args.
+        let d_m = args[3].modref();
+        match args[0] {
+            Value::Nil => {
+                e.write(d_m, args[4]);
+                Tail::Done
+            }
+            _ => {
+                let f_m = args[5];
+                let pm_m = e.modref_keyed(&[f_m, Value::Int(0)]);
+                e.call(max_dist.entry, &[f_m, Value::ModRef(pm_m), args[1], args[2]]);
+                let rest = [args[1], args[2], args[3], args[4], f_m];
+                Tail::read(pm_m, qh_pm, &rest)
+            }
+        }
+    });
+    // qh_pm(pm, a, b, d_m, rest, f_m)
+    b.define_native(qh_pm, move |e, args| {
+        let pm = args[0];
+        let (a, bb, d_m, rest, f_m) = (args[1], args[2], args[3], args[4], args[5]);
+        if pm == Value::Nil {
+            e.write(d_m.modref(), rest);
+            return Tail::Done;
+        }
+        let a_side = e.modref_keyed(&[f_m, a, pm]);
+        e.call(left_of, &[f_m, Value::ModRef(a_side), a, pm]);
+        let b_side = e.modref_keyed(&[f_m, pm, bb]);
+        e.call(left_of, &[f_m, Value::ModRef(b_side), pm, bb]);
+        let pmcell = e.alloc(2, init_hull, &[pm, a, bb]);
+        let pm_next = e.load(pmcell, CELL_NEXT);
+        e.call(qh_rec, &[Value::ModRef(b_side), pm, bb, pm_next, rest, Value::ModRef(b_side)]);
+        Tail::Call(
+            qh_rec,
+            vec![Value::ModRef(a_side), a, pm, d_m, Value::Ptr(pmcell), Value::ModRef(a_side)]
+                .into(),
+        )
+    });
+
+    // quickhull(in_m, hull_m)
+    let qh = b.declare("quickhull");
+    let qh_mn = b.declare("geom_qh_mn");
+    let qh_mx = b.declare("geom_qh_mx");
+    b.define_native(qh, move |e, args| {
+        let proj_m = e.modref_keyed(&[args[0], Value::Int(0)]);
+        e.call(proj, &[args[0], Value::ModRef(proj_m)]);
+        let mn_m = e.modref_keyed(&[args[0], Value::Int(1)]);
+        e.call(min_x.entry, &[Value::ModRef(proj_m), Value::ModRef(mn_m)]);
+        let mx_m = e.modref_keyed(&[args[0], Value::Int(2)]);
+        e.call(max_x.entry, &[Value::ModRef(proj_m), Value::ModRef(mx_m)]);
+        let rest = [Value::ModRef(mx_m), Value::ModRef(proj_m), args[1]];
+        Tail::read(mn_m, qh_mn, &rest)
+    });
+    // qh_mn(mn, mx_m, proj_m, hull_m)
+    b.define_native(qh_mn, move |e, args| {
+        if args[0] == Value::Nil {
+            e.write(args[3].modref(), Value::Nil);
+            return Tail::Done;
+        }
+        let rest = [args[0], args[2], args[3]];
+        Tail::read(args[1].modref(), qh_mx, &rest)
+    });
+    // qh_mx(mx, mn, proj_m, hull_m)
+    b.define_native(qh_mx, move |e, args| {
+        let (mx, mn, proj_m, hull_m) = (args[0], args[1], args[2], args[3].modref());
+        let mncell = e.alloc(2, init_hull, &[mn, Value::Int(-1), Value::Int(-1)]);
+        e.write(hull_m, Value::Ptr(mncell));
+        let mn_next = e.load(mncell, CELL_NEXT);
+        if mx == mn {
+            // Degenerate single extreme point: hull = [mn].
+            e.write(mn_next.modref(), Value::Nil);
+            return Tail::Done;
+        }
+        let mxcell = e.alloc(2, init_hull, &[mx, Value::Int(-2), Value::Int(-2)]);
+        let mx_next = e.load(mxcell, CELL_NEXT);
+        let upper = e.modref_keyed(&[proj_m, mn, mx]);
+        e.call(left_of, &[proj_m, Value::ModRef(upper), mn, mx]);
+        let lower = e.modref_keyed(&[proj_m, mx, mn]);
+        e.call(left_of, &[proj_m, Value::ModRef(lower), mx, mn]);
+        e.call(qh_rec, &[
+            Value::ModRef(upper),
+            mn,
+            mx,
+            mn_next,
+            Value::Ptr(mxcell),
+            Value::ModRef(upper),
+        ]);
+        Tail::Call(
+            qh_rec,
+            vec![Value::ModRef(lower), mx, mn, mx_next, Value::Nil, Value::ModRef(lower)].into(),
+        )
+    });
+
+    // ------------------------------------------------------------------
+    // Pairwise extrema over hulls (diameter / distance).
+    // ------------------------------------------------------------------
+
+    // Farthest / nearest hull-vertex from a fixed point p (params=[p]).
+    let far_from = build_reduce(b, "geom_farfrom", |e, a, bb, p| {
+        let da = dist2(e, a, p[0]);
+        let db = dist2(e, bb, p[0]);
+        if da > db {
+            a
+        } else if db > da {
+            bb
+        } else {
+            tie(a, bb)
+        }
+    });
+    let near_from = build_reduce(b, "geom_nearfrom", |e, a, bb, p| {
+        let da = dist2(e, a, p[0]);
+        let db = dist2(e, bb, p[0]);
+        if da < db {
+            a
+        } else if db < da {
+            bb
+        } else {
+            tie(a, bb)
+        }
+    });
+    let max_f = build_reduce(b, "geom_maxf", |_e, a, b, _p| {
+        if a.float() >= b.float() {
+            a
+        } else {
+            b
+        }
+    });
+    let min_f = build_reduce(b, "geom_minf", |_e, a, b, _p| {
+        if a.float() <= b.float() {
+            a
+        } else {
+            b
+        }
+    });
+
+    let init2m = b.native("geom_init2m", |e, args| {
+        let loc = args[0].ptr();
+        e.modref_init(loc, CELL_DATA);
+        e.modref_init(loc, CELL_NEXT);
+        Tail::Done
+    });
+
+    // pmap(h_m, out_m, h2_m, which): for each vertex p of h, compute the
+    // extremal vertex q of h2 w.r.t. p (which = 0 far / 1 near) and emit
+    // a [dist_m, next_m] cell.
+    let pmap_body = b.declare("geom_pmap_body");
+    let pmap_fin = b.declare("geom_pmap_fin");
+    let pmap = b.declare("geom_pmap");
+    b.define_native(pmap, move |_e, args| Tail::read(args[0].modref(), pmap_body, &args[1..]));
+    // pmap_body(v, out_m, h2_m, which)
+    b.define_native(pmap_body, move |e, args| {
+        let out_m = args[1].modref();
+        match args[0] {
+            Value::Nil => {
+                e.write(out_m, Value::Nil);
+                Tail::Done
+            }
+            v => {
+                let c = v.ptr();
+                let which = args[3].int();
+                let out_cell = e.alloc(2, init2m, &[v, args[3]]);
+                e.write(out_m, Value::Ptr(out_cell));
+                let p = e.load(c, CELL_DATA);
+                let tmp_m = e.modref_keyed(&[v, args[3]]);
+                let inner = if which == 0 { far_from.entry } else { near_from.entry };
+                e.call(inner, &[args[2], Value::ModRef(tmp_m), p]);
+                let rest = [p, v, Value::Ptr(out_cell), args[2], args[3]];
+                Tail::read(tmp_m, pmap_fin, &rest)
+            }
+        }
+    });
+    // pmap_fin(q, p, c, out_cell, h2_m, which)
+    b.define_native(pmap_fin, move |e, args| {
+        let (q, p, c, out_cell) = (args[0], args[1], args[2], args[3].ptr());
+        let data_m = e.load(out_cell, CELL_DATA).modref();
+        let d = if q == Value::Nil {
+            Value::Nil
+        } else {
+            Value::Float(dist2(e, p, q).sqrt())
+        };
+        e.write(data_m, d);
+        let next_out = e.load(out_cell, CELL_NEXT);
+        let next_in = e.load(c.ptr(), CELL_NEXT).modref();
+        Tail::read(next_in, pmap_body, &[next_out, args[4], args[5]])
+    });
+
+    // diameter(in_m, res_m)
+    let diameter = b.native("diameter", move |e, args| {
+        let hull_m = e.modref_keyed(&[args[0], Value::Int(10)]);
+        e.call(qh, &[args[0], Value::ModRef(hull_m)]);
+        let l2_m = e.modref_keyed(&[args[0], Value::Int(11)]);
+        e.call(pmap, &[Value::ModRef(hull_m), Value::ModRef(l2_m), Value::ModRef(hull_m), Value::Int(0)]);
+        Tail::Call(max_f.entry_mod, vec![Value::ModRef(l2_m), args[1]].into())
+    });
+
+    // distance(a_in_m, b_in_m, res_m)
+    let distance = b.native("distance", move |e, args| {
+        let ha_m = e.modref_keyed(&[args[0], Value::Int(12)]);
+        e.call(qh, &[args[0], Value::ModRef(ha_m)]);
+        let hb_m = e.modref_keyed(&[args[1], Value::Int(13)]);
+        e.call(qh, &[args[1], Value::ModRef(hb_m)]);
+        let l2_m = e.modref_keyed(&[args[0], args[1], Value::Int(14)]);
+        e.call(pmap, &[Value::ModRef(ha_m), Value::ModRef(l2_m), Value::ModRef(hb_m), Value::Int(1)]);
+        Tail::Call(min_f.entry_mod, vec![Value::ModRef(l2_m), args[2]].into())
+    });
+
+    GeomFns { quickhull: qh, diameter, distance }
+}
+
+/// Builds the standalone geometry program.
+pub fn geom_program() -> (std::rc::Rc<Program>, GeomFns) {
+    let mut b = ProgramBuilder::new();
+    let fns = build_geom(&mut b);
+    (b.build(), fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv;
+    use crate::input::{
+        build_point_list, load_point, random_points_two_squares, random_points_unit_square, Point,
+        CELL_DATA, CELL_NEXT,
+    };
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn collect_hull(e: &Engine, hull_m: ModRef) -> Vec<Point> {
+        let mut out = Vec::new();
+        let mut v = e.deref(hull_m);
+        while let Value::Ptr(c) = v {
+            out.push(load_point(e, e.load(c, CELL_DATA)));
+            v = e.deref(e.load(c, CELL_NEXT).modref());
+        }
+        out
+    }
+
+    fn hull_set(points: &[Point]) -> Vec<(u64, u64)> {
+        let mut s: Vec<(u64, u64)> =
+            points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        s.sort_unstable();
+        s
+    }
+
+    #[test]
+    fn quickhull_matches_conventional_under_edits() {
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let pts = random_points_unit_square(150, 7);
+        let l = build_point_list(&mut e, &pts);
+        let hull_m = e.meta_modref();
+        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        assert_eq!(
+            hull_set(&collect_hull(&e, hull_m)),
+            hull_set(&conv::quickhull(&pts)),
+            "initial hull"
+        );
+
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let i = rng.gen_range(0..pts.len());
+            l.delete(&mut e, i);
+            e.propagate();
+            let mut d = pts.clone();
+            d.remove(i);
+            assert_eq!(
+                hull_set(&collect_hull(&e, hull_m)),
+                hull_set(&conv::quickhull(&d)),
+                "after delete {i}"
+            );
+            l.insert(&mut e, i);
+            e.propagate();
+            assert_eq!(
+                hull_set(&collect_hull(&e, hull_m)),
+                hull_set(&conv::quickhull(&pts)),
+                "after insert {i}"
+            );
+        }
+        e.check_invariants();
+    }
+
+    #[test]
+    fn hull_is_in_boundary_order() {
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let pts = random_points_unit_square(200, 17);
+        let l = build_point_list(&mut e, &pts);
+        let hull_m = e.meta_modref();
+        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        let hull = collect_hull(&e, hull_m);
+        assert!(hull.len() >= 3);
+        // The hull is emitted clockwise (mn, upper chain, mx, lower
+        // chain), so every hull point lies right of each directed edge.
+        let m = hull.len();
+        for i in 0..m {
+            let a = hull[i];
+            let b = hull[(i + 1) % m];
+            for q in &hull {
+                assert!(
+                    q.cross(a, b) <= 1e-12,
+                    "hull not convex/ordered at edge {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_matches_conventional_under_edits() {
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let pts = random_points_unit_square(120, 9);
+        let l = build_point_list(&mut e, &pts);
+        let res = e.meta_modref();
+        e.run_core(fns.diameter, &[Value::ModRef(l.head), Value::ModRef(res)]);
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        assert!(close(e.deref(res).float(), conv::diameter(&pts)), "initial diameter");
+
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..15 {
+            let i = rng.gen_range(0..pts.len());
+            l.delete(&mut e, i);
+            e.propagate();
+            let mut d = pts.clone();
+            d.remove(i);
+            assert!(
+                close(e.deref(res).float(), conv::diameter(&d)),
+                "after delete {i}: {} vs {}",
+                e.deref(res).float(),
+                conv::diameter(&d)
+            );
+            l.insert(&mut e, i);
+            e.propagate();
+            assert!(close(e.deref(res).float(), conv::diameter(&pts)), "after insert {i}");
+        }
+    }
+
+    #[test]
+    fn distance_matches_conventional_under_edits() {
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let (pa, pb) = random_points_two_squares(140, 11);
+        let la = build_point_list(&mut e, &pa);
+        let lb = build_point_list(&mut e, &pb);
+        let res = e.meta_modref();
+        e.run_core(
+            fns.distance,
+            &[Value::ModRef(la.head), Value::ModRef(lb.head), Value::ModRef(res)],
+        );
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        assert!(close(e.deref(res).float(), conv::distance(&pa, &pb)), "initial distance");
+
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..15 {
+            let i = rng.gen_range(0..pa.len());
+            la.delete(&mut e, i);
+            e.propagate();
+            let mut d = pa.clone();
+            d.remove(i);
+            assert!(close(e.deref(res).float(), conv::distance(&d, &pb)), "after delete {i}");
+            la.insert(&mut e, i);
+            e.propagate();
+            assert!(close(e.deref(res).float(), conv::distance(&pa, &pb)), "after insert {i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Empty input: hull and diameter are Nil.
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let l = build_point_list(&mut e, &[]);
+        let hull_m = e.meta_modref();
+        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        assert_eq!(e.deref(hull_m), Value::Nil);
+
+        // Single point: hull = [p].
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let l = build_point_list(&mut e, &[Point { x: 0.5, y: 0.5 }]);
+        let hull_m = e.meta_modref();
+        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        assert_eq!(collect_hull(&e, hull_m).len(), 1);
+
+        // Two points: both on the hull.
+        let (p, fns) = geom_program();
+        let mut e = Engine::new(p);
+        let l = build_point_list(
+            &mut e,
+            &[Point { x: 0.1, y: 0.2 }, Point { x: 0.9, y: 0.4 }],
+        );
+        let hull_m = e.meta_modref();
+        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        assert_eq!(collect_hull(&e, hull_m).len(), 2);
+    }
+}

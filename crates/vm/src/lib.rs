@@ -1,0 +1,357 @@
+//! # ceal-vm — executing translated CEAL programs
+//!
+//! The paper compiles translated C with gcc and links it against the
+//! run-time system. This crate is the corresponding execution layer of
+//! the reproduction (DESIGN.md §2): it registers the target code
+//! produced by `ceal-compiler` as functions of the `ceal-runtime`
+//! engine and interprets it. Each target function runs straight-line
+//! code and ends by handing the engine a `Tail` — exactly the
+//! trampolined discipline of §6.2.
+//!
+//! The §6.3 *read-trampolining* refinement is an execution option:
+//! with it enabled (the default, as in `cealc`), tail calls that do not
+//! follow a read dispatch directly inside the interpreter; without it,
+//! every tail call bounces through the engine trampoline with a fresh
+//! closure, like the basic translation.
+//!
+//! ```
+//! use ceal_ir::build::{FuncBuilder, ProgramBuilder as ClBuilder};
+//! use ceal_ir::cl::*;
+//! use ceal_compiler::pipeline::compile;
+//! use ceal_runtime::prelude::*;
+//! use ceal_vm::{load, VmOptions};
+//!
+//! // CL: copy(m, d) { x := read m; write d x; done } — not normal;
+//! // cealc normalizes, translates, and the VM runs it self-adjustingly.
+//! let mut pb = ClBuilder::new();
+//! let fr = pb.declare("copy");
+//! let mut fb = FuncBuilder::new("copy", true);
+//! let m = fb.param(Ty::ModRef);
+//! let d = fb.param(Ty::ModRef);
+//! let x = fb.local(Ty::Int);
+//! let l0 = fb.reserve();
+//! let l1 = fb.reserve();
+//! let l2 = fb.reserve_done();
+//! fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+//! fb.define(l1, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(l2)));
+//! pb.define(fr, fb.finish());
+//!
+//! let out = compile(&pb.finish()).unwrap();
+//! let mut b = ProgramBuilder::new();
+//! let loaded = load(&out.target, &mut b, VmOptions::default());
+//! let mut e = Engine::new(b.build());
+//! let (inp, outp) = (e.meta_modref(), e.meta_modref());
+//! e.modify(inp, Value::Int(5));
+//! let copy = loaded.entry(&out.target, "copy").unwrap();
+//! e.run_core(copy, &[Value::ModRef(inp), Value::ModRef(outp)]);
+//! assert_eq!(e.deref(outp), Value::Int(5));
+//! e.modify(inp, Value::Int(9));
+//! e.propagate();
+//! assert_eq!(e.deref(outp), Value::Int(9));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ceal_compiler::target::{TFunc, TInstr, TOperand, TProgram};
+use ceal_ir::cl::Prim;
+use ceal_runtime::engine::Engine;
+use ceal_runtime::program::{OpaqueFn, ProgramBuilder, Tail};
+use ceal_runtime::value::{FuncId, Value};
+
+/// Execution options (§6.3 refinements).
+#[derive(Clone, Copy, Debug)]
+pub struct VmOptions {
+    /// Read trampolining: tail calls not following a read dispatch
+    /// directly instead of bouncing through the engine's trampoline.
+    pub read_trampoline: bool,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions { read_trampoline: true }
+    }
+}
+
+struct Shared {
+    funcs: Vec<TFunc>,
+    engine_ids: RefCell<Vec<FuncId>>,
+    opts: VmOptions,
+}
+
+/// Handle returned by [`load`]: maps target functions to engine ids.
+#[derive(Clone)]
+pub struct LoadedProgram {
+    shared: Rc<Shared>,
+}
+
+impl LoadedProgram {
+    /// The engine [`FuncId`] of target function index `i`.
+    pub fn engine_id(&self, i: u32) -> FuncId {
+        self.shared.engine_ids.borrow()[i as usize]
+    }
+
+    /// Looks up a function by name in `t` and returns its engine id.
+    pub fn entry(&self, t: &TProgram, name: &str) -> Option<FuncId> {
+        t.find(name).map(|i| self.engine_id(i))
+    }
+}
+
+/// Registers every function of `t` with the engine program builder.
+pub fn load(t: &TProgram, b: &mut ProgramBuilder, opts: VmOptions) -> LoadedProgram {
+    let shared = Rc::new(Shared {
+        funcs: t.funcs.clone(),
+        engine_ids: RefCell::new(Vec::with_capacity(t.funcs.len())),
+        opts,
+    });
+    for (i, f) in t.funcs.iter().enumerate() {
+        let id = b.declare(&f.name);
+        shared.engine_ids.borrow_mut().push(id);
+        b.define_opaque(id, Box::new(VmFn { shared: Rc::clone(&shared), idx: i }));
+    }
+    LoadedProgram { shared }
+}
+
+struct VmFn {
+    shared: Rc<Shared>,
+    idx: usize,
+}
+
+#[inline]
+fn truthy(v: Value) -> bool {
+    v.is_true()
+}
+
+fn prim_eval(op: Prim, a: Value, b: Option<Value>) -> Value {
+    use Value::{Float, Int};
+    let bi = |x: bool| Int(x as i64);
+    match (op, a, b) {
+        (Prim::Not, v, None) => bi(!truthy(v)),
+        (Prim::Neg, Int(x), None) => Int(-x),
+        (Prim::Neg, Float(x), None) => Float(-x),
+        (Prim::Add, Int(x), Some(Int(y))) => Int(x.wrapping_add(y)),
+        (Prim::Sub, Int(x), Some(Int(y))) => Int(x.wrapping_sub(y)),
+        (Prim::Mul, Int(x), Some(Int(y))) => Int(x.wrapping_mul(y)),
+        (Prim::Div, Int(x), Some(Int(y))) if y != 0 => Int(x.wrapping_div(y)),
+        (Prim::Mod, Int(x), Some(Int(y))) if y != 0 => Int(x.wrapping_rem(y)),
+        (Prim::Add, Float(x), Some(Float(y))) => Float(x + y),
+        (Prim::Sub, Float(x), Some(Float(y))) => Float(x - y),
+        (Prim::Mul, Float(x), Some(Float(y))) => Float(x * y),
+        (Prim::Div, Float(x), Some(Float(y))) => Float(x / y),
+        (Prim::Eq, x, Some(y)) => bi(x == y),
+        (Prim::Ne, x, Some(y)) => bi(x != y),
+        (Prim::Lt, Int(x), Some(Int(y))) => bi(x < y),
+        (Prim::Le, Int(x), Some(Int(y))) => bi(x <= y),
+        (Prim::Gt, Int(x), Some(Int(y))) => bi(x > y),
+        (Prim::Ge, Int(x), Some(Int(y))) => bi(x >= y),
+        (Prim::Lt, Float(x), Some(Float(y))) => bi(x < y),
+        (Prim::Le, Float(x), Some(Float(y))) => bi(x <= y),
+        (Prim::Gt, Float(x), Some(Float(y))) => bi(x > y),
+        (Prim::Ge, Float(x), Some(Float(y))) => bi(x >= y),
+        (op, a, b) => panic!("vm: bad primitive {op:?} on {a:?}, {b:?} (type-incorrect core)"),
+    }
+}
+
+impl VmFn {
+    #[inline]
+    fn op(&self, regs: &[Value], o: &TOperand) -> Value {
+        match o {
+            TOperand::Reg(r) => regs[*r as usize],
+            TOperand::Imm(v) => *v,
+            TOperand::Fun(f) => Value::Func(self.shared.engine_ids.borrow()[*f as usize]),
+        }
+    }
+
+    fn ops(&self, regs: &[Value], os: &[TOperand]) -> Vec<Value> {
+        os.iter().map(|o| self.op(regs, o)).collect()
+    }
+}
+
+impl OpaqueFn for VmFn {
+    fn name(&self) -> &str {
+        &self.shared.funcs[self.idx].name
+    }
+
+    fn invoke(&self, e: &mut Engine, args: &[Value]) -> Tail {
+        let mut fidx = self.idx;
+        let mut argbuf: Vec<Value> = args.to_vec();
+        'function: loop {
+            let f = &self.shared.funcs[fidx];
+            let mut regs = vec![Value::Nil; f.nregs as usize];
+            for (i, &r) in f.params.iter().enumerate() {
+                regs[r as usize] = argbuf.get(i).copied().unwrap_or(Value::Nil);
+            }
+            let mut pc = 0usize;
+            loop {
+                match &f.code[pc] {
+                    TInstr::Move { dst, src } => {
+                        regs[*dst as usize] = self.op(&regs, src);
+                        pc += 1;
+                    }
+                    TInstr::Prim { dst, op, a, b } => {
+                        let av = self.op(&regs, a);
+                        let bv = b.as_ref().map(|x| self.op(&regs, x));
+                        regs[*dst as usize] = prim_eval(*op, av, bv);
+                        pc += 1;
+                    }
+                    TInstr::Load { dst, ptr, off } => {
+                        let p = regs[*ptr as usize].ptr();
+                        let o = self.op(&regs, off).int();
+                        regs[*dst as usize] = e.load(p, o as usize);
+                        pc += 1;
+                    }
+                    TInstr::Store { ptr, off, val } => {
+                        let p = regs[*ptr as usize].ptr();
+                        let o = self.op(&regs, off).int();
+                        let v = self.op(&regs, val);
+                        e.store(p, o as usize, v);
+                        pc += 1;
+                    }
+                    TInstr::Modref { dst, key } => {
+                        let k = self.ops(&regs, key);
+                        regs[*dst as usize] = Value::ModRef(e.modref_keyed(&k));
+                        pc += 1;
+                    }
+                    TInstr::ModrefInit { ptr, off } => {
+                        let pv = regs[*ptr as usize].ptr();
+                        let o = self.op(&regs, off).int();
+                        e.modref_init(pv, o as usize);
+                        pc += 1;
+                    }
+                    TInstr::Write { m, val } => {
+                        let v = self.op(&regs, val);
+                        e.write(regs[*m as usize].modref(), v);
+                        pc += 1;
+                    }
+                    TInstr::Alloc { dst, words, init, args } => {
+                        let w = self.op(&regs, words).int();
+                        let a = self.ops(&regs, args);
+                        let init_id = self.shared.engine_ids.borrow()[*init as usize];
+                        let loc = e.alloc(w as usize, init_id, &a);
+                        regs[*dst as usize] = Value::Ptr(loc);
+                        pc += 1;
+                    }
+                    TInstr::Call { f: g, args } => {
+                        let a = self.ops(&regs, args);
+                        let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        e.call(gid, &a);
+                        pc += 1;
+                    }
+                    TInstr::Jump(t) => pc = *t as usize,
+                    TInstr::Branch { c, t, f: fe } => {
+                        pc = if truthy(self.op(&regs, c)) { *t as usize } else { *fe as usize };
+                    }
+                    TInstr::Tail { f: g, args } => {
+                        let a = self.ops(&regs, args);
+                        if self.shared.opts.read_trampoline {
+                            // §6.3: a direct transfer, no engine bounce.
+                            fidx = *g as usize;
+                            argbuf = a;
+                            continue 'function;
+                        }
+                        let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        return Tail::Call(gid, a.into());
+                    }
+                    TInstr::ReadTail { m, f: g, args } => {
+                        let a = self.ops(&regs, args);
+                        let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        return Tail::Read(regs[*m as usize].modref(), gid, a.into());
+                    }
+                    TInstr::Done => return Tail::Done,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_compiler::pipeline::compile;
+    use ceal_ir::build::{FuncBuilder, ProgramBuilder as ClBuilder};
+    use ceal_ir::cl::*;
+
+    /// Build, compile and load the "add two modifiables" program:
+    /// add(a, b, d): x := read a; y := read b; write d (x+y).
+    fn compile_add(read_trampoline: bool) -> (Engine, FuncId) {
+        let mut pb = ClBuilder::new();
+        let fr = pb.declare("add");
+        let mut fb = FuncBuilder::new("add", true);
+        let a = fb.param(Ty::ModRef);
+        let b = fb.param(Ty::ModRef);
+        let d = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let y = fb.local(Ty::Int);
+        let z = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve();
+        let l3 = fb.reserve();
+        let l4 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, a), Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::Read(y, b), Jump::Goto(l2)));
+        fb.define(
+            l2,
+            Block::Cmd(
+                Cmd::Assign(z, Expr::Prim(Prim::Add, vec![Atom::Var(x), Atom::Var(y)])),
+                Jump::Goto(l3),
+            ),
+        );
+        fb.define(l3, Block::Cmd(Cmd::Write(d, Atom::Var(z)), Jump::Goto(l4)));
+        pb.define(fr, fb.finish());
+        let out = compile(&pb.finish()).unwrap();
+        let mut b = ceal_runtime::ProgramBuilder::new();
+        let loaded = load(&out.target, &mut b, VmOptions { read_trampoline });
+        let entry = loaded.entry(&out.target, "add").unwrap();
+        (Engine::new(b.build()), entry)
+    }
+
+    fn run_add_session(read_trampoline: bool) {
+        let (mut e, add) = compile_add(read_trampoline);
+        let a = e.meta_modref();
+        let b = e.meta_modref();
+        let d = e.meta_modref();
+        e.modify(a, Value::Int(3));
+        e.modify(b, Value::Int(4));
+        e.run_core(add, &[Value::ModRef(a), Value::ModRef(b), Value::ModRef(d)]);
+        assert_eq!(e.deref(d), Value::Int(7));
+        // Change each input, propagate, check.
+        e.modify(a, Value::Int(10));
+        e.propagate();
+        assert_eq!(e.deref(d), Value::Int(14));
+        e.modify(b, Value::Int(-4));
+        e.propagate();
+        assert_eq!(e.deref(d), Value::Int(6));
+        e.check_invariants();
+    }
+
+    #[test]
+    fn add_with_read_trampolining() {
+        run_add_session(true);
+    }
+
+    #[test]
+    fn add_with_basic_trampolining() {
+        run_add_session(false);
+    }
+
+    #[test]
+    fn changing_second_input_reexecutes_less() {
+        let (mut e, add) = compile_add(true);
+        let a = e.meta_modref();
+        let b = e.meta_modref();
+        let d = e.meta_modref();
+        e.modify(a, Value::Int(1));
+        e.modify(b, Value::Int(2));
+        e.run_core(add, &[Value::ModRef(a), Value::ModRef(b), Value::ModRef(d)]);
+        let base = e.stats().reads_reexecuted;
+        e.modify(b, Value::Int(5));
+        e.propagate();
+        assert_eq!(e.deref(d), Value::Int(6));
+        // Only the read of b re-executes — the paper's point about
+        // normalization approximating precise dependencies.
+        assert_eq!(e.stats().reads_reexecuted - base, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Tracking the convex hull of a moving point set — the computational
+//! geometry setting of §8.2, used the way a motion-simulation client
+//! would use it (cf. the kinetic applications of [5] in the paper):
+//! points enter and leave the set, and the hull updates by change
+//! propagation.
+//!
+//! Run with: `cargo run --release -p ceal-examples --bin convex_hull_tracker`
+
+use ceal_runtime::prelude::*;
+use ceal_suite::input::{build_point_list, random_points_unit_square, Point, CELL_DATA, CELL_NEXT};
+use ceal_suite::sac::geom::geom_program;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+fn hull_points(e: &Engine, hull_m: ModRef) -> Vec<Point> {
+    let mut out = Vec::new();
+    let mut v = e.deref(hull_m);
+    while let Value::Ptr(c) = v {
+        let p = e.load(c, CELL_DATA).ptr();
+        out.push(Point { x: e.load(p, 0).float(), y: e.load(p, 1).float() });
+        v = e.deref(e.load(c, CELL_NEXT).modref());
+    }
+    out
+}
+
+fn main() {
+    let n = 20_000;
+    let (prog, fns) = geom_program();
+    let mut e = Engine::new(prog);
+    let pts = random_points_unit_square(n, 99);
+    let list = build_point_list(&mut e, &pts);
+    let hull_m = e.meta_modref();
+
+    let t0 = Instant::now();
+    e.run_core(fns.quickhull, &[Value::ModRef(list.head), Value::ModRef(hull_m)]);
+    println!(
+        "{n} points, initial hull of {} vertices in {:?}",
+        hull_points(&e, hull_m).len(),
+        t0.elapsed()
+    );
+
+    // Simulate churn: points leave and re-enter the set.
+    let mut rng = StdRng::seed_from_u64(5);
+    let rounds = 200;
+    let t1 = Instant::now();
+    let mut hull_changes = 0usize;
+    let mut last_len = hull_points(&e, hull_m).len();
+    for _ in 0..rounds {
+        let i = rng.gen_range(0..n);
+        if list.delete(&mut e, i) {
+            e.propagate();
+            let len = hull_points(&e, hull_m).len();
+            if len != last_len {
+                hull_changes += 1;
+            }
+            list.insert(&mut e, i);
+            e.propagate();
+            last_len = hull_points(&e, hull_m).len();
+        }
+    }
+    let per = t1.elapsed() / (2 * rounds);
+    println!("{} departures/arrivals, average hull update: {per:?}", 2 * rounds);
+    println!("{hull_changes} of the deletions changed the hull's vertex count");
+
+    // Cross-check against the conventional algorithm.
+    let conv = ceal_suite::conv::quickhull(&pts);
+    assert_eq!(hull_points(&e, hull_m).len(), conv.len());
+    println!(
+        "verified against conventional quickhull ({}x faster than recomputing)",
+        (t0.elapsed().as_secs_f64() / per.as_secs_f64()) as u64
+    );
+}

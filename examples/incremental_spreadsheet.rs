@@ -1,0 +1,154 @@
+//! A spreadsheet-style dependency network — the kind of interactive
+//! application the paper's introduction motivates: data changes slowly
+//! over time, and outputs should update much faster than recomputing.
+//!
+//! A column of n input cells feeds a balanced aggregation tree
+//! computing the column's sum, minimum and maximum. Each edit changes
+//! one cell; change propagation updates all three aggregates by
+//! re-executing one root-to-leaf path, O(log n) work.
+//!
+//! Run with: `cargo run --release -p ceal-examples --bin incremental_spreadsheet`
+
+use ceal_runtime::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+const OP_ADD: i64 = 0;
+const OP_MIN: i64 = 1;
+const OP_MAX: i64 = 2;
+
+fn build_program(b: &mut ProgramBuilder) -> FuncId {
+    // comb(op, a_m, b_m, out_m): out := op(read a, read b).
+    let comb = b.declare("comb");
+    let comb_a = b.declare("comb_a");
+    let comb_b = b.declare("comb_b");
+    b.define_native(comb, move |_e, args| {
+        Tail::read(args[1].modref(), comb_a, &[args[0], args[2], args[3]])
+    });
+    // comb_a(v_a, op, b_m, out_m)
+    b.define_native(comb_a, move |_e, args| {
+        Tail::read(args[2].modref(), comb_b, &[args[1], args[0], args[3]])
+    });
+    // comb_b(v_b, op, v_a, out_m)
+    b.define_native(comb_b, move |e, args| {
+        let (vb, op, va, out) = (args[0].int(), args[1].int(), args[2].int(), args[3].modref());
+        let r = match op {
+            OP_ADD => va + vb,
+            OP_MIN => va.min(vb),
+            _ => va.max(vb),
+        };
+        e.write(out, Value::Int(r));
+        Tail::Done
+    });
+
+    // leaf_fan(v, sum_m, min_m, max_m): a leaf feeds all aggregates.
+    let leaf_fan = b.native("leaf_fan", |e, args| {
+        e.write(args[1].modref(), args[0]);
+        e.write(args[2].modref(), args[0]);
+        e.write(args[3].modref(), args[0]);
+        Tail::Done
+    });
+
+    // agg(node_ptr, sum_m, min_m, max_m) over tree blocks
+    // [is_leaf, cell_m | left_ptr, right_ptr].
+    let agg = b.declare("agg");
+    b.define_native(agg, move |e, args| {
+        let t = args[0].ptr();
+        if e.load(t, 0).int() == 1 {
+            let cell = e.load(t, 1).modref();
+            Tail::read(cell, leaf_fan, &args[1..])
+        } else {
+            let mk = |e: &mut Engine, k: i64| {
+                Value::ModRef(e.modref_keyed(&[args[0], Value::Int(k)]))
+            };
+            let (ls, lm, lx) = (mk(e, 0), mk(e, 1), mk(e, 2));
+            let (rs, rm, rx) = (mk(e, 3), mk(e, 4), mk(e, 5));
+            e.call(agg, &[e.load(t, 1), ls, lm, lx]);
+            e.call(agg, &[e.load(t, 2), rs, rm, rx]);
+            e.call(comb, &[Value::Int(OP_ADD), ls, rs, args[1]]);
+            e.call(comb, &[Value::Int(OP_MIN), lm, rm, args[2]]);
+            e.call(comb, &[Value::Int(OP_MAX), lx, rx, args[3]]);
+            Tail::Done
+        }
+    });
+    agg
+}
+
+/// Builds a balanced tree over the cell range [lo, hi).
+fn build_tree(e: &mut Engine, cells: &[ModRef], lo: usize, hi: usize) -> Value {
+    if hi - lo == 1 {
+        let t = e.meta_alloc(2);
+        e.meta_store(t, 0, Value::Int(1));
+        e.meta_store(t, 1, Value::ModRef(cells[lo]));
+        Value::Ptr(t)
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        let l = build_tree(e, cells, lo, mid);
+        let r = build_tree(e, cells, mid, hi);
+        let t = e.meta_alloc(3);
+        e.meta_store(t, 0, Value::Int(0));
+        e.meta_store(t, 1, l);
+        e.meta_store(t, 2, r);
+        Value::Ptr(t)
+    }
+}
+
+fn main() {
+    let n = 100_000;
+    let mut b = ProgramBuilder::new();
+    let agg = build_program(&mut b);
+    let mut e = Engine::new(b.build());
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // The input column.
+    let mut values: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+    let cells: Vec<ModRef> = values
+        .iter()
+        .map(|&v| {
+            let m = e.meta_modref();
+            e.modify(m, Value::Int(v));
+            m
+        })
+        .collect();
+    let tree = build_tree(&mut e, &cells, 0, n);
+    let (sum, min, max) = (e.meta_modref(), e.meta_modref(), e.meta_modref());
+
+    let t0 = Instant::now();
+    e.run_core(agg, &[tree, Value::ModRef(sum), Value::ModRef(min), Value::ModRef(max)]);
+    let initial = t0.elapsed();
+    println!("column of {n} cells, initial evaluation: {initial:?}");
+    println!(
+        "  sum={} min={} max={}",
+        e.deref(sum),
+        e.deref(min),
+        e.deref(max)
+    );
+
+    // "User" edits: change single cells, propagate.
+    let edits = 1000;
+    let t1 = Instant::now();
+    for _ in 0..edits {
+        let i = rng.gen_range(0..n);
+        let v = rng.gen_range(0..1_000_000);
+        values[i] = v;
+        e.modify(cells[i], Value::Int(v));
+        e.propagate();
+    }
+    let per_edit = t1.elapsed() / edits;
+    println!("{edits} single-cell edits, average update: {per_edit:?}");
+    println!(
+        "  sum={} min={} max={}",
+        e.deref(sum),
+        e.deref(min),
+        e.deref(max)
+    );
+
+    // Verify against a recompute.
+    assert_eq!(e.deref(sum).int(), values.iter().sum::<i64>());
+    assert_eq!(e.deref(min).int(), *values.iter().min().unwrap());
+    assert_eq!(e.deref(max).int(), *values.iter().max().unwrap());
+    println!(
+        "verified; speedup over from-scratch ≈ {:.0}x",
+        initial.as_secs_f64() / per_edit.as_secs_f64()
+    );
+}

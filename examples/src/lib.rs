@@ -1,0 +1,13 @@
+//! # ceal-examples
+//!
+//! Runnable binaries demonstrating the CEAL reproduction:
+//!
+//! * `quickstart` — the paper's §3 expression-tree example (Figs. 1–4).
+//! * `compile_and_run` — a CEAL source through parse → CL → normalize →
+//!   translate → generated C, then executed with change propagation,
+//!   ending with a dump of the dynamic dependence graph.
+//! * `incremental_spreadsheet` — 100k-cell aggregation with
+//!   microsecond updates.
+//! * `convex_hull_tracker` — hull maintenance under point churn.
+//! * `future_work_features` — the §10 proposals implemented:
+//!   modifiable fields and automatic DPS conversion.

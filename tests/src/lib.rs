@@ -1,0 +1,15 @@
+//! # ceal-integration-tests
+//!
+//! Cross-crate integration tests for the CEAL reproduction. The crate
+//! itself is empty; everything lives in `tests/`:
+//!
+//! * `pipeline_end_to_end` — CEAL sources through the whole compiler,
+//!   executed self-adjustingly, against conventional oracles, plus the
+//!   Theorem 3 size bounds.
+//! * `proptest_pipeline` — randomly generated CL programs:
+//!   normalization preserves semantics; compiled execution matches the
+//!   reference interpreter; propagation equals from-scratch.
+//! * `random_edits` — multi-element mutator sessions over every
+//!   benchmark with per-step oracle checks.
+//! * `mod_fields`, `dps_returns` — the §10 language extensions end to
+//!   end.

@@ -1,0 +1,194 @@
+//! §10 "Support for Return Values": value-returning core functions are
+//! automatically converted to destination-passing style — the hidden
+//! destination modifiable and the read at each call site are inserted
+//! by the compiler, so the paper's Fig. 2 evaluator can be written the
+//! natural C way.
+
+use ceal_compiler::pipeline::compile;
+use ceal_lang::frontend;
+use ceal_runtime::prelude::*;
+use ceal_vm::{load, VmOptions};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The expression-tree evaluator with C-style return values: no
+/// explicit result modifiables anywhere in the source.
+const EVAL_RETURNS: &str = r#"
+struct node { int kind; int op; modref_t* left; modref_t* right; };
+struct leaf { int kind; int num; };
+
+int eval(modref_t* root) {
+    node* t = (node*) read(root);
+    if (t->kind == 0) {
+        leaf* l = (leaf*) t;
+        return l->num;
+    }
+    int a = eval(t->left);
+    int b = eval(t->right);
+    if (t->op == 0) { return a + b; }
+    return a - b;
+}
+
+ceal eval_top(modref_t* root, modref_t* res) {
+    int v = eval(root);
+    write(res, v);
+    return;
+}
+"#;
+
+const LEAF: i64 = 0;
+const NODE: i64 = 1;
+
+fn leaf(e: &mut Engine, n: i64) -> Value {
+    let t = e.meta_alloc(2);
+    e.meta_store(t, 0, Value::Int(LEAF));
+    e.meta_store(t, 1, Value::Int(n));
+    Value::Ptr(t)
+}
+
+fn node(e: &mut Engine, op: i64, l: Value, r: Value) -> (Value, ModRef, ModRef) {
+    let t = e.meta_alloc(4);
+    e.meta_store(t, 0, Value::Int(NODE));
+    e.meta_store(t, 1, Value::Int(op));
+    let lm = e.meta_modref_in(t, 2);
+    let rm = e.meta_modref_in(t, 3);
+    e.modify(lm, l);
+    e.modify(rm, r);
+    (Value::Ptr(t), lm, rm)
+}
+
+#[test]
+fn returned_values_propagate() {
+    let (cl, _) = frontend(EVAL_RETURNS).unwrap();
+    // eval gained a hidden destination parameter.
+    let eval_fn = cl.funcs.iter().find(|f| f.name == "eval").unwrap();
+    assert_eq!(eval_fn.params.len(), 2, "hidden DPS destination added");
+
+    let out = compile(&cl).unwrap();
+    let mut b = ProgramBuilder::new();
+    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let top = loaded.entry(&out.target, "eval_top").unwrap();
+    let mut e = Engine::new(b.build());
+
+    // ((1 + 2) - (3 + 4)) = -4, then edit a leaf.
+    let l1 = leaf(&mut e, 1);
+    let l2 = leaf(&mut e, 2);
+    let (a, _, _) = node(&mut e, 0, l1, l2);
+    let l3 = leaf(&mut e, 3);
+    let l4 = leaf(&mut e, 4);
+    let (bn, _, r_slot) = node(&mut e, 0, l3, l4);
+    let (root_v, _, _) = node(&mut e, 1, a, bn);
+    let root = e.meta_modref();
+    e.modify(root, root_v);
+    let res = e.meta_modref();
+    e.run_core(top, &[Value::ModRef(root), Value::ModRef(res)]);
+    assert_eq!(e.deref(res), Value::Int(-4));
+
+    // Replace the 4-leaf by 40: ((1+2) - (3+40)) = -40.
+    let l40 = leaf(&mut e, 40);
+    e.modify(r_slot, l40);
+    e.propagate();
+    assert_eq!(e.deref(res), Value::Int(-40));
+    e.check_invariants();
+}
+
+/// Random leaf edits keep the returned-value evaluator consistent.
+#[test]
+fn returned_values_match_oracle_under_edits() {
+    let (cl, _) = frontend(EVAL_RETURNS).unwrap();
+    let out = compile(&cl).unwrap();
+    let mut b = ProgramBuilder::new();
+    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let top = loaded.entry(&out.target, "eval_top").unwrap();
+    let mut e = Engine::new(b.build());
+    let mut rng = StdRng::seed_from_u64(55);
+
+    fn build(
+        e: &mut Engine,
+        rng: &mut StdRng,
+        depth: u32,
+        slots: &mut Vec<(ModRef, Value, Value)>,
+        slot: Option<ModRef>,
+    ) -> Value {
+        if depth == 0 {
+            let v = rng.gen_range(-9..9);
+            let lf = leaf(e, v);
+            let alt = leaf(e, v + 100);
+            if let Some(s) = slot {
+                slots.push((s, lf, alt));
+            }
+            lf
+        } else {
+            let op = i64::from(rng.gen_bool(0.5));
+            let t = e.meta_alloc(4);
+            e.meta_store(t, 0, Value::Int(NODE));
+            e.meta_store(t, 1, Value::Int(op));
+            let lm = e.meta_modref_in(t, 2);
+            let rm = e.meta_modref_in(t, 3);
+            let lv = build(e, rng, depth - 1, slots, Some(lm));
+            let rv = build(e, rng, depth - 1, slots, Some(rm));
+            e.modify(lm, lv);
+            e.modify(rm, rv);
+            Value::Ptr(t)
+        }
+    }
+
+    fn oracle(e: &Engine, v: Value) -> i64 {
+        let t = v.ptr();
+        if e.load(t, 0).int() == LEAF {
+            e.load(t, 1).int()
+        } else {
+            let l = oracle(e, e.deref(e.load(t, 2).modref()));
+            let r = oracle(e, e.deref(e.load(t, 3).modref()));
+            if e.load(t, 1).int() == 0 {
+                l + r
+            } else {
+                l - r
+            }
+        }
+    }
+
+    let mut slots = Vec::new();
+    let tree = build(&mut e, &mut rng, 5, &mut slots, None);
+    let root = e.meta_modref();
+    e.modify(root, tree);
+    let res = e.meta_modref();
+    e.run_core(top, &[Value::ModRef(root), Value::ModRef(res)]);
+    assert_eq!(e.deref(res).int(), oracle(&e, tree));
+
+    for _ in 0..30 {
+        let i = rng.gen_range(0..slots.len());
+        let (slot, lf, alt) = slots[i];
+        e.modify(slot, alt);
+        e.propagate();
+        assert_eq!(e.deref(res).int(), oracle(&e, tree));
+        e.modify(slot, lf);
+        e.propagate();
+        assert_eq!(e.deref(res).int(), oracle(&e, tree));
+    }
+}
+
+#[test]
+fn value_return_in_void_function_is_an_error() {
+    let err = frontend("ceal f(modref_t* m) { return 3; }").unwrap_err();
+    assert!(err.contains("cannot return values"), "{err}");
+}
+
+#[test]
+fn bare_return_in_value_function_is_an_error() {
+    let err = frontend("int f(modref_t* m) { return; }").unwrap_err();
+    assert!(err.contains("must `return expr;`"), "{err}");
+}
+
+#[test]
+fn value_returning_initializer_is_rejected() {
+    let src = r#"
+        int mkinit(void* p) { return 1; }
+        ceal f(modref_t* out) {
+            void* p = alloc(2, mkinit);
+            write(out, p);
+            return;
+        }
+    "#;
+    let err = frontend(src).unwrap_err();
+    assert!(err.contains("initializers cannot return values"), "{err}");
+}

@@ -1,0 +1,92 @@
+//! §10's proposed *modifiable fields*: fields marked `mod` are read and
+//! written with ordinary C syntax, and the compiler inserts the
+//! `read`/`write` primitives — implemented here as an extension.
+
+use ceal_compiler::pipeline::compile;
+use ceal_lang::frontend;
+use ceal_runtime::prelude::*;
+use ceal_vm::{load, VmOptions};
+
+/// A counter cell whose value is a modifiable *field*: the core applies
+/// `out = c->value * 2 + c->bias` with no explicit read() calls.
+const SRC: &str = r#"
+struct counter { mod int value; mod int bias; };
+
+ceal doubled(counter* c, modref_t* out) {
+    int v = c->value * 2 + c->bias;
+    write(out, v);
+    return;
+}
+"#;
+
+#[test]
+fn mod_fields_read_implicitly_and_propagate() {
+    let (cl, _) = frontend(SRC).unwrap();
+    // The implicit reads are real CL reads.
+    let reads = cl.funcs[0]
+        .blocks
+        .iter()
+        .filter(|b| b.is_read())
+        .count();
+    assert_eq!(reads, 2, "two mod-field accesses become two reads");
+
+    let out = compile(&cl).unwrap();
+    let mut b = ProgramBuilder::new();
+    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let entry = loaded.entry(&out.target, "doubled").unwrap();
+    let mut e = Engine::new(b.build());
+
+    // Mutator-side counter block: both fields hold modifiables.
+    let c = e.meta_alloc(2);
+    let value_m = e.meta_modref_in(c, 0);
+    let bias_m = e.meta_modref_in(c, 1);
+    e.modify(value_m, Value::Int(10));
+    e.modify(bias_m, Value::Int(1));
+    let res = e.meta_modref();
+    e.run_core(entry, &[Value::Ptr(c), Value::ModRef(res)]);
+    assert_eq!(e.deref(res), Value::Int(21));
+
+    // Ordinary assignments at the meta level propagate through the
+    // implicit reads.
+    e.modify(value_m, Value::Int(50));
+    e.propagate();
+    assert_eq!(e.deref(res), Value::Int(101));
+    e.modify(bias_m, Value::Int(7));
+    e.propagate();
+    assert_eq!(e.deref(res), Value::Int(107));
+}
+
+/// Writing a mod field from the core is an implicit traced write.
+const WRITER: &str = r#"
+struct box { mod int v; };
+
+void init_box(box* b) {
+    b->v = modref_init();
+}
+
+ceal bump(modref_t* src, modref_t* out) {
+    int x = (int) read(src);
+    box* b = (box*) alloc(sizeof(box), init_box);
+    b->v = x + 1;
+    int y = b->v;
+    write(out, y);
+    return;
+}
+"#;
+
+#[test]
+fn mod_field_writes_are_traced() {
+    let (cl, _) = frontend(WRITER).unwrap();
+    let out = compile(&cl).unwrap();
+    let mut b = ProgramBuilder::new();
+    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let entry = loaded.entry(&out.target, "bump").unwrap();
+    let mut e = Engine::new(b.build());
+    let (src, res) = (e.meta_modref(), e.meta_modref());
+    e.modify(src, Value::Int(5));
+    e.run_core(entry, &[Value::ModRef(src), Value::ModRef(res)]);
+    assert_eq!(e.deref(res), Value::Int(6));
+    e.modify(src, Value::Int(41));
+    e.propagate();
+    assert_eq!(e.deref(res), Value::Int(42));
+}

@@ -1,0 +1,351 @@
+//! Property-based differential testing of the compiler pipeline.
+//!
+//! For randomly generated CL programs (straight-line code, branches,
+//! bounded loops, reads/writes of modifiables, allocation, calls):
+//!
+//!   conventional-interpret(P)
+//!     == conventional-interpret(normalize(P))
+//!     == engine-run(translate(normalize(P)))        (from scratch)
+//!
+//! and additionally, after randomly modifying the inputs,
+//! change propagation equals a from-scratch run of the same program —
+//! the paper's central correctness guarantee (§1).
+
+use ceal_compiler::pipeline::compile;
+use ceal_ir::build::{FuncBuilder, ProgramBuilder as ClBuilder};
+use ceal_ir::cl::*;
+use ceal_ir::interp::{IValue, Machine};
+use ceal_runtime::prelude::*;
+use ceal_vm::{load, VmOptions};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const N_INPUTS: usize = 3;
+const N_OUTPUTS: usize = 2;
+
+/// Generates a random but well-formed, terminating core function
+/// `main(in0..in2, out0..out1)` plus a helper callee and an allocator
+/// initializer.
+fn gen_program(seed: u64, size: usize) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pb = ClBuilder::new();
+    let init = pb.declare("init2");
+    let helper = pb.declare("helper");
+    let main = pb.declare("main");
+
+    // init2(loc, a): [a, modref]
+    {
+        let mut fb = FuncBuilder::new("init2", true);
+        let loc = fb.param(Ty::Ptr);
+        let a = fb.param(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Store(loc, Atom::Int(0), Atom::Var(a)), Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::ModrefInit(loc, Atom::Int(1)), Jump::Goto(l2)));
+        pb.define(init, fb.finish());
+    }
+    // helper(m, out): out := read m + 1
+    {
+        let mut fb = FuncBuilder::new("helper", true);
+        let m = fb.param(Ty::ModRef);
+        let out = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve();
+        let l3 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        fb.define(
+            l1,
+            Block::Cmd(
+                Cmd::Assign(x, Expr::Prim(Prim::Add, vec![Atom::Var(x), Atom::Int(1)])),
+                Jump::Goto(l2),
+            ),
+        );
+        fb.define(l2, Block::Cmd(Cmd::Write(out, Atom::Var(x)), Jump::Goto(l3)));
+        pb.define(helper, fb.finish());
+    }
+
+    // main: a random statement tree.
+    let mut fb = FuncBuilder::new("main", true);
+    let ins: Vec<Var> = (0..N_INPUTS).map(|_| fb.param(Ty::ModRef)).collect();
+    let outs: Vec<Var> = (0..N_OUTPUTS).map(|_| fb.param(Ty::ModRef)).collect();
+    // A pool of int temporaries and local modifiables / pointers.
+    let temps: Vec<Var> = (0..6).map(|_| fb.local(Ty::Int)).collect();
+    let mods: Vec<Var> = (0..3).map(|_| fb.local(Ty::ModRef)).collect();
+    let ptrs: Vec<Var> = (0..2).map(|_| fb.local(Ty::Ptr)).collect();
+
+    // Pre-populate local modifiables and pointers so every use is
+    // defined: modref + write, alloc.
+    struct Gen<'a> {
+        rng: &'a mut StdRng,
+        fb: &'a mut FuncBuilder,
+        temps: Vec<Var>,
+        mods: Vec<Var>,
+        ptrs: Vec<Var>,
+        ins: Vec<Var>,
+        outs: Vec<Var>,
+        helper: FuncRef,
+        init: FuncRef,
+        budget: usize,
+    }
+
+    impl Gen<'_> {
+        fn atom(&mut self) -> Atom {
+            if self.rng.gen_bool(0.5) {
+                Atom::Var(self.temps[self.rng.gen_range(0..self.temps.len())])
+            } else {
+                Atom::Int(self.rng.gen_range(-20..20))
+            }
+        }
+
+        fn any_modref(&mut self) -> Var {
+            let k = self.rng.gen_range(0..self.ins.len() + self.mods.len());
+            if k < self.ins.len() {
+                self.ins[k]
+            } else {
+                self.mods[k - self.ins.len()]
+            }
+        }
+
+        /// Emits a chain of command blocks; `cur` is the open label.
+        fn stmts(&mut self, depth: usize) {
+            let count = self.rng.gen_range(1..5usize);
+            for _ in 0..count {
+                if self.budget == 0 {
+                    return;
+                }
+                self.budget -= 1;
+                match self.rng.gen_range(0..10) {
+                    0 | 1 => {
+                        // tmp := prim(a, b)
+                        let d = self.temps[self.rng.gen_range(0..self.temps.len())];
+                        let op = [Prim::Add, Prim::Sub, Prim::Mul, Prim::Lt, Prim::Eq]
+                            [self.rng.gen_range(0..5)];
+                        let (a, b) = (self.atom(), self.atom());
+                        self.fb.emit_cmd(Cmd::Assign(d, Expr::Prim(op, vec![a, b])));
+                    }
+                    2 | 3 => {
+                        // tmp := read m
+                        let d = self.temps[self.rng.gen_range(0..self.temps.len())];
+                        let m = self.any_modref();
+                        self.fb.emit_cmd(Cmd::Read(d, m));
+                    }
+                    4 | 5 => {
+                        // write (out or local modref)
+                        let m = if self.rng.gen_bool(0.5) {
+                            self.outs[self.rng.gen_range(0..self.outs.len())]
+                        } else {
+                            self.mods[self.rng.gen_range(0..self.mods.len())]
+                        };
+                        let a = self.atom();
+                        self.fb.emit_cmd(Cmd::Write(m, a));
+                    }
+                    6 => {
+                        // call helper(m, out-or-local)
+                        let m = self.any_modref();
+                        let d = if self.rng.gen_bool(0.5) {
+                            self.outs[self.rng.gen_range(0..self.outs.len())]
+                        } else {
+                            self.mods[self.rng.gen_range(0..self.mods.len())]
+                        };
+                        self.fb.emit_cmd(Cmd::Call(
+                            self.helper,
+                            vec![Atom::Var(m), Atom::Var(d)],
+                        ));
+                    }
+                    7 => {
+                        // p := alloc 2 init2(a); tmp := p[0]
+                        let p = self.ptrs[self.rng.gen_range(0..self.ptrs.len())];
+                        let a = self.atom();
+                        let init = self.init;
+                        self.fb.emit_cmd(Cmd::Alloc {
+                            dst: p,
+                            words: Atom::Int(2),
+                            init,
+                            args: vec![a],
+                        });
+                        let d = self.temps[self.rng.gen_range(0..self.temps.len())];
+                        self.fb.emit_cmd(Cmd::Assign(d, Expr::Index(p, Atom::Int(0))));
+                    }
+                    8 if depth > 0 => {
+                        // if (atom) { ... } else { ... }
+                        let c = self.atom();
+                        let then_l = self.fb.reserve();
+                        let else_l = self.fb.reserve();
+                        let join = self.fb.reserve();
+                        self.fb.close_cond(c, then_l, else_l);
+                        self.fb.open(then_l);
+                        self.stmts(depth - 1);
+                        self.fb.close_goto(join);
+                        self.fb.open(else_l);
+                        self.stmts(depth - 1);
+                        self.fb.close_goto(join);
+                        self.fb.open(join);
+                    }
+                    _ if depth > 0 => {
+                        // Bounded loop: i := k; while (i) { body; i-- }
+                        let i = self.temps[self.rng.gen_range(0..self.temps.len())];
+                        let k = self.rng.gen_range(1..4i64);
+                        self.fb.emit_cmd(Cmd::Assign(i, Expr::Atom(Atom::Int(k))));
+                        let head = self.fb.reserve();
+                        let body = self.fb.reserve();
+                        let exit = self.fb.reserve();
+                        self.fb.close_goto(head);
+                        self.fb.open(head);
+                        self.fb.close_cond(Atom::Var(i), body, exit);
+                        self.fb.open(body);
+                        self.stmts(depth - 1);
+                        self.fb.emit_cmd(Cmd::Assign(
+                            i,
+                            Expr::Prim(Prim::Sub, vec![Atom::Var(i), Atom::Int(1)]),
+                        ));
+                        self.fb.close_goto(head);
+                        self.fb.open(exit);
+                    }
+                    _ => {
+                        let d = self.temps[self.rng.gen_range(0..self.temps.len())];
+                        let a = self.atom();
+                        self.fb.emit_cmd(Cmd::Assign(d, Expr::Atom(a)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Initialize temps and local modrefs deterministically.
+    let mut g = Gen {
+        rng: &mut rng,
+        fb: &mut fb,
+        temps,
+        mods: mods.clone(),
+        ptrs,
+        ins,
+        outs,
+        helper,
+        init,
+        budget: size,
+    };
+    for (i, &t) in g.temps.clone().iter().enumerate() {
+        g.fb.emit_cmd(Cmd::Assign(t, Expr::Atom(Atom::Int(i as i64))));
+    }
+    for &m in &mods {
+        g.fb.emit_cmd(Cmd::Modref(m));
+        g.fb.emit_cmd(Cmd::Write(m, Atom::Int(7)));
+    }
+    g.stmts(3);
+    fb.close_done();
+    pb.define(main, fb.finish());
+    pb.finish()
+}
+
+/// Runs `p.main` in the conventional reference interpreter with the
+/// given input values; returns the outputs (or None on interpreter
+/// error, e.g. fuel).
+fn run_interp(p: &Program, inputs: &[i64]) -> Option<Vec<IValue>> {
+    let mut m = Machine::with_fuel(200_000);
+    let ins: Vec<IValue> = inputs.iter().map(|&x| m.alloc_modref(IValue::Int(x))).collect();
+    let outs: Vec<IValue> = (0..N_OUTPUTS).map(|_| m.alloc_modref(IValue::Nil)).collect();
+    let mut args = ins.clone();
+    args.extend(outs.iter().copied());
+    let main = p.find("main")?;
+    m.run(p, main, &args).ok()?;
+    Some(outs.iter().map(|&o| m.deref(o).unwrap()).collect())
+}
+
+/// Runs the compiled program on the engine; returns outputs and the
+/// engine (for subsequent propagation).
+fn run_engine(p: &Program, inputs: &[i64]) -> Option<(Engine, Vec<ModRef>, Vec<ModRef>)> {
+    let out = compile(p).ok()?;
+    let mut b = ProgramBuilder::new();
+    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let main = loaded.entry(&out.target, "main")?;
+    let mut e = Engine::new(b.build());
+    let ins: Vec<ModRef> = inputs
+        .iter()
+        .map(|&x| {
+            let m = e.meta_modref();
+            e.modify(m, Value::Int(x));
+            m
+        })
+        .collect();
+    let outs: Vec<ModRef> = (0..N_OUTPUTS).map(|_| e.meta_modref()).collect();
+    let mut args: Vec<Value> = ins.iter().map(|&m| Value::ModRef(m)).collect();
+    args.extend(outs.iter().map(|&m| Value::ModRef(m)));
+    e.run_core(main, &args);
+    Some((e, ins, outs))
+}
+
+fn ivalue_matches(iv: &IValue, v: Value) -> bool {
+    match (iv, v) {
+        (IValue::Nil, Value::Nil) => true,
+        (IValue::Int(a), Value::Int(b)) => *a == b,
+        (IValue::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+        // Pointers/modrefs: compare only the constructor (identities
+        // differ across machines).
+        (IValue::Ptr(_), Value::Ptr(_)) => true,
+        (IValue::ModRef(_), Value::ModRef(_)) => true,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Normalization preserves conventional semantics.
+    #[test]
+    fn normalization_preserves_semantics(seed in 0u64..5_000, size in 4usize..40) {
+        let p = gen_program(seed, size);
+        ceal_ir::validate::validate(&p).expect("generated program is valid");
+        let (q, _) = ceal_compiler::normalize(&p).expect("normalizes");
+        ceal_ir::validate::validate(&q).expect("normalized program is valid");
+        prop_assert!(ceal_ir::validate::is_normal(&q));
+        let inputs = [5i64, -3, 11];
+        let a = run_interp(&p, &inputs);
+        let b = run_interp(&q, &inputs);
+        prop_assert_eq!(a, b, "normalization changed behavior (seed {})", seed);
+    }
+
+    /// The compiled code computes the same outputs on the engine, and
+    /// change propagation after input modifications equals from-scratch.
+    #[test]
+    fn compiled_matches_interp_and_propagates(seed in 0u64..2_000, size in 4usize..30) {
+        let p = gen_program(seed, size);
+        let inputs = [5i64, -3, 11];
+        let Some(expected) = run_interp(&p, &inputs) else {
+            // Fuel exhaustion on pathological loops: skip.
+            return Ok(());
+        };
+        let Some((mut e, ins, outs)) = run_engine(&p, &inputs) else {
+            return Ok(());
+        };
+        for (iv, &o) in expected.iter().zip(&outs) {
+            prop_assert!(
+                ivalue_matches(iv, e.deref(o)),
+                "from-scratch engine mismatch: {:?} vs {:?} (seed {})",
+                iv, e.deref(o), seed
+            );
+        }
+
+        // Modify the inputs and propagate; compare against a fresh
+        // from-scratch interpretation with the new inputs.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE21);
+        for round in 0..4 {
+            let new_inputs: Vec<i64> = (0..N_INPUTS).map(|_| rng.gen_range(-20..20)).collect();
+            for (&m, &v) in ins.iter().zip(&new_inputs) {
+                e.modify(m, Value::Int(v));
+            }
+            e.propagate();
+            let Some(expected) = run_interp(&p, &new_inputs) else { return Ok(()); };
+            for (iv, &o) in expected.iter().zip(&outs) {
+                prop_assert!(
+                    ivalue_matches(iv, e.deref(o)),
+                    "propagation mismatch at round {}: {:?} vs {:?} (seed {})",
+                    round, iv, e.deref(o), seed
+                );
+            }
+        }
+        e.check_invariants();
+    }
+}

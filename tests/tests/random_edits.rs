@@ -1,0 +1,212 @@
+//! Randomized mutator sessions beyond the §8.1 test mutator: several
+//! elements deleted at once (non-adjacent, so the splice handles stay
+//! independent), re-inserted in arbitrary order, with the
+//! self-adjusting output checked against a from-scratch oracle after
+//! every propagation.
+
+use ceal_runtime::prelude::*;
+use ceal_suite::input::{collect_list, int_list, CELL_DATA};
+use ceal_suite::sac;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Drives a list benchmark through a random multi-delete session.
+fn list_session(
+    entry_builder: fn() -> (std::rc::Rc<Program>, FuncId),
+    oracle: impl Fn(&[i64]) -> Vec<i64>,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (p, entry) = entry_builder();
+    let mut e = Engine::new(p);
+    let n = 120usize;
+    let l = int_list(&mut e, n, seed ^ 0xAB);
+    let data: Vec<i64> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+    let out = e.meta_modref();
+    e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]);
+
+    let mut deleted: BTreeSet<usize> = BTreeSet::new();
+    for _ in 0..120 {
+        let do_delete = deleted.len() < 12 && (deleted.is_empty() || rng.gen_bool(0.6));
+        if do_delete {
+            let i = rng.gen_range(0..n);
+            let adjacent_deleted = deleted.contains(&i)
+                || (i > 0 && deleted.contains(&(i - 1)))
+                || deleted.contains(&(i + 1));
+            if adjacent_deleted {
+                continue;
+            }
+            assert!(l.delete(&mut e, i));
+            deleted.insert(i);
+        } else {
+            // Re-insert a random deleted element (any order is fine for
+            // non-adjacent deletions).
+            let pick = *deleted.iter().nth(rng.gen_range(0..deleted.len())).unwrap();
+            deleted.remove(&pick);
+            l.insert(&mut e, pick);
+        }
+        e.propagate();
+        let current: Vec<i64> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !deleted.contains(i))
+            .map(|(_, &x)| x)
+            .collect();
+        let got: Vec<i64> =
+            collect_list(&e, out).into_iter().map(|v| v.int()).collect();
+        assert_eq!(got, oracle(&current), "divergence with deleted={deleted:?}");
+    }
+    e.check_invariants();
+}
+
+fn f(x: i64) -> i64 {
+    x / 3 + x / 7 + x / 9
+}
+
+#[test]
+fn map_survives_random_multi_deletes() {
+    list_session(
+        sac::listops::map_program,
+        |d| d.iter().map(|&x| f(x)).collect(),
+        101,
+    );
+}
+
+#[test]
+fn filter_survives_random_multi_deletes() {
+    list_session(
+        sac::listops::filter_program,
+        |d| d.iter().copied().filter(|&x| f(x) % 2 == 0).collect(),
+        102,
+    );
+}
+
+#[test]
+fn reverse_survives_random_multi_deletes() {
+    list_session(
+        sac::listops::reverse_program,
+        |d| d.iter().rev().copied().collect(),
+        103,
+    );
+}
+
+#[test]
+fn quicksort_survives_random_multi_deletes() {
+    list_session(
+        sac::sort::quicksort_program,
+        |d| {
+            let mut d = d.to_vec();
+            d.sort_unstable();
+            d
+        },
+        104,
+    );
+}
+
+#[test]
+fn mergesort_survives_random_multi_deletes() {
+    list_session(
+        sac::sort::mergesort_program,
+        |d| {
+            let mut d = d.to_vec();
+            d.sort_unstable();
+            d
+        },
+        105,
+    );
+}
+
+/// Scalar reductions under the same sessions.
+fn reduce_session(
+    entry_builder: fn() -> (std::rc::Rc<Program>, FuncId),
+    oracle: impl Fn(&[i64]) -> Option<i64>,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (p, entry) = entry_builder();
+    let mut e = Engine::new(p);
+    let n = 100usize;
+    let l = int_list(&mut e, n, seed ^ 0xCD);
+    let data: Vec<i64> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+    let res = e.meta_modref();
+    e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(res)]);
+
+    let mut deleted: BTreeSet<usize> = BTreeSet::new();
+    for _ in 0..100 {
+        if deleted.len() < 10 && (deleted.is_empty() || rng.gen_bool(0.6)) {
+            let i = rng.gen_range(0..n);
+            if deleted.contains(&i)
+                || (i > 0 && deleted.contains(&(i - 1)))
+                || deleted.contains(&(i + 1))
+            {
+                continue;
+            }
+            assert!(l.delete(&mut e, i));
+            deleted.insert(i);
+        } else {
+            let pick = *deleted.iter().nth(rng.gen_range(0..deleted.len())).unwrap();
+            deleted.remove(&pick);
+            l.insert(&mut e, pick);
+        }
+        e.propagate();
+        let current: Vec<i64> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !deleted.contains(i))
+            .map(|(_, &x)| x)
+            .collect();
+        assert_eq!(
+            e.deref(res),
+            oracle(&current).map(Value::Int).unwrap_or(Value::Nil),
+            "divergence with deleted={deleted:?}"
+        );
+    }
+    e.check_invariants();
+}
+
+#[test]
+fn minimum_survives_random_multi_deletes() {
+    reduce_session(sac::reduce::minimum_program, |d| d.iter().min().copied(), 106);
+}
+
+#[test]
+fn sum_survives_random_multi_deletes() {
+    reduce_session(sac::reduce::sum_program, |d| {
+        if d.is_empty() {
+            None
+        } else {
+            Some(d.iter().sum())
+        }
+    }, 107);
+}
+
+/// Tree contraction under overlapping edge deletions (subtree inside a
+/// detached subtree etc.), any re-insertion order.
+#[test]
+fn tcon_survives_random_multi_edge_edits() {
+    let mut rng = StdRng::seed_from_u64(108);
+    let (p, tcon) = sac::tcon::tcon_program();
+    let mut e = Engine::new(p);
+    let n = 100;
+    let tree = sac::tcon::build_tree(&mut e, n, 109);
+    let res = e.meta_modref();
+    e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
+
+    let mut cut: BTreeSet<usize> = BTreeSet::new();
+    for _ in 0..120 {
+        if cut.len() < 10 && (cut.is_empty() || rng.gen_bool(0.6)) {
+            let i = rng.gen_range(0..tree.edges.len());
+            if tree.delete_edge(&mut e, i) {
+                cut.insert(i);
+            }
+        } else {
+            let pick = *cut.iter().nth(rng.gen_range(0..cut.len())).unwrap();
+            cut.remove(&pick);
+            tree.insert_edge(&mut e, pick);
+        }
+        e.propagate();
+        let expect = sac::tcon::count_reachable(&e, tree.root);
+        assert_eq!(e.deref(res).int(), expect, "divergence with cut={cut:?}");
+    }
+    e.check_invariants();
+}
