@@ -281,8 +281,8 @@ mod tests {
 
     #[test]
     fn random_graphs_agree() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(2024);
+        use ceal_runtime::prng::Prng;
+        let mut rng = Prng::seed_from_u64(2024);
         for case in 0..300 {
             let n = rng.gen_range(2..40usize);
             let mut edges = Vec::new();

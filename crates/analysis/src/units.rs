@@ -103,8 +103,8 @@ mod tests {
     /// Lemma 2 as a property over random rooted graphs.
     #[test]
     fn lemma2_random() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
+        use ceal_runtime::prng::Prng;
+        let mut rng = Prng::seed_from_u64(7);
         for _ in 0..500 {
             let n = rng.gen_range(2..50usize);
             let mut edges = Vec::new();

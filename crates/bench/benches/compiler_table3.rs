@@ -1,25 +1,22 @@
-//! Criterion bench behind Table 3 / Fig. 15: cealc pipeline time per
-//! benchmark source, against the front-only baseline.
+//! Bench behind Table 3 / Fig. 15: cealc pipeline time per benchmark
+//! source, against the front-only baseline. Self-timing (no external
+//! harness); run with `cargo bench`.
 
+use ceal_bench::timer::bench;
 use ceal_compiler::pipeline::{compile, compile_baseline};
 use ceal_lang::{benchmarks, frontend};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn cealc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_cealc");
+fn main() {
     for (name, src) in benchmarks::all() {
         let (cl, _) = frontend(src).unwrap();
-        g.bench_function(name, |b| b.iter(|| std::hint::black_box(compile(&cl).unwrap())));
+        bench(&format!("table3_cealc/{name}"), || {
+            std::hint::black_box(compile(&cl).unwrap());
+        });
     }
-    g.finish();
-
-    let mut g = c.benchmark_group("table3_baseline");
     for (name, src) in benchmarks::all() {
         let (cl, _) = frontend(src).unwrap();
-        g.bench_function(name, |b| b.iter(|| std::hint::black_box(compile_baseline(&cl))));
+        bench(&format!("table3_baseline/{name}"), || {
+            std::hint::black_box(compile_baseline(&cl));
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, cealc);
-criterion_main!(benches);

@@ -1,24 +1,15 @@
-//! Criterion bench behind Fig. 13: tcon across input sizes.
+//! Bench behind Fig. 13: tcon across input sizes. Self-timing (no
+//! external harness); run with `cargo bench`.
 
+use ceal_bench::timer::bench_with_budget;
 use ceal_suite::harness::Bench;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn tcon_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_tcon");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
     for n in [1_000usize, 4_000, 16_000] {
-        g.bench_with_input(BenchmarkId::new("from_scratch_and_updates", n), &n, |bench, &n| {
-            bench.iter(|| {
-                let m = Bench::Tcon.measure(n, 25, 42);
-                assert!(m.ok);
-                std::hint::black_box((m.self_s, m.update_s))
-            })
+        bench_with_budget(&format!("fig13_tcon/from_scratch_and_updates/{n}"), 3_000, || {
+            let m = Bench::Tcon.measure(n, 25, 42);
+            assert!(m.ok);
+            std::hint::black_box((m.self_s, m.update_s));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, tcon_scaling);
-criterion_main!(benches);

@@ -1,32 +1,28 @@
 //! Micro-benchmarks of the run-time system's primitives: trace
 //! construction throughput, propagation of single writes, and the
 //! order-maintenance structure — the constants behind every Table 1
-//! number.
+//! number. Self-timing (no external harness); run with `cargo bench`.
 
+use ceal_bench::timer::bench;
 use ceal_runtime::order::OrderList;
 use ceal_runtime::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn order_maintenance(c: &mut Criterion) {
-    c.bench_function("order_append_1k", |b| {
-        b.iter(|| {
-            let mut ord = OrderList::new();
-            let mut t = ord.first();
-            for _ in 0..1000 {
-                t = ord.insert_after(t);
-            }
-            std::hint::black_box(ord.len())
-        })
+fn order_maintenance() {
+    bench("order_append_1k", || {
+        let mut ord = OrderList::new();
+        let mut t = ord.first();
+        for _ in 0..1000 {
+            t = ord.insert_after(t);
+        }
+        std::hint::black_box(ord.len());
     });
-    c.bench_function("order_dense_insert_1k", |b| {
-        b.iter(|| {
-            let mut ord = OrderList::new();
-            let anchor = ord.insert_after(ord.first());
-            for _ in 0..1000 {
-                ord.insert_after(anchor);
-            }
-            std::hint::black_box(ord.relabel_count())
-        })
+    bench("order_dense_insert_1k", || {
+        let mut ord = OrderList::new();
+        let anchor = ord.insert_after(ord.first());
+        for _ in 0..1000 {
+            ord.insert_after(anchor);
+        }
+        std::hint::black_box(ord.relabel_count());
     });
 }
 
@@ -42,22 +38,22 @@ fn copy_program() -> (std::rc::Rc<Program>, FuncId) {
     (b.build(), copy)
 }
 
-fn propagation_roundtrip(c: &mut Criterion) {
-    c.bench_function("single_read_propagate", |b| {
-        let (p, copy) = copy_program();
-        let mut e = Engine::new(p);
-        let (i, o) = (e.meta_modref(), e.meta_modref());
-        e.modify(i, Value::Int(0));
-        e.run_core(copy, &[Value::ModRef(i), Value::ModRef(o)]);
-        let mut k = 0i64;
-        b.iter(|| {
-            k += 1;
-            e.modify(i, Value::Int(k));
-            e.propagate();
-            std::hint::black_box(e.deref(o))
-        })
+fn propagation_roundtrip() {
+    let (p, copy) = copy_program();
+    let mut e = Engine::new(p);
+    let (i, o) = (e.meta_modref(), e.meta_modref());
+    e.modify(i, Value::Int(0));
+    e.run_core(copy, &[Value::ModRef(i), Value::ModRef(o)]);
+    let mut k = 0i64;
+    bench("single_read_propagate", || {
+        k += 1;
+        e.modify(i, Value::Int(k));
+        e.propagate();
+        std::hint::black_box(e.deref(o));
     });
 }
 
-criterion_group!(benches, order_maintenance, propagation_roundtrip);
-criterion_main!(benches);
+fn main() {
+    order_maintenance();
+    propagation_roundtrip();
+}

@@ -1,46 +1,35 @@
-//! Criterion benches behind Table 1: from-scratch self-adjusting runs
-//! and single-edit propagation for each benchmark (scaled inputs).
+//! Benches behind Table 1: from-scratch self-adjusting runs and
+//! single-edit propagation for each benchmark (scaled inputs).
+//! Self-timing (no external harness); run with `cargo bench`.
 
+use ceal_bench::timer::bench_with_budget;
 use ceal_suite::harness::Bench;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn from_scratch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_from_scratch");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+fn from_scratch() {
     for b in Bench::all() {
         let n = if b.big_input() { 20_000 } else { 5_000 };
-        g.bench_function(b.name(), |bench| {
-            bench.iter(|| {
-                let m = b.measure(n, 1, 42);
-                assert!(m.ok);
-                std::hint::black_box(m.self_s)
-            })
+        bench_with_budget(&format!("table1_from_scratch/{}", b.name()), 1_500, || {
+            let m = b.measure(n, 1, 42);
+            assert!(m.ok);
+            std::hint::black_box(m.self_s);
         });
     }
-    g.finish();
 }
 
-fn propagation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_propagation");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+fn propagation() {
     for b in [Bench::Map, Bench::Minimum, Bench::Quicksort, Bench::Exptrees, Bench::Tcon] {
         let n = if b.big_input() { 20_000 } else { 5_000 };
-        g.bench_function(b.name(), |bench| {
-            // Measure the test mutator's average update via the harness
-            // (Criterion wraps the whole edit phase).
-            bench.iter(|| {
-                let m = b.measure(n, 50, 42);
-                assert!(m.ok);
-                std::hint::black_box(m.update_s)
-            })
+        bench_with_budget(&format!("table1_propagation/{}", b.name()), 1_500, || {
+            // The whole test-mutator edit phase is wrapped, exactly as
+            // the criterion version did.
+            let m = b.measure(n, 50, 42);
+            assert!(m.ok);
+            std::hint::black_box(m.update_s);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, from_scratch, propagation);
-criterion_main!(benches);
+fn main() {
+    from_scratch();
+    propagation();
+}

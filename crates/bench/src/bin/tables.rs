@@ -14,6 +14,7 @@ fn main() {
         Some("fig15") => fig15(&opts),
         Some("ablation") => ablation(&opts),
         Some("handopt") => handopt(&opts),
+        Some("bench") => ceal_bench::runtime_bench::run(&opts),
         Some("all") => {
             table1(&opts);
             table2(&opts);
@@ -26,8 +27,9 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: tables <table1|table2|table3|fig13|fig14|fig15|ablation|all> \
-                 [--n-big N] [--n-small N] [--edits N] [--seed N]"
+                "usage: tables <table1|table2|table3|fig13|fig14|fig15|ablation|bench|all> \
+                 [--n-big N] [--n-small N] [--edits N] [--seed N]\n\
+                 bench extras: [--quick] [--out FILE] [--baseline FILE] [--save-baseline FILE]"
             );
             std::process::exit(2);
         }
@@ -257,7 +259,7 @@ fn handopt(opts: &Opts) {
     use ceal_runtime::prelude::*;
     use ceal_suite::handopt::HandTcon;
     use ceal_suite::sac::tcon::{build_tree, tcon_program};
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use ceal_runtime::prng::Prng;
     use std::time::Instant;
 
     let n = opts.get_usize("n", 20_000);
@@ -271,7 +273,7 @@ fn handopt(opts: &Opts) {
     let tree = build_tree(&mut e, n, seed);
     let res = e.meta_modref();
     e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
-    let mut rng = StdRng::seed_from_u64(seed ^ 1);
+    let mut rng = Prng::seed_from_u64(seed ^ 1);
     let picks: Vec<usize> = (0..edits).map(|_| rng.gen_range(0..tree.edges.len())).collect();
     let t0 = Instant::now();
     let mut updates = 0u32;

@@ -10,7 +10,16 @@
 //! * `tables fig15`  — Fig. 15 (compile time vs generated code size),
 //! * `tables ablation` — the DESIGN.md §6 ablations (memo / keyed alloc).
 //!
-//! Criterion micro-benchmarks live in `benches/`.
+//! * `tables bench`  — the hermetic perf harness: micro-benchmarks of
+//!   the run-time primitives plus a fig13-style tcon run, written as
+//!   machine-readable `BENCH_runtime.json` (perf trajectory across PRs).
+//!
+//! Micro-benchmarks live in `benches/` (self-timing, no external
+//! harness).
+
+pub mod prng;
+pub mod runtime_bench;
+pub mod timer;
 
 /// Formats seconds like the paper's tables: scientific for sub-second
 /// quantities (e.g. `2.1e-6`), fixed-point otherwise.

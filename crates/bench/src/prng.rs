@@ -1,0 +1,6 @@
+//! Re-export of the workspace's hermetic PRNG (see
+//! [`ceal_runtime::prng`]) so benchmark code and downstream tests can
+//! write `ceal_bench::prng::Prng` without depending on the runtime
+//! crate directly.
+
+pub use ceal_runtime::prng::*;

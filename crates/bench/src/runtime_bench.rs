@@ -1,0 +1,320 @@
+//! The hermetic perf harness behind `tables bench`.
+//!
+//! Times the run-time primitives (order maintenance, write/propagate
+//! round-trips) plus a Fig. 13-style tcon run, and writes the numbers
+//! as machine-readable JSON (`BENCH_runtime.json` by default) so the
+//! perf trajectory of the runtime is tracked in-repo across PRs.
+//!
+//! Workflow for before/after comparisons:
+//!
+//! ```text
+//! # on the old code
+//! cargo run --release -p ceal-bench --bin tables -- bench --save-baseline base.txt
+//! # on the new code
+//! cargo run --release -p ceal-bench --bin tables -- bench --baseline base.txt
+//! ```
+//!
+//! The second run embeds the baseline numbers and per-bench speedups in
+//! the JSON. `--quick` shrinks every workload for CI smoke runs;
+//! `--out` changes the output path.
+
+use crate::timer::bench_with_budget;
+use crate::Opts;
+use ceal_runtime::order::OrderList;
+use ceal_runtime::prelude::*;
+use ceal_runtime::prng::Prng;
+use ceal_suite::harness::Bench;
+use std::fmt::Write as _;
+
+/// One named measurement, in seconds per iteration.
+struct Entry {
+    name: String,
+    secs: f64,
+    baseline_secs: Option<f64>,
+}
+
+impl Entry {
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_secs.map(|b| b / self.secs)
+    }
+}
+
+/// Runs the full harness; entry point for `tables bench`.
+pub fn run(opts: &Opts) {
+    let quick = opts.has("quick");
+    let out_path = opts.get("out").unwrap_or("BENCH_runtime.json").to_string();
+    let seed = opts.get_usize("seed", 42) as u64;
+
+    // Workload knobs: `--quick` is a CI smoke configuration, small
+    // enough to finish in seconds but exercising every code path.
+    let budget: u64 = if quick { 100 } else { 600 };
+    let ord_n = opts.get_usize("ord-n", if quick { 2_000 } else { 50_000 });
+    let tcon_n = opts.get_usize("n", if quick { 2_000 } else { 100_000 });
+    let tcon_edits = opts.get_usize("edits", if quick { 5 } else { 25 });
+    let reps = if quick { 1 } else { 3 };
+
+    println!("\n=== runtime perf harness (quick={quick}, seed={seed}) ===\n");
+    let mut entries = Vec::new();
+
+    order_benches(&mut entries, ord_n, budget, seed);
+    engine_benches(&mut entries, budget);
+    tcon_bench(&mut entries, tcon_n, tcon_edits, seed, reps);
+
+    // Attach baseline numbers captured by an earlier `--save-baseline`
+    // run (e.g. on the previous commit) and report speedups.
+    if let Some(path) = opts.get("baseline") {
+        match load_baseline(path) {
+            Ok(base) => {
+                for e in &mut entries {
+                    e.baseline_secs = base
+                        .iter()
+                        .find(|(n, _)| n == &e.name)
+                        .map(|&(_, s)| s);
+                }
+                println!("\nvs baseline `{path}`:");
+                for e in &entries {
+                    if let Some(s) = e.speedup() {
+                        println!("  {:<44} {:>6.2}x {}", e.name, s, if s >= 1.0 { "faster" } else { "slower" });
+                    }
+                }
+            }
+            Err(err) => eprintln!("warning: cannot read baseline {path}: {err}"),
+        }
+    }
+
+    if let Some(path) = opts.get("save-baseline") {
+        let mut txt = String::new();
+        for e in &entries {
+            let _ = writeln!(txt, "{} {:e}", e.name, e.secs);
+        }
+        std::fs::write(path, txt).expect("write baseline");
+        println!("\nbaseline saved to {path}");
+    }
+
+    std::fs::write(&out_path, to_json(&entries, quick, seed)).expect("write bench json");
+    println!("\nresults written to {out_path}");
+}
+
+/// Order-maintenance microbenches. Dense same-point insertion is the
+/// structure's worst case (every insert lands in the most crowded
+/// label region); append and random insertion bracket the common
+/// cases; churn exercises delete and re-insert together.
+fn order_benches(entries: &mut Vec<Entry>, n: usize, budget: u64, seed: u64) {
+    let k = crate::fmt_n(n);
+
+    let s = bench_with_budget(&format!("order/append_{k}"), budget, || {
+        let mut ord = OrderList::new();
+        let mut t = ord.first();
+        for _ in 0..n {
+            t = ord.insert_after(t);
+        }
+        std::hint::black_box(ord.len());
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+
+    let s = bench_with_budget(&format!("order/dense_insert_{k}"), budget, || {
+        let mut ord = OrderList::new();
+        let anchor = ord.insert_after(ord.first());
+        for _ in 0..n {
+            ord.insert_after(anchor);
+        }
+        std::hint::black_box(ord.relabel_count());
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+
+    let s = bench_with_budget(&format!("order/random_insert_{k}"), budget, || {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut ord = OrderList::new();
+        let mut times = vec![ord.first()];
+        for _ in 0..n {
+            let at = times[rng.gen_range(0..times.len())];
+            times.push(ord.insert_after(at));
+        }
+        std::hint::black_box(ord.len());
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+
+    let s = bench_with_budget(&format!("order/churn_{k}"), budget, || {
+        let mut rng = Prng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut ord = OrderList::new();
+        let mut times = Vec::with_capacity(n);
+        let mut t = ord.first();
+        for _ in 0..n {
+            t = ord.insert_after(t);
+            times.push(t);
+        }
+        for _ in 0..n {
+            let i = rng.gen_range(0..times.len());
+            ord.delete(times[i]);
+            let mut at = ord.first();
+            let j = rng.gen_range(0..times.len());
+            if times[j] != times[i] && ord.is_live(times[j]) {
+                at = times[j];
+            }
+            times[i] = ord.insert_after(at);
+        }
+        std::hint::black_box(ord.len());
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+
+    // Comparison throughput over a pre-built list (read-only).
+    let mut ord = OrderList::new();
+    let mut times = vec![ord.first()];
+    let mut t = ord.first();
+    for _ in 0..n {
+        t = ord.insert_after(t);
+        times.push(t);
+    }
+    let mut rng = Prng::seed_from_u64(seed ^ 0xCB);
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .map(|_| (rng.gen_range(0..times.len()), rng.gen_range(0..times.len())))
+        .collect();
+    let s = bench_with_budget(&format!("order/cmp_{k}"), budget, || {
+        let mut lt = 0usize;
+        for &(a, b) in &pairs {
+            lt += ord.lt(times[a], times[b]) as usize;
+        }
+        std::hint::black_box(lt);
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+}
+
+/// Engine hot-path microbenches: a one-read dependency chain driven
+/// through modify/propagate (the inner loop of every Table 1 update
+/// column).
+fn engine_benches(entries: &mut Vec<Entry>, budget: u64) {
+    let mut b = ProgramBuilder::new();
+    let body = b.native("copy_body", |e, args| {
+        e.write(args[1].modref(), args[0]);
+        Tail::Done
+    });
+    let copy = b.native("copy", move |_e, args| Tail::read(args[0].modref(), body, &args[1..]));
+    let p = b.build();
+
+    let mut e = Engine::new(p.clone());
+    let (i, o) = (e.meta_modref(), e.meta_modref());
+    e.modify(i, Value::Int(0));
+    e.run_core(copy, &[Value::ModRef(i), Value::ModRef(o)]);
+    let mut k = 0i64;
+    let s = bench_with_budget("engine/single_read_propagate", budget, || {
+        k += 1;
+        e.modify(i, Value::Int(k));
+        e.propagate();
+        std::hint::black_box(e.deref(o));
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+
+    // A chain of 64 copies: propagation walks a longer trace segment,
+    // so per-update cost is dominated by queue + order comparisons.
+    let mut e = Engine::new(p);
+    let chain: Vec<_> = (0..65).map(|_| e.meta_modref()).collect();
+    e.modify(chain[0], Value::Int(0));
+    for w in chain.windows(2) {
+        e.run_core(copy, &[Value::ModRef(w[0]), Value::ModRef(w[1])]);
+    }
+    let mut k = 0i64;
+    let s = bench_with_budget("engine/chain64_propagate", budget, || {
+        k += 1;
+        e.modify(chain[0], Value::Int(k));
+        e.propagate();
+        std::hint::black_box(e.deref(chain[64]));
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+
+    // Same-value writes: `modify` should detect the no-op and skip
+    // enqueueing readers entirely.
+    let k = 0i64;
+    let s = bench_with_budget("engine/modify_noop", budget, || {
+        e.modify(chain[0], Value::Int(k));
+        std::hint::black_box(&e);
+    });
+    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+}
+
+/// The Fig. 13 anchor point: tcon at full size, from scratch and per
+/// update. `Bench::measure` does its own timing; rerun it `reps` times
+/// and keep the fastest of each column to suppress scheduler noise.
+fn tcon_bench(entries: &mut Vec<Entry>, n: usize, edits: usize, seed: u64, reps: usize) {
+    let k = crate::fmt_n(n);
+    let (mut best_self, mut best_update) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let m = Bench::Tcon.measure(n, edits, seed);
+        assert!(m.ok, "tcon output mismatch at n={n}");
+        best_self = best_self.min(m.self_s);
+        best_update = best_update.min(m.update_s);
+    }
+    println!("{:<40} {}/run", format!("fig13_tcon/from_scratch_{k}"), crate::fmt_secs(best_self));
+    println!("{:<40} {}/update", format!("fig13_tcon/update_{k}"), crate::fmt_secs(best_update));
+    entries.push(Entry {
+        name: format!("fig13_tcon/from_scratch_{k}"),
+        secs: best_self,
+        baseline_secs: None,
+    });
+    entries.push(Entry {
+        name: format!("fig13_tcon/update_{k}"),
+        secs: best_update,
+        baseline_secs: None,
+    });
+}
+
+/// `name secs` lines, as written by `--save-baseline`.
+fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let txt = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for line in txt.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, secs) = line.rsplit_once(' ').ok_or_else(|| format!("bad line: {line}"))?;
+        let secs: f64 = secs.parse().map_err(|e| format!("bad secs in {line}: {e}"))?;
+        out.push((name.to_string(), secs));
+    }
+    Ok(out)
+}
+
+/// Hand-rolled JSON so the workspace needs no serialization dependency;
+/// every value is a string-keyed object of plain numbers.
+fn to_json(entries: &[Entry], quick: bool, seed: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ceal-bench-runtime/v1\",\n");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"results\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(s, "    {:?}: {{\"secs\": {:e}", e.name, e.secs);
+        if let Some(b) = e.baseline_secs {
+            let _ = write!(s, ", \"baseline_secs\": {:e}, \"speedup\": {:.3}", b, b / e.secs);
+        }
+        s.push_str("}");
+        s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_baseline_roundtrip() {
+        let entries = vec![
+            Entry { name: "a/b_1k".into(), secs: 1.5e-3, baseline_secs: Some(3.0e-3) },
+            Entry { name: "c".into(), secs: 2.0, baseline_secs: None },
+        ];
+        let j = to_json(&entries, true, 42);
+        assert!(j.contains("\"a/b_1k\""));
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.ends_with("}\n"));
+        // Baseline files round-trip through the parser.
+        let dir = std::env::temp_dir().join("ceal_bench_baseline_test.txt");
+        std::fs::write(&dir, "a/b_1k 1.5e-3\nc 2e0\n").unwrap();
+        let base = load_baseline(dir.to_str().unwrap()).unwrap();
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].0, "a/b_1k");
+        assert!((base[0].1 - 1.5e-3).abs() < 1e-12);
+        std::fs::remove_file(&dir).ok();
+    }
+}

@@ -32,7 +32,7 @@ use std::rc::Rc;
 
 use crate::heap::{BlockKind, Heap, NIL};
 use crate::order::{OrderList, Time};
-use crate::program::{Program, Tail};
+use crate::program::{ArgVec, Program, Tail};
 use crate::stats::{cost, Stats};
 use crate::value::{FuncId, Interner, Loc, ModRef, StrId, Value};
 
@@ -89,7 +89,7 @@ struct ReadNode {
     modref: ModRef,
     func: FuncId,
     /// Closure environment *without* the substituted value.
-    args: Box<[Value]>,
+    args: ArgVec,
     /// The value observed at the last (re-)execution.
     last_value: Value,
     /// Hash of (modref, func, args, last_value): the memo key.
@@ -159,7 +159,101 @@ impl Hasher for IdentityHasher {
     }
 }
 
-type KeyMap = HashMap<u64, Vec<u32>, BuildHasherDefault<IdentityHasher>>;
+type KeyMap = HashMap<u64, Bucket, BuildHasherDefault<IdentityHasher>>;
+
+/// A memo/alloc-table bucket packed into one word. Nearly every key
+/// hash maps to exactly one record, stored inline; colliding records
+/// spill into a shared side arena ([`Spill`]) referenced by index.
+/// Keeping table slots at 16 bytes (key + bucket) matters: the memo
+/// table holds one entry per live read, so its resident size — and the
+/// cache misses every probe and rehash takes — scales with the trace.
+#[derive(Clone, Copy, Debug)]
+struct Bucket(u64);
+
+/// Tag bit marking a spilled (multi-record) bucket.
+const MANY: u64 = 1 << 63;
+
+/// Side arena for the rare multi-record buckets; freed lists keep their
+/// capacity and are reused.
+#[derive(Debug, Default)]
+struct Spill {
+    lists: Vec<Vec<u32>>,
+    free: Vec<u32>,
+}
+
+impl Spill {
+    fn alloc2(&mut self, a: u32, b: u32) -> u64 {
+        if let Some(i) = self.free.pop() {
+            let v = &mut self.lists[i as usize];
+            v.clear();
+            v.push(a);
+            v.push(b);
+            i as u64
+        } else {
+            self.lists.push(vec![a, b]);
+            (self.lists.len() - 1) as u64
+        }
+    }
+}
+
+impl Bucket {
+    /// The bucket's records. `scratch` backs the inline single-record
+    /// case so the result is always a slice.
+    #[inline]
+    fn records<'a>(self, spill: &'a Spill, scratch: &'a mut [u32; 1]) -> &'a [u32] {
+        if self.0 & MANY == 0 {
+            scratch[0] = self.0 as u32;
+            &scratch[..]
+        } else {
+            &spill.lists[(self.0 & !MANY) as usize]
+        }
+    }
+
+    /// Adds `x` to the bucket for `key`, creating it if absent.
+    fn add(map: &mut KeyMap, spill: &mut Spill, key: u64, x: u32) {
+        use std::collections::hash_map::Entry;
+        match map.entry(key) {
+            Entry::Occupied(mut e) => {
+                let b = e.get().0;
+                if b & MANY == 0 {
+                    let li = spill.alloc2(b as u32, x);
+                    e.insert(Bucket(MANY | li));
+                } else {
+                    spill.lists[(b & !MANY) as usize].push(x);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(Bucket(x as u64));
+            }
+        }
+    }
+
+    /// Removes `x` from the bucket for `key` (if present), dropping the
+    /// bucket when it empties and un-spilling it when one record is
+    /// left.
+    fn remove(map: &mut KeyMap, spill: &mut Spill, key: u64, x: u32) {
+        let Some(b) = map.get(&key).copied() else { return };
+        if b.0 & MANY == 0 {
+            if b.0 as u32 == x {
+                map.remove(&key);
+            }
+            return;
+        }
+        let li = (b.0 & !MANY) as usize;
+        let v = &mut spill.lists[li];
+        if let Some(pos) = v.iter().position(|&y| y == x) {
+            v.swap_remove(pos);
+        }
+        if v.len() == 1 {
+            let last = v[0];
+            spill.free.push(li as u32);
+            map.insert(key, Bucket(last as u64));
+        } else if v.is_empty() {
+            spill.free.push(li as u32);
+            map.remove(&key);
+        }
+    }
+}
 
 #[inline]
 fn mix(h: u64, x: u64) -> u64 {
@@ -196,13 +290,6 @@ fn hash_key(tag: u64, a: u64, b: u64, vals: &[Value], extra: Option<Value>) -> u
     let mut out = h.0;
     out = mix(out, vals.len() as u64);
     out
-}
-
-fn prepend(v: Value, rest: &[Value]) -> Box<[Value]> {
-    let mut out = Vec::with_capacity(rest.len() + 1);
-    out.push(v);
-    out.extend_from_slice(rest);
-    out.into_boxed_slice()
 }
 
 /// The self-adjusting computation engine.
@@ -262,6 +349,8 @@ pub struct Engine {
     memo_table: KeyMap,
     /// Keyed-allocation table: alloc key hash → alloc node indices.
     alloc_table: KeyMap,
+    /// Shared arena for multi-record memo/alloc buckets.
+    spill: Spill,
 
     /// Change-propagation priority queue: read indices, heap-ordered by
     /// start timestamp.
@@ -326,6 +415,7 @@ impl Engine {
             free_allocs: Vec::new(),
             memo_table: KeyMap::default(),
             alloc_table: KeyMap::default(),
+            spill: Spill::default(),
             queue: Vec::new(),
             open: Vec::new(),
             cur,
@@ -350,6 +440,17 @@ impl Engine {
     /// live-space high-water mark between phases).
     pub fn stats_mut(&mut self) -> &mut Stats {
         &mut self.stats
+    }
+
+    /// Mirrors the order-maintenance structure's internal counters into
+    /// [`Stats`]. Called after each run/propagation so `stats()` always
+    /// reflects the timestamp list's maintenance work.
+    fn sync_order_stats(&mut self) {
+        let os = self.ord.stats();
+        self.stats.order_group_relabels = os.group_relabels;
+        self.stats.order_local_renumbers = os.local_renumbers;
+        self.stats.order_group_splits = os.group_splits;
+        self.stats.order_group_merges = os.group_merges;
     }
 
     /// The engine's string interner.
@@ -440,16 +541,18 @@ impl Engine {
     /// observed the previous value so the next [`Engine::propagate`]
     /// updates the computation.
     pub fn modify(&mut self, m: ModRef, v: Value) {
-        let old = self.heap.meta(m).base;
-        if old == v {
+        // One meta lookup serves the no-op check and both list heads.
+        let meta = self.heap.meta(m);
+        if meta.base == v {
             return;
         }
+        let first_write = meta.writes_head;
+        let reads_head = meta.reads_head;
         self.heap.meta_mut(m).base = v;
         // Dirty the reads governed by the base value: those that precede
         // every core write of `m`.
-        let first_write = self.heap.meta(m).writes_head;
         let bound = if first_write == NIL { None } else { Some(self.writes[first_write as usize].time) };
-        let mut r = self.heap.meta(m).reads_head;
+        let mut r = reads_head;
         while r != NIL {
             let next = self.reads[r as usize].next_reader;
             let rd = &self.reads[r as usize];
@@ -483,8 +586,9 @@ impl Engine {
         // Append after all existing trace (before the end sentinel).
         self.cur = self.ord.prev(self.ord.last());
         self.window_end = None;
-        self.run_chain(f, args.into());
+        self.run_chain(f, ArgVec::from_slice(args));
         self.executing = false;
+        self.sync_order_stats();
     }
 
     /// Propagates all pending modifications (`propagate`), re-executing
@@ -495,8 +599,9 @@ impl Engine {
         self.stats.propagations += 1;
         self.executing = true;
         while let Some(r) = self.queue_pop() {
-            let m = self.reads[r as usize].modref;
-            let v = self.value_at(m, self.reads[r as usize].start);
+            let rd = &self.reads[r as usize];
+            let (m, start) = (rd.modref, rd.start);
+            let v = self.value_at(m, start);
             if v == self.reads[r as usize].last_value {
                 self.stats.reads_skipped += 1;
                 continue;
@@ -505,6 +610,7 @@ impl Engine {
         }
         self.executing = false;
         self.flush_pending_free();
+        self.sync_order_stats();
     }
 
     // ------------------------------------------------------------------
@@ -521,7 +627,15 @@ impl Engine {
     pub fn write(&mut self, m: ModRef, v: Value) {
         assert!(self.executing, "core write outside core execution");
         self.sim_op();
-        let prev = self.value_at(m, self.cur);
+        // One walk of the write list finds both the previous value at
+        // the cursor and the insertion position: the new record's time
+        // is immediately after the cursor, so no write lies between.
+        let after = self.find_write_at(m, self.cur);
+        let prev = if after == NIL {
+            self.heap.meta(m).base
+        } else {
+            self.writes[after as usize].value
+        };
         let idx = self.alloc_write_slot();
         let t = self.insert_time(Payload::Write(idx));
         let node = &mut self.writes[idx as usize];
@@ -531,7 +645,8 @@ impl Engine {
         node.live = true;
         self.stats.writes_created += 1;
         self.stats.grow(cost::WRITE_NODE);
-        self.link_write_sorted(m, idx);
+        self.link_write_after(m, idx, after);
+        self.heap.meta_mut(m).cache_write = idx;
         if self.debug_log && prev != v {
             eprintln!("  WRITE {m:?} := {v:?} (was {prev:?})");
         }
@@ -660,7 +775,7 @@ impl Engine {
         node.live = true;
         self.stats.allocs_created += 1;
         self.stats.grow(cost::ALLOC_NODE + args.len() * cost::ARG_WORD);
-        self.alloc_table.entry(key_hash).or_default().push(idx);
+        Bucket::add(&mut self.alloc_table, &mut self.spill, key_hash, idx);
         if self.debug_log {
             eprintln!("  FRESH-ALLOC a{idx} loc={loc:?} key_args={args:?} at@{}", self.ord.label(t));
         }
@@ -674,7 +789,7 @@ impl Engine {
             self.heap.store(loc, 0, Value::ModRef(m));
         } else {
             self.init_stack.push(loc);
-            let init_args = prepend(Value::Ptr(loc), args);
+            let init_args = ArgVec::prepend(Value::Ptr(loc), args);
             self.run_init_chain(init, init_args);
             let popped = self.init_stack.pop();
             debug_assert_eq!(popped, Some(loc));
@@ -692,7 +807,7 @@ impl Engine {
     /// # Panics
     ///
     /// Panics if the initializer performs a read.
-    fn run_init_chain(&mut self, f: FuncId, args: Box<[Value]>) {
+    fn run_init_chain(&mut self, f: FuncId, args: ArgVec) {
         let program = Rc::clone(&self.program);
         let mut f = f;
         let mut args = args;
@@ -718,7 +833,7 @@ impl Engine {
     /// `call` command; translated as `closure_run(f(x))`, Fig. 12).
     pub fn call(&mut self, f: FuncId, args: &[Value]) {
         assert!(self.executing, "core call outside core execution");
-        self.run_chain(f, args.into());
+        self.run_chain(f, ArgVec::from_slice(args));
     }
 
     /// SML-simulation hook: allocate boxing garbage and, when the heap
@@ -766,10 +881,12 @@ impl Engine {
     // Trampoline and trace construction.
     // ------------------------------------------------------------------
 
-    fn run_chain(&mut self, f: FuncId, args: Box<[Value]>) {
+    fn run_chain(&mut self, f: FuncId, args: ArgVec) {
         let base = self.open.len();
         let program = Rc::clone(&self.program);
         let mut f = f;
+        // One buffer carries the chain's arguments; the read step
+        // reuses it instead of building a fresh list per link.
         let mut args = args;
         loop {
             let tail = program.invoke(f, self, &args);
@@ -780,15 +897,24 @@ impl Engine {
                     args = a;
                 }
                 Tail::Read(m, g, a) => {
+                    // The memo probe already resolves the current value
+                    // and memo key; hand both to `new_read` on a miss so
+                    // the write-list walk and hash run once per step.
+                    let mut pre = None;
                     if self.config.memo && self.window_end.is_some() {
-                        if let Some(hit) = self.find_memo_match(m, g, &a) {
+                        let v = self.value_at_cur_for(m);
+                        let key_hash = hash_key(0x5EAD, m.0 as u64, g.0 as u64, &a, Some(v));
+                        if let Some(hit) = self.find_memo_match(m, g, &a, v, key_hash) {
                             self.splice_to(hit);
                             break;
                         }
+                        pre = Some((v, key_hash));
                     }
-                    let (r, v) = self.new_read(m, g, a);
+                    let (r, v) = self.new_read(m, g, a, pre);
                     self.open.push(r);
-                    args = prepend(v, &self.reads[r as usize].args);
+                    args.clear();
+                    args.push(v);
+                    args.extend_from_slice(&self.reads[r as usize].args);
                     f = g;
                 }
             }
@@ -802,7 +928,16 @@ impl Engine {
         }
     }
 
-    fn new_read(&mut self, m: ModRef, f: FuncId, args: Box<[Value]>) -> (u32, Value) {
+    /// `pre` carries the `(value, memo key)` pair when the caller's memo
+    /// probe already resolved them; no write can land between the probe
+    /// and the read's fresh timestamp, so the pair stays valid.
+    fn new_read(
+        &mut self,
+        m: ModRef,
+        f: FuncId,
+        args: ArgVec,
+        pre: Option<(Value, u64)>,
+    ) -> (u32, Value) {
         self.sim_op();
         if self.debug_log {
             eprintln!("  NEW-READ {m:?} func={} args={args:?} cur@{}", self.program.name(f), self.ord.label(self.cur));
@@ -812,8 +947,13 @@ impl Engine {
         if self.debug_log {
             eprintln!("    (new read id r{idx} at {t:?}@{})", self.ord.label(t));
         }
-        let v = self.value_at(m, t);
-        let key_hash = hash_key(0x5EAD, m.0 as u64, f.0 as u64, &args, Some(v));
+        let (v, key_hash) = match pre {
+            Some(p) => p,
+            None => {
+                let v = self.value_at(m, t);
+                (v, hash_key(0x5EAD, m.0 as u64, f.0 as u64, &args, Some(v)))
+            }
+        };
         let arg_bytes = args.len() * cost::ARG_WORD;
         let node = &mut self.reads[idx as usize];
         node.modref = m;
@@ -828,17 +968,24 @@ impl Engine {
         self.stats.reads_created += 1;
         self.stats.grow(cost::READ_NODE + arg_bytes);
         self.link_reader_sorted(m, idx);
-        self.memo_table.entry(key_hash).or_default().push(idx);
+        Bucket::add(&mut self.memo_table, &mut self.spill, key_hash, idx);
         (idx, v)
     }
 
     /// Searches the memo table for a read in the current window matching
     /// (m, f, args, current value). Returns the earliest match.
-    fn find_memo_match(&mut self, m: ModRef, f: FuncId, args: &[Value], ) -> Option<u32> {
+    fn find_memo_match(
+        &mut self,
+        m: ModRef,
+        f: FuncId,
+        args: &[Value],
+        v: Value,
+        key_hash: u64,
+    ) -> Option<u32> {
         let wend = self.window_end?;
-        let v = self.value_at_cur_for(m);
-        let key_hash = hash_key(0x5EAD, m.0 as u64, f.0 as u64, args, Some(v));
-        let cands = self.memo_table.get(&key_hash)?;
+        let b = self.memo_table.get(&key_hash).copied()?;
+        let mut scratch = [0u32; 1];
+        let cands = b.records(&self.spill, &mut scratch);
         let mut best: Option<u32> = None;
         for &idx in cands {
             let rd = &self.reads[idx as usize];
@@ -846,7 +993,7 @@ impl Engine {
                 || rd.modref != m
                 || rd.func != f
                 || rd.last_value != v
-                || rd.args.as_ref() != args
+                || rd.args.as_slice() != args
             {
                 continue;
             }
@@ -901,11 +1048,11 @@ impl Engine {
                 hash_key(0x5EAD, node.modref.0 as u64, node.func.0 as u64, &node.args, Some(v));
         }
         let key_hash = self.reads[r as usize].key_hash;
-        self.memo_table.entry(key_hash).or_default().push(r);
+        Bucket::add(&mut self.memo_table, &mut self.spill, key_hash, r);
         self.stats.reads_reexecuted += 1;
 
         let f = self.reads[r as usize].func;
-        let args = prepend(v, &self.reads[r as usize].args);
+        let args = ArgVec::prepend(v, &self.reads[r as usize].args);
         if self.debug_log {
             eprintln!(
                 "REEXEC r{r} func={} modref={:?} v={:?} args={:?} window=({:?}@{},{:?}@{})",
@@ -926,7 +1073,9 @@ impl Engine {
 
     fn find_stealable(&self, key_hash: u64, words: usize, init: FuncId, args: &[Value]) -> Option<u32> {
         let wend = self.window_end?;
-        let cands = self.alloc_table.get(&key_hash)?;
+        let b = self.alloc_table.get(&key_hash).copied()?;
+        let mut scratch = [0u32; 1];
+        let cands = b.records(&self.spill, &mut scratch);
         let mut best: Option<u32> = None;
         for &idx in cands {
             let a = &self.allocs[idx as usize];
@@ -1094,14 +1243,7 @@ impl Engine {
         let key = node.key_hash;
         let loc = node.loc;
         let bytes = cost::ALLOC_NODE + node.args.len() * cost::ARG_WORD;
-        if let Some(v) = self.alloc_table.get_mut(&key) {
-            if let Some(pos) = v.iter().position(|&x| x == a) {
-                v.swap_remove(pos);
-            }
-            if v.is_empty() {
-                self.alloc_table.remove(&key);
-            }
-        }
+        Bucket::remove(&mut self.alloc_table, &mut self.spill, key, a);
         self.free_allocs.push(a);
         self.stats.shrink(bytes);
         self.stats.blocks_collected += 1;
@@ -1166,32 +1308,62 @@ impl Engine {
     // Modifiable read/write lists and value lookup.
     // ------------------------------------------------------------------
 
-    /// The value a read at time `t` observes: the latest write at or
-    /// before `t`, else the mutator's base value.
-    fn value_at(&self, m: ModRef, t: Time) -> Value {
+    /// The latest write of `m` at or before time `t` (`NIL` if `t`
+    /// precedes every write, in which case the base value governs).
+    ///
+    /// Lookups during propagation and re-execution are temporally local,
+    /// so the walk starts from the per-modifiable `cache_write` hint —
+    /// the write found by the previous lookup — and moves at most the
+    /// temporal distance between consecutive lookups, instead of
+    /// scanning from the tail of the whole write list every time.
+    /// Starting anywhere live is sound: every write before the hint has
+    /// a smaller time and every write after it a larger one, so walking
+    /// backward past all writes `> t` and then forward over writes
+    /// `<= t` lands on the governing write from any starting point.
+    fn find_write_at(&mut self, m: ModRef, t: Time) -> u32 {
         let meta = self.heap.meta(m);
-        let mut w = meta.writes_tail;
-        while w != NIL {
-            let node = &self.writes[w as usize];
-            if self.ord.le(node.time, t) {
-                return node.value;
-            }
-            w = node.prev_write;
+        let hint = meta.cache_write;
+        let mut w = if hint != NIL { hint } else { meta.writes_tail };
+        while w != NIL && self.ord.lt(t, self.writes[w as usize].time) {
+            w = self.writes[w as usize].prev_write;
         }
-        meta.base
+        if w != NIL {
+            loop {
+                let n = self.writes[w as usize].next_write;
+                if n != NIL && self.ord.le(self.writes[n as usize].time, t) {
+                    w = n;
+                } else {
+                    break;
+                }
+            }
+            // Store only on change: most lookups confirm the hint, and an
+            // unconditional store would dirty every meta line touched.
+            if w != hint {
+                self.heap.meta_mut(m).cache_write = w;
+            }
+        }
+        w
     }
 
-    fn value_at_cur_for(&self, m: ModRef) -> Value {
+    /// The value a read at time `t` observes: the latest write at or
+    /// before `t`, else the mutator's base value.
+    fn value_at(&mut self, m: ModRef, t: Time) -> Value {
+        let w = self.find_write_at(m, t);
+        if w == NIL {
+            self.heap.meta(m).base
+        } else {
+            self.writes[w as usize].value
+        }
+    }
+
+    fn value_at_cur_for(&mut self, m: ModRef) -> Value {
         self.value_at(m, self.cur)
     }
 
-    fn link_write_sorted(&mut self, m: ModRef, idx: u32) {
-        let t = self.writes[idx as usize].time;
-        let meta = self.heap.meta(m);
-        let mut after = meta.writes_tail; // insert after `after`
-        while after != NIL && self.ord.lt(t, self.writes[after as usize].time) {
-            after = self.writes[after as usize].prev_write;
-        }
+    /// Splices write node `idx` into `m`'s write list immediately after
+    /// `after` (`NIL` = new head). The caller has already located the
+    /// position, typically via [`Engine::find_write_at`].
+    fn link_write_after(&mut self, m: ModRef, idx: u32, after: u32) {
         let before = if after == NIL {
             self.heap.meta(m).writes_head
         } else {
@@ -1215,6 +1387,13 @@ impl Engine {
         let m = self.writes[w as usize].modref;
         let prev = self.writes[w as usize].prev_write;
         let next = self.writes[w as usize].next_write;
+        // Keep the lookup hint pointing at a live write: fall back to
+        // the predecessor, which is the governing write for the same
+        // neighborhood (and a perfect hint for the value_at call that
+        // trash_write issues right after unlinking).
+        if self.heap.meta(m).cache_write == w {
+            self.heap.meta_mut(m).cache_write = prev;
+        }
         if prev == NIL {
             self.heap.meta_mut(m).writes_head = next;
         } else {
@@ -1230,12 +1409,17 @@ impl Engine {
     fn link_reader_sorted(&mut self, m: ModRef, idx: u32) {
         let t = self.reads[idx as usize].start;
         let meta = self.heap.meta(m);
+        let reads_head = meta.reads_head;
         let mut after = meta.reads_tail;
-        while after != NIL && self.ord.lt(t, self.reads[after as usize].start) {
-            after = self.reads[after as usize].prev_reader;
+        while after != NIL {
+            let node = &self.reads[after as usize];
+            if !self.ord.lt(t, node.start) {
+                break;
+            }
+            after = node.prev_reader;
         }
         let before = if after == NIL {
-            self.heap.meta(m).reads_head
+            reads_head
         } else {
             self.reads[after as usize].next_reader
         };
@@ -1273,14 +1457,7 @@ impl Engine {
 
     fn memo_remove(&mut self, r: u32) {
         let key = self.reads[r as usize].key_hash;
-        if let Some(v) = self.memo_table.get_mut(&key) {
-            if let Some(pos) = v.iter().position(|&x| x == r) {
-                v.swap_remove(pos);
-            }
-            if v.is_empty() {
-                self.memo_table.remove(&key);
-            }
-        }
+        Bucket::remove(&mut self.memo_table, &mut self.spill, key, r);
     }
 
     // ------------------------------------------------------------------
@@ -1294,7 +1471,7 @@ impl Engine {
             self.reads.push(ReadNode {
                 modref: ModRef(0),
                 func: FuncId(0),
-                args: Box::new([]),
+                args: ArgVec::new(),
                 last_value: Value::Nil,
                 key_hash: 0,
                 start: Time::NONE,
@@ -1599,15 +1776,17 @@ impl Engine {
             assert!(found, "live write w{wi} missing from its write list");
         }
         // Memo table entries point at live reads with matching hashes.
-        for (&h, entries) in &self.memo_table {
-            for &r in entries {
+        for (&h, &entries) in &self.memo_table {
+            let mut scratch = [0u32; 1];
+            for &r in entries.records(&self.spill, &mut scratch) {
                 let rd = &self.reads[r as usize];
                 assert!(rd.live, "memo table holds dead read r{r}");
                 assert_eq!(rd.key_hash, h, "memo hash mismatch for r{r}");
             }
         }
-        for (&h, entries) in &self.alloc_table {
-            for &a in entries {
+        for (&h, &entries) in &self.alloc_table {
+            let mut scratch = [0u32; 1];
+            for &a in entries.records(&self.spill, &mut scratch) {
                 let al = &self.allocs[a as usize];
                 assert!(al.live, "alloc table holds dead alloc a{a}");
                 assert_eq!(al.key_hash, h, "alloc hash mismatch for a{a}");

@@ -49,6 +49,10 @@ pub(crate) struct MetaSlot {
     /// First/last write trace node, ordered by time.
     pub writes_head: u32,
     pub writes_tail: u32,
+    /// Last write found by a value lookup (`NIL` if none): the start
+    /// hint for the next lookup, which is usually temporally nearby.
+    /// Must point at a live write of this modifiable or be `NIL`.
+    pub cache_write: u32,
     /// Block this modifiable lives in (`None` for standalone metas that
     /// the mutator created directly).
     pub owner: Option<Loc>,
@@ -160,6 +164,7 @@ impl Heap {
             reads_tail: NIL,
             writes_head: NIL,
             writes_tail: NIL,
+            cache_write: NIL,
             owner,
             live: true,
         };

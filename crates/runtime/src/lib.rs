@@ -47,6 +47,7 @@
 pub mod engine;
 pub mod heap;
 pub mod order;
+pub mod prng;
 pub mod program;
 pub mod stats;
 pub mod value;

@@ -11,28 +11,171 @@
 use crate::engine::Engine;
 use crate::value::{FuncId, ModRef, Value};
 
+/// Argument list of a trampoline step.
+///
+/// A tail-call chain hands an argument list from function to function;
+/// boxing it would cost a heap round trip per traced operation, and the
+/// trampoline is the engine's innermost loop. `ArgVec` keeps up to
+/// [`ArgVec::INLINE`] values in place — enough for every function in
+/// the benchmark suite — and spills longer lists to the heap.
+#[derive(Clone, Debug)]
+pub struct ArgVec(Repr);
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline { len: u8, buf: [Value; ArgVec::INLINE] },
+    Heap(Vec<Value>),
+}
+
+impl ArgVec {
+    /// Inline capacity, in values.
+    pub const INLINE: usize = 4;
+
+    /// An empty argument list.
+    pub fn new() -> ArgVec {
+        ArgVec(Repr::Inline { len: 0, buf: [Value::Nil; Self::INLINE] })
+    }
+
+    /// Copies a slice.
+    pub fn from_slice(vals: &[Value]) -> ArgVec {
+        if vals.len() <= Self::INLINE {
+            let mut buf = [Value::Nil; Self::INLINE];
+            buf[..vals.len()].copy_from_slice(vals);
+            ArgVec(Repr::Inline { len: vals.len() as u8, buf })
+        } else {
+            ArgVec(Repr::Heap(vals.to_vec()))
+        }
+    }
+
+    /// `first` followed by `rest`, with no intermediate allocation —
+    /// the shape both `read` continuations and initializers take.
+    pub fn prepend(first: Value, rest: &[Value]) -> ArgVec {
+        if rest.len() < Self::INLINE {
+            let mut buf = [Value::Nil; Self::INLINE];
+            buf[0] = first;
+            buf[1..=rest.len()].copy_from_slice(rest);
+            ArgVec(Repr::Inline { len: rest.len() as u8 + 1, buf })
+        } else {
+            let mut v = Vec::with_capacity(rest.len() + 1);
+            v.push(first);
+            v.extend_from_slice(rest);
+            ArgVec(Repr::Heap(v))
+        }
+    }
+
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[Value] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the list, keeping any spilled capacity for reuse.
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, v: Value) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } if (*len as usize) < Self::INLINE => {
+                buf[*len as usize] = v;
+                *len += 1;
+            }
+            Repr::Inline { len, buf } => {
+                let mut vec = Vec::with_capacity(2 * Self::INLINE);
+                vec.extend_from_slice(&buf[..*len as usize]);
+                vec.push(v);
+                self.0 = Repr::Heap(vec);
+            }
+            Repr::Heap(vec) => vec.push(v),
+        }
+    }
+
+    /// Appends a slice of values.
+    pub fn extend_from_slice(&mut self, vals: &[Value]) {
+        for &v in vals {
+            self.push(v);
+        }
+    }
+}
+
+impl Default for ArgVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for ArgVec {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl From<&[Value]> for ArgVec {
+    fn from(vals: &[Value]) -> Self {
+        ArgVec::from_slice(vals)
+    }
+}
+
+impl From<Vec<Value>> for ArgVec {
+    fn from(v: Vec<Value>) -> Self {
+        ArgVec(Repr::Heap(v))
+    }
+}
+
+impl From<Box<[Value]>> for ArgVec {
+    fn from(b: Box<[Value]>) -> Self {
+        ArgVec(Repr::Heap(b.into_vec()))
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for ArgVec {
+    fn from(vals: [Value; N]) -> Self {
+        ArgVec::from_slice(&vals)
+    }
+}
+
 /// What a core function hands back to the trampoline (Fig. 12).
 #[derive(Debug)]
 pub enum Tail {
     /// The CL `done` block: the current tail-call chain is complete.
     Done,
     /// `tail f(args)`: continue the chain with `f`.
-    Call(FuncId, Box<[Value]>),
+    Call(FuncId, ArgVec),
     /// `x := read m; tail f(x, args)`: read the modifiable and continue
     /// with its contents prepended to `args` (the paper's `NULL`
     /// place-holder convention, §6.2).
-    Read(ModRef, FuncId, Box<[Value]>),
+    Read(ModRef, FuncId, ArgVec),
 }
 
 impl Tail {
     /// Convenience constructor for [`Tail::Call`].
     pub fn call(f: FuncId, args: &[Value]) -> Tail {
-        Tail::Call(f, args.into())
+        Tail::Call(f, ArgVec::from_slice(args))
     }
 
     /// Convenience constructor for [`Tail::Read`].
     pub fn read(m: ModRef, f: FuncId, args: &[Value]) -> Tail {
-        Tail::Read(m, f, args.into())
+        Tail::Read(m, f, ArgVec::from_slice(args))
     }
 }
 

@@ -64,6 +64,14 @@ pub struct Stats {
     pub live_bytes: usize,
     /// High-water mark of `live_bytes`.
     pub max_live_bytes: usize,
+    /// Order maintenance: top-level group relabel passes.
+    pub order_group_relabels: u64,
+    /// Order maintenance: within-group label renumber passes.
+    pub order_local_renumbers: u64,
+    /// Order maintenance: group splits (full group at insertion point).
+    pub order_group_splits: u64,
+    /// Order maintenance: sparse-group merges on deletion.
+    pub order_group_merges: u64,
 }
 
 impl Stats {

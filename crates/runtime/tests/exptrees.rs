@@ -172,8 +172,8 @@ fn leaf_change_reexecutes_a_path() {
 /// from-scratch oracle.
 #[test]
 fn random_edits_match_oracle() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(7);
+    use ceal_runtime::prng::Prng;
+    let mut rng = Prng::seed_from_u64(7);
 
     // Build a random tree; keep a mutator-side mirror for the oracle.
     #[derive(Clone)]
@@ -205,7 +205,7 @@ fn random_edits_match_oracle() {
 
     fn build_rand(
         e: &mut Engine,
-        rng: &mut StdRng,
+        rng: &mut Prng,
         size: usize,
         slots: &mut Vec<(ModRef, usize)>,
         leaves: &mut Vec<i64>,

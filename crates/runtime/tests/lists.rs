@@ -82,8 +82,8 @@ fn collect_output(e: &Engine, head: ModRef) -> Vec<i64> {
 }
 
 fn run_map_session(config: EngineConfig) {
-    use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(13);
+    use ceal_runtime::prng::Prng;
+    let mut rng = Prng::seed_from_u64(13);
 
     let (prog, map) = build_map();
     let mut e = Engine::with_config(prog, config);
@@ -100,7 +100,7 @@ fn run_map_session(config: EngineConfig) {
     // The paper's test mutator: for each element, delete it, propagate,
     // insert it back, propagate (§8.1). We sample positions randomly.
     let mut order: Vec<usize> = (0..n as usize).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     for &i in order.iter().take(60) {
         let (cell, slot) = input.cells[i];
         // Delete: point the predecessor's modifiable past cell i.
@@ -153,8 +153,8 @@ fn map_correct_without_either() {
 /// (Table 1 reports ~1.6µs updates on 10M elements, i.e. constant).
 #[test]
 fn map_updates_touch_constant_trace() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(99);
+    use ceal_runtime::prng::Prng;
+    let mut rng = Prng::seed_from_u64(99);
 
     let (prog, map) = build_map();
     let mut e = Engine::new(prog);

@@ -1,66 +1,45 @@
-//! Property-based tests of the run-time substrates: the
+//! Randomized property tests of the run-time substrates: the
 //! order-maintenance list against a vector reference, and change
 //! propagation against from-scratch re-execution over random dependency
-//! networks with random edit scripts.
+//! networks with random edit scripts. All randomness comes from the
+//! in-repo deterministic [`Prng`], so failures replay exactly.
 
 use ceal_runtime::order::OrderList;
 use ceal_runtime::prelude::*;
-use proptest::prelude::*;
+use ceal_runtime::prng::Prng;
 
 // ---------------------------------------------------------------------
 // Order maintenance vs a reference Vec.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
-enum OrdOp {
-    /// Insert after the element at (index % (len+1)); 0 = after the
-    /// front sentinel.
-    Insert(usize),
-    /// Delete the element at (index % len), if any.
-    Delete(usize),
-}
-
-fn ord_ops() -> impl Strategy<Value = Vec<OrdOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0usize..1000).prop_map(OrdOp::Insert),
-            (0usize..1000).prop_map(OrdOp::Delete),
-        ],
-        1..400,
-    )
-}
-
-proptest! {
-    #[test]
-    fn order_list_matches_reference(ops in ord_ops()) {
+#[test]
+fn order_list_matches_reference() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(1..400usize);
         let mut ord = OrderList::new();
         let mut reference: Vec<ceal_runtime::order::Time> = Vec::new();
-        for op in ops {
-            match op {
-                OrdOp::Insert(i) => {
-                    let pos = i % (reference.len() + 1);
-                    let after = if pos == 0 { ord.first() } else { reference[pos - 1] };
-                    let t = ord.insert_after(after);
-                    reference.insert(pos, t);
-                }
-                OrdOp::Delete(i) => {
-                    if !reference.is_empty() {
-                        let pos = i % reference.len();
-                        ord.delete(reference.remove(pos));
-                    }
-                }
+        for _ in 0..n_ops {
+            if reference.is_empty() || rng.gen_bool(0.55) {
+                let pos = rng.gen_range(0..=reference.len());
+                let after = if pos == 0 { ord.first() } else { reference[pos - 1] };
+                let t = ord.insert_after(after);
+                reference.insert(pos, t);
+            } else {
+                let pos = rng.gen_range(0..reference.len());
+                ord.delete(reference.remove(pos));
             }
         }
         ord.check_invariants();
-        prop_assert_eq!(ord.len(), reference.len());
+        assert_eq!(ord.len(), reference.len(), "seed {seed}");
         for w in reference.windows(2) {
-            prop_assert_eq!(ord.cmp(w[0], w[1]), std::cmp::Ordering::Less);
+            assert_eq!(ord.cmp(w[0], w[1]), std::cmp::Ordering::Less, "seed {seed}");
         }
         // Next/prev agree with the reference order.
         for (i, &t) in reference.iter().enumerate() {
             let next = ord.next(t);
             if i + 1 < reference.len() {
-                prop_assert_eq!(next, reference[i + 1]);
+                assert_eq!(next, reference[i + 1], "seed {seed}");
             }
         }
     }
@@ -73,8 +52,7 @@ proptest! {
 /// Builds a program where node i computes `out_i := in_a + in_b` over
 /// earlier nodes/inputs, then compares propagation against recomputing.
 fn adder_network(seed: u64, n_inputs: usize, n_nodes: usize, rounds: usize) {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
 
     let mut b = ProgramBuilder::new();
     let add_b = b.declare("add_b");
@@ -157,14 +135,12 @@ fn adder_network(seed: u64, n_inputs: usize, n_nodes: usize, rounds: usize) {
     e.check_invariants();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-    #[test]
-    fn adder_network_propagates_correctly(
-        seed in 0u64..10_000,
-        n_inputs in 1usize..6,
-        n_nodes in 1usize..40,
-    ) {
+#[test]
+fn adder_network_propagates_correctly() {
+    for seed in 0..24u64 {
+        let mut shape = Prng::seed_from_u64(seed ^ 0xADD_E2);
+        let n_inputs = shape.gen_range(1..6usize);
+        let n_nodes = shape.gen_range(1..40usize);
         adder_network(seed, n_inputs, n_nodes, 6);
     }
 }

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use ceal_runtime::prelude::*;
-use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+use ceal_runtime::prng::Prng;
 
 use crate::conv;
 use crate::input::{self, checksum, collect_list};
@@ -228,8 +228,8 @@ impl Bench {
 
 fn edit_positions(n: usize, max_edits: usize, seed: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
-    order.shuffle(&mut rng);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xED17);
+    rng.shuffle(&mut order);
     order.truncate(max_edits.min(n));
     order
 }

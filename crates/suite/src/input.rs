@@ -10,7 +10,7 @@
 //! re-inserted, §8.1).
 
 use ceal_runtime::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 
 /// Layout of mutator-built list cells: `[data, next]` where `next` is a
 /// modifiable created with [`Engine::meta_modref_in`].
@@ -86,13 +86,13 @@ pub fn build_list(e: &mut Engine, data: &[Value]) -> InputList {
 
 /// Uniformly random integers in `[0, 1_000_000)` (list primitives, §8.2).
 pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
 }
 
 /// Random 32-character lowercase strings (sorting benchmarks, §8.2).
 pub fn random_strings(n: usize, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5742);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x5742);
     (0..n)
         .map(|_| (0..32).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect())
         .collect()
@@ -136,17 +136,17 @@ impl Point {
 
 /// Uniform points in the unit square (quickhull, diameter, §8.2).
 pub fn random_points_unit_square(n: usize, seed: u64) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9017);
-    (0..n).map(|_| Point { x: rng.gen::<f64>(), y: rng.gen::<f64>() }).collect()
+    let mut rng = Prng::seed_from_u64(seed ^ 0x9017);
+    (0..n).map(|_| Point { x: rng.gen_f64(), y: rng.gen_f64() }).collect()
 }
 
 /// Half the points from each of two non-overlapping unit squares
 /// (distance, §8.2): squares `[0,1)²` and `[2,3)×[0,1)`.
 pub fn random_points_two_squares(n: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD157);
-    let a = (0..n / 2).map(|_| Point { x: rng.gen::<f64>(), y: rng.gen::<f64>() }).collect();
+    let mut rng = Prng::seed_from_u64(seed ^ 0xD157);
+    let a = (0..n / 2).map(|_| Point { x: rng.gen_f64(), y: rng.gen_f64() }).collect();
     let b = (0..n - n / 2)
-        .map(|_| Point { x: 2.0 + rng.gen::<f64>(), y: rng.gen::<f64>() })
+        .map(|_| Point { x: 2.0 + rng.gen_f64(), y: rng.gen_f64() })
         .collect();
     (a, b)
 }

@@ -6,7 +6,7 @@
 //! change propagation turns into root-to-leaf path updates (§3.1).
 
 use ceal_runtime::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 
 /// Node block layout: `[kind, op|num, left_m, right_m]`.
 pub const ND_KIND: usize = 0;
@@ -92,7 +92,7 @@ pub struct ExpTree {
 /// Builds a complete binary tree with `n_leaves` (rounded up to a power
 /// of two) random float leaves and random `+`/`-` operators.
 pub fn build_exptree(e: &mut Engine, n_leaves: usize, seed: u64) -> ExpTree {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xE897);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xE897);
     let depth = (n_leaves.max(2) as f64).log2().ceil() as u32;
     let mut leaves = Vec::new();
     let root_val = build_level(e, &mut rng, depth, &mut leaves, None);
@@ -110,7 +110,7 @@ fn make_leaf(e: &mut Engine, v: f64) -> Value {
 
 fn build_level(
     e: &mut Engine,
-    rng: &mut StdRng,
+    rng: &mut Prng,
     depth: u32,
     leaves: &mut Vec<(ModRef, f64, Value, Value)>,
     slot: Option<ModRef>,
@@ -174,7 +174,7 @@ mod tests {
         let oracle = eval_conventional(&e, e.deref(tree.root));
         assert!(close(e.deref(res).float(), oracle));
 
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Prng::seed_from_u64(4);
         for _ in 0..50 {
             let i = rng.gen_range(0..tree.leaves.len());
             let (slot, _, leaf, alt) = tree.leaves[i];

@@ -186,10 +186,9 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         let pmcell = e.alloc(2, init_hull, &[pm, a, bb]);
         let pm_next = e.load(pmcell, CELL_NEXT);
         e.call(qh_rec, &[Value::ModRef(b_side), pm, bb, pm_next, rest, Value::ModRef(b_side)]);
-        Tail::Call(
+        Tail::call(
             qh_rec,
-            vec![Value::ModRef(a_side), a, pm, d_m, Value::Ptr(pmcell), Value::ModRef(a_side)]
-                .into(),
+            &[Value::ModRef(a_side), a, pm, d_m, Value::Ptr(pmcell), Value::ModRef(a_side)],
         )
     });
 
@@ -241,10 +240,7 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
             Value::Ptr(mxcell),
             Value::ModRef(upper),
         ]);
-        Tail::Call(
-            qh_rec,
-            vec![Value::ModRef(lower), mx, mn, mx_next, Value::Nil, Value::ModRef(lower)].into(),
-        )
+        Tail::call(qh_rec, &[Value::ModRef(lower), mx, mn, mx_next, Value::Nil, Value::ModRef(lower)])
     });
 
     // ------------------------------------------------------------------
@@ -346,7 +342,7 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         e.call(qh, &[args[0], Value::ModRef(hull_m)]);
         let l2_m = e.modref_keyed(&[args[0], Value::Int(11)]);
         e.call(pmap, &[Value::ModRef(hull_m), Value::ModRef(l2_m), Value::ModRef(hull_m), Value::Int(0)]);
-        Tail::Call(max_f.entry_mod, vec![Value::ModRef(l2_m), args[1]].into())
+        Tail::call(max_f.entry_mod, &[Value::ModRef(l2_m), args[1]])
     });
 
     // distance(a_in_m, b_in_m, res_m)
@@ -357,7 +353,7 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         e.call(qh, &[args[1], Value::ModRef(hb_m)]);
         let l2_m = e.modref_keyed(&[args[0], args[1], Value::Int(14)]);
         e.call(pmap, &[Value::ModRef(ha_m), Value::ModRef(l2_m), Value::ModRef(hb_m), Value::Int(1)]);
-        Tail::Call(min_f.entry_mod, vec![Value::ModRef(l2_m), args[2]].into())
+        Tail::call(min_f.entry_mod, &[Value::ModRef(l2_m), args[2]])
     });
 
     GeomFns { quickhull: qh, diameter, distance }
@@ -378,7 +374,7 @@ mod tests {
         build_point_list, load_point, random_points_two_squares, random_points_unit_square, Point,
         CELL_DATA, CELL_NEXT,
     };
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use ceal_runtime::prng::Prng;
 
     fn collect_hull(e: &Engine, hull_m: ModRef) -> Vec<Point> {
         let mut out = Vec::new();
@@ -411,7 +407,7 @@ mod tests {
             "initial hull"
         );
 
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Prng::seed_from_u64(8);
         for _ in 0..30 {
             let i = rng.gen_range(0..pts.len());
             l.delete(&mut e, i);
@@ -470,7 +466,7 @@ mod tests {
         let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
         assert!(close(e.deref(res).float(), conv::diameter(&pts)), "initial diameter");
 
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Prng::seed_from_u64(10);
         for _ in 0..15 {
             let i = rng.gen_range(0..pts.len());
             l.delete(&mut e, i);
@@ -504,7 +500,7 @@ mod tests {
         let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
         assert!(close(e.deref(res).float(), conv::distance(&pa, &pb)), "initial distance");
 
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Prng::seed_from_u64(12);
         for _ in 0..15 {
             let i = rng.gen_range(0..pa.len());
             la.delete(&mut e, i);

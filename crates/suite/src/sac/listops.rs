@@ -260,8 +260,8 @@ mod tests {
 
     #[test]
     fn reverse_edits_are_constant_work() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use ceal_runtime::prng::Prng;
+        let mut rng = Prng::seed_from_u64(5);
         let (p, rev) = reverse_program();
         let mut e = Engine::new(p);
         let l = int_list(&mut e, 1_000, 14);

@@ -245,8 +245,8 @@ mod tests {
         entry: FuncId,
         oracle: fn(&[i64]) -> i64,
     ) {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(21);
+        use ceal_runtime::prng::Prng;
+        let mut rng = Prng::seed_from_u64(21);
         let mut e = Engine::new(prog);
         let n = 200;
         let l = int_list(&mut e, n, 31);
@@ -303,12 +303,12 @@ mod tests {
     /// per edit at two sizes — it should grow far slower than n.
     #[test]
     fn reduce_updates_are_sublinear()  {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use ceal_runtime::prng::Prng;
         let mut work_per_edit = Vec::new();
         for &n in &[256usize, 4096] {
             let (p, f) = minimum_program();
             let mut e = Engine::new(p);
-            let mut rng = StdRng::seed_from_u64(77);
+            let mut rng = Prng::seed_from_u64(77);
             let l = int_list(&mut e, n, 78);
             let res = e.meta_modref();
             e.run_core(f, &[Value::ModRef(l.head), Value::ModRef(res)]);

@@ -46,7 +46,7 @@ pub fn build_quicksort(b: &mut ProgramBuilder, name: &str) -> FuncId {
 
     // entry(in_m, out_m) = qs(in_m, out_m, rest = Nil)
     b.define_native(entry, move |_e, args| {
-        Tail::Call(qs, vec![args[0], args[1], Value::Nil].into())
+        Tail::call(qs, &[args[0], args[1], Value::Nil])
     });
 
     // qs(l_m, d_m, rest): v := read l_m; tail qs_body(v, d_m, rest)
@@ -74,7 +74,7 @@ pub fn build_quicksort(b: &mut ProgramBuilder, name: &str) -> FuncId {
                 // Sort the greater side into the pivot's tail...
                 e.call(qs, &[Value::ModRef(gt_m), pnext, rest]);
                 // ...and the less-or-equal side into the destination.
-                Tail::Call(qs, vec![Value::ModRef(le_m), args[1], Value::Ptr(pcell)].into())
+                Tail::call(qs, &[Value::ModRef(le_m), args[1], Value::Ptr(pcell)])
             }
         }
     });
@@ -150,7 +150,7 @@ pub fn build_mergesort(b: &mut ProgramBuilder, name: &str) -> FuncId {
     let entry = b.declare(name);
 
     b.define_native(entry, move |_e, args| {
-        Tail::Call(ms, vec![args[0], args[1], Value::Int(0)].into())
+        Tail::call(ms, &[args[0], args[1], Value::Int(0)])
     });
 
     // ms(l_m, d_m, depth)
@@ -194,10 +194,7 @@ pub fn build_mergesort(b: &mut ProgramBuilder, name: &str) -> FuncId {
             let sb = e.modref_keyed(&[c, Value::Int(depth), Value::Int(3)]);
             e.call(ms, &[Value::ModRef(a_m), Value::ModRef(sa), Value::Int(depth + 1)]);
             e.call(ms, &[Value::ModRef(b_m), Value::ModRef(sb), Value::Int(depth + 1)]);
-            Tail::Call(
-                merge,
-                vec![Value::ModRef(sa), Value::ModRef(sb), args[2], Value::Int(depth)].into(),
-            )
+            Tail::call(merge, &[Value::ModRef(sa), Value::ModRef(sb), args[2], Value::Int(depth)])
         }
     });
 
@@ -284,7 +281,7 @@ pub fn mergesort_program() -> (std::rc::Rc<Program>, FuncId) {
 mod tests {
     use super::*;
     use crate::input::{build_list, collect_list, int_list, str_list};
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use ceal_runtime::prng::Prng;
 
     fn check_sort_session(
         make: fn() -> (std::rc::Rc<Program>, FuncId),
@@ -310,7 +307,7 @@ mod tests {
         };
         assert_eq!(collect_list(&e, out), oracle(&e, &data), "initial sort");
 
-        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let mut rng = Prng::seed_from_u64(seed ^ 1);
         for _ in 0..25 {
             let i = rng.gen_range(0..n);
             l.delete(&mut e, i);
@@ -385,7 +382,7 @@ mod tests {
             let l = int_list(&mut e, n, 45);
             let out = e.meta_modref();
             e.run_core(sort, &[Value::ModRef(l.head), Value::ModRef(out)]);
-            let mut rng = StdRng::seed_from_u64(46);
+            let mut rng = Prng::seed_from_u64(46);
             let base = e.stats().reads_reexecuted + e.stats().memo_hits;
             let edits = 40;
             for _ in 0..edits {

@@ -18,7 +18,7 @@
 //! re-contracting — the shape of Fig. 13.
 
 use ceal_runtime::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 
 /// Tree node layout: left child modifiable.
 pub const TN_LEFT: usize = 0;
@@ -100,7 +100,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     // sum2_b(w2, w1, out_ptr, out_m)
     b.define_native(sum2_b, move |_e, args| {
         let w = Value::Int(args[0].int() + args[1].int());
-        Tail::Call(set_val, vec![w, args[2], args[3]].into())
+        Tail::call(set_val, &[w, args[2], args[3]])
     });
 
     // sum3_a(w1, m2, m3, out_ptr, out_m)
@@ -115,7 +115,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     // sum3_c(w3, w12, out_ptr, out_m)
     b.define_native(sum3_c, move |_e, args| {
         let w = Value::Int(args[0].int() + args[1].int());
-        Tail::Call(set_val, vec![w, args[2], args[3]].into())
+        Tail::call(set_val, &[w, args[2], args[3]])
     });
 
     // ------------------------------------------------------------------
@@ -152,7 +152,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
                 e.write(e.load(out, TN_RIGHT).modref(), Value::Nil);
                 if layout.int() == LAYOUT_PLAIN {
                     let w = e.load(v.ptr(), TN_VAL);
-                    Tail::Call(set_val, vec![w, Value::Ptr(out), out_m].into())
+                    Tail::call(set_val, &[w, Value::Ptr(out), out_m])
                 } else {
                     let val_m = e.load(v.ptr(), TN_VAL).modref();
                     Tail::read(val_m, set_val, &[Value::Ptr(out), out_m])
@@ -202,7 +202,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
             e.write(e.load(out, TN_RIGHT).modref(), Value::Nil);
             if layout.int() == LAYOUT_PLAIN {
                 let w = e.load(v.ptr(), TN_VAL).int() + e.load(c.ptr(), TN_VAL).int();
-                Tail::Call(set_val, vec![Value::Int(w), Value::Ptr(out), out_m].into())
+                Tail::call(set_val, &[Value::Int(w), Value::Ptr(out), out_m])
             } else {
                 let v_val = e.load(v.ptr(), TN_VAL).modref();
                 let c_val = e.load(c.ptr(), TN_VAL);
@@ -224,7 +224,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
             e.write(e.load(out, TN_RIGHT).modref(), Value::Nil);
             if layout.int() == LAYOUT_PLAIN {
                 let w = e.load(v.ptr(), TN_VAL);
-                Tail::Call(set_val, vec![w, Value::Ptr(out), out_m].into())
+                Tail::call(set_val, &[w, Value::Ptr(out), out_m])
             } else {
                 let val_m = e.load(v.ptr(), TN_VAL).modref();
                 Tail::read(val_m, set_val, &[Value::Ptr(out), out_m])
@@ -325,7 +325,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
                     let w = e.load(v.ptr(), TN_VAL).int()
                         + e.load(lv.ptr(), TN_VAL).int()
                         + e.load(rv.ptr(), TN_VAL).int();
-                    Tail::Call(set_val, vec![Value::Int(w), Value::Ptr(out), out_m].into())
+                    Tail::call(set_val, &[Value::Int(w), Value::Ptr(out), out_m])
                 } else {
                     let v_val = e.load(v.ptr(), TN_VAL).modref();
                     let l_val = e.load(lv.ptr(), TN_VAL);
@@ -342,7 +342,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
                 e.write(e.load(out, TN_RIGHT).modref(), Value::Nil);
                 if plain {
                     let w = e.load(v.ptr(), TN_VAL).int() + e.load(leaf.ptr(), TN_VAL).int();
-                    Tail::Call(set_val, vec![Value::Int(w), Value::Ptr(out), out_m].into())
+                    Tail::call(set_val, &[Value::Int(w), Value::Ptr(out), out_m])
                 } else {
                     let v_val = e.load(v.ptr(), TN_VAL).modref();
                     let leaf_val = e.load(leaf.ptr(), TN_VAL);
@@ -358,7 +358,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
                 e.call(cr, &[rv, rk, layout, out_right]);
                 if plain {
                     let w = e.load(v.ptr(), TN_VAL);
-                    Tail::Call(set_val, vec![w, Value::Ptr(out), out_m].into())
+                    Tail::call(set_val, &[w, Value::Ptr(out), out_m])
                 } else {
                     let val_m = e.load(v.ptr(), TN_VAL).modref();
                     Tail::read(val_m, set_val, &[Value::Ptr(out), out_m])
@@ -373,10 +373,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
 
     // entry(root_m, res_m)
     b.define_native(entry, move |_e, args| {
-        Tail::Call(
-            level,
-            vec![args[0], args[1], Value::Int(0), Value::Int(LAYOUT_PLAIN)].into(),
-        )
+        Tail::call(level, &[args[0], args[1], Value::Int(0), Value::Int(LAYOUT_PLAIN)])
     });
 
     // level(t_m, res_m, rk, layout)
@@ -436,10 +433,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
         let (v, res_m, rk, layout) = (args[0], args[1], args[2].int(), args[3]);
         let out_m = e.modref_keyed(&[v, args[2]]);
         e.call(cr, &[v, args[2], layout, Value::ModRef(out_m)]);
-        Tail::Call(
-            level,
-            vec![Value::ModRef(out_m), res_m, Value::Int(rk + 1), Value::Int(LAYOUT_MOD)].into(),
-        )
+        Tail::call(level, &[Value::ModRef(out_m), res_m, Value::Int(rk + 1), Value::Int(LAYOUT_MOD)])
     });
 
     entry
@@ -490,7 +484,7 @@ impl InputTree {
 /// Builds a random binary tree with `n` nodes by attaching each new
 /// node to a uniformly random free child slot.
 pub fn build_tree(e: &mut Engine, n: usize, seed: u64) -> InputTree {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7C09);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x7C09);
     let root = e.meta_modref();
     let mut edges = Vec::new();
     let mut parents: Vec<u32> = Vec::new();
@@ -577,7 +571,7 @@ mod tests {
         e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
         assert_eq!(e.deref(res), Value::Int(80));
 
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Prng::seed_from_u64(4);
         for _ in 0..40 {
             let i = rng.gen_range(0..tree.edges.len());
             if !tree.delete_edge(&mut e, i) {
@@ -604,7 +598,7 @@ mod tests {
             let tree = build_tree(&mut e, n, 5);
             let res = e.meta_modref();
             e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
-            let mut rng = StdRng::seed_from_u64(6);
+            let mut rng = Prng::seed_from_u64(6);
             let base = e.stats().reads_reexecuted + e.stats().memo_hits;
             let edits = 40;
             for _ in 0..edits {

@@ -3,6 +3,7 @@
 
 use ceal_compiler::pipeline::compile;
 use ceal_ir::build::{FuncBuilder, ProgramBuilder as ClBuilder};
+use ceal_ir::cl::Program;
 use ceal_ir::cl::*;
 use ceal_runtime::prelude::*;
 use ceal_vm::{load, VmOptions};

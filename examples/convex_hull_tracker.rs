@@ -9,7 +9,7 @@
 use ceal_runtime::prelude::*;
 use ceal_suite::input::{build_point_list, random_points_unit_square, Point, CELL_DATA, CELL_NEXT};
 use ceal_suite::sac::geom::geom_program;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 use std::time::Instant;
 
 fn hull_points(e: &Engine, hull_m: ModRef) -> Vec<Point> {
@@ -40,7 +40,7 @@ fn main() {
     );
 
     // Simulate churn: points leave and re-enter the set.
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Prng::seed_from_u64(5);
     let rounds = 200;
     let t1 = Instant::now();
     let mut hull_changes = 0usize;

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p ceal-examples --bin incremental_spreadsheet`
 
 use ceal_runtime::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 use std::time::Instant;
 
 const OP_ADD: i64 = 0;
@@ -98,7 +98,7 @@ fn main() {
     let mut b = ProgramBuilder::new();
     let agg = build_program(&mut b);
     let mut e = Engine::new(b.build());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Prng::seed_from_u64(7);
 
     // The input column.
     let mut values: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();

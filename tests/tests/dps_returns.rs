@@ -8,7 +8,7 @@ use ceal_compiler::pipeline::compile;
 use ceal_lang::frontend;
 use ceal_runtime::prelude::*;
 use ceal_vm::{load, VmOptions};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 
 /// The expression-tree evaluator with C-style return values: no
 /// explicit result modifiables anywhere in the source.
@@ -100,11 +100,11 @@ fn returned_values_match_oracle_under_edits() {
     let loaded = load(&out.target, &mut b, VmOptions::default());
     let top = loaded.entry(&out.target, "eval_top").unwrap();
     let mut e = Engine::new(b.build());
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = Prng::seed_from_u64(55);
 
     fn build(
         e: &mut Engine,
-        rng: &mut StdRng,
+        rng: &mut Prng,
         depth: u32,
         slots: &mut Vec<(ModRef, Value, Value)>,
         slot: Option<ModRef>,

@@ -9,7 +9,7 @@ use ceal_ir::validate::{is_normal, validate};
 use ceal_lang::{benchmarks, frontend};
 use ceal_runtime::prelude::*;
 use ceal_vm::{load, VmOptions};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 
 /// Compile a CEAL source and set up an engine running it.
 fn setup(src: &str, opts: VmOptions) -> (Engine, ceal_compiler::target::TProgram, ceal_vm::LoadedProgram) {
@@ -32,7 +32,7 @@ const NODE: i64 = 1;
 
 fn build_tree_engine(
     e: &mut Engine,
-    rng: &mut StdRng,
+    rng: &mut Prng,
     depth: u32,
     slots: &mut Vec<(ModRef, Value, Value)>,
     slot: Option<ModRef>,
@@ -83,7 +83,7 @@ fn eval_oracle(e: &Engine, v: Value) -> f64 {
 fn exptrees_session(opts: VmOptions) {
     let (mut e, t, loaded) = setup(benchmarks::EXPTREES, opts);
     let eval = loaded.entry(&t, "eval").expect("eval entry");
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Prng::seed_from_u64(11);
     let mut slots = Vec::new();
     let tree = build_tree_engine(&mut e, &mut rng, 6, &mut slots, None);
     let root = e.meta_modref();
@@ -121,7 +121,7 @@ fn compiled_exptrees_basic_trampoline() {
 fn compiled_exptrees_updates_are_path_sized() {
     let (mut e, t, loaded) = setup(benchmarks::EXPTREES, VmOptions::default());
     let eval = loaded.entry(&t, "eval").unwrap();
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = Prng::seed_from_u64(13);
     let mut slots = Vec::new();
     let depth = 10;
     let tree = build_tree_engine(&mut e, &mut rng, depth, &mut slots, None);
@@ -154,7 +154,7 @@ fn compiled_map_matches_interpreter_and_self_adjusts() {
     let (mut e, t, loaded) = setup(benchmarks::LIST, VmOptions::default());
     let map = loaded.entry(&t, "map").unwrap();
     let data: Vec<i64> = {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Prng::seed_from_u64(17);
         (0..200).map(|_| rng.gen_range(0..1_000_000)).collect()
     };
 
@@ -200,7 +200,7 @@ fn compiled_map_matches_interpreter_and_self_adjusts() {
     assert_eq!(got, expect, "compiled self-adjusting run agrees");
 
     // Structural edits.
-    let mut rng = StdRng::seed_from_u64(18);
+    let mut rng = Prng::seed_from_u64(18);
     for _ in 0..25 {
         let i = rng.gen_range(0..data.len());
         l.delete(&mut e, i);
@@ -226,7 +226,7 @@ fn compiled_map_matches_interpreter_and_self_adjusts() {
 fn compiled_quicksort_sorts_and_self_adjusts() {
     let (mut e, t, loaded) = setup(benchmarks::QUICKSORT, VmOptions::default());
     let qs = loaded.entry(&t, "quicksort").unwrap();
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = Prng::seed_from_u64(23);
     let data: Vec<i64> = (0..150).map(|_| rng.gen_range(0..10_000)).collect();
     let vals: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
     let l = ceal_suite::input::build_list(&mut e, &vals);
@@ -269,7 +269,7 @@ fn compiled_tcon_counts_nodes_under_edits() {
     e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
     assert_eq!(e.deref(res), Value::Int(60));
 
-    let mut rng = StdRng::seed_from_u64(32);
+    let mut rng = Prng::seed_from_u64(32);
     for _ in 0..20 {
         let i = rng.gen_range(0..tree.edges.len());
         if !tree.delete_edge(&mut e, i) {
@@ -318,7 +318,7 @@ fn compiled_quickhull_matches_conventional() {
     };
     assert_eq!(hull_pts(&e), conv, "initial hull");
 
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Prng::seed_from_u64(42);
     for _ in 0..10 {
         let i = rng.gen_range(0..pts.len());
         l.delete(&mut e, i);

@@ -13,12 +13,12 @@
 
 use ceal_compiler::pipeline::compile;
 use ceal_ir::build::{FuncBuilder, ProgramBuilder as ClBuilder};
+use ceal_ir::cl::Program;
 use ceal_ir::cl::*;
 use ceal_ir::interp::{IValue, Machine};
 use ceal_runtime::prelude::*;
+use ceal_runtime::prng::Prng;
 use ceal_vm::{load, VmOptions};
-use proptest::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 const N_INPUTS: usize = 3;
 const N_OUTPUTS: usize = 2;
@@ -27,7 +27,7 @@ const N_OUTPUTS: usize = 2;
 /// `main(in0..in2, out0..out1)` plus a helper callee and an allocator
 /// initializer.
 fn gen_program(seed: u64, size: usize) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut pb = ClBuilder::new();
     let init = pb.declare("init2");
     let helper = pb.declare("helper");
@@ -79,7 +79,7 @@ fn gen_program(seed: u64, size: usize) -> Program {
     // Pre-populate local modifiables and pointers so every use is
     // defined: modref + write, alloc.
     struct Gen<'a> {
-        rng: &'a mut StdRng,
+        rng: &'a mut Prng,
         fb: &'a mut FuncBuilder,
         temps: Vec<Var>,
         mods: Vec<Var>,
@@ -122,7 +122,7 @@ fn gen_program(seed: u64, size: usize) -> Program {
                         // tmp := prim(a, b)
                         let d = self.temps[self.rng.gen_range(0..self.temps.len())];
                         let op = [Prim::Add, Prim::Sub, Prim::Mul, Prim::Lt, Prim::Eq]
-                            [self.rng.gen_range(0..5)];
+                            [self.rng.gen_range(0..5usize)];
                         let (a, b) = (self.atom(), self.atom());
                         self.fb.emit_cmd(Cmd::Assign(d, Expr::Prim(op, vec![a, b])));
                     }
@@ -290,62 +290,79 @@ fn ivalue_matches(iv: &IValue, v: Value) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Normalization preserves conventional semantics.
-    #[test]
-    fn normalization_preserves_semantics(seed in 0u64..5_000, size in 4usize..40) {
+/// Normalization preserves conventional semantics.
+#[test]
+fn normalization_preserves_semantics() {
+    for case in 0..64u64 {
+        let mut shape = Prng::seed_from_u64(case ^ 0x5EED_0001);
+        let seed = shape.gen_range(0..5_000u64);
+        let size = shape.gen_range(4..40usize);
         let p = gen_program(seed, size);
         ceal_ir::validate::validate(&p).expect("generated program is valid");
         let (q, _) = ceal_compiler::normalize(&p).expect("normalizes");
         ceal_ir::validate::validate(&q).expect("normalized program is valid");
-        prop_assert!(ceal_ir::validate::is_normal(&q));
+        assert!(ceal_ir::validate::is_normal(&q));
         let inputs = [5i64, -3, 11];
         let a = run_interp(&p, &inputs);
         let b = run_interp(&q, &inputs);
-        prop_assert_eq!(a, b, "normalization changed behavior (seed {})", seed);
+        assert_eq!(a, b, "normalization changed behavior (seed {seed})");
     }
+}
 
-    /// The compiled code computes the same outputs on the engine, and
-    /// change propagation after input modifications equals from-scratch.
-    #[test]
-    fn compiled_matches_interp_and_propagates(seed in 0u64..2_000, size in 4usize..30) {
+/// The compiled code computes the same outputs on the engine, and
+/// change propagation after input modifications equals from-scratch.
+#[test]
+fn compiled_matches_interp_and_propagates() {
+    for case in 0..64u64 {
+        let mut shape = Prng::seed_from_u64(case ^ 0x5EED_0002);
+        let seed = shape.gen_range(0..2_000u64);
+        let size = shape.gen_range(4..30usize);
         let p = gen_program(seed, size);
         let inputs = [5i64, -3, 11];
         let Some(expected) = run_interp(&p, &inputs) else {
             // Fuel exhaustion on pathological loops: skip.
-            return Ok(());
+            continue;
         };
         let Some((mut e, ins, outs)) = run_engine(&p, &inputs) else {
-            return Ok(());
+            continue;
         };
         for (iv, &o) in expected.iter().zip(&outs) {
-            prop_assert!(
+            assert!(
                 ivalue_matches(iv, e.deref(o)),
                 "from-scratch engine mismatch: {:?} vs {:?} (seed {})",
-                iv, e.deref(o), seed
+                iv,
+                e.deref(o),
+                seed
             );
         }
 
         // Modify the inputs and propagate; compare against a fresh
         // from-scratch interpretation with the new inputs.
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xE21);
+        let mut rng = Prng::seed_from_u64(seed ^ 0xE21);
+        let mut interp_died = false;
         for round in 0..4 {
             let new_inputs: Vec<i64> = (0..N_INPUTS).map(|_| rng.gen_range(-20..20)).collect();
             for (&m, &v) in ins.iter().zip(&new_inputs) {
                 e.modify(m, Value::Int(v));
             }
             e.propagate();
-            let Some(expected) = run_interp(&p, &new_inputs) else { return Ok(()); };
+            let Some(expected) = run_interp(&p, &new_inputs) else {
+                interp_died = true;
+                break;
+            };
             for (iv, &o) in expected.iter().zip(&outs) {
-                prop_assert!(
+                assert!(
                     ivalue_matches(iv, e.deref(o)),
                     "propagation mismatch at round {}: {:?} vs {:?} (seed {})",
-                    round, iv, e.deref(o), seed
+                    round,
+                    iv,
+                    e.deref(o),
+                    seed
                 );
             }
         }
-        e.check_invariants();
+        if !interp_died {
+            e.check_invariants();
+        }
     }
 }

@@ -7,7 +7,7 @@
 use ceal_runtime::prelude::*;
 use ceal_suite::input::{collect_list, int_list, CELL_DATA};
 use ceal_suite::sac;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ceal_runtime::prng::Prng;
 use std::collections::BTreeSet;
 
 /// Drives a list benchmark through a random multi-delete session.
@@ -16,7 +16,7 @@ fn list_session(
     oracle: impl Fn(&[i64]) -> Vec<i64>,
     seed: u64,
 ) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let (p, entry) = entry_builder();
     let mut e = Engine::new(p);
     let n = 120usize;
@@ -122,7 +122,7 @@ fn reduce_session(
     oracle: impl Fn(&[i64]) -> Option<i64>,
     seed: u64,
 ) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let (p, entry) = entry_builder();
     let mut e = Engine::new(p);
     let n = 100usize;
@@ -184,7 +184,7 @@ fn sum_survives_random_multi_deletes() {
 /// detached subtree etc.), any re-insertion order.
 #[test]
 fn tcon_survives_random_multi_edge_edits() {
-    let mut rng = StdRng::seed_from_u64(108);
+    let mut rng = Prng::seed_from_u64(108);
     let (p, tcon) = sac::tcon::tcon_program();
     let mut e = Engine::new(p);
     let n = 100;
