@@ -1,0 +1,138 @@
+//! Corpus files: standalone `.ceal` repros with directive headers.
+//!
+//! A minimized failing case is written as a plain surface-CEAL file
+//! prefixed with `//!` directive comments carrying the inputs and edit
+//! script, so the file is both human-readable and self-contained:
+//!
+//! ```text
+//! //! diffcheck: kind=vm-propagate-mismatch seed=42
+//! //! scalars: 3 -7
+//! //! list: 5 1 9
+//! //! edits: set 0 99; del 1; ins 1
+//!
+//! ceal main(modref_t* in0, ...) { ... }
+//! ```
+//!
+//! Files in `crates/diffcheck/corpus/` are executed by the
+//! `corpus_regression` test on every `cargo test`, making every
+//! captured bug a permanent regression test.
+
+use std::path::PathBuf;
+
+use crate::oracle::TestCase;
+use crate::spec::{Edit, SpecCase};
+
+/// The in-repo corpus directory.
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn render_edit(e: &Edit) -> String {
+    match e {
+        Edit::Set(k, v) => format!("set {k} {v}"),
+        Edit::Delete(i) => format!("del {i}"),
+        Edit::Restore(i) => format!("ins {i}"),
+    }
+}
+
+/// Serializes a case (with a provenance note) as a corpus file.
+pub fn to_corpus_file(case: &SpecCase, note: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("//! diffcheck: {note}\n"));
+    let scalars: Vec<String> = case.scalars.iter().map(|v| v.to_string()).collect();
+    s.push_str(&format!("//! scalars: {}\n", scalars.join(" ")));
+    if case.spec.has_list {
+        let items: Vec<String> = case.list.iter().map(|v| v.to_string()).collect();
+        s.push_str(&format!("//! list: {}\n", items.join(" ")));
+    }
+    if !case.edits.is_empty() {
+        let edits: Vec<String> = case.edits.iter().map(render_edit).collect();
+        s.push_str(&format!("//! edits: {}\n", edits.join("; ")));
+    }
+    s.push('\n');
+    s.push_str(&case.render());
+    s
+}
+
+fn parse_edit(s: &str) -> Result<Edit, String> {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    let num = |i: usize| -> Result<i64, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("edit `{s}`: missing operand"))?
+            .parse::<i64>()
+            .map_err(|e| format!("edit `{s}`: {e}"))
+    };
+    match parts.first() {
+        Some(&"set") => Ok(Edit::Set(num(1)? as u32, num(2)?)),
+        Some(&"del") => Ok(Edit::Delete(num(1)? as u32)),
+        Some(&"ins") => Ok(Edit::Restore(num(1)? as u32)),
+        other => Err(format!("unknown edit op {other:?} in `{s}`")),
+    }
+}
+
+fn parse_nums(s: &str) -> Result<Vec<i64>, String> {
+    s.split_whitespace().map(|w| w.parse::<i64>().map_err(|e| format!("`{w}`: {e}"))).collect()
+}
+
+/// Parses a corpus file back into a runnable [`TestCase`].
+pub fn parse_corpus_file(text: &str) -> Result<TestCase, String> {
+    let mut scalars = Vec::new();
+    let mut list = None;
+    let mut edits = Vec::new();
+    let mut body_start = 0;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("//!") {
+            body_start += line.len() + 1;
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("scalars:") {
+                scalars = parse_nums(v)?;
+            } else if let Some(v) = rest.strip_prefix("list:") {
+                list = Some(parse_nums(v)?);
+            } else if let Some(v) = rest.strip_prefix("edits:") {
+                edits = v
+                    .split(';')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(parse_edit)
+                    .collect::<Result<_, _>>()?;
+            }
+            // `diffcheck:` provenance notes are ignored on load.
+        } else if trimmed.is_empty() && edits.is_empty() && scalars.is_empty() && list.is_none() {
+            body_start += line.len() + 1;
+        } else {
+            break;
+        }
+    }
+    let src = text[body_start.min(text.len())..].to_string();
+    if src.trim().is_empty() {
+        return Err("corpus file has no program body".to_string());
+    }
+    Ok(TestCase { src, scalars, list, edits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn roundtrip_generated_case() {
+        for seed in [0u64, 3, 11] {
+            let case = gen_case(seed);
+            let file = to_corpus_file(&case, &format!("seed={seed} kind=test"));
+            let tc = parse_corpus_file(&file).expect("parse");
+            let direct = case.to_test_case();
+            assert_eq!(tc.scalars, direct.scalars);
+            assert_eq!(tc.list, direct.list);
+            assert_eq!(tc.edits, direct.edits);
+            assert_eq!(tc.src.trim(), direct.src.trim());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_empty_body() {
+        assert!(parse_corpus_file("//! scalars: 1\n\n").is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! Seed-driven random program generation.
+//!
+//! [`gen_case`] maps a `u64` seed deterministically to a [`SpecCase`]
+//! using the in-repo splitmix64 PRNG. The grammar is chosen so every
+//! generated program is terminating and fully defined under all three
+//! executors (see the `spec` module docs); [`SpecCase::repair`] runs as
+//! a final belt-and-braces pass, so generation upholds the invariants
+//! by construction *and* by checking.
+
+use ceal_runtime::prng::Prng;
+
+use crate::spec::{
+    BinOp, Edit, Expr, Helper, ListSrc, ModSrc, Spec, SpecCase, Stmt, MAP_HEAD, WALK_ACC,
+    WALK_HEAD,
+};
+
+const ARITH: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod];
+const CMP: [BinOp; 6] = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+
+struct Gen {
+    rng: Prng,
+    next_id: u32,
+}
+
+/// What may be referenced at the current generation point.
+#[derive(Clone)]
+struct Ctx {
+    /// Int variables in scope.
+    ints: Vec<u32>,
+    /// Counters of loops whose bodies are still being generated.
+    /// Readable, but never assignment targets (an assignment would
+    /// break the bounded-countdown termination guarantee).
+    loop_ctrs: Vec<u32>,
+    /// Readable int-carrying modref sources in scope.
+    int_mods: Vec<ModSrc>,
+    /// List-head modref locals in scope (entry only).
+    list_mods: Vec<u32>,
+    /// `None` for entry code, `Some(k)` inside helper `h{k}`.
+    helper: Option<usize>,
+    /// Statement nesting depth.
+    depth: usize,
+    /// Inside a loop body (keyed sites and calls are forbidden there).
+    in_loop: bool,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> u32 {
+        self.next_id += 1;
+        self.next_id - 1
+    }
+
+    fn small_const(&mut self) -> i64 {
+        if self.rng.gen_bool(0.1) {
+            // Occasionally large, to exercise wrapping arithmetic.
+            self.rng.gen_range(-1_000_000_007i64..=1_000_000_007)
+        } else {
+            self.rng.gen_range(-20i64..=20)
+        }
+    }
+
+    fn expr(&mut self, vars: &[u32], depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            if !vars.is_empty() && self.rng.gen_bool(0.6) {
+                Expr::Var(*self.rng.choose(vars).unwrap())
+            } else {
+                Expr::Const(self.small_const())
+            }
+        } else {
+            let op = if self.rng.gen_bool(0.8) {
+                *self.rng.choose(&ARITH).unwrap()
+            } else {
+                *self.rng.choose(&CMP).unwrap()
+            };
+            let a = self.expr(vars, depth - 1);
+            let b = if matches!(op, BinOp::Div | BinOp::Mod) {
+                let mut c = self.rng.gen_range(-9i64..=9);
+                if c == 0 {
+                    c = 1;
+                }
+                Expr::Const(c)
+            } else {
+                self.expr(vars, depth - 1)
+            };
+            Expr::Bin(op, Box::new(a), Box::new(b))
+        }
+    }
+
+    fn cond(&mut self, vars: &[u32]) -> Expr {
+        let op = *self.rng.choose(&CMP).unwrap();
+        let a = self.expr(vars, 1);
+        let b = self.expr(vars, 1);
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Generates one statement into `out`; may push several (e.g. a
+    /// read following a walk). `helpers` are the signatures generated
+    /// so far (callable set: all for entry, lower indices for helpers).
+    fn stmt(&mut self, ctx: &mut Ctx, helpers: &[(usize, u32)], spec_info: &SpecInfo, out: &mut Vec<Stmt>) {
+        let callable = match ctx.helper {
+            Some(k) => &helpers[..k],
+            None => helpers,
+        };
+        let in_entry = ctx.helper.is_none();
+        // Weighted kind choice, restricted by context.
+        let mut kinds: Vec<(&str, f64)> = vec![("let", 2.0)];
+        if !ctx.ints.is_empty() {
+            kinds.push(("assign", 1.0));
+        }
+        if !ctx.int_mods.is_empty() {
+            kinds.push(("read", 2.0));
+        }
+        if ctx.depth < 2 {
+            kinds.push(("if", 1.2));
+            kinds.push(("loop", 0.8));
+        }
+        if !ctx.in_loop {
+            kinds.push(("modwrite", 1.2));
+            if !callable.is_empty() {
+                kinds.push(("call", 1.5));
+            }
+            if in_entry && spec_info.has_list && spec_info.n_walkers > 0 {
+                kinds.push(("walk", 1.2));
+            }
+            if in_entry && spec_info.has_list && spec_info.n_mappers > 0 {
+                kinds.push(("map", 0.8));
+            }
+        }
+        let total: f64 = kinds.iter().map(|(_, w)| w).sum();
+        let mut pick = self.rng.gen_f64() * total;
+        let mut kind = kinds[0].0;
+        for (k, w) in &kinds {
+            if pick < *w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+
+        match kind {
+            "let" => {
+                let v = self.fresh();
+                let e = self.expr(&ctx.ints, 2);
+                ctx.ints.push(v);
+                out.push(Stmt::Let(v, e));
+            }
+            "assign" => {
+                let targets: Vec<u32> =
+                    ctx.ints.iter().copied().filter(|v| !ctx.loop_ctrs.contains(v)).collect();
+                let e = self.expr(&ctx.ints, 2);
+                match self.rng.choose(&targets) {
+                    Some(&v) => out.push(Stmt::Assign(v, e)),
+                    None => {
+                        // Only live loop counters in scope: declare
+                        // a new variable instead of clobbering one.
+                        let v = self.fresh();
+                        ctx.ints.push(v);
+                        out.push(Stmt::Let(v, e));
+                    }
+                }
+            }
+            "read" => {
+                let src = *self.rng.choose(&ctx.int_mods).unwrap();
+                let v = self.fresh();
+                ctx.ints.push(v);
+                out.push(Stmt::ReadMod(v, src));
+            }
+            "modwrite" => {
+                let id = self.fresh();
+                let e = self.expr(&ctx.ints, 2);
+                ctx.int_mods.push(ModSrc::Local(id));
+                out.push(Stmt::ModWrite(id, e));
+            }
+            "if" => {
+                let c = self.cond(&ctx.ints);
+                let nt = 1 + self.rng.gen_range(0usize..3);
+                let t = self.block(ctx, helpers, spec_info, nt);
+                let f = if self.rng.gen_bool(0.7) {
+                    let nf = self.rng.gen_range(0usize..3);
+                    self.block(ctx, helpers, spec_info, nf)
+                } else {
+                    Vec::new()
+                };
+                out.push(Stmt::If(c, t, f));
+            }
+            "loop" => {
+                let ctr = self.fresh();
+                let n = self.rng.gen_range(1i64..=6);
+                ctx.ints.push(ctr);
+                ctx.loop_ctrs.push(ctr);
+                let nb = 1 + self.rng.gen_range(0usize..3);
+                let body = {
+                    let was = std::mem::replace(&mut ctx.in_loop, true);
+                    let b = self.block(ctx, helpers, spec_info, nb);
+                    ctx.in_loop = was;
+                    b
+                };
+                ctx.loop_ctrs.pop();
+                out.push(Stmt::Loop(ctr, n, body));
+            }
+            "call" => {
+                let helper = self.rng.gen_range(0..callable.len());
+                let (n_ints, n_mods) = callable[helper];
+                if (n_mods > 0) && ctx.int_mods.is_empty() {
+                    // No modref to pass; fall back to a plain let.
+                    let v = self.fresh();
+                    let e = self.expr(&ctx.ints, 2);
+                    ctx.ints.push(v);
+                    out.push(Stmt::Let(v, e));
+                    return;
+                }
+                let ints = (0..n_ints).map(|_| self.expr(&ctx.ints, 1)).collect();
+                let mods =
+                    (0..n_mods).map(|_| *self.rng.choose(&ctx.int_mods).unwrap()).collect();
+                let dst = self.fresh();
+                ctx.int_mods.push(ModSrc::Local(dst));
+                out.push(Stmt::CallHelper { dst, helper: helper as u32, ints, mods });
+                // Usually read the result right away.
+                if self.rng.gen_bool(0.8) {
+                    let v = self.fresh();
+                    ctx.ints.push(v);
+                    out.push(Stmt::ReadMod(v, ModSrc::Local(dst)));
+                }
+            }
+            "walk" => {
+                let walker = self.rng.gen_range(0..spec_info.n_walkers) as u32;
+                let src = self.list_src(ctx);
+                let init = self.expr(&ctx.ints, 1);
+                let dst = self.fresh();
+                ctx.int_mods.push(ModSrc::Local(dst));
+                out.push(Stmt::WalkList { dst, walker, src, init });
+                if self.rng.gen_bool(0.85) {
+                    let v = self.fresh();
+                    ctx.ints.push(v);
+                    out.push(Stmt::ReadMod(v, ModSrc::Local(dst)));
+                }
+            }
+            "map" => {
+                let mapper = self.rng.gen_range(0..spec_info.n_mappers) as u32;
+                let src = self.list_src(ctx);
+                let dst = self.fresh();
+                ctx.list_mods.push(dst);
+                out.push(Stmt::MapList { dst, mapper, src });
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn list_src(&mut self, ctx: &Ctx) -> ListSrc {
+        if !ctx.list_mods.is_empty() && self.rng.gen_bool(0.5) {
+            ListSrc::Mapped(*self.rng.choose(&ctx.list_mods).unwrap())
+        } else {
+            ListSrc::Input
+        }
+    }
+
+    /// Generates a statement block in a child scope.
+    fn block(
+        &mut self,
+        ctx: &mut Ctx,
+        helpers: &[(usize, u32)],
+        spec_info: &SpecInfo,
+        n: usize,
+    ) -> Vec<Stmt> {
+        let (si, sm, sl) = (ctx.ints.len(), ctx.int_mods.len(), ctx.list_mods.len());
+        ctx.depth += 1;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            self.stmt(ctx, helpers, spec_info, &mut out);
+        }
+        ctx.depth -= 1;
+        ctx.ints.truncate(si);
+        ctx.int_mods.truncate(sm);
+        ctx.list_mods.truncate(sl);
+        out
+    }
+}
+
+struct SpecInfo {
+    has_list: bool,
+    n_mappers: usize,
+    n_walkers: usize,
+}
+
+/// Deterministically generates the test case for `seed`.
+pub fn gen_case(seed: u64) -> SpecCase {
+    let mut g = Gen { rng: Prng::seed_from_u64(seed ^ 0xD1FF_C4EC), next_id: 0 };
+
+    let n_scalars = g.rng.gen_range(1u32..=4);
+    let has_list = g.rng.gen_bool(0.6);
+    let n_mappers = if has_list { g.rng.gen_range(0usize..=2) } else { 0 };
+    let n_walkers = if has_list { g.rng.gen_range(1usize..=2) } else { 0 };
+    let info = SpecInfo { has_list, n_mappers, n_walkers };
+
+    let mappers: Vec<Expr> = (0..n_mappers).map(|_| g.expr(&[MAP_HEAD], 2)).collect();
+    let walkers: Vec<Expr> = (0..n_walkers)
+        .map(|_| {
+            // Make sure the accumulator participates, so the fold is
+            // order-sensitive and edits actually change the result.
+            let rest = g.expr(&[WALK_ACC, WALK_HEAD], 2);
+            let op = *g.rng.choose(&[BinOp::Add, BinOp::Sub, BinOp::Mul]).unwrap();
+            Expr::Bin(
+                op,
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Var(WALK_ACC)),
+                    Box::new(Expr::Const(g.rng.gen_range(2i64..=5))),
+                )),
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var(WALK_HEAD)),
+                    Box::new(rest),
+                )),
+            )
+        })
+        .collect();
+
+    // Helpers, lowest index first so later ones may call earlier ones.
+    let n_helpers = g.rng.gen_range(0usize..=3);
+    let mut helpers: Vec<Helper> = Vec::new();
+    let mut sigs: Vec<(usize, u32)> = Vec::new();
+    for k in 0..n_helpers {
+        let int_params: Vec<u32> = (0..g.rng.gen_range(0usize..=3)).map(|_| g.fresh()).collect();
+        let n_mods = g.rng.gen_range(0u32..=2);
+        let mut ctx = Ctx {
+            ints: int_params.clone(),
+            loop_ctrs: vec![],
+            int_mods: (0..n_mods).map(ModSrc::Param).collect(),
+            list_mods: vec![],
+            helper: Some(k),
+            depth: 0,
+            in_loop: false,
+        };
+        let mut body = Vec::new();
+        let n_stmts = g.rng.gen_range(1usize..=5);
+        for _ in 0..n_stmts {
+            g.stmt(&mut ctx, &sigs, &info, &mut body);
+        }
+        let ret = g.expr(&ctx.ints, 2);
+        sigs.push((int_params.len(), n_mods));
+        helpers.push(Helper { int_params, n_mods, body, ret });
+    }
+
+    // Entry: read every scalar up front so edits are never dead, then
+    // a random body, then (with a list) at least one walk.
+    let mut ctx = Ctx {
+        ints: vec![],
+        loop_ctrs: vec![],
+        int_mods: (0..n_scalars).map(ModSrc::Input).collect(),
+        list_mods: vec![],
+        helper: None,
+        depth: 0,
+        in_loop: false,
+    };
+    let mut body = Vec::new();
+    for k in 0..n_scalars {
+        let v = g.fresh();
+        ctx.ints.push(v);
+        body.push(Stmt::ReadMod(v, ModSrc::Input(k)));
+    }
+    let n_stmts = g.rng.gen_range(2usize..=8);
+    for _ in 0..n_stmts {
+        g.stmt(&mut ctx, &sigs, &info, &mut body);
+    }
+    if has_list && n_walkers > 0 {
+        let walker = g.rng.gen_range(0..n_walkers) as u32;
+        let src = g.list_src(&ctx);
+        let init = g.expr(&ctx.ints, 1);
+        let dst = g.fresh();
+        body.push(Stmt::WalkList { dst, walker, src, init });
+        let v = g.fresh();
+        ctx.ints.push(v);
+        body.push(Stmt::ReadMod(v, ModSrc::Local(dst)));
+    }
+    let ret = g.expr(&ctx.ints, 2);
+
+    let spec = Spec { n_scalars, has_list, mappers, walkers, helpers, body, ret };
+
+    let scalars: Vec<i64> = (0..n_scalars).map(|_| g.small_const()).collect();
+    let list: Vec<i64> = if has_list {
+        (0..g.rng.gen_range(0usize..=16)).map(|_| g.rng.gen_range(-50i64..=50)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Edit script: scalar sets plus arbitrary-order deletes/restores.
+    let n_edits = g.rng.gen_range(1usize..=8);
+    let mut live: Vec<bool> = vec![true; list.len()];
+    let mut edits = Vec::new();
+    for _ in 0..n_edits {
+        let deleted: Vec<u32> = (0..live.len()).filter(|&i| !live[i]).map(|i| i as u32).collect();
+        let alive: Vec<u32> = (0..live.len()).filter(|&i| live[i]).map(|i| i as u32).collect();
+        let can_list = has_list && !list.is_empty();
+        let r = g.rng.gen_f64();
+        if !can_list || r < 0.45 {
+            edits.push(Edit::Set(g.rng.gen_range(0..n_scalars), g.small_const()));
+        } else if r < 0.75 && !alive.is_empty() {
+            let i = *g.rng.choose(&alive).unwrap();
+            live[i as usize] = false;
+            edits.push(Edit::Delete(i));
+        } else if !deleted.is_empty() {
+            let i = *g.rng.choose(&deleted).unwrap();
+            live[i as usize] = true;
+            edits.push(Edit::Restore(i));
+        } else if !alive.is_empty() {
+            let i = *g.rng.choose(&alive).unwrap();
+            live[i as usize] = false;
+            edits.push(Edit::Delete(i));
+        } else {
+            edits.push(Edit::Set(g.rng.gen_range(0..n_scalars), g.small_const()));
+        }
+    }
+
+    let mut case = SpecCase { spec, scalars, list, edits };
+    case.repair();
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(gen_case(seed), gen_case(seed));
+        }
+    }
+
+    #[test]
+    fn generated_cases_are_repair_fixpoints() {
+        for seed in 0..50 {
+            let case = gen_case(seed);
+            let mut repaired = case.clone();
+            repaired.repair();
+            assert_eq!(case, repaired, "seed {seed} not a repair fixpoint");
+        }
+    }
+
+    #[test]
+    fn generated_sources_render() {
+        for seed in 0..20 {
+            let case = gen_case(seed);
+            let src = case.render();
+            assert!(src.contains("ceal main("), "seed {seed} has no entry:\n{src}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # diffcheck — cross-layer differential fuzzing
+//!
+//! One generated program, three executors, one oracle (DESIGN.md §9).
+//!
+//! The paper's correctness story (§4, §7) rests on compilation and
+//! change propagation preserving from-scratch semantics. This crate
+//! checks that claim systematically, in the style of Csmith-like
+//! compiler fuzzing:
+//!
+//! * [`gen`] maps a seed to a random, terminating, fully-defined
+//!   surface-CEAL program with concrete inputs and an edit script
+//!   (splitmix64-driven, hermetic);
+//! * [`oracle`] runs it through the conventional CL interpreter (on
+//!   both source and normalized CL), the target-code VM on the
+//!   self-adjusting engine, and [`clvm`] — a direct normalized-CL
+//!   executor on the engine — and demands agreement, from scratch and
+//!   after every `propagate`;
+//! * [`shrink`] minimizes failures by structural deletion and
+//!   simplification;
+//! * [`corpus`] persists minimized repros as standalone `.ceal` files
+//!   that run as regression tests forever after.
+//!
+//! Run it with `cargo run -p diffcheck -- --seed 0 --count 200`.
+
+#![warn(missing_docs)]
+
+pub mod clvm;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+pub mod spec;
+
+pub use gen::gen_case;
+pub use oracle::{run_test_case, Failure, RunReport, TestCase};
+pub use shrink::shrink;

@@ -1,0 +1,133 @@
+//! CLI driver: `diffcheck --seed 0 --count 200`.
+//!
+//! Runs `count` generated cases starting at `seed`. Failures are
+//! minimized and written to the corpus directory (unless
+//! `--no-corpus`), and the process exits non-zero. On success, prints
+//! a digest over all outputs so two runs can be compared for
+//! determinism.
+
+use std::process::ExitCode;
+
+use diffcheck::corpus::{corpus_dir, to_corpus_file};
+use diffcheck::gen::gen_case;
+use diffcheck::oracle::run_test_case;
+use diffcheck::shrink::shrink;
+
+struct Options {
+    seed: u64,
+    count: u64,
+    shrink_runs: usize,
+    write_corpus: bool,
+    corpus_dir: std::path::PathBuf,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: diffcheck [--seed N] [--count M] [--shrink-runs N] \
+         [--corpus-dir PATH] [--no-corpus] [--verbose]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seed: 0,
+        count: 100,
+        shrink_runs: 600,
+        write_corpus: true,
+        corpus_dir: corpus_dir(),
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--seed" => opts.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--count" => opts.count = next("--count").parse().unwrap_or_else(|_| usage()),
+            "--shrink-runs" => {
+                opts.shrink_runs = next("--shrink-runs").parse().unwrap_or_else(|_| usage())
+            }
+            "--corpus-dir" => opts.corpus_dir = next("--corpus-dir").into(),
+            "--no-corpus" => opts.write_corpus = false,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    // Engine assertions and VM type errors surface as caught panics in
+    // the oracle; silence the default hook's backtrace spam.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut failures = 0u64;
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let mut edits_checked = 0u64;
+
+    for i in 0..opts.count {
+        let seed = opts.seed.wrapping_add(i);
+        let case = gen_case(seed);
+        let tc = case.to_test_case();
+        match run_test_case(&tc) {
+            Ok(report) => {
+                edits_checked += tc.edits.len() as u64;
+                digest = digest.wrapping_mul(0x100000001b3) ^ report.digest();
+                if opts.verbose {
+                    println!("seed {seed}: ok ({} outputs)", report.outs.len());
+                }
+            }
+            Err(f) => {
+                failures += 1;
+                println!("seed {seed}: FAIL [{}] {}", f.kind, f.detail);
+                let (min, stats) = shrink(&case, &f.kind, opts.shrink_runs);
+                let min_src = min.render();
+                println!(
+                    "  minimized to {} source lines ({} shrink steps, {} oracle runs)",
+                    min_src.lines().count(),
+                    stats.adopted,
+                    stats.runs
+                );
+                let note = format!("kind={} seed={seed}", f.kind);
+                let file = to_corpus_file(&min, &note);
+                if opts.write_corpus {
+                    let name = format!("seed{seed}_{}.ceal", f.kind);
+                    let path = opts.corpus_dir.join(&name);
+                    if let Err(e) = std::fs::create_dir_all(&opts.corpus_dir)
+                        .and_then(|_| std::fs::write(&path, &file))
+                    {
+                        eprintln!("  could not write {}: {e}", path.display());
+                    } else {
+                        println!("  wrote {}", path.display());
+                    }
+                } else {
+                    println!("--- minimized repro ---\n{file}-----------------------");
+                }
+            }
+        }
+    }
+
+    let passed = opts.count - failures;
+    println!(
+        "diffcheck: {passed}/{} cases passed, {edits_checked} propagation rounds checked, \
+         digest {digest:016x}",
+        opts.count
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

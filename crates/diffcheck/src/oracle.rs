@@ -1,0 +1,401 @@
+//! The three-way differential oracle.
+//!
+//! For one test case (program source + concrete inputs + edit script),
+//! the oracle runs:
+//!
+//! 1. the **conventional CL interpreter** on the lowered program — the
+//!    reference semantics;
+//! 2. the same interpreter on the **normalized** program — isolating
+//!    normalization bugs;
+//! 3. the **target-code VM** on the self-adjusting engine — the full
+//!    pipeline;
+//! 4. the **clvm** executor (normalized CL directly on the engine) —
+//!    isolating translation bugs from normalization/runtime bugs.
+//!
+//! From-scratch outputs of all four must agree. Then each edit is
+//! applied to both engine sessions followed by `propagate`, and the
+//! propagated outputs must equal a fresh from-scratch interpreter run
+//! on the edited inputs — the core self-adjusting-computation
+//! invariant (§4, §7).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ceal_compiler::pipeline::compile;
+use ceal_ir::cl::{FuncRef, Program};
+use ceal_ir::interp::{IValue, Machine};
+use ceal_ir::validate::{is_normal, validate};
+use ceal_lang::frontend;
+use ceal_runtime::engine::Engine;
+use ceal_runtime::program::ProgramBuilder;
+use ceal_runtime::value::{FuncId, ModRef, Value};
+use ceal_suite::input::EditList;
+use ceal_vm::VmOptions;
+
+use crate::clvm::load_cl;
+use crate::spec::Edit;
+
+/// Interpreter step budget. Generated programs are strongly bounded
+/// (constant loops, finite lists), so this is generous.
+const FUEL: u64 = 5_000_000;
+
+/// A concrete runnable test case: source text plus inputs and edits.
+/// This is what both generated cases and corpus files reduce to.
+#[derive(Clone, Debug)]
+pub struct TestCase {
+    /// Surface CEAL source with entry `ceal main(in0.., [lst,] out)`.
+    pub src: String,
+    /// Initial scalar input values (entry takes one `in{k}` per value).
+    pub scalars: Vec<i64>,
+    /// Initial list data; `Some` iff the entry takes a `lst` parameter.
+    pub list: Option<Vec<i64>>,
+    /// Edit script, applied one edit per propagation round.
+    pub edits: Vec<Edit>,
+}
+
+impl crate::spec::SpecCase {
+    /// Renders the spec-level case down to a runnable [`TestCase`].
+    pub fn to_test_case(&self) -> TestCase {
+        TestCase {
+            src: self.render(),
+            scalars: self.scalars.clone(),
+            list: if self.spec.has_list { Some(self.list.clone()) } else { None },
+            edits: self.edits.clone(),
+        }
+    }
+}
+
+/// A failed oracle check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// Stable failure class (used by the shrinker to stay on one bug).
+    pub kind: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+fn fail<T>(kind: &str, detail: impl Into<String>) -> Result<T, Failure> {
+    Err(Failure { kind: kind.to_string(), detail: detail.into() })
+}
+
+/// Outputs of a passing run, for determinism checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Formatted output value after the initial run and after each
+    /// edit.
+    pub outs: Vec<String>,
+}
+
+impl RunReport {
+    /// FNV-style digest of the outputs.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for s in &self.outs {
+            for b in s.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            h = h.wrapping_mul(0x100000001b3) ^ 0x2e;
+        }
+        h
+    }
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic (engine assertion, VM type error) into
+/// a `panic` failure tagged with `stage`.
+fn guard<T>(stage: &str, f: impl FnOnce() -> T) -> Result<T, Failure> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|p| Failure { kind: "panic".into(), detail: format!("{stage}: {}", panic_msg(p)) })
+}
+
+/// From-scratch run on the conventional interpreter; returns the
+/// formatted output value.
+fn interp_run(
+    p: &Program,
+    entry: FuncRef,
+    scalars: &[i64],
+    list: Option<&[i64]>,
+) -> Result<String, String> {
+    let mut m = Machine::with_fuel(FUEL);
+    let mut args = Vec::new();
+    for &v in scalars {
+        args.push(m.alloc_modref(IValue::Int(v)));
+    }
+    if let Some(items) = list {
+        // Build the nil-terminated cell chain back to front.
+        let mut tail = IValue::Nil;
+        for &v in items.iter().rev() {
+            let cell = m.alloc_block(2);
+            let next = m.alloc_modref(tail);
+            if let IValue::Ptr(b) = cell {
+                m.blocks[b][0] = IValue::Int(v);
+                m.blocks[b][1] = next;
+            }
+            tail = cell;
+        }
+        args.push(m.alloc_modref(tail));
+    }
+    let out = m.alloc_modref(IValue::Nil);
+    args.push(out);
+    m.run(p, entry, &args).map_err(|e| e.0)?;
+    Ok(format!("{:?}", m.deref(out).map_err(|e| e.0)?))
+}
+
+/// One self-adjusting engine session (VM-backed or clvm-backed).
+struct Session {
+    e: Engine,
+    ins: Vec<ModRef>,
+    list: Option<EditList>,
+    out: ModRef,
+}
+
+impl Session {
+    fn start(mut e: Engine, entry: FuncId, tc: &TestCase) -> Session {
+        let ins: Vec<ModRef> = tc
+            .scalars
+            .iter()
+            .map(|&v| {
+                let m = e.meta_modref();
+                e.modify(m, Value::Int(v));
+                m
+            })
+            .collect();
+        let list = tc.list.as_ref().map(|items| {
+            let data: Vec<Value> = items.iter().map(|&v| Value::Int(v)).collect();
+            EditList::build(&mut e, &data)
+        });
+        let out = e.meta_modref();
+        let mut args: Vec<Value> = ins.iter().map(|&m| Value::ModRef(m)).collect();
+        if let Some(l) = &list {
+            args.push(Value::ModRef(l.head));
+        }
+        args.push(Value::ModRef(out));
+        e.run_core(entry, &args);
+        Session { e, ins, list, out }
+    }
+
+    fn apply(&mut self, edit: Edit) {
+        match edit {
+            Edit::Set(k, v) => {
+                let m = self.ins[k as usize];
+                self.e.modify(m, Value::Int(v));
+            }
+            Edit::Delete(i) => {
+                if let Some(l) = &mut self.list {
+                    l.delete(&mut self.e, i as usize);
+                }
+            }
+            Edit::Restore(i) => {
+                if let Some(l) = &mut self.list {
+                    l.restore(&mut self.e, i as usize);
+                }
+            }
+        }
+        self.e.propagate();
+    }
+
+    fn out(&self) -> String {
+        format!("{:?}", self.e.deref(self.out))
+    }
+}
+
+/// Runs the full oracle on one test case.
+///
+/// # Errors
+///
+/// Returns the first [`Failure`] encountered: a pipeline error, an
+/// executor disagreement, or an engine panic/invariant violation.
+pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
+    let (cl, _names) = match frontend(&tc.src) {
+        Ok(x) => x,
+        Err(e) => return fail("frontend", e),
+    };
+    if let Err(e) = validate(&cl) {
+        return fail("validate", format!("{e:?}"));
+    }
+    let compiled = match compile(&cl) {
+        Ok(x) => x,
+        Err(e) => return fail("compile", format!("{e:?}")),
+    };
+    if let Err(e) = validate(&compiled.normalized) {
+        return fail("normalized-validate", format!("{e:?}"));
+    }
+    if !is_normal(&compiled.normalized) {
+        return fail("not-normal", "normalize left a read that does not end its block");
+    }
+
+    let entry_cl = match cl.find("main") {
+        Some(f) => f,
+        None => return fail("frontend", "no `main` function"),
+    };
+    let entry_norm = match compiled.normalized.find("main") {
+        Some(f) => f,
+        None => return fail("normalized-validate", "no `main` in normalized program"),
+    };
+
+    // Executor 1: conventional interpreter, from scratch.
+    let expected0 = match interp_run(&cl, entry_cl, &tc.scalars, tc.list.as_deref()) {
+        Ok(v) => v,
+        Err(e) => return fail("interp-error", e),
+    };
+
+    // Executor 2: conventional interpreter on the *normalized* program.
+    match interp_run(&compiled.normalized, entry_norm, &tc.scalars, tc.list.as_deref()) {
+        Ok(v) if v == expected0 => {}
+        Ok(v) => {
+            return fail(
+                "normalize-mismatch",
+                format!("normalized program computes {v}, source computes {expected0}"),
+            )
+        }
+        Err(e) => return fail("normalized-interp-error", e),
+    }
+
+    // Executor 3: full pipeline on the engine (target code via the VM).
+    let mut vm = guard("vm-init", || {
+        let mut b = ProgramBuilder::new();
+        let loaded = ceal_vm::load(&compiled.target, &mut b, VmOptions::default());
+        let entry = loaded.entry(&compiled.target, "main").expect("main in target");
+        Session::start(Engine::new(b.build()), entry, tc)
+    })?;
+
+    // Executor 4: normalized CL directly on the engine.
+    let mut clvm = guard("clvm-init", || {
+        let mut b = ProgramBuilder::new();
+        let loaded = load_cl(&compiled.normalized, &mut b);
+        let entry = loaded.entry("main").expect("main in normalized CL");
+        Session::start(Engine::new(b.build()), entry, tc)
+    })?;
+
+    let vm0 = vm.out();
+    if vm0 != expected0 {
+        return fail("vm-fresh-mismatch", format!("vm computes {vm0}, interp computes {expected0}"));
+    }
+    let clvm0 = clvm.out();
+    if clvm0 != expected0 {
+        return fail(
+            "clvm-fresh-mismatch",
+            format!("clvm computes {clvm0}, interp computes {expected0}"),
+        );
+    }
+
+    let mut outs = vec![expected0];
+
+    // Edit loop: propagate must equal a fresh from-scratch run.
+    let mut scalars = tc.scalars.clone();
+    let mut live: Vec<bool> = vec![true; tc.list.as_ref().map_or(0, |l| l.len())];
+    for (i, &edit) in tc.edits.iter().enumerate() {
+        match edit {
+            Edit::Set(k, v) => scalars[k as usize] = v,
+            Edit::Delete(j) => live[j as usize] = false,
+            Edit::Restore(j) => live[j as usize] = true,
+        }
+        let cur_list: Option<Vec<i64>> = tc.list.as_ref().map(|items| {
+            items.iter().zip(&live).filter(|(_, &l)| l).map(|(&v, _)| v).collect()
+        });
+
+        guard(&format!("vm-edit-{i}"), || vm.apply(edit))?;
+        guard(&format!("clvm-edit-{i}"), || clvm.apply(edit))?;
+
+        let expected = match interp_run(&cl, entry_cl, &scalars, cur_list.as_deref()) {
+            Ok(v) => v,
+            Err(e) => return fail("interp-error", format!("after edit {i}: {e}")),
+        };
+        let vm_out = vm.out();
+        if vm_out != expected {
+            return fail(
+                "vm-propagate-mismatch",
+                format!("edit {i} ({edit:?}): propagate gives {vm_out}, from-scratch {expected}"),
+            );
+        }
+        let clvm_out = clvm.out();
+        if clvm_out != expected {
+            return fail(
+                "clvm-propagate-mismatch",
+                format!("edit {i} ({edit:?}): propagate gives {clvm_out}, from-scratch {expected}"),
+            );
+        }
+        outs.push(expected);
+    }
+
+    guard("invariants", || {
+        vm.e.check_invariants();
+        clvm.e.check_invariants();
+    })?;
+
+    Ok(RunReport { outs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handwritten_case_passes() {
+        let tc = TestCase {
+            src: "
+                ceal main(modref_t* in0, modref_t* in1, modref_t* out) {
+                    int a = (int) read(in0);
+                    int b = (int) read(in1);
+                    int c = 0;
+                    if (a < b) { c = b - a; } else { c = a * 2; }
+                    write(out, c + b);
+                }
+            "
+            .to_string(),
+            scalars: vec![3, 10],
+            list: None,
+            edits: vec![Edit::Set(0, 20), Edit::Set(1, 20), Edit::Set(0, -5)],
+        };
+        let report = run_test_case(&tc).expect("oracle passes");
+        assert_eq!(report.outs.len(), 4);
+        assert_eq!(report.outs[0], "Int(17)"); // 10-3+10
+    }
+
+    #[test]
+    fn list_case_with_edits_passes() {
+        let tc = TestCase {
+            src: "
+                struct cell { int data; modref_t* next; };
+                ceal walk(modref_t* l, int acc, modref_t* d) {
+                    cell* c = (cell*) read(l);
+                    if (c == NULL) {
+                        write(d, acc);
+                    } else {
+                        int h = c->data;
+                        walk(c->next, acc * 3 + h, d);
+                        return;
+                    }
+                    return;
+                }
+                ceal main(modref_t* in0, modref_t* lst, modref_t* out) {
+                    int z = (int) read(in0);
+                    modref_t* m0 = modref_keyed(1);
+                    walk(lst, z, m0);
+                    int r = (int) read(m0);
+                    write(out, r);
+                }
+            "
+            .to_string(),
+            scalars: vec![1],
+            list: Some(vec![4, 5, 6]),
+            edits: vec![
+                Edit::Delete(1),
+                Edit::Delete(0),
+                Edit::Restore(1),
+                Edit::Set(0, 100),
+                Edit::Restore(0),
+            ],
+        };
+        let report = run_test_case(&tc).expect("oracle passes");
+        assert_eq!(report.outs.len(), 6);
+    }
+}

@@ -1,0 +1,432 @@
+//! Delete/simplify minimization of failing cases.
+//!
+//! The shrinker works on the structured [`SpecCase`], not on text:
+//! every candidate is a single deletion or simplification (drop an
+//! edit, drop a statement, flatten an `if` into a branch, replace an
+//! expression by a constant or a child, shorten the input list, …),
+//! followed by [`SpecCase::repair`] — so candidates are well-formed by
+//! construction and never trade one failure for a parse error.
+//!
+//! A candidate is adopted when the oracle still fails with the *same
+//! failure kind* (`vm-propagate-mismatch` stays a
+//! `vm-propagate-mismatch`), which keeps the minimizer pinned to one
+//! bug. Greedy passes repeat until no single-step candidate helps or
+//! the run budget is exhausted.
+
+use crate::oracle::run_test_case;
+use crate::spec::{Edit, Expr, SpecCase, Stmt};
+
+/// Shrinking statistics for reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShrinkStats {
+    /// Oracle invocations spent.
+    pub runs: usize,
+    /// Candidates adopted (successful shrink steps).
+    pub adopted: usize,
+}
+
+/// Minimizes `case`, preserving failure kind `kind`, within `max_runs`
+/// oracle invocations. Returns the smallest case found (already
+/// repaired) and the statistics.
+pub fn shrink(case: &SpecCase, kind: &str, max_runs: usize) -> (SpecCase, ShrinkStats) {
+    let mut best = case.clone();
+    best.repair();
+    let mut stats = ShrinkStats::default();
+    loop {
+        let mut progressed = false;
+        for mut cand in candidates(&best) {
+            if stats.runs >= max_runs {
+                return (best, stats);
+            }
+            cand.repair();
+            if cand == best {
+                continue;
+            }
+            stats.runs += 1;
+            if matches!(run_test_case(&cand.to_test_case()), Err(f) if f.kind == kind) {
+                best = cand;
+                stats.adopted += 1;
+                progressed = true;
+                break; // restart candidate enumeration on the new best
+            }
+        }
+        if !progressed {
+            return (best, stats);
+        }
+    }
+}
+
+/// All single-step shrink candidates, roughly largest-reduction first.
+fn candidates(c: &SpecCase) -> Vec<SpecCase> {
+    let mut out = Vec::new();
+
+    // 1. Edit script truncation and single-edit removal.
+    for k in 0..c.edits.len() {
+        let mut n = c.clone();
+        n.edits.truncate(k);
+        out.push(n);
+    }
+    for i in 0..c.edits.len() {
+        let mut n = c.clone();
+        n.edits.remove(i);
+        out.push(n);
+    }
+
+    // 2. Drop the list entirely.
+    if c.spec.has_list {
+        let mut n = c.clone();
+        n.spec.has_list = false;
+        n.spec.mappers.clear();
+        n.spec.walkers.clear();
+        out.push(n);
+    }
+
+    // 3. Drop trailing helpers / mappers / walkers (references repair
+    //    to constants).
+    if !c.spec.helpers.is_empty() {
+        let mut n = c.clone();
+        n.spec.helpers.pop();
+        out.push(n);
+    }
+    if !c.spec.mappers.is_empty() {
+        let mut n = c.clone();
+        n.spec.mappers.pop();
+        out.push(n);
+    }
+    if c.spec.walkers.len() > 1 {
+        let mut n = c.clone();
+        n.spec.walkers.pop();
+        out.push(n);
+    }
+
+    // 4. Statement deletion and control-flow flattening.
+    let lists = count_stmt_lists(c);
+    for li in 0..lists {
+        let len = with_stmt_list(c, li, |_| {}).map_or(0, |(_, l)| l);
+        for si in (0..len).rev() {
+            if let Some((n, _)) = with_stmt_list(c, li, |stmts| {
+                stmts.remove(si);
+            }) {
+                out.push(n);
+            }
+            // Flatten If/Loop at this position into its body.
+            if let Some((n, _)) = with_stmt_list(c, li, |stmts| {
+                let repl = match &stmts[si] {
+                    Stmt::If(_, t, _) if !t.is_empty() => Some(t.clone()),
+                    Stmt::If(_, _, f) if !f.is_empty() => Some(f.clone()),
+                    Stmt::Loop(_, _, b) if !b.is_empty() => Some(b.clone()),
+                    _ => None,
+                };
+                if let Some(repl) = repl {
+                    stmts.splice(si..=si, repl);
+                }
+            }) {
+                out.push(n);
+            }
+        }
+    }
+
+    // 5. Shorten the input list.
+    let ll = c.list.len();
+    if ll > 0 {
+        let mut n = c.clone();
+        n.list.clear();
+        out.push(n);
+        let mut n = c.clone();
+        n.list.truncate(ll / 2);
+        out.push(n);
+        for i in (0..ll).rev() {
+            let mut n = c.clone();
+            n.list.remove(i);
+            out.push(n);
+        }
+    }
+
+    // 6. Fewer scalars; zeroed values.
+    if c.spec.n_scalars > 1 {
+        let mut n = c.clone();
+        n.spec.n_scalars -= 1;
+        out.push(n);
+    }
+    for i in 0..c.scalars.len() {
+        if c.scalars[i] != 0 {
+            let mut n = c.clone();
+            n.scalars[i] = 0;
+            out.push(n);
+        }
+    }
+    for i in 0..c.list.len() {
+        if c.list[i] != 0 {
+            let mut n = c.clone();
+            n.list[i] = 0;
+            out.push(n);
+        }
+    }
+    for i in 0..c.edits.len() {
+        if let Edit::Set(k, v) = c.edits[i] {
+            if v != 0 {
+                let mut n = c.clone();
+                n.edits[i] = Edit::Set(k, 0);
+                out.push(n);
+            }
+        }
+    }
+
+    // 7. Loop bounds to 1.
+    for li in 0..lists {
+        let len = with_stmt_list(c, li, |_| {}).map_or(0, |(_, l)| l);
+        for si in 0..len {
+            if let Some((n, _)) = with_stmt_list(c, li, |stmts| {
+                if let Stmt::Loop(_, bound, _) = &mut stmts[si] {
+                    if *bound > 1 {
+                        *bound = 1;
+                    }
+                }
+            }) {
+                out.push(n);
+            }
+        }
+    }
+
+    // 8. Expression simplification: replace by a constant or a child.
+    let exprs = count_exprs(c);
+    for ei in 0..exprs {
+        let shape = with_expr(c, ei, |_| {}).map(|(_, sh)| sh);
+        let Some(shape) = shape else { continue };
+        let mut repls: Vec<Box<dyn Fn(&mut Expr)>> = Vec::new();
+        match shape {
+            ExprShape::Bin => {
+                repls.push(Box::new(|e| {
+                    if let Expr::Bin(_, a, _) = e {
+                        *e = (**a).clone();
+                    }
+                }));
+                repls.push(Box::new(|e| {
+                    if let Expr::Bin(_, _, b) = e {
+                        *e = (**b).clone();
+                    }
+                }));
+                repls.push(Box::new(|e| *e = Expr::Const(0)));
+                repls.push(Box::new(|e| *e = Expr::Const(1)));
+            }
+            ExprShape::Var => repls.push(Box::new(|e| *e = Expr::Const(0))),
+            ExprShape::Const => {}
+        }
+        for r in repls {
+            if let Some((n, _)) = with_expr(c, ei, |e| r(e)) {
+                out.push(n);
+            }
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------
+// Indexed traversal helpers
+// ---------------------------------------------------------------------
+
+/// Visits statement list number `target` (helpers' bodies first, then
+/// the entry body; nested lists in pre-order). Returns the mutated
+/// clone and the visited list's length.
+fn with_stmt_list(
+    c: &SpecCase,
+    target: usize,
+    f: impl FnOnce(&mut Vec<Stmt>),
+) -> Option<(SpecCase, usize)> {
+    let mut n = c.clone();
+    let mut idx = 0usize;
+    let mut f = Some(f);
+    let mut len = 0usize;
+    let mut apply = |stmts: &mut Vec<Stmt>| {
+        len = stmts.len();
+        if let Some(f) = f.take() {
+            f(stmts);
+        }
+    };
+    let mut found = false;
+    for h in n.spec.helpers.iter_mut() {
+        if rec_lists(&mut h.body, &mut idx, target, &mut apply) {
+            found = true;
+            break;
+        }
+    }
+    if !found && !rec_lists(&mut n.spec.body, &mut idx, target, &mut apply) {
+        return None;
+    }
+    Some((n, len))
+}
+
+fn rec_lists(
+    stmts: &mut Vec<Stmt>,
+    idx: &mut usize,
+    target: usize,
+    f: &mut impl FnMut(&mut Vec<Stmt>),
+) -> bool {
+    if *idx == target {
+        f(stmts);
+        return true;
+    }
+    *idx += 1;
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::If(_, t, e) => {
+                if rec_lists(t, idx, target, f) || rec_lists(e, idx, target, f) {
+                    return true;
+                }
+            }
+            Stmt::Loop(_, _, b) => {
+                if rec_lists(b, idx, target, f) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn count_stmt_lists(c: &SpecCase) -> usize {
+    fn count(stmts: &[Stmt]) -> usize {
+        1 + stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::If(_, t, e) => count(t) + count(e),
+                Stmt::Loop(_, _, b) => count(b),
+                _ => 0,
+            })
+            .sum::<usize>()
+    }
+    c.spec.helpers.iter().map(|h| count(&h.body)).sum::<usize>() + count(&c.spec.body)
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ExprShape {
+    Const,
+    Var,
+    Bin,
+}
+
+fn shape(e: &Expr) -> ExprShape {
+    match e {
+        Expr::Const(_) => ExprShape::Const,
+        Expr::Var(_) => ExprShape::Var,
+        Expr::Bin(..) => ExprShape::Bin,
+    }
+}
+
+/// Visits top-level expression slot number `target` (mappers, walkers,
+/// helper bodies and returns, entry body, entry return — in that
+/// order). Returns the mutated clone and the slot's shape.
+fn with_expr(
+    c: &SpecCase,
+    target: usize,
+    f: impl FnOnce(&mut Expr),
+) -> Option<(SpecCase, ExprShape)> {
+    let mut n = c.clone();
+    let mut idx = 0usize;
+    let mut f = Some(f);
+    let mut sh = ExprShape::Const;
+    let mut apply = |e: &mut Expr| {
+        sh = shape(e);
+        if let Some(f) = f.take() {
+            f(e);
+        }
+    };
+
+    {
+        let mut hit = |e: &mut Expr, idx: &mut usize| -> bool {
+            if *idx == target {
+                apply(e);
+                return true;
+            }
+            *idx += 1;
+            false
+        };
+        let mut found = false;
+        'outer: {
+            for e in n.spec.mappers.iter_mut().chain(n.spec.walkers.iter_mut()) {
+                if hit(e, &mut idx) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+            for h in n.spec.helpers.iter_mut() {
+                if rec_exprs(&mut h.body, &mut idx, &mut hit) || hit(&mut h.ret, &mut idx) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+            if rec_exprs(&mut n.spec.body, &mut idx, &mut hit)
+                || hit(&mut n.spec.ret, &mut idx)
+            {
+                found = true;
+            }
+        }
+        if !found {
+            return None;
+        }
+    }
+    Some((n, sh))
+}
+
+fn rec_exprs(
+    stmts: &mut Vec<Stmt>,
+    idx: &mut usize,
+    hit: &mut impl FnMut(&mut Expr, &mut usize) -> bool,
+) -> bool {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::ModWrite(_, e) => {
+                if hit(e, idx) {
+                    return true;
+                }
+            }
+            Stmt::ReadMod(..) | Stmt::MapList { .. } => {}
+            Stmt::If(cond, t, f) => {
+                if hit(cond, idx) || rec_exprs(t, idx, hit) || rec_exprs(f, idx, hit) {
+                    return true;
+                }
+            }
+            Stmt::Loop(_, _, b) => {
+                if rec_exprs(b, idx, hit) {
+                    return true;
+                }
+            }
+            Stmt::CallHelper { ints, .. } => {
+                for e in ints.iter_mut() {
+                    if hit(e, idx) {
+                        return true;
+                    }
+                }
+            }
+            Stmt::WalkList { init, .. } => {
+                if hit(init, idx) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn count_exprs(c: &SpecCase) -> usize {
+    fn count(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Let(..) | Stmt::Assign(..) | Stmt::ModWrite(..) => 1,
+                Stmt::ReadMod(..) | Stmt::MapList { .. } => 0,
+                Stmt::If(_, t, f) => 1 + count(t) + count(f),
+                Stmt::Loop(_, _, b) => count(b),
+                Stmt::CallHelper { ints, .. } => ints.len(),
+                Stmt::WalkList { .. } => 1,
+            })
+            .sum()
+    }
+    c.spec.mappers.len()
+        + c.spec.walkers.len()
+        + c.spec.helpers.iter().map(|h| count(&h.body) + 1).sum::<usize>()
+        + count(&c.spec.body)
+        + 1
+}

@@ -1,0 +1,850 @@
+//! Structured program specifications.
+//!
+//! The generator produces a [`Spec`] — a small, well-formedness-checked
+//! AST of the surface language — rather than raw text, so the shrinker
+//! can delete and simplify nodes structurally. [`Spec::render`] turns a
+//! spec into surface CEAL source, and [`SpecCase::repair`] restores the
+//! generator's invariants after arbitrary shrinking edits (undefined
+//! variables become constants, invalid reads become `0`, division
+//! stays division by a non-zero constant, keyed sites stay out of
+//! loops), so every shrink candidate is a valid program by
+//! construction.
+//!
+//! ## Generator grammar invariants
+//!
+//! * All arithmetic is `int` (wrapping semantics agree across the CL
+//!   interpreter, the VM, and the runtime); `/` and `%` only ever have
+//!   a non-zero constant right-hand side.
+//! * Loops are bounded countdowns; recursion exists only in the fixed
+//!   list walkers/mappers, over finite harness-built lists.
+//! * Every keyed allocation site (`modref_keyed`, the mapper's `alloc`)
+//!   receives a key that is unique per dynamic execution: a per-site
+//!   constant, combined with a per-call-chain "site token" threaded
+//!   through helper calls (entry call sites pass distinct constants
+//!   `>= SITE_BASE`; nested calls pass `s * 31 + k`, `k < 31`, which is
+//!   injective).
+
+/// Integer binary operators of the generated fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (wrapping).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `/` (right-hand side restricted to non-zero constants).
+    Div,
+    /// `%` (right-hand side restricted to non-zero constants).
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinOp {
+    fn sym(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        }
+    }
+}
+
+/// Integer expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Reference to int variable `x{id}` (or a special variable in
+    /// walker/mapper bodies).
+    Var(u32),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// In walker fold expressions, the accumulator variable.
+pub const WALK_ACC: u32 = 0;
+/// In walker fold expressions, the list head value.
+pub const WALK_HEAD: u32 = 1;
+/// In mapper expressions, the list head value.
+pub const MAP_HEAD: u32 = 0;
+
+/// Where a modifiable read from / passed to a helper comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModSrc {
+    /// Scalar input modref `in{k}` (entry only).
+    Input(u32),
+    /// Modref parameter `p{j}` (helpers only).
+    Param(u32),
+    /// Locally created int-carrying modref `m{id}`.
+    Local(u32),
+}
+
+/// Which list a map/walk stage consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ListSrc {
+    /// The harness-built input list parameter `lst`.
+    Input,
+    /// The output of an earlier `MapList` stage, `m{id}`.
+    Mapped(u32),
+}
+
+/// Statements of the generated fragment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `int x{id} = e;`
+    Let(u32, Expr),
+    /// `x{id} = e;` (variable must already be in scope).
+    Assign(u32, Expr),
+    /// `modref_t* m{id} = modref_keyed(site[, s]); write(m{id}, e);`
+    ModWrite(u32, Expr),
+    /// `int x{var} = (int) read(<src>);`
+    ReadMod(u32, ModSrc),
+    /// `if (c) { then } else { else }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Bounded countdown: `int x{ctr} = n; while (x{ctr} > 0) { body;
+    /// x{ctr} = x{ctr} - 1; }`
+    Loop(u32, i64, Vec<Stmt>),
+    /// `modref_t* m{dst} = modref_keyed(site[, s]);
+    /// h{helper}(<site token>, ints..., mods..., m{dst});`
+    CallHelper {
+        /// Destination modref local receiving the helper's result.
+        dst: u32,
+        /// Helper index (must be lower than the caller's own index).
+        helper: u32,
+        /// Integer arguments.
+        ints: Vec<Expr>,
+        /// Modref arguments.
+        mods: Vec<ModSrc>,
+    },
+    /// `modref_t* m{dst} = modref_keyed(site); mapN(src, m{dst});`
+    /// — `m{dst}` then holds a list head (a `ListMod`).
+    MapList {
+        /// Destination list-head modref.
+        dst: u32,
+        /// Mapper index.
+        mapper: u32,
+        /// Source list.
+        src: ListSrc,
+    },
+    /// `modref_t* m{dst} = modref_keyed(site);
+    /// walkN(src, init, m{dst}); ` — `m{dst}` then holds an int.
+    WalkList {
+        /// Destination modref receiving the fold result.
+        dst: u32,
+        /// Walker index.
+        walker: u32,
+        /// Source list.
+        src: ListSrc,
+        /// Initial accumulator.
+        init: Expr,
+    },
+}
+
+/// A non-recursive helper function `h{k}`.
+///
+/// Rendered as `ceal h{k}(int s, int x..., modref_t* p0...,
+/// modref_t* dst)`: the leading `s` is the site token (see module
+/// docs), and the trailing `dst` receives [`Helper::ret`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Helper {
+    /// Int parameter variable ids (globally unique, rendered `x{id}`).
+    pub int_params: Vec<u32>,
+    /// Number of modref parameters `p0..`.
+    pub n_mods: u32,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Result expression, written to `dst`.
+    pub ret: Expr,
+}
+
+/// A complete generated program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spec {
+    /// Number of scalar input modrefs `in0..`.
+    pub n_scalars: u32,
+    /// Whether the entry takes a list parameter `lst`.
+    pub has_list: bool,
+    /// Mapper bodies: int expressions over [`MAP_HEAD`].
+    pub mappers: Vec<Expr>,
+    /// Walker fold bodies: int expressions over [`WALK_ACC`] and
+    /// [`WALK_HEAD`].
+    pub walkers: Vec<Expr>,
+    /// Helper functions; `h{k}` may only call `h{j}` with `j < k`.
+    pub helpers: Vec<Helper>,
+    /// Entry (`main`) body.
+    pub body: Vec<Stmt>,
+    /// Final result expression, written to `out`.
+    pub ret: Expr,
+}
+
+/// One input edit applied between propagation rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// Change scalar input `k` to value `v`.
+    Set(u32, i64),
+    /// Unlink list element `i` (no-op if already deleted).
+    Delete(u32),
+    /// Relink list element `i` (no-op if live).
+    Restore(u32),
+}
+
+/// A spec together with concrete inputs and an edit sequence: the unit
+/// the generator produces and the shrinker minimizes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecCase {
+    /// The program.
+    pub spec: Spec,
+    /// Initial scalar input values (length tracks `spec.n_scalars`).
+    pub scalars: Vec<i64>,
+    /// Initial list data (present iff `spec.has_list`).
+    pub list: Vec<i64>,
+    /// Edits applied one at a time, with `propagate` after each.
+    pub edits: Vec<Edit>,
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+/// Base for entry-level site tokens, keeping them disjoint from the
+/// `s * 31 + k` tokens produced at nested call sites.
+const SITE_BASE: i64 = 100_000;
+
+struct Render {
+    out: String,
+    /// Running counter for per-site key constants.
+    site: i64,
+    /// Per-function helper-call-site counter (must stay `< 31` for the
+    /// nested site-token scheme to be injective).
+    call_k: i64,
+    /// `Some("s")` inside helpers: the extra key component.
+    token: Option<&'static str>,
+}
+
+impl Render {
+    fn line(&mut self, depth: usize, s: &str) {
+        for _ in 0..depth {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn fresh_site(&mut self) -> i64 {
+        self.site += 1;
+        self.site
+    }
+
+    /// `modref_keyed(<site>[, s])`
+    fn keyed(&mut self) -> String {
+        let site = self.fresh_site();
+        match self.token {
+            Some(t) => format!("modref_keyed({site}, {t})"),
+            None => format!("modref_keyed({site})"),
+        }
+    }
+}
+
+fn render_expr(e: &Expr, name: &dyn Fn(u32) -> String) -> String {
+    match e {
+        Expr::Const(n) => {
+            if *n < 0 {
+                format!("(0 - {})", n.unsigned_abs())
+            } else {
+                format!("{n}")
+            }
+        }
+        Expr::Var(v) => name(*v),
+        Expr::Bin(op, a, b) => {
+            format!("({} {} {})", render_expr(a, name), op.sym(), render_expr(b, name))
+        }
+    }
+}
+
+fn xname(v: u32) -> String {
+    format!("x{v}")
+}
+
+fn mod_src(s: ModSrc) -> String {
+    match s {
+        ModSrc::Input(k) => format!("in{k}"),
+        ModSrc::Param(j) => format!("p{j}"),
+        ModSrc::Local(id) => format!("m{id}"),
+    }
+}
+
+fn list_src(s: ListSrc) -> String {
+    match s {
+        ListSrc::Input => "lst".to_string(),
+        ListSrc::Mapped(id) => format!("m{id}"),
+    }
+}
+
+fn render_stmts(r: &mut Render, depth: usize, stmts: &[Stmt], helpers: &[Helper]) {
+    for s in stmts {
+        render_stmt(r, depth, s, helpers);
+    }
+}
+
+fn render_stmt(r: &mut Render, depth: usize, s: &Stmt, helpers: &[Helper]) {
+    let ex = |e: &Expr| render_expr(e, &xname);
+    match s {
+        Stmt::Let(v, e) => r.line(depth, &format!("int x{v} = {};", ex(e))),
+        Stmt::Assign(v, e) => r.line(depth, &format!("x{v} = {};", ex(e))),
+        Stmt::ModWrite(id, e) => {
+            let k = r.keyed();
+            r.line(depth, &format!("modref_t* m{id} = {k};"));
+            r.line(depth, &format!("write(m{id}, {});", ex(e)));
+        }
+        Stmt::ReadMod(v, src) => {
+            r.line(depth, &format!("int x{v} = (int) read({});", mod_src(*src)));
+        }
+        Stmt::If(c, t, f) => {
+            r.line(depth, &format!("if ({}) {{", ex(c)));
+            render_stmts(r, depth + 1, t, helpers);
+            if f.is_empty() {
+                r.line(depth, "}");
+            } else {
+                r.line(depth, "} else {");
+                render_stmts(r, depth + 1, f, helpers);
+                r.line(depth, "}");
+            }
+        }
+        Stmt::Loop(ctr, n, body) => {
+            r.line(depth, &format!("int x{ctr} = {n};"));
+            r.line(depth, &format!("while (x{ctr} > 0) {{"));
+            render_stmts(r, depth + 1, body, helpers);
+            r.line(depth + 1, &format!("x{ctr} = x{ctr} - 1;"));
+            r.line(depth, "}");
+        }
+        Stmt::CallHelper { dst, helper, ints, mods } => {
+            let k = r.keyed();
+            r.line(depth, &format!("modref_t* m{dst} = {k};"));
+            // The callee's site token: a globally unique constant from
+            // entry code, `s * 31 + k` (`k < 31`, distinct per call
+            // site within one function) from helper code.
+            let tok = match r.token {
+                Some(t) => {
+                    r.call_k += 1;
+                    format!("({t} * 31 + {})", r.call_k % 31)
+                }
+                None => format!("{}", SITE_BASE + r.fresh_site()),
+            };
+            let mut args = vec![tok];
+            args.extend(ints.iter().map(ex));
+            args.extend(mods.iter().map(|m| mod_src(*m)));
+            args.push(format!("m{dst}"));
+            r.line(depth, &format!("h{helper}({});", args.join(", ")));
+        }
+        Stmt::MapList { dst, mapper, src } => {
+            let k = r.keyed();
+            r.line(depth, &format!("modref_t* m{dst} = {k};"));
+            r.line(depth, &format!("map{mapper}({}, m{dst});", list_src(*src)));
+        }
+        Stmt::WalkList { dst, walker, src, init } => {
+            let k = r.keyed();
+            r.line(depth, &format!("modref_t* m{dst} = {k};"));
+            r.line(depth, &format!("walk{walker}({}, {}, m{dst});", list_src(*src), ex(init)));
+        }
+    }
+}
+
+impl Spec {
+    /// Renders the spec as surface CEAL source.
+    pub fn render(&self) -> String {
+        let mut r = Render { out: String::new(), site: 0, call_k: 0, token: None };
+        let uses_list = self.has_list;
+
+        if uses_list {
+            r.line(0, "struct cell { int data; modref_t* next; };");
+            r.out.push('\n');
+            // The trailing `tag` distinguishes allocation keys of
+            // different mapper stages mapping the same source cell to
+            // equal values.
+            r.line(0, "void init_cell(cell* c, int d, void* src, int tag) {");
+            r.line(1, "c->data = d;");
+            r.line(1, "c->next = modref_init();");
+            r.line(0, "}");
+            r.out.push('\n');
+        }
+
+        for (i, body) in self.mappers.iter().enumerate() {
+            let name = |v: u32| if v == MAP_HEAD { "h".to_string() } else { xname(v) };
+            r.line(0, &format!("ceal map{i}(modref_t* l, modref_t* d) {{"));
+            r.line(1, "cell* c = (cell*) read(l);");
+            r.line(1, "if (c == NULL) {");
+            r.line(2, "write(d, NULL);");
+            r.line(1, "} else {");
+            r.line(2, "int h = c->data;");
+            r.line(2, &format!("int v = {};", render_expr(body, &name)));
+            r.line(2, &format!("cell* o = (cell*) alloc(sizeof(cell), init_cell, v, c, {i});"));
+            r.line(2, "write(d, o);");
+            r.line(2, &format!("map{i}(c->next, o->next);"));
+            r.line(2, "return;");
+            r.line(1, "}");
+            r.line(1, "return;");
+            r.line(0, "}");
+            r.out.push('\n');
+        }
+
+        for (i, body) in self.walkers.iter().enumerate() {
+            let name = |v: u32| match v {
+                WALK_ACC => "acc".to_string(),
+                WALK_HEAD => "h".to_string(),
+                other => xname(other),
+            };
+            r.line(0, &format!("ceal walk{i}(modref_t* l, int acc, modref_t* d) {{"));
+            r.line(1, "cell* c = (cell*) read(l);");
+            r.line(1, "if (c == NULL) {");
+            r.line(2, "write(d, acc);");
+            r.line(1, "} else {");
+            r.line(2, "int h = c->data;");
+            r.line(2, &format!("int a2 = {};", render_expr(body, &name)));
+            r.line(2, &format!("walk{i}(c->next, a2, d);"));
+            r.line(2, "return;");
+            r.line(1, "}");
+            r.line(1, "return;");
+            r.line(0, "}");
+            r.out.push('\n');
+        }
+
+        for (i, h) in self.helpers.iter().enumerate() {
+            let mut params = vec!["int s".to_string()];
+            params.extend(h.int_params.iter().map(|v| format!("int x{v}")));
+            params.extend((0..h.n_mods).map(|j| format!("modref_t* p{j}")));
+            params.push("modref_t* dst".to_string());
+            r.line(0, &format!("ceal h{i}({}) {{", params.join(", ")));
+            r.token = Some("s");
+            r.call_k = 0;
+            render_stmts(&mut r, 1, &h.body, &self.helpers);
+            r.line(1, &format!("write(dst, {});", render_expr(&h.ret, &xname)));
+            r.token = None;
+            r.line(0, "}");
+            r.out.push('\n');
+        }
+
+        let mut params: Vec<String> =
+            (0..self.n_scalars).map(|k| format!("modref_t* in{k}")).collect();
+        if uses_list {
+            params.push("modref_t* lst".to_string());
+        }
+        params.push("modref_t* out".to_string());
+        r.line(0, &format!("ceal main({}) {{", params.join(", ")));
+        render_stmts(&mut r, 1, &self.body, &self.helpers);
+        r.line(1, &format!("write(out, {});", render_expr(&self.ret, &xname)));
+        r.line(0, "}");
+        r.out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Repair
+// ---------------------------------------------------------------------
+
+/// What a modref local holds, for repair-time kind checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ModKind {
+    /// Holds an int (readable, passable to helpers).
+    Int,
+    /// Holds a list head (consumable by map/walk stages).
+    List,
+}
+
+#[derive(Clone)]
+struct Scope {
+    ints: Vec<u32>,
+    mods: Vec<(u32, ModKind)>,
+}
+
+struct Repairer {
+    scopes: Vec<Scope>,
+    /// `None` in entry code; `Some(helper_index)` inside `h{index}`.
+    helper: Option<usize>,
+    n_scalars: u32,
+    has_list: bool,
+    n_mappers: usize,
+    n_walkers: usize,
+    n_helpers: usize,
+    helper_sigs: Vec<(usize, u32)>, // (int arity, mod arity) per helper
+    in_loop: bool,
+    /// Counters of the loops enclosing the current statement. Assigning
+    /// to one would break the bounded-countdown termination guarantee,
+    /// so such assignments are dropped.
+    loop_ctrs: Vec<u32>,
+}
+
+impl Repairer {
+    fn int_defined(&self, v: u32) -> bool {
+        self.scopes.iter().any(|s| s.ints.contains(&v))
+    }
+
+    fn mod_kind(&self, id: u32) -> Option<ModKind> {
+        self.scopes
+            .iter()
+            .rev()
+            .flat_map(|s| s.mods.iter())
+            .find(|(m, _)| *m == id)
+            .map(|(_, k)| *k)
+    }
+
+    fn declare_int(&mut self, v: u32) {
+        self.scopes.last_mut().unwrap().ints.push(v);
+    }
+
+    fn declare_mod(&mut self, id: u32, k: ModKind) {
+        self.scopes.last_mut().unwrap().mods.push((id, k));
+    }
+
+    /// Rewrites `e` so every variable is defined and every `/`/`%` has
+    /// a non-zero constant right-hand side.
+    fn fix_expr(&self, e: &mut Expr) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !self.int_defined(*v) {
+                    *e = Expr::Const(0);
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                self.fix_expr(a);
+                self.fix_expr(b);
+                if matches!(op, BinOp::Div | BinOp::Mod) {
+                    match **b {
+                        Expr::Const(c) if c != 0 => {}
+                        _ => **b = Expr::Const(1),
+                    }
+                }
+            }
+        }
+    }
+
+    fn valid_int_mod_src(&self, s: ModSrc) -> bool {
+        match s {
+            ModSrc::Input(k) => self.helper.is_none() && k < self.n_scalars,
+            ModSrc::Param(j) => match self.helper {
+                Some(h) => j < self.helper_sigs[h].1,
+                None => false,
+            },
+            ModSrc::Local(id) => self.mod_kind(id) == Some(ModKind::Int),
+        }
+    }
+
+    fn valid_list_src(&self, s: ListSrc) -> bool {
+        match s {
+            ListSrc::Input => self.has_list && self.helper.is_none(),
+            ListSrc::Mapped(id) => self.mod_kind(id) == Some(ModKind::List),
+        }
+    }
+
+    fn fix_stmts(&mut self, stmts: &mut Vec<Stmt>) {
+        let mut out = Vec::with_capacity(stmts.len());
+        for mut s in stmts.drain(..) {
+            if let Some(s2) = self.fix_stmt(&mut s) {
+                out.push(s2);
+            }
+        }
+        *stmts = out;
+    }
+
+    /// Repairs one statement; returns `None` to drop it.
+    fn fix_stmt(&mut self, s: &mut Stmt) -> Option<Stmt> {
+        match s {
+            Stmt::Let(v, e) => {
+                self.fix_expr(e);
+                self.declare_int(*v);
+            }
+            Stmt::Assign(v, e) => {
+                if self.loop_ctrs.contains(v) {
+                    return None; // would clobber a live loop counter
+                }
+                self.fix_expr(e);
+                if !self.int_defined(*v) {
+                    // An orphaned assignment (its `Let` was shrunk
+                    // away) becomes a declaration.
+                    let (v, e) = (*v, e.clone());
+                    self.declare_int(v);
+                    return Some(Stmt::Let(v, e));
+                }
+            }
+            Stmt::ModWrite(id, e) => {
+                if self.in_loop {
+                    return None; // keyed site in a loop: key collision
+                }
+                self.fix_expr(e);
+                self.declare_mod(*id, ModKind::Int);
+            }
+            Stmt::ReadMod(v, src) => {
+                if !self.valid_int_mod_src(*src) {
+                    let v = *v;
+                    self.declare_int(v);
+                    return Some(Stmt::Let(v, Expr::Const(0)));
+                }
+                self.declare_int(*v);
+            }
+            Stmt::If(c, t, f) => {
+                self.fix_expr(c);
+                self.scopes.push(Scope { ints: vec![], mods: vec![] });
+                self.fix_stmts(t);
+                self.scopes.pop();
+                self.scopes.push(Scope { ints: vec![], mods: vec![] });
+                self.fix_stmts(f);
+                self.scopes.pop();
+            }
+            Stmt::Loop(ctr, n, body) => {
+                *n = (*n).clamp(0, 8);
+                self.declare_int(*ctr);
+                self.scopes.push(Scope { ints: vec![], mods: vec![] });
+                self.loop_ctrs.push(*ctr);
+                let was = std::mem::replace(&mut self.in_loop, true);
+                self.fix_stmts(body);
+                self.in_loop = was;
+                self.loop_ctrs.pop();
+                self.scopes.pop();
+            }
+            Stmt::CallHelper { dst, helper, ints, mods } => {
+                if self.in_loop {
+                    return None;
+                }
+                let callable = (*helper as usize) < self.n_helpers
+                    && match self.helper {
+                        Some(me) => (*helper as usize) < me,
+                        None => true,
+                    };
+                if !callable {
+                    let dst = *dst;
+                    self.declare_mod(dst, ModKind::Int);
+                    return Some(Stmt::ModWrite(dst, Expr::Const(0)));
+                }
+                let (want_ints, want_mods) = self.helper_sigs[*helper as usize];
+                ints.truncate(want_ints);
+                while ints.len() < want_ints {
+                    ints.push(Expr::Const(0));
+                }
+                for e in ints.iter_mut() {
+                    self.fix_expr(e);
+                }
+                mods.truncate(want_mods as usize);
+                let fallback = if self.helper.is_none() && self.n_scalars > 0 {
+                    Some(ModSrc::Input(0))
+                } else if self.helper.is_some() && self.helper_sigs[self.helper.unwrap()].1 > 0 {
+                    Some(ModSrc::Param(0))
+                } else {
+                    None
+                };
+                let mut ok = true;
+                for m in mods.iter_mut() {
+                    if !self.valid_int_mod_src(*m) {
+                        match fallback {
+                            Some(fb) => *m = fb,
+                            None => ok = false,
+                        }
+                    }
+                }
+                while (mods.len() as u32) < want_mods {
+                    match fallback {
+                        Some(fb) => mods.push(fb),
+                        None => ok = false,
+                    }
+                }
+                if !ok {
+                    let dst = *dst;
+                    self.declare_mod(dst, ModKind::Int);
+                    return Some(Stmt::ModWrite(dst, Expr::Const(0)));
+                }
+                self.declare_mod(*dst, ModKind::Int);
+            }
+            Stmt::MapList { dst, mapper, src } => {
+                let ok = !self.in_loop
+                    && self.helper.is_none()
+                    && (*mapper as usize) < self.n_mappers
+                    && self.valid_list_src(*src);
+                if !ok {
+                    return None;
+                }
+                self.declare_mod(*dst, ModKind::List);
+            }
+            Stmt::WalkList { dst, walker, src, init } => {
+                self.fix_expr(init);
+                let ok = !self.in_loop
+                    && self.helper.is_none()
+                    && (*walker as usize) < self.n_walkers
+                    && self.valid_list_src(*src);
+                if !ok {
+                    let (dst, init) = (*dst, init.clone());
+                    if self.in_loop {
+                        return None;
+                    }
+                    self.declare_mod(dst, ModKind::Int);
+                    return Some(Stmt::ModWrite(dst, init));
+                }
+                self.declare_mod(*dst, ModKind::Int);
+            }
+        }
+        Some(s.clone())
+    }
+}
+
+impl SpecCase {
+    /// Restores all generator invariants after shrinking edits, making
+    /// the case renderable and well-defined. Idempotent, and the
+    /// identity on freshly generated cases.
+    pub fn repair(&mut self) {
+        let spec = &mut self.spec;
+
+        // Walker/mapper fold expressions see only their own variables.
+        for m in spec.mappers.iter_mut() {
+            let r = expr_only_repairer(&[MAP_HEAD]);
+            r.fix_expr(m);
+        }
+        for w in spec.walkers.iter_mut() {
+            let r = expr_only_repairer(&[WALK_ACC, WALK_HEAD]);
+            r.fix_expr(w);
+        }
+
+        let helper_sigs: Vec<(usize, u32)> =
+            spec.helpers.iter().map(|h| (h.int_params.len(), h.n_mods)).collect();
+        let n_helpers = spec.helpers.len();
+
+        for (i, h) in spec.helpers.iter_mut().enumerate() {
+            let mut r = Repairer {
+                scopes: vec![Scope { ints: h.int_params.clone(), mods: vec![] }],
+                helper: Some(i),
+                n_scalars: spec.n_scalars,
+                has_list: spec.has_list,
+                n_mappers: spec.mappers.len(),
+                n_walkers: spec.walkers.len(),
+                n_helpers,
+                helper_sigs: helper_sigs.clone(),
+                in_loop: false,
+                loop_ctrs: vec![],
+            };
+            r.fix_stmts(&mut h.body);
+            r.fix_expr(&mut h.ret);
+        }
+
+        let mut r = Repairer {
+            scopes: vec![Scope { ints: vec![], mods: vec![] }],
+            helper: None,
+            n_scalars: spec.n_scalars,
+            has_list: spec.has_list,
+            n_mappers: spec.mappers.len(),
+            n_walkers: spec.walkers.len(),
+            n_helpers: spec.helpers.len(),
+            helper_sigs,
+            in_loop: false,
+            loop_ctrs: vec![],
+        };
+        r.fix_stmts(&mut spec.body);
+        r.fix_expr(&mut spec.ret);
+
+        // Inputs and edits.
+        self.scalars.resize(spec.n_scalars as usize, 0);
+        if !spec.has_list {
+            self.list.clear();
+        }
+        let n_scalars = spec.n_scalars;
+        let list_len = self.list.len() as u32;
+        self.edits.retain(|e| match e {
+            Edit::Set(k, _) => *k < n_scalars,
+            Edit::Delete(i) | Edit::Restore(i) => *i < list_len,
+        });
+    }
+
+    /// Renders the program source.
+    pub fn render(&self) -> String {
+        self.spec.render()
+    }
+}
+
+/// A repairer with no statement context, for standalone expressions
+/// over a fixed variable set.
+fn expr_only_repairer(vars: &[u32]) -> Repairer {
+    Repairer {
+        scopes: vec![Scope { ints: vars.to_vec(), mods: vec![] }],
+        helper: None,
+        n_scalars: 0,
+        has_list: false,
+        n_mappers: 0,
+        n_walkers: 0,
+        n_helpers: 0,
+        helper_sigs: vec![],
+        in_loop: false,
+        loop_ctrs: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_minimal_spec() {
+        let spec = Spec {
+            n_scalars: 1,
+            has_list: false,
+            mappers: vec![],
+            walkers: vec![],
+            helpers: vec![],
+            body: vec![Stmt::ReadMod(0, ModSrc::Input(0))],
+            ret: Expr::Bin(BinOp::Add, Box::new(Expr::Var(0)), Box::new(Expr::Const(1))),
+        };
+        let src = spec.render();
+        assert!(src.contains("ceal main(modref_t* in0, modref_t* out)"));
+        assert!(src.contains("int x0 = (int) read(in0);"));
+        assert!(src.contains("write(out, (x0 + 1));"));
+    }
+
+    #[test]
+    fn repair_fixes_undefined_vars_and_div_by_zero() {
+        let mut case = SpecCase {
+            spec: Spec {
+                n_scalars: 0,
+                has_list: false,
+                mappers: vec![],
+                walkers: vec![],
+                helpers: vec![],
+                body: vec![Stmt::Let(
+                    5,
+                    Expr::Bin(BinOp::Div, Box::new(Expr::Var(99)), Box::new(Expr::Const(0))),
+                )],
+                ret: Expr::Var(5),
+            },
+            scalars: vec![1, 2, 3],
+            list: vec![7],
+            edits: vec![Edit::Set(0, 1), Edit::Delete(0)],
+        };
+        case.repair();
+        assert_eq!(
+            case.spec.body[0],
+            Stmt::Let(5, Expr::Bin(BinOp::Div, Box::new(Expr::Const(0)), Box::new(Expr::Const(1))))
+        );
+        assert_eq!(case.spec.ret, Expr::Var(5));
+        assert!(case.scalars.is_empty());
+        assert!(case.list.is_empty(), "no list param means no list data");
+        assert!(case.edits.is_empty());
+        // Idempotent.
+        let snap = case.clone();
+        case.repair();
+        assert_eq!(case, snap);
+    }
+}

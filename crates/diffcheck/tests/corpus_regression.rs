@@ -1,0 +1,35 @@
+//! Every minimized repro in `corpus/` must pass the full differential
+//! oracle on each `cargo test`, making captured compiler/runtime bugs
+//! permanent regression tests.
+
+use diffcheck::corpus::{corpus_dir, parse_corpus_file};
+use diffcheck::run_test_case;
+
+#[test]
+fn corpus_files_pass_oracle() {
+    // Oracle failures surface as caught panics; keep the output clean.
+    let dir = corpus_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ceal"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus directory {} is empty", dir.display());
+
+    let mut failures = Vec::new();
+    for path in &entries {
+        let text = std::fs::read_to_string(path).expect("read corpus file");
+        let tc = match parse_corpus_file(&text) {
+            Ok(tc) => tc,
+            Err(e) => {
+                failures.push(format!("{}: parse error: {e}", path.display()));
+                continue;
+            }
+        };
+        if let Err(f) = run_test_case(&tc) {
+            failures.push(format!("{}: [{}] {}", path.display(), f.kind, f.detail));
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}

@@ -1,0 +1,35 @@
+ceal eval(ModRef v0, ModRef v1) { Ptr v2, Ptr v3, Int v4, Int v5, Ptr v6, Float v7, ModRef v8, ModRef v9, ModRef v10, ModRef v11, ModRef v12, ModRef v13, Ptr v14, Float v15, Ptr v16, Float v17, Int v18, Int v19, Float v20, Float v21;
+  L0: v2 := read v0 ; goto L1 // entry
+  L1: v3 := v2 ; goto L2
+  L2: v4 := v3[0] ; goto L3
+  L3: v5 := v4 == 0 ; goto L4
+  L4: cond v5 [goto L5] [goto L6]
+  L5: v6 := v3 ; goto L8
+  L6: v8 := modref_keyed(v3, 0) ; goto L11
+  L7: done
+  L8: v7 := v6[1] ; goto L9
+  L9: write v1 v7 ; goto L10
+  L10: nop ; goto L7
+  L11: v9 := v8 ; goto L12
+  L12: v10 := modref_keyed(v3, 1) ; goto L13
+  L13: v11 := v10 ; goto L14
+  L14: v12 := v3[2] ; goto L15
+  L15: call eval(v12, v9) ; goto L16
+  L16: v13 := v3[3] ; goto L17
+  L17: call eval(v13, v11) ; goto L18
+  L18: v14 := read v9 ; goto L19
+  L19: v15 := v14 ; goto L20
+  L20: v16 := read v11 ; goto L21
+  L21: v17 := v16 ; goto L22
+  L22: v18 := v3[1] ; goto L23
+  L23: v19 := v18 == 0 ; goto L24
+  L24: cond v19 [goto L25] [goto L26]
+  L25: v20 := v15 + v17 ; goto L28
+  L26: v21 := v15 - v17 ; goto L30
+  L27: nop ; goto L7
+  L28: write v1 v20 ; goto L29
+  L29: nop ; goto L27
+  L30: write v1 v21 ; goto L31
+  L31: nop ; goto L27
+  L32: done
+}

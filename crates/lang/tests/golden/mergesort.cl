@@ -1,0 +1,143 @@
+ceal init_cell(Ptr v0, Int v1, Ptr v2) { ;
+  L0: v0[0] := v1 ; goto L1 // entry
+  L1: modref_init(&v0[1]) ; goto L2
+  L2: done
+}
+
+ceal coin_of(Int v0, Int v1, ModRef v2) { Int v3, Int v4, Int v5, Int v6, Int v7, Int v8, Int v9;
+  L0: v3 := v0 * 2654435761 ; goto L1 // entry
+  L1: v4 := v1 * 40503 ; goto L2
+  L2: v5 := v3 + v4 ; goto L3
+  L3: v6 := v5 ; goto L4
+  L4: v7 := v6 / 65536 ; goto L5
+  L5: v8 := v7 ; goto L6
+  L6: v9 := v8 % 2 ; goto L7
+  L7: write v2 v9 ; goto L8
+  L8: done
+  L9: done
+}
+
+ceal split(ModRef v0, Int v1, ModRef v2, ModRef v3) { Ptr v4, Ptr v5, Int v6, Int v7, Ptr v8, Ptr v9, Int v10, Int v11, Int v12, Int v13, Int v14, Int v15, Int v16, Int v17, Int v18, ModRef v19, ModRef v20, ModRef v21, ModRef v22;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: write v2 NULL ; goto L7
+  L5: v7 := v5[0] ; goto L9
+  L6: done
+  L7: write v3 NULL ; goto L8
+  L8: nop ; goto L6
+  L9: v8 := alloc 2 init_cell (v7, v5) ; goto L10
+  L10: v9 := v8 ; goto L11
+  L11: v10 := v5[0] ; goto L12
+  L12: v11 := v10 * 2654435761 ; goto L13
+  L13: v12 := v1 * 40503 ; goto L14
+  L14: v13 := v11 + v12 ; goto L15
+  L15: v14 := v13 ; goto L16
+  L16: v15 := v14 / 65536 ; goto L17
+  L17: v16 := v15 ; goto L18
+  L18: v17 := v16 % 2 ; goto L19
+  L19: v18 := v17 == 0 ; goto L20
+  L20: cond v18 [goto L21] [goto L22]
+  L21: write v2 v9 ; goto L24
+  L22: write v3 v9 ; goto L29
+  L23: nop ; goto L6
+  L24: v19 := v5[1] ; goto L25
+  L25: v20 := v9[1] ; goto L26
+  L26: nop ; tail split(v19, v1, v20, v3)
+  L27: done
+  L28: nop ; goto L23
+  L29: v21 := v5[1] ; goto L30
+  L30: v22 := v9[1] ; goto L31
+  L31: nop ; tail split(v21, v1, v2, v22)
+  L32: done
+  L33: nop ; goto L23
+  L34: done
+}
+
+ceal merge(ModRef v0, ModRef v1, ModRef v2, Int v3) { Ptr v4, Ptr v5, Ptr v6, Ptr v7, Int v8, Int v9, Int v10, Int v11, Int v12, Int v13, Ptr v14, Ptr v15, ModRef v16, ModRef v17, Int v18, Ptr v19, Ptr v20, ModRef v21, ModRef v22;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := read v1 ; goto L3
+  L3: v7 := v6 ; goto L4
+  L4: v8 := v5 == NULL ; goto L5
+  L5: cond v8 [goto L6] [goto L7]
+  L6: write v2 v7 ; goto L9
+  L7: v9 := v7 == NULL ; goto L10
+  L8: done
+  L9: nop ; goto L8
+  L10: cond v9 [goto L11] [goto L12]
+  L11: write v2 v5 ; goto L14
+  L12: v10 := v5[0] ; goto L15
+  L13: nop ; goto L8
+  L14: nop ; goto L13
+  L15: v11 := v7[0] ; goto L16
+  L16: v12 := v10 <= v11 ; goto L17
+  L17: cond v12 [goto L18] [goto L19]
+  L18: v13 := v5[0] ; goto L21
+  L19: v18 := v7[0] ; goto L29
+  L20: nop ; goto L13
+  L21: v14 := alloc 2 init_cell (v13, v5) ; goto L22
+  L22: v15 := v14 ; goto L23
+  L23: write v2 v15 ; goto L24
+  L24: v16 := v5[1] ; goto L25
+  L25: v17 := v15[1] ; goto L26
+  L26: nop ; tail merge(v16, v1, v17, v3)
+  L27: done
+  L28: nop ; goto L20
+  L29: v19 := alloc 2 init_cell (v18, v7) ; goto L30
+  L30: v20 := v19 ; goto L31
+  L31: write v2 v20 ; goto L32
+  L32: v21 := v7[1] ; goto L33
+  L33: v22 := v20[1] ; goto L34
+  L34: nop ; tail merge(v0, v21, v22, v3)
+  L35: done
+  L36: nop ; goto L20
+  L37: done
+}
+
+ceal ms(ModRef v0, ModRef v1, Int v2) { Ptr v3, Ptr v4, Int v5, ModRef v6, Ptr v7, Ptr v8, Int v9, Int v10, Ptr v11, Ptr v12, ModRef v13, ModRef v14, ModRef v15, ModRef v16, ModRef v17, ModRef v18, ModRef v19, ModRef v20, ModRef v21, Int v22, Int v23;
+  L0: v3 := read v0 ; goto L1 // entry
+  L1: v4 := v3 ; goto L2
+  L2: v5 := v4 == NULL ; goto L3
+  L3: cond v5 [goto L4] [goto L5]
+  L4: write v1 NULL ; goto L7
+  L5: v6 := v4[1] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v7 := read v6 ; goto L9
+  L9: v8 := v7 ; goto L10
+  L10: v9 := v8 == NULL ; goto L11
+  L11: cond v9 [goto L12] [goto L13]
+  L12: v10 := v4[0] ; goto L15
+  L13: v14 := modref_keyed(v4, v2, 0) ; goto L21
+  L14: nop ; goto L6
+  L15: v11 := alloc 2 init_cell (v10, v4) ; goto L16
+  L16: v12 := v11 ; goto L17
+  L17: v13 := v12[1] ; goto L18
+  L18: write v13 NULL ; goto L19
+  L19: write v1 v12 ; goto L20
+  L20: nop ; goto L14
+  L21: v15 := v14 ; goto L22
+  L22: v16 := modref_keyed(v4, v2, 1) ; goto L23
+  L23: v17 := v16 ; goto L24
+  L24: call split(v0, v2, v15, v17) ; goto L25
+  L25: v18 := modref_keyed(v4, v2, 2) ; goto L26
+  L26: v19 := v18 ; goto L27
+  L27: v20 := modref_keyed(v4, v2, 3) ; goto L28
+  L28: v21 := v20 ; goto L29
+  L29: v22 := v2 + 1 ; goto L30
+  L30: call ms(v15, v19, v22) ; goto L31
+  L31: v23 := v2 + 1 ; goto L32
+  L32: call ms(v17, v21, v23) ; goto L33
+  L33: nop ; tail merge(v19, v21, v1, v2)
+  L34: done
+  L35: nop ; goto L14
+  L36: done
+}
+
+ceal mergesort(ModRef v0, ModRef v1) { ;
+  L0: nop ; tail ms(v0, v1, 0) // entry
+  L1: done
+  L2: done
+}

@@ -1,0 +1,281 @@
+ceal init_hcell(Ptr v0, Ptr v1, Ptr v2, Ptr v3) { ;
+  L0: v0[0] := v1 ; goto L1 // entry
+  L1: modref_init(&v0[1]) ; goto L2
+  L2: done
+}
+
+ceal emit_left(ModRef v0, Ptr v1, Ptr v2, ModRef v3) { Ptr v4, Ptr v5, Int v6, Float v7, Float v8, Float v9, Float v10, Float v11, Float v12, Float v13, Float v14, Float v15, Float v16, Float v17, Float v18, Float v19, Float v20, Float v21, Float v22, Int v23, Ptr v24, Ptr v25, ModRef v26, ModRef v27, ModRef v28;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: write v3 NULL ; goto L7
+  L5: v7 := v2[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v8 := v1[0] ; goto L9
+  L9: v9 := v7 - v8 ; goto L10
+  L10: v10 := v5[1] ; goto L11
+  L11: v11 := v1[1] ; goto L12
+  L12: v12 := v10 - v11 ; goto L13
+  L13: v13 := v9 * v12 ; goto L14
+  L14: v14 := v2[1] ; goto L15
+  L15: v15 := v1[1] ; goto L16
+  L16: v16 := v14 - v15 ; goto L17
+  L17: v17 := v5[0] ; goto L18
+  L18: v18 := v1[0] ; goto L19
+  L19: v19 := v17 - v18 ; goto L20
+  L20: v20 := v16 * v19 ; goto L21
+  L21: v21 := v13 - v20 ; goto L22
+  L22: v22 := v21 ; goto L23
+  L23: v23 := v22 > 0.0 ; goto L24
+  L24: cond v23 [goto L25] [goto L26]
+  L25: v24 := alloc 2 init_hcell (v5, v1, v2) ; goto L28
+  L26: v28 := v5[2] ; goto L35
+  L27: nop ; goto L6
+  L28: v25 := v24 ; goto L29
+  L29: write v3 v25 ; goto L30
+  L30: v26 := v5[2] ; goto L31
+  L31: v27 := v25[1] ; goto L32
+  L32: nop ; tail emit_left(v26, v1, v2, v27)
+  L33: done
+  L34: nop ; goto L27
+  L35: nop ; tail emit_left(v28, v1, v2, v3)
+  L36: done
+  L37: nop ; goto L27
+  L38: done
+}
+
+ceal far_fold(ModRef v0, Ptr v1, Ptr v2, Ptr v3, Float v4, ModRef v5) { Ptr v6, Ptr v7, Int v8, Ptr v9, Ptr v10, Float v11, Float v12, Float v13, Float v14, Float v15, Float v16, Float v17, Float v18, Float v19, Float v20, Float v21, Float v22, Float v23, Float v24, Float v25, Float v26, Int v27, ModRef v28, ModRef v29;
+  L0: v6 := read v0 ; goto L1 // entry
+  L1: v7 := v6 ; goto L2
+  L2: v8 := v7 == NULL ; goto L3
+  L3: cond v8 [goto L4] [goto L5]
+  L4: write v5 v3 ; goto L7
+  L5: v9 := v7[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v10 := v9 ; goto L9
+  L9: v11 := v2[0] ; goto L10
+  L10: v12 := v1[0] ; goto L11
+  L11: v13 := v11 - v12 ; goto L12
+  L12: v14 := v10[1] ; goto L13
+  L13: v15 := v1[1] ; goto L14
+  L14: v16 := v14 - v15 ; goto L15
+  L15: v17 := v13 * v16 ; goto L16
+  L16: v18 := v2[1] ; goto L17
+  L17: v19 := v1[1] ; goto L18
+  L18: v20 := v18 - v19 ; goto L19
+  L19: v21 := v10[0] ; goto L20
+  L20: v22 := v1[0] ; goto L21
+  L21: v23 := v21 - v22 ; goto L22
+  L22: v24 := v20 * v23 ; goto L23
+  L23: v25 := v17 - v24 ; goto L24
+  L24: v26 := v25 ; goto L25
+  L25: v27 := v26 > v4 ; goto L26
+  L26: cond v27 [goto L27] [goto L28]
+  L27: v28 := v7[1] ; goto L30
+  L28: v29 := v7[1] ; goto L33
+  L29: nop ; goto L6
+  L30: nop ; tail far_fold(v28, v1, v2, v10, v26, v5)
+  L31: done
+  L32: nop ; goto L29
+  L33: nop ; tail far_fold(v29, v1, v2, v3, v4, v5)
+  L34: done
+  L35: nop ; goto L29
+  L36: done
+}
+
+ceal filter_left(ModRef v0, Ptr v1, Ptr v2, ModRef v3) { Ptr v4, Ptr v5, Int v6, Ptr v7, Ptr v8, Float v9, Float v10, Float v11, Float v12, Float v13, Float v14, Float v15, Float v16, Float v17, Float v18, Float v19, Float v20, Float v21, Float v22, Float v23, Float v24, Int v25, Ptr v26, Ptr v27, ModRef v28, ModRef v29, ModRef v30;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: write v3 NULL ; goto L7
+  L5: v7 := v5[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v8 := v7 ; goto L9
+  L9: v9 := v2[0] ; goto L10
+  L10: v10 := v1[0] ; goto L11
+  L11: v11 := v9 - v10 ; goto L12
+  L12: v12 := v8[1] ; goto L13
+  L13: v13 := v1[1] ; goto L14
+  L14: v14 := v12 - v13 ; goto L15
+  L15: v15 := v11 * v14 ; goto L16
+  L16: v16 := v2[1] ; goto L17
+  L17: v17 := v1[1] ; goto L18
+  L18: v18 := v16 - v17 ; goto L19
+  L19: v19 := v8[0] ; goto L20
+  L20: v20 := v1[0] ; goto L21
+  L21: v21 := v19 - v20 ; goto L22
+  L22: v22 := v18 * v21 ; goto L23
+  L23: v23 := v15 - v22 ; goto L24
+  L24: v24 := v23 ; goto L25
+  L25: v25 := v24 > 0.0 ; goto L26
+  L26: cond v25 [goto L27] [goto L28]
+  L27: v26 := alloc 2 init_hcell (v8, v1, v2) ; goto L30
+  L28: v30 := v5[1] ; goto L37
+  L29: nop ; goto L6
+  L30: v27 := v26 ; goto L31
+  L31: write v3 v27 ; goto L32
+  L32: v28 := v5[1] ; goto L33
+  L33: v29 := v27[1] ; goto L34
+  L34: nop ; tail filter_left(v28, v1, v2, v29)
+  L35: done
+  L36: nop ; goto L29
+  L37: nop ; tail filter_left(v30, v1, v2, v3)
+  L38: done
+  L39: nop ; goto L29
+  L40: done
+}
+
+ceal qh_rec(ModRef v0, Ptr v1, Ptr v2, ModRef v3, Int v4, Ptr v5) { Ptr v6, Ptr v7, Int v8, Int v9, ModRef v10, ModRef v11, Ptr v12, Float v13, Ptr v14, Ptr v15, ModRef v16, ModRef v17, ModRef v18, ModRef v19, Ptr v20, Ptr v21, ModRef v22;
+  L0: v6 := read v0 ; goto L1 // entry
+  L1: v7 := v6 ; goto L2
+  L2: v8 := v7 == NULL ; goto L3
+  L3: cond v8 [goto L4] [goto L5]
+  L4: v9 := v4 == 1 ; goto L7
+  L5: v10 := modref_keyed(v0, v1, v2) ; goto L13
+  L6: done
+  L7: cond v9 [goto L8] [goto L9]
+  L8: write v3 NULL ; goto L11
+  L9: write v3 v5 ; goto L12
+  L10: nop ; goto L6
+  L11: nop ; goto L10
+  L12: nop ; goto L10
+  L13: v11 := v10 ; goto L14
+  L14: v12 := v7[0] ; goto L15
+  L15: v13 := 0.0 - 1.0 ; goto L16
+  L16: call far_fold(v0, v1, v2, v12, v13, v11) ; goto L17
+  L17: v14 := read v11 ; goto L18
+  L18: v15 := v14 ; goto L19
+  L19: v16 := modref_keyed(v0, v1, v15) ; goto L20
+  L20: v17 := v16 ; goto L21
+  L21: call filter_left(v0, v1, v15, v17) ; goto L22
+  L22: v18 := modref_keyed(v0, v15, v2) ; goto L23
+  L23: v19 := v18 ; goto L24
+  L24: call filter_left(v0, v15, v2, v19) ; goto L25
+  L25: v20 := alloc 2 init_hcell (v15, v1, v2) ; goto L26
+  L26: v21 := v20 ; goto L27
+  L27: v22 := v21[1] ; goto L28
+  L28: call qh_rec(v19, v15, v2, v22, v4, v5) ; goto L29
+  L29: nop ; tail qh_rec(v17, v1, v15, v3, 0, v21)
+  L30: done
+  L31: nop ; goto L6
+  L32: done
+}
+
+ceal minx_fold(ModRef v0, Ptr v1, ModRef v2) { Ptr v3, Ptr v4, Int v5, Float v6, Float v7, Int v8, ModRef v9, ModRef v10;
+  L0: v3 := read v0 ; goto L1 // entry
+  L1: v4 := v3 ; goto L2
+  L2: v5 := v4 == NULL ; goto L3
+  L3: cond v5 [goto L4] [goto L5]
+  L4: write v2 v1 ; goto L7
+  L5: v6 := v4[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v7 := v1[0] ; goto L9
+  L9: v8 := v6 < v7 ; goto L10
+  L10: cond v8 [goto L11] [goto L12]
+  L11: v9 := v4[2] ; goto L14
+  L12: v10 := v4[2] ; goto L17
+  L13: nop ; goto L6
+  L14: nop ; tail minx_fold(v9, v4, v2)
+  L15: done
+  L16: nop ; goto L13
+  L17: nop ; tail minx_fold(v10, v1, v2)
+  L18: done
+  L19: nop ; goto L13
+  L20: done
+}
+
+ceal maxx_fold(ModRef v0, Ptr v1, ModRef v2) { Ptr v3, Ptr v4, Int v5, Float v6, Float v7, Int v8, ModRef v9, ModRef v10;
+  L0: v3 := read v0 ; goto L1 // entry
+  L1: v4 := v3 ; goto L2
+  L2: v5 := v4 == NULL ; goto L3
+  L3: cond v5 [goto L4] [goto L5]
+  L4: write v2 v1 ; goto L7
+  L5: v6 := v4[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v7 := v1[0] ; goto L9
+  L9: v8 := v6 > v7 ; goto L10
+  L10: cond v8 [goto L11] [goto L12]
+  L11: v9 := v4[2] ; goto L14
+  L12: v10 := v4[2] ; goto L17
+  L13: nop ; goto L6
+  L14: nop ; tail maxx_fold(v9, v4, v2)
+  L15: done
+  L16: nop ; goto L13
+  L17: nop ; tail maxx_fold(v10, v1, v2)
+  L18: done
+  L19: nop ; goto L13
+  L20: done
+}
+
+ceal project(ModRef v0, ModRef v1) { Ptr v2, Ptr v3, Int v4, Ptr v5, Ptr v6, ModRef v7, ModRef v8;
+  L0: v2 := read v0 ; goto L1 // entry
+  L1: v3 := v2 ; goto L2
+  L2: v4 := v3 == NULL ; goto L3
+  L3: cond v4 [goto L4] [goto L5]
+  L4: write v1 NULL ; goto L7
+  L5: v5 := alloc 2 init_hcell (v3, v3, NULL) ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v6 := v5 ; goto L9
+  L9: write v1 v6 ; goto L10
+  L10: v7 := v3[2] ; goto L11
+  L11: v8 := v6[1] ; goto L12
+  L12: nop ; tail project(v7, v8)
+  L13: done
+  L14: nop ; goto L6
+  L15: done
+}
+
+ceal quickhull(ModRef v0, ModRef v1) { Ptr v2, Ptr v3, Int v4, ModRef v5, ModRef v6, ModRef v7, ModRef v8, Ptr v9, Ptr v10, Ptr v11, Ptr v12, Ptr v13, Ptr v14, Int v15, ModRef v16, ModRef v17, ModRef v18, Ptr v19, Ptr v20, ModRef v21, ModRef v22, ModRef v23, ModRef v24, ModRef v25, ModRef v26;
+  L0: v2 := read v0 ; goto L1 // entry
+  L1: v3 := v2 ; goto L2
+  L2: v4 := v3 == NULL ; goto L3
+  L3: cond v4 [goto L4] [goto L5]
+  L4: write v1 NULL ; goto L7
+  L5: v5 := modref_keyed(v0, 1) ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v6 := v5 ; goto L9
+  L9: call minx_fold(v0, v3, v6) ; goto L10
+  L10: v7 := modref_keyed(v0, 2) ; goto L11
+  L11: v8 := v7 ; goto L12
+  L12: call maxx_fold(v0, v3, v8) ; goto L13
+  L13: v9 := read v6 ; goto L14
+  L14: v10 := v9 ; goto L15
+  L15: v11 := read v8 ; goto L16
+  L16: v12 := v11 ; goto L17
+  L17: v13 := alloc 2 init_hcell (v10, NULL, NULL) ; goto L18
+  L18: v14 := v13 ; goto L19
+  L19: write v1 v14 ; goto L20
+  L20: v15 := v10 == v12 ; goto L21
+  L21: cond v15 [goto L22] [goto L23]
+  L22: v16 := v14[1] ; goto L25
+  L23: v17 := modref_keyed(v0, 3) ; goto L27
+  L24: nop ; goto L6
+  L25: write v16 NULL ; goto L26
+  L26: nop ; goto L24
+  L27: v18 := v17 ; goto L28
+  L28: call project(v0, v18) ; goto L29
+  L29: v19 := alloc 2 init_hcell (v12, v12, NULL) ; goto L30
+  L30: v20 := v19 ; goto L31
+  L31: v21 := modref_keyed(v0, 4) ; goto L32
+  L32: v22 := v21 ; goto L33
+  L33: call filter_left(v18, v10, v12, v22) ; goto L34
+  L34: v23 := modref_keyed(v0, 5) ; goto L35
+  L35: v24 := v23 ; goto L36
+  L36: call filter_left(v18, v12, v10, v24) ; goto L37
+  L37: v25 := v14[1] ; goto L38
+  L38: call qh_rec(v22, v10, v12, v25, 0, v20) ; goto L39
+  L39: v26 := v20[1] ; goto L40
+  L40: nop ; tail qh_rec(v24, v12, v10, v26, 1, NULL)
+  L41: done
+  L42: nop ; goto L24
+  L43: done
+}

@@ -1,0 +1,73 @@
+ceal init_cell(Ptr v0, Int v1, Ptr v2) { ;
+  L0: v0[0] := v1 ; goto L1 // entry
+  L1: modref_init(&v0[1]) ; goto L2
+  L2: done
+}
+
+ceal part(ModRef v0, Int v1, ModRef v2, ModRef v3) { Ptr v4, Ptr v5, Int v6, Int v7, Int v8, Ptr v9, Ptr v10, Int v11, ModRef v12, ModRef v13, ModRef v14, ModRef v15;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: write v2 NULL ; goto L7
+  L5: v7 := v5[0] ; goto L9
+  L6: done
+  L7: write v3 NULL ; goto L8
+  L8: nop ; goto L6
+  L9: v8 := v7 ; goto L10
+  L10: v9 := alloc 2 init_cell (v8, v5) ; goto L11
+  L11: v10 := v9 ; goto L12
+  L12: v11 := v8 <= v1 ; goto L13
+  L13: cond v11 [goto L14] [goto L15]
+  L14: write v2 v10 ; goto L17
+  L15: write v3 v10 ; goto L22
+  L16: nop ; goto L6
+  L17: v12 := v5[1] ; goto L18
+  L18: v13 := v10[1] ; goto L19
+  L19: nop ; tail part(v12, v1, v13, v3)
+  L20: done
+  L21: nop ; goto L16
+  L22: v14 := v5[1] ; goto L23
+  L23: v15 := v10[1] ; goto L24
+  L24: nop ; tail part(v14, v1, v2, v15)
+  L25: done
+  L26: nop ; goto L16
+  L27: done
+}
+
+ceal qs(ModRef v0, ModRef v1, Int v2, Ptr v3) { Ptr v4, Ptr v5, Int v6, Int v7, Int v8, Int v9, ModRef v10, ModRef v11, ModRef v12, ModRef v13, ModRef v14, Ptr v15, Ptr v16, ModRef v17;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: v7 := v2 == 1 ; goto L7
+  L5: v8 := v5[0] ; goto L13
+  L6: done
+  L7: cond v7 [goto L8] [goto L9]
+  L8: write v1 NULL ; goto L11
+  L9: write v1 v3 ; goto L12
+  L10: nop ; goto L6
+  L11: nop ; goto L10
+  L12: nop ; goto L10
+  L13: v9 := v8 ; goto L14
+  L14: v10 := modref_keyed(v5, 0) ; goto L15
+  L15: v11 := v10 ; goto L16
+  L16: v12 := modref_keyed(v5, 1) ; goto L17
+  L17: v13 := v12 ; goto L18
+  L18: v14 := v5[1] ; goto L19
+  L19: call part(v14, v9, v11, v13) ; goto L20
+  L20: v15 := alloc 2 init_cell (v9, v5) ; goto L21
+  L21: v16 := v15 ; goto L22
+  L22: v17 := v16[1] ; goto L23
+  L23: call qs(v13, v17, v2, v3) ; goto L24
+  L24: nop ; tail qs(v11, v1, 0, v16)
+  L25: done
+  L26: nop ; goto L6
+  L27: done
+}
+
+ceal quicksort(ModRef v0, ModRef v1) { ;
+  L0: nop ; tail qs(v0, v1, 1, NULL) // entry
+  L1: done
+  L2: done
+}

@@ -1,0 +1,171 @@
+ceal init_cell(Ptr v0, Int v1, Ptr v2) { ;
+  L0: v0[0] := v1 ; goto L1 // entry
+  L1: modref_init(&v0[1]) ; goto L2
+  L2: done
+}
+
+ceal drv_map(ModRef v0, ModRef v1) { Ptr v2, Ptr v3, Int v4, Int v5, Int v6, Int v7, Int v8, Int v9, Int v10, Int v11, Int v12, Ptr v13, Ptr v14, ModRef v15, ModRef v16;
+  L0: v2 := read v0 ; goto L1 // entry
+  L1: v3 := v2 ; goto L2
+  L2: v4 := v3 == NULL ; goto L3
+  L3: cond v4 [goto L4] [goto L5]
+  L4: write v1 NULL ; goto L7
+  L5: v5 := v3[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v6 := v5 ; goto L9
+  L9: v7 := v6 / 3 ; goto L10
+  L10: v8 := v6 / 7 ; goto L11
+  L11: v9 := v7 + v8 ; goto L12
+  L12: v10 := v6 / 9 ; goto L13
+  L13: v11 := v9 + v10 ; goto L14
+  L14: v12 := v11 ; goto L15
+  L15: v13 := alloc 2 init_cell (v12, v3) ; goto L16
+  L16: v14 := v13 ; goto L17
+  L17: write v1 v14 ; goto L18
+  L18: v15 := v3[1] ; goto L19
+  L19: v16 := v14[1] ; goto L20
+  L20: nop ; tail drv_map(v15, v16)
+  L21: done
+  L22: nop ; goto L6
+  L23: done
+}
+
+ceal drv_filter(ModRef v0, ModRef v1) { Ptr v2, Ptr v3, Int v4, Int v5, Int v6, Int v7, Int v8, Int v9, Int v10, Int v11, Int v12, Int v13, Int v14, Ptr v15, Ptr v16, ModRef v17, ModRef v18, ModRef v19;
+  L0: v2 := read v0 ; goto L1 // entry
+  L1: v3 := v2 ; goto L2
+  L2: v4 := v3 == NULL ; goto L3
+  L3: cond v4 [goto L4] [goto L5]
+  L4: write v1 NULL ; goto L7
+  L5: v5 := v3[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v6 := v5 ; goto L9
+  L9: v7 := v6 / 3 ; goto L10
+  L10: v8 := v6 / 7 ; goto L11
+  L11: v9 := v7 + v8 ; goto L12
+  L12: v10 := v6 / 9 ; goto L13
+  L13: v11 := v9 + v10 ; goto L14
+  L14: v12 := v11 ; goto L15
+  L15: v13 := v12 % 2 ; goto L16
+  L16: v14 := v13 == 0 ; goto L17
+  L17: cond v14 [goto L18] [goto L19]
+  L18: v15 := alloc 2 init_cell (v6, v3) ; goto L21
+  L19: v19 := v3[1] ; goto L28
+  L20: nop ; goto L6
+  L21: v16 := v15 ; goto L22
+  L22: write v1 v16 ; goto L23
+  L23: v17 := v3[1] ; goto L24
+  L24: v18 := v16[1] ; goto L25
+  L25: nop ; tail drv_filter(v17, v18)
+  L26: done
+  L27: nop ; goto L20
+  L28: nop ; tail drv_filter(v19, v1)
+  L29: done
+  L30: nop ; goto L20
+  L31: done
+}
+
+ceal drv_eval(ModRef v0, ModRef v1) { Ptr v2, Ptr v3, Int v4, Int v5, Ptr v6, Float v7, ModRef v8, ModRef v9, ModRef v10, ModRef v11, ModRef v12, ModRef v13, Ptr v14, Float v15, Ptr v16, Float v17, Int v18, Int v19, Float v20, Float v21;
+  L0: v2 := read v0 ; goto L1 // entry
+  L1: v3 := v2 ; goto L2
+  L2: v4 := v3[0] ; goto L3
+  L3: v5 := v4 == 0 ; goto L4
+  L4: cond v5 [goto L5] [goto L6]
+  L5: v6 := v3 ; goto L8
+  L6: v8 := modref_keyed(v3, 0) ; goto L11
+  L7: done
+  L8: v7 := v6[1] ; goto L9
+  L9: write v1 v7 ; goto L10
+  L10: nop ; goto L7
+  L11: v9 := v8 ; goto L12
+  L12: v10 := modref_keyed(v3, 1) ; goto L13
+  L13: v11 := v10 ; goto L14
+  L14: v12 := v3[2] ; goto L15
+  L15: call drv_eval(v12, v9) ; goto L16
+  L16: v13 := v3[3] ; goto L17
+  L17: call drv_eval(v13, v11) ; goto L18
+  L18: v14 := read v9 ; goto L19
+  L19: v15 := v14 ; goto L20
+  L20: v16 := read v11 ; goto L21
+  L21: v17 := v16 ; goto L22
+  L22: v18 := v3[1] ; goto L23
+  L23: v19 := v18 == 0 ; goto L24
+  L24: cond v19 [goto L25] [goto L26]
+  L25: v20 := v15 + v17 ; goto L28
+  L26: v21 := v15 - v17 ; goto L30
+  L27: nop ; goto L7
+  L28: write v1 v20 ; goto L29
+  L29: nop ; goto L27
+  L30: write v1 v21 ; goto L31
+  L31: nop ; goto L27
+  L32: done
+}
+
+ceal drv_part(ModRef v0, Int v1, ModRef v2, ModRef v3) { Ptr v4, Ptr v5, Int v6, Int v7, Int v8, Ptr v9, Ptr v10, Int v11, ModRef v12, ModRef v13, ModRef v14, ModRef v15;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: write v2 NULL ; goto L7
+  L5: v7 := v5[0] ; goto L9
+  L6: done
+  L7: write v3 NULL ; goto L8
+  L8: nop ; goto L6
+  L9: v8 := v7 ; goto L10
+  L10: v9 := alloc 2 init_cell (v8, v5) ; goto L11
+  L11: v10 := v9 ; goto L12
+  L12: v11 := v8 <= v1 ; goto L13
+  L13: cond v11 [goto L14] [goto L15]
+  L14: write v2 v10 ; goto L17
+  L15: write v3 v10 ; goto L22
+  L16: nop ; goto L6
+  L17: v12 := v5[1] ; goto L18
+  L18: v13 := v10[1] ; goto L19
+  L19: nop ; tail drv_part(v12, v1, v13, v3)
+  L20: done
+  L21: nop ; goto L16
+  L22: v14 := v5[1] ; goto L23
+  L23: v15 := v10[1] ; goto L24
+  L24: nop ; tail drv_part(v14, v1, v2, v15)
+  L25: done
+  L26: nop ; goto L16
+  L27: done
+}
+
+ceal drv_qs(ModRef v0, ModRef v1, Int v2, Ptr v3) { Ptr v4, Ptr v5, Int v6, Int v7, Int v8, Int v9, ModRef v10, ModRef v11, ModRef v12, ModRef v13, ModRef v14, Ptr v15, Ptr v16, ModRef v17;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: v7 := v2 == 1 ; goto L7
+  L5: v8 := v5[0] ; goto L13
+  L6: done
+  L7: cond v7 [goto L8] [goto L9]
+  L8: write v1 NULL ; goto L11
+  L9: write v1 v3 ; goto L12
+  L10: nop ; goto L6
+  L11: nop ; goto L10
+  L12: nop ; goto L10
+  L13: v9 := v8 ; goto L14
+  L14: v10 := modref_keyed(v5, 0) ; goto L15
+  L15: v11 := v10 ; goto L16
+  L16: v12 := modref_keyed(v5, 1) ; goto L17
+  L17: v13 := v12 ; goto L18
+  L18: v14 := v5[1] ; goto L19
+  L19: call drv_part(v14, v9, v11, v13) ; goto L20
+  L20: v15 := alloc 2 init_cell (v9, v5) ; goto L21
+  L21: v16 := v15 ; goto L22
+  L22: v17 := v16[1] ; goto L23
+  L23: call drv_qs(v13, v17, v2, v3) ; goto L24
+  L24: nop ; tail drv_qs(v11, v1, 0, v16)
+  L25: done
+  L26: nop ; goto L6
+  L27: done
+}
+
+ceal drv_quicksort(ModRef v0, ModRef v1) { ;
+  L0: nop ; tail drv_qs(v0, v1, 1, NULL) // entry
+  L1: done
+  L2: done
+}

@@ -1,0 +1,321 @@
+ceal init_tnode(Ptr v0, Ptr v1, Int v2) { ;
+  L0: modref_init(&v0[0]) ; goto L1 // entry
+  L1: modref_init(&v0[1]) ; goto L2
+  L2: modref_init(&v0[2]) ; goto L3
+  L3: done
+}
+
+ceal get_val(Ptr v0, Int v1, ModRef v2) { Int v3, Ptr v4, Int v5, ModRef v6, Ptr v7, Int v8;
+  L0: v3 := v1 == 0 ; goto L1 // entry
+  L1: cond v3 [goto L2] [goto L3]
+  L2: v4 := v0[2] ; goto L5
+  L3: v6 := v0[2] ; goto L8
+  L4: done
+  L5: v5 := v4 ; goto L6
+  L6: write v2 v5 ; goto L7
+  L7: nop ; goto L4
+  L8: v7 := read v6 ; goto L9
+  L9: v8 := v7 ; goto L10
+  L10: write v2 v8 ; goto L11
+  L11: nop ; goto L4
+  L12: done
+}
+
+ceal cr(Int v0, Ptr v1, Int v2, Int v3, ModRef v4) { Int v5, ModRef v6, Ptr v7, Ptr v8, ModRef v9, Ptr v10, Ptr v11, Int v12, Int v13, Int v14, Ptr v15, Ptr v16, ModRef v17, ModRef v18, ModRef v19, ModRef v20, Ptr v21, Int v22, ModRef v23, Int v24, Int v25, Int v26, Ptr v27, Int v28, ModRef v29, Ptr v30, Ptr v31, ModRef v32, Ptr v33, Ptr v34, Int v35, Int v36, Int v37, Ptr v38, Ptr v39, ModRef v40, ModRef v41, ModRef v42, ModRef v43, ModRef v44, ModRef v45, Ptr v46, Int v47, Ptr v48, Int v49, ModRef v50, Int v51, Int v52, Int v53, Int v54, Int v55, Int v56, Int v57, Int v58, ModRef v59, ModRef v60, Ptr v61, Ptr v62, ModRef v63, ModRef v64, Ptr v65, Int v66, ModRef v67, Ptr v68, Int v69, ModRef v70, Int v71, Ptr v72, Ptr v73, ModRef v74, ModRef v75, ModRef v76, ModRef v77, Ptr v78, Int v79, ModRef v80, ModRef v81, Ptr v82, Ptr v83, ModRef v84, Ptr v85, Ptr v86, ModRef v87, Ptr v88, Ptr v89, ModRef v90, Ptr v91, Ptr v92, Int v93, Int v94, Int v95, Int v96, Int v97, Int v98, Int v99, Int v100, Ptr v101, Ptr v102, Int v103, Int v104, Int v105, ModRef v106, ModRef v107, ModRef v108, ModRef v109, ModRef v110, ModRef v111, ModRef v112, ModRef v113, Ptr v114, Int v115, Ptr v116, Int v117, Ptr v118, Int v119, ModRef v120, Int v121, Int v122, Int v123, Int v124, Int v125, Ptr v126, Ptr v127, Int v128, ModRef v129, ModRef v130, ModRef v131, ModRef v132, ModRef v133, ModRef v134, Ptr v135, Int v136, Ptr v137, Int v138, ModRef v139, Int v140, ModRef v141, ModRef v142, ModRef v143, ModRef v144, Ptr v145, Int v146, ModRef v147;
+  L0: v5 := v0 == 1 ; goto L1 // entry
+  L1: cond v5 [goto L2] [goto L3]
+  L2: write v4 NULL ; goto L5
+  L3: v6 := v1[0] ; goto L6
+  L4: done
+  L5: nop ; goto L4
+  L6: v7 := read v6 ; goto L7
+  L7: v8 := v7 ; goto L8
+  L8: v9 := v1[1] ; goto L9
+  L9: v10 := read v9 ; goto L10
+  L10: v11 := v10 ; goto L11
+  L11: v13 := v8 == NULL ; goto L12
+  L12: cond v13 [goto L13] [goto L14]
+  L13: v14 := v11 == NULL ; goto L17
+  L14: v12 := 0 ; goto L16
+  L15: cond v12 [goto L19] [goto L20]
+  L16: nop ; goto L15
+  L17: v12 := v14 != 0 ; goto L18
+  L18: nop ; goto L15
+  L19: v15 := alloc 3 init_tnode (v1, v2) ; goto L22
+  L20: v25 := v8 == NULL ; goto L36
+  L21: nop ; goto L4
+  L22: v16 := v15 ; goto L23
+  L23: v17 := v16[0] ; goto L24
+  L24: write v17 NULL ; goto L25
+  L25: v18 := v16[1] ; goto L26
+  L26: write v18 NULL ; goto L27
+  L27: v19 := modref_keyed(v1, v2, 0) ; goto L28
+  L28: v20 := v19 ; goto L29
+  L29: call get_val(v1, v3, v20) ; goto L30
+  L30: v21 := read v20 ; goto L31
+  L31: v22 := v21 ; goto L32
+  L32: v23 := v16[2] ; goto L33
+  L33: write v23 v22 ; goto L34
+  L34: write v4 v16 ; goto L35
+  L35: nop ; goto L21
+  L36: cond v25 [goto L38] [goto L37]
+  L37: v26 := v11 == NULL ; goto L41
+  L38: v24 := 1 ; goto L40
+  L39: cond v24 [goto L43] [goto L44]
+  L40: nop ; goto L39
+  L41: v24 := v26 != 0 ; goto L42
+  L42: nop ; goto L39
+  L43: v27 := v8 ; goto L46
+  L44: v81 := v8[0] ; goto L129
+  L45: nop ; goto L21
+  L46: v28 := v8 == NULL ; goto L47
+  L47: cond v28 [goto L48] [goto L49]
+  L48: v27 := v11 ; goto L51
+  L49: nop ; goto L50
+  L50: v29 := v27[0] ; goto L52
+  L51: nop ; goto L50
+  L52: v30 := read v29 ; goto L53
+  L53: v31 := v30 ; goto L54
+  L54: v32 := v27[1] ; goto L55
+  L55: v33 := read v32 ; goto L56
+  L56: v34 := v33 ; goto L57
+  L57: v36 := v31 == NULL ; goto L58
+  L58: cond v36 [goto L59] [goto L60]
+  L59: v37 := v34 == NULL ; goto L63
+  L60: v35 := 0 ; goto L62
+  L61: cond v35 [goto L65] [goto L66]
+  L62: nop ; goto L61
+  L63: v35 := v37 != 0 ; goto L64
+  L64: nop ; goto L61
+  L65: v38 := alloc 3 init_tnode (v1, v2) ; goto L68
+  L66: v52 := v2 * 2654435761 ; goto L88
+  L67: nop ; goto L45
+  L68: v39 := v38 ; goto L69
+  L69: v40 := v39[0] ; goto L70
+  L70: write v40 NULL ; goto L71
+  L71: v41 := v39[1] ; goto L72
+  L72: write v41 NULL ; goto L73
+  L73: v42 := modref_keyed(v1, v2, 0) ; goto L74
+  L74: v43 := v42 ; goto L75
+  L75: call get_val(v1, v3, v43) ; goto L76
+  L76: v44 := modref_keyed(v27, v2, 1) ; goto L77
+  L77: v45 := v44 ; goto L78
+  L78: call get_val(v27, v3, v45) ; goto L79
+  L79: v46 := read v43 ; goto L80
+  L80: v47 := v46 ; goto L81
+  L81: v48 := read v45 ; goto L82
+  L82: v49 := v48 ; goto L83
+  L83: v50 := v39[2] ; goto L84
+  L84: v51 := v47 + v49 ; goto L85
+  L85: write v50 v51 ; goto L86
+  L86: write v4 v39 ; goto L87
+  L87: nop ; goto L67
+  L88: v53 := v52 + 40503 ; goto L89
+  L89: v54 := v53 ; goto L90
+  L90: v55 := v54 / 65536 ; goto L91
+  L91: v56 := v55 ; goto L92
+  L92: v57 := v56 % 2 ; goto L93
+  L93: v58 := v57 == 0 ; goto L94
+  L94: cond v58 [goto L95] [goto L96]
+  L95: v59 := modref_keyed(v1, v2, 2) ; goto L98
+  L96: v72 := alloc 3 init_tnode (v1, v2) ; goto L115
+  L97: nop ; goto L67
+  L98: v60 := v59 ; goto L99
+  L99: call cr(0, v27, v2, v3, v60) ; goto L100
+  L100: v61 := read v60 ; goto L101
+  L101: v62 := v61 ; goto L102
+  L102: write v4 v62 ; goto L103
+  L103: v63 := modref_keyed(v1, v2, 3) ; goto L104
+  L104: v64 := v63 ; goto L105
+  L105: call get_val(v1, v3, v64) ; goto L106
+  L106: v65 := read v64 ; goto L107
+  L107: v66 := v65 ; goto L108
+  L108: v67 := v62[2] ; goto L109
+  L109: v68 := read v67 ; goto L110
+  L110: v69 := v68 ; goto L111
+  L111: v70 := v62[2] ; goto L112
+  L112: v71 := v69 + v66 ; goto L113
+  L113: write v70 v71 ; goto L114
+  L114: nop ; goto L97
+  L115: v73 := v72 ; goto L116
+  L116: v74 := v73[0] ; goto L117
+  L117: call cr(0, v27, v2, v3, v74) ; goto L118
+  L118: v75 := v73[1] ; goto L119
+  L119: write v75 NULL ; goto L120
+  L120: v76 := modref_keyed(v1, v2, 4) ; goto L121
+  L121: v77 := v76 ; goto L122
+  L122: call get_val(v1, v3, v77) ; goto L123
+  L123: v78 := read v77 ; goto L124
+  L124: v79 := v78 ; goto L125
+  L125: v80 := v73[2] ; goto L126
+  L126: write v80 v79 ; goto L127
+  L127: write v4 v73 ; goto L128
+  L128: nop ; goto L97
+  L129: v82 := read v81 ; goto L130
+  L130: v83 := v82 ; goto L131
+  L131: v84 := v8[1] ; goto L132
+  L132: v85 := read v84 ; goto L133
+  L133: v86 := v85 ; goto L134
+  L134: v87 := v11[0] ; goto L135
+  L135: v88 := read v87 ; goto L136
+  L136: v89 := v88 ; goto L137
+  L137: v90 := v11[1] ; goto L138
+  L138: v91 := read v90 ; goto L139
+  L139: v92 := v91 ; goto L140
+  L140: v93 := 0 ; goto L141
+  L141: v94 := 0 ; goto L142
+  L142: v96 := v83 == NULL ; goto L143
+  L143: cond v96 [goto L144] [goto L145]
+  L144: v97 := v86 == NULL ; goto L148
+  L145: v95 := 0 ; goto L147
+  L146: cond v95 [goto L150] [goto L151]
+  L147: nop ; goto L146
+  L148: v95 := v97 != 0 ; goto L149
+  L149: nop ; goto L146
+  L150: v93 := 1 ; goto L153
+  L151: nop ; goto L152
+  L152: v99 := v89 == NULL ; goto L154
+  L153: nop ; goto L152
+  L154: cond v99 [goto L155] [goto L156]
+  L155: v100 := v92 == NULL ; goto L159
+  L156: v98 := 0 ; goto L158
+  L157: cond v98 [goto L161] [goto L162]
+  L158: nop ; goto L157
+  L159: v98 := v100 != 0 ; goto L160
+  L160: nop ; goto L157
+  L161: v94 := 1 ; goto L164
+  L162: nop ; goto L163
+  L163: v101 := alloc 3 init_tnode (v1, v2) ; goto L165
+  L164: nop ; goto L163
+  L165: v102 := v101 ; goto L166
+  L166: v104 := v93 == 1 ; goto L167
+  L167: cond v104 [goto L168] [goto L169]
+  L168: v105 := v94 == 1 ; goto L172
+  L169: v103 := 0 ; goto L171
+  L170: cond v103 [goto L174] [goto L175]
+  L171: nop ; goto L170
+  L172: v103 := v105 != 0 ; goto L173
+  L173: nop ; goto L170
+  L174: v106 := v102[0] ; goto L177
+  L175: v124 := v93 == 1 ; goto L201
+  L176: nop ; goto L45
+  L177: write v106 NULL ; goto L178
+  L178: v107 := v102[1] ; goto L179
+  L179: write v107 NULL ; goto L180
+  L180: v108 := modref_keyed(v1, v2, 5) ; goto L181
+  L181: v109 := v108 ; goto L182
+  L182: call get_val(v1, v3, v109) ; goto L183
+  L183: v110 := modref_keyed(v8, v2, 6) ; goto L184
+  L184: v111 := v110 ; goto L185
+  L185: call get_val(v8, v3, v111) ; goto L186
+  L186: v112 := modref_keyed(v11, v2, 7) ; goto L187
+  L187: v113 := v112 ; goto L188
+  L188: call get_val(v11, v3, v113) ; goto L189
+  L189: v114 := read v109 ; goto L190
+  L190: v115 := v114 ; goto L191
+  L191: v116 := read v111 ; goto L192
+  L192: v117 := v116 ; goto L193
+  L193: v118 := read v113 ; goto L194
+  L194: v119 := v118 ; goto L195
+  L195: v120 := v102[2] ; goto L196
+  L196: v121 := v115 + v117 ; goto L197
+  L197: v122 := v121 + v119 ; goto L198
+  L198: write v120 v122 ; goto L199
+  L199: write v4 v102 ; goto L200
+  L200: nop ; goto L176
+  L201: cond v124 [goto L203] [goto L202]
+  L202: v125 := v94 == 1 ; goto L206
+  L203: v123 := 1 ; goto L205
+  L204: cond v123 [goto L208] [goto L209]
+  L205: nop ; goto L204
+  L206: v123 := v125 != 0 ; goto L207
+  L207: nop ; goto L204
+  L208: v126 := v8 ; goto L211
+  L209: v141 := v102[0] ; goto L237
+  L210: nop ; goto L176
+  L211: v127 := v11 ; goto L212
+  L212: v128 := v93 == 1 ; goto L213
+  L213: cond v128 [goto L214] [goto L215]
+  L214: v126 := v11 ; goto L217
+  L215: nop ; goto L216
+  L216: v129 := v102[0] ; goto L219
+  L217: v127 := v8 ; goto L218
+  L218: nop ; goto L216
+  L219: call cr(0, v126, v2, v3, v129) ; goto L220
+  L220: v130 := v102[1] ; goto L221
+  L221: write v130 NULL ; goto L222
+  L222: v131 := modref_keyed(v1, v2, 8) ; goto L223
+  L223: v132 := v131 ; goto L224
+  L224: call get_val(v1, v3, v132) ; goto L225
+  L225: v133 := modref_keyed(v127, v2, 9) ; goto L226
+  L226: v134 := v133 ; goto L227
+  L227: call get_val(v127, v3, v134) ; goto L228
+  L228: v135 := read v132 ; goto L229
+  L229: v136 := v135 ; goto L230
+  L230: v137 := read v134 ; goto L231
+  L231: v138 := v137 ; goto L232
+  L232: v139 := v102[2] ; goto L233
+  L233: v140 := v136 + v138 ; goto L234
+  L234: write v139 v140 ; goto L235
+  L235: write v4 v102 ; goto L236
+  L236: nop ; goto L210
+  L237: call cr(0, v8, v2, v3, v141) ; goto L238
+  L238: v142 := v102[1] ; goto L239
+  L239: call cr(0, v11, v2, v3, v142) ; goto L240
+  L240: v143 := modref_keyed(v1, v2, 10) ; goto L241
+  L241: v144 := v143 ; goto L242
+  L242: call get_val(v1, v3, v144) ; goto L243
+  L243: v145 := read v144 ; goto L244
+  L244: v146 := v145 ; goto L245
+  L245: v147 := v102[2] ; goto L246
+  L246: write v147 v146 ; goto L247
+  L247: write v4 v102 ; goto L248
+  L248: nop ; goto L210
+  L249: done
+}
+
+ceal level(ModRef v0, ModRef v1, Int v2, Int v3) { Ptr v4, Ptr v5, Int v6, ModRef v7, Ptr v8, Ptr v9, ModRef v10, Ptr v11, Ptr v12, Int v13, Int v14, Int v15, ModRef v16, ModRef v17, Ptr v18, Int v19, ModRef v20, ModRef v21, Int v22;
+  L0: v4 := read v0 ; goto L1 // entry
+  L1: v5 := v4 ; goto L2
+  L2: v6 := v5 == NULL ; goto L3
+  L3: cond v6 [goto L4] [goto L5]
+  L4: write v1 NULL ; goto L7
+  L5: v7 := v5[0] ; goto L8
+  L6: done
+  L7: nop ; goto L6
+  L8: v8 := read v7 ; goto L9
+  L9: v9 := v8 ; goto L10
+  L10: v10 := v5[1] ; goto L11
+  L11: v11 := read v10 ; goto L12
+  L12: v12 := v11 ; goto L13
+  L13: v14 := v9 == NULL ; goto L14
+  L14: cond v14 [goto L15] [goto L16]
+  L15: v15 := v12 == NULL ; goto L19
+  L16: v13 := 0 ; goto L18
+  L17: cond v13 [goto L21] [goto L22]
+  L18: nop ; goto L17
+  L19: v13 := v15 != 0 ; goto L20
+  L20: nop ; goto L17
+  L21: v16 := modref_keyed(v5, v2, 11) ; goto L24
+  L22: v20 := modref_keyed(v5, v2, 12) ; goto L30
+  L23: nop ; goto L6
+  L24: v17 := v16 ; goto L25
+  L25: call get_val(v5, v3, v17) ; goto L26
+  L26: v18 := read v17 ; goto L27
+  L27: v19 := v18 ; goto L28
+  L28: write v1 v19 ; goto L29
+  L29: nop ; goto L23
+  L30: v21 := v20 ; goto L31
+  L31: call cr(0, v5, v2, v3, v21) ; goto L32
+  L32: v22 := v2 + 1 ; goto L33
+  L33: nop ; tail level(v21, v1, v22, 1)
+  L34: done
+  L35: nop ; goto L23
+  L36: done
+}
+
+ceal tcon(ModRef v0, ModRef v1) { ;
+  L0: nop ; tail level(v0, v1, 0, 0) // entry
+  L1: done
+  L2: done
+}

@@ -1,0 +1,75 @@
+//! Golden-file tests for the CL pretty-printer: each benchmark's
+//! lowered CL is snapshotted under `tests/golden/`. Any change to the
+//! parser, the lowering, or the printer shows up as a readable diff
+//! here instead of as a silent behavior shift downstream.
+//!
+//! To bless intentional changes: `UPDATE_GOLDEN=1 cargo test -p
+//! ceal-lang --test golden_cl`.
+
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace(' ', "_")
+}
+
+#[test]
+fn benchmarks_lower_to_golden_cl() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let mut mismatches = Vec::new();
+
+    for (name, src) in ceal_lang::benchmarks::all() {
+        let (program, _) =
+            ceal_lang::frontend(src).unwrap_or_else(|e| panic!("{name}: frontend failed: {e}"));
+        let printed = ceal_ir::print::print_program(&program);
+        let path = dir.join(format!("{}.cl", slug(name)));
+
+        if update {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, &printed).expect("write golden file");
+            continue;
+        }
+
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == printed => {}
+            Ok(expected) => {
+                let diff_at = expected
+                    .lines()
+                    .zip(printed.lines())
+                    .position(|(a, b)| a != b)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| expected.lines().count().min(printed.lines().count()) + 1);
+                mismatches.push(format!(
+                    "{name}: printed CL differs from {} (first difference at line \
+                     {diff_at}); run with UPDATE_GOLDEN=1 to bless",
+                    path.display()
+                ));
+            }
+            Err(e) => mismatches.push(format!(
+                "{name}: cannot read {} ({e}); run with UPDATE_GOLDEN=1 to create",
+                path.display()
+            )),
+        }
+    }
+
+    assert!(mismatches.is_empty(), "golden mismatches:\n{}", mismatches.join("\n"));
+}
+
+/// The printer's output must itself be stable: printing the same
+/// program twice gives identical text (no iteration-order leakage).
+#[test]
+fn printing_is_deterministic() {
+    for (name, src) in ceal_lang::benchmarks::all() {
+        let (p1, _) = ceal_lang::frontend(src).expect(name);
+        let (p2, _) = ceal_lang::frontend(src).expect(name);
+        assert_eq!(
+            ceal_ir::print::print_program(&p1),
+            ceal_ir::print::print_program(&p2),
+            "{name}: print_program not deterministic"
+        );
+    }
+}

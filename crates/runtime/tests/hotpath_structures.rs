@@ -1,0 +1,81 @@
+//! Boundary tests for `ArgVec`, the inline small-vector carrying
+//! trampoline arguments (PR 1 hot-path structure). Every length from 0
+//! through `INLINE + 1` is exercised through every constructor and
+//! growth path, because the inline→heap switch is exactly the kind of
+//! edge an off-by-one silently corrupts.
+
+use ceal_runtime::program::ArgVec;
+use ceal_runtime::Value;
+
+fn vals(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::Int(100 + i as i64)).collect()
+}
+
+#[test]
+fn from_slice_all_boundary_lengths() {
+    for n in 0..=ArgVec::INLINE + 1 {
+        let v = vals(n);
+        let a = ArgVec::from_slice(&v);
+        assert_eq!(a.len(), n);
+        assert_eq!(a.is_empty(), n == 0);
+        assert_eq!(a.as_slice(), &v[..], "from_slice wrong at len {n}");
+    }
+}
+
+#[test]
+fn push_grows_across_inline_heap_boundary() {
+    let mut a = ArgVec::new();
+    let mut mirror = Vec::new();
+    for i in 0..2 * ArgVec::INLINE + 1 {
+        a.push(Value::Int(i as i64));
+        mirror.push(Value::Int(i as i64));
+        assert_eq!(a.as_slice(), &mirror[..], "push diverged at len {}", i + 1);
+    }
+}
+
+#[test]
+fn prepend_all_boundary_lengths() {
+    // `prepend` builds the continuation's arguments: the read value
+    // first, then the saved rest. rest == INLINE - 1 stays inline,
+    // rest == INLINE must go to the heap without losing the tail.
+    for rest_len in 0..=ArgVec::INLINE + 1 {
+        let rest = vals(rest_len);
+        let a = ArgVec::prepend(Value::Int(-1), &rest);
+        assert_eq!(a.len(), rest_len + 1);
+        assert_eq!(a[0], Value::Int(-1), "prepended head lost at rest_len {rest_len}");
+        assert_eq!(&a[1..], &rest[..], "rest corrupted at rest_len {rest_len}");
+    }
+}
+
+#[test]
+fn clear_resets_both_representations() {
+    for n in [ArgVec::INLINE - 1, ArgVec::INLINE + 3] {
+        let mut a = ArgVec::from_slice(&vals(n));
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.as_slice(), &[] as &[Value]);
+        // Still usable after clearing, whatever the representation.
+        a.push(Value::Int(7));
+        assert_eq!(a.as_slice(), &[Value::Int(7)]);
+    }
+}
+
+#[test]
+fn extend_from_slice_crosses_boundary() {
+    let mut a = ArgVec::from_slice(&vals(ArgVec::INLINE - 1));
+    a.extend_from_slice(&[Value::Int(-5), Value::Int(-6), Value::Int(-7)]);
+    let mut expect = vals(ArgVec::INLINE - 1);
+    expect.extend([Value::Int(-5), Value::Int(-6), Value::Int(-7)]);
+    assert_eq!(a.as_slice(), &expect[..]);
+}
+
+#[test]
+fn conversions_match_from_slice() {
+    let v = vals(ArgVec::INLINE + 1);
+    assert_eq!(ArgVec::from(&v[..]).as_slice(), &v[..]);
+    assert_eq!(ArgVec::from(v.clone()).as_slice(), &v[..]);
+    assert_eq!(ArgVec::from(v.clone().into_boxed_slice()).as_slice(), &v[..]);
+    let arr = [Value::Int(1), Value::Int(2)];
+    assert_eq!(ArgVec::from(arr).as_slice(), &arr[..]);
+    assert!(ArgVec::default().is_empty());
+}

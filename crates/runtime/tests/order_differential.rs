@@ -147,6 +147,96 @@ fn adversarial_dense_same_point_insertion() {
     }
 }
 
+/// Trace-purge lockstep: dense insertion bursts at random hot points
+/// interleaved with contiguous range deletions, the access pattern of
+/// change propagation (re-execution inserts a dense run of new
+/// timestamps; revoking a stale trace interval deletes a contiguous
+/// run). Bursts force group splits, purges force merges of the emptied
+/// neighbors, and every observable answer is pinned against
+/// `order::naive` throughout both paths.
+#[test]
+fn lockstep_dense_bursts_and_range_purges() {
+    let mut rng = Prng::seed_from_u64(0x9E37_79B9);
+    let mut ord = OrderList::new();
+    let mut nai = naive::OrderList::new();
+    // Live pairs kept in trace order so a purge can take a contiguous
+    // interval, exactly like revoking a subtree of the trace.
+    let mut live: Vec<Pair> = Vec::new();
+
+    for round in 0..600u32 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            // Dense burst: 20–200 inserts at one random point, each
+            // landing right after the previous (newest-first run).
+            let at = if live.is_empty() { 0 } else { rng.gen_range(0..live.len()) };
+            let burst = rng.gen_range(20usize..=200);
+            let (base, mut after_new, mut after_old) = if live.is_empty() {
+                (0, ord.first(), nai.first())
+            } else {
+                (at + 1, live[at].new, live[at].old)
+            };
+            for k in 0..burst {
+                let pair =
+                    Pair { new: ord.insert_after(after_new), old: nai.insert_after(after_old) };
+                after_new = pair.new;
+                after_old = pair.old;
+                live.insert(base + k, pair);
+            }
+        } else {
+            // Purge: delete a contiguous interval of the trace order.
+            let start = rng.gen_range(0..live.len());
+            let len = rng.gen_range(1..=(live.len() - start).min(300));
+            for p in live.drain(start..start + len) {
+                ord.delete(p.new);
+                nai.delete(p.old);
+                assert!(!ord.is_live(p.new));
+            }
+        }
+
+        assert_eq!(ord.len(), nai.len(), "length diverged at round {round}");
+        // Spot-check comparisons every round; full-order check is at
+        // the end (and periodically, to catch transient corruption).
+        for _ in 0..20 {
+            if live.len() < 2 {
+                break;
+            }
+            let a = &live[rng.gen_range(0..live.len())];
+            let b = &live[rng.gen_range(0..live.len())];
+            assert_eq!(
+                ord.cmp(a.new, b.new),
+                nai.cmp(a.old, b.old),
+                "cmp disagreement at round {round}"
+            );
+        }
+        if round % 64 == 0 {
+            ord.check_invariants();
+            nai.check_invariants();
+            let seq_new = ord.collect_between(ord.first(), ord.last());
+            assert_eq!(seq_new.len(), live.len(), "walk length diverged at round {round}");
+            for (i, t) in seq_new.iter().enumerate() {
+                assert_eq!(live[i].new, *t, "trace order diverged at round {round} pos {i}");
+            }
+        }
+    }
+    ord.check_invariants();
+    nai.check_invariants();
+
+    // The workload must actually have pushed the structure through both
+    // maintenance paths, or the lockstep proves nothing about them.
+    let stats = ord.stats();
+    assert!(stats.group_splits > 0, "bursts never split a group");
+    assert!(stats.group_merges > 0, "purges never merged groups");
+
+    // Final full-order agreement, position by position.
+    let seq_new = ord.collect_between(ord.first(), ord.last());
+    let seq_old = nai.collect_between(nai.first(), nai.last());
+    assert_eq!(seq_new.len(), live.len());
+    assert_eq!(seq_old.len(), live.len());
+    for (i, p) in live.iter().enumerate() {
+        assert_eq!(seq_new[i], p.new, "new order wrong at {i}");
+        assert_eq!(seq_old[i].index(), p.old.index(), "naive order wrong at {i}");
+    }
+}
+
 /// The same dense workload, but alternating with deletions of the
 /// previously inserted timestamp — churn at one point must not leak
 /// groups or labels.

@@ -198,6 +198,112 @@ pub fn collect_list(e: &Engine, head: ModRef) -> Vec<Value> {
     out
 }
 
+/// A mutator list supporting deletion and restoration of elements in
+/// *arbitrary* order (unlike [`InputList`], whose `insert` is only
+/// correct for the most recent deletion at a position).
+///
+/// The list keeps a liveness flag per element and rewires the
+/// predecessor chain on every edit, so interleaved edits at adjacent
+/// positions stay consistent. This is the shared input-edit machinery
+/// used by the `diffcheck` differential fuzzer: the visible list is
+/// always exactly the live elements in their original order, which a
+/// conventional from-scratch oracle can mirror with `live_data`.
+#[derive(Debug)]
+pub struct EditList {
+    /// The modifiable holding the first cell pointer.
+    pub head: ModRef,
+    /// For element `i`: the cell pointer.
+    pub cells: Vec<Value>,
+    /// For element `i`: the `next` modifiable *inside* cell `i`.
+    pub nexts: Vec<ModRef>,
+    /// The data stored at each position (immutable after construction).
+    pub data: Vec<Value>,
+    /// Liveness flags; `false` elements are unlinked from the chain.
+    pub live: Vec<bool>,
+}
+
+impl EditList {
+    /// Builds a list of `[data, next]` cells, all live.
+    pub fn build(e: &mut Engine, data: &[Value]) -> EditList {
+        let head = e.meta_modref();
+        let mut cells = Vec::with_capacity(data.len());
+        let mut nexts = Vec::with_capacity(data.len());
+        let mut slot = head;
+        for &x in data {
+            let c = e.meta_alloc(2);
+            e.meta_store(c, CELL_DATA, x);
+            let next = e.meta_modref_in(c, CELL_NEXT);
+            e.modify(slot, Value::Ptr(c));
+            cells.push(Value::Ptr(c));
+            nexts.push(next);
+            slot = next;
+        }
+        e.modify(slot, Value::Nil);
+        EditList { head, cells, nexts, data: data.to_vec(), live: vec![true; data.len()] }
+    }
+
+    /// Number of elements (live or not).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the list was built empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The modifiable that currently points *at* element `i`: the next
+    /// modref of the nearest live predecessor, or `head`.
+    fn slot_before(&self, i: usize) -> ModRef {
+        match (0..i).rev().find(|&j| self.live[j]) {
+            Some(j) => self.nexts[j],
+            None => self.head,
+        }
+    }
+
+    /// The cell pointer of the nearest live successor of `i` (`Nil` at
+    /// the tail).
+    fn cell_after(&self, i: usize) -> Value {
+        match (i + 1..self.len()).find(|&j| self.live[j]) {
+            Some(j) => self.cells[j],
+            None => Value::Nil,
+        }
+    }
+
+    /// Unlinks element `i`. Returns `false` if it is already deleted.
+    pub fn delete(&mut self, e: &mut Engine, i: usize) -> bool {
+        if !self.live[i] {
+            return false;
+        }
+        self.live[i] = false;
+        let after = self.cell_after(i);
+        let slot = self.slot_before(i);
+        e.modify(slot, after);
+        true
+    }
+
+    /// Relinks a deleted element `i`. Returns `false` if it is live.
+    pub fn restore(&mut self, e: &mut Engine, i: usize) -> bool {
+        if self.live[i] {
+            return false;
+        }
+        self.live[i] = true;
+        // Point the restored cell at its live successor *before*
+        // exposing it through the predecessor chain.
+        let after = self.cell_after(i);
+        e.modify(self.nexts[i], after);
+        let slot = self.slot_before(i);
+        e.modify(slot, self.cells[i]);
+        true
+    }
+
+    /// The data values of the live elements, in order — the mirror a
+    /// conventional from-scratch oracle should compute over.
+    pub fn live_data(&self) -> Vec<Value> {
+        (0..self.len()).filter(|&i| self.live[i]).map(|i| self.data[i]).collect()
+    }
+}
+
 /// A simple order-insensitive checksum over values, for comparing a
 /// self-adjusting output against a conventional oracle cheaply.
 pub fn checksum(values: impl IntoIterator<Item = Value>) -> u64 {
