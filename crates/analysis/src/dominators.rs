@@ -2,9 +2,9 @@
 //!
 //! Two algorithms are provided, as discussed in the paper:
 //!
-//! * the simple iterative algorithm of Cooper, Harvey and Kennedy [14],
+//! * the simple iterative algorithm of Cooper, Harvey and Kennedy \[14\],
 //!   which `cealc` uses because per-function graphs are small (§7), and
-//! * the Lengauer–Tarjan algorithm [26] (the "asymptotically efficient"
+//! * the Lengauer–Tarjan algorithm \[26\] (the "asymptotically efficient"
 //!   alternative), used here to cross-check the iterative one in the
 //!   property tests.
 
@@ -208,16 +208,14 @@ pub fn dominators_lengauer_tarjan(g: &ProgramGraph) -> DomTree {
             }
         }
     }
-    for i in 1..count {
-        let w = vertex[i];
+    for &w in &vertex[1..count] {
         if samedom[w as usize] != u32::MAX {
             idom_n[w as usize] = idom_n[samedom[w as usize] as usize];
         }
     }
 
     let mut idom: Vec<Option<Node>> = vec![None; n];
-    for i in 1..count {
-        let w = vertex[i];
+    for &w in &vertex[1..count] {
         if idom_n[w as usize] != u32::MAX {
             idom[w as usize] = Some(idom_n[w as usize]);
         }
@@ -240,7 +238,12 @@ mod tests {
             succs[a as usize].push(b);
             preds[b as usize].push(a);
         }
-        ProgramGraph { succs, preds, entries: entries.to_vec(), read_entry: vec![false; n] }
+        ProgramGraph {
+            succs,
+            preds,
+            entries: entries.to_vec(),
+            read_entry: vec![false; n],
+        }
     }
 
     #[test]

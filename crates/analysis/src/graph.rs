@@ -129,7 +129,12 @@ pub fn build_graph(f: &Func) -> ProgramGraph {
         add_edge(&mut succs, &mut preds, ROOT, e);
     }
 
-    ProgramGraph { succs, preds, entries, read_entry }
+    ProgramGraph {
+        succs,
+        preds,
+        entries,
+        read_entry,
+    }
 }
 
 #[cfg(test)]

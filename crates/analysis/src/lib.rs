@@ -5,9 +5,9 @@
 //! * [`graph`] — rooted program graphs with read-entry edges (§5.1),
 //! * [`dominators`] — the Cooper–Harvey–Kennedy iterative algorithm the
 //!   compiler uses, cross-checked against Lengauer–Tarjan (§5.2, §7),
-//! * [`liveness`] — iterative live-variable analysis providing `live(l)`
+//! * [`mod@liveness`] — iterative live-variable analysis providing `live(l)`
 //!   and `ML(P)` (§5.3),
-//! * [`units`] — dominator-tree units and the Lemma 2 property.
+//! * [`mod@units`] — dominator-tree units and the Lemma 2 property.
 
 #![warn(missing_docs)]
 

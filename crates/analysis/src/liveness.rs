@@ -30,7 +30,9 @@ impl Eq for VarSet {}
 impl VarSet {
     /// An empty set sized for `nvars` variables.
     pub fn new(nvars: usize) -> Self {
-        VarSet { bits: vec![0; nvars.div_ceil(64)] }
+        VarSet {
+            bits: vec![0; nvars.div_ceil(64)],
+        }
     }
 
     /// Inserts `v`; returns whether it was newly added. Grows the set
@@ -324,8 +326,14 @@ mod tests {
         let l1 = fb.reserve();
         let l2 = fb.reserve();
         let l3 = fb.reserve_done();
-        fb.define(l0, Block::Cmd(Cmd::Assign(i, Expr::Atom(Atom::Int(10))), Jump::Goto(l1)));
-        fb.define(l1, Block::Cond(Atom::Var(i), Jump::Goto(l2), Jump::Goto(l3)));
+        fb.define(
+            l0,
+            Block::Cmd(Cmd::Assign(i, Expr::Atom(Atom::Int(10))), Jump::Goto(l1)),
+        );
+        fb.define(
+            l1,
+            Block::Cond(Atom::Var(i), Jump::Goto(l2), Jump::Goto(l3)),
+        );
         fb.define(
             l2,
             Block::Cmd(

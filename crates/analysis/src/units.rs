@@ -27,7 +27,10 @@ pub struct Unit {
 pub fn units(dt: &DomTree) -> Vec<Unit> {
     dt.children[ROOT as usize]
         .iter()
-        .map(|&c| Unit { defining: c, members: dt.subtree(c) })
+        .map(|&c| Unit {
+            defining: c,
+            members: dt.subtree(c),
+        })
         .collect()
 }
 
@@ -55,10 +58,8 @@ pub fn cross_unit_violations(g: &ProgramGraph, dt: &DomTree, us: &[Unit]) -> Vec
         }
         for &b in succs {
             match (owner[a], owner[b as usize]) {
-                (Some(ua), Some(ub)) if ua != ub => {
-                    if us[ub].defining != b {
-                        bad.push((a as Node, b));
-                    }
+                (Some(ua), Some(ub)) if ua != ub && us[ub].defining != b => {
+                    bad.push((a as Node, b));
                 }
                 _ => {}
             }
@@ -84,7 +85,12 @@ mod tests {
             succs[a as usize].push(b);
             preds[b as usize].push(a);
         }
-        ProgramGraph { succs, preds, entries: entries.to_vec(), read_entry: vec![false; n] }
+        ProgramGraph {
+            succs,
+            preds,
+            entries: entries.to_vec(),
+            read_entry: vec![false; n],
+        }
     }
 
     #[test]

@@ -17,7 +17,12 @@ fn graph_from(n: usize, edges: &[(Node, Node)], entries: &[Node]) -> ProgramGrap
         succs[a as usize].push(b);
         preds[b as usize].push(a);
     }
-    ProgramGraph { succs, preds, entries: entries.to_vec(), read_entry: vec![false; n] }
+    ProgramGraph {
+        succs,
+        preds,
+        entries: entries.to_vec(),
+        read_entry: vec![false; n],
+    }
 }
 
 /// Reachable set from the root avoiding `blocked`.
@@ -83,8 +88,9 @@ fn idom_satisfies_the_dominance_definition() {
                 )
             })
             .collect();
-        let mut entries: Vec<Node> =
-            (0..rng.gen_range(1..4usize)).map(|_| rng.gen_range(1..n.max(2)) as Node).collect();
+        let mut entries: Vec<Node> = (0..rng.gen_range(1..4usize))
+            .map(|_| rng.gen_range(1..n.max(2)) as Node)
+            .collect();
         entries.sort_unstable();
         entries.dedup();
         check(n, edges, entries);

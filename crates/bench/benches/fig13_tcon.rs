@@ -6,10 +6,14 @@ use ceal_suite::harness::Bench;
 
 fn main() {
     for n in [1_000usize, 4_000, 16_000] {
-        bench_with_budget(&format!("fig13_tcon/from_scratch_and_updates/{n}"), 3_000, || {
-            let m = Bench::Tcon.measure(n, 25, 42);
-            assert!(m.ok);
-            std::hint::black_box((m.self_s, m.update_s));
-        });
+        bench_with_budget(
+            &format!("fig13_tcon/from_scratch_and_updates/{n}"),
+            3_000,
+            || {
+                let m = Bench::Tcon.measure(n, 25, 42);
+                assert!(m.ok);
+                std::hint::black_box((m.self_s, m.update_s));
+            },
+        );
     }
 }

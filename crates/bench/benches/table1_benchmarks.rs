@@ -17,7 +17,13 @@ fn from_scratch() {
 }
 
 fn propagation() {
-    for b in [Bench::Map, Bench::Minimum, Bench::Quicksort, Bench::Exptrees, Bench::Tcon] {
+    for b in [
+        Bench::Map,
+        Bench::Minimum,
+        Bench::Quicksort,
+        Bench::Exptrees,
+        Bench::Tcon,
+    ] {
         let n = if b.big_input() { 20_000 } else { 5_000 };
         bench_with_budget(&format!("table1_propagation/{}", b.name()), 1_500, || {
             // The whole test-mutator edit phase is wrapped, exactly as

@@ -29,7 +29,13 @@ fn main() {
             eprintln!(
                 "usage: tables <table1|table2|table3|fig13|fig14|fig15|ablation|bench|all> \
                  [--n-big N] [--n-small N] [--edits N] [--seed N]\n\
-                 bench extras: [--quick] [--out FILE] [--baseline FILE] [--save-baseline FILE]"
+                 bench extras: [--quick] [--out FILE] [--baseline FILE] [--save-baseline FILE]\n\
+                 \x20                [--profile [--profile-out FILE]] write per-phase counter \
+                 profiles (BENCH_profile.json)\n\
+                 \x20                [--gate [--golden FILE]] compare deterministic counters \
+                 against the golden profile\n\
+                 \x20                (UPDATE_GOLDEN=1 re-blesses the golden file; gate exits \
+                 1 on drift)"
             );
             std::process::exit(2);
         }
@@ -44,10 +50,14 @@ fn table1(opts: &Opts) {
     let seed = opts.get_usize("seed", 42) as u64;
 
     println!("\n=== Table 1: summary of measurements (paper: n=10M/1M on a 2GHz Xeon) ===");
-    println!("(scaled inputs: {} for the paper's 10M rows, {} for its 1M rows)\n", fmt_n(n_big), fmt_n(n_small));
     println!(
-        "{:<10} {:>8} | {:>9} {:>9} {:>6} | {:>10} {:>9} | {:>10} | {}",
-        "App", "n", "Cnv.", "Self.", "O.H.", "Ave.Update", "Speedup", "Max Live", "ok"
+        "(scaled inputs: {} for the paper's 10M rows, {} for its 1M rows)\n",
+        fmt_n(n_big),
+        fmt_n(n_small)
+    );
+    println!(
+        "{:<10} {:>8} | {:>9} {:>9} {:>6} | {:>10} {:>9} | {:>10} | ok",
+        "App", "n", "Cnv.", "Self.", "O.H.", "Ave.Update", "Speedup", "Max Live"
     );
     println!("{}", "-".repeat(96));
     for b in Bench::all() {
@@ -91,7 +101,11 @@ fn fig13(opts: &Opts) {
             fmt_secs(m.update_s),
             fmt_ratio(m.speedup())
         );
-        n = if n.to_string().starts_with('1') { n * 2 } else { n * 5 / 2 };
+        n = if n.to_string().starts_with('1') {
+            n * 2
+        } else {
+            n * 5 / 2
+        };
     }
     println!("\n(The paper's Fig. 13 shows ~constant-factor overhead, logarithmic");
     println!(" update growth, and speedups exceeding four orders of magnitude.)\n");
@@ -107,7 +121,17 @@ fn table2(opts: &Opts) {
     println!("\n=== Table 2: CEAL vs the SaSML model (paper: n=1M / 100K) ===\n");
     println!(
         "{:<10} {:>7} | {:>9} {:>9} {:>6} | {:>10} {:>10} {:>6} | {:>9} {:>9} {:>5}",
-        "App", "n", "CEAL", "SaSML", "S/C", "CEAL upd", "SaSML upd", "S/C", "CEAL mem", "SaSML mem", "S/C"
+        "App",
+        "n",
+        "CEAL",
+        "SaSML",
+        "S/C",
+        "CEAL upd",
+        "SaSML upd",
+        "S/C",
+        "CEAL mem",
+        "SaSML mem",
+        "S/C"
     );
     println!("{}", "-".repeat(112));
     for b in table2_benches() {
@@ -218,10 +242,15 @@ fn fig15(_opts: &Opts) {
     use ceal_compiler::pipeline::compile;
     use ceal_lang::{benchmarks, frontend};
     println!("\n=== Fig. 15: compile time vs generated code size ===\n");
-    println!("{:>18} | {:>12} | {:>12} | {:>14}", "program", "out bytes", "time (s)", "ns per byte");
+    println!(
+        "{:>18} | {:>12} | {:>12} | {:>14}",
+        "program", "out bytes", "time (s)", "ns per byte"
+    );
     println!("{}", "-".repeat(66));
-    let mut progs: Vec<(String, String)> =
-        benchmarks::all().iter().map(|(n, s)| (n.to_string(), s.to_string())).collect();
+    let mut progs: Vec<(String, String)> = benchmarks::all()
+        .iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
     // Also synthesize larger programs by concatenating sources whose
     // definitions do not collide, to extend the size axis (the paper's
     // driver is similarly a concatenation).
@@ -257,9 +286,9 @@ fn fig15(_opts: &Opts) {
 /// same observable (the paper measures CEAL 3-4x slower).
 fn handopt(opts: &Opts) {
     use ceal_runtime::prelude::*;
+    use ceal_runtime::prng::Prng;
     use ceal_suite::handopt::HandTcon;
     use ceal_suite::sac::tcon::{build_tree, tcon_program};
-    use ceal_runtime::prng::Prng;
     use std::time::Instant;
 
     let n = opts.get_usize("n", 20_000);
@@ -274,7 +303,9 @@ fn handopt(opts: &Opts) {
     let res = e.meta_modref();
     e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
     let mut rng = Prng::seed_from_u64(seed ^ 1);
-    let picks: Vec<usize> = (0..edits).map(|_| rng.gen_range(0..tree.edges.len())).collect();
+    let picks: Vec<usize> = (0..edits)
+        .map(|_| rng.gen_range(0..tree.edges.len()))
+        .collect();
     let t0 = Instant::now();
     let mut updates = 0u32;
     for &i in &picks {
@@ -307,7 +338,10 @@ fn handopt(opts: &Opts) {
     println!("n = {}, {} updates each:", fmt_n(n), updates);
     println!("  self-adjusting tcon : {}/update", fmt_secs(sac_update));
     println!("  hand-optimized      : {}/update", fmt_secs(hand_update));
-    println!("  framework cost      : {:.1}x slower", sac_update / hand_update);
+    println!(
+        "  framework cost      : {:.1}x slower",
+        sac_update / hand_update
+    );
     println!("\n(The paper measures its compiled tcon 3-4x slower than the");
     println!(" hand-optimized implementation of [6]; a general-purpose trace");
     println!(" pays for what a purpose-built update algorithm hard-codes.)\n");
@@ -320,12 +354,44 @@ fn ablation(opts: &Opts) {
     let edits = opts.get_usize("edits", 100);
     let seed = opts.get_usize("seed", 42) as u64;
     let configs = [
-        ("full", EngineConfig { memo: true, keyed_alloc: true, sml_sim: None }),
-        ("no-memo", EngineConfig { memo: false, keyed_alloc: true, sml_sim: None }),
-        ("no-keyed-alloc", EngineConfig { memo: true, keyed_alloc: false, sml_sim: None }),
-        ("neither", EngineConfig { memo: false, keyed_alloc: false, sml_sim: None }),
+        (
+            "full",
+            EngineConfig {
+                memo: true,
+                keyed_alloc: true,
+                sml_sim: None,
+            },
+        ),
+        (
+            "no-memo",
+            EngineConfig {
+                memo: false,
+                keyed_alloc: true,
+                sml_sim: None,
+            },
+        ),
+        (
+            "no-keyed-alloc",
+            EngineConfig {
+                memo: true,
+                keyed_alloc: false,
+                sml_sim: None,
+            },
+        ),
+        (
+            "neither",
+            EngineConfig {
+                memo: false,
+                keyed_alloc: false,
+                sml_sim: None,
+            },
+        ),
     ];
-    println!("\n=== Ablation: average update time (n={}, {} edit positions) ===\n", fmt_n(n), edits);
+    println!(
+        "\n=== Ablation: average update time (n={}, {} edit positions) ===\n",
+        fmt_n(n),
+        edits
+    );
     println!(
         "{:<10} | {:>12} {:>12} {:>14} {:>12}",
         "bench", "full", "no-memo", "no-keyed-alloc", "neither"

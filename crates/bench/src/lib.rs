@@ -18,6 +18,7 @@
 //! harness).
 
 pub mod prng;
+pub mod profile;
 pub mod runtime_bench;
 pub mod timer;
 
@@ -75,18 +76,25 @@ impl Opts {
 
     /// Integer option `--name v` with a default.
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get(name).map(|v| v.parse().unwrap_or(default)).unwrap_or(default)
+        self.get(name)
+            .map(|v| v.parse().unwrap_or(default))
+            .unwrap_or(default)
     }
 
     /// Float option.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.get(name).map(|v| v.parse().unwrap_or(default)).unwrap_or(default)
+        self.get(name)
+            .map(|v| v.parse().unwrap_or(default))
+            .unwrap_or(default)
     }
 
     /// Raw option lookup.
     pub fn get(&self, name: &str) -> Option<&str> {
         let key = format!("--{name}");
-        self.args.windows(2).find(|w| w[0] == key).map(|w| w[1].as_str())
+        self.args
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
     }
 
     /// Presence of a bare flag.
@@ -114,7 +122,9 @@ mod tests {
 
     #[test]
     fn opts_parse() {
-        let o = Opts { args: vec!["--n".into(), "42".into(), "--quick".into()] };
+        let o = Opts {
+            args: vec!["--n".into(), "42".into(), "--quick".into()],
+        };
         assert_eq!(o.get_usize("n", 7), 42);
         assert_eq!(o.get_usize("m", 7), 7);
         assert!(o.has("quick"));

@@ -1,0 +1,421 @@
+//! Deterministic propagation profiles and the counter gate behind
+//! `tables bench --profile` / `tables bench --gate` (DESIGN.md §10).
+//!
+//! Wall-clock numbers are useless as a CI regression gate on shared
+//! runners, but the engine's operation counters are a *deterministic*
+//! function of (program, input seed, edit script): the same build
+//! performs exactly the same reads, memo probes and purges on every
+//! machine. This module runs a fixed set of profile workloads with
+//! [`Engine::enable_profiling`], emits the per-phase reports as
+//! `BENCH_profile.json`, and — in gate mode — diffs the flattened
+//! counters against the checked-in golden file
+//! `crates/bench/baselines/profile_golden.json`, failing with a
+//! per-counter delta table on any drift.
+//!
+//! Blessing a deliberate change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo run --release -p ceal-bench --bin tables -- bench --gate
+//! ```
+//!
+//! Workload sizes are fixed (no `--quick` scaling) so golden counters
+//! are identical in every configuration that runs them.
+
+use crate::Opts;
+use ceal_runtime::prelude::*;
+use ceal_runtime::prng::Prng;
+use ceal_suite::input;
+use ceal_suite::sac::{exptrees, listops, sort, tcon};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The profile edit schedule: same shuffle as the Table 1 harness.
+fn edit_positions(n: usize, max_edits: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = Prng::seed_from_u64(seed ^ 0xED17);
+    rng.shuffle(&mut order);
+    order.truncate(max_edits.min(n));
+    order
+}
+
+/// The engine microbench workload: a 64-deep copy chain driven through
+/// modify/propagate, then a full purge.
+fn profile_chain64() -> Profile {
+    let mut b = ProgramBuilder::new();
+    let body = b.native("copy_body", |e, args| {
+        e.write(args[1].modref(), args[0]);
+        Tail::Done
+    });
+    let copy = b.native("copy", move |_e, args| {
+        Tail::read(args[0].modref(), body, &args[1..])
+    });
+    let mut e = Engine::new(b.build());
+    e.enable_profiling();
+    let chain: Vec<_> = (0..65).map(|_| e.meta_modref()).collect();
+    e.modify(chain[0], Value::Int(0));
+    for w in chain.windows(2) {
+        e.run_core(copy, &[Value::ModRef(w[0]), Value::ModRef(w[1])]);
+    }
+    for k in 1..=20i64 {
+        e.modify(chain[0], Value::Int(k));
+        e.propagate();
+        assert_eq!(
+            e.deref(chain[64]),
+            Value::Int(k),
+            "chain64 propagated wrong value"
+        );
+    }
+    e.clear_core();
+    e.take_profile("engine_chain64")
+}
+
+/// List map at n=4096 with 25 delete/insert propagation round trips.
+fn profile_map() -> Profile {
+    let (n, seed) = (4096usize, 42u64);
+    let (p, f) = listops::map_program();
+    let mut e = Engine::new(p);
+    e.enable_profiling();
+    let data = input::random_ints(n, seed);
+    let vals: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
+    let l = input::build_list(&mut e, &vals);
+    let out = e.meta_modref();
+    e.run_core(f, &[Value::ModRef(l.head), Value::ModRef(out)]);
+    let expect: Vec<Value> = data
+        .iter()
+        .map(|&x| Value::Int(listops::paper_map_fn(x)))
+        .collect();
+    assert_eq!(
+        input::collect_list(&e, out),
+        expect,
+        "map_4k initial output wrong"
+    );
+    for &i in &edit_positions(n, 25, seed) {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+        }
+    }
+    assert_eq!(
+        input::collect_list(&e, out),
+        expect,
+        "map_4k output wrong after edits"
+    );
+    e.clear_core();
+    e.take_profile("map_4k")
+}
+
+/// Quicksort on 1000 random strings with 10 delete/insert round trips.
+fn profile_quicksort() -> Profile {
+    let (n, seed) = (1000usize, 42u64);
+    let (p, f) = sort::quicksort_program();
+    let mut e = Engine::new(p);
+    e.enable_profiling();
+    let strings = input::random_strings(n, seed);
+    let vals: Vec<Value> = strings.iter().map(|s| e.intern(s)).collect();
+    let l = input::build_list(&mut e, &vals);
+    let out = e.meta_modref();
+    e.run_core(f, &[Value::ModRef(l.head), Value::ModRef(out)]);
+    let sorted = |e: &Engine| {
+        let got = input::collect_list(e, out);
+        got.len() == n && got.windows(2).all(|w| sort::value_le(e, w[0], w[1]))
+    };
+    assert!(sorted(&e), "quicksort_1k initial output not sorted");
+    for &i in &edit_positions(n, 10, seed) {
+        if l.delete(&mut e, i) {
+            e.propagate();
+            l.insert(&mut e, i);
+            e.propagate();
+        }
+    }
+    assert!(sorted(&e), "quicksort_1k output not sorted after edits");
+    e.clear_core();
+    e.take_profile("quicksort_1k")
+}
+
+/// Expression-tree evaluation over 4096 leaves with 25 leaf toggles.
+fn profile_exptrees() -> Profile {
+    let (n, seed) = (4096usize, 42u64);
+    let (p, eval) = exptrees::exptrees_program();
+    let mut e = Engine::new(p);
+    e.enable_profiling();
+    let tree = exptrees::build_exptree(&mut e, n, seed);
+    let res = e.meta_modref();
+    e.run_core(eval, &[Value::ModRef(tree.root), Value::ModRef(res)]);
+    let expect = exptrees::eval_conventional(&e, e.deref(tree.root));
+    let close = |a: Value, b: f64| (a.float() - b).abs() < 1e-6 * (1.0 + b.abs());
+    assert!(
+        close(e.deref(res), expect),
+        "exptrees_4k initial value wrong"
+    );
+    for &i in &edit_positions(tree.leaves.len(), 25, seed) {
+        let (slot, _, leaf, alt) = tree.leaves[i];
+        e.modify(slot, alt);
+        e.propagate();
+        e.modify(slot, leaf);
+        e.propagate();
+    }
+    assert!(
+        close(e.deref(res), expect),
+        "exptrees_4k value wrong after edits"
+    );
+    e.clear_core();
+    e.take_profile("exptrees_4k")
+}
+
+/// Tree contraction at n=2000 with 10 edge delete/insert round trips —
+/// the fig13 anchor workload in counter form.
+fn profile_tcon() -> Profile {
+    let (n, seed) = (2000usize, 42u64);
+    let (p, f) = tcon::tcon_program();
+    let mut e = Engine::new(p);
+    e.enable_profiling();
+    let tree = tcon::build_tree(&mut e, n, seed);
+    let res = e.meta_modref();
+    e.run_core(f, &[Value::ModRef(tree.root), Value::ModRef(res)]);
+    assert_eq!(
+        e.deref(res),
+        Value::Int(n as i64),
+        "tcon_2k initial count wrong"
+    );
+    for &i in &edit_positions(tree.edges.len(), 10, seed) {
+        if tree.delete_edge(&mut e, i) {
+            e.propagate();
+            tree.insert_edge(&mut e, i);
+            e.propagate();
+        }
+    }
+    assert_eq!(
+        e.deref(res),
+        Value::Int(n as i64),
+        "tcon_2k count wrong after edits"
+    );
+    e.clear_core();
+    e.take_profile("tcon_2k")
+}
+
+/// Runs every profile workload and returns the reports, in a fixed
+/// order.
+pub fn collect_profiles() -> Vec<Profile> {
+    vec![
+        profile_chain64(),
+        profile_map(),
+        profile_quicksort(),
+        profile_exptrees(),
+        profile_tcon(),
+    ]
+}
+
+/// The `BENCH_profile.json` document for a set of profiles.
+pub fn profiles_json(profiles: &[Profile]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"ceal-bench-profile/v1\",\n  \"profiles\": [\n");
+    for (i, p) in profiles.iter().enumerate() {
+        s.push_str(&p.to_json(4));
+        s.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Flattens profiles to sorted `key → value` pairs for gating.
+pub fn flatten(profiles: &[Profile]) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = profiles.iter().flat_map(|p| p.flat_counters()).collect();
+    out.sort();
+    out
+}
+
+/// The checked-in golden profile next to the crate sources, so the
+/// gate works from any working directory.
+pub fn golden_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/profile_golden.json"
+    ))
+}
+
+/// Renders flattened counters as the golden file: valid JSON, one
+/// counter per line, so drift reviews are plain line diffs.
+pub fn render_golden(flat: &[(String, u64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"ceal-profile-golden/v1\",\n  \"counters\": {\n");
+    for (i, (k, v)) in flat.iter().enumerate() {
+        let _ = write!(s, "    \"{k}\": {v}");
+        s.push_str(if i + 1 < flat.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parses a golden file back to `key → value` pairs. Counter keys are
+/// recognized by their `bench/section/counter` shape, so no general
+/// JSON parser is needed (the workspace deliberately has none).
+pub fn parse_golden(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, val)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if !key.contains('/') {
+            continue;
+        }
+        let val: u64 = val
+            .trim()
+            .parse()
+            .map_err(|e| format!("golden line `{line}`: bad counter value ({e})"))?;
+        out.push((key.to_string(), val));
+    }
+    if out.is_empty() {
+        return Err("golden file contains no counters".to_string());
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Compares current counters against the golden set. `None` means they
+/// match exactly; `Some` carries the per-counter delta table.
+pub fn diff_counters(current: &[(String, u64)], golden: &[(String, u64)]) -> Option<String> {
+    use std::collections::BTreeMap;
+    let cur: BTreeMap<&str, u64> = current.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let gold: BTreeMap<&str, u64> = golden.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut rows = Vec::new();
+    for (k, &g) in &gold {
+        match cur.get(k) {
+            Some(&c) if c == g => {}
+            Some(&c) => rows.push(format!(
+                "  {k:<44} {g:>12} {c:>12} {:>+12}",
+                c as i128 - g as i128
+            )),
+            None => rows.push(format!("  {k:<44} {g:>12} {:>12} {:>12}", "-", "missing")),
+        }
+    }
+    for (k, &c) in &cur {
+        if !gold.contains_key(k) {
+            rows.push(format!("  {k:<44} {:>12} {c:>12} {:>12}", "-", "new"));
+        }
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let mut t = String::from("counter gate FAILED: deterministic counters drifted from golden\n");
+    let _ = writeln!(
+        t,
+        "  {:<44} {:>12} {:>12} {:>12}",
+        "counter", "golden", "current", "delta"
+    );
+    for r in rows {
+        let _ = writeln!(t, "{r}");
+    }
+    Some(t)
+}
+
+/// `tables bench --profile`: run the workloads, print the tables, and
+/// write the JSON report next to `BENCH_runtime.json`.
+pub fn run_profile(opts: &Opts) {
+    let out_path = opts
+        .get("profile-out")
+        .unwrap_or("BENCH_profile.json")
+        .to_string();
+    let profiles = collect_profiles();
+    println!();
+    for p in &profiles {
+        println!("{}", p.render_table());
+    }
+    std::fs::write(&out_path, profiles_json(&profiles)).expect("write profile json");
+    println!("profiles written to {out_path}");
+}
+
+/// `tables bench --gate`: run the workloads and compare against the
+/// golden file (or re-bless it when `UPDATE_GOLDEN=1`). Returns the
+/// process exit code.
+pub fn run_gate(opts: &Opts) -> i32 {
+    let profiles = collect_profiles();
+    let current = flatten(&profiles);
+    let path = opts
+        .get("golden")
+        .map(PathBuf::from)
+        .unwrap_or_else(golden_path);
+
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, render_golden(&current)).expect("write golden profile");
+        println!(
+            "counter gate: blessed {} counters into {}",
+            current.len(),
+            path.display()
+        );
+        return 0;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "counter gate: cannot read golden {} ({e}); bless one with \
+                 UPDATE_GOLDEN=1 `tables bench --gate`",
+                path.display()
+            );
+            return 1;
+        }
+    };
+    let golden = match parse_golden(&text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("counter gate: malformed golden {}: {e}", path.display());
+            return 1;
+        }
+    };
+    match diff_counters(&current, &golden) {
+        None => {
+            println!(
+                "counter gate: {} counters across {} workloads match golden",
+                current.len(),
+                profiles.len()
+            );
+            0
+        }
+        Some(table) => {
+            eprintln!("{table}");
+            eprintln!(
+                "If this change is intended, re-bless with:\n  UPDATE_GOLDEN=1 cargo run \
+                 --release -p ceal-bench --bin tables -- bench --gate"
+            );
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_round_trips_and_diffs() {
+        let flat = vec![
+            ("a/init/reads_created".to_string(), 10u64),
+            ("a/propagate/memo_hits".to_string(), 3),
+            ("b/final/trace_len".to_string(), 0),
+        ];
+        let text = render_golden(&flat);
+        assert!(text.starts_with('{') && text.ends_with("}\n"));
+        let parsed = parse_golden(&text).unwrap();
+        assert_eq!(parsed, flat);
+        assert!(diff_counters(&flat, &parsed).is_none());
+
+        // A drifted counter produces a delta row naming it.
+        let mut drifted = flat.clone();
+        drifted[1].1 = 5;
+        let table = diff_counters(&drifted, &parsed).expect("drift detected");
+        assert!(table.contains("a/propagate/memo_hits"));
+        assert!(table.contains("+2"));
+        // Added/removed counters are reported too.
+        let extra = vec![("c/init/writes_created".to_string(), 1u64)]
+            .into_iter()
+            .chain(flat.clone());
+        let mut extra: Vec<_> = extra.collect();
+        extra.sort();
+        let table = diff_counters(&extra, &parsed).expect("new counter detected");
+        assert!(table.contains("c/init/writes_created") && table.contains("new"));
+    }
+}

@@ -41,6 +41,11 @@ impl Entry {
 
 /// Runs the full harness; entry point for `tables bench`.
 pub fn run(opts: &Opts) {
+    // Gate mode: deterministic counter workloads + golden compare only,
+    // no timing (the whole point is independence from runner speed).
+    if opts.has("gate") {
+        std::process::exit(crate::profile::run_gate(opts));
+    }
     let quick = opts.has("quick");
     let out_path = opts.get("out").unwrap_or("BENCH_runtime.json").to_string();
     let seed = opts.get_usize("seed", 42) as u64;
@@ -66,15 +71,17 @@ pub fn run(opts: &Opts) {
         match load_baseline(path) {
             Ok(base) => {
                 for e in &mut entries {
-                    e.baseline_secs = base
-                        .iter()
-                        .find(|(n, _)| n == &e.name)
-                        .map(|&(_, s)| s);
+                    e.baseline_secs = base.iter().find(|(n, _)| n == &e.name).map(|&(_, s)| s);
                 }
                 println!("\nvs baseline `{path}`:");
                 for e in &entries {
                     if let Some(s) = e.speedup() {
-                        println!("  {:<44} {:>6.2}x {}", e.name, s, if s >= 1.0 { "faster" } else { "slower" });
+                        println!(
+                            "  {:<44} {:>6.2}x {}",
+                            e.name,
+                            s,
+                            if s >= 1.0 { "faster" } else { "slower" }
+                        );
                     }
                 }
             }
@@ -93,6 +100,12 @@ pub fn run(opts: &Opts) {
 
     std::fs::write(&out_path, to_json(&entries, quick, seed)).expect("write bench json");
     println!("\nresults written to {out_path}");
+
+    // Profile mode: also run the deterministic counter workloads and
+    // write their per-phase reports next to the timing JSON.
+    if opts.has("profile") {
+        crate::profile::run_profile(opts);
+    }
 }
 
 /// Order-maintenance microbenches. Dense same-point insertion is the
@@ -110,7 +123,11 @@ fn order_benches(entries: &mut Vec<Entry>, n: usize, budget: u64, seed: u64) {
         }
         std::hint::black_box(ord.len());
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 
     let s = bench_with_budget(&format!("order/dense_insert_{k}"), budget, || {
         let mut ord = OrderList::new();
@@ -120,7 +137,11 @@ fn order_benches(entries: &mut Vec<Entry>, n: usize, budget: u64, seed: u64) {
         }
         std::hint::black_box(ord.relabel_count());
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 
     let s = bench_with_budget(&format!("order/random_insert_{k}"), budget, || {
         let mut rng = Prng::seed_from_u64(seed);
@@ -132,7 +153,11 @@ fn order_benches(entries: &mut Vec<Entry>, n: usize, budget: u64, seed: u64) {
         }
         std::hint::black_box(ord.len());
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 
     let s = bench_with_budget(&format!("order/churn_{k}"), budget, || {
         let mut rng = Prng::seed_from_u64(seed ^ 0xC0FFEE);
@@ -155,7 +180,11 @@ fn order_benches(entries: &mut Vec<Entry>, n: usize, budget: u64, seed: u64) {
         }
         std::hint::black_box(ord.len());
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 
     // Comparison throughput over a pre-built list (read-only).
     let mut ord = OrderList::new();
@@ -176,7 +205,11 @@ fn order_benches(entries: &mut Vec<Entry>, n: usize, budget: u64, seed: u64) {
         }
         std::hint::black_box(lt);
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 }
 
 /// Engine hot-path microbenches: a one-read dependency chain driven
@@ -188,7 +221,9 @@ fn engine_benches(entries: &mut Vec<Entry>, budget: u64) {
         e.write(args[1].modref(), args[0]);
         Tail::Done
     });
-    let copy = b.native("copy", move |_e, args| Tail::read(args[0].modref(), body, &args[1..]));
+    let copy = b.native("copy", move |_e, args| {
+        Tail::read(args[0].modref(), body, &args[1..])
+    });
     let p = b.build();
 
     let mut e = Engine::new(p.clone());
@@ -202,7 +237,11 @@ fn engine_benches(entries: &mut Vec<Entry>, budget: u64) {
         e.propagate();
         std::hint::black_box(e.deref(o));
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 
     // A chain of 64 copies: propagation walks a longer trace segment,
     // so per-update cost is dominated by queue + order comparisons.
@@ -219,7 +258,11 @@ fn engine_benches(entries: &mut Vec<Entry>, budget: u64) {
         e.propagate();
         std::hint::black_box(e.deref(chain[64]));
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 
     // Same-value writes: `modify` should detect the no-op and skip
     // enqueueing readers entirely.
@@ -228,7 +271,11 @@ fn engine_benches(entries: &mut Vec<Entry>, budget: u64) {
         e.modify(chain[0], Value::Int(k));
         std::hint::black_box(&e);
     });
-    entries.push(Entry { name: s.name, secs: s.secs_per_iter, baseline_secs: None });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
 }
 
 /// The Fig. 13 anchor point: tcon at full size, from scratch and per
@@ -243,8 +290,16 @@ fn tcon_bench(entries: &mut Vec<Entry>, n: usize, edits: usize, seed: u64, reps:
         best_self = best_self.min(m.self_s);
         best_update = best_update.min(m.update_s);
     }
-    println!("{:<40} {}/run", format!("fig13_tcon/from_scratch_{k}"), crate::fmt_secs(best_self));
-    println!("{:<40} {}/update", format!("fig13_tcon/update_{k}"), crate::fmt_secs(best_update));
+    println!(
+        "{:<40} {}/run",
+        format!("fig13_tcon/from_scratch_{k}"),
+        crate::fmt_secs(best_self)
+    );
+    println!(
+        "{:<40} {}/update",
+        format!("fig13_tcon/update_{k}"),
+        crate::fmt_secs(best_update)
+    );
     entries.push(Entry {
         name: format!("fig13_tcon/from_scratch_{k}"),
         secs: best_self,
@@ -266,8 +321,12 @@ fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
         if line.is_empty() {
             continue;
         }
-        let (name, secs) = line.rsplit_once(' ').ok_or_else(|| format!("bad line: {line}"))?;
-        let secs: f64 = secs.parse().map_err(|e| format!("bad secs in {line}: {e}"))?;
+        let (name, secs) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("bad line: {line}"))?;
+        let secs: f64 = secs
+            .parse()
+            .map_err(|e| format!("bad secs in {line}: {e}"))?;
         out.push((name.to_string(), secs));
     }
     Ok(out)
@@ -285,9 +344,14 @@ fn to_json(entries: &[Entry], quick: bool, seed: u64) -> String {
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(s, "    {:?}: {{\"secs\": {:e}", e.name, e.secs);
         if let Some(b) = e.baseline_secs {
-            let _ = write!(s, ", \"baseline_secs\": {:e}, \"speedup\": {:.3}", b, b / e.secs);
+            let _ = write!(
+                s,
+                ", \"baseline_secs\": {:e}, \"speedup\": {:.3}",
+                b,
+                b / e.secs
+            );
         }
-        s.push_str("}");
+        s.push('}');
         s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     s.push_str("  }\n}\n");
@@ -301,8 +365,16 @@ mod tests {
     #[test]
     fn json_shape_and_baseline_roundtrip() {
         let entries = vec![
-            Entry { name: "a/b_1k".into(), secs: 1.5e-3, baseline_secs: Some(3.0e-3) },
-            Entry { name: "c".into(), secs: 2.0, baseline_secs: None },
+            Entry {
+                name: "a/b_1k".into(),
+                secs: 1.5e-3,
+                baseline_secs: Some(3.0e-3),
+            },
+            Entry {
+                name: "c".into(),
+                secs: 2.0,
+                baseline_secs: None,
+            },
         ];
         let j = to_json(&entries, true, 42);
         assert!(j.contains("\"a/b_1k\""));

@@ -2,7 +2,7 @@
 //! for the external criterion harness).
 //!
 //! `cargo bench` runs each `benches/*.rs` binary with `harness = false`;
-//! those binaries call [`bench`] per case. Measurements warm up briefly,
+//! those binaries call [`bench()`] per case. Measurements warm up briefly,
 //! then repeat the closure until a time budget is spent and report the
 //! *median* of per-batch averages — robust to scheduler noise, which is
 //! all a repo-CI smoke needs. For the machine-readable perf trajectory
@@ -51,8 +51,15 @@ pub fn bench_with_budget(name: &str, budget_ms: u64, mut f: impl FnMut()) -> Sam
     }
     batch_means.sort_by(|a, b| a.total_cmp(b));
     let median = batch_means[batch_means.len() / 2];
-    println!("{name:<40} {:>12}/iter   ({iters} iters)", crate::fmt_secs(median));
-    Sample { name: name.to_string(), secs_per_iter: median, iters }
+    println!(
+        "{name:<40} {:>12}/iter   ({iters} iters)",
+        crate::fmt_secs(median)
+    );
+    Sample {
+        name: name.to_string(),
+        secs_per_iter: median,
+        iters,
+    }
 }
 
 /// [`bench_with_budget`] with the default 300 ms budget.

@@ -29,7 +29,10 @@ fn c_atom(p: &Program, a: &Atom) -> String {
 }
 
 fn c_args(p: &Program, args: &[Atom]) -> String {
-    args.iter().map(|a| c_atom(p, a)).collect::<Vec<_>>().join(", ")
+    args.iter()
+        .map(|a| c_atom(p, a))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn c_prim(op: Prim) -> &'static str {
@@ -130,7 +133,11 @@ pub fn emit_c(p: &Program) -> String {
                         sep,
                         rest
                     );
-                    let _ = writeln!(out, "    return modref_read(v{}, c); }} /* v{} */", m.0, x.0);
+                    let _ = writeln!(
+                        out,
+                        "    return modref_read(v{}, c); }} /* v{} */",
+                        m.0, x.0
+                    );
                 }
                 Block::Cmd(c, j) => {
                     match c {
@@ -177,10 +184,14 @@ pub fn emit_c(p: &Program) -> String {
                             );
                         }
                         Cmd::Write(m, a) => {
-                            let _ =
-                                writeln!(out, "  modref_write(v{}, {});", m.0, c_atom(p, a));
+                            let _ = writeln!(out, "  modref_write(v{}, {});", m.0, c_atom(p, a));
                         }
-                        Cmd::Alloc { dst, words, init, args } => {
+                        Cmd::Alloc {
+                            dst,
+                            words,
+                            init,
+                            args,
+                        } => {
                             let sep = if args.is_empty() { "" } else { ", " };
                             let _ = writeln!(
                                 out,
@@ -274,12 +285,7 @@ pub fn emit_c_baseline(p: &Program) -> String {
                             let _ = writeln!(out, "  v{} = modref_keyed({});", d.0, c_args(p, k));
                         }
                         Cmd::ModrefInit(x, i) => {
-                            let _ = writeln!(
-                                out,
-                                "  modref_init(&v{}[{}]);",
-                                x.0,
-                                c_atom(p, i)
-                            );
+                            let _ = writeln!(out, "  modref_init(&v{}[{}]);", x.0, c_atom(p, i));
                         }
                         Cmd::Read(x, m) => {
                             let _ = writeln!(out, "  v{} = read(v{});", x.0, m.0);
@@ -287,7 +293,12 @@ pub fn emit_c_baseline(p: &Program) -> String {
                         Cmd::Write(m, a) => {
                             let _ = writeln!(out, "  write(v{}, {});", m.0, c_atom(p, a));
                         }
-                        Cmd::Alloc { dst, words, init, args } => {
+                        Cmd::Alloc {
+                            dst,
+                            words,
+                            init,
+                            args,
+                        } => {
                             let sep = if args.is_empty() { "" } else { ", " };
                             let _ = writeln!(
                                 out,
@@ -300,12 +311,7 @@ pub fn emit_c_baseline(p: &Program) -> String {
                             );
                         }
                         Cmd::Call(g, args) => {
-                            let _ = writeln!(
-                                out,
-                                "  {}({});",
-                                p.func(*g).name,
-                                c_args(p, args)
-                            );
+                            let _ = writeln!(out, "  {}({});", p.func(*g).name, c_args(p, args));
                         }
                     }
                     emit_jump_baseline(&mut out, p, j);

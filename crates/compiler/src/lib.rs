@@ -1,7 +1,7 @@
 //! # ceal-compiler — cealc's middle and back end
 //!
-//! * [`normalize`] — the unit-splitting normalization of §5 (Fig. 7),
-//! * [`translate`] — translation to trampolined target code (§6.2–6.3),
+//! * [`mod@normalize`] — the unit-splitting normalization of §5 (Fig. 7),
+//! * [`mod@translate`] — translation to trampolined target code (§6.2–6.3),
 //! * [`target`] — the target-code representation the VM executes,
 //! * [`emit_c`] — C emission mirroring Fig. 12,
 //! * [`pipeline`] — the `cealc` driver with per-phase timing and the

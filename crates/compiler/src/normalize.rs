@@ -76,8 +76,7 @@ pub fn normalize(p: &Program) -> Result<(Program, NormalizeStats), NormalizeErro
             out_funcs.push(f.clone());
             continue;
         }
-        let (main, news, dropped, ml) =
-            normalize_func(f, FuncRef(fi as u32), &mut next_fresh)?;
+        let (main, news, dropped, ml) = normalize_func(f, FuncRef(fi as u32), &mut next_fresh)?;
         stats.unreachable_dropped += dropped;
         stats.max_live = stats.max_live.max(ml);
         out_funcs.push(main);
@@ -148,7 +147,7 @@ fn normalize_func(
     // The original function keeps only its entry unit (if non-critical).
     for u in &us {
         let d = u.defining;
-        let critical = !(d == entry_node && !g.read_entry[d as usize]);
+        let critical = d != entry_node || g.read_entry[d as usize];
         let mut params: Vec<Var> = Vec::new();
         if critical {
             let dl = label_of(d);
@@ -171,7 +170,12 @@ fn normalize_func(
         for (i, &m) in u.members.iter().enumerate() {
             remap.insert(label_of(m), Label(i as u32));
         }
-        plans.push(UnitPlan { critical, func, params, remap });
+        plans.push(UnitPlan {
+            critical,
+            func,
+            params,
+            remap,
+        });
     }
 
     // Rewrites the jumps of one block belonging to unit `ui`.
@@ -180,9 +184,8 @@ fn normalize_func(
             Jump::Tail(..) => Ok(j.clone()),
             Jump::Goto(t) => {
                 let tnode = node_of(*t);
-                let tu = owner[tnode as usize].ok_or_else(|| {
-                    NormalizeError(format!("goto into unreachable block {t:?}"))
-                })?;
+                let tu = owner[tnode as usize]
+                    .ok_or_else(|| NormalizeError(format!("goto into unreachable block {t:?}")))?;
                 let tplan = &plans[tu];
                 let cross = tu != ui;
                 let from_read = f.block(src).is_read();
@@ -194,8 +197,11 @@ fn normalize_func(
                         // possible when the entry is not a read entry;
                         // then it is a self tail call to the original
                         // function — which keeps its own parameters.
-                        let args =
-                            f.params.iter().map(|(_, v)| Atom::Var(*v)).collect::<Vec<_>>();
+                        let args = f
+                            .params
+                            .iter()
+                            .map(|(_, v)| Atom::Var(*v))
+                            .collect::<Vec<_>>();
                         return Ok(Jump::Tail(self_ref, args));
                     }
                     let args = tplan.params.iter().map(|&v| Atom::Var(v)).collect();
@@ -303,7 +309,11 @@ fn free_vars_with(f: &Func, labels: &[Label], nvars: usize) -> VarSet {
 }
 
 fn build_type_map(f: &Func) -> HashMap<Var, Ty> {
-    f.params.iter().chain(f.locals.iter()).map(|&(t, v)| (v, t)).collect()
+    f.params
+        .iter()
+        .chain(f.locals.iter())
+        .map(|&(t, v)| (v, t))
+        .collect()
 }
 
 #[cfg(test)]
@@ -392,7 +402,10 @@ mod tests {
         let l1 = fb.reserve();
         let l2 = fb.reserve();
         let l3 = fb.reserve_done();
-        fb.define(l0, Block::Cond(Atom::Var(c), Jump::Goto(l1), Jump::Goto(l2)));
+        fb.define(
+            l0,
+            Block::Cond(Atom::Var(c), Jump::Goto(l1), Jump::Goto(l2)),
+        );
         fb.define(l1, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l3)));
         fb.define(l2, Block::Cmd(Cmd::Read(y, m), Jump::Goto(l3)));
         pb.define(fr, fb.finish());

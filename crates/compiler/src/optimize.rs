@@ -49,14 +49,12 @@ pub fn inline_trivial_returns(p: &Program) -> (Program, InlineStats) {
     for f in &p.funcs {
         let mut f = f.clone();
         // Find or reserve a done block to redirect to.
-        let mut done_label =
-            f.labels().find(|&l| matches!(f.block(l), Block::Done));
+        let mut done_label = f.labels().find(|&l| matches!(f.block(l), Block::Done));
         let needs: Vec<Label> = f
             .labels()
             .filter(|&l| {
-                let tail_to_trivial = |j: &Jump| {
-                    matches!(j, Jump::Tail(g, _) if trivial.contains(&g.0))
-                };
+                let tail_to_trivial =
+                    |j: &Jump| matches!(j, Jump::Tail(g, _) if trivial.contains(&g.0));
                 match f.block(l) {
                     Block::Done => false,
                     Block::Cond(_, j1, j2) => tail_to_trivial(j1) || tail_to_trivial(j2),
@@ -248,7 +246,12 @@ mod tests {
         fb.define(
             l0,
             Block::Cmd(
-                Cmd::Alloc { dst: p0, words: Atom::Int(1), init: fin, args: vec![] },
+                Cmd::Alloc {
+                    dst: p0,
+                    words: Atom::Int(1),
+                    init: fin,
+                    args: vec![],
+                },
                 Jump::Goto(l1),
             ),
         );

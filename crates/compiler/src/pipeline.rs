@@ -123,7 +123,12 @@ pub fn compile(p: &Program) -> Result<CompileOutput, CompileError> {
         target_words: target.repr_words(),
         input_words,
     };
-    Ok(CompileOutput { normalized, target, c_code, stats })
+    Ok(CompileOutput {
+        normalized,
+        target,
+        c_code,
+        stats,
+    })
 }
 
 /// The gcc-style baseline: emit plain C without normalization.
@@ -165,6 +170,9 @@ mod tests {
         assert!(out.stats.target_words > 0);
         assert!(out.target.find("copy").is_some());
         let (base_c, _) = compile_baseline(&copy_program());
-        assert!(out.c_code.len() > base_c.len(), "cealc output is larger (Table 3)");
+        assert!(
+            out.c_code.len() > base_c.len(),
+            "cealc output is larger (Table 3)"
+        );
     }
 }

@@ -186,7 +186,10 @@ pub struct TProgram {
 impl TProgram {
     /// Looks up a function by name.
     pub fn find(&self, name: &str) -> Option<TFuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| i as TFuncId)
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as TFuncId)
     }
 
     /// Representation size in words (Theorem 5's output-size measure).

@@ -45,7 +45,10 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
         ));
     }
     let mut funcs = Vec::with_capacity(p.funcs.len());
-    let mut stats = TranslateStats { funcs: p.funcs.len(), ..Default::default() };
+    let mut stats = TranslateStats {
+        funcs: p.funcs.len(),
+        ..Default::default()
+    };
     let mut arities: HashSet<usize> = HashSet::new();
 
     for f in &p.funcs {
@@ -64,7 +67,11 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                     // arms get stub blocks appended afterwards.
                     let c = operand(a);
                     let pc = code.len();
-                    code.push(TInstr::Branch { c, t: u32::MAX, f: u32::MAX });
+                    code.push(TInstr::Branch {
+                        c,
+                        t: u32::MAX,
+                        f: u32::MAX,
+                    });
                     match j1 {
                         Jump::Goto(l) => patches.push((pc, *l, false)),
                         Jump::Tail(g, args) => {
@@ -124,9 +131,10 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                         Cmd::Assign(d, e) => {
                             let dst = d.0 as Reg;
                             match e {
-                                Expr::Atom(a) => {
-                                    code.push(TInstr::Move { dst, src: operand(a) })
-                                }
+                                Expr::Atom(a) => code.push(TInstr::Move {
+                                    dst,
+                                    src: operand(a),
+                                }),
                                 Expr::Prim(op, xs) => match xs.as_slice() {
                                     [a] => code.push(TInstr::Prim {
                                         dst,
@@ -159,9 +167,10 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                             off: operand(i),
                             val: operand(v),
                         }),
-                        Cmd::Modref(d) => {
-                            code.push(TInstr::Modref { dst: d.0 as Reg, key: Vec::new() })
-                        }
+                        Cmd::Modref(d) => code.push(TInstr::Modref {
+                            dst: d.0 as Reg,
+                            key: Vec::new(),
+                        }),
                         Cmd::ModrefKeyed(d, k) => code.push(TInstr::Modref {
                             dst: d.0 as Reg,
                             key: k.iter().map(operand).collect(),
@@ -170,10 +179,16 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                             ptr: x.0 as Reg,
                             off: operand(i),
                         }),
-                        Cmd::Write(m, a) => {
-                            code.push(TInstr::Write { m: m.0 as Reg, val: operand(a) })
-                        }
-                        Cmd::Alloc { dst, words, init, args } => code.push(TInstr::Alloc {
+                        Cmd::Write(m, a) => code.push(TInstr::Write {
+                            m: m.0 as Reg,
+                            val: operand(a),
+                        }),
+                        Cmd::Alloc {
+                            dst,
+                            words,
+                            init,
+                            args,
+                        } => code.push(TInstr::Alloc {
                             dst: dst.0 as Reg,
                             words: operand(words),
                             init: init.0,
@@ -274,7 +289,9 @@ mod tests {
         // The original function ends in a ReadTail.
         let main = &t.funcs[0];
         assert!(
-            main.code.iter().any(|i| matches!(i, TInstr::ReadTail { .. })),
+            main.code
+                .iter()
+                .any(|i| matches!(i, TInstr::ReadTail { .. })),
             "{:?}",
             main.code
         );

@@ -57,7 +57,13 @@ pub fn load_cl(p: &Program, b: &mut ProgramBuilder) -> ClLoaded {
     for (i, f) in p.funcs.iter().enumerate() {
         let id = b.declare(&f.name);
         shared.engine_ids.borrow_mut().push(id);
-        b.define_opaque(id, Box::new(ClFn { shared: Rc::clone(&shared), idx: i }));
+        b.define_opaque(
+            id,
+            Box::new(ClFn {
+                shared: Rc::clone(&shared),
+                idx: i,
+            }),
+        );
     }
     ClLoaded { shared }
 }
@@ -155,7 +161,12 @@ impl ClFn {
                 let v = self.atom(env, a);
                 e.write(env[m.0 as usize].modref(), v);
             }
-            Cmd::Alloc { dst, words, init, args } => {
+            Cmd::Alloc {
+                dst,
+                words,
+                init,
+                args,
+            } => {
                 let w = self.atom(env, words).int();
                 let a = self.atoms(env, args);
                 let loc = e.alloc(w as usize, self.fid(*init), &a);
@@ -257,7 +268,10 @@ mod tests {
         let out = e.meta_modref();
         e.modify(a, Value::Int(4));
         e.modify(b, Value::Int(2));
-        e.run_core(entry, &[Value::ModRef(a), Value::ModRef(b), Value::ModRef(out)]);
+        e.run_core(
+            entry,
+            &[Value::ModRef(a), Value::ModRef(b), Value::ModRef(out)],
+        );
         assert_eq!(e.deref(out), Value::Int(42));
         e.modify(b, Value::Int(7));
         e.propagate();

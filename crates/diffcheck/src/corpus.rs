@@ -72,7 +72,9 @@ fn parse_edit(s: &str) -> Result<Edit, String> {
 }
 
 fn parse_nums(s: &str) -> Result<Vec<i64>, String> {
-    s.split_whitespace().map(|w| w.parse::<i64>().map_err(|e| format!("`{w}`: {e}"))).collect()
+    s.split_whitespace()
+        .map(|w| w.parse::<i64>().map_err(|e| format!("`{w}`: {e}")))
+        .collect()
 }
 
 /// Parses a corpus file back into a runnable [`TestCase`].
@@ -109,7 +111,12 @@ pub fn parse_corpus_file(text: &str) -> Result<TestCase, String> {
     if src.trim().is_empty() {
         return Err("corpus file has no program body".to_string());
     }
-    Ok(TestCase { src, scalars, list, edits })
+    Ok(TestCase {
+        src,
+        scalars,
+        list,
+        edits,
+    })
 }
 
 #[cfg(test)]

@@ -10,12 +10,18 @@
 use ceal_runtime::prng::Prng;
 
 use crate::spec::{
-    BinOp, Edit, Expr, Helper, ListSrc, ModSrc, Spec, SpecCase, Stmt, MAP_HEAD, WALK_ACC,
-    WALK_HEAD,
+    BinOp, Edit, Expr, Helper, ListSrc, ModSrc, Spec, SpecCase, Stmt, MAP_HEAD, WALK_ACC, WALK_HEAD,
 };
 
 const ARITH: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod];
-const CMP: [BinOp; 6] = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+const CMP: [BinOp; 6] = [
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+];
 
 struct Gen {
     rng: Prng,
@@ -95,7 +101,13 @@ impl Gen {
     /// Generates one statement into `out`; may push several (e.g. a
     /// read following a walk). `helpers` are the signatures generated
     /// so far (callable set: all for entry, lower indices for helpers).
-    fn stmt(&mut self, ctx: &mut Ctx, helpers: &[(usize, u32)], spec_info: &SpecInfo, out: &mut Vec<Stmt>) {
+    fn stmt(
+        &mut self,
+        ctx: &mut Ctx,
+        helpers: &[(usize, u32)],
+        spec_info: &SpecInfo,
+        out: &mut Vec<Stmt>,
+    ) {
         let callable = match ctx.helper {
             Some(k) => &helpers[..k],
             None => helpers,
@@ -144,8 +156,12 @@ impl Gen {
                 out.push(Stmt::Let(v, e));
             }
             "assign" => {
-                let targets: Vec<u32> =
-                    ctx.ints.iter().copied().filter(|v| !ctx.loop_ctrs.contains(v)).collect();
+                let targets: Vec<u32> = ctx
+                    .ints
+                    .iter()
+                    .copied()
+                    .filter(|v| !ctx.loop_ctrs.contains(v))
+                    .collect();
                 let e = self.expr(&ctx.ints, 2);
                 match self.rng.choose(&targets) {
                     Some(&v) => out.push(Stmt::Assign(v, e)),
@@ -209,11 +225,17 @@ impl Gen {
                     return;
                 }
                 let ints = (0..n_ints).map(|_| self.expr(&ctx.ints, 1)).collect();
-                let mods =
-                    (0..n_mods).map(|_| *self.rng.choose(&ctx.int_mods).unwrap()).collect();
+                let mods = (0..n_mods)
+                    .map(|_| *self.rng.choose(&ctx.int_mods).unwrap())
+                    .collect();
                 let dst = self.fresh();
                 ctx.int_mods.push(ModSrc::Local(dst));
-                out.push(Stmt::CallHelper { dst, helper: helper as u32, ints, mods });
+                out.push(Stmt::CallHelper {
+                    dst,
+                    helper: helper as u32,
+                    ints,
+                    mods,
+                });
                 // Usually read the result right away.
                 if self.rng.gen_bool(0.8) {
                     let v = self.fresh();
@@ -227,7 +249,12 @@ impl Gen {
                 let init = self.expr(&ctx.ints, 1);
                 let dst = self.fresh();
                 ctx.int_mods.push(ModSrc::Local(dst));
-                out.push(Stmt::WalkList { dst, walker, src, init });
+                out.push(Stmt::WalkList {
+                    dst,
+                    walker,
+                    src,
+                    init,
+                });
                 if self.rng.gen_bool(0.85) {
                     let v = self.fresh();
                     ctx.ints.push(v);
@@ -283,13 +310,28 @@ struct SpecInfo {
 
 /// Deterministically generates the test case for `seed`.
 pub fn gen_case(seed: u64) -> SpecCase {
-    let mut g = Gen { rng: Prng::seed_from_u64(seed ^ 0xD1FF_C4EC), next_id: 0 };
+    let mut g = Gen {
+        rng: Prng::seed_from_u64(seed ^ 0xD1FF_C4EC),
+        next_id: 0,
+    };
 
     let n_scalars = g.rng.gen_range(1u32..=4);
     let has_list = g.rng.gen_bool(0.6);
-    let n_mappers = if has_list { g.rng.gen_range(0usize..=2) } else { 0 };
-    let n_walkers = if has_list { g.rng.gen_range(1usize..=2) } else { 0 };
-    let info = SpecInfo { has_list, n_mappers, n_walkers };
+    let n_mappers = if has_list {
+        g.rng.gen_range(0usize..=2)
+    } else {
+        0
+    };
+    let n_walkers = if has_list {
+        g.rng.gen_range(1usize..=2)
+    } else {
+        0
+    };
+    let info = SpecInfo {
+        has_list,
+        n_mappers,
+        n_walkers,
+    };
 
     let mappers: Vec<Expr> = (0..n_mappers).map(|_| g.expr(&[MAP_HEAD], 2)).collect();
     let walkers: Vec<Expr> = (0..n_walkers)
@@ -319,7 +361,9 @@ pub fn gen_case(seed: u64) -> SpecCase {
     let mut helpers: Vec<Helper> = Vec::new();
     let mut sigs: Vec<(usize, u32)> = Vec::new();
     for k in 0..n_helpers {
-        let int_params: Vec<u32> = (0..g.rng.gen_range(0usize..=3)).map(|_| g.fresh()).collect();
+        let int_params: Vec<u32> = (0..g.rng.gen_range(0usize..=3))
+            .map(|_| g.fresh())
+            .collect();
         let n_mods = g.rng.gen_range(0u32..=2);
         let mut ctx = Ctx {
             ints: int_params.clone(),
@@ -337,7 +381,12 @@ pub fn gen_case(seed: u64) -> SpecCase {
         }
         let ret = g.expr(&ctx.ints, 2);
         sigs.push((int_params.len(), n_mods));
-        helpers.push(Helper { int_params, n_mods, body, ret });
+        helpers.push(Helper {
+            int_params,
+            n_mods,
+            body,
+            ret,
+        });
     }
 
     // Entry: read every scalar up front so edits are never dead, then
@@ -366,18 +415,33 @@ pub fn gen_case(seed: u64) -> SpecCase {
         let src = g.list_src(&ctx);
         let init = g.expr(&ctx.ints, 1);
         let dst = g.fresh();
-        body.push(Stmt::WalkList { dst, walker, src, init });
+        body.push(Stmt::WalkList {
+            dst,
+            walker,
+            src,
+            init,
+        });
         let v = g.fresh();
         ctx.ints.push(v);
         body.push(Stmt::ReadMod(v, ModSrc::Local(dst)));
     }
     let ret = g.expr(&ctx.ints, 2);
 
-    let spec = Spec { n_scalars, has_list, mappers, walkers, helpers, body, ret };
+    let spec = Spec {
+        n_scalars,
+        has_list,
+        mappers,
+        walkers,
+        helpers,
+        body,
+        ret,
+    };
 
     let scalars: Vec<i64> = (0..n_scalars).map(|_| g.small_const()).collect();
     let list: Vec<i64> = if has_list {
-        (0..g.rng.gen_range(0usize..=16)).map(|_| g.rng.gen_range(-50i64..=50)).collect()
+        (0..g.rng.gen_range(0usize..=16))
+            .map(|_| g.rng.gen_range(-50i64..=50))
+            .collect()
     } else {
         Vec::new()
     };
@@ -387,8 +451,14 @@ pub fn gen_case(seed: u64) -> SpecCase {
     let mut live: Vec<bool> = vec![true; list.len()];
     let mut edits = Vec::new();
     for _ in 0..n_edits {
-        let deleted: Vec<u32> = (0..live.len()).filter(|&i| !live[i]).map(|i| i as u32).collect();
-        let alive: Vec<u32> = (0..live.len()).filter(|&i| live[i]).map(|i| i as u32).collect();
+        let deleted: Vec<u32> = (0..live.len())
+            .filter(|&i| !live[i])
+            .map(|i| i as u32)
+            .collect();
+        let alive: Vec<u32> = (0..live.len())
+            .filter(|&i| live[i])
+            .map(|i| i as u32)
+            .collect();
         let can_list = has_list && !list.is_empty();
         let r = g.rng.gen_f64();
         if !can_list || r < 0.45 {
@@ -410,7 +480,12 @@ pub fn gen_case(seed: u64) -> SpecCase {
         }
     }
 
-    let mut case = SpecCase { spec, scalars, list, edits };
+    let mut case = SpecCase {
+        spec,
+        scalars,
+        list,
+        edits,
+    };
     case.repair();
     case
 }
@@ -441,7 +516,10 @@ mod tests {
         for seed in 0..20 {
             let case = gen_case(seed);
             let src = case.render();
-            assert!(src.contains("ceal main("), "seed {seed} has no entry:\n{src}");
+            assert!(
+                src.contains("ceal main("),
+                "seed {seed} has no entry:\n{src}"
+            );
         }
     }
 }

@@ -15,7 +15,7 @@
 //!   self-adjusting engine, and [`clvm`] — a direct normalized-CL
 //!   executor on the engine — and demands agreement, from scratch and
 //!   after every `propagate`;
-//! * [`shrink`] minimizes failures by structural deletion and
+//! * [`mod@shrink`] minimizes failures by structural deletion and
 //!   simplification;
 //! * [`corpus`] persists minimized repros as standalone `.ceal` files
 //!   that run as regression tests forever after.

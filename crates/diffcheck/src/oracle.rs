@@ -17,6 +17,15 @@
 //! propagated outputs must equal a fresh from-scratch interpreter run
 //! on the edited inputs — the core self-adjusting-computation
 //! invariant (§4, §7).
+//!
+//! Beyond output values, the two engine-backed executors must also
+//! agree on the engine's *deterministic operation counters*
+//! ([`ceal_runtime::stats::OpCounters`]): both execute the same
+//! normalized program, so after the same edit script they must have
+//! performed the same reads, writes, allocations, re-executions, memo
+//! hits and purges. Byte accounting is excluded by construction
+//! (`OpCounters` omits it — closure argument-vector sizes legitimately
+//! differ between target code and direct CL execution).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -58,7 +67,11 @@ impl crate::spec::SpecCase {
         TestCase {
             src: self.render(),
             scalars: self.scalars.clone(),
-            list: if self.spec.has_list { Some(self.list.clone()) } else { None },
+            list: if self.spec.has_list {
+                Some(self.list.clone())
+            } else {
+                None
+            },
             edits: self.edits.clone(),
         }
     }
@@ -74,7 +87,10 @@ pub struct Failure {
 }
 
 fn fail<T>(kind: &str, detail: impl Into<String>) -> Result<T, Failure> {
-    Err(Failure { kind: kind.to_string(), detail: detail.into() })
+    Err(Failure {
+        kind: kind.to_string(),
+        detail: detail.into(),
+    })
 }
 
 /// Outputs of a passing run, for determinism checks.
@@ -112,8 +128,10 @@ fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
 /// Runs `f`, converting a panic (engine assertion, VM type error) into
 /// a `panic` failure tagged with `stage`.
 fn guard<T>(stage: &str, f: impl FnOnce() -> T) -> Result<T, Failure> {
-    catch_unwind(AssertUnwindSafe(f))
-        .map_err(|p| Failure { kind: "panic".into(), detail: format!("{stage}: {}", panic_msg(p)) })
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| Failure {
+        kind: "panic".into(),
+        detail: format!("{stage}: {}", panic_msg(p)),
+    })
 }
 
 /// From-scratch run on the conventional interpreter; returns the
@@ -229,7 +247,10 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
         return fail("normalized-validate", format!("{e:?}"));
     }
     if !is_normal(&compiled.normalized) {
-        return fail("not-normal", "normalize left a read that does not end its block");
+        return fail(
+            "not-normal",
+            "normalize left a read that does not end its block",
+        );
     }
 
     let entry_cl = match cl.find("main") {
@@ -248,7 +269,12 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
     };
 
     // Executor 2: conventional interpreter on the *normalized* program.
-    match interp_run(&compiled.normalized, entry_norm, &tc.scalars, tc.list.as_deref()) {
+    match interp_run(
+        &compiled.normalized,
+        entry_norm,
+        &tc.scalars,
+        tc.list.as_deref(),
+    ) {
         Ok(v) if v == expected0 => {}
         Ok(v) => {
             return fail(
@@ -263,7 +289,9 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
     let mut vm = guard("vm-init", || {
         let mut b = ProgramBuilder::new();
         let loaded = ceal_vm::load(&compiled.target, &mut b, VmOptions::default());
-        let entry = loaded.entry(&compiled.target, "main").expect("main in target");
+        let entry = loaded
+            .entry(&compiled.target, "main")
+            .expect("main in target");
         Session::start(Engine::new(b.build()), entry, tc)
     })?;
 
@@ -277,7 +305,10 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
 
     let vm0 = vm.out();
     if vm0 != expected0 {
-        return fail("vm-fresh-mismatch", format!("vm computes {vm0}, interp computes {expected0}"));
+        return fail(
+            "vm-fresh-mismatch",
+            format!("vm computes {vm0}, interp computes {expected0}"),
+        );
     }
     let clvm0 = clvm.out();
     if clvm0 != expected0 {
@@ -299,7 +330,12 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
             Edit::Restore(j) => live[j as usize] = true,
         }
         let cur_list: Option<Vec<i64>> = tc.list.as_ref().map(|items| {
-            items.iter().zip(&live).filter(|(_, &l)| l).map(|(&v, _)| v).collect()
+            items
+                .iter()
+                .zip(&live)
+                .filter(|(_, &l)| l)
+                .map(|(&v, _)| v)
+                .collect()
         });
 
         guard(&format!("vm-edit-{i}"), || vm.apply(edit))?;
@@ -331,7 +367,33 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
         clvm.e.check_invariants();
     })?;
 
+    check_counter_agreement(&vm, &clvm)?;
+
     Ok(RunReport { outs })
+}
+
+/// Asserts that the VM-backed and clvm-backed engines performed the
+/// same deterministic operations over the whole session. On mismatch
+/// the failure detail is a per-counter delta table of every diverging
+/// counter.
+fn check_counter_agreement(vm: &Session, clvm: &Session) -> Result<(), Failure> {
+    let a = vm.e.stats().op_counters();
+    let b = clvm.e.stats().op_counters();
+    if a == b {
+        return Ok(());
+    }
+    let mut table = String::from("vm and clvm disagree on engine op counters:\n");
+    table.push_str(&format!(
+        "  {:<24} {:>12} {:>12} {:>12}\n",
+        "counter", "vm", "clvm", "delta"
+    ));
+    for ((name, va), (_, vb)) in a.entries().zip(b.entries()) {
+        if va != vb {
+            let d = va as i128 - vb as i128;
+            table.push_str(&format!("  {name:<24} {va:>12} {vb:>12} {d:>+12}\n"));
+        }
+    }
+    fail("counter-mismatch", table)
 }
 
 #[cfg(test)]

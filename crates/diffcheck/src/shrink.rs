@@ -16,6 +16,9 @@
 use crate::oracle::run_test_case;
 use crate::spec::{Edit, Expr, SpecCase, Stmt};
 
+/// An in-place rewrite applied to one expression during shrinking.
+type ExprRepl = Box<dyn Fn(&mut Expr)>;
+
 /// Shrinking statistics for reporting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShrinkStats {
@@ -193,7 +196,7 @@ fn candidates(c: &SpecCase) -> Vec<SpecCase> {
     for ei in 0..exprs {
         let shape = with_expr(c, ei, |_| {}).map(|(_, sh)| sh);
         let Some(shape) = shape else { continue };
-        let mut repls: Vec<Box<dyn Fn(&mut Expr)>> = Vec::new();
+        let mut repls: Vec<ExprRepl> = Vec::new();
         match shape {
             ExprShape::Bin => {
                 repls.push(Box::new(|e| {
@@ -269,18 +272,13 @@ fn rec_lists(
     }
     *idx += 1;
     for s in stmts.iter_mut() {
-        match s {
-            Stmt::If(_, t, e) => {
-                if rec_lists(t, idx, target, f) || rec_lists(e, idx, target, f) {
-                    return true;
-                }
-            }
-            Stmt::Loop(_, _, b) => {
-                if rec_lists(b, idx, target, f) {
-                    return true;
-                }
-            }
-            _ => {}
+        let descended = match s {
+            Stmt::If(_, t, e) => rec_lists(t, idx, target, f) || rec_lists(e, idx, target, f),
+            Stmt::Loop(_, _, b) => rec_lists(b, idx, target, f),
+            _ => false,
+        };
+        if descended {
+            return true;
         }
     }
     false
@@ -357,9 +355,7 @@ fn with_expr(
                     break 'outer;
                 }
             }
-            if rec_exprs(&mut n.spec.body, &mut idx, &mut hit)
-                || hit(&mut n.spec.ret, &mut idx)
-            {
+            if rec_exprs(&mut n.spec.body, &mut idx, &mut hit) || hit(&mut n.spec.ret, &mut idx) {
                 found = true;
             }
         }
@@ -371,7 +367,7 @@ fn with_expr(
 }
 
 fn rec_exprs(
-    stmts: &mut Vec<Stmt>,
+    stmts: &mut [Stmt],
     idx: &mut usize,
     hit: &mut impl FnMut(&mut Expr, &mut usize) -> bool,
 ) -> bool {
@@ -426,7 +422,11 @@ fn count_exprs(c: &SpecCase) -> usize {
     }
     c.spec.mappers.len()
         + c.spec.walkers.len()
-        + c.spec.helpers.iter().map(|h| count(&h.body) + 1).sum::<usize>()
+        + c.spec
+            .helpers
+            .iter()
+            .map(|h| count(&h.body) + 1)
+            .sum::<usize>()
         + count(&c.spec.body)
         + 1
 }

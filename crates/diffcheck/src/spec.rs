@@ -276,7 +276,12 @@ fn render_expr(e: &Expr, name: &dyn Fn(u32) -> String) -> String {
         }
         Expr::Var(v) => name(*v),
         Expr::Bin(op, a, b) => {
-            format!("({} {} {})", render_expr(a, name), op.sym(), render_expr(b, name))
+            format!(
+                "({} {} {})",
+                render_expr(a, name),
+                op.sym(),
+                render_expr(b, name)
+            )
         }
     }
 }
@@ -337,7 +342,12 @@ fn render_stmt(r: &mut Render, depth: usize, s: &Stmt, helpers: &[Helper]) {
             r.line(depth + 1, &format!("x{ctr} = x{ctr} - 1;"));
             r.line(depth, "}");
         }
-        Stmt::CallHelper { dst, helper, ints, mods } => {
+        Stmt::CallHelper {
+            dst,
+            helper,
+            ints,
+            mods,
+        } => {
             let k = r.keyed();
             r.line(depth, &format!("modref_t* m{dst} = {k};"));
             // The callee's site token: a globally unique constant from
@@ -361,10 +371,18 @@ fn render_stmt(r: &mut Render, depth: usize, s: &Stmt, helpers: &[Helper]) {
             r.line(depth, &format!("modref_t* m{dst} = {k};"));
             r.line(depth, &format!("map{mapper}({}, m{dst});", list_src(*src)));
         }
-        Stmt::WalkList { dst, walker, src, init } => {
+        Stmt::WalkList {
+            dst,
+            walker,
+            src,
+            init,
+        } => {
             let k = r.keyed();
             r.line(depth, &format!("modref_t* m{dst} = {k};"));
-            r.line(depth, &format!("walk{walker}({}, {}, m{dst});", list_src(*src), ex(init)));
+            r.line(
+                depth,
+                &format!("walk{walker}({}, {}, m{dst});", list_src(*src), ex(init)),
+            );
         }
     }
 }
@@ -372,7 +390,12 @@ fn render_stmt(r: &mut Render, depth: usize, s: &Stmt, helpers: &[Helper]) {
 impl Spec {
     /// Renders the spec as surface CEAL source.
     pub fn render(&self) -> String {
-        let mut r = Render { out: String::new(), site: 0, call_k: 0, token: None };
+        let mut r = Render {
+            out: String::new(),
+            site: 0,
+            call_k: 0,
+            token: None,
+        };
         let uses_list = self.has_list;
 
         if uses_list {
@@ -389,7 +412,13 @@ impl Spec {
         }
 
         for (i, body) in self.mappers.iter().enumerate() {
-            let name = |v: u32| if v == MAP_HEAD { "h".to_string() } else { xname(v) };
+            let name = |v: u32| {
+                if v == MAP_HEAD {
+                    "h".to_string()
+                } else {
+                    xname(v)
+                }
+            };
             r.line(0, &format!("ceal map{i}(modref_t* l, modref_t* d) {{"));
             r.line(1, "cell* c = (cell*) read(l);");
             r.line(1, "if (c == NULL) {");
@@ -397,7 +426,10 @@ impl Spec {
             r.line(1, "} else {");
             r.line(2, "int h = c->data;");
             r.line(2, &format!("int v = {};", render_expr(body, &name)));
-            r.line(2, &format!("cell* o = (cell*) alloc(sizeof(cell), init_cell, v, c, {i});"));
+            r.line(
+                2,
+                &format!("cell* o = (cell*) alloc(sizeof(cell), init_cell, v, c, {i});"),
+            );
             r.line(2, "write(d, o);");
             r.line(2, &format!("map{i}(c->next, o->next);"));
             r.line(2, "return;");
@@ -413,7 +445,10 @@ impl Spec {
                 WALK_HEAD => "h".to_string(),
                 other => xname(other),
             };
-            r.line(0, &format!("ceal walk{i}(modref_t* l, int acc, modref_t* d) {{"));
+            r.line(
+                0,
+                &format!("ceal walk{i}(modref_t* l, int acc, modref_t* d) {{"),
+            );
             r.line(1, "cell* c = (cell*) read(l);");
             r.line(1, "if (c == NULL) {");
             r.line(2, "write(d, acc);");
@@ -443,15 +478,19 @@ impl Spec {
             r.out.push('\n');
         }
 
-        let mut params: Vec<String> =
-            (0..self.n_scalars).map(|k| format!("modref_t* in{k}")).collect();
+        let mut params: Vec<String> = (0..self.n_scalars)
+            .map(|k| format!("modref_t* in{k}"))
+            .collect();
         if uses_list {
             params.push("modref_t* lst".to_string());
         }
         params.push("modref_t* out".to_string());
         r.line(0, &format!("ceal main({}) {{", params.join(", ")));
         render_stmts(&mut r, 1, &self.body, &self.helpers);
-        r.line(1, &format!("write(out, {});", render_expr(&self.ret, &xname)));
+        r.line(
+            1,
+            &format!("write(out, {});", render_expr(&self.ret, &xname)),
+        );
         r.line(0, "}");
         r.out
     }
@@ -603,17 +642,26 @@ impl Repairer {
             }
             Stmt::If(c, t, f) => {
                 self.fix_expr(c);
-                self.scopes.push(Scope { ints: vec![], mods: vec![] });
+                self.scopes.push(Scope {
+                    ints: vec![],
+                    mods: vec![],
+                });
                 self.fix_stmts(t);
                 self.scopes.pop();
-                self.scopes.push(Scope { ints: vec![], mods: vec![] });
+                self.scopes.push(Scope {
+                    ints: vec![],
+                    mods: vec![],
+                });
                 self.fix_stmts(f);
                 self.scopes.pop();
             }
             Stmt::Loop(ctr, n, body) => {
                 *n = (*n).clamp(0, 8);
                 self.declare_int(*ctr);
-                self.scopes.push(Scope { ints: vec![], mods: vec![] });
+                self.scopes.push(Scope {
+                    ints: vec![],
+                    mods: vec![],
+                });
                 self.loop_ctrs.push(*ctr);
                 let was = std::mem::replace(&mut self.in_loop, true);
                 self.fix_stmts(body);
@@ -621,7 +669,12 @@ impl Repairer {
                 self.loop_ctrs.pop();
                 self.scopes.pop();
             }
-            Stmt::CallHelper { dst, helper, ints, mods } => {
+            Stmt::CallHelper {
+                dst,
+                helper,
+                ints,
+                mods,
+            } => {
                 if self.in_loop {
                     return None;
                 }
@@ -683,7 +736,12 @@ impl Repairer {
                 }
                 self.declare_mod(*dst, ModKind::List);
             }
-            Stmt::WalkList { dst, walker, src, init } => {
+            Stmt::WalkList {
+                dst,
+                walker,
+                src,
+                init,
+            } => {
                 self.fix_expr(init);
                 let ok = !self.in_loop
                     && self.helper.is_none()
@@ -721,13 +779,19 @@ impl SpecCase {
             r.fix_expr(w);
         }
 
-        let helper_sigs: Vec<(usize, u32)> =
-            spec.helpers.iter().map(|h| (h.int_params.len(), h.n_mods)).collect();
+        let helper_sigs: Vec<(usize, u32)> = spec
+            .helpers
+            .iter()
+            .map(|h| (h.int_params.len(), h.n_mods))
+            .collect();
         let n_helpers = spec.helpers.len();
 
         for (i, h) in spec.helpers.iter_mut().enumerate() {
             let mut r = Repairer {
-                scopes: vec![Scope { ints: h.int_params.clone(), mods: vec![] }],
+                scopes: vec![Scope {
+                    ints: h.int_params.clone(),
+                    mods: vec![],
+                }],
                 helper: Some(i),
                 n_scalars: spec.n_scalars,
                 has_list: spec.has_list,
@@ -743,7 +807,10 @@ impl SpecCase {
         }
 
         let mut r = Repairer {
-            scopes: vec![Scope { ints: vec![], mods: vec![] }],
+            scopes: vec![Scope {
+                ints: vec![],
+                mods: vec![],
+            }],
             helper: None,
             n_scalars: spec.n_scalars,
             has_list: spec.has_list,
@@ -780,7 +847,10 @@ impl SpecCase {
 /// over a fixed variable set.
 fn expr_only_repairer(vars: &[u32]) -> Repairer {
     Repairer {
-        scopes: vec![Scope { ints: vars.to_vec(), mods: vec![] }],
+        scopes: vec![Scope {
+            ints: vars.to_vec(),
+            mods: vec![],
+        }],
         helper: None,
         n_scalars: 0,
         has_list: false,
@@ -825,7 +895,11 @@ mod tests {
                 helpers: vec![],
                 body: vec![Stmt::Let(
                     5,
-                    Expr::Bin(BinOp::Div, Box::new(Expr::Var(99)), Box::new(Expr::Const(0))),
+                    Expr::Bin(
+                        BinOp::Div,
+                        Box::new(Expr::Var(99)),
+                        Box::new(Expr::Const(0)),
+                    ),
                 )],
                 ret: Expr::Var(5),
             },
@@ -836,7 +910,14 @@ mod tests {
         case.repair();
         assert_eq!(
             case.spec.body[0],
-            Stmt::Let(5, Expr::Bin(BinOp::Div, Box::new(Expr::Const(0)), Box::new(Expr::Const(1))))
+            Stmt::Let(
+                5,
+                Expr::Bin(
+                    BinOp::Div,
+                    Box::new(Expr::Const(0)),
+                    Box::new(Expr::Const(1))
+                )
+            )
         );
         assert_eq!(case.spec.ret, Expr::Var(5));
         assert!(case.scalars.is_empty());

@@ -15,7 +15,11 @@ fn corpus_files_pass_oracle() {
         .filter(|p| p.extension().is_some_and(|x| x == "ceal"))
         .collect();
     entries.sort();
-    assert!(!entries.is_empty(), "corpus directory {} is empty", dir.display());
+    assert!(
+        !entries.is_empty(),
+        "corpus directory {} is empty",
+        dir.display()
+    );
 
     let mut failures = Vec::new();
     for path in &entries {
@@ -31,5 +35,9 @@ fn corpus_files_pass_oracle() {
             failures.push(format!("{}: [{}] {}", path.display(), f.kind, f.detail));
         }
     }
-    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
 }

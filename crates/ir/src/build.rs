@@ -166,7 +166,11 @@ impl FuncBuilder {
     ///
     /// Panics if any reserved label is undefined or no block exists.
     pub fn finish(self) -> Func {
-        assert!(!self.blocks.is_empty(), "function {} has no blocks", self.name);
+        assert!(
+            !self.blocks.is_empty(),
+            "function {} has no blocks",
+            self.name
+        );
         let blocks = self
             .blocks
             .into_iter()

@@ -254,7 +254,10 @@ impl Program {
 
     /// Looks a function up by name.
     pub fn find(&self, name: &str) -> Option<FuncRef> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncRef(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncRef(i as u32))
     }
 
     /// Total number of basic blocks (the paper's size measure `n`).

@@ -67,7 +67,11 @@ pub struct Machine {
 impl Machine {
     /// A machine with the given step budget.
     pub fn with_fuel(fuel: u64) -> Self {
-        Machine { blocks: Vec::new(), modrefs: Vec::new(), fuel }
+        Machine {
+            blocks: Vec::new(),
+            modrefs: Vec::new(),
+            fuel,
+        }
     }
 
     /// Allocates a block of `words` slots.
@@ -140,8 +144,10 @@ impl Machine {
             match jump {
                 Jump::Goto(l) => cur = l,
                 Jump::Tail(g, targs) => {
-                    let vals: Vec<IValue> =
-                        targs.iter().map(|a| self.atom(&env, a)).collect::<IResult<_>>()?;
+                    let vals: Vec<IValue> = targs
+                        .iter()
+                        .map(|a| self.atom(&env, a))
+                        .collect::<IResult<_>>()?;
                     let gfunc = p.func(g);
                     if vals.len() != gfunc.params.len() {
                         return err(format!(
@@ -172,12 +178,7 @@ impl Machine {
         })
     }
 
-    fn exec_cmd(
-        &mut self,
-        p: &Program,
-        env: &mut HashMap<Var, IValue>,
-        c: &Cmd,
-    ) -> IResult<()> {
+    fn exec_cmd(&mut self, p: &Program, env: &mut HashMap<Var, IValue>, c: &Cmd) -> IResult<()> {
         match c {
             Cmd::Nop => {}
             Cmd::Assign(d, e) => {
@@ -236,7 +237,12 @@ impl Machine {
                     other => return err(format!("write to non-modref {other:?}")),
                 }
             }
-            Cmd::Alloc { dst, words, init, args } => {
+            Cmd::Alloc {
+                dst,
+                words,
+                init,
+                args,
+            } => {
                 let w = match self.atom(env, words)? {
                     IValue::Int(k) if k >= 0 => k as usize,
                     other => return err(format!("bad alloc size {other:?}")),
@@ -250,8 +256,10 @@ impl Machine {
                 env.insert(*dst, loc);
             }
             Cmd::Call(f, args) => {
-                let vals: Vec<IValue> =
-                    args.iter().map(|a| self.atom(env, a)).collect::<IResult<_>>()?;
+                let vals: Vec<IValue> = args
+                    .iter()
+                    .map(|a| self.atom(env, a))
+                    .collect::<IResult<_>>()?;
                 self.run(p, *f, &vals)?;
             }
         }
@@ -270,14 +278,19 @@ impl Machine {
                 match ptr {
                     IValue::Ptr(b) => {
                         let block = &self.blocks[b];
-                        block.get(idx).copied().ok_or_else(|| InterpError("load oob".into()))
+                        block
+                            .get(idx)
+                            .copied()
+                            .ok_or_else(|| InterpError("load oob".into()))
                     }
                     other => err(format!("load from non-pointer {other:?}")),
                 }
             }
             Expr::Prim(op, xs) => {
-                let vals: Vec<IValue> =
-                    xs.iter().map(|a| self.atom(env, a)).collect::<IResult<_>>()?;
+                let vals: Vec<IValue> = xs
+                    .iter()
+                    .map(|a| self.atom(env, a))
+                    .collect::<IResult<_>>()?;
                 prim_eval(*op, &vals)
             }
         }
@@ -370,7 +383,9 @@ mod tests {
     fn loops_consume_fuel() {
         let mut f = FuncBuilder::new("spin", true);
         f.push(Block::Cmd(Cmd::Nop, Jump::Goto(Label(0))));
-        let p = Program { funcs: vec![f.finish()] };
+        let p = Program {
+            funcs: vec![f.finish()],
+        };
         let mut m = Machine::with_fuel(100);
         assert_eq!(m.run(&p, FuncRef(0), &[]), err::<()>("out of fuel"));
     }
@@ -378,6 +393,9 @@ mod tests {
     #[test]
     fn division_by_zero_is_an_error() {
         assert!(prim_eval(Prim::Div, &[IValue::Int(1), IValue::Int(0)]).is_err());
-        assert_eq!(prim_eval(Prim::Div, &[IValue::Int(7), IValue::Int(2)]), Ok(IValue::Int(3)));
+        assert_eq!(
+            prim_eval(Prim::Div, &[IValue::Int(7), IValue::Int(2)]),
+            Ok(IValue::Int(3))
+        );
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! This crate provides the IR itself ([`cl`]), builders ([`build`]), a
 //! validator and the §5 normal-form predicate ([`validate`]), a pretty
-//! printer ([`print`]), and a conventional-semantics reference
+//! printer ([`mod@print`]), and a conventional-semantics reference
 //! interpreter ([`interp`]) used as the oracle in the compiler's
 //! differential tests.
 

@@ -57,7 +57,12 @@ fn cmd(p: &Program, c: &Cmd) -> String {
         Cmd::ModrefInit(x, a) => format!("modref_init(&v{}[{}])", x.0, atom(p, a)),
         Cmd::Read(d, m) => format!("v{} := read v{}", d.0, m.0),
         Cmd::Write(m, a) => format!("write v{} {}", m.0, atom(p, a)),
-        Cmd::Alloc { dst, words, init, args } => format!(
+        Cmd::Alloc {
+            dst,
+            words,
+            init,
+            args,
+        } => format!(
             "v{} := alloc {} {} ({})",
             dst.0,
             atom(p, words),
@@ -109,7 +114,11 @@ pub fn print_func(p: &Program, f: &Func) -> String {
 
 /// Renders the whole program.
 pub fn print_program(p: &Program) -> String {
-    p.funcs.iter().map(|f| print_func(p, f)).collect::<Vec<_>>().join("\n")
+    p.funcs
+        .iter()
+        .map(|f| print_func(p, f))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -125,7 +134,9 @@ mod tests {
         let l0 = f.reserve();
         let l1 = f.reserve_done();
         f.define(l0, Block::Cmd(Cmd::Read(t, root), Jump::Goto(l1)));
-        let p = Program { funcs: vec![f.finish()] };
+        let p = Program {
+            funcs: vec![f.finish()],
+        };
         let s = print_program(&p);
         assert!(s.contains("ceal eval(ModRef v0)"));
         assert!(s.contains("v1 := read v0 ; goto L1"));

@@ -27,7 +27,10 @@ impl std::error::Error for ValidateError {}
 /// Returns the first problem found.
 pub fn validate(p: &Program) -> Result<(), ValidateError> {
     for func in &p.funcs {
-        let err = |msg: String| ValidateError { func: func.name.clone(), msg };
+        let err = |msg: String| ValidateError {
+            func: func.name.clone(),
+            msg,
+        };
         let nblocks = func.blocks.len() as u32;
         if func.entry.0 >= nblocks {
             return Err(err(format!("entry {:?} out of range", func.entry)));
@@ -133,7 +136,12 @@ pub fn validate(p: &Program) -> Result<(), ValidateError> {
                             check_var(*m)?;
                             check_atom(a)?;
                         }
-                        Cmd::Alloc { dst, words, init, args } => {
+                        Cmd::Alloc {
+                            dst,
+                            words,
+                            init,
+                            args,
+                        } => {
                             check_var(*dst)?;
                             check_atom(words)?;
                             check_func(*init)?;
@@ -195,7 +203,10 @@ mod tests {
         let l0 = f.reserve();
         let l1 = f.reserve_done();
         if normal {
-            f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Tail(gr, vec![Atom::Var(x)])));
+            f.define(
+                l0,
+                Block::Cmd(Cmd::Read(x, m), Jump::Tail(gr, vec![Atom::Var(x)])),
+            );
         } else {
             f.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
         }
@@ -224,7 +235,9 @@ mod tests {
     fn detects_bad_label() {
         let mut f = FuncBuilder::new("f", true);
         f.push(Block::Cmd(Cmd::Nop, Jump::Goto(Label(9))));
-        let p = Program { funcs: vec![f.finish()] };
+        let p = Program {
+            funcs: vec![f.finish()],
+        };
         assert!(validate(&p).is_err());
     }
 
@@ -232,7 +245,9 @@ mod tests {
     fn detects_undeclared_var() {
         let mut f = FuncBuilder::new("f", true);
         f.push(Block::Cmd(Cmd::Modref(Var(5)), Jump::Goto(Label(0))));
-        let p = Program { funcs: vec![f.finish()] };
+        let p = Program {
+            funcs: vec![f.finish()],
+        };
         assert!(validate(&p).is_err());
     }
 }

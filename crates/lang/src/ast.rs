@@ -133,7 +133,10 @@ impl SourceFile {
 
     /// Field offset (in words) within a struct.
     pub fn field_offset(&self, sname: &str, fname: &str) -> Option<usize> {
-        self.find_struct(sname)?.fields.iter().position(|(_, f)| f == fname)
+        self.find_struct(sname)?
+            .fields
+            .iter()
+            .position(|(_, f)| f == fname)
     }
 
     /// Struct size in words.

@@ -109,7 +109,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 i += 1;
             }
-            return Err(LexError { msg: "unterminated comment".into(), line: start_line });
+            return Err(LexError {
+                msg: "unterminated comment".into(),
+                line: start_line,
+            });
         }
         // Numbers.
         if c.is_ascii_digit() {
@@ -156,20 +159,32 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                 i += 1;
             }
-            out.push(Token { tok: Tok::Ident(src[start..i].to_string()), line });
+            out.push(Token {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
             continue;
         }
         // Punctuation (longest match first).
         for p in PUNCTS {
             if src[i..].starts_with(p) {
-                out.push(Token { tok: Tok::Punct(p), line });
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += p.len();
                 continue 'outer;
             }
         }
-        return Err(LexError { msg: format!("unexpected character `{}`", c as char), line });
+        return Err(LexError {
+            msg: format!("unexpected character `{}`", c as char),
+            line,
+        });
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -217,7 +232,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(idents, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 5)]);
+        assert_eq!(
+            idents,
+            vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 5)]
+        );
     }
 
     #[test]

@@ -37,8 +37,13 @@ pub use parser::{parse, ParseError};
 /// Returns the parse or lowering error message with its line number.
 pub fn frontend(
     src: &str,
-) -> Result<(ceal_ir::cl::Program, std::collections::HashMap<String, ceal_ir::cl::FuncRef>), String>
-{
+) -> Result<
+    (
+        ceal_ir::cl::Program,
+        std::collections::HashMap<String, ceal_ir::cl::FuncRef>,
+    ),
+    String,
+> {
     let ast = parse(src).map_err(|e| e.to_string())?;
     lower(&ast).map_err(|e| e.to_string())
 }

@@ -99,7 +99,10 @@ impl<'a> FnLower<'a> {
     }
 
     fn err<T>(&self, line: u32, msg: impl Into<String>) -> LResult<T> {
-        Err(LowerError { msg: msg.into(), line })
+        Err(LowerError {
+            msg: msg.into(),
+            line,
+        })
     }
 
     fn reserve(&mut self) -> Label {
@@ -207,25 +210,20 @@ impl<'a> FnLower<'a> {
                 Ok(())
             }
             SStmt::Assign(lv, rhs, line) => self.assign(lv, rhs, *line),
-            SStmt::Expr(e, line) => {
-                match e {
-                    SExpr::Call(..) => {
-                        let _ = self.expr(e, *line)?;
-                        Ok(())
-                    }
-                    _ => self.err(*line, "expression statement has no effect"),
+            SStmt::Expr(e, line) => match e {
+                SExpr::Call(..) => {
+                    let _ = self.expr(e, *line)?;
+                    Ok(())
                 }
-            }
+                _ => self.err(*line, "expression statement has no effect"),
+            },
             SStmt::If(c, then_b, else_b, line) => {
                 let (ca, _) = self.expr(c, *line)?;
                 let then_l = self.reserve();
                 let else_l = self.reserve();
                 let join = self.reserve();
                 let cur = self.cur;
-                self.define(
-                    cur,
-                    Block::Cond(ca, Jump::Goto(then_l), Jump::Goto(else_l)),
-                );
+                self.define(cur, Block::Cond(ca, Jump::Goto(then_l), Jump::Goto(else_l)));
                 self.cur = then_l;
                 self.scoped_stmts(then_b)?;
                 let end_then = self.cur;
@@ -295,8 +293,11 @@ impl<'a> FnLower<'a> {
         match lv {
             SLValue::Var(name) => {
                 if is_modref_init {
-                    return self.err(line, "modref_init() initializes struct fields; use \
-                                           modref() for standalone modifiables");
+                    return self.err(
+                        line,
+                        "modref_init() initializes struct fields; use \
+                                           modref() for standalone modifiables",
+                    );
                 }
                 let (a, _) = self.expr(rhs, line)?;
                 let (v, _) = self.lookup(name, line)?;
@@ -338,10 +339,10 @@ impl<'a> FnLower<'a> {
     }
 
     fn lookup(&self, name: &str, line: u32) -> LResult<(Var, SType)> {
-        self.vars
-            .get(name)
-            .cloned()
-            .ok_or_else(|| LowerError { msg: format!("unknown variable `{name}`"), line })
+        self.vars.get(name).cloned().ok_or_else(|| LowerError {
+            msg: format!("unknown variable `{name}`"),
+            line,
+        })
     }
 
     fn field_is_mod(&self, pty: &SType, fname: &str) -> bool {
@@ -490,7 +491,10 @@ impl<'a> FnLower<'a> {
             // RHS arm: result is rhs != 0.
             self.cur = rhs_l;
             let (ra, _) = self.expr(r, line)?;
-            self.emit(Cmd::Assign(out, Expr::Prim(Prim::Ne, vec![ra, Atom::Int(0)])));
+            self.emit(Cmd::Assign(
+                out,
+                Expr::Prim(Prim::Ne, vec![ra, Atom::Int(0)]),
+            ));
             let end_rhs = self.cur;
             self.define(end_rhs, Block::Cmd(Cmd::Nop, Jump::Goto(join)));
             self.cur = join;
@@ -560,9 +564,10 @@ impl<'a> FnLower<'a> {
                 self.emit(Cmd::ModrefKeyed(tmp, key));
                 Ok((Atom::Var(tmp), SType::ModRef))
             }
-            "modref_init" => {
-                self.err(line, "modref_init() may only appear as `p->field = modref_init();`")
-            }
+            "modref_init" => self.err(
+                line,
+                "modref_init() may only appear as `p->field = modref_init();`",
+            ),
             "alloc" => {
                 if args.len() < 2 {
                     return self.err(line, "alloc takes (words, initializer, args...)");
@@ -587,7 +592,12 @@ impl<'a> FnLower<'a> {
                     rest.push(self.expr(a, line)?.0);
                 }
                 let tmp = self.fresh(SType::VoidPtr);
-                self.emit(Cmd::Alloc { dst: tmp, words: wa, init, args: rest });
+                self.emit(Cmd::Alloc {
+                    dst: tmp,
+                    words: wa,
+                    init,
+                    args: rest,
+                });
                 Ok((Atom::Var(tmp), SType::VoidPtr))
             }
             _ => {
@@ -684,7 +694,7 @@ mod tests {
         let f = &p.funcs[0];
         assert!(f.is_core);
         // Contains reads, writes, calls, a conditional.
-        let has = |pred: &dyn Fn(&Block) -> bool| f.blocks.iter().any(|b| pred(b));
+        let has = |pred: &dyn Fn(&Block) -> bool| f.blocks.iter().any(pred);
         assert!(has(&|b| matches!(b, Block::Cmd(Cmd::Read(..), _))));
         assert!(has(&|b| matches!(b, Block::Cmd(Cmd::Write(..), _))));
         assert!(has(&|b| matches!(b, Block::Cmd(Cmd::Call(..), _))));

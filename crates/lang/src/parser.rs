@@ -22,7 +22,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { msg: e.msg, line: e.line }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+        }
     }
 }
 
@@ -53,7 +56,11 @@ pub fn parse(src: &str) -> PResult<SourceFile> {
         // `typedef struct {...} name_t;` style is not supported; use
         // `struct name { ... };` and refer to it as `name*`.
     }
-    let mut p = Parser { toks, pos: 0, struct_names };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        struct_names,
+    };
     p.source_file()
 }
 
@@ -79,7 +86,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn at_punct(&self, p: &str) -> bool {
@@ -117,8 +127,10 @@ impl Parser {
     fn is_type_start(&self) -> bool {
         match self.peek() {
             Tok::Ident(s) => {
-                matches!(s.as_str(), "int" | "long" | "float" | "double" | "void" | "modref_t")
-                    || self.struct_names.iter().any(|n| n == s)
+                matches!(
+                    s.as_str(),
+                    "int" | "long" | "float" | "double" | "void" | "modref_t"
+                ) || self.struct_names.iter().any(|n| n == s)
             }
             _ => false,
         }
@@ -192,7 +204,12 @@ impl Parser {
             mod_fields.push(is_mod);
         }
         self.eat_punct(";");
-        Ok(StructDef { name, fields, mod_fields, line })
+        Ok(StructDef {
+            name,
+            fields,
+            mod_fields,
+            line,
+        })
     }
 
     fn func_def(&mut self) -> PResult<FuncDef> {
@@ -226,7 +243,14 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(FuncDef { name, is_core, returns_value, params, body, line })
+        Ok(FuncDef {
+            name,
+            is_core,
+            returns_value,
+            params,
+            body,
+            line,
+        })
     }
 
     fn block(&mut self) -> PResult<Vec<SStmt>> {
@@ -284,11 +308,17 @@ impl Parser {
                     Ok(SStmt::ReturnValue(e, line))
                 }
             }
-            _ if self.is_type_start() && matches!(self.peek2(), Tok::Ident(_) | Tok::Punct("*")) => {
+            _ if self.is_type_start()
+                && matches!(self.peek2(), Tok::Ident(_) | Tok::Punct("*")) =>
+            {
                 // Declaration.
                 let ty = self.parse_type()?;
                 let name = self.ident()?;
-                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect_punct(";")?;
                 Ok(SStmt::Decl(ty, name, init, line))
             }
@@ -529,8 +559,8 @@ mod tests {
 
     #[test]
     fn parses_while_loop() {
-        let sf = parse("ceal f(modref_t* m) { int i = 10; while (i) { i = i - 1; } return; }")
-            .unwrap();
+        let sf =
+            parse("ceal f(modref_t* m) { int i = 10; while (i) { i = i - 1; } return; }").unwrap();
         assert!(matches!(sf.funcs[0].body[1], SStmt::While(..)));
     }
 
@@ -556,7 +586,12 @@ mod tests {
         )
         .unwrap();
         let body = &sf.funcs[0].body;
-        assert!(matches!(&body[0], SStmt::Decl(SType::StructPtr(n), _, Some(SExpr::Cast(..)), _) if n == "s"));
-        assert!(matches!(&body[1], SStmt::Decl(SType::Int, _, Some(SExpr::Binary(..)), _)));
+        assert!(
+            matches!(&body[0], SStmt::Decl(SType::StructPtr(n), _, Some(SExpr::Cast(..)), _) if n == "s")
+        );
+        assert!(matches!(
+            &body[1],
+            SStmt::Decl(SType::Int, _, Some(SExpr::Binary(..)), _)
+        ));
     }
 }

@@ -39,9 +39,8 @@ fn unknown_names() {
 
 #[test]
 fn bad_field_access() {
-    let e = err_of(
-        "struct s { int a; }\nceal f(s* p, modref_t* out) { write(out, p->b); return; }",
-    );
+    let e =
+        err_of("struct s { int a; }\nceal f(s* p, modref_t* out) { write(out, p->b); return; }");
     assert!(e.contains("no field `b`"), "{e}");
     let e = err_of("ceal f(int x, modref_t* out) { write(out, x->a); return; }");
     assert!(e.contains("non-struct-pointer"), "{e}");

@@ -9,7 +9,9 @@
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
 }
 
 fn slug(name: &str) -> String {
@@ -56,7 +58,11 @@ fn benchmarks_lower_to_golden_cl() {
         }
     }
 
-    assert!(mismatches.is_empty(), "golden mismatches:\n{}", mismatches.join("\n"));
+    assert!(
+        mismatches.is_empty(),
+        "golden mismatches:\n{}",
+        mismatches.join("\n")
+    );
 }
 
 /// The printer's output must itself be stable: printing the same

@@ -31,9 +31,12 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 use crate::heap::{BlockKind, Heap, NIL};
-use crate::order::{OrderList, Time};
+#[cfg(feature = "event-hooks")]
+use crate::obs::EventHook;
+use crate::obs::{Event, PhaseKind, Profile, Profiler, TraceKind};
+use crate::order::{OrderList, OrderStats, Time};
 use crate::program::{ArgVec, Program, Tail};
-use crate::stats::{cost, Stats};
+use crate::stats::{cost, OpCounters, Stats};
 use crate::value::{FuncId, Interner, Loc, ModRef, StrId, Value};
 
 /// Simulation of an SML-style run-time (boxed values + tracing GC),
@@ -60,7 +63,11 @@ pub struct SmlSim {
 
 impl Default for SmlSim {
     fn default() -> Self {
-        SmlSim { heap_limit: None, box_words: 4, boxes_per_op: 100 }
+        SmlSim {
+            heap_limit: None,
+            box_words: 4,
+            boxes_per_op: 100,
+        }
     }
 }
 
@@ -80,7 +87,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { memo: true, keyed_alloc: true, sml_sim: None }
+        EngineConfig {
+            memo: true,
+            keyed_alloc: true,
+            sml_sim: None,
+        }
     }
 }
 
@@ -137,6 +148,17 @@ enum Payload {
     Write(u32),
     /// An allocation record.
     Alloc(u32),
+}
+
+/// The [`TraceKind`] reported to event hooks for a payload.
+fn trace_kind(p: Payload) -> TraceKind {
+    match p {
+        Payload::Plain => TraceKind::Plain,
+        Payload::Read(_) => TraceKind::Read,
+        Payload::ReadEnd(_) => TraceKind::ReadEnd,
+        Payload::Write(_) => TraceKind::Write,
+        Payload::Alloc(_) => TraceKind::Alloc,
+    }
 }
 
 /// Reserved initializer id used by [`Engine::modref`]; never dispatched.
@@ -232,7 +254,9 @@ impl Bucket {
     /// bucket when it empties and un-spilling it when one record is
     /// left.
     fn remove(map: &mut KeyMap, spill: &mut Spill, key: u64, x: u32) {
-        let Some(b) = map.get(&key).copied() else { return };
+        let Some(b) = map.get(&key).copied() else {
+            return;
+        };
         if b.0 & MANY == 0 {
             if b.0 as u32 == x {
                 map.remove(&key);
@@ -375,6 +399,13 @@ pub struct Engine {
     core_ran: bool,
     executing: bool,
     stats: Stats,
+    /// Per-phase counter scoping; `None` until
+    /// [`Engine::enable_profiling`].
+    profiler: Option<Profiler>,
+    /// Installed event sink; every hook site is behind one predictable
+    /// branch (and compiled out without the `event-hooks` feature).
+    #[cfg(feature = "event-hooks")]
+    hook: Option<Box<dyn EventHook>>,
     /// When set, logs every trace operation to stderr (small inputs
     /// only; used by the engine's own debugging sessions and tests).
     pub debug_log: bool,
@@ -427,7 +458,124 @@ impl Engine {
             core_ran: false,
             executing: false,
             stats: Stats::default(),
+            profiler: None,
+            #[cfg(feature = "event-hooks")]
+            hook: None,
             debug_log: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (DESIGN.md §10): profiling phases and event hooks.
+    // ------------------------------------------------------------------
+
+    /// Turns on per-phase counter scoping: from now on every
+    /// [`Engine::run_core`], [`Engine::propagate`] and
+    /// [`Engine::clear_core`] records the counter work it did as one
+    /// [`crate::obs::Phase`]. Costs one counter snapshot per phase,
+    /// nothing in per-read hot paths.
+    ///
+    /// Enable before the first `run_core` if you want phase counters to
+    /// sum to the lifetime totals (they are deltas of the same
+    /// counters, so enabling from the start makes the sum an identity).
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::default());
+        }
+    }
+
+    /// Whether [`Engine::enable_profiling`] has been called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The recorded phases so far (empty slice when profiling is off).
+    pub fn profiled_phases(&self) -> &[crate::obs::Phase] {
+        self.profiler.as_ref().map(|p| p.phases()).unwrap_or(&[])
+    }
+
+    /// Drains the recorded phases into a [`Profile`] report labelled
+    /// `name`, together with the lifetime counters and space gauges.
+    /// Profiling stays enabled; subsequent phases start a new profile.
+    pub fn take_profile(&mut self, name: &str) -> Profile {
+        let phases = self
+            .profiler
+            .as_mut()
+            .map(|p| p.take_phases())
+            .unwrap_or_default();
+        Profile {
+            name: name.to_string(),
+            phases,
+            lifetime: self.stats.op_counters(),
+            trace_len: self.ord.len() as u64,
+            live_bytes: self.stats.live_bytes as u64,
+            max_live_bytes: self.stats.max_live_bytes as u64,
+        }
+    }
+
+    /// Installs an event sink called synchronously at read
+    /// re-execution, memo hit/miss, allocation stealing, trace
+    /// create/purge, and order-maintenance sites. Replaces any
+    /// previously installed hook.
+    #[cfg(feature = "event-hooks")]
+    pub fn set_event_hook(&mut self, hook: Box<dyn EventHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes and returns the installed event hook, if any.
+    #[cfg(feature = "event-hooks")]
+    pub fn clear_event_hook(&mut self) -> Option<Box<dyn EventHook>> {
+        self.hook.take()
+    }
+
+    /// Delivers `ev` to the installed hook. With the `event-hooks`
+    /// feature disabled this compiles to nothing.
+    #[inline]
+    fn emit(&mut self, ev: Event) {
+        #[cfg(feature = "event-hooks")]
+        if let Some(h) = &mut self.hook {
+            h.on_event(ev);
+        }
+        #[cfg(not(feature = "event-hooks"))]
+        let _ = ev;
+    }
+
+    /// Opens a profile phase: syncs order stats so pre-phase
+    /// maintenance work is not attributed to it, snapshots the
+    /// counters, and returns the order-stats baseline for
+    /// [`Engine::finish_phase`]'s hook delta.
+    fn begin_phase(&mut self, kind: PhaseKind) -> OrderStats {
+        self.sync_order_stats();
+        let base = self.ord.stats();
+        if let Some(p) = &mut self.profiler {
+            let snap = OpCounters::from_stats(&self.stats);
+            p.begin(kind, snap);
+        }
+        base
+    }
+
+    /// Closes the open profile phase and reports order-maintenance
+    /// deltas to the event hook.
+    fn finish_phase(&mut self, order_base: OrderStats) {
+        self.sync_order_stats();
+        let os = self.ord.stats();
+        let relabels = os.group_relabels - order_base.group_relabels;
+        let renumbers = os.local_renumbers - order_base.local_renumbers;
+        let splits = os.group_splits - order_base.group_splits;
+        let merges = os.group_merges - order_base.group_merges;
+        if relabels | renumbers | splits | merges != 0 {
+            self.emit(Event::OrderMaintenance {
+                relabels,
+                renumbers,
+                splits,
+                merges,
+            });
+        }
+        if let Some(p) = &mut self.profiler {
+            let snap = OpCounters::from_stats(&self.stats);
+            let trace_len = self.ord.len() as u64;
+            let live_bytes = self.stats.live_bytes as u64;
+            p.end(snap, trace_len, live_bytes);
         }
     }
 
@@ -501,7 +649,11 @@ impl Engine {
     ///
     /// Panics if `loc` is not a live meta-level block.
     pub fn kill(&mut self, loc: Loc) {
-        assert_eq!(self.heap.kind(loc), BlockKind::Meta, "kill of a core allocation");
+        assert_eq!(
+            self.heap.kind(loc),
+            BlockKind::Meta,
+            "kill of a core allocation"
+        );
         self.stats.shrink(self.heap.block_len(loc) * cost::WORD);
         self.free_block_and_metas(loc);
     }
@@ -513,7 +665,11 @@ impl Engine {
     ///
     /// Panics if `loc` is not a meta-level block.
     pub fn meta_modref_in(&mut self, loc: Loc, off: usize) -> ModRef {
-        assert_eq!(self.heap.kind(loc), BlockKind::Meta, "meta_modref_in on core block");
+        assert_eq!(
+            self.heap.kind(loc),
+            BlockKind::Meta,
+            "meta_modref_in on core block"
+        );
         let m = self.heap.alloc_meta(Value::Nil, Some(loc));
         self.stats.grow(cost::META);
         self.heap.store(loc, off, Value::ModRef(m));
@@ -523,7 +679,11 @@ impl Engine {
     /// Stores into a meta-level block (mutator-owned memory is not
     /// write-once).
     pub fn meta_store(&mut self, loc: Loc, off: usize, v: Value) {
-        assert_eq!(self.heap.kind(loc), BlockKind::Meta, "meta_store on core block");
+        assert_eq!(
+            self.heap.kind(loc),
+            BlockKind::Meta,
+            "meta_store on core block"
+        );
         self.heap.store(loc, off, v);
     }
 
@@ -551,7 +711,11 @@ impl Engine {
         self.heap.meta_mut(m).base = v;
         // Dirty the reads governed by the base value: those that precede
         // every core write of `m`.
-        let bound = if first_write == NIL { None } else { Some(self.writes[first_write as usize].time) };
+        let bound = if first_write == NIL {
+            None
+        } else {
+            Some(self.writes[first_write as usize].time)
+        };
         let mut r = reads_head;
         while r != NIL {
             let next = self.reads[r as usize].next_reader;
@@ -581,6 +745,7 @@ impl Engine {
     /// output modifiables, as long as a later core only *reads* what an
     /// earlier core wrote (trace order is update order).
     pub fn run_core(&mut self, f: FuncId, args: &[Value]) {
+        let order_base = self.begin_phase(PhaseKind::InitialRun);
         self.core_ran = true;
         self.executing = true;
         // Append after all existing trace (before the end sentinel).
@@ -588,7 +753,7 @@ impl Engine {
         self.window_end = None;
         self.run_chain(f, ArgVec::from_slice(args));
         self.executing = false;
-        self.sync_order_stats();
+        self.finish_phase(order_base);
     }
 
     /// Propagates all pending modifications (`propagate`), re-executing
@@ -596,6 +761,7 @@ impl Engine {
     /// with the modified data.
     pub fn propagate(&mut self) {
         assert!(self.core_ran, "propagate before run_core");
+        let order_base = self.begin_phase(PhaseKind::Propagate);
         self.stats.propagations += 1;
         self.executing = true;
         while let Some(r) = self.queue_pop() {
@@ -610,7 +776,39 @@ impl Engine {
         }
         self.executing = false;
         self.flush_pending_free();
-        self.sync_order_stats();
+        self.finish_phase(order_base);
+    }
+
+    /// Purges the entire core trace, returning the engine to its
+    /// pre-[`Engine::run_core`] state: every trace record is trashed,
+    /// core allocations (and the modifiables they own) are collected,
+    /// and the dirty queue is drained. Meta-level state — mutator
+    /// modifiables, meta allocations, the interner — survives, so
+    /// `live_bytes` returns to its pre-run floor (tested in
+    /// `tests/stats_invariants.rs`) and a fresh core can be run against
+    /// the same inputs.
+    ///
+    /// When several cores coexist (repeated `run_core`), all of their
+    /// traces are purged together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during core execution.
+    pub fn clear_core(&mut self) {
+        assert!(!self.executing, "clear_core during core execution");
+        let order_base = self.begin_phase(PhaseKind::Purge);
+        let (first, last) = (self.ord.first(), self.ord.last());
+        self.trash(first, last);
+        // Every read is dead now; one pop drains the queued zombies and
+        // releases their deferred timestamps.
+        let drained = self.queue_pop();
+        debug_assert!(drained.is_none(), "live read survived a full trace purge");
+        self.flush_pending_free();
+        debug_assert_eq!(self.ord.len(), 0, "trace not empty after clear_core");
+        self.cur = self.ord.prev(self.ord.last());
+        self.window_end = None;
+        self.core_ran = false;
+        self.finish_phase(order_base);
     }
 
     // ------------------------------------------------------------------
@@ -774,10 +972,14 @@ impl Engine {
         node.time = t;
         node.live = true;
         self.stats.allocs_created += 1;
-        self.stats.grow(cost::ALLOC_NODE + args.len() * cost::ARG_WORD);
+        self.stats
+            .grow(cost::ALLOC_NODE + args.len() * cost::ARG_WORD);
         Bucket::add(&mut self.alloc_table, &mut self.spill, key_hash, idx);
         if self.debug_log {
-            eprintln!("  FRESH-ALLOC a{idx} loc={loc:?} key_args={args:?} at@{}", self.ord.label(t));
+            eprintln!(
+                "  FRESH-ALLOC a{idx} loc={loc:?} key_args={args:?} at@{}",
+                self.ord.label(t)
+            );
         }
         // Run the initializer.
         if init == MODREF_INIT {
@@ -840,10 +1042,13 @@ impl Engine {
     /// headroom is exhausted, run a mark pass over the live trace.
     #[inline]
     fn sim_op(&mut self) {
-        let Some(sim) = self.config.sml_sim else { return };
+        let Some(sim) = self.config.sml_sim else {
+            return;
+        };
         let bytes = sim.box_words * 8 * sim.boxes_per_op;
         for _ in 0..sim.boxes_per_op {
-            self.sim_garbage.push(vec![0u64; sim.box_words].into_boxed_slice());
+            self.sim_garbage
+                .push(vec![0u64; sim.box_words].into_boxed_slice());
         }
         self.sim_since_gc += bytes;
         self.stats.grow(bytes);
@@ -908,6 +1113,8 @@ impl Engine {
                             self.splice_to(hit);
                             break;
                         }
+                        self.stats.memo_misses += 1;
+                        self.emit(Event::MemoMiss);
                         pre = Some((v, key_hash));
                     }
                     let (r, v) = self.new_read(m, g, a, pre);
@@ -940,7 +1147,11 @@ impl Engine {
     ) -> (u32, Value) {
         self.sim_op();
         if self.debug_log {
-            eprintln!("  NEW-READ {m:?} func={} args={args:?} cur@{}", self.program.name(f), self.ord.label(self.cur));
+            eprintln!(
+                "  NEW-READ {m:?} func={} args={args:?} cur@{}",
+                self.program.name(f),
+                self.ord.label(self.cur)
+            );
         }
         let idx = self.alloc_read_slot();
         let t = self.insert_time(Payload::Read(idx));
@@ -1022,9 +1233,17 @@ impl Engine {
     /// insertion point and `hit`, then continue after `hit`'s interval.
     fn splice_to(&mut self, hit: u32) {
         if self.debug_log {
-            eprintln!("  MEMO-HIT r{hit} func={} modref={:?} seg=({}..{}) cur@{}", self.program.name(self.reads[hit as usize].func), self.reads[hit as usize].modref, self.ord.label(self.reads[hit as usize].start), self.ord.label(self.reads[hit as usize].end), self.ord.label(self.cur));
+            eprintln!(
+                "  MEMO-HIT r{hit} func={} modref={:?} seg=({}..{}) cur@{}",
+                self.program.name(self.reads[hit as usize].func),
+                self.reads[hit as usize].modref,
+                self.ord.label(self.reads[hit as usize].start),
+                self.ord.label(self.reads[hit as usize].end),
+                self.ord.label(self.cur)
+            );
         }
         self.stats.memo_hits += 1;
+        self.emit(Event::MemoHit { read: hit });
         let start = self.reads[hit as usize].start;
         let end = self.reads[hit as usize].end;
         self.trash(self.cur, start);
@@ -1044,20 +1263,32 @@ impl Engine {
         {
             let node = &mut self.reads[r as usize];
             node.last_value = v;
-            node.key_hash =
-                hash_key(0x5EAD, node.modref.0 as u64, node.func.0 as u64, &node.args, Some(v));
+            node.key_hash = hash_key(
+                0x5EAD,
+                node.modref.0 as u64,
+                node.func.0 as u64,
+                &node.args,
+                Some(v),
+            );
         }
         let key_hash = self.reads[r as usize].key_hash;
         Bucket::add(&mut self.memo_table, &mut self.spill, key_hash, r);
         self.stats.reads_reexecuted += 1;
+        self.emit(Event::ReadReexecuted { read: r });
 
         let f = self.reads[r as usize].func;
         let args = ArgVec::prepend(v, &self.reads[r as usize].args);
         if self.debug_log {
             eprintln!(
                 "REEXEC r{r} func={} modref={:?} v={:?} args={:?} window=({:?}@{},{:?}@{})",
-                self.program.name(f), self.reads[r as usize].modref, v, &args[1..],
-                start, self.ord.label(start), end, self.ord.label(end)
+                self.program.name(f),
+                self.reads[r as usize].modref,
+                v,
+                &args[1..],
+                start,
+                self.ord.label(start),
+                end,
+                self.ord.label(end)
             );
         }
         self.run_chain(f, args);
@@ -1071,7 +1302,13 @@ impl Engine {
     // Keyed allocation.
     // ------------------------------------------------------------------
 
-    fn find_stealable(&self, key_hash: u64, words: usize, init: FuncId, args: &[Value]) -> Option<u32> {
+    fn find_stealable(
+        &self,
+        key_hash: u64,
+        words: usize,
+        init: FuncId,
+        args: &[Value],
+    ) -> Option<u32> {
         let wend = self.window_end?;
         let b = self.alloc_table.get(&key_hash).copied()?;
         let mut scratch = [0u32; 1];
@@ -1085,7 +1322,9 @@ impl Engine {
             if self.ord.lt(self.cur, a.time) && self.ord.lt(a.time, wend) {
                 match best {
                     None => best = Some(idx),
-                    Some(b) if self.ord.lt(a.time, self.allocs[b as usize].time) => best = Some(idx),
+                    Some(b) if self.ord.lt(a.time, self.allocs[b as usize].time) => {
+                        best = Some(idx)
+                    }
                     _ => {}
                 }
             }
@@ -1114,6 +1353,7 @@ impl Engine {
             );
         }
         self.stats.allocs_stolen += 1;
+        self.emit(Event::AllocStolen { alloc: idx });
         let t = self.allocs[idx as usize].time;
         self.trash(self.cur, t);
         self.cur = t;
@@ -1132,7 +1372,8 @@ impl Engine {
         while cur != to {
             debug_assert!(!cur.is_none(), "trash ran past the trace end");
             let next = self.ord.next(cur);
-            match self.payloads[cur.index()] {
+            let payload = self.payloads[cur.index()];
+            match payload {
                 Payload::Plain => {
                     self.ord.delete(cur);
                     self.stats.shrink(cost::TIME_NODE);
@@ -1172,18 +1413,23 @@ impl Engine {
                 }
             }
             self.stats.nodes_purged += 1;
+            self.emit(Event::TracePurged {
+                kind: trace_kind(payload),
+            });
             cur = next;
         }
     }
 
     fn trash_read(&mut self, r: u32) {
         if self.debug_log {
-            eprintln!("  PURGE-READ r{r} func={} modref={:?} interval=({:?}@{},{:?})",
+            eprintln!(
+                "  PURGE-READ r{r} func={} modref={:?} interval=({:?}@{},{:?})",
                 self.program.name(self.reads[r as usize].func),
                 self.reads[r as usize].modref,
                 self.reads[r as usize].start,
                 self.ord.label(self.reads[r as usize].start),
-                self.reads[r as usize].end);
+                self.reads[r as usize].end
+            );
         }
         debug_assert!(self.reads[r as usize].live);
         self.unlink_reader(r);
@@ -1235,7 +1481,10 @@ impl Engine {
 
     fn trash_alloc(&mut self, a: u32) {
         if self.debug_log {
-            eprintln!("  PURGE-ALLOC a{a} loc={:?} key_args={:?}", self.allocs[a as usize].loc, self.allocs[a as usize].args);
+            eprintln!(
+                "  PURGE-ALLOC a{a} loc={:?} key_args={:?}",
+                self.allocs[a as usize].loc, self.allocs[a as usize].args
+            );
         }
         debug_assert!(self.allocs[a as usize].live);
         let node = &mut self.allocs[a as usize];
@@ -1273,7 +1522,11 @@ impl Engine {
                 let r = self.heap.meta(m).reads_head;
                 if r != NIL {
                     let rd = &self.reads[r as usize];
-                    let lb = if self.ord.is_live(rd.start) { self.ord.label(rd.start) } else { 0 };
+                    let lb = if self.ord.is_live(rd.start) {
+                        self.ord.label(rd.start)
+                    } else {
+                        0
+                    };
                     panic!(
                         "collected modifiable {m:?} still has reader r{r}: func={} live={} queued={} last_value={:?} interval=({:?}@{lb},{:?})",
                         self.program.name(rd.func),
@@ -1526,6 +1779,9 @@ impl Engine {
         self.payloads[t.index()] = p;
         self.cur = t;
         self.stats.grow(cost::TIME_NODE);
+        self.emit(Event::TraceCreated {
+            kind: trace_kind(p),
+        });
         t
     }
 
@@ -1576,7 +1832,8 @@ impl Engine {
 
     #[inline]
     fn queue_less(&self, a: u32, b: u32) -> bool {
-        self.ord.lt(self.reads[a as usize].start, self.reads[b as usize].start)
+        self.ord
+            .lt(self.reads[a as usize].start, self.reads[b as usize].start)
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -1649,13 +1906,7 @@ impl Engine {
                 }
                 Payload::Write(w) => {
                     let wr = &self.writes[w as usize];
-                    let _ = writeln!(
-                        out,
-                        "{}write {:?} := {:?}",
-                        pad(depth),
-                        wr.modref,
-                        wr.value
-                    );
+                    let _ = writeln!(out, "{}write {:?} := {:?}", pad(depth), wr.modref, wr.value);
                 }
                 Payload::Alloc(a) => {
                     let al = &self.allocs[a as usize];
@@ -1914,8 +2165,11 @@ mod bucket_tests {
             .filter(|b| b.0 & MANY != 0)
             .map(|b| (b.0 & !MANY) as usize)
             .collect();
-        let mut seen: Vec<usize> =
-            live.iter().copied().chain(spill.free.iter().map(|&i| i as usize)).collect();
+        let mut seen: Vec<usize> = live
+            .iter()
+            .copied()
+            .chain(spill.free.iter().map(|&i| i as usize))
+            .collect();
         seen.sort_unstable();
         let expect: Vec<usize> = (0..spill.lists.len()).collect();
         assert_eq!(seen, expect, "spill arena slot leaked or double-tracked");

@@ -89,7 +89,11 @@ impl Heap {
     /// Allocates a block of `words` slots, all `Value::Nil`.
     pub fn alloc_block(&mut self, words: usize, kind: BlockKind) -> Loc {
         self.live_words += words;
-        let slot = BlockSlot { data: vec![Value::Nil; words], kind, live: true };
+        let slot = BlockSlot {
+            data: vec![Value::Nil; words],
+            kind,
+            live: true,
+        };
         if let Some(i) = self.free_blocks.pop() {
             self.blocks[i as usize] = slot;
             Loc(i)

@@ -46,6 +46,7 @@
 
 pub mod engine;
 pub mod heap;
+pub mod obs;
 pub mod order;
 pub mod prng;
 pub mod program;
@@ -53,14 +54,16 @@ pub mod stats;
 pub mod value;
 
 pub use engine::{Engine, EngineConfig, SmlSim};
+pub use obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
 pub use program::{NativeFn, OpaqueFn, Program, ProgramBuilder, Tail};
-pub use stats::Stats;
+pub use stats::{OpCounters, Stats};
 pub use value::{FuncId, Interner, Loc, ModRef, StrId, Value};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, SmlSim};
+    pub use crate::obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
     pub use crate::program::{Program, ProgramBuilder, Tail};
-    pub use crate::stats::Stats;
+    pub use crate::stats::{OpCounters, Stats};
     pub use crate::value::{FuncId, Loc, ModRef, Value};
 }

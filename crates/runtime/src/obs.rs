@@ -1,0 +1,570 @@
+//! Engine observability: event hooks, per-phase counter scoping, and
+//! paper-style profile reports (DESIGN.md §10).
+//!
+//! The paper's evaluation (§8, Tables 1–2) is built on measuring what
+//! change propagation *does* — trace size, re-executed reads, memo
+//! matches, live memory — not just how long it takes. This module is
+//! the lens for that: it scopes the engine's lifetime [`Stats`](crate::stats::Stats)
+//! counters to *phases* (the initial run, each propagation, a full
+//! trace purge) and renders the result as a machine-readable JSON
+//! report plus a human-readable table.
+//!
+//! Because every counter is a deterministic function of (program,
+//! input seed, edit script), profiles double as a noise-free CI
+//! regression signal: `crates/bench` gates on golden profiles where
+//! wall-clock gating would drown in runner noise.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Lifetime counters** ([`Stats`](crate::stats::Stats)) — always on; the engine
+//!    already maintains them.
+//! 2. **Phase scoping** ([`Profiler`]) — opt-in per engine
+//!    ([`crate::engine::Engine::enable_profiling`]); costs one counter
+//!    snapshot (a few dozen loads) per `run_core`/`propagate` call,
+//!    nothing in the per-read hot path.
+//! 3. **Event hooks** ([`EventHook`]) — opt-in per engine, and
+//!    compiled out entirely when the `event-hooks` cargo feature is
+//!    disabled; the engine reports individual re-executions, memo
+//!    probes, trace node creation/purging and order-maintenance work
+//!    as they happen.
+
+use crate::stats::OpCounters;
+use std::fmt::Write as _;
+
+/// What kind of trace record an [`Event::TraceCreated`] /
+/// [`Event::TracePurged`] refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A bare timestamp (interval boundaries of the core run).
+    Plain,
+    /// Start of a read interval.
+    Read,
+    /// End of a read interval.
+    ReadEnd,
+    /// A write record.
+    Write,
+    /// An allocation record.
+    Alloc,
+}
+
+/// One engine event, delivered to an installed [`EventHook`].
+///
+/// Record indices (`read`, `alloc`) are engine-internal slot numbers:
+/// stable for the lifetime of the record, reused after it is purged.
+/// They are useful for correlating events (the same `read` index shows
+/// up in `ReadReexecuted` and later `TracePurged` does not carry it),
+/// not as durable identifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Change propagation re-executes a dirty read.
+    ReadReexecuted {
+        /// Engine slot index of the read.
+        read: u32,
+    },
+    /// A re-executed read matched a trace segment in the discarded
+    /// window; the segment was spliced in instead of re-executing.
+    MemoHit {
+        /// Engine slot index of the matched read.
+        read: u32,
+    },
+    /// A read performed during re-execution probed the memo table and
+    /// found nothing reusable.
+    MemoMiss,
+    /// A keyed allocation stole a matching block from the discarded
+    /// window, preserving location identity.
+    AllocStolen {
+        /// Engine slot index of the stolen allocation record.
+        alloc: u32,
+    },
+    /// A trace record (timestamp) was created.
+    TraceCreated {
+        /// The record's kind.
+        kind: TraceKind,
+    },
+    /// A trace record was purged ("trashed").
+    TracePurged {
+        /// The record's kind.
+        kind: TraceKind,
+    },
+    /// Order-maintenance work performed since the last report
+    /// (delivered at the end of each `run_core`/`propagate`, with
+    /// deltas of the timestamp list's internal counters).
+    OrderMaintenance {
+        /// Top-level group relabel passes.
+        relabels: u64,
+        /// Within-group label renumberings.
+        renumbers: u64,
+        /// Full-group splits.
+        splits: u64,
+        /// Sparse-group merges.
+        merges: u64,
+    },
+}
+
+/// A sink for engine events, installed with
+/// [`crate::engine::Engine::set_event_hook`].
+///
+/// Implementations should be cheap: hooks run synchronously inside the
+/// engine's hot paths. When no hook is installed the per-event cost is
+/// one predictable branch; when the `event-hooks` cargo feature is
+/// disabled the call sites compile to nothing at all.
+pub trait EventHook {
+    /// Called for every engine event, in program order.
+    fn on_event(&mut self, ev: Event);
+}
+
+/// An [`EventHook`] that tallies events into public counters — the
+/// simplest useful hook, and the one the runtime's own tests use to
+/// check hook placement against the lifetime [`Stats`](crate::stats::Stats).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountingHook {
+    /// `ReadReexecuted` events seen.
+    pub reads_reexecuted: u64,
+    /// `MemoHit` events seen.
+    pub memo_hits: u64,
+    /// `MemoMiss` events seen.
+    pub memo_misses: u64,
+    /// `AllocStolen` events seen.
+    pub allocs_stolen: u64,
+    /// `TraceCreated` events seen.
+    pub trace_created: u64,
+    /// `TracePurged` events seen.
+    pub trace_purged: u64,
+    /// Sum of all `OrderMaintenance` deltas seen.
+    pub order_ops: u64,
+}
+
+impl EventHook for CountingHook {
+    fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::ReadReexecuted { .. } => self.reads_reexecuted += 1,
+            Event::MemoHit { .. } => self.memo_hits += 1,
+            Event::MemoMiss => self.memo_misses += 1,
+            Event::AllocStolen { .. } => self.allocs_stolen += 1,
+            Event::TraceCreated { .. } => self.trace_created += 1,
+            Event::TracePurged { .. } => self.trace_purged += 1,
+            Event::OrderMaintenance {
+                relabels,
+                renumbers,
+                splits,
+                merges,
+            } => self.order_ops += relabels + renumbers + splits + merges,
+        }
+    }
+}
+
+/// What a profiled phase was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// A `run_core` call (from-scratch execution of a core).
+    InitialRun,
+    /// A `propagate` call (change propagation after edits).
+    Propagate,
+    /// A `clear_core` call (full trace purge).
+    Purge,
+}
+
+impl PhaseKind {
+    /// Short lowercase name, used in reports and golden-profile keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::InitialRun => "init",
+            PhaseKind::Propagate => "propagate",
+            PhaseKind::Purge => "purge",
+        }
+    }
+}
+
+/// The counters scoped to one engine phase, plus end-of-phase gauges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// What the phase was.
+    pub kind: PhaseKind,
+    /// Zero-based sequence number among phases of the same kind.
+    pub seq: u32,
+    /// Work done during the phase: the delta of the lifetime counters
+    /// across it. Summing every phase of a profile reproduces the
+    /// engine's lifetime totals exactly (tested in
+    /// `tests/stats_invariants.rs`).
+    pub counters: OpCounters,
+    /// Live trace timestamps when the phase ended.
+    pub trace_len: u64,
+    /// Accounted live bytes when the phase ended.
+    pub live_bytes: u64,
+}
+
+/// Per-phase counter scoping for one engine.
+///
+/// The profiler records nothing in per-read hot paths: the engine
+/// snapshots its lifetime counters at phase boundaries and the profiler
+/// stores the deltas. This is what makes "phase counters sum to
+/// lifetime totals" an identity rather than a best-effort invariant.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    phases: Vec<Phase>,
+    open: Option<(PhaseKind, OpCounters)>,
+    init_runs: u32,
+    propagations: u32,
+    purges: u32,
+}
+
+impl Profiler {
+    /// Marks the start of a phase; the engine calls this with a fresh
+    /// counter snapshot.
+    pub(crate) fn begin(&mut self, kind: PhaseKind, at: OpCounters) {
+        debug_assert!(self.open.is_none(), "nested profile phases");
+        self.open = Some((kind, at));
+    }
+
+    /// Marks the end of the open phase.
+    pub(crate) fn end(&mut self, at: OpCounters, trace_len: u64, live_bytes: u64) {
+        let Some((kind, start)) = self.open.take() else {
+            return;
+        };
+        let seq = match kind {
+            PhaseKind::InitialRun => {
+                self.init_runs += 1;
+                self.init_runs - 1
+            }
+            PhaseKind::Propagate => {
+                self.propagations += 1;
+                self.propagations - 1
+            }
+            PhaseKind::Purge => {
+                self.purges += 1;
+                self.purges - 1
+            }
+        };
+        self.phases.push(Phase {
+            kind,
+            seq,
+            counters: at.delta(&start),
+            trace_len,
+            live_bytes,
+        });
+    }
+
+    /// The recorded phases, in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Drains the recorded phases (used by
+    /// [`crate::engine::Engine::take_profile`]).
+    pub(crate) fn take_phases(&mut self) -> Vec<Phase> {
+        std::mem::take(&mut self.phases)
+    }
+}
+
+/// Forwarding impl so several owners can share one hook state
+/// (`Rc<RefCell<CountingHook>>` is the common test pattern: keep a
+/// clone, install the other in the engine).
+impl<H: EventHook> EventHook for std::rc::Rc<std::cell::RefCell<H>> {
+    fn on_event(&mut self, ev: Event) {
+        self.borrow_mut().on_event(ev);
+    }
+}
+
+/// A complete profile of one engine session: per-phase counters plus
+/// lifetime totals and space gauges — the report the paper's Tables 1–2
+/// are made of, per benchmark.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Label for reports (typically the benchmark name).
+    pub name: String,
+    /// Recorded phases, in execution order.
+    pub phases: Vec<Phase>,
+    /// Lifetime counter totals at the time the profile was taken.
+    pub lifetime: OpCounters,
+    /// Live trace timestamps at the time the profile was taken.
+    pub trace_len: u64,
+    /// Accounted live bytes at the time the profile was taken.
+    pub live_bytes: u64,
+    /// High-water mark of accounted live bytes ("Max Live", Table 1).
+    pub max_live_bytes: u64,
+}
+
+impl Profile {
+    /// Aggregated counters over every phase of `kind`.
+    pub fn total(&self, kind: PhaseKind) -> (u32, OpCounters) {
+        let mut n = 0;
+        let mut sum = OpCounters::default();
+        for p in &self.phases {
+            if p.kind == kind {
+                n += 1;
+                sum.add(&p.counters);
+            }
+        }
+        (n, sum)
+    }
+
+    /// Reads re-executed per propagation, as an exact rational
+    /// `(total, propagations)` so report consumers stay float-free
+    /// (floats would make golden comparisons formatting-sensitive).
+    pub fn reads_per_update(&self) -> (u64, u32) {
+        let (n, prop) = self.total(PhaseKind::Propagate);
+        (prop.reads_reexecuted, n)
+    }
+
+    /// Memo hit rate over all propagations, as `(hits, probes)`.
+    pub fn memo_hit_rate(&self) -> (u64, u64) {
+        let (_, prop) = self.total(PhaseKind::Propagate);
+        (prop.memo_hits, prop.memo_hits + prop.memo_misses)
+    }
+
+    /// The machine-readable JSON report: summary gauges, aggregated
+    /// per-kind counters, and the full per-phase breakdown (counters
+    /// that are zero are omitted from phase rows to keep reports
+    /// readable; summaries always carry every counter).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut s = String::new();
+        let _ = writeln!(s, "{pad}{{");
+        let _ = writeln!(s, "{pad}  \"name\": {:?},", self.name);
+        let _ = writeln!(s, "{pad}  \"trace_len\": {},", self.trace_len);
+        let _ = writeln!(s, "{pad}  \"live_bytes\": {},", self.live_bytes);
+        let _ = writeln!(s, "{pad}  \"max_live_bytes\": {},", self.max_live_bytes);
+        let (rr, nprop) = self.reads_per_update();
+        let (hits, probes) = self.memo_hit_rate();
+        let _ = writeln!(s, "{pad}  \"propagations\": {nprop},");
+        let _ = writeln!(s, "{pad}  \"reads_reexecuted_total\": {rr},");
+        let _ = writeln!(s, "{pad}  \"memo_hits_total\": {hits},");
+        let _ = writeln!(s, "{pad}  \"memo_probes_total\": {probes},");
+        for kind in [
+            PhaseKind::InitialRun,
+            PhaseKind::Propagate,
+            PhaseKind::Purge,
+        ] {
+            let (n, sum) = self.total(kind);
+            if n == 0 && kind == PhaseKind::Purge {
+                continue;
+            }
+            let _ = writeln!(s, "{pad}  \"{}\": {{", kind.name());
+            let _ = writeln!(s, "{pad}    \"phases\": {n},");
+            let entries: Vec<String> = sum
+                .entries()
+                .map(|(k, v)| format!("{pad}    \"{k}\": {v}"))
+                .collect();
+            s.push_str(&entries.join(",\n"));
+            let _ = writeln!(s, "\n{pad}  }},");
+        }
+        let _ = writeln!(s, "{pad}  \"phase_list\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let nz: Vec<String> = p
+                .counters
+                .entries()
+                .filter(|&(_, v)| v != 0)
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect();
+            let _ = write!(
+                s,
+                "{pad}    {{\"phase\": \"{}#{}\", \"trace_len\": {}, \"live_bytes\": {}{}{}}}",
+                p.kind.name(),
+                p.seq,
+                p.trace_len,
+                p.live_bytes,
+                if nz.is_empty() { "" } else { ", " },
+                nz.join(", ")
+            );
+            s.push_str(if i + 1 < self.phases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = writeln!(s, "{pad}  ]");
+        let _ = write!(s, "{pad}}}");
+        s
+    }
+
+    /// The flat `key → value` view used for golden-profile gating:
+    /// every key is `<name>/<section>/<counter>` and every value an
+    /// integer, so comparisons are exact and diffable per counter.
+    pub fn flat_counters(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for kind in [
+            PhaseKind::InitialRun,
+            PhaseKind::Propagate,
+            PhaseKind::Purge,
+        ] {
+            let (n, sum) = self.total(kind);
+            if n == 0 {
+                continue;
+            }
+            out.push((format!("{}/{}/phases", self.name, kind.name()), n as u64));
+            for (k, v) in sum.entries() {
+                out.push((format!("{}/{}/{}", self.name, kind.name(), k), v));
+            }
+        }
+        out.push((format!("{}/final/trace_len", self.name), self.trace_len));
+        out.push((format!("{}/final/live_bytes", self.name), self.live_bytes));
+        out.push((
+            format!("{}/final/max_live_bytes", self.name),
+            self.max_live_bytes,
+        ));
+        out
+    }
+
+    /// A human-readable table of the profile: one row per counter,
+    /// one column per phase kind (aggregated), plus the gauges.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let (ni, init) = self.total(PhaseKind::InitialRun);
+        let (np, prop) = self.total(PhaseKind::Propagate);
+        let (nu, purge) = self.total(PhaseKind::Purge);
+        let _ = writeln!(s, "profile: {}", self.name);
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>14} {:>14} {:>14}",
+            "counter",
+            format!("init({ni})"),
+            format!("propagate({np})"),
+            format!("purge({nu})")
+        );
+        for (i, (name, iv)) in init.entries().enumerate() {
+            let pv = prop.values()[i];
+            let uv = purge.values()[i];
+            if iv == 0 && pv == 0 && uv == 0 {
+                continue;
+            }
+            let _ = writeln!(s, "  {name:<24} {iv:>14} {pv:>14} {uv:>14}");
+        }
+        let _ = writeln!(s, "  {:<24} {:>14}", "trace_len (final)", self.trace_len);
+        let _ = writeln!(s, "  {:<24} {:>14}", "live_bytes (final)", self.live_bytes);
+        let _ = writeln!(s, "  {:<24} {:>14}", "max_live_bytes", self.max_live_bytes);
+        let (rr, n) = self.reads_per_update();
+        if n > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>14.2}",
+                "reads reexec / update",
+                rr as f64 / n as f64
+            );
+        }
+        let (hits, probes) = self.memo_hit_rate();
+        if probes > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>13.1}%",
+                "memo hit rate",
+                100.0 * hits as f64 / probes as f64
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let c1 = OpCounters {
+            reads_created: 10,
+            writes_created: 4,
+            ..OpCounters::default()
+        };
+        let c2 = OpCounters {
+            reads_reexecuted: 3,
+            memo_hits: 2,
+            memo_misses: 2,
+            propagations: 1,
+            ..OpCounters::default()
+        };
+        Profile {
+            name: "sample".into(),
+            phases: vec![
+                Phase {
+                    kind: PhaseKind::InitialRun,
+                    seq: 0,
+                    counters: c1,
+                    trace_len: 30,
+                    live_bytes: 2_000,
+                },
+                Phase {
+                    kind: PhaseKind::Propagate,
+                    seq: 0,
+                    counters: c2,
+                    trace_len: 30,
+                    live_bytes: 2_000,
+                },
+                Phase {
+                    kind: PhaseKind::Propagate,
+                    seq: 1,
+                    counters: c2,
+                    trace_len: 30,
+                    live_bytes: 2_000,
+                },
+            ],
+            lifetime: {
+                let mut l = c1;
+                l.add(&c2);
+                l.add(&c2);
+                l
+            },
+            trace_len: 30,
+            live_bytes: 2_000,
+            max_live_bytes: 2_500,
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let p = sample_profile();
+        let (n, prop) = p.total(PhaseKind::Propagate);
+        assert_eq!(n, 2);
+        assert_eq!(prop.reads_reexecuted, 6);
+        assert_eq!(p.reads_per_update(), (6, 2));
+        assert_eq!(p.memo_hit_rate(), (4, 8));
+    }
+
+    #[test]
+    fn flat_counters_cover_phases_and_gauges() {
+        let p = sample_profile();
+        let flat = p.flat_counters();
+        let get = |k: &str| flat.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+        assert_eq!(get("sample/init/reads_created"), Some(10));
+        assert_eq!(get("sample/propagate/phases"), Some(2));
+        assert_eq!(get("sample/propagate/reads_reexecuted"), Some(6));
+        assert_eq!(get("sample/final/max_live_bytes"), Some(2_500));
+        // No purge phase recorded → no purge keys.
+        assert!(!flat.iter().any(|(n, _)| n.contains("/purge/")));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let p = sample_profile();
+        let j = p.to_json(0);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\": \"sample\""));
+        assert!(j.contains("\"propagate\""));
+        assert!(j.contains("\"phase\": \"propagate#1\""));
+        // Zero counters are dropped from phase rows.
+        assert!(!j.contains(
+            "\"phase\": \"init#0\", \"trace_len\": 30, \"live_bytes\": 2000, \"memo_hits\""
+        ));
+        let table = p.render_table();
+        assert!(table.contains("memo hit rate"));
+        assert!(table.contains("reads reexec / update"));
+    }
+
+    #[test]
+    fn counting_hook_tallies() {
+        let mut h = CountingHook::default();
+        h.on_event(Event::MemoHit { read: 1 });
+        h.on_event(Event::MemoMiss);
+        h.on_event(Event::TraceCreated {
+            kind: TraceKind::Read,
+        });
+        h.on_event(Event::OrderMaintenance {
+            relabels: 1,
+            renumbers: 2,
+            splits: 0,
+            merges: 0,
+        });
+        assert_eq!(h.memo_hits, 1);
+        assert_eq!(h.memo_misses, 1);
+        assert_eq!(h.trace_created, 1);
+        assert_eq!(h.order_ops, 3);
+    }
+}

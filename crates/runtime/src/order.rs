@@ -200,12 +200,38 @@ impl Default for OrderList {
 impl OrderList {
     /// Creates a list containing only the two sentinels.
     pub fn new() -> Self {
-        let first = Entry { glabel: 0, local: 0, group: FIRST_G, prev: NIL, next: 1, live: true };
-        let last =
-            Entry { glabel: u64::MAX, local: 0, group: LAST_G, prev: 0, next: NIL, live: true };
-        let g_first = Group { label: 0, prev: NIL, next: LAST_G, head: 0, count: 1, live: true };
-        let g_last =
-            Group { label: u64::MAX, prev: FIRST_G, next: NIL, head: 1, count: 1, live: true };
+        let first = Entry {
+            glabel: 0,
+            local: 0,
+            group: FIRST_G,
+            prev: NIL,
+            next: 1,
+            live: true,
+        };
+        let last = Entry {
+            glabel: u64::MAX,
+            local: 0,
+            group: LAST_G,
+            prev: 0,
+            next: NIL,
+            live: true,
+        };
+        let g_first = Group {
+            label: 0,
+            prev: NIL,
+            next: LAST_G,
+            head: 0,
+            count: 1,
+            live: true,
+        };
+        let g_last = Group {
+            label: u64::MAX,
+            prev: FIRST_G,
+            next: NIL,
+            head: 1,
+            count: 1,
+            live: true,
+        };
         OrderList {
             entries: vec![first, last],
             groups: vec![g_first, g_last],
@@ -298,7 +324,9 @@ impl OrderList {
     #[inline]
     pub fn cmp(&self, a: Time, b: Time) -> Ordering {
         debug_assert!(self.is_live(a) && self.is_live(b));
-        self.entries[a.0 as usize].key().cmp(&self.entries[b.0 as usize].key())
+        self.entries[a.0 as usize]
+            .key()
+            .cmp(&self.entries[b.0 as usize].key())
     }
 
     /// `true` iff `a` is strictly before `b`.
@@ -347,7 +375,10 @@ impl OrderList {
     /// Panics if `t` is dead or is the trailing sentinel.
     pub fn insert_after(&mut self, t: Time) -> Time {
         assert!(self.is_live(t), "insert_after dead timestamp {t:?}");
-        assert!(t != self.last(), "cannot insert after the trailing sentinel");
+        assert!(
+            t != self.last(),
+            "cannot insert after the trailing sentinel"
+        );
         loop {
             let ti = t.0;
             let e = &self.entries[ti as usize];
@@ -394,7 +425,14 @@ impl OrderList {
     /// between adjacent entries `prev` and `next`.
     fn link_entry(&mut self, g: u32, prev: u32, next: u32, local: u64) -> Time {
         let glabel = self.groups[g as usize].label;
-        let idx = self.alloc_entry(Entry { glabel, local, group: g, prev, next, live: true });
+        let idx = self.alloc_entry(Entry {
+            glabel,
+            local,
+            group: g,
+            prev,
+            next,
+            live: true,
+        });
         self.entries[prev as usize].next = idx;
         self.entries[next as usize].prev = idx;
         let grp = &mut self.groups[g as usize];
@@ -418,8 +456,16 @@ impl OrderList {
     /// Panics if `t` is a sentinel or already dead.
     pub fn delete(&mut self, t: Time) {
         assert!(self.is_live(t), "delete of dead timestamp {t:?}");
-        assert!(t != self.first() && t != self.last(), "cannot delete a sentinel");
-        let Entry { prev, next, group: g, .. } = *self.entry(t);
+        assert!(
+            t != self.first() && t != self.last(),
+            "cannot delete a sentinel"
+        );
+        let Entry {
+            prev,
+            next,
+            group: g,
+            ..
+        } = *self.entry(t);
         self.entries[prev as usize].next = next;
         self.entries[next as usize].prev = prev;
         self.entries[t.0 as usize].live = false;
@@ -441,7 +487,8 @@ impl OrderList {
         }
         if grp.count <= MERGE_AT {
             let (gp, gn) = (self.groups[g as usize].prev, self.groups[g as usize].next);
-            if gn != LAST_G && self.groups[g as usize].count + self.groups[gn as usize].count <= MERGE_MAX
+            if gn != LAST_G
+                && self.groups[g as usize].count + self.groups[gn as usize].count <= MERGE_MAX
             {
                 self.merge_into_neighbor(g, gn, true);
             } else if gp != FIRST_G
@@ -485,7 +532,10 @@ impl OrderList {
             moved += 1;
             cur = self.entries[cur as usize].next;
         }
-        debug_assert!(moved >= 1 && moved < count, "split must move a proper suffix");
+        debug_assert!(
+            moved >= 1 && moved < count,
+            "split must move a proper suffix"
+        );
         // Create the successor group before re-homing: its label
         // allocation may relabel the group list, and at that point
         // every entry still consistently belongs to `g`.
@@ -590,8 +640,14 @@ impl OrderList {
             debug_assert!(lb - la >= 2, "group relabeling failed to open a gap");
             la + (lb - la).min(2 * APPEND_GAP) / 2
         };
-        let idx =
-            self.alloc_group(Group { label, prev: a, next: b, head: NIL, count: 0, live: true });
+        let idx = self.alloc_group(Group {
+            label,
+            prev: a,
+            next: b,
+            head: NIL,
+            count: 0,
+            live: true,
+        });
         self.groups[a as usize].next = idx;
         self.groups[b as usize].prev = idx;
         idx
@@ -774,10 +830,17 @@ mod tests {
         }
         // anchor < every inserted node; later inserts come earlier.
         for w in ts[1..].windows(2) {
-            assert_eq!(ord.cmp(w[1], w[0]), Ordering::Less, "later insert sorts before earlier");
+            assert_eq!(
+                ord.cmp(w[1], w[0]),
+                Ordering::Less,
+                "later insert sorts before earlier"
+            );
         }
         assert!(ord.relabel_count() > 0, "expected at least one relabel");
-        assert!(ord.stats().group_splits > 0, "dense insertion must split groups");
+        assert!(
+            ord.stats().group_splits > 0,
+            "dense insertion must split groups"
+        );
         ord.check_invariants();
     }
 
@@ -855,8 +918,16 @@ mod tests {
         let mut reference: Vec<Time> = Vec::new();
         for step in 0..20_000 {
             if reference.is_empty() || rng.gen_bool(0.7) {
-                let pos = if reference.is_empty() { 0 } else { rng.gen_range(0..=reference.len()) };
-                let after = if pos == 0 { ord.first() } else { reference[pos - 1] };
+                let pos = if reference.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(0..=reference.len())
+                };
+                let after = if pos == 0 {
+                    ord.first()
+                } else {
+                    reference[pos - 1]
+                };
                 let t = ord.insert_after(after);
                 reference.insert(pos, t);
             } else {

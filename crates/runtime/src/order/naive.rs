@@ -102,9 +102,24 @@ impl Default for OrderList {
 impl OrderList {
     /// Creates a list containing only the two sentinels.
     pub fn new() -> Self {
-        let head = Node { label: 0, prev: NIL, next: 1, live: true };
-        let tail = Node { label: u64::MAX, prev: 0, next: NIL, live: true };
-        OrderList { nodes: vec![head, tail], free: Vec::new(), len: 0, relabels: 0 }
+        let head = Node {
+            label: 0,
+            prev: NIL,
+            next: 1,
+            live: true,
+        };
+        let tail = Node {
+            label: u64::MAX,
+            prev: 0,
+            next: NIL,
+            live: true,
+        };
+        OrderList {
+            nodes: vec![head, tail],
+            free: Vec::new(),
+            len: 0,
+            relabels: 0,
+        }
     }
 
     /// The before-everything sentinel.
@@ -207,7 +222,10 @@ impl OrderList {
     /// Panics if `t` is dead or is the trailing sentinel.
     pub fn insert_after(&mut self, t: Time) -> Time {
         assert!(self.is_live(t), "insert_after dead timestamp {t:?}");
-        assert!(t != self.last(), "cannot insert after the trailing sentinel");
+        assert!(
+            t != self.last(),
+            "cannot insert after the trailing sentinel"
+        );
         let next = self.node(t).next;
         let la = self.node(t).label;
         let lb = self.nodes[next as usize].label;
@@ -225,7 +243,12 @@ impl OrderList {
             la + (lb - la).min(2 * APPEND_GAP) / 2
         };
         let next = self.node(t).next;
-        let idx = self.alloc_node(Node { label, prev: t.0, next, live: true });
+        let idx = self.alloc_node(Node {
+            label,
+            prev: t.0,
+            next,
+            live: true,
+        });
         self.nodes[t.0 as usize].next = idx;
         self.nodes[next as usize].prev = idx;
         self.len += 1;
@@ -239,7 +262,10 @@ impl OrderList {
     /// Panics if `t` is a sentinel or already dead.
     pub fn delete(&mut self, t: Time) {
         assert!(self.is_live(t), "delete of dead timestamp {t:?}");
-        assert!(t != self.first() && t != self.last(), "cannot delete a sentinel");
+        assert!(
+            t != self.first() && t != self.last(),
+            "cannot delete a sentinel"
+        );
         let Node { prev, next, .. } = *self.node(t);
         self.nodes[prev as usize].next = next;
         self.nodes[next as usize].prev = prev;
@@ -373,7 +399,11 @@ mod tests {
         }
         // anchor < every inserted node; later inserts come earlier.
         for w in ts[1..].windows(2) {
-            assert_eq!(ord.cmp(w[1], w[0]), Ordering::Less, "later insert sorts before earlier");
+            assert_eq!(
+                ord.cmp(w[1], w[0]),
+                Ordering::Less,
+                "later insert sorts before earlier"
+            );
         }
         assert!(ord.relabel_count() > 0, "expected at least one relabel");
         ord.check_invariants();
@@ -424,8 +454,16 @@ mod tests {
         let mut reference: Vec<Time> = Vec::new();
         for step in 0..20_000 {
             if reference.is_empty() || rng.gen_bool(0.7) {
-                let pos = if reference.is_empty() { 0 } else { rng.gen_range(0..=reference.len()) };
-                let after = if pos == 0 { ord.first() } else { reference[pos - 1] };
+                let pos = if reference.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(0..=reference.len())
+                };
+                let after = if pos == 0 {
+                    ord.first()
+                } else {
+                    reference[pos - 1]
+                };
                 let t = ord.insert_after(after);
                 reference.insert(pos, t);
             } else {

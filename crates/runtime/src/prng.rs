@@ -65,7 +65,10 @@ impl Prng {
     /// Panics if `p` is not in `[0, 1]`.
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
         self.gen_f64() < p
     }
 

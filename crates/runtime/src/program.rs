@@ -23,7 +23,10 @@ pub struct ArgVec(Repr);
 
 #[derive(Clone, Debug)]
 enum Repr {
-    Inline { len: u8, buf: [Value; ArgVec::INLINE] },
+    Inline {
+        len: u8,
+        buf: [Value; ArgVec::INLINE],
+    },
     Heap(Vec<Value>),
 }
 
@@ -33,7 +36,10 @@ impl ArgVec {
 
     /// An empty argument list.
     pub fn new() -> ArgVec {
-        ArgVec(Repr::Inline { len: 0, buf: [Value::Nil; Self::INLINE] })
+        ArgVec(Repr::Inline {
+            len: 0,
+            buf: [Value::Nil; Self::INLINE],
+        })
     }
 
     /// Copies a slice.
@@ -41,7 +47,10 @@ impl ArgVec {
         if vals.len() <= Self::INLINE {
             let mut buf = [Value::Nil; Self::INLINE];
             buf[..vals.len()].copy_from_slice(vals);
-            ArgVec(Repr::Inline { len: vals.len() as u8, buf })
+            ArgVec(Repr::Inline {
+                len: vals.len() as u8,
+                buf,
+            })
         } else {
             ArgVec(Repr::Heap(vals.to_vec()))
         }
@@ -54,7 +63,10 @@ impl ArgVec {
             let mut buf = [Value::Nil; Self::INLINE];
             buf[0] = first;
             buf[1..=rest.len()].copy_from_slice(rest);
-            ArgVec(Repr::Inline { len: rest.len() as u8 + 1, buf })
+            ArgVec(Repr::Inline {
+                len: rest.len() as u8 + 1,
+                buf,
+            })
         } else {
             let mut v = Vec::with_capacity(rest.len() + 1);
             v.push(first);
@@ -223,7 +235,9 @@ pub struct Program {
 
 impl std::fmt::Debug for Program {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Program").field("funcs", &self.funcs.len()).finish()
+        f.debug_struct("Program")
+            .field("funcs", &self.funcs.len())
+            .finish()
     }
 }
 
@@ -290,8 +304,15 @@ impl ProgramBuilder {
         body: impl Fn(&mut Engine, &[Value]) -> Tail + 'static,
     ) {
         let slot = &mut self.funcs[f.0 as usize];
-        assert!(slot.is_none(), "function {} defined twice", self.names[f.0 as usize]);
-        *slot = Some(Impl::Native { f: Box::new(body), name: self.names[f.0 as usize].clone() });
+        assert!(
+            slot.is_none(),
+            "function {} defined twice",
+            self.names[f.0 as usize]
+        );
+        *slot = Some(Impl::Native {
+            f: Box::new(body),
+            name: self.names[f.0 as usize].clone(),
+        });
     }
 
     /// Declares and defines a native function in one step.
@@ -312,7 +333,11 @@ impl ProgramBuilder {
     /// Panics if `f` is already defined.
     pub fn define_opaque(&mut self, f: FuncId, body: Box<dyn OpaqueFn>) {
         let slot = &mut self.funcs[f.0 as usize];
-        assert!(slot.is_none(), "function {} defined twice", self.names[f.0 as usize]);
+        assert!(
+            slot.is_none(),
+            "function {} defined twice",
+            self.names[f.0 as usize]
+        );
         *slot = Some(Impl::Opaque(body));
     }
 
@@ -326,7 +351,9 @@ impl ProgramBuilder {
             .funcs
             .into_iter()
             .enumerate()
-            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {} declared but not defined", self.names[i])))
+            .map(|(i, f)| {
+                f.unwrap_or_else(|| panic!("function {} declared but not defined", self.names[i]))
+            })
             .collect();
         std::rc::Rc::new(Program { funcs })
     }

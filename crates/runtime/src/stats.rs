@@ -45,6 +45,9 @@ pub struct Stats {
     /// Memoization hits: a read matched in the window and its subtrace
     /// was spliced in instead of re-executing.
     pub memo_hits: u64,
+    /// Memoization misses: a read performed during re-execution probed
+    /// the memo table and found no reusable subtrace.
+    pub memo_misses: u64,
     /// Reads re-executed by change propagation.
     pub reads_reexecuted: u64,
     /// Reads popped from the queue but skipped (already purged, or value
@@ -74,7 +77,173 @@ pub struct Stats {
     pub order_group_merges: u64,
 }
 
+/// A point-in-time snapshot of the *deterministic operation counters*
+/// of [`Stats`] — everything except the byte-accounting fields, whose
+/// values depend on argument-vector sizes and are therefore excluded
+/// from cross-executor comparisons (see `crates/diffcheck`).
+///
+/// For a fixed program, input seed and edit script these counters are
+/// bit-for-bit reproducible across runs and machines, which is what
+/// makes them suitable for CI gating where wall-clock time is not
+/// (DESIGN.md §10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Mirrors [`Stats::reads_created`].
+    pub reads_created: u64,
+    /// Mirrors [`Stats::writes_created`].
+    pub writes_created: u64,
+    /// Mirrors [`Stats::allocs_created`].
+    pub allocs_created: u64,
+    /// Mirrors [`Stats::allocs_stolen`].
+    pub allocs_stolen: u64,
+    /// Mirrors [`Stats::memo_hits`].
+    pub memo_hits: u64,
+    /// Mirrors [`Stats::memo_misses`].
+    pub memo_misses: u64,
+    /// Mirrors [`Stats::reads_reexecuted`].
+    pub reads_reexecuted: u64,
+    /// Mirrors [`Stats::reads_skipped`].
+    pub reads_skipped: u64,
+    /// Mirrors [`Stats::nodes_purged`].
+    pub nodes_purged: u64,
+    /// Mirrors [`Stats::blocks_collected`].
+    pub blocks_collected: u64,
+    /// Mirrors [`Stats::propagations`].
+    pub propagations: u64,
+    /// Mirrors [`Stats::order_group_relabels`].
+    pub order_group_relabels: u64,
+    /// Mirrors [`Stats::order_local_renumbers`].
+    pub order_local_renumbers: u64,
+    /// Mirrors [`Stats::order_group_splits`].
+    pub order_group_splits: u64,
+    /// Mirrors [`Stats::order_group_merges`].
+    pub order_group_merges: u64,
+}
+
+impl OpCounters {
+    /// Counter names, in the order [`OpCounters::values`] returns them.
+    pub const NAMES: [&'static str; 15] = [
+        "reads_created",
+        "writes_created",
+        "allocs_created",
+        "allocs_stolen",
+        "memo_hits",
+        "memo_misses",
+        "reads_reexecuted",
+        "reads_skipped",
+        "nodes_purged",
+        "blocks_collected",
+        "propagations",
+        "order_group_relabels",
+        "order_local_renumbers",
+        "order_group_splits",
+        "order_group_merges",
+    ];
+
+    /// Snapshots the operation counters of `s`.
+    pub fn from_stats(s: &Stats) -> OpCounters {
+        OpCounters {
+            reads_created: s.reads_created,
+            writes_created: s.writes_created,
+            allocs_created: s.allocs_created,
+            allocs_stolen: s.allocs_stolen,
+            memo_hits: s.memo_hits,
+            memo_misses: s.memo_misses,
+            reads_reexecuted: s.reads_reexecuted,
+            reads_skipped: s.reads_skipped,
+            nodes_purged: s.nodes_purged,
+            blocks_collected: s.blocks_collected,
+            propagations: s.propagations,
+            order_group_relabels: s.order_group_relabels,
+            order_local_renumbers: s.order_local_renumbers,
+            order_group_splits: s.order_group_splits,
+            order_group_merges: s.order_group_merges,
+        }
+    }
+
+    /// Counter values, in the order of [`OpCounters::NAMES`].
+    pub fn values(&self) -> [u64; 15] {
+        [
+            self.reads_created,
+            self.writes_created,
+            self.allocs_created,
+            self.allocs_stolen,
+            self.memo_hits,
+            self.memo_misses,
+            self.reads_reexecuted,
+            self.reads_skipped,
+            self.nodes_purged,
+            self.blocks_collected,
+            self.propagations,
+            self.order_group_relabels,
+            self.order_local_renumbers,
+            self.order_group_splits,
+            self.order_group_merges,
+        ]
+    }
+
+    /// `(name, value)` pairs, for report generators and delta tables.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let vals = self.values();
+        Self::NAMES.into_iter().zip(vals)
+    }
+
+    /// The counter-by-counter difference `self - earlier`. All counters
+    /// are monotone over an engine's lifetime, so a later snapshot
+    /// minus an earlier one is the work done in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is not actually an earlier
+    /// snapshot of the same engine.
+    pub fn delta(&self, earlier: &OpCounters) -> OpCounters {
+        let a = self.values();
+        let b = earlier.values();
+        let mut out = OpCounters::default();
+        let fields = out.values_mut();
+        for (i, f) in fields.into_iter().enumerate() {
+            debug_assert!(a[i] >= b[i], "counter {} went backwards", Self::NAMES[i]);
+            *f = a[i].saturating_sub(b[i]);
+        }
+        out
+    }
+
+    /// Adds `other` into `self`, counter by counter.
+    pub fn add(&mut self, other: &OpCounters) {
+        let vals = other.values();
+        for (i, f) in self.values_mut().into_iter().enumerate() {
+            *f += vals[i];
+        }
+    }
+
+    fn values_mut(&mut self) -> [&mut u64; 15] {
+        [
+            &mut self.reads_created,
+            &mut self.writes_created,
+            &mut self.allocs_created,
+            &mut self.allocs_stolen,
+            &mut self.memo_hits,
+            &mut self.memo_misses,
+            &mut self.reads_reexecuted,
+            &mut self.reads_skipped,
+            &mut self.nodes_purged,
+            &mut self.blocks_collected,
+            &mut self.propagations,
+            &mut self.order_group_relabels,
+            &mut self.order_local_renumbers,
+            &mut self.order_group_splits,
+            &mut self.order_group_merges,
+        ]
+    }
+}
+
 impl Stats {
+    /// Snapshot of the deterministic operation counters (everything
+    /// except byte accounting); see [`OpCounters`].
+    pub fn op_counters(&self) -> OpCounters {
+        OpCounters::from_stats(self)
+    }
+
     /// Adds `n` bytes to the live footprint, updating the high-water mark.
     #[inline]
     pub(crate) fn grow(&mut self, n: usize) {
@@ -101,6 +270,38 @@ impl Stats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_counter_snapshot_delta_and_sum() {
+        let mut s = Stats {
+            reads_created: 10,
+            memo_hits: 3,
+            order_group_splits: 2,
+            ..Stats::default()
+        };
+        let early = s.op_counters();
+        s.reads_created = 25;
+        s.memo_hits = 3;
+        s.reads_reexecuted = 7;
+        let late = s.op_counters();
+        let d = late.delta(&early);
+        assert_eq!(d.reads_created, 15);
+        assert_eq!(d.memo_hits, 0);
+        assert_eq!(d.reads_reexecuted, 7);
+        assert_eq!(d.order_group_splits, 0);
+        let mut sum = early;
+        sum.add(&d);
+        // early + (late - early) == late, counter by counter.
+        assert_eq!(sum, late);
+        // NAMES and values stay in lockstep.
+        assert_eq!(OpCounters::NAMES.len(), late.values().len());
+        assert_eq!(
+            late.entries()
+                .find(|(n, _)| *n == "reads_created")
+                .map(|(_, v)| v),
+            Some(25)
+        );
+    }
 
     #[test]
     fn high_water_mark_tracks_peak() {

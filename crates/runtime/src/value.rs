@@ -140,7 +140,8 @@ impl Value {
     #[inline]
     #[track_caller]
     pub fn int(self) -> i64 {
-        self.as_int().unwrap_or_else(|| panic!("expected Int, got {self:?}"))
+        self.as_int()
+            .unwrap_or_else(|| panic!("expected Int, got {self:?}"))
     }
 
     /// The float payload.
@@ -151,7 +152,8 @@ impl Value {
     #[inline]
     #[track_caller]
     pub fn float(self) -> f64 {
-        self.as_float().unwrap_or_else(|| panic!("expected Float, got {self:?}"))
+        self.as_float()
+            .unwrap_or_else(|| panic!("expected Float, got {self:?}"))
     }
 
     /// The pointer payload.
@@ -162,7 +164,8 @@ impl Value {
     #[inline]
     #[track_caller]
     pub fn ptr(self) -> Loc {
-        self.as_ptr().unwrap_or_else(|| panic!("expected Ptr, got {self:?}"))
+        self.as_ptr()
+            .unwrap_or_else(|| panic!("expected Ptr, got {self:?}"))
     }
 
     /// The modifiable payload.
@@ -173,7 +176,8 @@ impl Value {
     #[inline]
     #[track_caller]
     pub fn modref(self) -> ModRef {
-        self.as_modref().unwrap_or_else(|| panic!("expected ModRef, got {self:?}"))
+        self.as_modref()
+            .unwrap_or_else(|| panic!("expected ModRef, got {self:?}"))
     }
 
     /// The string payload.
@@ -364,7 +368,11 @@ mod tests {
         let b = Value::Float(f64::NAN);
         assert_eq!(a, b, "identical NaN bits compare equal");
         assert_eq!(h(a), h(b));
-        assert_ne!(Value::Float(0.0), Value::Float(-0.0), "distinct bit patterns differ");
+        assert_ne!(
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            "distinct bit patterns differ"
+        );
     }
 
     #[test]
@@ -386,7 +394,10 @@ mod tests {
     #[test]
     fn interner_round_trips() {
         let mut i = Interner::new();
-        let ids: Vec<_> = ["a", "bb", "a", "ccc"].iter().map(|s| i.intern(s)).collect();
+        let ids: Vec<_> = ["a", "bb", "a", "ccc"]
+            .iter()
+            .map(|s| i.intern(s))
+            .collect();
         assert_eq!(ids[0], ids[2]);
         assert_eq!(i.resolve(ids[1]), "bb");
         assert_eq!(i.len(), 3);

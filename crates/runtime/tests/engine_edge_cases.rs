@@ -38,7 +38,11 @@ fn multiple_cores_share_and_chain() {
     e.propagate();
     assert_eq!(e.deref(o1), Value::Int(42));
     assert_eq!(e.deref(o2), Value::Int(42));
-    assert_eq!(e.deref(o3), Value::Int(42), "the chained core saw o1's new value");
+    assert_eq!(
+        e.deref(o3),
+        Value::Int(42),
+        "the chained core saw o1's new value"
+    );
     e.check_invariants();
 }
 
@@ -171,7 +175,10 @@ fn batch_modifications_propagate_once() {
     let (a, bb, o) = (e.meta_modref(), e.meta_modref(), e.meta_modref());
     e.modify(a, Value::Int(1));
     e.modify(bb, Value::Int(2));
-    e.run_core(sum2, &[Value::ModRef(a), Value::ModRef(bb), Value::ModRef(o)]);
+    e.run_core(
+        sum2,
+        &[Value::ModRef(a), Value::ModRef(bb), Value::ModRef(o)],
+    );
     assert_eq!(e.deref(o), Value::Int(3));
     e.modify(a, Value::Int(10));
     e.modify(bb, Value::Int(20));
@@ -189,10 +196,7 @@ fn interner_is_engine_scoped() {
     assert_eq!(a, b2);
     let c = e.intern("world");
     assert_ne!(a, c);
-    assert_eq!(
-        e.str_cmp(a.str_id(), c.str_id()),
-        std::cmp::Ordering::Less
-    );
+    assert_eq!(e.str_cmp(a.str_id(), c.str_id()), std::cmp::Ordering::Less);
 }
 
 #[test]

@@ -20,7 +20,9 @@ fn build_eval() -> (std::rc::Rc<Program>, FuncId) {
     let read_b = b.declare("eval_read_b");
 
     // eval(root, res) = t := read root; tail read_r(t, res)
-    b.define_native(eval, move |_e, args| Tail::read(args[0].modref(), read_r, &args[1..]));
+    b.define_native(eval, move |_e, args| {
+        Tail::read(args[0].modref(), read_r, &args[1..])
+    });
 
     // read_r(t, res): leaf => write res; node => eval children, read m_a.
     b.define_native(read_r, move |e, args| {
@@ -231,12 +233,14 @@ fn random_edits_match_oracle() {
             let (rv, rmir) = build_rand(e, rng, size - 1 - ls, slots, leaves, Some(rm));
             e.modify(lm, lv);
             e.modify(rm, rv);
-            (Value::Ptr(t), Mirror::Node(op, Box::new(lmir), Box::new(rmir)))
+            (
+                Value::Ptr(t),
+                Mirror::Node(op, Box::new(lmir), Box::new(rmir)),
+            )
         }
     }
 
-    let (tv, mut mirror) =
-        build_rand(&mut e, &mut rng, 60, &mut slots, &mut mirror_leaves, None);
+    let (tv, mut mirror) = build_rand(&mut e, &mut rng, 60, &mut slots, &mut mirror_leaves, None);
     let root = e.meta_modref();
     e.modify(root, tv);
     let result = e.meta_modref();
@@ -271,9 +275,18 @@ fn random_edits_match_oracle() {
         let leaf = TreeBuilder::leaf(&mut e, nv);
         e.modify(slot, leaf);
         let mut counter = 0;
-        assert!(replace_mirror_leaf(&mut mirror, mirror_idx, nv, &mut counter));
+        assert!(replace_mirror_leaf(
+            &mut mirror,
+            mirror_idx,
+            nv,
+            &mut counter
+        ));
         e.propagate();
-        assert_eq!(e.deref(result).int(), eval_mirror(&mirror), "divergence after edit");
+        assert_eq!(
+            e.deref(result).int(),
+            eval_mirror(&mirror),
+            "divergence after edit"
+        );
     }
     e.check_invariants();
 }

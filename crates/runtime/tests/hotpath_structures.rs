@@ -42,7 +42,11 @@ fn prepend_all_boundary_lengths() {
         let rest = vals(rest_len);
         let a = ArgVec::prepend(Value::Int(-1), &rest);
         assert_eq!(a.len(), rest_len + 1);
-        assert_eq!(a[0], Value::Int(-1), "prepended head lost at rest_len {rest_len}");
+        assert_eq!(
+            a[0],
+            Value::Int(-1),
+            "prepended head lost at rest_len {rest_len}"
+        );
         assert_eq!(&a[1..], &rest[..], "rest corrupted at rest_len {rest_len}");
     }
 }
@@ -74,7 +78,10 @@ fn conversions_match_from_slice() {
     let v = vals(ArgVec::INLINE + 1);
     assert_eq!(ArgVec::from(&v[..]).as_slice(), &v[..]);
     assert_eq!(ArgVec::from(v.clone()).as_slice(), &v[..]);
-    assert_eq!(ArgVec::from(v.clone().into_boxed_slice()).as_slice(), &v[..]);
+    assert_eq!(
+        ArgVec::from(v.clone().into_boxed_slice()).as_slice(),
+        &v[..]
+    );
     let arr = [Value::Int(1), Value::Int(2)];
     assert_eq!(ArgVec::from(arr).as_slice(), &arr[..]);
     assert!(ArgVec::default().is_empty());

@@ -21,7 +21,9 @@ fn build_map() -> (std::rc::Rc<Program>, FuncId) {
     });
     let map_body = b.declare("map_body");
     let map = b.declare("map");
-    b.define_native(map, move |_e, args| Tail::read(args[0].modref(), map_body, &args[1..]));
+    b.define_native(map, move |_e, args| {
+        Tail::read(args[0].modref(), map_body, &args[1..])
+    });
     b.define_native(map_body, move |e, args| {
         let out_m = args[1].modref();
         match args[0] {
@@ -35,8 +37,11 @@ fn build_map() -> (std::rc::Rc<Program>, FuncId) {
                 let next_in = e.load(cell, 1).modref();
                 // Keyed allocation: key carries the mapped value and the
                 // source cell, so locations are stable across updates.
-                let out_cell =
-                    e.alloc(2, init_cell, &[Value::Int(paper_map_fn(h)), Value::Ptr(cell)]);
+                let out_cell = e.alloc(
+                    2,
+                    init_cell,
+                    &[Value::Int(paper_map_fn(h)), Value::Ptr(cell)],
+                );
                 e.write(out_m, Value::Ptr(out_cell));
                 let next_out = e.load(out_cell, 1).modref();
                 Tail::read(next_in, map_body, &[Value::ModRef(next_out)])
@@ -118,12 +123,20 @@ fn run_map_session(config: EngineConfig) {
         exp.remove(i);
         // Elements after i that were previously deleted... none: we
         // restore after each step, so only i is missing.
-        assert_eq!(collect_output(&e, out_head), exp, "after deleting index {i}");
+        assert_eq!(
+            collect_output(&e, out_head),
+            exp,
+            "after deleting index {i}"
+        );
 
         // Insert it back.
         e.modify(slot, cell);
         e.propagate();
-        assert_eq!(collect_output(&e, out_head), expect, "after re-inserting index {i}");
+        assert_eq!(
+            collect_output(&e, out_head),
+            expect,
+            "after re-inserting index {i}"
+        );
         e.check_invariants();
     }
 }
@@ -135,17 +148,29 @@ fn map_delete_insert_round_trips() {
 
 #[test]
 fn map_correct_without_memo() {
-    run_map_session(EngineConfig { memo: false, keyed_alloc: true, sml_sim: None });
+    run_map_session(EngineConfig {
+        memo: false,
+        keyed_alloc: true,
+        sml_sim: None,
+    });
 }
 
 #[test]
 fn map_correct_without_keyed_alloc() {
-    run_map_session(EngineConfig { memo: true, keyed_alloc: false, sml_sim: None });
+    run_map_session(EngineConfig {
+        memo: true,
+        keyed_alloc: false,
+        sml_sim: None,
+    });
 }
 
 #[test]
 fn map_correct_without_either() {
-    run_map_session(EngineConfig { memo: false, keyed_alloc: false, sml_sim: None });
+    run_map_session(EngineConfig {
+        memo: false,
+        keyed_alloc: false,
+        sml_sim: None,
+    });
 }
 
 /// With memoization and keyed allocation on, each edit re-executes O(1)

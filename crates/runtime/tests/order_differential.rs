@@ -40,7 +40,10 @@ fn lockstep_100k_random_ops() {
                 let p = &live[rng.gen_range(0..live.len())];
                 (p.new, p.old)
             };
-            live.push(Pair { new: ord.insert_after(after_new), old: nai.insert_after(after_old) });
+            live.push(Pair {
+                new: ord.insert_after(after_new),
+                old: nai.insert_after(after_old),
+            });
         } else if roll < 0.8 {
             // Delete a random timestamp.
             let p = live.swap_remove(rng.gen_range(0..live.len()));
@@ -74,11 +77,21 @@ fn lockstep_100k_random_ops() {
     let seq_new = ord.collect_between(ord.first(), ord.last());
     let seq_old = nai.collect_between(nai.first(), nai.last());
     assert_eq!(seq_new.len(), seq_old.len());
-    let index_of_old: std::collections::HashMap<usize, usize> =
-        seq_old.iter().enumerate().map(|(i, t)| (t.index(), i)).collect();
+    let index_of_old: std::collections::HashMap<usize, usize> = seq_old
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.index(), i))
+        .collect();
     for (i, t) in seq_new.iter().enumerate() {
-        let p = live.iter().find(|p| p.new == *t).expect("unknown live handle");
-        assert_eq!(index_of_old[&p.old.index()], i, "order diverged at position {i}");
+        let p = live
+            .iter()
+            .find(|p| p.new == *t)
+            .expect("unknown live handle");
+        assert_eq!(
+            index_of_old[&p.old.index()],
+            i,
+            "order diverged at position {i}"
+        );
     }
 
     // Neighbor queries agree along the whole list.
@@ -167,7 +180,11 @@ fn lockstep_dense_bursts_and_range_purges() {
         if live.is_empty() || rng.gen_bool(0.6) {
             // Dense burst: 20–200 inserts at one random point, each
             // landing right after the previous (newest-first run).
-            let at = if live.is_empty() { 0 } else { rng.gen_range(0..live.len()) };
+            let at = if live.is_empty() {
+                0
+            } else {
+                rng.gen_range(0..live.len())
+            };
             let burst = rng.gen_range(20usize..=200);
             let (base, mut after_new, mut after_old) = if live.is_empty() {
                 (0, ord.first(), nai.first())
@@ -175,8 +192,10 @@ fn lockstep_dense_bursts_and_range_purges() {
                 (at + 1, live[at].new, live[at].old)
             };
             for k in 0..burst {
-                let pair =
-                    Pair { new: ord.insert_after(after_new), old: nai.insert_after(after_old) };
+                let pair = Pair {
+                    new: ord.insert_after(after_new),
+                    old: nai.insert_after(after_old),
+                };
                 after_new = pair.new;
                 after_old = pair.old;
                 live.insert(base + k, pair);
@@ -211,9 +230,16 @@ fn lockstep_dense_bursts_and_range_purges() {
             ord.check_invariants();
             nai.check_invariants();
             let seq_new = ord.collect_between(ord.first(), ord.last());
-            assert_eq!(seq_new.len(), live.len(), "walk length diverged at round {round}");
+            assert_eq!(
+                seq_new.len(),
+                live.len(),
+                "walk length diverged at round {round}"
+            );
             for (i, t) in seq_new.iter().enumerate() {
-                assert_eq!(live[i].new, *t, "trace order diverged at round {round} pos {i}");
+                assert_eq!(
+                    live[i].new, *t,
+                    "trace order diverged at round {round} pos {i}"
+                );
             }
         }
     }
@@ -233,7 +259,11 @@ fn lockstep_dense_bursts_and_range_purges() {
     assert_eq!(seq_old.len(), live.len());
     for (i, p) in live.iter().enumerate() {
         assert_eq!(seq_new[i], p.new, "new order wrong at {i}");
-        assert_eq!(seq_old[i].index(), p.old.index(), "naive order wrong at {i}");
+        assert_eq!(
+            seq_old[i].index(),
+            p.old.index(),
+            "naive order wrong at {i}"
+        );
     }
 }
 

@@ -22,7 +22,11 @@ fn order_list_matches_reference() {
         for _ in 0..n_ops {
             if reference.is_empty() || rng.gen_bool(0.55) {
                 let pos = rng.gen_range(0..=reference.len());
-                let after = if pos == 0 { ord.first() } else { reference[pos - 1] };
+                let after = if pos == 0 {
+                    ord.first()
+                } else {
+                    reference[pos - 1]
+                };
                 let t = ord.insert_after(after);
                 reference.insert(pos, t);
             } else {
@@ -57,7 +61,9 @@ fn adder_network(seed: u64, n_inputs: usize, n_nodes: usize, rounds: usize) {
     let mut b = ProgramBuilder::new();
     let add_b = b.declare("add_b");
     let add = b.declare("add");
-    b.define_native(add, move |_e, args| Tail::read(args[0].modref(), add_b, &args[1..]));
+    b.define_native(add, move |_e, args| {
+        Tail::read(args[0].modref(), add_b, &args[1..])
+    });
     // add_b(v, b_m, out) -> read b -> add_c(w, v, out)
     let add_c = b.declare("add_c");
     b.define_native(add_b, move |_e, args| {
@@ -118,8 +124,7 @@ fn adder_network(seed: u64, n_inputs: usize, n_nodes: usize, rounds: usize) {
         outs
     };
     let outputs: Vec<ModRef> = wiring.iter().map(|&(_, _, o)| o).collect();
-    let read_all =
-        |e: &Engine| -> Vec<i64> { outputs.iter().map(|&m| e.deref(m).int()).collect() };
+    let read_all = |e: &Engine| -> Vec<i64> { outputs.iter().map(|&m| e.deref(m).int()).collect() };
     assert_eq!(read_all(&e), recompute(&e), "initial run");
 
     for _ in 0..rounds {
@@ -138,7 +143,7 @@ fn adder_network(seed: u64, n_inputs: usize, n_nodes: usize, rounds: usize) {
 #[test]
 fn adder_network_propagates_correctly() {
     for seed in 0..24u64 {
-        let mut shape = Prng::seed_from_u64(seed ^ 0xADD_E2);
+        let mut shape = Prng::seed_from_u64(seed ^ 0xADDE2);
         let n_inputs = shape.gen_range(1..6usize);
         let n_nodes = shape.gen_range(1..40usize);
         adder_network(seed, n_inputs, n_nodes, 6);

@@ -42,7 +42,11 @@ pub fn sasml_config(heap_limit: Option<usize>) -> EngineConfig {
     EngineConfig {
         memo: true,
         keyed_alloc: true,
-        sml_sim: Some(SmlSim { heap_limit, box_words: 4, boxes_per_op: 100 }),
+        sml_sim: Some(SmlSim {
+            heap_limit,
+            box_words: 4,
+            boxes_per_op: 100,
+        }),
     }
 }
 
@@ -95,7 +99,12 @@ pub fn table2_benches() -> [Bench; 8] {
 pub fn compare(b: Bench, n: usize, edits: usize, seed: u64) -> Comparison {
     let ceal = b.measure(n, edits, seed);
     let sasml = b.measure_with(n, edits, seed, sasml_config(None));
-    Comparison { name: b.name(), n, ceal, sasml }
+    Comparison {
+        name: b.name(),
+        n,
+        ceal,
+        sasml,
+    }
 }
 
 /// One Fig. 14 data point: the SaSML-model propagation slowdown
@@ -106,12 +115,7 @@ pub fn compare(b: Bench, n: usize, edits: usize, seed: u64) -> Comparison {
 ///
 /// Returns `(slowdown, fits)`; `fits` is false when the live data
 /// exceeds the heap limit (the paper's lines end there).
-pub fn heap_limited_slowdown(
-    n: usize,
-    edits: usize,
-    seed: u64,
-    heap_limit: usize,
-) -> (f64, bool) {
+pub fn heap_limited_slowdown(n: usize, edits: usize, seed: u64, heap_limit: usize) -> (f64, bool) {
     let ceal = Bench::Quicksort.measure(n, edits, seed);
     // Allow a modestly over-full heap (the steep end of the line), but
     // refuse to run a hopeless configuration: a real collector would

@@ -1,7 +1,6 @@
 //! Properties of the SaSML cost model beyond the calibration tests in
 //! the crate root.
 
-use ceal_runtime::{EngineConfig, SmlSim};
 use ceal_sasml::{compare, sasml_config, table2_benches};
 use ceal_suite::harness::Bench;
 
@@ -34,7 +33,11 @@ fn gc_runs_are_counted() {
     let cfg = EngineConfig {
         memo: true,
         keyed_alloc: true,
-        sml_sim: Some(SmlSim { heap_limit: Some(64 * 1024), box_words: 4, boxes_per_op: 10 }),
+        sml_sim: Some(SmlSim {
+            heap_limit: Some(64 * 1024),
+            box_words: 4,
+            boxes_per_op: 10,
+        }),
     };
     let mut e = Engine::with_config(p, cfg);
     let l = int_list(&mut e, 2_000, 5);
@@ -50,14 +53,27 @@ fn every_table2_bench_is_in_the_suite() {
     let names: Vec<&str> = table2_benches().iter().map(|b| b.name()).collect();
     assert_eq!(
         names,
-        ["filter", "map", "reverse", "minimum", "sum", "quicksort", "quickhull", "diameter"]
+        [
+            "filter",
+            "map",
+            "reverse",
+            "minimum",
+            "sum",
+            "quicksort",
+            "quickhull",
+            "diameter"
+        ]
     );
 }
 
 #[test]
 fn comparison_ratios_are_positive_and_finite() {
     let c = compare(Bench::Reverse, 1_500, 25, 11);
-    for r in [c.fromscratch_ratio(), c.propagation_ratio(), c.space_ratio()] {
+    for r in [
+        c.fromscratch_ratio(),
+        c.propagation_ratio(),
+        c.space_ratio(),
+    ] {
         assert!(r.is_finite() && r > 0.0, "bad ratio {r}");
     }
 }

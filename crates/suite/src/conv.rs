@@ -25,7 +25,11 @@ impl<T: Copy> List<T> {
     pub fn from_slice(data: &[T]) -> Self {
         let mut cells = Vec::with_capacity(data.len());
         for (i, &x) in data.iter().enumerate() {
-            let next = if i + 1 < data.len() { (i + 1) as u32 } else { NIL };
+            let next = if i + 1 < data.len() {
+                (i + 1) as u32
+            } else {
+                NIL
+            };
             cells.push((x, next));
         }
         let head = if data.is_empty() { NIL } else { 0 };
@@ -34,7 +38,10 @@ impl<T: Copy> List<T> {
 
     /// An empty list sharing no arena.
     pub fn new() -> Self {
-        List { cells: Vec::new(), head: NIL }
+        List {
+            cells: Vec::new(),
+            head: NIL,
+        }
     }
 
     fn cons_into(arena: &mut Vec<(T, u32)>, data: T, next: u32) -> u32 {
@@ -226,7 +233,7 @@ fn ms<T: Copy, F: Fn(T, T) -> bool + Copy>(arena: &mut Vec<(T, u32)>, l: u32, le
 }
 
 fn merge<T: Copy, F: Fn(T, T) -> bool + Copy>(
-    arena: &mut Vec<(T, u32)>,
+    arena: &mut [(T, u32)],
     mut a: u32,
     mut b: u32,
     le: F,
@@ -273,26 +280,28 @@ pub fn quickhull(pts: &[Point]) -> Vec<Point> {
     let idx: Vec<usize> = (0..pts.len()).collect();
     let mn = *idx
         .iter()
-        .min_by(|&&a, &&b| {
-            pts[a].x.partial_cmp(&pts[b].x).unwrap().then(a.cmp(&b))
-        })
+        .min_by(|&&a, &&b| pts[a].x.partial_cmp(&pts[b].x).unwrap().then(a.cmp(&b)))
         .expect("non-empty");
     let mx = *idx
         .iter()
-        .min_by(|&&a, &&b| {
-            pts[b].x.partial_cmp(&pts[a].x).unwrap().then(a.cmp(&b))
-        })
+        .min_by(|&&a, &&b| pts[b].x.partial_cmp(&pts[a].x).unwrap().then(a.cmp(&b)))
         .expect("non-empty");
     if mn == mx {
         return vec![pts[mn]];
     }
     let mut hull = vec![pts[mn]];
-    let upper: Vec<usize> =
-        idx.iter().copied().filter(|&i| cross(pts[i], pts[mn], pts[mx]) > 0.0).collect();
+    let upper: Vec<usize> = idx
+        .iter()
+        .copied()
+        .filter(|&i| cross(pts[i], pts[mn], pts[mx]) > 0.0)
+        .collect();
     qh_rec(pts, &upper, mn, mx, &mut hull);
     hull.push(pts[mx]);
-    let lower: Vec<usize> =
-        idx.iter().copied().filter(|&i| cross(pts[i], pts[mx], pts[mn]) > 0.0).collect();
+    let lower: Vec<usize> = idx
+        .iter()
+        .copied()
+        .filter(|&i| cross(pts[i], pts[mx], pts[mn]) > 0.0)
+        .collect();
     qh_rec(pts, &lower, mx, mn, &mut hull);
     hull
 }
@@ -310,10 +319,16 @@ fn qh_rec(pts: &[Point], set: &[usize], a: usize, b: usize, hull: &mut Vec<Point
                 .then(p.cmp(&q))
         })
         .expect("non-empty");
-    let left_a: Vec<usize> =
-        set.iter().copied().filter(|&i| cross(pts[i], pts[a], pts[pm]) > 0.0).collect();
-    let left_b: Vec<usize> =
-        set.iter().copied().filter(|&i| cross(pts[i], pts[pm], pts[b]) > 0.0).collect();
+    let left_a: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&i| cross(pts[i], pts[a], pts[pm]) > 0.0)
+        .collect();
+    let left_b: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&i| cross(pts[i], pts[pm], pts[b]) > 0.0)
+        .collect();
     qh_rec(pts, &left_a, a, pm, hull);
     hull.push(pts[pm]);
     qh_rec(pts, &left_b, pm, b, hull);
@@ -412,34 +427,72 @@ pub fn contract_tree(t: &TreeMirror) -> i64 {
             (NIL, NIL) => push(out, n),
             (c, NIL) | (NIL, c) => {
                 if is_leaf(arena, c) {
-                    push(out, N { l: NIL, r: NIL, w: n.w + arena[c as usize].w })
+                    push(
+                        out,
+                        N {
+                            l: NIL,
+                            r: NIL,
+                            w: n.w + arena[c as usize].w,
+                        },
+                    )
                 } else if coin(v, rk) {
                     let cc = cr(arena, c, rk, out);
                     out[cc as usize].w += n.w;
                     cc
                 } else {
                     let cc = cr(arena, c, rk, out);
-                    push(out, N { l: cc, r: NIL, w: n.w })
+                    push(
+                        out,
+                        N {
+                            l: cc,
+                            r: NIL,
+                            w: n.w,
+                        },
+                    )
                 }
             }
             (l, r) => match (is_leaf(arena, l), is_leaf(arena, r)) {
-                (true, true) => push(out, N {
-                    l: NIL,
-                    r: NIL,
-                    w: n.w + arena[l as usize].w + arena[r as usize].w,
-                }),
+                (true, true) => push(
+                    out,
+                    N {
+                        l: NIL,
+                        r: NIL,
+                        w: n.w + arena[l as usize].w + arena[r as usize].w,
+                    },
+                ),
                 (true, false) => {
                     let cc = cr(arena, r, rk, out);
-                    push(out, N { l: cc, r: NIL, w: n.w + arena[l as usize].w })
+                    push(
+                        out,
+                        N {
+                            l: cc,
+                            r: NIL,
+                            w: n.w + arena[l as usize].w,
+                        },
+                    )
                 }
                 (false, true) => {
                     let cc = cr(arena, l, rk, out);
-                    push(out, N { l: cc, r: NIL, w: n.w + arena[r as usize].w })
+                    push(
+                        out,
+                        N {
+                            l: cc,
+                            r: NIL,
+                            w: n.w + arena[r as usize].w,
+                        },
+                    )
                 }
                 (false, false) => {
                     let lc = cr(arena, l, rk, out);
                     let rc = cr(arena, r, rk, out);
-                    push(out, N { l: lc, r: rc, w: n.w })
+                    push(
+                        out,
+                        N {
+                            l: lc,
+                            r: rc,
+                            w: n.w,
+                        },
+                    )
                 }
             },
         }
@@ -515,11 +568,18 @@ mod tests {
     fn contract_tree_counts_nodes() {
         // A small tree: 0 -> (1, 2); 1 -> (3, _).
         let t = TreeMirror {
-            children: vec![(1, 2), (3, u32::MAX), (u32::MAX, u32::MAX), (u32::MAX, u32::MAX)],
+            children: vec![
+                (1, 2),
+                (3, u32::MAX),
+                (u32::MAX, u32::MAX),
+                (u32::MAX, u32::MAX),
+            ],
         };
         assert_eq!(contract_tree(&t), 4);
         assert_eq!(contract_tree(&TreeMirror::default()), 0);
-        let single = TreeMirror { children: vec![(u32::MAX, u32::MAX)] };
+        let single = TreeMirror {
+            children: vec![(u32::MAX, u32::MAX)],
+        };
         assert_eq!(contract_tree(&single), 1);
     }
 
@@ -549,4 +609,3 @@ mod tests {
         assert!((distance(&pts, &b) - 2.0).abs() < 1e-12);
     }
 }
-

@@ -1,7 +1,7 @@
 //! A hand-optimized incremental tree "contraction" (§8.3).
 //!
 //! The paper compares its self-adjusting tree contraction against a
-//! hand-optimized implementation [6] and measures the compiled CEAL
+//! hand-optimized implementation \[6\] and measures the compiled CEAL
 //! version about 3–4× slower — the price of the general-purpose
 //! framework. Our analogue maintains the same observable (the weight of
 //! the tree reachable from the root) directly: each node stores its
@@ -61,7 +61,11 @@ impl HandTcon {
         let mut p = self.parent[v];
         while p != NIL {
             self.size[p as usize] -= delta;
-            p = if self.attached[p as usize] { self.parent[p as usize] } else { NIL };
+            p = if self.attached[p as usize] {
+                self.parent[p as usize]
+            } else {
+                NIL
+            };
         }
         true
     }
@@ -76,7 +80,11 @@ impl HandTcon {
         let mut p = self.parent[v];
         while p != NIL {
             self.size[p as usize] += delta;
-            p = if self.attached[p as usize] { self.parent[p as usize] } else { NIL };
+            p = if self.attached[p as usize] {
+                self.parent[p as usize]
+            } else {
+                NIL
+            };
         }
     }
 }

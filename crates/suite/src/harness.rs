@@ -152,7 +152,11 @@ impl Bench {
     pub fn big_input(self) -> bool {
         matches!(
             self,
-            Bench::Filter | Bench::Map | Bench::Reverse | Bench::Minimum | Bench::Sum
+            Bench::Filter
+                | Bench::Map
+                | Bench::Reverse
+                | Bench::Minimum
+                | Bench::Sum
                 | Bench::Exptrees
         )
     }
@@ -194,7 +198,11 @@ impl Bench {
                 let (p, f) = sac::listops::reverse_program();
                 list_bench(self.name(), p, f, n, max_edits, seed, config, |d| {
                     let l = conv::List::from_slice(d);
-                    conv::reverse_list(&l).to_vec().into_iter().map(Value::Int).collect()
+                    conv::reverse_list(&l)
+                        .to_vec()
+                        .into_iter()
+                        .map(Value::Int)
+                        .collect()
                 })
             }
             Bench::Minimum => {
@@ -253,10 +261,12 @@ fn list_bench(
     });
 
     let mut e = Engine::with_config(p, config);
-    let l = input::build_list(&mut e, &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>());
+    let l = input::build_list(
+        &mut e,
+        &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>(),
+    );
     let out = e.meta_modref();
-    let self_s =
-        time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]));
+    let self_s = time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]));
     let mut ok = checksum(collect_list(&e, out)) == checksum(oracle(&data));
 
     let positions = edit_positions(n, max_edits, seed);
@@ -302,10 +312,12 @@ fn scalar_list_bench(
     });
 
     let mut e = Engine::with_config(p, config);
-    let l = input::build_list(&mut e, &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>());
+    let l = input::build_list(
+        &mut e,
+        &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>(),
+    );
     let res = e.meta_modref();
-    let self_s =
-        time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(res)]));
+    let self_s = time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(res)]));
     let mut ok = e.deref(res) == oracle(&data).unwrap_or(Value::Nil);
 
     let positions = edit_positions(n, max_edits, seed);
@@ -364,8 +376,7 @@ fn sort_bench(
     let vals: Vec<Value> = strings.iter().map(|s| e.intern(s)).collect();
     let l = input::build_list(&mut e, &vals);
     let out = e.meta_modref();
-    let self_s =
-        time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]));
+    let self_s = time_once(|| e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]));
     let check = |e: &Engine, expect_len: usize| -> bool {
         let got = collect_list(e, out);
         got.windows(2).all(|w| value_le(e, w[0], w[1])) && got.len() == expect_len
@@ -406,8 +417,12 @@ fn quickhull_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) 
     let mut e = Engine::with_config(p, config);
     let l = input::build_point_list(&mut e, &pts);
     let hull_m = e.meta_modref();
-    let self_s =
-        time_once(|| e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]));
+    let self_s = time_once(|| {
+        e.run_core(
+            fns.quickhull,
+            &[Value::ModRef(l.head), Value::ModRef(hull_m)],
+        )
+    });
     let hull_len = |e: &Engine| -> usize {
         let mut len = 0;
         let mut v = e.deref(hull_m);
@@ -496,7 +511,11 @@ fn distance_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
     let self_s = time_once(|| {
         e.run_core(
             fns.distance,
-            &[Value::ModRef(la.head), Value::ModRef(lb.head), Value::ModRef(res)],
+            &[
+                Value::ModRef(la.head),
+                Value::ModRef(lb.head),
+                Value::ModRef(res),
+            ],
         )
     });
     let close = |a: Value, b: f64| (a.float() - b).abs() < 1e-9;
@@ -538,8 +557,7 @@ fn exptrees_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
     });
 
     let res = e.meta_modref();
-    let self_s =
-        time_once(|| e.run_core(eval, &[Value::ModRef(tree.root), Value::ModRef(res)]));
+    let self_s = time_once(|| e.run_core(eval, &[Value::ModRef(tree.root), Value::ModRef(res)]));
     let close = |a: Value, b: f64| (a.float() - b).abs() < 1e-6 * (1.0 + b.abs());
     let mut ok = close(e.deref(res), conv::eval_exp(&mirror));
 
@@ -590,8 +608,7 @@ fn tcon_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Me
     });
 
     let res = e.meta_modref();
-    let self_s =
-        time_once(|| e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]));
+    let self_s = time_once(|| e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]));
     let mut ok = e.deref(res) == Value::Int(n as i64);
 
     let positions = edit_positions(tree.edges.len(), max_edits, seed);

@@ -81,7 +81,12 @@ pub fn build_list(e: &mut Engine, data: &[Value]) -> InputList {
         slot = next;
     }
     e.modify(slot, Value::Nil);
-    InputList { head, cells, slots, next_slot: CELL_NEXT }
+    InputList {
+        head,
+        cells,
+        slots,
+        next_slot: CELL_NEXT,
+    }
 }
 
 /// Uniformly random integers in `[0, 1_000_000)` (list primitives, §8.2).
@@ -94,7 +99,11 @@ pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
 pub fn random_strings(n: usize, seed: u64) -> Vec<String> {
     let mut rng = Prng::seed_from_u64(seed ^ 0x5742);
     (0..n)
-        .map(|_| (0..32).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect())
+        .map(|_| {
+            (0..32)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect()
+        })
         .collect()
 }
 
@@ -106,8 +115,10 @@ pub fn int_list(e: &mut Engine, n: usize, seed: u64) -> InputList {
 
 /// Builds a string input list (strings interned in the engine).
 pub fn str_list(e: &mut Engine, n: usize, seed: u64) -> InputList {
-    let data: Vec<Value> =
-        random_strings(n, seed).iter().map(|s| e.intern(s)).collect();
+    let data: Vec<Value> = random_strings(n, seed)
+        .iter()
+        .map(|s| e.intern(s))
+        .collect();
     build_list(e, &data)
 }
 
@@ -137,16 +148,29 @@ impl Point {
 /// Uniform points in the unit square (quickhull, diameter, §8.2).
 pub fn random_points_unit_square(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = Prng::seed_from_u64(seed ^ 0x9017);
-    (0..n).map(|_| Point { x: rng.gen_f64(), y: rng.gen_f64() }).collect()
+    (0..n)
+        .map(|_| Point {
+            x: rng.gen_f64(),
+            y: rng.gen_f64(),
+        })
+        .collect()
 }
 
 /// Half the points from each of two non-overlapping unit squares
 /// (distance, §8.2): squares `[0,1)²` and `[2,3)×[0,1)`.
 pub fn random_points_two_squares(n: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
     let mut rng = Prng::seed_from_u64(seed ^ 0xD157);
-    let a = (0..n / 2).map(|_| Point { x: rng.gen_f64(), y: rng.gen_f64() }).collect();
+    let a = (0..n / 2)
+        .map(|_| Point {
+            x: rng.gen_f64(),
+            y: rng.gen_f64(),
+        })
+        .collect();
     let b = (0..n - n / 2)
-        .map(|_| Point { x: 2.0 + rng.gen_f64(), y: rng.gen_f64() })
+        .map(|_| Point {
+            x: 2.0 + rng.gen_f64(),
+            y: rng.gen_f64(),
+        })
         .collect();
     (a, b)
 }
@@ -177,13 +201,21 @@ pub fn build_point_list(e: &mut Engine, pts: &[Point]) -> InputList {
         slot = next;
     }
     e.modify(slot, Value::Nil);
-    InputList { head, cells, slots, next_slot: PT_NEXT }
+    InputList {
+        head,
+        cells,
+        slots,
+        next_slot: PT_NEXT,
+    }
 }
 
 /// Reads a point back from its cell.
 pub fn load_point(e: &Engine, cell: Value) -> Point {
     let c = cell.ptr();
-    Point { x: e.load(c, PT_X).float(), y: e.load(c, PT_Y).float() }
+    Point {
+        x: e.load(c, PT_X).float(),
+        y: e.load(c, PT_Y).float(),
+    }
 }
 
 /// Collects a core/meta output list of `[data, next-modref]` cells.
@@ -239,7 +271,13 @@ impl EditList {
             slot = next;
         }
         e.modify(slot, Value::Nil);
-        EditList { head, cells, nexts, data: data.to_vec(), live: vec![true; data.len()] }
+        EditList {
+            head,
+            cells,
+            nexts,
+            data: data.to_vec(),
+            live: vec![true; data.len()],
+        }
     }
 
     /// Number of elements (live or not).
@@ -300,7 +338,10 @@ impl EditList {
     /// The data values of the live elements, in order — the mirror a
     /// conventional from-scratch oracle should compute over.
     pub fn live_data(&self) -> Vec<Value> {
-        (0..self.len()).filter(|&i| self.live[i]).map(|i| self.data[i]).collect()
+        (0..self.len())
+            .filter(|&i| self.live[i])
+            .map(|i| self.data[i])
+            .collect()
     }
 }
 

@@ -34,7 +34,9 @@ pub fn build_exptrees(b: &mut ProgramBuilder) -> FuncId {
     let read_a = b.declare("exptrees_read_a");
     let read_b = b.declare("exptrees_read_b");
 
-    b.define_native(eval, move |_e, args| Tail::read(args[0].modref(), read_r, &args[1..]));
+    b.define_native(eval, move |_e, args| {
+        Tail::read(args[0].modref(), read_r, &args[1..])
+    });
 
     b.define_native(read_r, move |e, args| {
         let t = args[0].ptr();
@@ -206,6 +208,9 @@ mod tests {
         e.propagate();
         let reexecs = e.stats().reads_reexecuted - before;
         // Depth is 10; each level re-executes O(1) reads per swap.
-        assert!(reexecs <= 2 * 3 * 11, "expected path-sized update, got {reexecs}");
+        assert!(
+            reexecs <= 2 * 3 * 11,
+            "expected path-sized update, got {reexecs}"
+        );
     }
 }

@@ -74,7 +74,9 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
     });
     let proj_body = b.declare("geom_proj_body");
     let proj = b.declare("geom_proj");
-    b.define_native(proj, move |_e, args| Tail::read(args[0].modref(), proj_body, &args[1..]));
+    b.define_native(proj, move |_e, args| {
+        Tail::read(args[0].modref(), proj_body, &args[1..])
+    });
     b.define_native(proj_body, move |e, args| {
         let out_m = args[1].modref();
         match args[0] {
@@ -136,8 +138,9 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         e.modref_init(loc, CELL_NEXT);
         Tail::Done
     });
-    let left_of =
-        build_filter(b, "geom_leftof", init_cell, |e, v, p| cross3(e, v, p[0], p[1]) > 0.0);
+    let left_of = build_filter(b, "geom_leftof", init_cell, |e, v, p| {
+        cross3(e, v, p[0], p[1]) > 0.0
+    });
 
     // Hull output cells.
     let init_hull = b.native("geom_init_hull", |e, args| {
@@ -152,7 +155,9 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
     let qh_rec = b.declare("geom_qh_rec");
     let qh_rec_body = b.declare("geom_qh_rec_body");
     let qh_pm = b.declare("geom_qh_pm");
-    b.define_native(qh_rec, move |_e, args| Tail::read(args[0].modref(), qh_rec_body, &args[1..]));
+    b.define_native(qh_rec, move |_e, args| {
+        Tail::read(args[0].modref(), qh_rec_body, &args[1..])
+    });
     b.define_native(qh_rec_body, move |e, args| {
         // (v, a, b, d_m, rest) — but we also need f_m for the reduce, so
         // qh_rec passes it along in the closure args.
@@ -165,7 +170,10 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
             _ => {
                 let f_m = args[5];
                 let pm_m = e.modref_keyed(&[f_m, Value::Int(0)]);
-                e.call(max_dist.entry, &[f_m, Value::ModRef(pm_m), args[1], args[2]]);
+                e.call(
+                    max_dist.entry,
+                    &[f_m, Value::ModRef(pm_m), args[1], args[2]],
+                );
                 let rest = [args[1], args[2], args[3], args[4], f_m];
                 Tail::read(pm_m, qh_pm, &rest)
             }
@@ -185,10 +193,27 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         e.call(left_of, &[f_m, Value::ModRef(b_side), pm, bb]);
         let pmcell = e.alloc(2, init_hull, &[pm, a, bb]);
         let pm_next = e.load(pmcell, CELL_NEXT);
-        e.call(qh_rec, &[Value::ModRef(b_side), pm, bb, pm_next, rest, Value::ModRef(b_side)]);
+        e.call(
+            qh_rec,
+            &[
+                Value::ModRef(b_side),
+                pm,
+                bb,
+                pm_next,
+                rest,
+                Value::ModRef(b_side),
+            ],
+        );
         Tail::call(
             qh_rec,
-            &[Value::ModRef(a_side), a, pm, d_m, Value::Ptr(pmcell), Value::ModRef(a_side)],
+            &[
+                Value::ModRef(a_side),
+                a,
+                pm,
+                d_m,
+                Value::Ptr(pmcell),
+                Value::ModRef(a_side),
+            ],
         )
     });
 
@@ -232,15 +257,28 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         e.call(left_of, &[proj_m, Value::ModRef(upper), mn, mx]);
         let lower = e.modref_keyed(&[proj_m, mx, mn]);
         e.call(left_of, &[proj_m, Value::ModRef(lower), mx, mn]);
-        e.call(qh_rec, &[
-            Value::ModRef(upper),
-            mn,
-            mx,
-            mn_next,
-            Value::Ptr(mxcell),
-            Value::ModRef(upper),
-        ]);
-        Tail::call(qh_rec, &[Value::ModRef(lower), mx, mn, mx_next, Value::Nil, Value::ModRef(lower)])
+        e.call(
+            qh_rec,
+            &[
+                Value::ModRef(upper),
+                mn,
+                mx,
+                mn_next,
+                Value::Ptr(mxcell),
+                Value::ModRef(upper),
+            ],
+        );
+        Tail::call(
+            qh_rec,
+            &[
+                Value::ModRef(lower),
+                mx,
+                mn,
+                mx_next,
+                Value::Nil,
+                Value::ModRef(lower),
+            ],
+        )
     });
 
     // ------------------------------------------------------------------
@@ -270,20 +308,28 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
             tie(a, bb)
         }
     });
-    let max_f = build_reduce(b, "geom_maxf", |_e, a, b, _p| {
-        if a.float() >= b.float() {
-            a
-        } else {
-            b
-        }
-    });
-    let min_f = build_reduce(b, "geom_minf", |_e, a, b, _p| {
-        if a.float() <= b.float() {
-            a
-        } else {
-            b
-        }
-    });
+    let max_f = build_reduce(
+        b,
+        "geom_maxf",
+        |_e, a, b, _p| {
+            if a.float() >= b.float() {
+                a
+            } else {
+                b
+            }
+        },
+    );
+    let min_f = build_reduce(
+        b,
+        "geom_minf",
+        |_e, a, b, _p| {
+            if a.float() <= b.float() {
+                a
+            } else {
+                b
+            }
+        },
+    );
 
     let init2m = b.native("geom_init2m", |e, args| {
         let loc = args[0].ptr();
@@ -298,7 +344,9 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
     let pmap_body = b.declare("geom_pmap_body");
     let pmap_fin = b.declare("geom_pmap_fin");
     let pmap = b.declare("geom_pmap");
-    b.define_native(pmap, move |_e, args| Tail::read(args[0].modref(), pmap_body, &args[1..]));
+    b.define_native(pmap, move |_e, args| {
+        Tail::read(args[0].modref(), pmap_body, &args[1..])
+    });
     // pmap_body(v, out_m, h2_m, which)
     b.define_native(pmap_body, move |e, args| {
         let out_m = args[1].modref();
@@ -314,7 +362,11 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
                 e.write(out_m, Value::Ptr(out_cell));
                 let p = e.load(c, CELL_DATA);
                 let tmp_m = e.modref_keyed(&[v, args[3]]);
-                let inner = if which == 0 { far_from.entry } else { near_from.entry };
+                let inner = if which == 0 {
+                    far_from.entry
+                } else {
+                    near_from.entry
+                };
                 e.call(inner, &[args[2], Value::ModRef(tmp_m), p]);
                 let rest = [p, v, Value::Ptr(out_cell), args[2], args[3]];
                 Tail::read(tmp_m, pmap_fin, &rest)
@@ -341,7 +393,15 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         let hull_m = e.modref_keyed(&[args[0], Value::Int(10)]);
         e.call(qh, &[args[0], Value::ModRef(hull_m)]);
         let l2_m = e.modref_keyed(&[args[0], Value::Int(11)]);
-        e.call(pmap, &[Value::ModRef(hull_m), Value::ModRef(l2_m), Value::ModRef(hull_m), Value::Int(0)]);
+        e.call(
+            pmap,
+            &[
+                Value::ModRef(hull_m),
+                Value::ModRef(l2_m),
+                Value::ModRef(hull_m),
+                Value::Int(0),
+            ],
+        );
         Tail::call(max_f.entry_mod, &[Value::ModRef(l2_m), args[1]])
     });
 
@@ -352,11 +412,23 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
         let hb_m = e.modref_keyed(&[args[1], Value::Int(13)]);
         e.call(qh, &[args[1], Value::ModRef(hb_m)]);
         let l2_m = e.modref_keyed(&[args[0], args[1], Value::Int(14)]);
-        e.call(pmap, &[Value::ModRef(ha_m), Value::ModRef(l2_m), Value::ModRef(hb_m), Value::Int(1)]);
+        e.call(
+            pmap,
+            &[
+                Value::ModRef(ha_m),
+                Value::ModRef(l2_m),
+                Value::ModRef(hb_m),
+                Value::Int(1),
+            ],
+        );
         Tail::call(min_f.entry_mod, &[Value::ModRef(l2_m), args[2]])
     });
 
-    GeomFns { quickhull: qh, diameter, distance }
+    GeomFns {
+        quickhull: qh,
+        diameter,
+        distance,
+    }
 }
 
 /// Builds the standalone geometry program.
@@ -387,8 +459,10 @@ mod tests {
     }
 
     fn hull_set(points: &[Point]) -> Vec<(u64, u64)> {
-        let mut s: Vec<(u64, u64)> =
-            points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        let mut s: Vec<(u64, u64)> = points
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
         s.sort_unstable();
         s
     }
@@ -400,7 +474,10 @@ mod tests {
         let pts = random_points_unit_square(150, 7);
         let l = build_point_list(&mut e, &pts);
         let hull_m = e.meta_modref();
-        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        e.run_core(
+            fns.quickhull,
+            &[Value::ModRef(l.head), Value::ModRef(hull_m)],
+        );
         assert_eq!(
             hull_set(&collect_hull(&e, hull_m)),
             hull_set(&conv::quickhull(&pts)),
@@ -437,7 +514,10 @@ mod tests {
         let pts = random_points_unit_square(200, 17);
         let l = build_point_list(&mut e, &pts);
         let hull_m = e.meta_modref();
-        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        e.run_core(
+            fns.quickhull,
+            &[Value::ModRef(l.head), Value::ModRef(hull_m)],
+        );
         let hull = collect_hull(&e, hull_m);
         assert!(hull.len() >= 3);
         // The hull is emitted clockwise (mn, upper chain, mx, lower
@@ -464,7 +544,10 @@ mod tests {
         let res = e.meta_modref();
         e.run_core(fns.diameter, &[Value::ModRef(l.head), Value::ModRef(res)]);
         let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
-        assert!(close(e.deref(res).float(), conv::diameter(&pts)), "initial diameter");
+        assert!(
+            close(e.deref(res).float(), conv::diameter(&pts)),
+            "initial diameter"
+        );
 
         let mut rng = Prng::seed_from_u64(10);
         for _ in 0..15 {
@@ -481,7 +564,10 @@ mod tests {
             );
             l.insert(&mut e, i);
             e.propagate();
-            assert!(close(e.deref(res).float(), conv::diameter(&pts)), "after insert {i}");
+            assert!(
+                close(e.deref(res).float(), conv::diameter(&pts)),
+                "after insert {i}"
+            );
         }
     }
 
@@ -495,10 +581,17 @@ mod tests {
         let res = e.meta_modref();
         e.run_core(
             fns.distance,
-            &[Value::ModRef(la.head), Value::ModRef(lb.head), Value::ModRef(res)],
+            &[
+                Value::ModRef(la.head),
+                Value::ModRef(lb.head),
+                Value::ModRef(res),
+            ],
         );
         let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
-        assert!(close(e.deref(res).float(), conv::distance(&pa, &pb)), "initial distance");
+        assert!(
+            close(e.deref(res).float(), conv::distance(&pa, &pb)),
+            "initial distance"
+        );
 
         let mut rng = Prng::seed_from_u64(12);
         for _ in 0..15 {
@@ -507,10 +600,16 @@ mod tests {
             e.propagate();
             let mut d = pa.clone();
             d.remove(i);
-            assert!(close(e.deref(res).float(), conv::distance(&d, &pb)), "after delete {i}");
+            assert!(
+                close(e.deref(res).float(), conv::distance(&d, &pb)),
+                "after delete {i}"
+            );
             la.insert(&mut e, i);
             e.propagate();
-            assert!(close(e.deref(res).float(), conv::distance(&pa, &pb)), "after insert {i}");
+            assert!(
+                close(e.deref(res).float(), conv::distance(&pa, &pb)),
+                "after insert {i}"
+            );
         }
     }
 
@@ -521,7 +620,10 @@ mod tests {
         let mut e = Engine::new(p);
         let l = build_point_list(&mut e, &[]);
         let hull_m = e.meta_modref();
-        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        e.run_core(
+            fns.quickhull,
+            &[Value::ModRef(l.head), Value::ModRef(hull_m)],
+        );
         assert_eq!(e.deref(hull_m), Value::Nil);
 
         // Single point: hull = [p].
@@ -529,7 +631,10 @@ mod tests {
         let mut e = Engine::new(p);
         let l = build_point_list(&mut e, &[Point { x: 0.5, y: 0.5 }]);
         let hull_m = e.meta_modref();
-        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        e.run_core(
+            fns.quickhull,
+            &[Value::ModRef(l.head), Value::ModRef(hull_m)],
+        );
         assert_eq!(collect_hull(&e, hull_m).len(), 1);
 
         // Two points: both on the hull.
@@ -540,7 +645,10 @@ mod tests {
             &[Point { x: 0.1, y: 0.2 }, Point { x: 0.9, y: 0.4 }],
         );
         let hull_m = e.meta_modref();
-        e.run_core(fns.quickhull, &[Value::ModRef(l.head), Value::ModRef(hull_m)]);
+        e.run_core(
+            fns.quickhull,
+            &[Value::ModRef(l.head), Value::ModRef(hull_m)],
+        );
         assert_eq!(collect_hull(&e, hull_m).len(), 2);
     }
 }

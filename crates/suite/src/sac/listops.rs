@@ -38,7 +38,9 @@ pub fn build_init_cell(b: &mut ProgramBuilder) -> FuncId {
 pub fn build_map(b: &mut ProgramBuilder, name: &str, init_cell: FuncId, f: ElemFn) -> FuncId {
     let body = b.declare(&format!("{name}_body"));
     let entry = b.declare(name);
-    b.define_native(entry, move |_e, args| Tail::read(args[0].modref(), body, &args[1..]));
+    b.define_native(entry, move |_e, args| {
+        Tail::read(args[0].modref(), body, &args[1..])
+    });
     b.define_native(body, move |e, args| {
         let out_m = args[1].modref();
         match args[0] {
@@ -70,7 +72,9 @@ pub fn build_map(b: &mut ProgramBuilder, name: &str, init_cell: FuncId, f: ElemF
 pub fn build_filter(b: &mut ProgramBuilder, name: &str, init_cell: FuncId, p: PredFn) -> FuncId {
     let body = b.declare(&format!("{name}_body"));
     let entry = b.declare(name);
-    b.define_native(entry, move |_e, args| Tail::read(args[0].modref(), body, &args[1..]));
+    b.define_native(entry, move |_e, args| {
+        Tail::read(args[0].modref(), body, &args[1..])
+    });
     b.define_native(body, move |e, args| {
         let out_m = args[1].modref();
         match args[0] {
@@ -150,7 +154,9 @@ pub fn paper_filter_keep(x: i64) -> bool {
 pub fn map_program() -> (std::rc::Rc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init = build_init_cell(&mut b);
-    let f = build_map(&mut b, "map", init, |_e, v, _p| Value::Int(paper_map_fn(v.int())));
+    let f = build_map(&mut b, "map", init, |_e, v, _p| {
+        Value::Int(paper_map_fn(v.int()))
+    });
     (b.build(), f)
 }
 
@@ -158,7 +164,9 @@ pub fn map_program() -> (std::rc::Rc<Program>, FuncId) {
 pub fn filter_program() -> (std::rc::Rc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init = build_init_cell(&mut b);
-    let f = build_filter(&mut b, "filter", init, |_e, v, _p| paper_filter_keep(v.int()));
+    let f = build_filter(&mut b, "filter", init, |_e, v, _p| {
+        paper_filter_keep(v.int())
+    });
     (b.build(), f)
 }
 
@@ -180,7 +188,11 @@ mod tests {
         let (p, map) = map_program();
         let mut e = Engine::new(p);
         let l = int_list(&mut e, 64, 11);
-        let data: Vec<i64> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+        let data: Vec<i64> = l
+            .cells
+            .iter()
+            .map(|c| e.load(c.ptr(), CELL_DATA).int())
+            .collect();
         let out = e.meta_modref();
         e.run_core(map, &[Value::ModRef(l.head), Value::ModRef(out)]);
         let expect: Vec<Value> = data.iter().map(|&x| Value::Int(paper_map_fn(x))).collect();
@@ -203,11 +215,18 @@ mod tests {
         let (p, filter) = filter_program();
         let mut e = Engine::new(p);
         let l = int_list(&mut e, 64, 12);
-        let data: Vec<i64> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+        let data: Vec<i64> = l
+            .cells
+            .iter()
+            .map(|c| e.load(c.ptr(), CELL_DATA).int())
+            .collect();
         let out = e.meta_modref();
         e.run_core(filter, &[Value::ModRef(l.head), Value::ModRef(out)]);
         let oracle = |d: &[i64]| -> Vec<Value> {
-            d.iter().filter(|&&x| paper_filter_keep(x)).map(|&x| Value::Int(x)).collect()
+            d.iter()
+                .filter(|&&x| paper_filter_keep(x))
+                .map(|&x| Value::Int(x))
+                .collect()
         };
         assert_eq!(collect_list(&e, out), oracle(&data));
 

@@ -1,9 +1,9 @@
 //! Self-adjusting versions of the benchmark suite, written in the
 //! normalized, trampolined style that `cealc` emits (Figs. 5, 12).
 
+pub mod exptrees;
+pub mod geom;
 pub mod listops;
 pub mod reduce;
 pub mod sort;
-pub mod geom;
-pub mod exptrees;
 pub mod tcon;

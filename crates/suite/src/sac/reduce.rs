@@ -31,7 +31,8 @@ const LAYOUT_MOD: i64 = 1;
 #[inline]
 fn survivor(cell: Value, rk: i64) -> bool {
     let x = (cell.ptr().0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let h = (x ^ (rk as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let h =
+        (x ^ (rk as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)).wrapping_mul(0x94D0_49BB_1331_11EB);
     (h >> 32) & 1 == 0
 }
 
@@ -82,7 +83,9 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
     });
 
     // level(in_m, res_m, layout, rk, params): v := read in_m; tail body
-    b.define_native(level, move |_e, args| Tail::read(args[0].modref(), body, &args[1..]));
+    b.define_native(level, move |_e, args| {
+        Tail::read(args[0].modref(), body, &args[1..])
+    });
 
     // body(v, res_m, layout, rk, params)
     b.define_native(body, move |e, args| {
@@ -125,8 +128,12 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
             ra.extend_from_slice(&args[3..]);
             // emit(c, out_m, layout, rk, params) runs the round.
             e.call(emit, &ra);
-            let mut la =
-                vec![Value::ModRef(mid), args[2], Value::Int(LAYOUT_MOD), Value::Int(rk + 1)];
+            let mut la = vec![
+                Value::ModRef(mid),
+                args[2],
+                Value::Int(LAYOUT_MOD),
+                Value::Int(rk + 1),
+            ];
             la.extend_from_slice(&args[5..]);
             Tail::Call(level, la.into())
         }
@@ -224,7 +231,9 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
 /// Builds the standalone `minimum` benchmark program.
 pub fn minimum_program() -> (std::rc::Rc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
-    let f = build_reduce(&mut b, "minimum", |_e, a, b, _p| Value::Int(a.int().min(b.int())));
+    let f = build_reduce(&mut b, "minimum", |_e, a, b, _p| {
+        Value::Int(a.int().min(b.int()))
+    });
     (b.build(), f.entry)
 }
 
@@ -240,18 +249,17 @@ mod tests {
     use super::*;
     use crate::input::{build_list, int_list};
 
-    fn run_reduce_session(
-        prog: std::rc::Rc<Program>,
-        entry: FuncId,
-        oracle: fn(&[i64]) -> i64,
-    ) {
+    fn run_reduce_session(prog: std::rc::Rc<Program>, entry: FuncId, oracle: fn(&[i64]) -> i64) {
         use ceal_runtime::prng::Prng;
         let mut rng = Prng::seed_from_u64(21);
         let mut e = Engine::new(prog);
         let n = 200;
         let l = int_list(&mut e, n, 31);
-        let data: Vec<i64> =
-            l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+        let data: Vec<i64> = l
+            .cells
+            .iter()
+            .map(|c| e.load(c.ptr(), CELL_DATA).int())
+            .collect();
         let res = e.meta_modref();
         e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(res)]);
         assert_eq!(e.deref(res).int(), oracle(&data));
@@ -302,7 +310,7 @@ mod tests {
     /// Updates should be polylogarithmic, not linear: compare trace work
     /// per edit at two sizes — it should grow far slower than n.
     #[test]
-    fn reduce_updates_are_sublinear()  {
+    fn reduce_updates_are_sublinear() {
         use ceal_runtime::prng::Prng;
         let mut work_per_edit = Vec::new();
         for &n in &[256usize, 4096] {

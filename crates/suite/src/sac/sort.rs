@@ -50,7 +50,9 @@ pub fn build_quicksort(b: &mut ProgramBuilder, name: &str) -> FuncId {
     });
 
     // qs(l_m, d_m, rest): v := read l_m; tail qs_body(v, d_m, rest)
-    b.define_native(qs, move |_e, args| Tail::read(args[0].modref(), qs_body, &args[1..]));
+    b.define_native(qs, move |_e, args| {
+        Tail::read(args[0].modref(), qs_body, &args[1..])
+    });
 
     // qs_body(v, d_m, rest)
     b.define_native(qs_body, move |e, args| {
@@ -67,7 +69,10 @@ pub fn build_quicksort(b: &mut ProgramBuilder, name: &str) -> FuncId {
                 let le_m = e.modref_keyed(&[v, Value::Int(0)]);
                 let gt_m = e.modref_keyed(&[v, Value::Int(1)]);
                 let tail_m = e.load(c, CELL_NEXT);
-                e.call(part, &[tail_m, pivot, Value::ModRef(le_m), Value::ModRef(gt_m)]);
+                e.call(
+                    part,
+                    &[tail_m, pivot, Value::ModRef(le_m), Value::ModRef(gt_m)],
+                );
                 // The pivot's output cell sits between the halves.
                 let pcell = e.alloc(2, init_cell, &[pivot, v]);
                 let pnext = e.load(pcell, CELL_NEXT);
@@ -80,7 +85,9 @@ pub fn build_quicksort(b: &mut ProgramBuilder, name: &str) -> FuncId {
     });
 
     // part(l_m, pivot, le_m, gt_m)
-    b.define_native(part, move |_e, args| Tail::read(args[0].modref(), part_body, &args[1..]));
+    b.define_native(part, move |_e, args| {
+        Tail::read(args[0].modref(), part_body, &args[1..])
+    });
 
     // part_body(v, pivot, le_m, gt_m)
     b.define_native(part_body, move |e, args| {
@@ -154,7 +161,9 @@ pub fn build_mergesort(b: &mut ProgramBuilder, name: &str) -> FuncId {
     });
 
     // ms(l_m, d_m, depth)
-    b.define_native(ms, move |_e, args| Tail::read(args[0].modref(), ms_body, &args[1..]));
+    b.define_native(ms, move |_e, args| {
+        Tail::read(args[0].modref(), ms_body, &args[1..])
+    });
 
     // ms_body(v, d_m, depth)
     b.define_native(ms_body, move |e, args| {
@@ -189,12 +198,29 @@ pub fn build_mergesort(b: &mut ProgramBuilder, name: &str) -> FuncId {
         } else {
             let a_m = e.modref_keyed(&[c, Value::Int(depth), Value::Int(0)]);
             let b_m = e.modref_keyed(&[c, Value::Int(depth), Value::Int(1)]);
-            e.call(split_body, &[c, Value::Int(depth), Value::ModRef(a_m), Value::ModRef(b_m)]);
+            e.call(
+                split_body,
+                &[c, Value::Int(depth), Value::ModRef(a_m), Value::ModRef(b_m)],
+            );
             let sa = e.modref_keyed(&[c, Value::Int(depth), Value::Int(2)]);
             let sb = e.modref_keyed(&[c, Value::Int(depth), Value::Int(3)]);
-            e.call(ms, &[Value::ModRef(a_m), Value::ModRef(sa), Value::Int(depth + 1)]);
-            e.call(ms, &[Value::ModRef(b_m), Value::ModRef(sb), Value::Int(depth + 1)]);
-            Tail::call(merge, &[Value::ModRef(sa), Value::ModRef(sb), args[2], Value::Int(depth)])
+            e.call(
+                ms,
+                &[Value::ModRef(a_m), Value::ModRef(sa), Value::Int(depth + 1)],
+            );
+            e.call(
+                ms,
+                &[Value::ModRef(b_m), Value::ModRef(sb), Value::Int(depth + 1)],
+            );
+            Tail::call(
+                merge,
+                &[
+                    Value::ModRef(sa),
+                    Value::ModRef(sb),
+                    args[2],
+                    Value::Int(depth),
+                ],
+            )
         }
     });
 
@@ -227,7 +253,9 @@ pub fn build_mergesort(b: &mut ProgramBuilder, name: &str) -> FuncId {
     });
 
     // merge(sa_m, sb_m, d_m, depth)
-    b.define_native(merge, move |_e, args| Tail::read(args[0].modref(), mg_start, &args[1..]));
+    b.define_native(merge, move |_e, args| {
+        Tail::read(args[0].modref(), mg_start, &args[1..])
+    });
 
     // mg_start(va, sb_m, d_m, depth)
     b.define_native(mg_start, move |_e, args| {
@@ -291,7 +319,11 @@ mod tests {
     ) {
         let (p, sort) = make();
         let mut e = Engine::new(p);
-        let l = if strings { str_list(&mut e, n, seed) } else { int_list(&mut e, n, seed) };
+        let l = if strings {
+            str_list(&mut e, n, seed)
+        } else {
+            int_list(&mut e, n, seed)
+        };
         let data: Vec<Value> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA)).collect();
         let out = e.meta_modref();
         e.run_core(sort, &[Value::ModRef(l.head), Value::ModRef(out)]);
@@ -344,7 +376,10 @@ mod tests {
 
     #[test]
     fn sorts_handle_tiny_lists() {
-        for make in [quicksort_program as fn() -> _, mergesort_program as fn() -> _] {
+        for make in [
+            quicksort_program as fn() -> _,
+            mergesort_program as fn() -> _,
+        ] {
             for k in 0..4usize {
                 let (p, sort) = make();
                 let mut e = Engine::new(p);
@@ -363,12 +398,21 @@ mod tests {
     fn duplicate_keys_are_preserved() {
         let (p, sort) = quicksort_program();
         let mut e = Engine::new(p);
-        let vals: Vec<Value> = [3, 1, 3, 1, 2, 2, 3].iter().map(|&x| Value::Int(x)).collect();
+        let vals: Vec<Value> = [3, 1, 3, 1, 2, 2, 3]
+            .iter()
+            .map(|&x| Value::Int(x))
+            .collect();
         let l = build_list(&mut e, &vals);
         let out = e.meta_modref();
         e.run_core(sort, &[Value::ModRef(l.head), Value::ModRef(out)]);
         let got = collect_list(&e, out);
-        assert_eq!(got, vec![1, 1, 2, 2, 3, 3, 3].into_iter().map(Value::Int).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            vec![1, 1, 2, 2, 3, 3, 3]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>()
+        );
     }
 
     /// Update work should grow sublinearly in n (the paper measures
@@ -392,11 +436,16 @@ mod tests {
                 l.insert(&mut e, i);
                 e.propagate();
             }
-            work.push((e.stats().reads_reexecuted + e.stats().memo_hits - base) as f64
-                / (2.0 * edits as f64));
+            work.push(
+                (e.stats().reads_reexecuted + e.stats().memo_hits - base) as f64
+                    / (2.0 * edits as f64),
+            );
         }
         let ratio = work[1] / work[0];
         // n grew 16x; polylog update work should grow much less than 8x.
-        assert!(ratio < 8.0, "quicksort update work not sublinear: {work:?} ratio {ratio:.2}");
+        assert!(
+            ratio < 8.0,
+            "quicksort update work not sublinear: {work:?} ratio {ratio:.2}"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The `tcon` benchmark: Miller–Reif tree contraction (§8.2).
 //!
-//! Tree contraction proceeds in rounds (Miller & Reif [28]): each round
+//! Tree contraction proceeds in rounds (Miller & Reif \[28\]): each round
 //! *rakes* leaves into their parents and *compresses* chains by
 //! splicing out unary nodes chosen by per-(node, round) coin flips,
 //! producing a geometrically smaller tree; after an expected O(log n)
@@ -105,7 +105,11 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
 
     // sum3_a(w1, m2, m3, out_ptr, out_m)
     b.define_native(sum3_a, move |_e, args| {
-        Tail::read(args[1].modref(), sum3_b, &[args[0], args[2], args[3], args[4]])
+        Tail::read(
+            args[1].modref(),
+            sum3_b,
+            &[args[0], args[2], args[3], args[4]],
+        )
     });
     // sum3_b(w2, w1, m3, out_ptr, out_m)
     b.define_native(sum3_b, move |_e, args| {
@@ -130,14 +134,14 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
             return Tail::Done;
         }
         let left_m = e.load(v.ptr(), TN_LEFT).modref();
-        Tail::read(left_m, cr_l, &args)
+        Tail::read(left_m, cr_l, args)
     });
 
     // cr_l(lv, v, rk, layout, out_m)
     b.define_native(cr_l, move |e, args| {
         let v = args[1];
         let right_m = e.load(v.ptr(), TN_RIGHT).modref();
-        Tail::read(right_m, cr_lr, &args)
+        Tail::read(right_m, cr_lr, args)
     });
 
     // cr_lr(rv, lv, v, rk, layout, out_m)
@@ -187,7 +191,14 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     // un_probe_r(crv, c, v, rk, layout, out_m)
     b.define_native(un_probe_r, move |_e, args| {
         let leaf = i64::from(args[0] == Value::Nil);
-        let a = [Value::Int(leaf), args[1], args[2], args[3], args[4], args[5]];
+        let a = [
+            Value::Int(leaf),
+            args[1],
+            args[2],
+            args[3],
+            args[4],
+            args[5],
+        ];
         Tail::Call(un_go, a.as_slice().into())
     });
 
@@ -268,7 +279,15 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     // bin_ll(llv, lv, rv, v, rk, layout, out_m)
     b.define_native(bin_ll, move |e, args| {
         if args[0] != Value::Nil {
-            let a = [Value::Int(0), args[1], args[2], args[3], args[4], args[5], args[6]];
+            let a = [
+                Value::Int(0),
+                args[1],
+                args[2],
+                args[3],
+                args[4],
+                args[5],
+                args[6],
+            ];
             return Tail::Call(bin_mid, a.as_slice().into());
         }
         let lv = args[1];
@@ -279,7 +298,15 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     // bin_lr(lrv, lv, rv, v, rk, layout, out_m)
     b.define_native(bin_lr, move |_e, args| {
         let lf = i64::from(args[0] == Value::Nil);
-        let a = [Value::Int(lf), args[1], args[2], args[3], args[4], args[5], args[6]];
+        let a = [
+            Value::Int(lf),
+            args[1],
+            args[2],
+            args[3],
+            args[4],
+            args[5],
+            args[6],
+        ];
         Tail::Call(bin_mid, a.as_slice().into())
     });
 
@@ -287,14 +314,22 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     b.define_native(bin_mid, move |e, args| {
         let rv = args[2];
         let rl_m = e.load(rv.ptr(), TN_LEFT).modref();
-        Tail::read(rl_m, bin_rl, &args)
+        Tail::read(rl_m, bin_rl, args)
     });
 
     // bin_rl(rlv, lf, lv, rv, v, rk, layout, out_m)
     b.define_native(bin_rl, move |e, args| {
         if args[0] != Value::Nil {
-            let a =
-                [args[1], Value::Int(0), args[2], args[3], args[4], args[5], args[6], args[7]];
+            let a = [
+                args[1],
+                Value::Int(0),
+                args[2],
+                args[3],
+                args[4],
+                args[5],
+                args[6],
+                args[7],
+            ];
             return Tail::Call(bin_go, a.as_slice().into());
         }
         let rv = args[3];
@@ -305,7 +340,16 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
     // bin_rr(rrv, lf, lv, rv, v, rk, layout, out_m)
     b.define_native(bin_rr, move |_e, args| {
         let rf = i64::from(args[0] == Value::Nil);
-        let a = [args[1], Value::Int(rf), args[2], args[3], args[4], args[5], args[6], args[7]];
+        let a = [
+            args[1],
+            Value::Int(rf),
+            args[2],
+            args[3],
+            args[4],
+            args[5],
+            args[6],
+            args[7],
+        ];
         Tail::Call(bin_go, a.as_slice().into())
     });
 
@@ -373,23 +417,26 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
 
     // entry(root_m, res_m)
     b.define_native(entry, move |_e, args| {
-        Tail::call(level, &[args[0], args[1], Value::Int(0), Value::Int(LAYOUT_PLAIN)])
+        Tail::call(
+            level,
+            &[args[0], args[1], Value::Int(0), Value::Int(LAYOUT_PLAIN)],
+        )
     });
 
     // level(t_m, res_m, rk, layout)
-    b.define_native(level, move |_e, args| Tail::read(args[0].modref(), level_body, &args[1..]));
+    b.define_native(level, move |_e, args| {
+        Tail::read(args[0].modref(), level_body, &args[1..])
+    });
 
     // level_body(v, res_m, rk, layout)
-    b.define_native(level_body, move |e, args| {
-        match args[0] {
-            Value::Nil => {
-                e.write(args[1].modref(), Value::Nil);
-                Tail::Done
-            }
-            v => {
-                let left_m = e.load(v.ptr(), TN_LEFT).modref();
-                Tail::read(left_m, level_l, &args)
-            }
+    b.define_native(level_body, move |e, args| match args[0] {
+        Value::Nil => {
+            e.write(args[1].modref(), Value::Nil);
+            Tail::Done
+        }
+        v => {
+            let left_m = e.load(v.ptr(), TN_LEFT).modref();
+            Tail::read(left_m, level_l, args)
         }
     });
 
@@ -433,7 +480,15 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
         let (v, res_m, rk, layout) = (args[0], args[1], args[2].int(), args[3]);
         let out_m = e.modref_keyed(&[v, args[2]]);
         e.call(cr, &[v, args[2], layout, Value::ModRef(out_m)]);
-        Tail::call(level, &[Value::ModRef(out_m), res_m, Value::Int(rk + 1), Value::Int(LAYOUT_MOD)])
+        Tail::call(
+            level,
+            &[
+                Value::ModRef(out_m),
+                res_m,
+                Value::Int(rk + 1),
+                Value::Int(LAYOUT_MOD),
+            ],
+        )
     });
 
     entry
@@ -490,7 +545,12 @@ pub fn build_tree(e: &mut Engine, n: usize, seed: u64) -> InputTree {
     let mut parents: Vec<u32> = Vec::new();
     if n == 0 {
         e.modify(root, Value::Nil);
-        return InputTree { root, edges, parents, n };
+        return InputTree {
+            root,
+            edges,
+            parents,
+            n,
+        };
     }
     let mk = |e: &mut Engine| -> (Value, ModRef, ModRef) {
         let t = e.meta_alloc(3);
@@ -516,7 +576,12 @@ pub fn build_tree(e: &mut Engine, n: usize, seed: u64) -> InputTree {
         free.push((cl, i as u32));
         free.push((cr, i as u32));
     }
-    InputTree { root, edges, parents, n }
+    InputTree {
+        root,
+        edges,
+        parents,
+        n,
+    }
 }
 
 /// Conventional oracle: the number of nodes reachable from the root in
@@ -557,7 +622,11 @@ mod tests {
             let tree = build_tree(&mut e, n, 2);
             let res = e.meta_modref();
             e.run_core(tcon, &[Value::ModRef(tree.root), Value::ModRef(res)]);
-            let expect = if n == 0 { Value::Nil } else { Value::Int(n as i64) };
+            let expect = if n == 0 {
+                Value::Nil
+            } else {
+                Value::Int(n as i64)
+            };
             assert_eq!(e.deref(res), expect, "n={n}");
         }
     }
@@ -616,6 +685,9 @@ mod tests {
         }
         let ratio = work[1] / work[0];
         // n grew 16x; polylog update work should grow far less than 8x.
-        assert!(ratio < 8.0, "tcon update work not sublinear: {work:?} ratio {ratio:.2}");
+        assert!(
+            ratio < 8.0,
+            "tcon update work not sublinear: {work:?} ratio {ratio:.2}"
+        );
     }
 }

@@ -52,7 +52,7 @@
 
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use ceal_compiler::target::{TFunc, TInstr, TOperand, TProgram};
@@ -67,11 +67,20 @@ pub struct VmOptions {
     /// Read trampolining: tail calls not following a read dispatch
     /// directly instead of bouncing through the engine's trampoline.
     pub read_trampoline: bool,
+    /// Count executed VM instructions; read the total back with
+    /// [`LoadedProgram::steps`]. The count is deterministic for a fixed
+    /// program and input, so `crates/diffcheck` and profiling harnesses
+    /// use it as an executor-level work measure alongside the engine's
+    /// [`ceal_runtime::Stats`] counters.
+    pub count_steps: bool,
 }
 
 impl Default for VmOptions {
     fn default() -> Self {
-        VmOptions { read_trampoline: true }
+        VmOptions {
+            read_trampoline: true,
+            count_steps: false,
+        }
     }
 }
 
@@ -79,6 +88,7 @@ struct Shared {
     funcs: Vec<TFunc>,
     engine_ids: RefCell<Vec<FuncId>>,
     opts: VmOptions,
+    steps: Cell<u64>,
 }
 
 /// Handle returned by [`load`]: maps target functions to engine ids.
@@ -97,6 +107,17 @@ impl LoadedProgram {
     pub fn entry(&self, t: &TProgram, name: &str) -> Option<FuncId> {
         t.find(name).map(|i| self.engine_id(i))
     }
+
+    /// VM instructions executed so far across every function of this
+    /// program. Always zero unless [`VmOptions::count_steps`] is set.
+    pub fn steps(&self) -> u64 {
+        self.shared.steps.get()
+    }
+
+    /// Resets the instruction counter to zero (for per-phase measures).
+    pub fn reset_steps(&self) {
+        self.shared.steps.set(0);
+    }
 }
 
 /// Registers every function of `t` with the engine program builder.
@@ -105,11 +126,18 @@ pub fn load(t: &TProgram, b: &mut ProgramBuilder, opts: VmOptions) -> LoadedProg
         funcs: t.funcs.clone(),
         engine_ids: RefCell::new(Vec::with_capacity(t.funcs.len())),
         opts,
+        steps: Cell::new(0),
     });
     for (i, f) in t.funcs.iter().enumerate() {
         let id = b.declare(&f.name);
         shared.engine_ids.borrow_mut().push(id);
-        b.define_opaque(id, Box::new(VmFn { shared: Rc::clone(&shared), idx: i }));
+        b.define_opaque(
+            id,
+            Box::new(VmFn {
+                shared: Rc::clone(&shared),
+                idx: i,
+            }),
+        );
     }
     LoadedProgram { shared }
 }
@@ -167,6 +195,16 @@ impl VmFn {
     fn ops(&self, regs: &[Value], os: &[TOperand]) -> Vec<Value> {
         os.iter().map(|o| self.op(regs, o)).collect()
     }
+
+    /// Folds the instructions executed by one `invoke` into the shared
+    /// counter. A local tally flushed at each exit keeps the per
+    /// instruction cost at one register increment.
+    #[inline]
+    fn flush_steps(&self, n: u64) {
+        if self.shared.opts.count_steps {
+            self.shared.steps.set(self.shared.steps.get() + n);
+        }
+    }
 }
 
 impl OpaqueFn for VmFn {
@@ -177,6 +215,7 @@ impl OpaqueFn for VmFn {
     fn invoke(&self, e: &mut Engine, args: &[Value]) -> Tail {
         let mut fidx = self.idx;
         let mut argbuf: Vec<Value> = args.to_vec();
+        let mut steps = 0u64;
         'function: loop {
             let f = &self.shared.funcs[fidx];
             let mut regs = vec![Value::Nil; f.nregs as usize];
@@ -185,6 +224,7 @@ impl OpaqueFn for VmFn {
             }
             let mut pc = 0usize;
             loop {
+                steps += 1;
                 match &f.code[pc] {
                     TInstr::Move { dst, src } => {
                         regs[*dst as usize] = self.op(&regs, src);
@@ -225,7 +265,12 @@ impl OpaqueFn for VmFn {
                         e.write(regs[*m as usize].modref(), v);
                         pc += 1;
                     }
-                    TInstr::Alloc { dst, words, init, args } => {
+                    TInstr::Alloc {
+                        dst,
+                        words,
+                        init,
+                        args,
+                    } => {
                         let w = self.op(&regs, words).int();
                         let a = self.ops(&regs, args);
                         let init_id = self.shared.engine_ids.borrow()[*init as usize];
@@ -241,7 +286,11 @@ impl OpaqueFn for VmFn {
                     }
                     TInstr::Jump(t) => pc = *t as usize,
                     TInstr::Branch { c, t, f: fe } => {
-                        pc = if truthy(self.op(&regs, c)) { *t as usize } else { *fe as usize };
+                        pc = if truthy(self.op(&regs, c)) {
+                            *t as usize
+                        } else {
+                            *fe as usize
+                        };
                     }
                     TInstr::Tail { f: g, args } => {
                         let a = self.ops(&regs, args);
@@ -252,14 +301,19 @@ impl OpaqueFn for VmFn {
                             continue 'function;
                         }
                         let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        self.flush_steps(steps);
                         return Tail::Call(gid, a.into());
                     }
                     TInstr::ReadTail { m, f: g, args } => {
                         let a = self.ops(&regs, args);
                         let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        self.flush_steps(steps);
                         return Tail::Read(regs[*m as usize].modref(), gid, a.into());
                     }
-                    TInstr::Done => return Tail::Done,
+                    TInstr::Done => {
+                        self.flush_steps(steps);
+                        return Tail::Done;
+                    }
                 }
             }
         }
@@ -275,7 +329,7 @@ mod tests {
 
     /// Build, compile and load the "add two modifiables" program:
     /// add(a, b, d): x := read a; y := read b; write d (x+y).
-    fn compile_add(read_trampoline: bool) -> (Engine, FuncId) {
+    fn compile_add(read_trampoline: bool) -> (Engine, FuncId, LoadedProgram) {
         let mut pb = ClBuilder::new();
         let fr = pb.declare("add");
         let mut fb = FuncBuilder::new("add", true);
@@ -303,13 +357,20 @@ mod tests {
         pb.define(fr, fb.finish());
         let out = compile(&pb.finish()).unwrap();
         let mut b = ceal_runtime::ProgramBuilder::new();
-        let loaded = load(&out.target, &mut b, VmOptions { read_trampoline });
+        let loaded = load(
+            &out.target,
+            &mut b,
+            VmOptions {
+                read_trampoline,
+                count_steps: true,
+            },
+        );
         let entry = loaded.entry(&out.target, "add").unwrap();
-        (Engine::new(b.build()), entry)
+        (Engine::new(b.build()), entry, loaded)
     }
 
     fn run_add_session(read_trampoline: bool) {
-        let (mut e, add) = compile_add(read_trampoline);
+        let (mut e, add, loaded) = compile_add(read_trampoline);
         let a = e.meta_modref();
         let b = e.meta_modref();
         let d = e.meta_modref();
@@ -325,6 +386,10 @@ mod tests {
         e.propagate();
         assert_eq!(e.deref(d), Value::Int(6));
         e.check_invariants();
+        assert!(
+            loaded.steps() > 0,
+            "count_steps on but no instructions counted"
+        );
     }
 
     #[test]
@@ -339,7 +404,7 @@ mod tests {
 
     #[test]
     fn changing_second_input_reexecutes_less() {
-        let (mut e, add) = compile_add(true);
+        let (mut e, add, _loaded) = compile_add(true);
         let a = e.meta_modref();
         let b = e.meta_modref();
         let d = e.meta_modref();
@@ -353,5 +418,39 @@ mod tests {
         // Only the read of b re-executes — the paper's point about
         // normalization approximating precise dependencies.
         assert_eq!(e.stats().reads_reexecuted - base, 1);
+    }
+
+    /// The instruction counter is deterministic: two identical sessions
+    /// execute the same number of VM instructions, and resetting zeroes
+    /// the count.
+    #[test]
+    fn step_counts_are_deterministic() {
+        let run = || {
+            let (mut e, add, loaded) = compile_add(true);
+            let a = e.meta_modref();
+            let b = e.meta_modref();
+            let d = e.meta_modref();
+            e.modify(a, Value::Int(3));
+            e.modify(b, Value::Int(4));
+            e.run_core(add, &[Value::ModRef(a), Value::ModRef(b), Value::ModRef(d)]);
+            e.modify(a, Value::Int(9));
+            e.propagate();
+            assert_eq!(e.deref(d), Value::Int(13));
+            loaded.steps()
+        };
+        let (s1, s2) = (run(), run());
+        assert!(s1 > 0);
+        assert_eq!(s1, s2, "instruction counts diverged across identical runs");
+
+        let (mut e, add, loaded) = compile_add(true);
+        let a = e.meta_modref();
+        let b = e.meta_modref();
+        let d = e.meta_modref();
+        e.modify(a, Value::Int(1));
+        e.modify(b, Value::Int(1));
+        e.run_core(add, &[Value::ModRef(a), Value::ModRef(b), Value::ModRef(d)]);
+        assert!(loaded.steps() > 0);
+        loaded.reset_steps();
+        assert_eq!(loaded.steps(), 0);
     }
 }

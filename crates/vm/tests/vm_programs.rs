@@ -27,8 +27,14 @@ fn sum_to_program() -> Program {
     fb.open(head);
     fb.close_cond(Atom::Var(i), body, exit);
     fb.open(body);
-    fb.emit_cmd(Cmd::Assign(acc, Expr::Prim(Prim::Add, vec![Atom::Var(acc), Atom::Var(i)])));
-    fb.emit_cmd(Cmd::Assign(i, Expr::Prim(Prim::Sub, vec![Atom::Var(i), Atom::Int(1)])));
+    fb.emit_cmd(Cmd::Assign(
+        acc,
+        Expr::Prim(Prim::Add, vec![Atom::Var(acc), Atom::Var(i)]),
+    ));
+    fb.emit_cmd(Cmd::Assign(
+        i,
+        Expr::Prim(Prim::Sub, vec![Atom::Var(i), Atom::Int(1)]),
+    ));
     fb.close_goto(head);
     fb.open(exit);
     fb.emit_cmd(Cmd::Write(out, Atom::Var(acc)));
@@ -40,7 +46,14 @@ fn sum_to_program() -> Program {
 fn run_sum(read_trampoline: bool, n: i64) -> (Value, u64) {
     let out = compile(&sum_to_program()).unwrap();
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions { read_trampoline });
+    let loaded = load(
+        &out.target,
+        &mut b,
+        VmOptions {
+            read_trampoline,
+            ..VmOptions::default()
+        },
+    );
     let f = loaded.entry(&out.target, "sum_to").unwrap();
     let mut e = Engine::new(b.build());
     let (nm, om) = (e.meta_modref(), e.meta_modref());
@@ -84,7 +97,10 @@ fn vm_alloc_and_modref_init() {
         let v = fb.param(Ty::Int);
         let out = fb.param(Ty::ModRef);
         let t = fb.local(Ty::Int);
-        fb.emit_cmd(Cmd::Assign(t, Expr::Prim(Prim::Mul, vec![Atom::Var(v), Atom::Int(2)])));
+        fb.emit_cmd(Cmd::Assign(
+            t,
+            Expr::Prim(Prim::Mul, vec![Atom::Var(v), Atom::Int(2)]),
+        ));
         fb.emit_cmd(Cmd::Write(out, Atom::Var(t)));
         fb.close_done();
         pb.define(cont, fb.finish());
@@ -99,7 +115,12 @@ fn vm_alloc_and_modref_init() {
         let m = fb.local(Ty::ModRef);
         let x = fb.local(Ty::Int);
         let y = fb.local(Ty::Int);
-        fb.emit_cmd(Cmd::Alloc { dst: p, words: Atom::Int(2), init, args: vec![Atom::Int(9)] });
+        fb.emit_cmd(Cmd::Alloc {
+            dst: p,
+            words: Atom::Int(2),
+            init,
+            args: vec![Atom::Int(9)],
+        });
         fb.emit_cmd(Cmd::Assign(m, Expr::Index(p, Atom::Int(1))));
         fb.emit_cmd(Cmd::Read(x, inp));
         fb.emit_cmd(Cmd::Write(m, Atom::Var(x)));
@@ -144,7 +165,10 @@ fn translation_rejects_misplaced_read_result() {
         let l0 = fb.reserve();
         fb.define(
             l0,
-            Block::Cmd(Cmd::Read(x, m), Jump::Tail(g, vec![Atom::Int(1), Atom::Var(x)])),
+            Block::Cmd(
+                Cmd::Read(x, m),
+                Jump::Tail(g, vec![Atom::Int(1), Atom::Var(x)]),
+            ),
         );
         pb.define(f, fb.finish());
     }

@@ -27,7 +27,10 @@ fn main() {
 
     let ast = ceal_lang::parser::parse(SRC).expect("parse");
     let (cl, _) = ceal_lang::lower::lower(&ast).expect("lower");
-    println!("=== Lowered CL (§4.3) ===\n{}", ceal_ir::print::print_program(&cl));
+    println!(
+        "=== Lowered CL (§4.3) ===\n{}",
+        ceal_ir::print::print_program(&cl)
+    );
 
     let out = compile(&cl).expect("cealc");
     println!("=== Normalized CL (§5) — every read ends in a tail jump ===");
@@ -47,19 +50,34 @@ fn main() {
     let loaded = load(&out.target, &mut b, VmOptions::default());
     let entry = loaded.entry(&out.target, "maxscale").expect("entry");
     let mut e = Engine::new(b.build());
-    let (a, bb, scale, res) =
-        (e.meta_modref(), e.meta_modref(), e.meta_modref(), e.meta_modref());
+    let (a, bb, scale, res) = (
+        e.meta_modref(),
+        e.meta_modref(),
+        e.meta_modref(),
+        e.meta_modref(),
+    );
     e.modify(a, Value::Int(3));
     e.modify(bb, Value::Int(8));
     e.modify(scale, Value::Int(10));
-    e.run_core(entry, &[Value::ModRef(a), Value::ModRef(bb), Value::ModRef(scale), Value::ModRef(res)]);
+    e.run_core(
+        entry,
+        &[
+            Value::ModRef(a),
+            Value::ModRef(bb),
+            Value::ModRef(scale),
+            Value::ModRef(res),
+        ],
+    );
     println!("=== Execution ===");
     println!("max(3, 8) * 10  = {}", e.deref(res));
 
     // Change propagation: only the affected reads re-execute.
     e.modify(scale, Value::Int(100));
     e.propagate();
-    println!("max(3, 8) * 100 = {}  (only the scale read re-ran)", e.deref(res));
+    println!(
+        "max(3, 8) * 100 = {}  (only the scale read re-ran)",
+        e.deref(res)
+    );
     e.modify(a, Value::Int(42));
     e.propagate();
     println!("max(42, 8) * 100 = {}", e.deref(res));

@@ -1,15 +1,15 @@
 //! Tracking the convex hull of a moving point set — the computational
 //! geometry setting of §8.2, used the way a motion-simulation client
-//! would use it (cf. the kinetic applications of [5] in the paper):
+//! would use it (cf. the kinetic applications of \[5\] in the paper):
 //! points enter and leave the set, and the hull updates by change
 //! propagation.
 //!
 //! Run with: `cargo run --release -p ceal-examples --bin convex_hull_tracker`
 
 use ceal_runtime::prelude::*;
+use ceal_runtime::prng::Prng;
 use ceal_suite::input::{build_point_list, random_points_unit_square, Point, CELL_DATA, CELL_NEXT};
 use ceal_suite::sac::geom::geom_program;
-use ceal_runtime::prng::Prng;
 use std::time::Instant;
 
 fn hull_points(e: &Engine, hull_m: ModRef) -> Vec<Point> {
@@ -17,7 +17,10 @@ fn hull_points(e: &Engine, hull_m: ModRef) -> Vec<Point> {
     let mut v = e.deref(hull_m);
     while let Value::Ptr(c) = v {
         let p = e.load(c, CELL_DATA).ptr();
-        out.push(Point { x: e.load(p, 0).float(), y: e.load(p, 1).float() });
+        out.push(Point {
+            x: e.load(p, 0).float(),
+            y: e.load(p, 1).float(),
+        });
         v = e.deref(e.load(c, CELL_NEXT).modref());
     }
     out
@@ -32,7 +35,10 @@ fn main() {
     let hull_m = e.meta_modref();
 
     let t0 = Instant::now();
-    e.run_core(fns.quickhull, &[Value::ModRef(list.head), Value::ModRef(hull_m)]);
+    e.run_core(
+        fns.quickhull,
+        &[Value::ModRef(list.head), Value::ModRef(hull_m)],
+    );
     println!(
         "{n} points, initial hull of {} vertices in {:?}",
         hull_points(&e, hull_m).len(),
@@ -59,7 +65,10 @@ fn main() {
         }
     }
     let per = t1.elapsed() / (2 * rounds);
-    println!("{} departures/arrivals, average hull update: {per:?}", 2 * rounds);
+    println!(
+        "{} departures/arrivals, average hull update: {per:?}",
+        2 * rounds
+    );
     println!("{hull_changes} of the deletions changed the hull's vertex count");
 
     // Cross-check against the conventional algorithm.

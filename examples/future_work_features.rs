@@ -47,8 +47,7 @@ fn main() {
     println!(
         "compiled: {} functions after normalization, {} read sites \
          (all inserted by the compiler)",
-        out.stats.normalize.funcs_out,
-        out.target.stats.read_sites
+        out.stats.normalize.funcs_out, out.target.stats.read_sites
     );
 
     let mut b = ProgramBuilder::new();
@@ -100,5 +99,8 @@ fn main() {
 
     assert_eq!(e.deref(out_m), Value::Int(1000 * 2 + 50 * 10));
     println!("\n(no explicit read()/destination in the account code — the");
-    println!(" compiler inserted {} traced reads)", out.target.stats.read_sites);
+    println!(
+        " compiler inserted {} traced reads)",
+        out.target.stats.read_sites
+    );
 }

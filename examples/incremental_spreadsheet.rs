@@ -31,7 +31,12 @@ fn build_program(b: &mut ProgramBuilder) -> FuncId {
     });
     // comb_b(v_b, op, v_a, out_m)
     b.define_native(comb_b, move |e, args| {
-        let (vb, op, va, out) = (args[0].int(), args[1].int(), args[2].int(), args[3].modref());
+        let (vb, op, va, out) = (
+            args[0].int(),
+            args[1].int(),
+            args[2].int(),
+            args[3].modref(),
+        );
         let r = match op {
             OP_ADD => va + vb,
             OP_MIN => va.min(vb),
@@ -58,9 +63,8 @@ fn build_program(b: &mut ProgramBuilder) -> FuncId {
             let cell = e.load(t, 1).modref();
             Tail::read(cell, leaf_fan, &args[1..])
         } else {
-            let mk = |e: &mut Engine, k: i64| {
-                Value::ModRef(e.modref_keyed(&[args[0], Value::Int(k)]))
-            };
+            let mk =
+                |e: &mut Engine, k: i64| Value::ModRef(e.modref_keyed(&[args[0], Value::Int(k)]));
             let (ls, lm, lx) = (mk(e, 0), mk(e, 1), mk(e, 2));
             let (rs, rm, rx) = (mk(e, 3), mk(e, 4), mk(e, 5));
             e.call(agg, &[e.load(t, 1), ls, lm, lx]);
@@ -114,7 +118,15 @@ fn main() {
     let (sum, min, max) = (e.meta_modref(), e.meta_modref(), e.meta_modref());
 
     let t0 = Instant::now();
-    e.run_core(agg, &[tree, Value::ModRef(sum), Value::ModRef(min), Value::ModRef(max)]);
+    e.run_core(
+        agg,
+        &[
+            tree,
+            Value::ModRef(sum),
+            Value::ModRef(min),
+            Value::ModRef(max),
+        ],
+    );
     let initial = t0.elapsed();
     println!("column of {n} cells, initial evaluation: {initial:?}");
     println!(

@@ -23,7 +23,9 @@ fn build_eval(b: &mut ProgramBuilder) -> FuncId {
     let read_a = b.declare("eval_read_a");
     let read_b = b.declare("eval_read_b");
 
-    b.define_native(eval, move |_e, args| Tail::read(args[0].modref(), read_r, &args[1..]));
+    b.define_native(eval, move |_e, args| {
+        Tail::read(args[0].modref(), read_r, &args[1..])
+    });
     b.define_native(read_r, move |e, args| {
         let t = args[0].ptr();
         let res = args[1].modref();
@@ -43,7 +45,12 @@ fn build_eval(b: &mut ProgramBuilder) -> FuncId {
         Tail::read(args[3].modref(), read_b, &[args[1], args[2], args[0]])
     });
     b.define_native(read_b, move |e, args| {
-        let (bv, res, op, av) = (args[0].int(), args[1].modref(), args[2].int(), args[3].int());
+        let (bv, res, op, av) = (
+            args[0].int(),
+            args[1].modref(),
+            args[2].int(),
+            args[3].int(),
+        );
         e.write(res, Value::Int(if op == PLUS { av + bv } else { av - bv }));
         Tail::Done
     });

@@ -7,8 +7,8 @@
 use ceal_compiler::pipeline::compile;
 use ceal_lang::frontend;
 use ceal_runtime::prelude::*;
-use ceal_vm::{load, VmOptions};
 use ceal_runtime::prng::Prng;
+use ceal_vm::{load, VmOptions};
 
 /// The expression-tree evaluator with C-style return values: no
 /// explicit result modifiables anywhere in the source.

@@ -23,11 +23,7 @@ ceal doubled(counter* c, modref_t* out) {
 fn mod_fields_read_implicitly_and_propagate() {
     let (cl, _) = frontend(SRC).unwrap();
     // The implicit reads are real CL reads.
-    let reads = cl.funcs[0]
-        .blocks
-        .iter()
-        .filter(|b| b.is_read())
-        .count();
+    let reads = cl.funcs[0].blocks.iter().filter(|b| b.is_read()).count();
     assert_eq!(reads, 2, "two mod-field accesses become two reads");
 
     let out = compile(&cl).unwrap();

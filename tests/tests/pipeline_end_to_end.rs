@@ -8,11 +8,18 @@ use ceal_ir::interp::{IValue, Machine};
 use ceal_ir::validate::{is_normal, validate};
 use ceal_lang::{benchmarks, frontend};
 use ceal_runtime::prelude::*;
-use ceal_vm::{load, VmOptions};
 use ceal_runtime::prng::Prng;
+use ceal_vm::{load, VmOptions};
 
 /// Compile a CEAL source and set up an engine running it.
-fn setup(src: &str, opts: VmOptions) -> (Engine, ceal_compiler::target::TProgram, ceal_vm::LoadedProgram) {
+fn setup(
+    src: &str,
+    opts: VmOptions,
+) -> (
+    Engine,
+    ceal_compiler::target::TProgram,
+    ceal_vm::LoadedProgram,
+) {
     let (cl, _) = frontend(src).expect("frontend");
     validate(&cl).expect("valid CL");
     let out = compile(&cl).expect("cealc pipeline");
@@ -91,29 +98,44 @@ fn exptrees_session(opts: VmOptions) {
     let res = e.meta_modref();
     e.run_core(eval, &[Value::ModRef(root), Value::ModRef(res)]);
     let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
-    assert!(close(e.deref(res).float(), eval_oracle(&e, tree)), "initial run");
+    assert!(
+        close(e.deref(res).float(), eval_oracle(&e, tree)),
+        "initial run"
+    );
 
     for _ in 0..40 {
         let i = rng.gen_range(0..slots.len());
         let (slot, leaf, alt) = slots[i];
         e.modify(slot, alt);
         e.propagate();
-        assert!(close(e.deref(res).float(), eval_oracle(&e, tree)), "after swap");
+        assert!(
+            close(e.deref(res).float(), eval_oracle(&e, tree)),
+            "after swap"
+        );
         e.modify(slot, leaf);
         e.propagate();
-        assert!(close(e.deref(res).float(), eval_oracle(&e, tree)), "after swap back");
+        assert!(
+            close(e.deref(res).float(), eval_oracle(&e, tree)),
+            "after swap back"
+        );
     }
     e.check_invariants();
 }
 
 #[test]
 fn compiled_exptrees_self_adjusts() {
-    exptrees_session(VmOptions { read_trampoline: true });
+    exptrees_session(VmOptions {
+        read_trampoline: true,
+        ..VmOptions::default()
+    });
 }
 
 #[test]
 fn compiled_exptrees_basic_trampoline() {
-    exptrees_session(VmOptions { read_trampoline: false });
+    exptrees_session(VmOptions {
+        read_trampoline: false,
+        ..VmOptions::default()
+    });
 }
 
 /// A leaf edit in the compiled evaluator re-executes O(depth) reads.
@@ -186,7 +208,10 @@ fn compiled_map_matches_interpreter_and_self_adjusts() {
         v = machine.deref(machine.blocks[b][1]).unwrap();
     }
     let expect: Vec<i64> = data.iter().map(|&x| paper_f(x)).collect();
-    assert_eq!(interp_out, expect, "reference interpreter agrees with the spec");
+    assert_eq!(
+        interp_out, expect,
+        "reference interpreter agrees with the spec"
+    );
 
     // Engine-side list + compiled self-adjusting run.
     let vals: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
@@ -238,7 +263,10 @@ fn compiled_quicksort_sorts_and_self_adjusts() {
         d
     };
     let got = |e: &Engine| -> Vec<i64> {
-        ceal_suite::input::collect_list(e, out).into_iter().map(|v| v.int()).collect()
+        ceal_suite::input::collect_list(e, out)
+            .into_iter()
+            .map(|v| v.int())
+            .collect()
     };
     assert_eq!(got(&e), sorted(&data), "initial sort");
 
@@ -302,7 +330,10 @@ fn compiled_quickhull_matches_conventional() {
         let mut v = e.deref(hull_m);
         while let Value::Ptr(c) = v {
             let p = e.load(c, 0).ptr();
-            out.push((e.load(p, 0).float().to_bits(), e.load(p, 1).float().to_bits()));
+            out.push((
+                e.load(p, 0).float().to_bits(),
+                e.load(p, 1).float().to_bits(),
+            ));
             v = e.deref(e.load(c, 1).modref());
         }
         out.sort_unstable();

@@ -41,8 +41,14 @@ fn gen_program(seed: u64, size: usize) -> Program {
         let l0 = fb.reserve();
         let l1 = fb.reserve();
         let l2 = fb.reserve_done();
-        fb.define(l0, Block::Cmd(Cmd::Store(loc, Atom::Int(0), Atom::Var(a)), Jump::Goto(l1)));
-        fb.define(l1, Block::Cmd(Cmd::ModrefInit(loc, Atom::Int(1)), Jump::Goto(l2)));
+        fb.define(
+            l0,
+            Block::Cmd(Cmd::Store(loc, Atom::Int(0), Atom::Var(a)), Jump::Goto(l1)),
+        );
+        fb.define(
+            l1,
+            Block::Cmd(Cmd::ModrefInit(loc, Atom::Int(1)), Jump::Goto(l2)),
+        );
         pb.define(init, fb.finish());
     }
     // helper(m, out): out := read m + 1
@@ -63,7 +69,10 @@ fn gen_program(seed: u64, size: usize) -> Program {
                 Jump::Goto(l2),
             ),
         );
-        fb.define(l2, Block::Cmd(Cmd::Write(out, Atom::Var(x)), Jump::Goto(l3)));
+        fb.define(
+            l2,
+            Block::Cmd(Cmd::Write(out, Atom::Var(x)), Jump::Goto(l3)),
+        );
         pb.define(helper, fb.finish());
     }
 
@@ -150,10 +159,8 @@ fn gen_program(seed: u64, size: usize) -> Program {
                         } else {
                             self.mods[self.rng.gen_range(0..self.mods.len())]
                         };
-                        self.fb.emit_cmd(Cmd::Call(
-                            self.helper,
-                            vec![Atom::Var(m), Atom::Var(d)],
-                        ));
+                        self.fb
+                            .emit_cmd(Cmd::Call(self.helper, vec![Atom::Var(m), Atom::Var(d)]));
                     }
                     7 => {
                         // p := alloc 2 init2(a); tmp := p[0]
@@ -167,7 +174,8 @@ fn gen_program(seed: u64, size: usize) -> Program {
                             args: vec![a],
                         });
                         let d = self.temps[self.rng.gen_range(0..self.temps.len())];
-                        self.fb.emit_cmd(Cmd::Assign(d, Expr::Index(p, Atom::Int(0))));
+                        self.fb
+                            .emit_cmd(Cmd::Assign(d, Expr::Index(p, Atom::Int(0))));
                     }
                     8 if depth > 0 => {
                         // if (atom) { ... } else { ... }
@@ -245,8 +253,13 @@ fn gen_program(seed: u64, size: usize) -> Program {
 /// error, e.g. fuel).
 fn run_interp(p: &Program, inputs: &[i64]) -> Option<Vec<IValue>> {
     let mut m = Machine::with_fuel(200_000);
-    let ins: Vec<IValue> = inputs.iter().map(|&x| m.alloc_modref(IValue::Int(x))).collect();
-    let outs: Vec<IValue> = (0..N_OUTPUTS).map(|_| m.alloc_modref(IValue::Nil)).collect();
+    let ins: Vec<IValue> = inputs
+        .iter()
+        .map(|&x| m.alloc_modref(IValue::Int(x)))
+        .collect();
+    let outs: Vec<IValue> = (0..N_OUTPUTS)
+        .map(|_| m.alloc_modref(IValue::Nil))
+        .collect();
     let mut args = ins.clone();
     args.extend(outs.iter().copied());
     let main = p.find("main")?;

@@ -5,9 +5,9 @@
 //! every propagation.
 
 use ceal_runtime::prelude::*;
+use ceal_runtime::prng::Prng;
 use ceal_suite::input::{collect_list, int_list, CELL_DATA};
 use ceal_suite::sac;
-use ceal_runtime::prng::Prng;
 use std::collections::BTreeSet;
 
 /// Drives a list benchmark through a random multi-delete session.
@@ -21,7 +21,11 @@ fn list_session(
     let mut e = Engine::new(p);
     let n = 120usize;
     let l = int_list(&mut e, n, seed ^ 0xAB);
-    let data: Vec<i64> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+    let data: Vec<i64> = l
+        .cells
+        .iter()
+        .map(|c| e.load(c.ptr(), CELL_DATA).int())
+        .collect();
     let out = e.meta_modref();
     e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(out)]);
 
@@ -52,8 +56,7 @@ fn list_session(
             .filter(|(i, _)| !deleted.contains(i))
             .map(|(_, &x)| x)
             .collect();
-        let got: Vec<i64> =
-            collect_list(&e, out).into_iter().map(|v| v.int()).collect();
+        let got: Vec<i64> = collect_list(&e, out).into_iter().map(|v| v.int()).collect();
         assert_eq!(got, oracle(&current), "divergence with deleted={deleted:?}");
     }
     e.check_invariants();
@@ -127,7 +130,11 @@ fn reduce_session(
     let mut e = Engine::new(p);
     let n = 100usize;
     let l = int_list(&mut e, n, seed ^ 0xCD);
-    let data: Vec<i64> = l.cells.iter().map(|c| e.load(c.ptr(), CELL_DATA).int()).collect();
+    let data: Vec<i64> = l
+        .cells
+        .iter()
+        .map(|c| e.load(c.ptr(), CELL_DATA).int())
+        .collect();
     let res = e.meta_modref();
     e.run_core(entry, &[Value::ModRef(l.head), Value::ModRef(res)]);
 
@@ -166,18 +173,26 @@ fn reduce_session(
 
 #[test]
 fn minimum_survives_random_multi_deletes() {
-    reduce_session(sac::reduce::minimum_program, |d| d.iter().min().copied(), 106);
+    reduce_session(
+        sac::reduce::minimum_program,
+        |d| d.iter().min().copied(),
+        106,
+    );
 }
 
 #[test]
 fn sum_survives_random_multi_deletes() {
-    reduce_session(sac::reduce::sum_program, |d| {
-        if d.is_empty() {
-            None
-        } else {
-            Some(d.iter().sum())
-        }
-    }, 107);
+    reduce_session(
+        sac::reduce::sum_program,
+        |d| {
+            if d.is_empty() {
+                None
+            } else {
+                Some(d.iter().sum())
+            }
+        },
+        107,
+    );
 }
 
 /// Tree contraction under overlapping edge deletions (subtree inside a
