@@ -194,6 +194,58 @@ fn profile_tcon() -> Profile {
     e.take_profile("tcon_2k")
 }
 
+/// Dense transactional editing: list map at n=512 driven by rounds of
+/// 64 deletes staged on one [`EditBatch`] and committed in a single
+/// pass, then 64 restores the same way. Exercises the `batch` phase
+/// counters (coalesced queue traffic, per-commit propagation) that the
+/// per-edit workloads above never produce.
+fn profile_batch_dense() -> Profile {
+    let (n, seed, round) = (512usize, 42u64, 64usize);
+    let (p, f) = listops::map_program();
+    let mut e = Engine::new(p);
+    e.enable_profiling();
+    let data = input::random_ints(n, seed);
+    let vals: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
+    let mut l = input::EditList::build(&mut e, &vals);
+    let out = e.meta_modref();
+    e.run_core(f, &[Value::ModRef(l.head), Value::ModRef(out)]);
+    let mapped = |live: Vec<Value>| -> Vec<Value> {
+        live.iter()
+            .map(|v| Value::Int(listops::paper_map_fn(v.int())))
+            .collect()
+    };
+    assert_eq!(
+        input::collect_list(&e, out),
+        mapped(l.live_data()),
+        "batch_dense_512 initial output wrong"
+    );
+    for r in 0..3u64 {
+        let picks = edit_positions(n, round, seed ^ (r + 1));
+        let mut b = e.batch();
+        for &i in &picks {
+            l.delete(&mut b, i);
+        }
+        b.commit();
+        assert_eq!(
+            input::collect_list(&e, out),
+            mapped(l.live_data()),
+            "batch_dense_512 output wrong after delete round {r}"
+        );
+        let mut b = e.batch();
+        for &i in &picks {
+            l.restore(&mut b, i);
+        }
+        b.commit();
+        assert_eq!(
+            input::collect_list(&e, out),
+            mapped(l.live_data()),
+            "batch_dense_512 output wrong after restore round {r}"
+        );
+    }
+    e.clear_core();
+    e.take_profile("batch_dense_512")
+}
+
 /// Runs every profile workload and returns the reports, in a fixed
 /// order.
 pub fn collect_profiles() -> Vec<Profile> {
@@ -203,6 +255,7 @@ pub fn collect_profiles() -> Vec<Profile> {
         profile_quicksort(),
         profile_exptrees(),
         profile_tcon(),
+        profile_batch_dense(),
     ]
 }
 

@@ -63,6 +63,7 @@ pub fn run(opts: &Opts) {
 
     order_benches(&mut entries, ord_n, budget, seed);
     engine_benches(&mut entries, budget);
+    let cascade = batch_dense_benches(&mut entries, budget);
     tcon_bench(&mut entries, tcon_n, tcon_edits, seed, reps);
 
     // Attach baseline numbers captured by an earlier `--save-baseline`
@@ -98,7 +99,8 @@ pub fn run(opts: &Opts) {
         println!("\nbaseline saved to {path}");
     }
 
-    std::fs::write(&out_path, to_json(&entries, quick, seed)).expect("write bench json");
+    std::fs::write(&out_path, to_json(&entries, quick, seed, Some(&cascade)))
+        .expect("write bench json");
     println!("\nresults written to {out_path}");
 
     // Profile mode: also run the deterministic counter workloads and
@@ -278,6 +280,153 @@ fn engine_benches(entries: &mut Vec<Entry>, budget: u64) {
     });
 }
 
+/// Number of cascade stages — one edit per stage per round, so this is
+/// also the dense-edit round width.
+pub const CASCADE_STAGES: usize = 64;
+
+/// Propagation-queue traffic of one dense-edit round on the cascade,
+/// per route. Deterministic: pure counter deltas, no timing.
+pub struct CascadeOps {
+    /// `queue_pushes + queue_pops` for 64 modify/propagate pairs.
+    pub per_edit: u64,
+    /// The same 64 edits staged on one [`EditBatch`] and committed.
+    pub batched: u64,
+}
+
+impl CascadeOps {
+    /// How many times fewer queue operations the batched route performs.
+    pub fn reduction(&self) -> f64 {
+        self.per_edit as f64 / self.batched as f64
+    }
+}
+
+/// Builds the dense-edit workload: a prefix-sum cascade
+/// `s_i = s_{i-1} + x_i` of [`CASCADE_STAGES`] dependent adder stages
+/// over modifiable inputs. Editing input `x_i` re-executes every stage
+/// downstream of `i`, so a round that edits all inputs one propagation
+/// at a time pays O(stages²) queue traffic, while a batch commit
+/// dirties everything first and each stage re-executes once.
+fn build_cascade() -> (Engine, Vec<ModRef>, ModRef) {
+    let mut b = ProgramBuilder::new();
+    let add_c = b.native("add2_c", |e, args| {
+        // args: [b, out, a]
+        let sum = args[2].int() + args[0].int();
+        e.write(args[1].modref(), Value::Int(sum));
+        Tail::Done
+    });
+    let add_b = b.native("add2_b", move |_e, args| {
+        // args: [a, m_b, out] — read m_b, then combine.
+        Tail::read(args[1].modref(), add_c, &[args[2], args[0]])
+    });
+    let add = b.native("add2", move |_e, args| {
+        // args: [m_a, m_b, out] — read m_a first.
+        Tail::read(args[0].modref(), add_b, &args[1..])
+    });
+
+    let mut e = Engine::new(b.build());
+    let xs: Vec<ModRef> = (0..CASCADE_STAGES).map(|_| e.meta_modref()).collect();
+    let ss: Vec<ModRef> = (0..CASCADE_STAGES).map(|_| e.meta_modref()).collect();
+    for (i, &x) in xs.iter().enumerate() {
+        e.modify(x, Value::Int(i as i64));
+    }
+    let zero = e.meta_modref();
+    e.modify(zero, Value::Int(0));
+    let mut prev = zero;
+    for i in 0..CASCADE_STAGES {
+        e.run_core(
+            add,
+            &[
+                Value::ModRef(prev),
+                Value::ModRef(xs[i]),
+                Value::ModRef(ss[i]),
+            ],
+        );
+        prev = ss[i];
+    }
+    let expect: i64 = (0..CASCADE_STAGES as i64).sum();
+    assert_eq!(e.deref(prev), Value::Int(expect), "cascade initial sum");
+    (e, xs, prev)
+}
+
+/// One dense round: set every input to `base + i`, via the given route.
+fn cascade_round(e: &mut Engine, xs: &[ModRef], base: i64, batched: bool) {
+    if batched {
+        let mut b = e.batch();
+        for (i, &x) in xs.iter().enumerate() {
+            b.modify(x, Value::Int(base + i as i64));
+        }
+        b.commit();
+    } else {
+        for (i, &x) in xs.iter().enumerate() {
+            e.modify(x, Value::Int(base + i as i64));
+            e.propagate();
+        }
+    }
+}
+
+/// Measures the queue traffic of one dense round per route, on fresh
+/// engines, checking that both routes compute the same sum.
+pub fn measure_cascade_queue_ops() -> CascadeOps {
+    let expect = |base: i64| -> i64 { (0..CASCADE_STAGES as i64).map(|i| base + i).sum() };
+
+    let (mut e, xs, out) = build_cascade();
+    let before = e.stats().op_counters();
+    cascade_round(&mut e, &xs, 1000, false);
+    let d = e.stats().op_counters().delta(&before);
+    let per_edit = d.queue_pushes + d.queue_pops;
+    assert_eq!(e.deref(out), Value::Int(expect(1000)), "per-edit route sum");
+
+    let (mut e, xs, out) = build_cascade();
+    let before = e.stats().op_counters();
+    cascade_round(&mut e, &xs, 1000, true);
+    let d = e.stats().op_counters().delta(&before);
+    let batched = d.queue_pushes + d.queue_pops;
+    assert_eq!(e.deref(out), Value::Int(expect(1000)), "batched route sum");
+
+    CascadeOps { per_edit, batched }
+}
+
+/// Dense-edit benches: wall-clock per round for each route, plus the
+/// deterministic queue-operation comparison behind the ≥1.3x claim in
+/// EXPERIMENTS.md.
+fn batch_dense_benches(entries: &mut Vec<Entry>, budget: u64) -> CascadeOps {
+    let (mut e, xs, out) = build_cascade();
+    let mut base = 0i64;
+    let s = bench_with_budget("batch_dense/per_edit_round64", budget, || {
+        base += 1;
+        cascade_round(&mut e, &xs, base, false);
+        std::hint::black_box(e.deref(out));
+    });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
+
+    let (mut e, xs, out) = build_cascade();
+    let mut base = 0i64;
+    let s = bench_with_budget("batch_dense/batched_round64", budget, || {
+        base += 1;
+        cascade_round(&mut e, &xs, base, true);
+        std::hint::black_box(e.deref(out));
+    });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
+
+    let ops = measure_cascade_queue_ops();
+    println!(
+        "{:<40} {} per-edit vs {} batched ({:.2}x fewer queue ops)",
+        "batch_dense/queue_ops_round64",
+        ops.per_edit,
+        ops.batched,
+        ops.reduction()
+    );
+    ops
+}
+
 /// The Fig. 13 anchor point: tcon at full size, from scratch and per
 /// update. `Bench::measure` does its own timing; rerun it `reps` times
 /// and keep the fastest of each column to suppress scheduler noise.
@@ -334,12 +483,23 @@ fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
 
 /// Hand-rolled JSON so the workspace needs no serialization dependency;
 /// every value is a string-keyed object of plain numbers.
-fn to_json(entries: &[Entry], quick: bool, seed: u64) -> String {
+fn to_json(entries: &[Entry], quick: bool, seed: u64, cascade: Option<&CascadeOps>) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"ceal-bench-runtime/v1\",\n");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"seed\": {seed},");
+    if let Some(c) = cascade {
+        let _ = writeln!(
+            s,
+            "  \"batch_dense\": {{\"edits_per_round\": {}, \"queue_ops_per_edit_route\": {}, \
+             \"queue_ops_batched_route\": {}, \"queue_op_reduction\": {:.3}}},",
+            CASCADE_STAGES,
+            c.per_edit,
+            c.batched,
+            c.reduction()
+        );
+    }
     s.push_str("  \"results\": {\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(s, "    {:?}: {{\"secs\": {:e}", e.name, e.secs);
@@ -376,10 +536,16 @@ mod tests {
                 baseline_secs: None,
             },
         ];
-        let j = to_json(&entries, true, 42);
+        let j = to_json(&entries, true, 42, None);
         assert!(j.contains("\"a/b_1k\""));
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.ends_with("}\n"));
+        let c = CascadeOps {
+            per_edit: 300,
+            batched: 100,
+        };
+        let j = to_json(&entries, true, 42, Some(&c));
+        assert!(j.contains("\"queue_op_reduction\": 3.000"));
         // Baseline files round-trip through the parser.
         let dir = std::env::temp_dir().join("ceal_bench_baseline_test.txt");
         std::fs::write(&dir, "a/b_1k 1.5e-3\nc 2e0\n").unwrap();
@@ -388,5 +554,21 @@ mod tests {
         assert_eq!(base[0].0, "a/b_1k");
         assert!((base[0].1 - 1.5e-3).abs() < 1e-12);
         std::fs::remove_file(&dir).ok();
+    }
+
+    /// The acceptance bar for the batch API: on the dense cascade
+    /// (64 dependent edits per round) the batched route performs at
+    /// least 1.3x fewer propagation-queue operations than per-edit
+    /// propagation. Deterministic counters, so this can gate CI.
+    #[test]
+    fn batched_route_cuts_queue_ops() {
+        let ops = measure_cascade_queue_ops();
+        assert!(
+            ops.per_edit as f64 >= 1.3 * ops.batched as f64,
+            "expected >=1.3x queue-op reduction, got {} per-edit vs {} batched ({:.2}x)",
+            ops.per_edit,
+            ops.batched,
+            ops.reduction()
+        );
     }
 }

@@ -5,11 +5,14 @@
 //! cealc FILE.ceal --emit-cl      # print the lowered CL
 //! cealc FILE.ceal --emit-norm    # print the normalized CL (§5)
 //! cealc FILE.ceal --emit-c       # print the generated C (§6, Fig. 12)
-//! cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit SLOT=VAL ...]
+//! cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit SLOT=VAL ...] [--batch]
 //!                                # execute: inputs become modifiables,
 //!                                # one output modifiable is printed;
 //!                                # each --edit modifies an input and
-//!                                # propagates, printing the new output
+//!                                # propagates, printing the new output.
+//!                                # With --batch, all edits are staged in
+//!                                # one transaction and committed with a
+//!                                # single coalesced propagation pass.
 //! ```
 
 use ceal_compiler::pipeline::compile;
@@ -81,10 +84,19 @@ fn main() -> ExitCode {
             .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
             .unwrap_or_default();
         let mut b = ProgramBuilder::new();
-        let loaded = load(&out.target, &mut b, VmOptions::default());
-        let Some(entry) = loaded.entry(&out.target, entry_name) else {
-            eprintln!("cealc: no function `{entry_name}`");
-            return ExitCode::FAILURE;
+        let loaded = match load(&out.target, &mut b, VmOptions::default()) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cealc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let entry = match loaded.require_entry(&out.target, entry_name) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cealc: {e}");
+                return ExitCode::FAILURE;
+            }
         };
         let mut e = Engine::new(b.build());
         let in_mods: Vec<ModRef> = ins
@@ -100,7 +112,8 @@ fn main() -> ExitCode {
         run_args.push(Value::ModRef(res));
         e.run_core(entry, &run_args);
         println!("{entry_name}({ins:?}) = {}", e.deref(res));
-        // Apply edits: --edit IDX=VAL, in order.
+        // Collect edits: --edit IDX=VAL, in order.
+        let mut edits: Vec<(usize, i64)> = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if a == "--edit" {
@@ -114,16 +127,36 @@ fn main() -> ExitCode {
                             eprintln!("cealc: --edit index {i} out of range");
                             return ExitCode::FAILURE;
                         }
-                        let before = e.stats().reads_reexecuted;
-                        e.modify(in_mods[i], Value::Int(v));
-                        e.propagate();
-                        println!(
-                            "after in[{i}] := {v}: {} ({} reads re-executed)",
-                            e.deref(res),
-                            e.stats().reads_reexecuted - before
-                        );
+                        edits.push((i, v));
                     }
                 }
+            }
+        }
+        if args.iter().any(|a| a == "--batch") && !edits.is_empty() {
+            // All edits staged in one transaction: coalesced, one pass.
+            let before = e.stats().reads_reexecuted;
+            let mut batch = e.batch();
+            for &(i, v) in &edits {
+                batch.modify(in_mods[i], Value::Int(v));
+            }
+            batch.commit();
+            println!(
+                "after batch of {}: {} ({} reads re-executed)",
+                edits.len(),
+                e.deref(res),
+                e.stats().reads_reexecuted - before
+            );
+        } else {
+            for (i, v) in edits {
+                let before = e.stats().reads_reexecuted;
+                let mut batch = e.batch();
+                batch.modify(in_mods[i], Value::Int(v));
+                batch.commit();
+                println!(
+                    "after in[{i}] := {v}: {} ({} reads re-executed)",
+                    e.deref(res),
+                    e.stats().reads_reexecuted - before
+                );
             }
         }
         return ExitCode::SUCCESS;

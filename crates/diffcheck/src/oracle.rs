@@ -13,10 +13,21 @@
 //!    isolating translation bugs from normalization/runtime bugs.
 //!
 //! From-scratch outputs of all four must agree. Then each edit is
-//! applied to both engine sessions followed by `propagate`, and the
-//! propagated outputs must equal a fresh from-scratch interpreter run
-//! on the edited inputs — the core self-adjusting-computation
+//! applied to both engine sessions — routed per step, deterministically
+//! pseudo-randomly, through either the legacy `modify`+`propagate`
+//! path or an [`ceal_runtime::batch::EditBatch`] commit (the same
+//! route for both sessions, so their counters stay comparable) — and
+//! the propagated outputs must equal a fresh from-scratch interpreter
+//! run on the edited inputs — the core self-adjusting-computation
 //! invariant (§4, §7).
+//!
+//! A fifth and sixth session pin **route equivalence** directly: two
+//! more engine sessions over the normalized program apply the whole
+//! edit script through the per-edit path and through one-edit batch
+//! commits respectively, asserting identical outputs after every step
+//! and an identical final trace (`trace_len` + `dump_trace`) — the
+//! batch API's contract that `commit()` is observationally the
+//! sequential loop.
 //!
 //! Beyond output values, the two engine-backed executors must also
 //! agree on the engine's *deterministic operation counters*
@@ -35,6 +46,7 @@ use ceal_ir::interp::{IValue, Machine};
 use ceal_ir::validate::{is_normal, validate};
 use ceal_lang::frontend;
 use ceal_runtime::engine::Engine;
+use ceal_runtime::prng::Prng;
 use ceal_runtime::program::ProgramBuilder;
 use ceal_runtime::value::{FuncId, ModRef, Value};
 use ceal_suite::input::EditList;
@@ -167,6 +179,33 @@ fn interp_run(
     Ok(format!("{:?}", m.deref(out).map_err(|e| e.0)?))
 }
 
+/// How a session applies one edit — the route-equivalence axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Route {
+    /// The legacy surface: `modify` (or list edit) directly on the
+    /// engine, then `propagate`.
+    PerEdit,
+    /// The transactional surface: stage on an `EditBatch`, `commit`.
+    Batch,
+}
+
+/// The per-step routes for an edit script: deterministic for a given
+/// script (so failures replay), mixing both surfaces.
+fn edit_routes(tc: &TestCase) -> Vec<Route> {
+    let mut rng =
+        Prng::seed_from_u64(0xB47C ^ (tc.edits.len() as u64) << 17 ^ tc.scalars.len() as u64);
+    tc.edits
+        .iter()
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Route::Batch
+            } else {
+                Route::PerEdit
+            }
+        })
+        .collect()
+}
+
 /// One self-adjusting engine session (VM-backed or clvm-backed).
 struct Session {
     e: Engine,
@@ -200,24 +239,45 @@ impl Session {
         Session { e, ins, list, out }
     }
 
-    fn apply(&mut self, edit: Edit) {
-        match edit {
-            Edit::Set(k, v) => {
-                let m = self.ins[k as usize];
-                self.e.modify(m, Value::Int(v));
-            }
-            Edit::Delete(i) => {
-                if let Some(l) = &mut self.list {
-                    l.delete(&mut self.e, i as usize);
+    fn apply(&mut self, edit: Edit, route: Route) {
+        match route {
+            Route::PerEdit => {
+                match edit {
+                    Edit::Set(k, v) => {
+                        let m = self.ins[k as usize];
+                        self.e.modify(m, Value::Int(v));
+                    }
+                    Edit::Delete(i) => {
+                        if let Some(l) = &mut self.list {
+                            l.delete(&mut self.e, i as usize);
+                        }
+                    }
+                    Edit::Restore(i) => {
+                        if let Some(l) = &mut self.list {
+                            l.restore(&mut self.e, i as usize);
+                        }
+                    }
                 }
+                self.e.propagate();
             }
-            Edit::Restore(i) => {
-                if let Some(l) = &mut self.list {
-                    l.restore(&mut self.e, i as usize);
+            Route::Batch => {
+                let mut b = self.e.batch();
+                match edit {
+                    Edit::Set(k, v) => b.modify(self.ins[k as usize], Value::Int(v)),
+                    Edit::Delete(i) => {
+                        if let Some(l) = &mut self.list {
+                            l.delete(&mut b, i as usize);
+                        }
+                    }
+                    Edit::Restore(i) => {
+                        if let Some(l) = &mut self.list {
+                            l.restore(&mut b, i as usize);
+                        }
+                    }
                 }
+                b.commit();
             }
         }
-        self.e.propagate();
     }
 
     fn out(&self) -> String {
@@ -286,22 +346,31 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
     }
 
     // Executor 3: full pipeline on the engine (target code via the VM).
-    let mut vm = guard("vm-init", || {
+    let mut vm = {
         let mut b = ProgramBuilder::new();
-        let loaded = ceal_vm::load(&compiled.target, &mut b, VmOptions::default());
-        let entry = loaded
-            .entry(&compiled.target, "main")
-            .expect("main in target");
-        Session::start(Engine::new(b.build()), entry, tc)
-    })?;
+        let loaded = match ceal_vm::load(&compiled.target, &mut b, VmOptions::default()) {
+            Ok(l) => l,
+            Err(e) => return fail("vm-load", e.to_string()),
+        };
+        let entry = match loaded.require_entry(&compiled.target, "main") {
+            Ok(f) => f,
+            Err(e) => return fail("vm-load", e.to_string()),
+        };
+        guard("vm-init", || {
+            Session::start(Engine::new(b.build()), entry, tc)
+        })?
+    };
 
     // Executor 4: normalized CL directly on the engine.
-    let mut clvm = guard("clvm-init", || {
-        let mut b = ProgramBuilder::new();
-        let loaded = load_cl(&compiled.normalized, &mut b);
-        let entry = loaded.entry("main").expect("main in normalized CL");
-        Session::start(Engine::new(b.build()), entry, tc)
-    })?;
+    let start_clvm = |stage: &str| -> Result<Session, Failure> {
+        guard(stage, || {
+            let mut b = ProgramBuilder::new();
+            let loaded = load_cl(&compiled.normalized, &mut b);
+            let entry = loaded.entry("main").expect("main in normalized CL");
+            Session::start(Engine::new(b.build()), entry, tc)
+        })
+    };
+    let mut clvm = start_clvm("clvm-init")?;
 
     let vm0 = vm.out();
     if vm0 != expected0 {
@@ -318,7 +387,15 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
         );
     }
 
+    // Route equivalence (fifth and sixth executor): one session per
+    // mutation surface, same program, same edits. `route_b`'s one-edit
+    // batch commits must match `route_a`'s per-edit loop step for step
+    // and leave an identical trace.
+    let mut route_a = start_clvm("route-a-init")?;
+    let mut route_b = start_clvm("route-b-init")?;
+
     let mut outs = vec![expected0];
+    let routes = edit_routes(tc);
 
     // Edit loop: propagate must equal a fresh from-scratch run.
     let mut scalars = tc.scalars.clone();
@@ -338,8 +415,25 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
                 .collect()
         });
 
-        guard(&format!("vm-edit-{i}"), || vm.apply(edit))?;
-        guard(&format!("clvm-edit-{i}"), || clvm.apply(edit))?;
+        // Both main sessions take the same (mixed) route so their op
+        // counters stay comparable at the end.
+        guard(&format!("vm-edit-{i}"), || vm.apply(edit, routes[i]))?;
+        guard(&format!("clvm-edit-{i}"), || clvm.apply(edit, routes[i]))?;
+        guard(&format!("route-a-edit-{i}"), || {
+            route_a.apply(edit, Route::PerEdit)
+        })?;
+        guard(&format!("route-b-edit-{i}"), || {
+            route_b.apply(edit, Route::Batch)
+        })?;
+        let (a_out, b_out) = (route_a.out(), route_b.out());
+        if a_out != b_out {
+            return fail(
+                "route-mismatch",
+                format!(
+                    "edit {i} ({edit:?}): per-edit route gives {a_out}, batch route gives {b_out}"
+                ),
+            );
+        }
 
         let expected = match interp_run(&cl, entry_cl, &scalars, cur_list.as_deref()) {
             Ok(v) => v,
@@ -365,9 +459,12 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
     guard("invariants", || {
         vm.e.check_invariants();
         clvm.e.check_invariants();
+        route_a.e.check_invariants();
+        route_b.e.check_invariants();
     })?;
 
     check_counter_agreement(&vm, &clvm)?;
+    check_route_state_agreement(&route_a, &route_b)?;
 
     Ok(RunReport { outs })
 }
@@ -394,6 +491,38 @@ fn check_counter_agreement(vm: &Session, clvm: &Session) -> Result<(), Failure> 
         }
     }
     fail("counter-mismatch", table)
+}
+
+/// Asserts that the per-edit and batch routes left the engine in the
+/// same final state: same trace length and a textually identical
+/// trace dump (same records, same order, same values). A one-edit
+/// batch commit performs exactly the sequential path's dirtying and
+/// propagation pass, so any divergence here is a batch-surface bug.
+fn check_route_state_agreement(a: &Session, b: &Session) -> Result<(), Failure> {
+    if a.e.trace_len() != b.e.trace_len() {
+        return fail(
+            "route-state-mismatch",
+            format!(
+                "final trace length diverged: per-edit {} vs batch {}",
+                a.e.trace_len(),
+                b.e.trace_len()
+            ),
+        );
+    }
+    let (ta, tb) = (a.e.dump_trace(), b.e.dump_trace());
+    if ta != tb {
+        let diff = ta
+            .lines()
+            .zip(tb.lines())
+            .enumerate()
+            .find(|(_, (x, y))| x != y)
+            .map(|(i, (x, y))| {
+                format!("first diff at trace line {i}: per-edit `{x}` vs batch `{y}`")
+            })
+            .unwrap_or_else(|| "traces differ in length".to_string());
+        return fail("route-state-mismatch", diff);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

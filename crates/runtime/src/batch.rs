@@ -1,0 +1,257 @@
+//! Transactional edit batches: staged mutator writes committed with
+//! one change-propagation pass (DESIGN.md §11).
+//!
+//! The paper's evaluation drives every benchmark through a
+//! one-edit/one-`propagate` loop (§7–8), and [`Engine::modify`] +
+//! [`Engine::propagate`] mirror that shape. A production mutator
+//! absorbing a *burst* of edits wants the other shape: stage the whole
+//! burst, then propagate once. [`EditBatch`] is that staging handle —
+//! it records writes (and kills), coalesces repeated writes to the
+//! same modifiable down to the last value, and on [`EditBatch::commit`]
+//! dirties every governed read once and runs a **single** propagation
+//! pass, amortizing order-maintenance queries, priority-queue churn
+//! and memo probes across the batch.
+//!
+//! The correctness contract is the consistency theorem of Acar, Blume
+//! and Donham (*A Consistent Semantics of Self-Adjusting Computation*,
+//! 2011): propagation after *any* set of mutator edits is
+//! observationally equal to a from-scratch run over the edited input.
+//! Since a committed batch applies exactly the final value each
+//! modifiable would hold after the equivalent sequential edit loop,
+//! `commit()` and the per-edit loop converge to the same computation
+//! (pinned by `tests/batch.rs` and the `diffcheck` route-equivalence
+//! sweep).
+//!
+//! ```
+//! use ceal_runtime::prelude::*;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let body = b.native("copy_body", |e, args| {
+//!     e.write(args[1].modref(), args[0]);
+//!     Tail::Done
+//! });
+//! let copy = b.native("copy", move |_e, args| {
+//!     Tail::read(args[0].modref(), body, &args[1..])
+//! });
+//!
+//! let mut e = Engine::new(b.build());
+//! let (inp, out) = (e.meta_modref(), e.meta_modref());
+//! e.modify(inp, Value::Int(1));
+//! e.run_core(copy, &[Value::ModRef(inp), Value::ModRef(out)]);
+//!
+//! let mut batch = e.batch();
+//! batch.modify(inp, Value::Int(5));
+//! batch.modify(inp, Value::Int(7)); // coalesced: last write wins
+//! batch.commit(); // one propagation pass
+//! assert_eq!(e.deref(out), Value::Int(7));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::engine::Engine;
+use crate::value::{Loc, ModRef, Value};
+
+/// The mutator-side operations shared by [`Engine`] (apply eagerly,
+/// propagate later) and [`EditBatch`] (stage, commit once), so
+/// input-editing code — `suite`'s `InputList`/`EditList`, the
+/// `diffcheck` oracle — can be written once against `&mut impl Mutator`
+/// and routed through either surface.
+///
+/// `Engine`'s inherent methods of the same names take precedence, so
+/// existing `&mut Engine` callers compile unchanged.
+pub trait Mutator {
+    /// Modifies the contents of `m` (see [`Engine::modify`]). On a
+    /// batch the write is staged; reads through the batch observe it
+    /// (read-your-writes), the engine's trace does not until commit.
+    fn modify(&mut self, m: ModRef, v: Value);
+    /// Reads the current contents of a modifiable (see
+    /// [`Engine::deref`]). On a batch, staged writes win.
+    fn deref(&self, m: ModRef) -> Value;
+    /// Reads a block slot (see [`Engine::load`]).
+    fn load(&self, loc: Loc, off: usize) -> Value;
+}
+
+impl Mutator for Engine {
+    fn modify(&mut self, m: ModRef, v: Value) {
+        Engine::modify(self, m, v);
+    }
+    fn deref(&self, m: ModRef) -> Value {
+        Engine::deref(self, m)
+    }
+    fn load(&self, loc: Loc, off: usize) -> Value {
+        Engine::load(self, loc, off)
+    }
+}
+
+/// A staged transaction of mutator edits against an [`Engine`],
+/// created by [`Engine::batch`].
+///
+/// Writes staged with [`EditBatch::modify`] are not visible to the
+/// engine until [`EditBatch::commit`]; repeated writes to the same
+/// modifiable coalesce to the last value, and writes whose final value
+/// equals the modifiable's current contents are elided entirely (they
+/// dirty nothing, per the multi-write modifiable semantics). Dropping
+/// the batch without committing discards the staged edits.
+///
+/// Allocation ([`EditBatch::meta_alloc`], [`EditBatch::meta_modref`],
+/// …) is applied eagerly: creating mutator structure dirties no reads,
+/// so there is nothing to defer, and eager application lets staged
+/// writes refer to the new locations. [`EditBatch::kill`] *is* staged —
+/// it runs after the commit's propagation pass, once the unlinking
+/// writes have purged the doomed block's readers.
+#[derive(Debug)]
+pub struct EditBatch<'e> {
+    engine: &'e mut Engine,
+    /// Staged writes in first-staged order; at most one per modifiable.
+    writes: Vec<(ModRef, Value)>,
+    /// Position of each staged modifiable in `writes` (coalescing).
+    index: HashMap<ModRef, usize>,
+    /// Staged frees, executed after the commit's propagation pass.
+    kills: Vec<Loc>,
+}
+
+impl Engine {
+    /// Opens an edit batch: a staging handle that records mutator
+    /// writes and commits them with one propagation pass. See
+    /// [`EditBatch`].
+    pub fn batch(&mut self) -> EditBatch<'_> {
+        EditBatch {
+            engine: self,
+            writes: Vec::new(),
+            index: HashMap::new(),
+            kills: Vec::new(),
+        }
+    }
+}
+
+impl<'e> EditBatch<'e> {
+    /// Stages a write of `v` into `m`. A later write to the same
+    /// modifiable replaces this one (last write wins).
+    pub fn modify(&mut self, m: ModRef, v: Value) {
+        match self.index.get(&m) {
+            Some(&i) => self.writes[i].1 = v,
+            None => {
+                self.index.insert(m, self.writes.len());
+                self.writes.push((m, v));
+            }
+        }
+    }
+
+    /// Reads the value `m` will hold after commit: the staged write if
+    /// one exists, else the engine's current contents.
+    pub fn deref(&self, m: ModRef) -> Value {
+        match self.index.get(&m) {
+            Some(&i) => self.writes[i].1,
+            None => self.engine.deref(m),
+        }
+    }
+
+    /// Reads a block slot (pass-through: block stores are applied
+    /// eagerly, see [`EditBatch::meta_store`]).
+    pub fn load(&self, loc: Loc, off: usize) -> Value {
+        self.engine.load(loc, off)
+    }
+
+    /// Stages freeing a mutator allocation; executed at commit, after
+    /// the propagation pass has purged the block's readers.
+    pub fn kill(&mut self, loc: Loc) {
+        self.kills.push(loc);
+    }
+
+    /// Creates a modifiable at the meta level (applied eagerly; see
+    /// [`Engine::meta_modref`]).
+    pub fn meta_modref(&mut self) -> ModRef {
+        self.engine.meta_modref()
+    }
+
+    /// Allocates an untraced mutator block (applied eagerly; see
+    /// [`Engine::meta_alloc`]). Pair with a staged write to link it in
+    /// and the whole re-allocation lands in one commit.
+    pub fn meta_alloc(&mut self, words: usize) -> Loc {
+        self.engine.meta_alloc(words)
+    }
+
+    /// Creates a modifiable inside a meta-level block slot (applied
+    /// eagerly; see [`Engine::meta_modref_in`]).
+    pub fn meta_modref_in(&mut self, loc: Loc, off: usize) -> ModRef {
+        self.engine.meta_modref_in(loc, off)
+    }
+
+    /// Stores into a meta-level block (applied eagerly — mutator-owned
+    /// memory is not write-once and is unread by the trace; see
+    /// [`Engine::meta_store`]).
+    pub fn meta_store(&mut self, loc: Loc, off: usize, v: Value) {
+        self.engine.meta_store(loc, off, v);
+    }
+
+    /// Number of distinct modifiables with a staged write.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// `true` when no writes or kills are staged.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty() && self.kills.is_empty()
+    }
+
+    /// Commits the batch: dirties the reads governed by each staged
+    /// write, runs **one** propagation pass over all of them, then
+    /// executes staged kills. Observationally equivalent to the
+    /// sequential `modify` + `propagate` loop over the same edits.
+    ///
+    /// A batch whose staged writes are all no-ops (and with no kills)
+    /// commits without touching counters or recording a profile phase.
+    pub fn commit(self) {
+        self.engine.commit_batch(&self.writes, &self.kills);
+    }
+
+    /// Discards the staged writes and kills without applying them.
+    /// Eagerly applied allocations ([`EditBatch::meta_alloc`] etc.) are
+    /// *not* rolled back.
+    pub fn discard(self) {}
+}
+
+impl Mutator for EditBatch<'_> {
+    fn modify(&mut self, m: ModRef, v: Value) {
+        EditBatch::modify(self, m, v);
+    }
+    fn deref(&self, m: ModRef) -> Value {
+        EditBatch::deref(self, m)
+    }
+    fn load(&self, loc: Loc, off: usize) -> Value {
+        EditBatch::load(self, loc, off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::program::ProgramBuilder;
+    use crate::value::Value;
+
+    use super::*;
+
+    #[test]
+    fn coalescing_and_read_your_writes() {
+        let mut e = Engine::new(ProgramBuilder::new().build());
+        let m = e.meta_modref();
+        e.modify(m, Value::Int(1));
+        let mut b = e.batch();
+        assert!(b.is_empty());
+        b.modify(m, Value::Int(2));
+        b.modify(m, Value::Int(3));
+        assert_eq!(b.len(), 1, "writes to one modref must coalesce");
+        assert_eq!(b.deref(m), Value::Int(3), "batch reads see staged write");
+        assert_eq!(e.deref(m), Value::Int(1), "engine unchanged before commit");
+    }
+
+    #[test]
+    fn discard_applies_nothing() {
+        let mut e = Engine::new(ProgramBuilder::new().build());
+        let m = e.meta_modref();
+        e.modify(m, Value::Int(1));
+        let mut b = e.batch();
+        b.modify(m, Value::Int(9));
+        b.discard();
+        assert_eq!(e.deref(m), Value::Int(1));
+    }
+}

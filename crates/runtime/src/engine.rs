@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
+use crate::error::CealError;
 use crate::heap::{BlockKind, Heap, NIL};
 #[cfg(feature = "event-hooks")]
 use crate::obs::EventHook;
@@ -92,6 +93,72 @@ impl Default for EngineConfig {
             keyed_alloc: true,
             sml_sim: None,
         }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (memoization and keyed allocation on,
+    /// no SML simulation), as a chainable starting point:
+    ///
+    /// ```
+    /// # use ceal_runtime::prelude::*;
+    /// let config = EngineConfig::new().memo(false).keyed_alloc(true);
+    /// assert!(!config.memo);
+    /// ```
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets read-level memoization (trace reuse).
+    #[must_use]
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
+
+    /// Sets keyed allocation (location reuse).
+    #[must_use]
+    pub fn keyed_alloc(mut self, on: bool) -> Self {
+        self.keyed_alloc = on;
+        self
+    }
+
+    /// Sets (or clears) the SML-style cost simulation.
+    #[must_use]
+    pub fn sml_sim(mut self, sim: Option<SmlSim>) -> Self {
+        self.sml_sim = sim;
+        self
+    }
+
+    /// Checks the configuration for internal consistency — the
+    /// validation behind [`Engine::with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CealError::InvalidConfig`] when the SML simulation is
+    /// enabled with zero-sized boxes, a zero allocation rate, or a zero
+    /// heap limit (each would divide by zero or deadlock the simulated
+    /// collector).
+    pub fn validate(&self) -> Result<(), CealError> {
+        if let Some(sim) = &self.sml_sim {
+            if sim.box_words == 0 {
+                return Err(CealError::InvalidConfig(
+                    "sml_sim.box_words must be at least 1".into(),
+                ));
+            }
+            if sim.boxes_per_op == 0 {
+                return Err(CealError::InvalidConfig(
+                    "sml_sim.boxes_per_op must be at least 1".into(),
+                ));
+            }
+            if sim.heap_limit == Some(0) {
+                return Err(CealError::InvalidConfig(
+                    "sml_sim.heap_limit of 0 can never hold a live heap".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -424,14 +491,22 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// Creates an engine for `program` with the default configuration.
     pub fn new(program: Rc<Program>) -> Self {
-        Self::with_config(program, EngineConfig::default())
+        Self::with_config(program, EngineConfig::default()).expect("default config is valid")
     }
 
     /// Creates an engine with explicit feature switches (for ablations).
-    pub fn with_config(program: Rc<Program>, config: EngineConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CealError::InvalidConfig`] when `config` fails
+    /// [`EngineConfig::validate`] (for example an SML simulation with
+    /// zero-sized boxes). Internal engine invariants remain panics —
+    /// this boundary only validates user-supplied inputs.
+    pub fn with_config(program: Rc<Program>, config: EngineConfig) -> Result<Self, CealError> {
+        config.validate()?;
         let ord = OrderList::new();
         let cur = ord.first();
-        Engine {
+        Ok(Engine {
             program,
             config,
             ord,
@@ -462,7 +537,7 @@ impl Engine {
             #[cfg(feature = "event-hooks")]
             hook: None,
             debug_log: false,
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -540,16 +615,17 @@ impl Engine {
         let _ = ev;
     }
 
-    /// Opens a profile phase: syncs order stats so pre-phase
-    /// maintenance work is not attributed to it, snapshots the
-    /// counters, and returns the order-stats baseline for
-    /// [`Engine::finish_phase`]'s hook delta.
+    /// Opens a profile phase: syncs order stats and returns the
+    /// order-stats baseline for [`Engine::finish_phase`]'s hook delta.
+    /// The profiler's counter baseline is the snapshot taken when the
+    /// previous phase finished, so work staged between phases (batch
+    /// edits dirtying reads, say) is attributed to the phase that
+    /// consumes it.
     fn begin_phase(&mut self, kind: PhaseKind) -> OrderStats {
         self.sync_order_stats();
         let base = self.ord.stats();
         if let Some(p) = &mut self.profiler {
-            let snap = OpCounters::from_stats(&self.stats);
-            p.begin(kind, snap);
+            p.begin(kind);
         }
         base
     }
@@ -584,10 +660,29 @@ impl Engine {
         &self.stats
     }
 
-    /// Mutable access to statistics (harness support: resetting the
-    /// live-space high-water mark between phases).
+    /// Mutable access to statistics.
+    ///
+    /// Deprecated: observers must not perturb counters (the profiler's
+    /// phase deltas and the counter gate assume [`Stats`] is written
+    /// only by the engine). Read through [`Engine::stats`]; to restart
+    /// space accounting between experiment phases, call
+    /// [`Engine::reset_stats`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "observers must not perturb counters; use `stats()` to read \
+                and `reset_stats()` to restart the space high-water mark"
+    )]
     pub fn stats_mut(&mut self) -> &mut Stats {
         &mut self.stats
+    }
+
+    /// Restarts the live-space high-water mark at the current live
+    /// size, so a subsequent phase's peak is measured on its own. The
+    /// monotone operation counters are left untouched — the profiler's
+    /// phase deltas and the counter gate depend on them never going
+    /// backwards.
+    pub fn reset_stats(&mut self) {
+        self.stats.max_live_bytes = self.stats.live_bytes;
     }
 
     /// Mirrors the order-maintenance structure's internal counters into
@@ -700,11 +795,25 @@ impl Engine {
     /// Modifies the contents of `m` (`modify`), dirtying the reads that
     /// observed the previous value so the next [`Engine::propagate`]
     /// updates the computation.
+    ///
+    /// Equivalent to staging the single write in an
+    /// [`EditBatch`](crate::batch::EditBatch) without committing:
+    /// `modify` + [`Engine::propagate`] is the one-element special case
+    /// of [`Engine::batch`] + `commit()`, kept as the convenient
+    /// interface for sparse edits.
     pub fn modify(&mut self, m: ModRef, v: Value) {
+        self.apply_modify(m, v);
+    }
+
+    /// The body of [`Engine::modify`]: applies one mutator write,
+    /// dirtying governed readers. Returns `false` when the write is a
+    /// no-op (the base value already equals `v`), which
+    /// [`Engine::commit_batch`] uses to count effective batch writes.
+    pub(crate) fn apply_modify(&mut self, m: ModRef, v: Value) -> bool {
         // One meta lookup serves the no-op check and both list heads.
         let meta = self.heap.meta(m);
         if meta.base == v {
-            return;
+            return false;
         }
         let first_write = meta.writes_head;
         let reads_head = meta.reads_head;
@@ -733,6 +842,7 @@ impl Engine {
             }
             r = next;
         }
+        true
     }
 
     /// Runs core function `f` with `args` from scratch (`run_core`).
@@ -759,10 +869,26 @@ impl Engine {
     /// Propagates all pending modifications (`propagate`), re-executing
     /// dirty reads in trace order until the computation is consistent
     /// with the modified data.
+    ///
+    /// Equivalent to committing the edits staged since the last
+    /// propagation as one [`EditBatch`](crate::batch::EditBatch) —
+    /// [`Engine::batch`] + `commit()` is the same pass over the same
+    /// queue, with the staging (and its write coalescing) done up
+    /// front.
     pub fn propagate(&mut self) {
         assert!(self.core_ran, "propagate before run_core");
         let order_base = self.begin_phase(PhaseKind::Propagate);
         self.stats.propagations += 1;
+        self.propagate_loop();
+        self.finish_phase(order_base);
+    }
+
+    /// The propagation pass shared by [`Engine::propagate`] and
+    /// [`Engine::commit_batch`]: drains the dirty queue in trace order,
+    /// then frees blocks whose allocations were purged. The caller owns
+    /// the surrounding profile phase (the profiler rejects nested
+    /// phases, so a batch commit must not open a second one here).
+    fn propagate_loop(&mut self) {
         self.executing = true;
         while let Some(r) = self.queue_pop() {
             let rd = &self.reads[r as usize];
@@ -776,6 +902,40 @@ impl Engine {
         }
         self.executing = false;
         self.flush_pending_free();
+    }
+
+    /// Applies a staged edit batch: every write dirties its readers
+    /// first, then one propagation pass updates the computation, then
+    /// staged kills run against the propagated trace. Called by
+    /// [`EditBatch::commit`](crate::batch::EditBatch::commit); `writes`
+    /// arrive already coalesced (at most one per modifiable).
+    ///
+    /// A commit whose writes are all no-ops (each value equals the
+    /// current contents) and which stages no kills returns before
+    /// touching any counter or opening a profile phase, so an empty
+    /// commit is invisible to [`OpCounters`].
+    pub(crate) fn commit_batch(&mut self, writes: &[(ModRef, Value)], kills: &[Loc]) {
+        let any_effective = writes.iter().any(|&(m, v)| self.heap.meta(m).base != v);
+        if !any_effective && kills.is_empty() {
+            return;
+        }
+        let order_base = self.begin_phase(PhaseKind::Batch);
+        self.stats.batch_commits += 1;
+        for &(m, v) in writes {
+            if self.apply_modify(m, v) {
+                self.stats.batch_writes += 1;
+            }
+        }
+        if self.core_ran {
+            self.stats.propagations += 1;
+            self.propagate_loop();
+        }
+        // Kills run after propagation: unlinking writes have already
+        // re-executed (and purged) the readers of the doomed blocks'
+        // modifiables, which collection asserts.
+        for &loc in kills {
+            self.kill(loc);
+        }
         self.finish_phase(order_base);
     }
 
@@ -1793,6 +1953,7 @@ impl Engine {
         if self.reads[r as usize].queued {
             return;
         }
+        self.stats.queue_pushes += 1;
         self.reads[r as usize].queued = true;
         self.queue.push(r);
         self.sift_up(self.queue.len() - 1);
@@ -1806,6 +1967,7 @@ impl Engine {
             let last = self.queue.len() - 1;
             self.queue.swap(0, last);
             let r = self.queue.pop().expect("queue non-empty");
+            self.stats.queue_pops += 1;
             if !self.queue.is_empty() {
                 self.sift_down(0);
             }

@@ -1,0 +1,60 @@
+//! The public error type for user-input validation.
+//!
+//! The engine distinguishes two failure classes (DESIGN.md §11):
+//!
+//! * **User-input errors** — a malformed target program handed to the
+//!   VM loader, an entry point that does not exist, an inconsistent
+//!   [`EngineConfig`](crate::engine::EngineConfig). These are
+//!   reported as [`CealError`] through `Result`-returning entry points
+//!   (`ceal_vm::load`, `ceal_vm::run`,
+//!   [`Engine::with_config`](crate::engine::Engine::with_config)), so
+//!   embedders can surface them without a panic boundary.
+//! * **Internal invariant violations** — a trace record pointing at a
+//!   dead timestamp, a write-once violation, a core `kill`. These stay
+//!   panics: they indicate a bug in the engine or in generated core
+//!   code, not in the mutator's inputs, and unwinding past them would
+//!   leave the trace inconsistent.
+
+use std::fmt;
+
+/// Errors produced by validating user-supplied inputs: engine
+/// configurations, target programs, and entry-point names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CealError {
+    /// An [`EngineConfig`](crate::engine::EngineConfig) with
+    /// inconsistent knobs (for example an SML simulation with
+    /// zero-sized boxes).
+    InvalidConfig(String),
+    /// A target program failed load-time validation: an out-of-range
+    /// register, function index, or jump target.
+    MalformedProgram(String),
+    /// A requested entry-point name is not defined by the program.
+    UnknownEntry(String),
+}
+
+impl fmt::Display for CealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CealError::InvalidConfig(d) => write!(f, "invalid engine config: {d}"),
+            CealError::MalformedProgram(d) => write!(f, "malformed program: {d}"),
+            CealError::UnknownEntry(name) => write!(f, "unknown entry function `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CealError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_class() {
+        let e = CealError::InvalidConfig("box_words = 0".into());
+        assert!(e.to_string().contains("invalid engine config"));
+        let e = CealError::MalformedProgram("reg r9 out of range".into());
+        assert!(e.to_string().contains("malformed program"));
+        let e = CealError::UnknownEntry("main".into());
+        assert!(e.to_string().contains("`main`"));
+    }
+}

@@ -44,7 +44,9 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
+pub mod error;
 pub mod heap;
 pub mod obs;
 pub mod order;
@@ -53,7 +55,9 @@ pub mod program;
 pub mod stats;
 pub mod value;
 
+pub use batch::{EditBatch, Mutator};
 pub use engine::{Engine, EngineConfig, SmlSim};
+pub use error::CealError;
 pub use obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
 pub use program::{NativeFn, OpaqueFn, Program, ProgramBuilder, Tail};
 pub use stats::{OpCounters, Stats};
@@ -61,7 +65,9 @@ pub use value::{FuncId, Interner, Loc, ModRef, StrId, Value};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
+    pub use crate::batch::{EditBatch, Mutator};
     pub use crate::engine::{Engine, EngineConfig, SmlSim};
+    pub use crate::error::CealError;
     pub use crate::obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
     pub use crate::program::{Program, ProgramBuilder, Tail};
     pub use crate::stats::{OpCounters, Stats};

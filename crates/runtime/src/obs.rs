@@ -160,6 +160,9 @@ pub enum PhaseKind {
     InitialRun,
     /// A `propagate` call (change propagation after edits).
     Propagate,
+    /// An `EditBatch::commit` call: staged writes applied and a single
+    /// propagation pass over everything they dirtied (DESIGN.md §11).
+    Batch,
     /// A `clear_core` call (full trace purge).
     Purge,
 }
@@ -170,6 +173,7 @@ impl PhaseKind {
         match self {
             PhaseKind::InitialRun => "init",
             PhaseKind::Propagate => "propagate",
+            PhaseKind::Batch => "batch",
             PhaseKind::Purge => "purge",
         }
     }
@@ -197,30 +201,36 @@ pub struct Phase {
 ///
 /// The profiler records nothing in per-read hot paths: the engine
 /// snapshots its lifetime counters at phase boundaries and the profiler
-/// stores the deltas. This is what makes "phase counters sum to
+/// stores the deltas. Each phase's baseline is the snapshot taken at
+/// the *end of the previous phase* (zero for the first), so counter
+/// activity between phases — e.g. the queue pushes performed while
+/// staging edits before a propagation — is attributed to the phase
+/// that consumes it. This is what makes "phase counters sum to
 /// lifetime totals" an identity rather than a best-effort invariant.
 #[derive(Clone, Debug, Default)]
 pub struct Profiler {
     phases: Vec<Phase>,
-    open: Option<(PhaseKind, OpCounters)>,
+    open: Option<PhaseKind>,
+    floor: OpCounters,
     init_runs: u32,
     propagations: u32,
+    batches: u32,
     purges: u32,
 }
 
 impl Profiler {
-    /// Marks the start of a phase; the engine calls this with a fresh
-    /// counter snapshot.
-    pub(crate) fn begin(&mut self, kind: PhaseKind, at: OpCounters) {
+    /// Marks the start of a phase.
+    pub(crate) fn begin(&mut self, kind: PhaseKind) {
         debug_assert!(self.open.is_none(), "nested profile phases");
-        self.open = Some((kind, at));
+        self.open = Some(kind);
     }
 
-    /// Marks the end of the open phase.
+    /// Marks the end of the open phase with a fresh counter snapshot.
     pub(crate) fn end(&mut self, at: OpCounters, trace_len: u64, live_bytes: u64) {
-        let Some((kind, start)) = self.open.take() else {
+        let Some(kind) = self.open.take() else {
             return;
         };
+        let start = std::mem::replace(&mut self.floor, at);
         let seq = match kind {
             PhaseKind::InitialRun => {
                 self.init_runs += 1;
@@ -229,6 +239,10 @@ impl Profiler {
             PhaseKind::Propagate => {
                 self.propagations += 1;
                 self.propagations - 1
+            }
+            PhaseKind::Batch => {
+                self.batches += 1;
+                self.batches - 1
             }
             PhaseKind::Purge => {
                 self.purges += 1;
@@ -333,10 +347,11 @@ impl Profile {
         for kind in [
             PhaseKind::InitialRun,
             PhaseKind::Propagate,
+            PhaseKind::Batch,
             PhaseKind::Purge,
         ] {
             let (n, sum) = self.total(kind);
-            if n == 0 && kind == PhaseKind::Purge {
+            if n == 0 && matches!(kind, PhaseKind::Purge | PhaseKind::Batch) {
                 continue;
             }
             let _ = writeln!(s, "{pad}  \"{}\": {{", kind.name());
@@ -385,6 +400,7 @@ impl Profile {
         for kind in [
             PhaseKind::InitialRun,
             PhaseKind::Propagate,
+            PhaseKind::Batch,
             PhaseKind::Purge,
         ] {
             let (n, sum) = self.total(kind);
@@ -411,23 +427,26 @@ impl Profile {
         let mut s = String::new();
         let (ni, init) = self.total(PhaseKind::InitialRun);
         let (np, prop) = self.total(PhaseKind::Propagate);
+        let (nb, batch) = self.total(PhaseKind::Batch);
         let (nu, purge) = self.total(PhaseKind::Purge);
         let _ = writeln!(s, "profile: {}", self.name);
         let _ = writeln!(
             s,
-            "  {:<24} {:>14} {:>14} {:>14}",
+            "  {:<24} {:>14} {:>14} {:>14} {:>14}",
             "counter",
             format!("init({ni})"),
             format!("propagate({np})"),
+            format!("batch({nb})"),
             format!("purge({nu})")
         );
         for (i, (name, iv)) in init.entries().enumerate() {
             let pv = prop.values()[i];
+            let bv = batch.values()[i];
             let uv = purge.values()[i];
-            if iv == 0 && pv == 0 && uv == 0 {
+            if iv == 0 && pv == 0 && bv == 0 && uv == 0 {
                 continue;
             }
-            let _ = writeln!(s, "  {name:<24} {iv:>14} {pv:>14} {uv:>14}");
+            let _ = writeln!(s, "  {name:<24} {iv:>14} {pv:>14} {bv:>14} {uv:>14}");
         }
         let _ = writeln!(s, "  {:<24} {:>14}", "trace_len (final)", self.trace_len);
         let _ = writeln!(s, "  {:<24} {:>14}", "live_bytes (final)", self.live_bytes);

@@ -59,6 +59,18 @@ pub struct Stats {
     pub blocks_collected: u64,
     /// Calls to `propagate`.
     pub propagations: u64,
+    /// Reads pushed into the propagation priority queue (dirtied by a
+    /// meta-level modify or by a core write during re-execution).
+    pub queue_pushes: u64,
+    /// Entries removed from the propagation priority queue, including
+    /// zombie entries whose read was purged while queued.
+    pub queue_pops: u64,
+    /// Non-empty [`EditBatch`](crate::batch::EditBatch) commits (an
+    /// empty or fully elided batch leaves every counter untouched).
+    pub batch_commits: u64,
+    /// Effective writes applied by batch commits, after last-write-wins
+    /// coalescing and no-op elision.
+    pub batch_writes: u64,
     /// Simulated-GC runs (SML simulation only).
     pub gc_runs: u64,
     /// Total objects marked by the simulated GC.
@@ -110,6 +122,14 @@ pub struct OpCounters {
     pub blocks_collected: u64,
     /// Mirrors [`Stats::propagations`].
     pub propagations: u64,
+    /// Mirrors [`Stats::queue_pushes`].
+    pub queue_pushes: u64,
+    /// Mirrors [`Stats::queue_pops`].
+    pub queue_pops: u64,
+    /// Mirrors [`Stats::batch_commits`].
+    pub batch_commits: u64,
+    /// Mirrors [`Stats::batch_writes`].
+    pub batch_writes: u64,
     /// Mirrors [`Stats::order_group_relabels`].
     pub order_group_relabels: u64,
     /// Mirrors [`Stats::order_local_renumbers`].
@@ -122,7 +142,7 @@ pub struct OpCounters {
 
 impl OpCounters {
     /// Counter names, in the order [`OpCounters::values`] returns them.
-    pub const NAMES: [&'static str; 15] = [
+    pub const NAMES: [&'static str; 19] = [
         "reads_created",
         "writes_created",
         "allocs_created",
@@ -134,6 +154,10 @@ impl OpCounters {
         "nodes_purged",
         "blocks_collected",
         "propagations",
+        "queue_pushes",
+        "queue_pops",
+        "batch_commits",
+        "batch_writes",
         "order_group_relabels",
         "order_local_renumbers",
         "order_group_splits",
@@ -154,6 +178,10 @@ impl OpCounters {
             nodes_purged: s.nodes_purged,
             blocks_collected: s.blocks_collected,
             propagations: s.propagations,
+            queue_pushes: s.queue_pushes,
+            queue_pops: s.queue_pops,
+            batch_commits: s.batch_commits,
+            batch_writes: s.batch_writes,
             order_group_relabels: s.order_group_relabels,
             order_local_renumbers: s.order_local_renumbers,
             order_group_splits: s.order_group_splits,
@@ -162,7 +190,7 @@ impl OpCounters {
     }
 
     /// Counter values, in the order of [`OpCounters::NAMES`].
-    pub fn values(&self) -> [u64; 15] {
+    pub fn values(&self) -> [u64; 19] {
         [
             self.reads_created,
             self.writes_created,
@@ -175,6 +203,10 @@ impl OpCounters {
             self.nodes_purged,
             self.blocks_collected,
             self.propagations,
+            self.queue_pushes,
+            self.queue_pops,
+            self.batch_commits,
+            self.batch_writes,
             self.order_group_relabels,
             self.order_local_renumbers,
             self.order_group_splits,
@@ -216,7 +248,7 @@ impl OpCounters {
         }
     }
 
-    fn values_mut(&mut self) -> [&mut u64; 15] {
+    fn values_mut(&mut self) -> [&mut u64; 19] {
         [
             &mut self.reads_created,
             &mut self.writes_created,
@@ -229,6 +261,10 @@ impl OpCounters {
             &mut self.nodes_purged,
             &mut self.blocks_collected,
             &mut self.propagations,
+            &mut self.queue_pushes,
+            &mut self.queue_pops,
+            &mut self.batch_commits,
+            &mut self.batch_writes,
             &mut self.order_group_relabels,
             &mut self.order_local_renumbers,
             &mut self.order_group_splits,

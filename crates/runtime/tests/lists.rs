@@ -91,7 +91,7 @@ fn run_map_session(config: EngineConfig) {
     let mut rng = Prng::seed_from_u64(13);
 
     let (prog, map) = build_map();
-    let mut e = Engine::with_config(prog, config);
+    let mut e = Engine::with_config(prog, config).expect("test engine config is valid");
 
     let n = 300;
     let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();

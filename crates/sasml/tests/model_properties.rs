@@ -39,7 +39,7 @@ fn gc_runs_are_counted() {
             boxes_per_op: 10,
         }),
     };
-    let mut e = Engine::with_config(p, cfg);
+    let mut e = Engine::with_config(p, cfg).expect("test engine config is valid");
     let l = int_list(&mut e, 2_000, 5);
     let out = e.meta_modref();
     e.run_core(map, &[Value::ModRef(l.head), Value::ModRef(out)]);

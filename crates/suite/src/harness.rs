@@ -8,9 +8,11 @@
 //!   **overhead** is their ratio);
 //! * the average time for a small modification, using the *test
 //!   mutator*: for (a sample of) the input elements, delete the element
-//!   and propagate, then insert it back and propagate — the average is
-//!   total time over number of updates (the **speedup** is the
-//!   conventional from-scratch time over this average);
+//!   and commit, then insert it back and commit — each edit is a
+//!   one-element [`EditBatch`], observationally the paper's
+//!   modify-then-propagate step — and the average is total time over
+//!   number of updates (the **speedup** is the conventional
+//!   from-scratch time over this average);
 //! * the maximum live space (Table 1's "Max Live").
 //!
 //! Every measurement also cross-checks the self-adjusting output
@@ -260,7 +262,7 @@ fn list_bench(
         std::hint::black_box(oracle(&data));
     });
 
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let l = input::build_list(
         &mut e,
         &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>(),
@@ -273,10 +275,13 @@ fn list_bench(
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if l.delete(&mut e, i) {
-            e.propagate();
-            l.insert(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = l.delete(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            l.insert(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }
@@ -311,7 +316,7 @@ fn scalar_list_bench(
         std::hint::black_box(oracle(&data));
     });
 
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let l = input::build_list(
         &mut e,
         &data.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>(),
@@ -324,10 +329,13 @@ fn scalar_list_bench(
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if l.delete(&mut e, i) {
-            e.propagate();
-            l.insert(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = l.delete(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            l.insert(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }
@@ -372,7 +380,7 @@ fn sort_bench(
         std::hint::black_box(out);
     });
 
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let vals: Vec<Value> = strings.iter().map(|s| e.intern(s)).collect();
     let l = input::build_list(&mut e, &vals);
     let out = e.meta_modref();
@@ -387,10 +395,13 @@ fn sort_bench(
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if l.delete(&mut e, i) {
-            e.propagate();
-            l.insert(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = l.delete(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            l.insert(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }
@@ -414,7 +425,7 @@ fn quickhull_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) 
         std::hint::black_box(conv::quickhull(&pts));
     });
     let (p, fns) = sac::geom::geom_program();
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let l = input::build_point_list(&mut e, &pts);
     let hull_m = e.meta_modref();
     let self_s = time_once(|| {
@@ -438,10 +449,13 @@ fn quickhull_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) 
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if l.delete(&mut e, i) {
-            e.propagate();
-            l.insert(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = l.delete(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            l.insert(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }
@@ -465,7 +479,7 @@ fn diameter_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
         std::hint::black_box(conv::diameter(&pts));
     });
     let (p, fns) = sac::geom::geom_program();
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let l = input::build_point_list(&mut e, &pts);
     let res = e.meta_modref();
     let self_s =
@@ -477,10 +491,13 @@ fn diameter_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if l.delete(&mut e, i) {
-            e.propagate();
-            l.insert(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = l.delete(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            l.insert(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }
@@ -504,7 +521,7 @@ fn distance_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
         std::hint::black_box(conv::distance(&pa, &pb));
     });
     let (p, fns) = sac::geom::geom_program();
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let la = input::build_point_list(&mut e, &pa);
     let lb = input::build_point_list(&mut e, &pb);
     let res = e.meta_modref();
@@ -525,10 +542,13 @@ fn distance_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if la.delete(&mut e, i) {
-            e.propagate();
-            la.insert(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = la.delete(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            la.insert(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }
@@ -548,7 +568,7 @@ fn distance_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
 
 fn exptrees_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
     let (p, eval) = sac::exptrees::exptrees_program();
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let tree = sac::exptrees::build_exptree(&mut e, n, seed);
     // Extract the plain mirror for the conventional baseline.
     let mirror = extract_exp_mirror(&e, e.deref(tree.root));
@@ -566,10 +586,12 @@ fn exptrees_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -
     let t = Instant::now();
     for &i in &positions {
         let (slot, _, leaf, alt) = tree.leaves[i];
-        e.modify(slot, alt);
-        e.propagate();
-        e.modify(slot, leaf);
-        e.propagate();
+        let mut b = e.batch();
+        b.modify(slot, alt);
+        b.commit();
+        let mut b = e.batch();
+        b.modify(slot, leaf);
+        b.commit();
         updates += 2;
     }
     let update_s = t.elapsed().as_secs_f64() / updates.max(1) as f64;
@@ -600,7 +622,7 @@ fn extract_exp_mirror(e: &Engine, v: Value) -> conv::ExpMirror {
 
 fn tcon_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Measurement {
     let (p, tcon) = sac::tcon::tcon_program();
-    let mut e = Engine::with_config(p, config);
+    let mut e = Engine::with_config(p, config).expect("benchmark engine config is valid");
     let tree = sac::tcon::build_tree(&mut e, n, seed);
     let mirror = extract_tree_mirror(&e, tree.root);
     let conv_s = time_avg(|| {
@@ -615,10 +637,13 @@ fn tcon_bench(n: usize, max_edits: usize, seed: u64, config: EngineConfig) -> Me
     let mut updates = 0usize;
     let t = Instant::now();
     for &i in &positions {
-        if tree.delete_edge(&mut e, i) {
-            e.propagate();
-            tree.insert_edge(&mut e, i);
-            e.propagate();
+        let mut b = e.batch();
+        let deleted = tree.delete_edge(&mut b, i);
+        b.commit();
+        if deleted {
+            let mut b = e.batch();
+            tree.insert_edge(&mut b, i);
+            b.commit();
             updates += 2;
         }
     }

@@ -47,7 +47,11 @@ impl InputList {
 
     /// Deletes element `i` by pointing its slot past it. Returns `false`
     /// if the element is already deleted.
-    pub fn delete(&self, e: &mut Engine, i: usize) -> bool {
+    ///
+    /// Generic over [`Mutator`], so the edit can go straight to an
+    /// [`Engine`] (then [`Engine::propagate`]) or be staged on an
+    /// [`EditBatch`] and committed with others in one pass.
+    pub fn delete(&self, e: &mut impl Mutator, i: usize) -> bool {
         let cell = self.cells[i];
         if e.deref(self.slots[i]) != cell {
             return false;
@@ -60,7 +64,7 @@ impl InputList {
 
     /// Re-inserts element `i` (which must be the most recent deletion at
     /// this position: its own `next` still points at the proper tail).
-    pub fn insert(&self, e: &mut Engine, i: usize) {
+    pub fn insert(&self, e: &mut impl Mutator, i: usize) {
         e.modify(self.slots[i], self.cells[i]);
     }
 }
@@ -309,7 +313,13 @@ impl EditList {
     }
 
     /// Unlinks element `i`. Returns `false` if it is already deleted.
-    pub fn delete(&mut self, e: &mut Engine, i: usize) -> bool {
+    ///
+    /// Generic over [`Mutator`]: the edit only consults the shadow
+    /// `live` flags, never the engine, so staging it on an
+    /// [`EditBatch`] stages exactly the writes the direct path would
+    /// apply — the property the `diffcheck` route-equivalence sweep
+    /// leans on.
+    pub fn delete(&mut self, e: &mut impl Mutator, i: usize) -> bool {
         if !self.live[i] {
             return false;
         }
@@ -321,7 +331,7 @@ impl EditList {
     }
 
     /// Relinks a deleted element `i`. Returns `false` if it is live.
-    pub fn restore(&mut self, e: &mut Engine, i: usize) -> bool {
+    pub fn restore(&mut self, e: &mut impl Mutator, i: usize) -> bool {
         if self.live[i] {
             return false;
         }

@@ -520,7 +520,7 @@ pub struct InputTree {
 impl InputTree {
     /// Detaches the subtree under edge `i`. Returns `false` if already
     /// detached.
-    pub fn delete_edge(&self, e: &mut Engine, i: usize) -> bool {
+    pub fn delete_edge(&self, e: &mut impl Mutator, i: usize) -> bool {
         let (slot, child) = self.edges[i];
         if e.deref(slot) != child {
             return false;
@@ -530,7 +530,7 @@ impl InputTree {
     }
 
     /// Re-attaches the subtree under edge `i`.
-    pub fn insert_edge(&self, e: &mut Engine, i: usize) {
+    pub fn insert_edge(&self, e: &mut impl Mutator, i: usize) {
         let (slot, child) = self.edges[i];
         e.modify(slot, child);
     }

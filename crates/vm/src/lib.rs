@@ -38,7 +38,7 @@
 //!
 //! let out = compile(&pb.finish()).unwrap();
 //! let mut b = ProgramBuilder::new();
-//! let loaded = load(&out.target, &mut b, VmOptions::default());
+//! let loaded = load(&out.target, &mut b, VmOptions::default()).unwrap();
 //! let mut e = Engine::new(b.build());
 //! let (inp, outp) = (e.meta_modref(), e.meta_modref());
 //! e.modify(inp, Value::Int(5));
@@ -57,7 +57,8 @@ use std::rc::Rc;
 
 use ceal_compiler::target::{TFunc, TInstr, TOperand, TProgram};
 use ceal_ir::cl::Prim;
-use ceal_runtime::engine::Engine;
+use ceal_runtime::engine::{Engine, EngineConfig};
+use ceal_runtime::error::CealError;
 use ceal_runtime::program::{OpaqueFn, ProgramBuilder, Tail};
 use ceal_runtime::value::{FuncId, Value};
 
@@ -108,6 +109,20 @@ impl LoadedProgram {
         t.find(name).map(|i| self.engine_id(i))
     }
 
+    /// Like [`LoadedProgram::entry`], but reports a missing name as a
+    /// [`CealError::UnknownEntry`] instead of `None` — the right shape
+    /// for embedders surfacing user-chosen entry points (`cealc
+    /// --run`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CealError::UnknownEntry`] when `t` defines no function
+    /// called `name`.
+    pub fn require_entry(&self, t: &TProgram, name: &str) -> Result<FuncId, CealError> {
+        self.entry(t, name)
+            .ok_or_else(|| CealError::UnknownEntry(name.to_string()))
+    }
+
     /// VM instructions executed so far across every function of this
     /// program. Always zero unless [`VmOptions::count_steps`] is set.
     pub fn steps(&self) -> u64 {
@@ -120,8 +135,167 @@ impl LoadedProgram {
     }
 }
 
+/// Validates a target program before execution: every register index
+/// is within its function's register file, every jump and branch
+/// target is within its function's code, and every function reference
+/// resolves. The interpreter indexes without bounds recovery, so this
+/// is the boundary where a malformed program (a buggy hand-written
+/// target, a corrupted serialization) is reported as an error instead
+/// of a panic. `ceal-compiler` output is well-formed by construction;
+/// [`load`] validates anyway, since the check is one linear scan.
+///
+/// # Errors
+///
+/// Returns [`CealError::MalformedProgram`] naming the function,
+/// instruction index and fault of the first violation.
+pub fn validate_target(t: &TProgram) -> Result<(), CealError> {
+    let nfuncs = t.funcs.len();
+    for f in &t.funcs {
+        let err = |pc: usize, what: String| {
+            Err(CealError::MalformedProgram(format!(
+                "function `{}`, instruction {pc}: {what}",
+                f.name
+            )))
+        };
+        let check_reg = |pc: usize, r: u16, role: &str| {
+            if r >= f.nregs {
+                err(
+                    pc,
+                    format!("{role} register r{r} out of range (nregs {})", f.nregs),
+                )
+            } else {
+                Ok(())
+            }
+        };
+        let check_fun = |pc: usize, g: u32, role: &str| {
+            if g as usize >= nfuncs {
+                err(
+                    pc,
+                    format!("{role} function index {g} out of range ({nfuncs} functions)"),
+                )
+            } else {
+                Ok(())
+            }
+        };
+        let check_pc = |pc: usize, target: u32, role: &str| {
+            if target as usize >= f.code.len() {
+                err(
+                    pc,
+                    format!(
+                        "{role} target {target} out of range ({} instructions)",
+                        f.code.len()
+                    ),
+                )
+            } else {
+                Ok(())
+            }
+        };
+        let check_op = |pc: usize, o: &TOperand, role: &str| match o {
+            TOperand::Reg(r) => check_reg(pc, *r, role),
+            TOperand::Fun(g) => check_fun(pc, *g, role),
+            TOperand::Imm(_) => Ok(()),
+        };
+        let check_ops = |pc: usize, os: &[TOperand], role: &str| {
+            os.iter().try_for_each(|o| check_op(pc, o, role))
+        };
+        for (i, &r) in f.params.iter().enumerate() {
+            check_reg(usize::MAX, r, "param").map_err(|_| {
+                CealError::MalformedProgram(format!(
+                    "function `{}`: param {i} register r{r} out of range (nregs {})",
+                    f.name, f.nregs
+                ))
+            })?;
+        }
+        if f.code.is_empty() {
+            return Err(CealError::MalformedProgram(format!(
+                "function `{}` has no instructions (execution starts at index 0)",
+                f.name
+            )));
+        }
+        for (pc, instr) in f.code.iter().enumerate() {
+            match instr {
+                TInstr::Move { dst, src } => {
+                    check_reg(pc, *dst, "destination")?;
+                    check_op(pc, src, "source")?;
+                }
+                TInstr::Prim { dst, a, b, .. } => {
+                    check_reg(pc, *dst, "destination")?;
+                    check_op(pc, a, "operand")?;
+                    if let Some(b) = b {
+                        check_op(pc, b, "operand")?;
+                    }
+                }
+                TInstr::Load { dst, ptr, off } => {
+                    check_reg(pc, *dst, "destination")?;
+                    check_reg(pc, *ptr, "pointer")?;
+                    check_op(pc, off, "offset")?;
+                }
+                TInstr::Store { ptr, off, val } => {
+                    check_reg(pc, *ptr, "pointer")?;
+                    check_op(pc, off, "offset")?;
+                    check_op(pc, val, "value")?;
+                }
+                TInstr::Modref { dst, key } => {
+                    check_reg(pc, *dst, "destination")?;
+                    check_ops(pc, key, "key")?;
+                }
+                TInstr::ModrefInit { ptr, off } => {
+                    check_reg(pc, *ptr, "pointer")?;
+                    check_op(pc, off, "offset")?;
+                }
+                TInstr::Write { m, val } => {
+                    check_reg(pc, *m, "modifiable")?;
+                    check_op(pc, val, "value")?;
+                }
+                TInstr::Alloc {
+                    dst,
+                    words,
+                    init,
+                    args,
+                } => {
+                    check_reg(pc, *dst, "destination")?;
+                    check_op(pc, words, "size")?;
+                    check_fun(pc, *init, "initializer")?;
+                    check_ops(pc, args, "argument")?;
+                }
+                TInstr::Call { f: g, args } => {
+                    check_fun(pc, *g, "callee")?;
+                    check_ops(pc, args, "argument")?;
+                }
+                TInstr::Jump(target) => check_pc(pc, *target, "jump")?,
+                TInstr::Branch { c, t, f: fe } => {
+                    check_op(pc, c, "condition")?;
+                    check_pc(pc, *t, "branch")?;
+                    check_pc(pc, *fe, "branch")?;
+                }
+                TInstr::Tail { f: g, args } => {
+                    check_fun(pc, *g, "callee")?;
+                    check_ops(pc, args, "argument")?;
+                }
+                TInstr::ReadTail { m, f: g, args } => {
+                    check_reg(pc, *m, "modifiable")?;
+                    check_fun(pc, *g, "continuation")?;
+                    check_ops(pc, args, "argument")?;
+                }
+                TInstr::Done => {}
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Registers every function of `t` with the engine program builder.
-pub fn load(t: &TProgram, b: &mut ProgramBuilder, opts: VmOptions) -> LoadedProgram {
+///
+/// # Errors
+///
+/// Returns [`CealError::MalformedProgram`] when `t` fails
+/// [`validate_target`]; nothing is registered with `b` in that case.
+pub fn load(
+    t: &TProgram,
+    b: &mut ProgramBuilder,
+    opts: VmOptions,
+) -> Result<LoadedProgram, CealError> {
+    validate_target(t)?;
     let shared = Rc::new(Shared {
         funcs: t.funcs.clone(),
         engine_ids: RefCell::new(Vec::with_capacity(t.funcs.len())),
@@ -139,7 +313,35 @@ pub fn load(t: &TProgram, b: &mut ProgramBuilder, opts: VmOptions) -> LoadedProg
             }),
         );
     }
-    LoadedProgram { shared }
+    Ok(LoadedProgram { shared })
+}
+
+/// One-call embedding: validates and loads `t`, builds an [`Engine`]
+/// with `config`, lets `setup` construct the mutator inputs (its
+/// return value becomes the entry function's arguments), runs `entry`
+/// from scratch, and returns the engine ready for
+/// `modify`/`batch`/`propagate` rounds.
+///
+/// # Errors
+///
+/// Returns [`CealError::MalformedProgram`] when `t` fails
+/// [`validate_target`], [`CealError::UnknownEntry`] when `entry` is
+/// not defined, and [`CealError::InvalidConfig`] when `config` fails
+/// validation. All three are checked before any core code runs.
+pub fn run(
+    t: &TProgram,
+    entry: &str,
+    opts: VmOptions,
+    config: EngineConfig,
+    setup: impl FnOnce(&mut Engine) -> Vec<Value>,
+) -> Result<Engine, CealError> {
+    let mut b = ProgramBuilder::new();
+    let loaded = load(t, &mut b, opts)?;
+    let f = loaded.require_entry(t, entry)?;
+    let mut e = Engine::with_config(b.build(), config)?;
+    let args = setup(&mut e);
+    e.run_core(f, &args);
+    Ok(e)
 }
 
 struct VmFn {
@@ -364,7 +566,8 @@ mod tests {
                 read_trampoline,
                 count_steps: true,
             },
-        );
+        )
+        .expect("compiler output is well-formed");
         let entry = loaded.entry(&out.target, "add").unwrap();
         (Engine::new(b.build()), entry, loaded)
     }
@@ -452,5 +655,106 @@ mod tests {
         assert!(loaded.steps() > 0);
         loaded.reset_steps();
         assert_eq!(loaded.steps(), 0);
+    }
+
+    fn compile_copy() -> ceal_compiler::pipeline::CompileOutput {
+        let mut pb = ClBuilder::new();
+        let fr = pb.declare("copy");
+        let mut fb = FuncBuilder::new("copy", true);
+        let m = fb.param(Ty::ModRef);
+        let d = fb.param(Ty::ModRef);
+        let x = fb.local(Ty::Int);
+        let l0 = fb.reserve();
+        let l1 = fb.reserve();
+        let l2 = fb.reserve_done();
+        fb.define(l0, Block::Cmd(Cmd::Read(x, m), Jump::Goto(l1)));
+        fb.define(l1, Block::Cmd(Cmd::Write(d, Atom::Var(x)), Jump::Goto(l2)));
+        pb.define(fr, fb.finish());
+        compile(&pb.finish()).unwrap()
+    }
+
+    #[test]
+    fn load_rejects_malformed_programs() {
+        use ceal_compiler::target::TInstr;
+        use ceal_runtime::CealError;
+
+        let out = compile_copy();
+
+        // Out-of-range register.
+        let mut bad = out.target.clone();
+        bad.funcs[0].code[0] = TInstr::Move {
+            dst: bad.funcs[0].nregs, // one past the register file
+            src: ceal_compiler::target::TOperand::Imm(Value::Int(0)),
+        };
+        let mut b = ceal_runtime::ProgramBuilder::new();
+        match load(&bad, &mut b, VmOptions::default()) {
+            Err(CealError::MalformedProgram(d)) => assert!(d.contains("register")),
+            Ok(_) => panic!("expected MalformedProgram, got Ok"),
+            Err(other) => panic!("expected MalformedProgram, got {other}"),
+        }
+
+        // Out-of-range jump target.
+        let mut bad = out.target.clone();
+        let end = bad.funcs[0].code.len() as u32;
+        bad.funcs[0].code[0] = TInstr::Jump(end);
+        let mut b = ceal_runtime::ProgramBuilder::new();
+        match load(&bad, &mut b, VmOptions::default()) {
+            Err(CealError::MalformedProgram(d)) => assert!(d.contains("jump")),
+            Ok(_) => panic!("expected MalformedProgram, got Ok"),
+            Err(other) => panic!("expected MalformedProgram, got {other}"),
+        }
+
+        // Out-of-range function reference.
+        let mut bad = out.target.clone();
+        let nf = bad.funcs.len() as u32;
+        bad.funcs[0].code[0] = TInstr::Tail {
+            f: nf,
+            args: vec![],
+        };
+        let mut b = ceal_runtime::ProgramBuilder::new();
+        match load(&bad, &mut b, VmOptions::default()) {
+            Err(CealError::MalformedProgram(d)) => assert!(d.contains("function index")),
+            Ok(_) => panic!("expected MalformedProgram, got Ok"),
+            Err(other) => panic!("expected MalformedProgram, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_reports_unknown_entry_and_runs_known_ones() {
+        use ceal_runtime::engine::EngineConfig;
+        use ceal_runtime::CealError;
+
+        let out = compile_copy();
+        let err = run(
+            &out.target,
+            "no_such_entry",
+            VmOptions::default(),
+            EngineConfig::default(),
+            |_| vec![],
+        );
+        assert_eq!(
+            err.err(),
+            Some(CealError::UnknownEntry("no_such_entry".into()))
+        );
+
+        let mut handles = None;
+        let mut e = run(
+            &out.target,
+            "copy",
+            VmOptions::default(),
+            EngineConfig::default(),
+            |e| {
+                let (inp, outp) = (e.meta_modref(), e.meta_modref());
+                e.modify(inp, Value::Int(5));
+                handles = Some((inp, outp));
+                vec![Value::ModRef(inp), Value::ModRef(outp)]
+            },
+        )
+        .unwrap();
+        let (inp, outp) = handles.unwrap();
+        assert_eq!(e.deref(outp), Value::Int(5));
+        e.modify(inp, Value::Int(9));
+        e.propagate();
+        assert_eq!(e.deref(outp), Value::Int(9));
     }
 }

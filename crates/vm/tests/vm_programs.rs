@@ -53,7 +53,8 @@ fn run_sum(read_trampoline: bool, n: i64) -> (Value, u64) {
             read_trampoline,
             ..VmOptions::default()
         },
-    );
+    )
+    .expect("target validates");
     let f = loaded.entry(&out.target, "sum_to").unwrap();
     let mut e = Engine::new(b.build());
     let (nm, om) = (e.meta_modref(), e.meta_modref());
@@ -132,7 +133,7 @@ fn vm_alloc_and_modref_init() {
     ceal_ir::validate::validate(&p).unwrap();
     let out = compile(&p).unwrap();
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let f = loaded.entry(&out.target, "main").unwrap();
     let mut e = Engine::new(b.build());
     let (im, om) = (e.meta_modref(), e.meta_modref());

@@ -47,7 +47,7 @@ fn main() {
 
     // Execute the translated target code.
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let entry = loaded.entry(&out.target, "maxscale").expect("entry");
     let mut e = Engine::new(b.build());
     let (a, bb, scale, res) = (

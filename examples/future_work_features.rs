@@ -51,7 +51,7 @@ fn main() {
     );
 
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let total = loaded.entry(&out.target, "total").expect("entry");
     let mut e = Engine::new(b.build());
 

@@ -65,7 +65,7 @@ fn returned_values_propagate() {
 
     let out = compile(&cl).unwrap();
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let top = loaded.entry(&out.target, "eval_top").unwrap();
     let mut e = Engine::new(b.build());
 
@@ -97,7 +97,7 @@ fn returned_values_match_oracle_under_edits() {
     let (cl, _) = frontend(EVAL_RETURNS).unwrap();
     let out = compile(&cl).unwrap();
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let top = loaded.entry(&out.target, "eval_top").unwrap();
     let mut e = Engine::new(b.build());
     let mut rng = Prng::seed_from_u64(55);

@@ -28,7 +28,7 @@ fn mod_fields_read_implicitly_and_propagate() {
 
     let out = compile(&cl).unwrap();
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let entry = loaded.entry(&out.target, "doubled").unwrap();
     let mut e = Engine::new(b.build());
 
@@ -75,7 +75,7 @@ fn mod_field_writes_are_traced() {
     let (cl, _) = frontend(WRITER).unwrap();
     let out = compile(&cl).unwrap();
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let entry = loaded.entry(&out.target, "bump").unwrap();
     let mut e = Engine::new(b.build());
     let (src, res) = (e.meta_modref(), e.meta_modref());

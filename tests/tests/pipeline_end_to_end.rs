@@ -26,7 +26,7 @@ fn setup(
     assert!(is_normal(&out.normalized));
     validate(&out.normalized).expect("normalized CL is valid");
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, opts);
+    let loaded = load(&out.target, &mut b, opts).expect("target validates");
     (Engine::new(b.build()), out.target, loaded)
 }
 

@@ -272,7 +272,7 @@ fn run_interp(p: &Program, inputs: &[i64]) -> Option<Vec<IValue>> {
 fn run_engine(p: &Program, inputs: &[i64]) -> Option<(Engine, Vec<ModRef>, Vec<ModRef>)> {
     let out = compile(p).ok()?;
     let mut b = ProgramBuilder::new();
-    let loaded = load(&out.target, &mut b, VmOptions::default());
+    let loaded = load(&out.target, &mut b, VmOptions::default()).expect("target validates");
     let main = loaded.entry(&out.target, "main")?;
     let mut e = Engine::new(b.build());
     let ins: Vec<ModRef> = inputs
