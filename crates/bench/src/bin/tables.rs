@@ -35,7 +35,11 @@ fn main() {
                  \x20                [--gate [--golden FILE]] compare deterministic counters \
                  against the golden profile\n\
                  \x20                (UPDATE_GOLDEN=1 re-blesses the golden file; gate exits \
-                 1 on drift)"
+                 1 on drift)\n\
+                 \x20                [--trace [--trace-out DIR]] record the profile workloads \
+                 and write Perfetto timelines,\n\
+                 \x20                per-site attribution tables and stream digests \
+                 (trace-artifacts/)"
             );
             std::process::exit(2);
         }

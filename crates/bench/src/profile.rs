@@ -26,8 +26,60 @@ use ceal_runtime::prelude::*;
 use ceal_runtime::prng::Prng;
 use ceal_suite::input;
 use ceal_suite::sac::{exptrees, listops, sort, tcon};
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Per-workload trace artifacts captured by `tables bench --trace`.
+pub struct WorkloadTrace {
+    /// Workload name (matches the [`Profile`] name).
+    pub name: String,
+    /// Chrome trace-event JSON (Perfetto-loadable timeline).
+    pub trace_json: String,
+    /// Per-site attribution table as JSON.
+    pub attribution_json: String,
+    /// Per-site attribution as a human-readable table.
+    pub attribution_table: String,
+    /// Deterministic event-stream digest (16 hex digits).
+    pub digest_hex: String,
+    /// Total events recorded.
+    pub events: usize,
+}
+
+/// Collects [`WorkloadTrace`]s while the profile workloads run. Passing
+/// `Some(sink)` to [`collect_profiles_traced`] installs a
+/// [`TraceRecorder`] on every workload engine; the recorded streams are
+/// exported here. Recording is observation-only: the engine makes
+/// identical decisions either way, so the emitted [`Profile`] counters
+/// are byte-identical to an untraced run (asserted by tests).
+#[derive(Default)]
+pub struct TraceSink {
+    /// Captured traces, in workload order.
+    pub traces: Vec<WorkloadTrace>,
+}
+
+fn attach_recorder(e: &mut Engine) -> Rc<RefCell<TraceRecorder>> {
+    let rec = TraceRecorder::shared();
+    e.set_event_hook(Box::new(Rc::clone(&rec)));
+    rec
+}
+
+impl TraceSink {
+    fn capture(&mut self, name: &str, rec: &Rc<RefCell<TraceRecorder>>, e: &Engine) {
+        let r = rec.borrow();
+        let sites = e.sites();
+        let attr = r.attribution(sites);
+        self.traces.push(WorkloadTrace {
+            name: name.to_string(),
+            trace_json: r.chrome_trace_json(sites),
+            attribution_json: attr.to_json(),
+            attribution_table: attr.render_table(),
+            digest_hex: r.digest_hex(),
+            events: r.len(),
+        });
+    }
+}
 
 /// The profile edit schedule: same shuffle as the Table 1 harness.
 fn edit_positions(n: usize, max_edits: usize, seed: u64) -> Vec<usize> {
@@ -40,7 +92,7 @@ fn edit_positions(n: usize, max_edits: usize, seed: u64) -> Vec<usize> {
 
 /// The engine microbench workload: a 64-deep copy chain driven through
 /// modify/propagate, then a full purge.
-fn profile_chain64() -> Profile {
+fn profile_chain64(sink: Option<&mut TraceSink>) -> Profile {
     let mut b = ProgramBuilder::new();
     let body = b.native("copy_body", |e, args| {
         e.write(args[1].modref(), args[0]);
@@ -51,6 +103,7 @@ fn profile_chain64() -> Profile {
     });
     let mut e = Engine::new(b.build());
     e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
     let chain: Vec<_> = (0..65).map(|_| e.meta_modref()).collect();
     e.modify(chain[0], Value::Int(0));
     for w in chain.windows(2) {
@@ -66,15 +119,19 @@ fn profile_chain64() -> Profile {
         );
     }
     e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("engine_chain64", r, &e);
+    }
     e.take_profile("engine_chain64")
 }
 
 /// List map at n=4096 with 25 delete/insert propagation round trips.
-fn profile_map() -> Profile {
+fn profile_map(sink: Option<&mut TraceSink>) -> Profile {
     let (n, seed) = (4096usize, 42u64);
     let (p, f) = listops::map_program();
     let mut e = Engine::new(p);
     e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
     let data = input::random_ints(n, seed);
     let vals: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
     let l = input::build_list(&mut e, &vals);
@@ -102,15 +159,19 @@ fn profile_map() -> Profile {
         "map_4k output wrong after edits"
     );
     e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("map_4k", r, &e);
+    }
     e.take_profile("map_4k")
 }
 
 /// Quicksort on 1000 random strings with 10 delete/insert round trips.
-fn profile_quicksort() -> Profile {
+fn profile_quicksort(sink: Option<&mut TraceSink>) -> Profile {
     let (n, seed) = (1000usize, 42u64);
     let (p, f) = sort::quicksort_program();
     let mut e = Engine::new(p);
     e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
     let strings = input::random_strings(n, seed);
     let vals: Vec<Value> = strings.iter().map(|s| e.intern(s)).collect();
     let l = input::build_list(&mut e, &vals);
@@ -130,15 +191,19 @@ fn profile_quicksort() -> Profile {
     }
     assert!(sorted(&e), "quicksort_1k output not sorted after edits");
     e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("quicksort_1k", r, &e);
+    }
     e.take_profile("quicksort_1k")
 }
 
 /// Expression-tree evaluation over 4096 leaves with 25 leaf toggles.
-fn profile_exptrees() -> Profile {
+fn profile_exptrees(sink: Option<&mut TraceSink>) -> Profile {
     let (n, seed) = (4096usize, 42u64);
     let (p, eval) = exptrees::exptrees_program();
     let mut e = Engine::new(p);
     e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
     let tree = exptrees::build_exptree(&mut e, n, seed);
     let res = e.meta_modref();
     e.run_core(eval, &[Value::ModRef(tree.root), Value::ModRef(res)]);
@@ -160,16 +225,20 @@ fn profile_exptrees() -> Profile {
         "exptrees_4k value wrong after edits"
     );
     e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("exptrees_4k", r, &e);
+    }
     e.take_profile("exptrees_4k")
 }
 
 /// Tree contraction at n=2000 with 10 edge delete/insert round trips —
 /// the fig13 anchor workload in counter form.
-fn profile_tcon() -> Profile {
+fn profile_tcon(sink: Option<&mut TraceSink>) -> Profile {
     let (n, seed) = (2000usize, 42u64);
     let (p, f) = tcon::tcon_program();
     let mut e = Engine::new(p);
     e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
     let tree = tcon::build_tree(&mut e, n, seed);
     let res = e.meta_modref();
     e.run_core(f, &[Value::ModRef(tree.root), Value::ModRef(res)]);
@@ -191,6 +260,9 @@ fn profile_tcon() -> Profile {
         "tcon_2k count wrong after edits"
     );
     e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("tcon_2k", r, &e);
+    }
     e.take_profile("tcon_2k")
 }
 
@@ -199,11 +271,12 @@ fn profile_tcon() -> Profile {
 /// pass, then 64 restores the same way. Exercises the `batch` phase
 /// counters (coalesced queue traffic, per-commit propagation) that the
 /// per-edit workloads above never produce.
-fn profile_batch_dense() -> Profile {
+fn profile_batch_dense(sink: Option<&mut TraceSink>) -> Profile {
     let (n, seed, round) = (512usize, 42u64, 64usize);
     let (p, f) = listops::map_program();
     let mut e = Engine::new(p);
     e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
     let data = input::random_ints(n, seed);
     let vals: Vec<Value> = data.iter().map(|&x| Value::Int(x)).collect();
     let mut l = input::EditList::build(&mut e, &vals);
@@ -243,19 +316,29 @@ fn profile_batch_dense() -> Profile {
         );
     }
     e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("batch_dense_512", r, &e);
+    }
     e.take_profile("batch_dense_512")
 }
 
 /// Runs every profile workload and returns the reports, in a fixed
 /// order.
 pub fn collect_profiles() -> Vec<Profile> {
+    collect_profiles_traced(&mut None)
+}
+
+/// Like [`collect_profiles`], but with `Some(sink)` additionally
+/// records every workload's event stream and exports trace artifacts
+/// into the sink (`tables bench --trace`).
+pub fn collect_profiles_traced(sink: &mut Option<TraceSink>) -> Vec<Profile> {
     vec![
-        profile_chain64(),
-        profile_map(),
-        profile_quicksort(),
-        profile_exptrees(),
-        profile_tcon(),
-        profile_batch_dense(),
+        profile_chain64(sink.as_mut()),
+        profile_map(sink.as_mut()),
+        profile_quicksort(sink.as_mut()),
+        profile_exptrees(sink.as_mut()),
+        profile_tcon(sink.as_mut()),
+        profile_batch_dense(sink.as_mut()),
     ]
 }
 
@@ -378,6 +461,53 @@ pub fn run_profile(opts: &Opts) {
     }
     std::fs::write(&out_path, profiles_json(&profiles)).expect("write profile json");
     println!("profiles written to {out_path}");
+}
+
+/// `tables bench --trace`: run the profile workloads with a
+/// [`TraceRecorder`] installed and write per-workload trace artifacts
+/// into `--trace-out DIR` (default `trace-artifacts/`):
+///
+/// * `{name}.trace.json` — Chrome trace-event timeline (Perfetto),
+/// * `{name}.sites.json` / `{name}.sites.txt` — per-site attribution,
+/// * `digests.json` — every workload's deterministic stream digest.
+pub fn run_trace(opts: &Opts) -> i32 {
+    let dir = PathBuf::from(opts.get("trace-out").unwrap_or("trace-artifacts"));
+    std::fs::create_dir_all(&dir).expect("create trace output dir");
+    let mut sink = Some(TraceSink::default());
+    let profiles = collect_profiles_traced(&mut sink);
+    let sink = sink.expect("sink survives collection");
+    assert_eq!(sink.traces.len(), profiles.len(), "one trace per workload");
+
+    let mut digests = String::from("{\n  \"schema\": \"ceal-trace-digests/v1\",\n");
+    digests.push_str("  \"digests\": {\n");
+    for (i, t) in sink.traces.iter().enumerate() {
+        std::fs::write(dir.join(format!("{}.trace.json", t.name)), &t.trace_json)
+            .expect("write trace json");
+        std::fs::write(
+            dir.join(format!("{}.sites.json", t.name)),
+            &t.attribution_json,
+        )
+        .expect("write attribution json");
+        std::fs::write(
+            dir.join(format!("{}.sites.txt", t.name)),
+            &t.attribution_table,
+        )
+        .expect("write attribution table");
+        let _ = write!(digests, "    \"{}\": \"{}\"", t.name, t.digest_hex);
+        digests.push_str(if i + 1 < sink.traces.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+        println!(
+            "trace: {:<18} {:>9} events, digest {}",
+            t.name, t.events, t.digest_hex
+        );
+    }
+    digests.push_str("  }\n}\n");
+    std::fs::write(dir.join("digests.json"), digests).expect("write digests json");
+    println!("trace artifacts written to {}", dir.display());
+    0
 }
 
 /// `tables bench --gate`: run the workloads and compare against the

@@ -46,6 +46,11 @@ pub fn run(opts: &Opts) {
     if opts.has("gate") {
         std::process::exit(crate::profile::run_gate(opts));
     }
+    // Trace mode: deterministic workloads with a TraceRecorder
+    // installed, exported as Perfetto/attribution artifacts. No timing.
+    if opts.has("trace") {
+        std::process::exit(crate::profile::run_trace(opts));
+    }
     let quick = opts.has("quick");
     let out_path = opts.get("out").unwrap_or("BENCH_runtime.json").to_string();
     let seed = opts.get_usize("seed", 42) as u64;

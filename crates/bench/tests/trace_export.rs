@@ -1,0 +1,365 @@
+//! Trace-export validity (DESIGN.md §12): the Chrome trace-event JSON
+//! produced for every counter-gate workload must be schema-valid and
+//! its phase spans balanced and properly nested, so the artifact loads
+//! in Perfetto without complaint.
+//!
+//! The workspace deliberately has no JSON dependency, so this test
+//! carries its own recursive-descent parser — strict enough to reject
+//! anything a real JSON parser would.
+
+use ceal_bench::profile::{collect_profiles_traced, TraceSink};
+
+/// A parsed JSON value.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over bytes. Returns the value and the
+/// index one past its end.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        let ctx_end = (self.i + 24).min(self.b.len());
+        format!(
+            "{what} at byte {} (near `{}`)",
+            self.i,
+            String::from_utf8_lossy(&self.b[self.i..ctx_end])
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.i != self.b.len() {
+            return Err(self.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from a &str,
+                    // so boundaries are valid).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+fn parse(s: &str) -> Json {
+    Parser::new(s)
+        .parse_document()
+        .unwrap_or_else(|e| panic!("invalid JSON: {e}"))
+}
+
+/// Checks one workload's Chrome trace export: schema-valid JSON, every
+/// event carries the required trace-event fields, timestamps are
+/// monotone, and `B`/`E` phase spans are balanced and properly nested.
+fn check_chrome_trace(name: &str, text: &str) {
+    let doc = parse(text);
+    let events = doc
+        .get("traceEvents")
+        .unwrap_or_else(|| panic!("{name}: missing traceEvents"))
+        .clone_arr(name);
+    assert!(!events.is_empty(), "{name}: empty timeline");
+
+    let mut span_stack: Vec<String> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, ev) in events.iter().enumerate() {
+        let field = |k: &str| {
+            ev.get(k)
+                .unwrap_or_else(|| panic!("{name}: event {i} missing `{k}`"))
+        };
+        let ev_name = field("name")
+            .as_str()
+            .unwrap_or_else(|| panic!("{name}: event {i} `name` not a string"));
+        let ph = field("ph")
+            .as_str()
+            .unwrap_or_else(|| panic!("{name}: event {i} `ph` not a string"));
+        let ts = field("ts")
+            .as_num()
+            .unwrap_or_else(|| panic!("{name}: event {i} `ts` not a number"));
+        field("pid").as_num().expect("pid is a number");
+        field("tid").as_num().expect("tid is a number");
+        assert!(
+            ts >= last_ts,
+            "{name}: event {i} timestamp {ts} goes backwards (prev {last_ts})"
+        );
+        last_ts = ts;
+        match ph {
+            "B" => span_stack.push(ev_name.to_string()),
+            "E" => {
+                let open = span_stack.pop().unwrap_or_else(|| {
+                    panic!("{name}: event {i} ends `{ev_name}` with no span open")
+                });
+                assert_eq!(
+                    open, ev_name,
+                    "{name}: event {i} ends `{ev_name}` but `{open}` is the open span"
+                );
+            }
+            "i" => {
+                // Instants carry their severity scope.
+                assert_eq!(
+                    field("s").as_str(),
+                    Some("t"),
+                    "{name}: event {i} instant without thread scope"
+                );
+            }
+            other => panic!("{name}: event {i} has unexpected ph `{other}`"),
+        }
+    }
+    assert!(
+        span_stack.is_empty(),
+        "{name}: unclosed phase spans at end of timeline: {span_stack:?}"
+    );
+}
+
+impl Json {
+    fn clone_arr(&self, name: &str) -> Vec<&Json> {
+        match self {
+            Json::Arr(items) => items.iter().collect(),
+            _ => panic!("{name}: traceEvents is not an array"),
+        }
+    }
+}
+
+/// All six counter-gate workloads export schema-valid, span-balanced
+/// Chrome trace JSON plus well-formed attribution JSON.
+#[test]
+fn chrome_traces_are_valid_for_all_gate_workloads() {
+    let mut sink = Some(TraceSink::default());
+    let profiles = collect_profiles_traced(&mut sink);
+    let sink = sink.unwrap();
+    assert_eq!(profiles.len(), 6, "expected the six gate workloads");
+    assert_eq!(sink.traces.len(), 6, "one trace per workload");
+
+    for t in &sink.traces {
+        check_chrome_trace(&t.name, &t.trace_json);
+
+        // The attribution export is also valid JSON with the documented
+        // schema and one row per site (plus the unattributed row).
+        let attr = parse(&t.attribution_json);
+        assert_eq!(
+            attr.get("schema").and_then(Json::as_str),
+            Some("ceal-trace-attribution/v1"),
+            "{}: wrong attribution schema",
+            t.name
+        );
+        assert_eq!(
+            attr.get("digest").and_then(Json::as_str),
+            Some(t.digest_hex.as_str()),
+            "{}: attribution digest differs from recorder digest",
+            t.name
+        );
+        match attr.get("sites") {
+            Some(Json::Arr(rows)) => assert!(!rows.is_empty(), "{}: no site rows", t.name),
+            _ => panic!("{}: attribution `sites` is not an array", t.name),
+        }
+        assert!(t.events > 0, "{}: recorded no events", t.name);
+    }
+
+    // The parser itself is strict: malformed documents are rejected.
+    for bad in [
+        "{",
+        "{\"a\": }",
+        "[1, 2,,]",
+        "{\"a\": 1} trailing",
+        "\"unterminated",
+        "{\"a\" 1}",
+    ] {
+        assert!(
+            Parser::new(bad).parse_document().is_err(),
+            "parser accepted malformed `{bad}`"
+        );
+    }
+}

@@ -13,6 +13,14 @@
 //!                                # With --batch, all edits are staged in
 //!                                # one transaction and committed with a
 //!                                # single coalesced propagation pass.
+//! cealc FILE.ceal --run ENTRY --in 1,2,3 --trace-out DIR
+//!                                # additionally record the attributed
+//!                                # event stream and write trace
+//!                                # artifacts into DIR: a Perfetto
+//!                                # timeline (trace.json), per-site
+//!                                # attribution (sites.json/sites.txt),
+//!                                # the final DDG (ddg.dot/ddg.json) and
+//!                                # the stream digest (digest.txt).
 //! ```
 
 use ceal_compiler::pipeline::compile;
@@ -20,11 +28,34 @@ use ceal_runtime::prelude::*;
 use ceal_vm::{load, VmOptions};
 use std::process::ExitCode;
 
+/// Writes the `--trace-out` artifact set: the Perfetto timeline, the
+/// per-site attribution (JSON + table), the live DDG snapshot (DOT +
+/// JSON) and the deterministic stream digest.
+fn write_trace_artifacts(
+    dir: &std::path::Path,
+    rec: &TraceRecorder,
+    e: &Engine,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let sites = e.sites();
+    let attr = rec.attribution(sites);
+    std::fs::write(dir.join("trace.json"), rec.chrome_trace_json(sites))?;
+    std::fs::write(dir.join("sites.json"), attr.to_json())?;
+    std::fs::write(dir.join("sites.txt"), attr.render_table())?;
+    std::fs::write(dir.join("ddg.dot"), e.ddg_dot())?;
+    std::fs::write(dir.join("ddg.json"), e.ddg_json())?;
+    std::fs::write(dir.join("digest.txt"), format!("{}\n", rec.digest_hex()))?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
         eprintln!("usage: cealc FILE.ceal [--emit-cl|--emit-norm|--emit-c]");
-        eprintln!("       cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit IDX=VAL ...]");
+        eprintln!(
+            "       cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit IDX=VAL ...] \
+             [--batch] [--trace-out DIR]"
+        );
         return ExitCode::from(2);
     };
     let src = match std::fs::read_to_string(path) {
@@ -98,7 +129,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let trace_dir = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
         let mut e = Engine::new(b.build());
+        let recorder = trace_dir.as_ref().map(|_| {
+            let rec = TraceRecorder::shared();
+            e.set_event_hook(Box::new(std::rc::Rc::clone(&rec)));
+            rec
+        });
         let in_mods: Vec<ModRef> = ins
             .iter()
             .map(|&v| {
@@ -158,6 +199,17 @@ fn main() -> ExitCode {
                     e.stats().reads_reexecuted - before
                 );
             }
+        }
+        if let (Some(dir), Some(rec)) = (&trace_dir, &recorder) {
+            if let Err(err) = write_trace_artifacts(dir, &rec.borrow(), &e) {
+                eprintln!("cealc: cannot write trace artifacts: {err}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "trace artifacts written to {} (digest {})",
+                dir.display(),
+                rec.borrow().digest_hex()
+            );
         }
         return ExitCode::SUCCESS;
     }

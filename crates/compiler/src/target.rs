@@ -10,7 +10,7 @@
 //! interprets this code against the run-time system.
 
 use ceal_ir::cl::Prim;
-use ceal_runtime::Value;
+use ceal_runtime::{SiteId, SiteTable, Value};
 
 /// A virtual register (one per CL variable).
 pub type Reg = u16;
@@ -77,6 +77,8 @@ pub enum TInstr {
         dst: Reg,
         /// Key operands (empty for plain `modref()`).
         key: Vec<TOperand>,
+        /// Originating program point (event attribution only).
+        site: SiteId,
     },
     /// `modref_init(&ptr[off])`.
     ModrefInit {
@@ -102,6 +104,8 @@ pub enum TInstr {
         init: TFuncId,
         /// Initializer arguments / allocation key.
         args: Vec<TOperand>,
+        /// Originating program point (event attribution only).
+        site: SiteId,
     },
     /// `call f(args)`: nested trampoline (Fig. 12 `closure_run`).
     Call {
@@ -137,6 +141,8 @@ pub enum TInstr {
         f: TFuncId,
         /// Remaining closure arguments.
         args: Vec<TOperand>,
+        /// Originating program point (event attribution only).
+        site: SiteId,
     },
     /// `done`: `return NULL`.
     Done,
@@ -181,6 +187,9 @@ pub struct TProgram {
     pub funcs: Vec<TFunc>,
     /// Translation statistics.
     pub stats: TranslateStats,
+    /// Program points for event attribution, assigned over the
+    /// normalized CL input (see `ceal_ir::sites`).
+    pub sites: SiteTable,
 }
 
 impl TProgram {

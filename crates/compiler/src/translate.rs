@@ -4,8 +4,9 @@
 use std::collections::HashSet;
 
 use ceal_ir::cl::{self, Atom, Block, Cmd, Expr, Jump};
+use ceal_ir::sites::{SiteAssignment, SiteKind as IrSiteKind};
 use ceal_ir::validate::is_normal;
-use ceal_runtime::Value;
+use ceal_runtime::{SiteId, SiteKind, SiteTable, Value};
 
 use crate::target::{Reg, TFunc, TInstr, TOperand, TProgram, TranslateStats};
 
@@ -50,16 +51,32 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
         ..Default::default()
     };
     let mut arities: HashSet<usize> = HashSet::new();
+    // Program points for event attribution, shared verbatim with the
+    // direct CL executor (both assign over the same normalized program,
+    // so the ids — and the event digests built from them — agree).
+    let assign = SiteAssignment::assign(p);
+    let mut sites = SiteTable::new();
+    for s in &assign.sites {
+        let kind = match s.kind {
+            IrSiteKind::Read => SiteKind::Read,
+            IrSiteKind::Alloc => SiteKind::Alloc,
+            IrSiteKind::Modref => SiteKind::Modref,
+        };
+        sites.push(s.name.clone(), kind);
+    }
 
-    for f in &p.funcs {
+    for (fi, f) in p.funcs.iter().enumerate() {
         let nregs = f.var_count().max(1) as u16;
         // Block label -> first pc of the block; resolved in two passes.
         let mut code: Vec<TInstr> = Vec::new();
         let mut block_pc: Vec<u32> = Vec::with_capacity(f.blocks.len());
         let mut patches: Vec<(usize, cl::Label, bool)> = Vec::new(); // (pc, target, is_branch_false)
 
-        for b in &f.blocks {
+        for (li, b) in f.blocks.iter().enumerate() {
             block_pc.push(code.len() as u32);
+            let site = assign
+                .site_at(fi as u32, li as u32)
+                .map_or(SiteId::NONE, SiteId);
             match b {
                 Block::Done => code.push(TInstr::Done),
                 Block::Cond(a, j1, j2) => {
@@ -123,6 +140,7 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                             m: m.0 as Reg,
                             f: g.0,
                             args: args[1..].iter().map(operand).collect(),
+                            site,
                         });
                         continue;
                     }
@@ -170,10 +188,12 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                         Cmd::Modref(d) => code.push(TInstr::Modref {
                             dst: d.0 as Reg,
                             key: Vec::new(),
+                            site,
                         }),
                         Cmd::ModrefKeyed(d, k) => code.push(TInstr::Modref {
                             dst: d.0 as Reg,
                             key: k.iter().map(operand).collect(),
+                            site,
                         }),
                         Cmd::ModrefInit(x, i) => code.push(TInstr::ModrefInit {
                             ptr: x.0 as Reg,
@@ -193,6 +213,7 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
                             words: operand(words),
                             init: init.0,
                             args: args.iter().map(operand).collect(),
+                            site,
                         }),
                         Cmd::Call(g, args) => code.push(TInstr::Call {
                             f: g.0,
@@ -250,7 +271,11 @@ pub fn translate(p: &cl::Program) -> Result<TProgram, TranslateError> {
         });
     }
     stats.mono_instances = arities.len();
-    Ok(TProgram { funcs, stats })
+    Ok(TProgram {
+        funcs,
+        stats,
+        sites,
+    })
 }
 
 #[cfg(test)]

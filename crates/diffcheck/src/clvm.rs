@@ -16,13 +16,17 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ceal_ir::cl::{Atom, Block, Cmd, Expr, Func, FuncRef, Jump, Prim, Program, Var};
+use ceal_ir::sites::{SiteAssignment, SiteKind as IrSiteKind};
 use ceal_runtime::engine::Engine;
-use ceal_runtime::program::{OpaqueFn, ProgramBuilder, Tail};
-use ceal_runtime::value::{FuncId, Value};
+use ceal_runtime::program::{OpaqueFn, ProgramBuilder, SiteKind, SiteTable, Tail};
+use ceal_runtime::value::{FuncId, SiteId, Value};
 
 struct Shared {
     funcs: Vec<Func>,
     engine_ids: RefCell<Vec<FuncId>>,
+    /// Program points over the same normalized CL the VM compiles, so
+    /// both executors attribute events to identical site ids.
+    sites: SiteAssignment,
 }
 
 /// Handle mapping CL functions to engine ids.
@@ -50,9 +54,21 @@ impl ClLoaded {
 /// Registers every function of the (normalized) CL program `p` with the
 /// engine program builder.
 pub fn load_cl(p: &Program, b: &mut ProgramBuilder) -> ClLoaded {
+    let assign = SiteAssignment::assign(p);
+    let mut table = SiteTable::new();
+    for s in &assign.sites {
+        let kind = match s.kind {
+            IrSiteKind::Read => SiteKind::Read,
+            IrSiteKind::Alloc => SiteKind::Alloc,
+            IrSiteKind::Modref => SiteKind::Modref,
+        };
+        table.push(s.name.clone(), kind);
+    }
+    b.set_site_table(table);
     let shared = Rc::new(Shared {
         funcs: p.funcs.clone(),
         engine_ids: RefCell::new(Vec::with_capacity(p.funcs.len())),
+        sites: assign,
     });
     for (i, f) in p.funcs.iter().enumerate() {
         let id = b.declare(&f.name);
@@ -122,7 +138,14 @@ impl ClFn {
         atoms.iter().map(|a| self.atom(env, a)).collect()
     }
 
-    fn exec(&self, e: &mut Engine, env: &mut [Value], c: &Cmd) {
+    fn site_at(&self, fidx: usize, label: u32) -> SiteId {
+        self.shared
+            .sites
+            .site_at(fidx as u32, label)
+            .map_or(SiteId::NONE, SiteId)
+    }
+
+    fn exec(&self, e: &mut Engine, env: &mut [Value], c: &Cmd, site: SiteId) {
         match c {
             Cmd::Nop => {}
             Cmd::Assign(d, expr) => {
@@ -143,11 +166,11 @@ impl ClFn {
                 e.store(p, idx as usize, val);
             }
             Cmd::Modref(d) => {
-                env[d.0 as usize] = Value::ModRef(e.modref_keyed(&[]));
+                env[d.0 as usize] = Value::ModRef(e.modref_keyed_at(site, &[]));
             }
             Cmd::ModrefKeyed(d, key) => {
                 let k = self.atoms(env, key);
-                env[d.0 as usize] = Value::ModRef(e.modref_keyed(&k));
+                env[d.0 as usize] = Value::ModRef(e.modref_keyed_at(site, &k));
             }
             Cmd::ModrefInit(x, i) => {
                 let p = env[x.0 as usize].ptr();
@@ -169,7 +192,7 @@ impl ClFn {
             } => {
                 let w = self.atom(env, words).int();
                 let a = self.atoms(env, args);
-                let loc = e.alloc(w as usize, self.fid(*init), &a);
+                let loc = e.alloc_at(site, w as usize, self.fid(*init), &a);
                 env[dst.0 as usize] = Value::Ptr(loc);
             }
             Cmd::Call(f, args) => {
@@ -214,10 +237,15 @@ impl OpaqueFn for ClFn {
                             "clvm: read continuation must take the read value first"
                         );
                         let rest = self.atoms(&env, &targs[1..]);
-                        return Tail::Read(env[m.0 as usize].modref(), self.fid(*g), rest.into());
+                        return Tail::Read(
+                            env[m.0 as usize].modref(),
+                            self.fid(*g),
+                            rest.into(),
+                            self.site_at(fidx, l.0),
+                        );
                     }
                     Block::Cmd(c, j) => {
-                        self.exec(e, &mut env, c);
+                        self.exec(e, &mut env, c, self.site_at(fidx, l.0));
                         j
                     }
                 };

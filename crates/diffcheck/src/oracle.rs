@@ -37,8 +37,17 @@
 //! hits and purges. Byte accounting is excluded by construction
 //! (`OpCounters` omits it — closure argument-vector sizes legitimately
 //! differ between target code and direct CL execution).
+//!
+//! Stronger still, both engine-backed executors carry a
+//! [`TraceRecorder`] and must produce *bit-identical site-attributed
+//! event streams* (compared by deterministic digest): both assign
+//! program points over the same normalized CL, so every re-execution,
+//! memo probe, steal and trace create/purge must agree event by event
+//! — order and slot indices included, not just totals.
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 
 use ceal_compiler::pipeline::compile;
 use ceal_ir::cl::{FuncRef, Program};
@@ -49,6 +58,7 @@ use ceal_runtime::engine::Engine;
 use ceal_runtime::prng::Prng;
 use ceal_runtime::program::ProgramBuilder;
 use ceal_runtime::value::{FuncId, ModRef, Value};
+use ceal_runtime::TraceRecorder;
 use ceal_suite::input::EditList;
 use ceal_vm::VmOptions;
 
@@ -345,6 +355,13 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
         Err(e) => return fail("normalized-interp-error", e),
     }
 
+    // Event-stream recorders for the digest oracle: both engine-backed
+    // executors assign sites over the same normalized program, so their
+    // attributed event streams — and hence the deterministic digests —
+    // must be bit-identical.
+    let vm_rec = TraceRecorder::shared();
+    let clvm_rec = TraceRecorder::shared();
+
     // Executor 3: full pipeline on the engine (target code via the VM).
     let mut vm = {
         let mut b = ProgramBuilder::new();
@@ -357,20 +374,27 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
             Err(e) => return fail("vm-load", e.to_string()),
         };
         guard("vm-init", || {
-            Session::start(Engine::new(b.build()), entry, tc)
+            let mut e = Engine::new(b.build());
+            e.set_event_hook(Box::new(Rc::clone(&vm_rec)));
+            Session::start(e, entry, tc)
         })?
     };
 
     // Executor 4: normalized CL directly on the engine.
-    let start_clvm = |stage: &str| -> Result<Session, Failure> {
-        guard(stage, || {
-            let mut b = ProgramBuilder::new();
-            let loaded = load_cl(&compiled.normalized, &mut b);
-            let entry = loaded.entry("main").expect("main in normalized CL");
-            Session::start(Engine::new(b.build()), entry, tc)
-        })
-    };
-    let mut clvm = start_clvm("clvm-init")?;
+    let start_clvm =
+        |stage: &str, rec: Option<&Rc<RefCell<TraceRecorder>>>| -> Result<Session, Failure> {
+            guard(stage, || {
+                let mut b = ProgramBuilder::new();
+                let loaded = load_cl(&compiled.normalized, &mut b);
+                let entry = loaded.entry("main").expect("main in normalized CL");
+                let mut e = Engine::new(b.build());
+                if let Some(r) = rec {
+                    e.set_event_hook(Box::new(Rc::clone(r)));
+                }
+                Session::start(e, entry, tc)
+            })
+        };
+    let mut clvm = start_clvm("clvm-init", Some(&clvm_rec))?;
 
     let vm0 = vm.out();
     if vm0 != expected0 {
@@ -391,8 +415,8 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
     // mutation surface, same program, same edits. `route_b`'s one-edit
     // batch commits must match `route_a`'s per-edit loop step for step
     // and leave an identical trace.
-    let mut route_a = start_clvm("route-a-init")?;
-    let mut route_b = start_clvm("route-b-init")?;
+    let mut route_a = start_clvm("route-a-init", None)?;
+    let mut route_b = start_clvm("route-b-init", None)?;
 
     let mut outs = vec![expected0];
     let routes = edit_routes(tc);
@@ -464,6 +488,7 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
     })?;
 
     check_counter_agreement(&vm, &clvm)?;
+    check_digest_agreement(&vm_rec.borrow(), &clvm_rec.borrow())?;
     check_route_state_agreement(&route_a, &route_b)?;
 
     Ok(RunReport { outs })
@@ -491,6 +516,42 @@ fn check_counter_agreement(vm: &Session, clvm: &Session) -> Result<(), Failure> 
         }
     }
     fail("counter-mismatch", table)
+}
+
+/// Asserts that the VM-backed and clvm-backed engines emitted
+/// bit-identical attributed event streams over the whole session, via
+/// the [`TraceRecorder`] digest — the trace-introspection analogue of
+/// [`check_counter_agreement`]. On mismatch the failure detail names
+/// the first diverging event (or the length divergence).
+fn check_digest_agreement(vm: &TraceRecorder, clvm: &TraceRecorder) -> Result<(), Failure> {
+    if vm.digest() == clvm.digest() {
+        return Ok(());
+    }
+    let first_diff = vm
+        .events()
+        .iter()
+        .zip(clvm.events())
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+        .map(|(i, (a, b))| format!("first diff at event {i}: vm {a:?} vs clvm {b:?}"))
+        .unwrap_or_else(|| {
+            format!(
+                "streams agree on a {}-event prefix, lengths {} vs {}",
+                vm.len().min(clvm.len()),
+                vm.len(),
+                clvm.len()
+            )
+        });
+    fail(
+        "digest-mismatch",
+        format!(
+            "event-stream digests diverge: vm {} ({} events) vs clvm {} ({} events); {first_diff}",
+            vm.digest_hex(),
+            vm.len(),
+            clvm.digest_hex(),
+            clvm.len()
+        ),
+    )
 }
 
 /// Asserts that the per-edit and batch routes left the engine in the

@@ -17,6 +17,8 @@ pub mod build;
 pub mod cl;
 pub mod interp;
 pub mod print;
+pub mod sites;
 pub mod validate;
 
 pub use cl::{Atom, Block, Cmd, Expr, Func, FuncRef, Jump, Label, Prim, Program, Ty, Var};
+pub use sites::SiteAssignment;

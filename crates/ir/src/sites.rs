@@ -1,0 +1,161 @@
+//! Stable program-point ("site") assignment over CL programs.
+//!
+//! The run-time's event stream attributes trace work to *sites* —
+//! durable program points identifying the CL read block, allocation or
+//! modifiable-creation command that produced a record (the trace
+//! inspector's answer to "which source-level read is burning
+//! propagation time?"). This module derives those sites from a CL
+//! program deterministically: functions in program order, blocks in
+//! label order, one site per site-bearing command. Every executor that
+//! consumes the *same* (normalized) program — the target-program VM and
+//! the direct CL interpreter — therefore derives the *same* numbering,
+//! which is what lets the differential oracle compare event-stream
+//! digests across executors.
+//!
+//! `ceal-ir` is dependency-free, so sites here are plain `u32` indices
+//! plus names; the compiler and executors convert them into the
+//! run-time's `SiteId`/`SiteTable` representation.
+
+use std::collections::HashMap;
+
+use crate::cl::{Block, Cmd, Program};
+
+/// What kind of command a site marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A `read` block (CL `x := read y`).
+    Read,
+    /// An `alloc` command (keyed allocation).
+    Alloc,
+    /// A `modref()` / `modref_keyed(k)` command.
+    Modref,
+}
+
+/// One assigned program point.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Human-readable name: `{func}@L{label}:{kind}`.
+    pub name: String,
+    /// The command kind the site marks.
+    pub kind: SiteKind,
+}
+
+/// The deterministic site numbering of one CL program.
+#[derive(Clone, Debug, Default)]
+pub struct SiteAssignment {
+    /// Sites in assignment order; the vector index is the site id.
+    pub sites: Vec<Site>,
+    /// (function index, block label) → site id.
+    map: HashMap<(u32, u32), u32>,
+}
+
+impl SiteAssignment {
+    /// Assigns sites over `p`: functions in program order, blocks in
+    /// label order, one site per read/alloc/modref command. Blocks
+    /// whose command bears no site (assignments, writes, calls, ...)
+    /// get none.
+    pub fn assign(p: &Program) -> SiteAssignment {
+        let mut out = SiteAssignment::default();
+        for (fi, f) in p.funcs.iter().enumerate() {
+            for (li, b) in f.blocks.iter().enumerate() {
+                let Block::Cmd(c, _) = b else { continue };
+                let kind = match c {
+                    Cmd::Read(..) => SiteKind::Read,
+                    Cmd::Alloc { .. } => SiteKind::Alloc,
+                    Cmd::Modref(..) | Cmd::ModrefKeyed(..) => SiteKind::Modref,
+                    _ => continue,
+                };
+                let id = out.sites.len() as u32;
+                let tag = match kind {
+                    SiteKind::Read => "read",
+                    SiteKind::Alloc => "alloc",
+                    SiteKind::Modref => "modref",
+                };
+                out.sites.push(Site {
+                    name: format!("{}@L{}:{}", f.name, li, tag),
+                    kind,
+                });
+                out.map.insert((fi as u32, li as u32), id);
+            }
+        }
+        out
+    }
+
+    /// The site assigned to block `label` of function `func`, if any.
+    pub fn site_at(&self, func: u32, label: u32) -> Option<u32> {
+        self.map.get(&(func, label)).copied()
+    }
+
+    /// Number of assigned sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no sites were assigned.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cl::{Atom, Func, FuncRef, Jump, Label, Ty, Var};
+
+    fn func(name: &str, blocks: Vec<Block>) -> Func {
+        Func {
+            name: name.into(),
+            params: vec![(Ty::ModRef, Var(0))],
+            locals: vec![(Ty::Int, Var(1))],
+            entry: Label(0),
+            is_core: true,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn assignment_is_dense_and_ordered() {
+        let p = Program {
+            funcs: vec![
+                func(
+                    "f",
+                    vec![
+                        Block::Cmd(Cmd::Read(Var(1), Var(0)), Jump::Goto(Label(1))),
+                        Block::Cmd(Cmd::Write(Var(0), Atom::Int(1)), Jump::Goto(Label(2))),
+                        Block::Done,
+                    ],
+                ),
+                func(
+                    "g",
+                    vec![
+                        Block::Cmd(Cmd::Modref(Var(1)), Jump::Goto(Label(1))),
+                        Block::Cmd(
+                            Cmd::Alloc {
+                                dst: Var(1),
+                                words: Atom::Int(2),
+                                init: FuncRef(0),
+                                args: vec![],
+                            },
+                            Jump::Goto(Label(2)),
+                        ),
+                        Block::Done,
+                    ],
+                ),
+            ],
+        };
+        let s = SiteAssignment::assign(&p);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sites[0].name, "f@L0:read");
+        assert_eq!(s.sites[0].kind, SiteKind::Read);
+        assert_eq!(s.sites[1].name, "g@L0:modref");
+        assert_eq!(s.sites[2].name, "g@L1:alloc");
+        assert_eq!(s.sites[2].kind, SiteKind::Alloc);
+        assert_eq!(s.site_at(0, 0), Some(0));
+        assert_eq!(s.site_at(0, 1), None, "write blocks bear no site");
+        assert_eq!(s.site_at(1, 1), Some(2));
+        // Re-assignment is deterministic.
+        let s2 = SiteAssignment::assign(&p);
+        let names: Vec<_> = s2.sites.iter().map(|x| x.name.clone()).collect();
+        assert_eq!(names, vec!["f@L0:read", "g@L0:modref", "g@L1:alloc"]);
+    }
+}

@@ -38,7 +38,7 @@ use crate::obs::{Event, PhaseKind, Profile, Profiler, TraceKind};
 use crate::order::{OrderList, OrderStats, Time};
 use crate::program::{ArgVec, Program, Tail};
 use crate::stats::{cost, OpCounters, Stats};
-use crate::value::{FuncId, Interner, Loc, ModRef, StrId, Value};
+use crate::value::{FuncId, Interner, Loc, ModRef, SiteId, StrId, Value};
 
 /// Simulation of an SML-style run-time (boxed values + tracing GC),
 /// used by the `ceal-sasml` crate to reproduce the paper's Table 2 /
@@ -178,6 +178,9 @@ struct ReadNode {
     next_reader: u32,
     queued: bool,
     live: bool,
+    /// Program point that performed the read ([`SiteId::NONE`] for
+    /// hand-written natives).
+    site: SiteId,
 }
 
 #[derive(Debug)]
@@ -200,6 +203,8 @@ struct AllocNode {
     loc: Loc,
     time: Time,
     live: bool,
+    /// Program point that performed the allocation.
+    site: SiteId,
 }
 
 /// What a timestamp in the trace stands for.
@@ -228,8 +233,55 @@ fn trace_kind(p: Payload) -> TraceKind {
     }
 }
 
+/// The record-slot index reported to event hooks for a payload
+/// (`u32::MAX` for bare timestamps, which have no record).
+fn payload_index(p: Payload) -> u32 {
+    match p {
+        Payload::Plain => u32::MAX,
+        Payload::Read(r) | Payload::ReadEnd(r) => r,
+        Payload::Write(w) => w,
+        Payload::Alloc(a) => a,
+    }
+}
+
 /// Reserved initializer id used by [`Engine::modref`]; never dispatched.
 const MODREF_INIT: FuncId = FuncId(u32::MAX - 1);
+
+/// One live trace record handed to [`Engine::walk_ddg`]'s visitor.
+/// Positions (`start`/`end`/`at`) are dense indices in the trace walk;
+/// `parent` is the innermost enclosing read, if any.
+enum DdgRecord<'a> {
+    Read {
+        read: u32,
+        node: &'a ReadNode,
+        start: u64,
+        end: u64,
+        parent: Option<u32>,
+    },
+    Write {
+        write: u32,
+        node: &'a WriteNode,
+        at: u64,
+        parent: Option<u32>,
+    },
+    Alloc {
+        alloc: u32,
+        node: &'a AllocNode,
+        at: u64,
+        parent: Option<u32>,
+    },
+}
+
+/// Escapes `s` for a double-quoted DOT label.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Escapes `s` for a double-quoted JSON string (names and rendered
+/// values here are ASCII identifiers; control characters do not occur).
+fn dquote_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 /// Memo and allocation tables are keyed by values that are already
 /// hashes; pass them through unchanged instead of re-hashing.
@@ -627,12 +679,13 @@ impl Engine {
         if let Some(p) = &mut self.profiler {
             p.begin(kind);
         }
+        self.emit(Event::PhaseBegin { kind });
         base
     }
 
     /// Closes the open profile phase and reports order-maintenance
     /// deltas to the event hook.
-    fn finish_phase(&mut self, order_base: OrderStats) {
+    fn finish_phase(&mut self, kind: PhaseKind, order_base: OrderStats) {
         self.sync_order_stats();
         let os = self.ord.stats();
         let relabels = os.group_relabels - order_base.group_relabels;
@@ -653,6 +706,7 @@ impl Engine {
             let live_bytes = self.stats.live_bytes as u64;
             p.end(snap, trace_len, live_bytes);
         }
+        self.emit(Event::PhaseEnd { kind });
     }
 
     /// Run-time statistics (counters and live-space accounting).
@@ -863,7 +917,7 @@ impl Engine {
         self.window_end = None;
         self.run_chain(f, ArgVec::from_slice(args));
         self.executing = false;
-        self.finish_phase(order_base);
+        self.finish_phase(PhaseKind::InitialRun, order_base);
     }
 
     /// Propagates all pending modifications (`propagate`), re-executing
@@ -880,7 +934,7 @@ impl Engine {
         let order_base = self.begin_phase(PhaseKind::Propagate);
         self.stats.propagations += 1;
         self.propagate_loop();
-        self.finish_phase(order_base);
+        self.finish_phase(PhaseKind::Propagate, order_base);
     }
 
     /// The propagation pass shared by [`Engine::propagate`] and
@@ -936,7 +990,7 @@ impl Engine {
         for &loc in kills {
             self.kill(loc);
         }
-        self.finish_phase(order_base);
+        self.finish_phase(PhaseKind::Batch, order_base);
     }
 
     /// Purges the entire core trace, returning the engine to its
@@ -968,7 +1022,7 @@ impl Engine {
         self.cur = self.ord.prev(self.ord.last());
         self.window_end = None;
         self.core_ran = false;
-        self.finish_phase(order_base);
+        self.finish_phase(PhaseKind::Purge, order_base);
     }
 
     // ------------------------------------------------------------------
@@ -995,7 +1049,7 @@ impl Engine {
             self.writes[after as usize].value
         };
         let idx = self.alloc_write_slot();
-        let t = self.insert_time(Payload::Write(idx));
+        let t = self.insert_time(Payload::Write(idx), SiteId::NONE);
         let node = &mut self.writes[idx as usize];
         node.modref = m;
         node.value = v;
@@ -1045,15 +1099,22 @@ impl Engine {
     /// create many should use [`Engine::modref_keyed`] so reuse lookups
     /// stay fast and re-executions re-pair with "their" modifiable.
     pub fn modref(&mut self) -> ModRef {
-        let loc = self.alloc(1, MODREF_INIT, &[]);
-        self.heap.load(loc, 0).modref()
+        self.modref_keyed_at(SiteId::NONE, &[])
     }
 
     /// Creates a standalone modifiable whose allocation is keyed by
     /// `key` (typically the data the modifiable is "about"), exactly
     /// like the key arguments of [`Engine::alloc`].
     pub fn modref_keyed(&mut self, key: &[Value]) -> ModRef {
-        let loc = self.alloc(1, MODREF_INIT, key);
+        self.modref_keyed_at(SiteId::NONE, key)
+    }
+
+    /// [`Engine::modref_keyed`] with an explicit program-point
+    /// attribution; the executors (VM, clvm) route every compiled
+    /// `modref`/`modref_keyed` command through here so event hooks see
+    /// the originating site. The site never enters the allocation key.
+    pub fn modref_keyed_at(&mut self, site: SiteId, key: &[Value]) -> ModRef {
+        let loc = self.alloc_at(site, 1, MODREF_INIT, key);
         self.heap.load(loc, 0).modref()
     }
 
@@ -1111,18 +1172,27 @@ impl Engine {
     ///
     /// Panics if called outside core execution.
     pub fn alloc(&mut self, words: usize, init: FuncId, args: &[Value]) -> Loc {
+        self.alloc_at(SiteId::NONE, words, init, args)
+    }
+
+    /// [`Engine::alloc`] with an explicit program-point attribution.
+    /// The site is carried on the allocation record and reported in
+    /// every event the record produces (create, steal, purge); it is
+    /// deliberately excluded from the allocation key, so attributed and
+    /// unattributed runs make identical stealing decisions.
+    pub fn alloc_at(&mut self, site: SiteId, words: usize, init: FuncId, args: &[Value]) -> Loc {
         assert!(self.executing, "core alloc outside core execution");
         self.sim_op();
         let key_hash = hash_key(0xA110C, words as u64, init.0 as u64, args, None);
         if self.config.keyed_alloc && self.window_end.is_some() {
             if let Some(idx) = self.find_stealable(key_hash, words, init, args) {
-                return self.steal_alloc(idx);
+                return self.steal_alloc(idx, site);
             }
         }
         let loc = self.heap.alloc_block(words, BlockKind::Core);
         self.stats.grow(words * cost::WORD);
         let idx = self.alloc_alloc_slot();
-        let t = self.insert_time(Payload::Alloc(idx));
+        let t = self.insert_time(Payload::Alloc(idx), site);
         let node = &mut self.allocs[idx as usize];
         node.key_hash = key_hash;
         node.words = words as u32;
@@ -1131,6 +1201,7 @@ impl Engine {
         node.loc = loc;
         node.time = t;
         node.live = true;
+        node.site = site;
         self.stats.allocs_created += 1;
         self.stats
             .grow(cost::ALLOC_NODE + args.len() * cost::ARG_WORD);
@@ -1261,7 +1332,7 @@ impl Engine {
                     f = g;
                     args = a;
                 }
-                Tail::Read(m, g, a) => {
+                Tail::Read(m, g, a, site) => {
                     // The memo probe already resolves the current value
                     // and memo key; hand both to `new_read` on a miss so
                     // the write-list walk and hash run once per step.
@@ -1270,14 +1341,14 @@ impl Engine {
                         let v = self.value_at_cur_for(m);
                         let key_hash = hash_key(0x5EAD, m.0 as u64, g.0 as u64, &a, Some(v));
                         if let Some(hit) = self.find_memo_match(m, g, &a, v, key_hash) {
-                            self.splice_to(hit);
+                            self.splice_to(hit, site);
                             break;
                         }
                         self.stats.memo_misses += 1;
-                        self.emit(Event::MemoMiss);
+                        self.emit(Event::MemoMiss { site });
                         pre = Some((v, key_hash));
                     }
-                    let (r, v) = self.new_read(m, g, a, pre);
+                    let (r, v) = self.new_read(m, g, a, pre, site);
                     self.open.push(r);
                     args.clear();
                     args.push(v);
@@ -1290,7 +1361,8 @@ impl Engine {
         // first, so intervals nest properly.
         while self.open.len() > base {
             let r = self.open.pop().expect("open stack underflow");
-            let t = self.insert_time(Payload::ReadEnd(r));
+            let site = self.reads[r as usize].site;
+            let t = self.insert_time(Payload::ReadEnd(r), site);
             self.reads[r as usize].end = t;
         }
     }
@@ -1304,6 +1376,7 @@ impl Engine {
         f: FuncId,
         args: ArgVec,
         pre: Option<(Value, u64)>,
+        site: SiteId,
     ) -> (u32, Value) {
         self.sim_op();
         if self.debug_log {
@@ -1314,7 +1387,7 @@ impl Engine {
             );
         }
         let idx = self.alloc_read_slot();
-        let t = self.insert_time(Payload::Read(idx));
+        let t = self.insert_time(Payload::Read(idx), site);
         if self.debug_log {
             eprintln!("    (new read id r{idx} at {t:?}@{})", self.ord.label(t));
         }
@@ -1336,6 +1409,7 @@ impl Engine {
         node.end = Time::NONE;
         node.queued = false;
         node.live = true;
+        node.site = site;
         self.stats.reads_created += 1;
         self.stats.grow(cost::READ_NODE + arg_bytes);
         self.link_reader_sorted(m, idx);
@@ -1391,7 +1465,7 @@ impl Engine {
 
     /// Reuses read `hit`'s subtrace: purge the old trace between the
     /// insertion point and `hit`, then continue after `hit`'s interval.
-    fn splice_to(&mut self, hit: u32) {
+    fn splice_to(&mut self, hit: u32, site: SiteId) {
         if self.debug_log {
             eprintln!(
                 "  MEMO-HIT r{hit} func={} modref={:?} seg=({}..{}) cur@{}",
@@ -1403,7 +1477,7 @@ impl Engine {
             );
         }
         self.stats.memo_hits += 1;
-        self.emit(Event::MemoHit { read: hit });
+        self.emit(Event::MemoHit { read: hit, site });
         let start = self.reads[hit as usize].start;
         let end = self.reads[hit as usize].end;
         self.trash(self.cur, start);
@@ -1434,7 +1508,8 @@ impl Engine {
         let key_hash = self.reads[r as usize].key_hash;
         Bucket::add(&mut self.memo_table, &mut self.spill, key_hash, r);
         self.stats.reads_reexecuted += 1;
-        self.emit(Event::ReadReexecuted { read: r });
+        let site = self.reads[r as usize].site;
+        self.emit(Event::ReadReexecuted { read: r, site });
 
         let f = self.reads[r as usize].func;
         let args = ArgVec::prepend(v, &self.reads[r as usize].args);
@@ -1502,7 +1577,7 @@ impl Engine {
     /// pluck a block out of a region that a later memo match reuses,
     /// leaving that reused segment reading the block in its old role
     /// while the block serves a new one.)
-    fn steal_alloc(&mut self, idx: u32) -> Loc {
+    fn steal_alloc(&mut self, idx: u32, site: SiteId) -> Loc {
         if self.debug_log {
             eprintln!(
                 "  STEAL a{idx} loc={:?} key_args={:?} at@{} cur@{}",
@@ -1513,7 +1588,8 @@ impl Engine {
             );
         }
         self.stats.allocs_stolen += 1;
-        self.emit(Event::AllocStolen { alloc: idx });
+        self.emit(Event::AllocStolen { alloc: idx, site });
+        self.allocs[idx as usize].site = site;
         let t = self.allocs[idx as usize].time;
         self.trash(self.cur, t);
         self.cur = t;
@@ -1573,8 +1649,17 @@ impl Engine {
                 }
             }
             self.stats.nodes_purged += 1;
+            // Slot fields survive the purge (slots are recycled, not
+            // cleared), so the site is still readable here.
+            let site = match payload {
+                Payload::Read(r) | Payload::ReadEnd(r) => self.reads[r as usize].site,
+                Payload::Alloc(a) => self.allocs[a as usize].site,
+                Payload::Plain | Payload::Write(_) => SiteId::NONE,
+            };
             self.emit(Event::TracePurged {
                 kind: trace_kind(payload),
+                index: payload_index(payload),
+                site,
             });
             cur = next;
         }
@@ -1893,6 +1978,7 @@ impl Engine {
                 next_reader: NIL,
                 queued: false,
                 live: false,
+                site: SiteId::NONE,
             });
             (self.reads.len() - 1) as u32
         }
@@ -1926,12 +2012,13 @@ impl Engine {
                 loc: Loc(0),
                 time: Time::NONE,
                 live: false,
+                site: SiteId::NONE,
             });
             (self.allocs.len() - 1) as u32
         }
     }
 
-    fn insert_time(&mut self, p: Payload) -> Time {
+    fn insert_time(&mut self, p: Payload, site: SiteId) -> Time {
         let t = self.ord.insert_after(self.cur);
         if t.index() >= self.payloads.len() {
             self.payloads.resize(t.index() + 1, Payload::Plain);
@@ -1941,6 +2028,8 @@ impl Engine {
         self.stats.grow(cost::TIME_NODE);
         self.emit(Event::TraceCreated {
             kind: trace_kind(p),
+            index: payload_index(p),
+            site,
         });
         t
     }
@@ -2089,6 +2178,240 @@ impl Engine {
             t = self.ord.next(t);
         }
         out
+    }
+
+    /// The program's site table (program points for event attribution;
+    /// empty for hand-assembled native programs).
+    pub fn sites(&self) -> &crate::program::SiteTable {
+        self.program.sites()
+    }
+
+    /// Walks the live trace once, handing every record to `visit` as a
+    /// [`DdgRecord`] — the shared traversal behind [`Engine::ddg_dot`]
+    /// and [`Engine::ddg_json`]. Sequence numbers are positions in the
+    /// trace walk (dense, deterministic), read intervals are
+    /// `[start, end]` in those positions, and `parent` is the innermost
+    /// read whose interval contains the record (`None` at top level).
+    fn walk_ddg(&self, mut visit: impl FnMut(DdgRecord<'_>)) {
+        // end-timestamp index -> (read, start seq), for closing intervals.
+        let mut open: Vec<(u32, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut t = self.ord.next(self.ord.first());
+        while t != self.ord.last() {
+            seq += 1;
+            let parent = open.last().map(|&(r, _)| r);
+            match self.payloads[t.index()] {
+                Payload::Plain => {}
+                Payload::Read(r) => {
+                    if self.reads[r as usize].live {
+                        open.push((r, seq));
+                    }
+                }
+                Payload::ReadEnd(r) => {
+                    if self.reads[r as usize].live {
+                        let (rr, start) = open.pop().expect("DDG read intervals must nest");
+                        debug_assert_eq!(rr, r, "DDG read intervals must nest");
+                        let rd = &self.reads[r as usize];
+                        visit(DdgRecord::Read {
+                            read: r,
+                            node: rd,
+                            start,
+                            end: seq,
+                            parent: open.last().map(|&(p, _)| p),
+                        });
+                    }
+                }
+                Payload::Write(w) => {
+                    visit(DdgRecord::Write {
+                        write: w,
+                        node: &self.writes[w as usize],
+                        at: seq,
+                        parent,
+                    });
+                }
+                Payload::Alloc(a) => {
+                    visit(DdgRecord::Alloc {
+                        alloc: a,
+                        node: &self.allocs[a as usize],
+                        at: seq,
+                        parent,
+                    });
+                }
+            }
+            t = self.ord.next(t);
+        }
+        debug_assert!(open.is_empty(), "unclosed read interval in DDG walk");
+    }
+
+    /// Renders the live dynamic dependence graph as Graphviz DOT:
+    /// modifiables (ellipses) → reads (boxes, labelled with closure,
+    /// site and timestamp interval) → writes (diamonds) → modifiables,
+    /// with dotted containment edges from each read to the records its
+    /// interval contains. Deterministic; size is O(trace).
+    pub fn ddg_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let sites = self.program.sites();
+        let mut out = String::from(
+            "digraph ddg {\n  rankdir=LR;\n  node [fontname=\"monospace\" fontsize=10];\n",
+        );
+        let mut modrefs: Vec<u32> = Vec::new();
+        let mention = |out: &mut String, m: ModRef, modrefs: &mut Vec<u32>| {
+            if !modrefs.contains(&m.0) {
+                modrefs.push(m.0);
+                let _ = writeln!(out, "  m{} [label=\"m{}\" shape=ellipse];", m.0, m.0);
+            }
+        };
+        self.walk_ddg(|rec| match rec {
+            DdgRecord::Read {
+                read,
+                node,
+                start,
+                end,
+                parent,
+            } => {
+                mention(&mut out, node.modref, &mut modrefs);
+                let _ = writeln!(
+                    out,
+                    "  r{read} [label=\"read {}\\n{} @ {}\\n[{start},{end}]{}\" shape=box];",
+                    node.modref.0,
+                    dot_escape(self.program.name(node.func)),
+                    dot_escape(sites.name(node.site)),
+                    if node.queued { "\\ndirty" } else { "" },
+                );
+                let _ = writeln!(out, "  m{} -> r{read};", node.modref.0);
+                if let Some(p) = parent {
+                    let _ = writeln!(out, "  r{p} -> r{read} [style=dotted];");
+                }
+            }
+            DdgRecord::Write {
+                write,
+                node,
+                parent,
+                ..
+            } => {
+                mention(&mut out, node.modref, &mut modrefs);
+                let _ = writeln!(
+                    out,
+                    "  w{write} [label=\"write {:?}\" shape=diamond];",
+                    node.value
+                );
+                let _ = writeln!(out, "  w{write} -> m{};", node.modref.0);
+                if let Some(p) = parent {
+                    let _ = writeln!(out, "  r{p} -> w{write};");
+                }
+            }
+            DdgRecord::Alloc {
+                alloc,
+                node,
+                parent,
+                ..
+            } => {
+                let init = if node.init == MODREF_INIT {
+                    "modref"
+                } else {
+                    self.program.name(node.init)
+                };
+                let _ = writeln!(
+                    out,
+                    "  a{alloc} [label=\"alloc {:?} ({}w, {})\\n{}\" shape=note];",
+                    node.loc,
+                    node.words,
+                    dot_escape(init),
+                    dot_escape(sites.name(node.site)),
+                );
+                if let Some(p) = parent {
+                    let _ = writeln!(out, "  r{p} -> a{alloc};");
+                }
+            }
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// The live dynamic dependence graph as JSON (schema
+    /// `ceal-ddg/v1`): arrays of read, write and allocation records
+    /// with trace-walk positions as timestamp intervals, plus the
+    /// modifiable → read and read → write/alloc edges implied by the
+    /// fields. Deterministic; pairs with [`Engine::ddg_dot`].
+    pub fn ddg_json(&self) -> String {
+        use std::fmt::Write as _;
+        let sites = self.program.sites();
+        let mut reads = String::new();
+        let mut writes = String::new();
+        let mut allocs = String::new();
+        let parent_json = |p: Option<u32>| match p {
+            Some(p) => p as i64,
+            None => -1,
+        };
+        self.walk_ddg(|rec| match rec {
+            DdgRecord::Read {
+                read,
+                node,
+                start,
+                end,
+                parent,
+            } => {
+                if !reads.is_empty() {
+                    reads.push(',');
+                }
+                let _ = write!(
+                    reads,
+                    "{{\"id\":{read},\"modref\":{},\"func\":\"{}\",\"site\":\"{}\",\
+                     \"start\":{start},\"end\":{end},\"parent\":{},\"dirty\":{}}}",
+                    node.modref.0,
+                    dquote_escape(self.program.name(node.func)),
+                    dquote_escape(sites.name(node.site)),
+                    parent_json(parent),
+                    node.queued,
+                );
+            }
+            DdgRecord::Write {
+                write,
+                node,
+                at,
+                parent,
+            } => {
+                if !writes.is_empty() {
+                    writes.push(',');
+                }
+                let _ = write!(
+                    writes,
+                    "{{\"id\":{write},\"modref\":{},\"value\":\"{}\",\"at\":{at},\"parent\":{}}}",
+                    node.modref.0,
+                    dquote_escape(&format!("{:?}", node.value)),
+                    parent_json(parent),
+                );
+            }
+            DdgRecord::Alloc {
+                alloc,
+                node,
+                at,
+                parent,
+            } => {
+                if !allocs.is_empty() {
+                    allocs.push(',');
+                }
+                let init = if node.init == MODREF_INIT {
+                    "modref"
+                } else {
+                    self.program.name(node.init)
+                };
+                let _ = write!(
+                    allocs,
+                    "{{\"id\":{alloc},\"loc\":{},\"words\":{},\"init\":\"{}\",\
+                     \"site\":\"{}\",\"at\":{at},\"parent\":{}}}",
+                    node.loc.0,
+                    node.words,
+                    dquote_escape(init),
+                    dquote_escape(sites.name(node.site)),
+                    parent_json(parent),
+                );
+            }
+        });
+        format!(
+            "{{\"schema\":\"ceal-ddg/v1\",\"reads\":[{reads}],\
+             \"writes\":[{writes}],\"allocs\":[{allocs}]}}"
+        )
     }
 
     /// Checks internal invariants (test support): order-list linkage,

@@ -58,18 +58,22 @@ pub mod value;
 pub use batch::{EditBatch, Mutator};
 pub use engine::{Engine, EngineConfig, SmlSim};
 pub use error::CealError;
+#[cfg(feature = "event-hooks")]
+pub use obs::{Attribution, SiteRow, TraceRecorder};
 pub use obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
-pub use program::{NativeFn, OpaqueFn, Program, ProgramBuilder, Tail};
+pub use program::{NativeFn, OpaqueFn, Program, ProgramBuilder, Site, SiteKind, SiteTable, Tail};
 pub use stats::{OpCounters, Stats};
-pub use value::{FuncId, Interner, Loc, ModRef, StrId, Value};
+pub use value::{FuncId, Interner, Loc, ModRef, SiteId, StrId, Value};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::batch::{EditBatch, Mutator};
     pub use crate::engine::{Engine, EngineConfig, SmlSim};
     pub use crate::error::CealError;
+    #[cfg(feature = "event-hooks")]
+    pub use crate::obs::TraceRecorder;
     pub use crate::obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
-    pub use crate::program::{Program, ProgramBuilder, Tail};
+    pub use crate::program::{Program, ProgramBuilder, SiteKind, SiteTable, Tail};
     pub use crate::stats::{OpCounters, Stats};
-    pub use crate::value::{FuncId, Loc, ModRef, Value};
+    pub use crate::value::{FuncId, Loc, ModRef, SiteId, Value};
 }

@@ -29,6 +29,7 @@
 //!    as they happen.
 
 use crate::stats::OpCounters;
+use crate::value::SiteId;
 use std::fmt::Write as _;
 
 /// What kind of trace record an [`Event::TraceCreated`] /
@@ -47,44 +48,104 @@ pub enum TraceKind {
     Alloc,
 }
 
+impl TraceKind {
+    /// Short lowercase name, used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Plain => "plain",
+            TraceKind::Read => "read",
+            TraceKind::ReadEnd => "read_end",
+            TraceKind::Write => "write",
+            TraceKind::Alloc => "alloc",
+        }
+    }
+
+    #[cfg(feature = "event-hooks")]
+    fn tag(self) -> u64 {
+        match self {
+            TraceKind::Plain => 0,
+            TraceKind::Read => 1,
+            TraceKind::ReadEnd => 2,
+            TraceKind::Write => 3,
+            TraceKind::Alloc => 4,
+        }
+    }
+}
+
 /// One engine event, delivered to an installed [`EventHook`].
 ///
-/// Record indices (`read`, `alloc`) are engine-internal slot numbers:
-/// stable for the lifetime of the record, reused after it is purged.
-/// They are useful for correlating events (the same `read` index shows
-/// up in `ReadReexecuted` and later `TracePurged` does not carry it),
-/// not as durable identifiers.
+/// Record indices (`read`, `alloc`, `index`) are engine-internal slot
+/// numbers: stable for the lifetime of the record (a `TracePurged`
+/// carries the same index as its `TraceCreated`, closing the record's
+/// lifecycle), but reused after the record is purged. The durable
+/// identifier is the [`SiteId`]: the compiler-attributed program point
+/// that produced the record, resolvable against the program's
+/// [`crate::program::SiteTable`]. Records created outside any
+/// attributed program point (hand-written natives, meta-level inputs)
+/// carry [`SiteId::NONE`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// Change propagation re-executes a dirty read.
     ReadReexecuted {
         /// Engine slot index of the read.
         read: u32,
+        /// The read's program point.
+        site: SiteId,
     },
     /// A re-executed read matched a trace segment in the discarded
     /// window; the segment was spliced in instead of re-executing.
     MemoHit {
         /// Engine slot index of the matched read.
         read: u32,
+        /// Program point of the probing read.
+        site: SiteId,
     },
     /// A read performed during re-execution probed the memo table and
     /// found nothing reusable.
-    MemoMiss,
+    MemoMiss {
+        /// Program point of the probing read.
+        site: SiteId,
+    },
     /// A keyed allocation stole a matching block from the discarded
     /// window, preserving location identity.
     AllocStolen {
         /// Engine slot index of the stolen allocation record.
         alloc: u32,
+        /// Program point of the stealing allocation.
+        site: SiteId,
     },
     /// A trace record (timestamp) was created.
     TraceCreated {
         /// The record's kind.
         kind: TraceKind,
+        /// Engine slot index of the record (`u32::MAX` for
+        /// [`TraceKind::Plain`] records, which have no slot).
+        index: u32,
+        /// Program point that created the record.
+        site: SiteId,
     },
-    /// A trace record was purged ("trashed").
+    /// A trace record was purged ("trashed"). Carries the same `index`
+    /// (and `site`) as the corresponding [`Event::TraceCreated`].
     TracePurged {
         /// The record's kind.
         kind: TraceKind,
+        /// Engine slot index of the record (`u32::MAX` for
+        /// [`TraceKind::Plain`] records).
+        index: u32,
+        /// Program point that created the record.
+        site: SiteId,
+    },
+    /// An engine phase (a `run_core`, `propagate`, batch commit or
+    /// `clear_core` call) began. Phases never nest.
+    PhaseBegin {
+        /// The phase's kind.
+        kind: PhaseKind,
+    },
+    /// The open engine phase ended. Always paired with the preceding
+    /// [`Event::PhaseBegin`] of the same kind.
+    PhaseEnd {
+        /// The phase's kind.
+        kind: PhaseKind,
     },
     /// Order-maintenance work performed since the last report
     /// (delivered at the end of each `run_core`/`propagate`, with
@@ -139,10 +200,11 @@ impl EventHook for CountingHook {
         match ev {
             Event::ReadReexecuted { .. } => self.reads_reexecuted += 1,
             Event::MemoHit { .. } => self.memo_hits += 1,
-            Event::MemoMiss => self.memo_misses += 1,
+            Event::MemoMiss { .. } => self.memo_misses += 1,
             Event::AllocStolen { .. } => self.allocs_stolen += 1,
             Event::TraceCreated { .. } => self.trace_created += 1,
             Event::TracePurged { .. } => self.trace_purged += 1,
+            Event::PhaseBegin { .. } | Event::PhaseEnd { .. } => {}
             Event::OrderMaintenance {
                 relabels,
                 renumbers,
@@ -175,6 +237,16 @@ impl PhaseKind {
             PhaseKind::Propagate => "propagate",
             PhaseKind::Batch => "batch",
             PhaseKind::Purge => "purge",
+        }
+    }
+
+    #[cfg(feature = "event-hooks")]
+    fn tag(self) -> u64 {
+        match self {
+            PhaseKind::InitialRun => 0,
+            PhaseKind::Propagate => 1,
+            PhaseKind::Batch => 2,
+            PhaseKind::Purge => 3,
         }
     }
 }
@@ -276,6 +348,449 @@ impl Profiler {
 impl<H: EventHook> EventHook for std::rc::Rc<std::cell::RefCell<H>> {
     fn on_event(&mut self, ev: Event) {
         self.borrow_mut().on_event(ev);
+    }
+}
+
+/// Records the full engine event stream for post-hoc inspection:
+/// timelines, per-site attribution and a deterministic digest
+/// (DESIGN.md §12).
+///
+/// Install a shared handle with
+/// [`crate::engine::Engine::set_event_hook`]:
+///
+/// ```
+/// use std::{cell::RefCell, rc::Rc};
+/// use ceal_runtime::prelude::*;
+/// use ceal_runtime::obs::TraceRecorder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let noop = b.native("noop", |_e, _a| Tail::Done);
+/// let mut e = Engine::new(b.build());
+/// let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+/// e.set_event_hook(Box::new(Rc::clone(&rec)));
+/// e.run_core(noop, &[]);
+/// assert!(!rec.borrow().is_empty());
+/// ```
+///
+/// The recorder is an append-only arena of [`Event`]s (which are
+/// `Copy`, so recording is one `Vec` push) plus a running digest folded
+/// at record time — exporting mid-run reads `&self` and cannot perturb
+/// subsequent recording. Because every event is a deterministic
+/// function of (program, inputs, edit script), the digest is a
+/// cross-executor oracle: two executors of the same program must
+/// produce bit-identical digests (asserted by `diffcheck`).
+///
+/// Only available with the `event-hooks` cargo feature (default-on);
+/// without it the engine has no hook surface and this type is absent.
+#[cfg(feature = "event-hooks")]
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    events: Vec<Event>,
+    digest: u64,
+}
+
+#[cfg(feature = "event-hooks")]
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(feature = "event-hooks")]
+fn mix(h: u64, x: u64) -> u64 {
+    let h = (h ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 29)
+}
+
+#[cfg(feature = "event-hooks")]
+fn fold_event(h: u64, ev: &Event) -> u64 {
+    let site = |s: SiteId| s.0 as u64;
+    match *ev {
+        Event::ReadReexecuted { read, site: s } => mix(mix(mix(h, 1), read as u64), site(s)),
+        Event::MemoHit { read, site: s } => mix(mix(mix(h, 2), read as u64), site(s)),
+        Event::MemoMiss { site: s } => mix(mix(h, 3), site(s)),
+        Event::AllocStolen { alloc, site: s } => mix(mix(mix(h, 4), alloc as u64), site(s)),
+        Event::TraceCreated {
+            kind,
+            index,
+            site: s,
+        } => mix(mix(mix(mix(h, 5), kind.tag()), index as u64), site(s)),
+        Event::TracePurged {
+            kind,
+            index,
+            site: s,
+        } => mix(mix(mix(mix(h, 6), kind.tag()), index as u64), site(s)),
+        Event::PhaseBegin { kind } => mix(mix(h, 7), kind.tag()),
+        Event::PhaseEnd { kind } => mix(mix(h, 8), kind.tag()),
+        Event::OrderMaintenance {
+            relabels,
+            renumbers,
+            splits,
+            merges,
+        } => mix(
+            mix(mix(mix(mix(h, 9), relabels), renumbers), splits),
+            merges,
+        ),
+    }
+}
+
+#[cfg(feature = "event-hooks")]
+impl EventHook for TraceRecorder {
+    fn on_event(&mut self, ev: Event) {
+        self.digest = fold_event(self.digest, &ev);
+        self.events.push(ev);
+    }
+}
+
+#[cfg(feature = "event-hooks")]
+impl TraceRecorder {
+    /// Digest seed (nonzero so an empty stream has a recognizable
+    /// digest distinct from `0`).
+    const SEED: u64 = 0xCEA1_7ACE;
+
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            digest: Self::SEED,
+        }
+    }
+
+    /// A shared handle suitable for both keeping and installing:
+    /// `Rc<RefCell<TraceRecorder>>` implements [`EventHook`] through
+    /// the forwarding impl, so clone one end into
+    /// [`crate::engine::Engine::set_event_hook`] and keep the other.
+    pub fn shared() -> std::rc::Rc<std::cell::RefCell<TraceRecorder>> {
+        std::rc::Rc::new(std::cell::RefCell::new(TraceRecorder::new()))
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The running digest: a deterministic fold over every event
+    /// recorded so far, computed at record time.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The digest as a fixed-width hex string (the form CI artifacts
+    /// and the diffcheck oracle compare).
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+
+    /// Exports the recorded stream as Chrome trace-event JSON, loadable
+    /// in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+    ///
+    /// Engine phases become duration spans (`ph: "B"`/`"E"`); sparse
+    /// propagation events (re-executions, memo probes, steals, order
+    /// maintenance) become instants attributed to their site names.
+    /// Per-record `TraceCreated`/`TracePurged` events are aggregated
+    /// into per-phase counts on the span-end event to keep timelines
+    /// compact. Timestamps are event sequence numbers, not wall-clock
+    /// microseconds: the exported timeline is deterministic.
+    pub fn chrome_trace_json(&self, sites: &crate::program::SiteTable) -> String {
+        let mut s = String::from("{\"traceEvents\":[\n");
+        let mut rows: Vec<String> = Vec::new();
+        // Created/purged tallies for the currently open phase (or the
+        // gaps between phases, flushed as standalone instants).
+        let mut created: u64 = 0;
+        let mut purged: u64 = 0;
+        let flush_gap = |rows: &mut Vec<String>, ts: usize, created: &mut u64, purged: &mut u64| {
+            if *created != 0 || *purged != 0 {
+                rows.push(format!(
+                    "{{\"name\":\"unphased_trace_ops\",\"ph\":\"i\",\"ts\":{ts},\"pid\":1,\
+                     \"tid\":1,\"s\":\"t\",\"args\":{{\"trace_created\":{},\
+                     \"trace_purged\":{}}}}}",
+                    created, purged
+                ));
+                *created = 0;
+                *purged = 0;
+            }
+        };
+        for (ts, ev) in self.events.iter().enumerate() {
+            match *ev {
+                Event::PhaseBegin { kind } => {
+                    flush_gap(&mut rows, ts, &mut created, &mut purged);
+                    rows.push(format!(
+                        "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":1}}",
+                        kind.name()
+                    ));
+                }
+                Event::PhaseEnd { kind } => {
+                    rows.push(format!(
+                        "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":1,\
+                         \"args\":{{\"trace_created\":{created},\"trace_purged\":{purged}}}}}",
+                        kind.name()
+                    ));
+                    created = 0;
+                    purged = 0;
+                }
+                Event::TraceCreated { .. } => created += 1,
+                Event::TracePurged { .. } => purged += 1,
+                Event::ReadReexecuted { read, site } => {
+                    rows.push(instant_row("reexec", ts, Some(read), site, sites));
+                }
+                Event::MemoHit { read, site } => {
+                    rows.push(instant_row("memo_hit", ts, Some(read), site, sites));
+                }
+                Event::MemoMiss { site } => {
+                    rows.push(instant_row("memo_miss", ts, None, site, sites));
+                }
+                Event::AllocStolen { alloc, site } => {
+                    rows.push(instant_row("steal", ts, Some(alloc), site, sites));
+                }
+                Event::OrderMaintenance {
+                    relabels,
+                    renumbers,
+                    splits,
+                    merges,
+                } => {
+                    rows.push(format!(
+                        "{{\"name\":\"order_maintenance\",\"ph\":\"i\",\"ts\":{ts},\"pid\":1,\
+                         \"tid\":1,\"s\":\"t\",\"args\":{{\"relabels\":{relabels},\
+                         \"renumbers\":{renumbers},\"splits\":{splits},\"merges\":{merges}}}}}"
+                    ));
+                }
+            }
+        }
+        flush_gap(&mut rows, self.events.len(), &mut created, &mut purged);
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"digest\":\"");
+        s.push_str(&self.digest_hex());
+        s.push_str("\"}}\n");
+        s
+    }
+
+    /// Aggregates the recorded stream into a per-site attribution
+    /// report resolved against the program's site table.
+    pub fn attribution(&self, sites: &crate::program::SiteTable) -> Attribution {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<u32, SiteRow> = BTreeMap::new();
+        // Pre-seed every registered site so the report names all
+        // program points, active or not.
+        for (id, site) in sites.iter() {
+            map.insert(
+                id.0,
+                SiteRow {
+                    site: id,
+                    name: site.name.clone(),
+                    kind: Some(site.kind),
+                    ..SiteRow::new(id)
+                },
+            );
+        }
+        fn bump<'a>(
+            map: &'a mut BTreeMap<u32, SiteRow>,
+            sites: &crate::program::SiteTable,
+            s: SiteId,
+        ) -> &'a mut SiteRow {
+            map.entry(s.0).or_insert_with(|| {
+                let mut r = SiteRow::new(s);
+                r.name = sites.name(s).to_string();
+                r
+            })
+        }
+        for ev in &self.events {
+            match *ev {
+                Event::ReadReexecuted { site, .. } => bump(&mut map, sites, site).reexecs += 1,
+                Event::MemoHit { site, .. } => bump(&mut map, sites, site).memo_hits += 1,
+                Event::MemoMiss { site } => bump(&mut map, sites, site).memo_misses += 1,
+                Event::AllocStolen { site, .. } => bump(&mut map, sites, site).steals += 1,
+                Event::TraceCreated { site, .. } => bump(&mut map, sites, site).created += 1,
+                Event::TracePurged { site, .. } => bump(&mut map, sites, site).purged += 1,
+                Event::PhaseBegin { .. }
+                | Event::PhaseEnd { .. }
+                | Event::OrderMaintenance { .. } => {}
+            }
+        }
+        Attribution {
+            rows: map.into_values().collect(),
+            digest_hex: self.digest_hex(),
+        }
+    }
+}
+
+/// Minimal JSON string escaping for site/function names.
+#[cfg(feature = "event-hooks")]
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One instant row of the Chrome trace export.
+#[cfg(feature = "event-hooks")]
+fn instant_row(
+    name: &str,
+    ts: usize,
+    slot: Option<u32>,
+    site: SiteId,
+    sites: &crate::program::SiteTable,
+) -> String {
+    let mut args = format!("\"site\":\"{}\"", json_escape(sites.name(site)));
+    if let Some(i) = slot {
+        let _ = write!(args, ",\"slot\":{i}");
+    }
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"s\":\"t\",\
+         \"args\":{{{args}}}}}"
+    )
+}
+
+/// Per-site event tallies in an [`Attribution`] report.
+#[cfg(feature = "event-hooks")]
+#[derive(Clone, Debug)]
+pub struct SiteRow {
+    /// The site this row aggregates (possibly [`SiteId::NONE`]).
+    pub site: SiteId,
+    /// Resolved site name (`"<unattributed>"` for untracked sites).
+    pub name: String,
+    /// The registered site kind, `None` for unregistered sites.
+    pub kind: Option<crate::program::SiteKind>,
+    /// `ReadReexecuted` events attributed here.
+    pub reexecs: u64,
+    /// `MemoHit` events attributed here.
+    pub memo_hits: u64,
+    /// `MemoMiss` events attributed here.
+    pub memo_misses: u64,
+    /// `AllocStolen` events attributed here.
+    pub steals: u64,
+    /// Trace records created by this site.
+    pub created: u64,
+    /// Trace records purged that this site had created.
+    pub purged: u64,
+}
+
+#[cfg(feature = "event-hooks")]
+impl SiteRow {
+    fn new(site: SiteId) -> SiteRow {
+        SiteRow {
+            site,
+            name: String::new(),
+            kind: None,
+            reexecs: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            steals: 0,
+            created: 0,
+            purged: 0,
+        }
+    }
+
+    /// Memo hit rate as `(hits, probes)`.
+    pub fn memo_rate(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_hits + self.memo_misses)
+    }
+
+    fn is_quiet(&self) -> bool {
+        self.reexecs == 0
+            && self.memo_hits == 0
+            && self.memo_misses == 0
+            && self.steals == 0
+            && self.created == 0
+            && self.purged == 0
+    }
+}
+
+/// A per-site attribution report: which program points burned
+/// propagation work, with memo and steal effectiveness per site —
+/// rendered like [`Profile`] as JSON plus a human table.
+#[cfg(feature = "event-hooks")]
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// One row per site, in [`SiteId`] order (the [`SiteId::NONE`]
+    /// bucket sorts last).
+    pub rows: Vec<SiteRow>,
+    /// Digest of the recorded stream this report was computed from.
+    pub digest_hex: String,
+}
+
+#[cfg(feature = "event-hooks")]
+impl Attribution {
+    /// The machine-readable JSON report (integer-only, hand-written:
+    /// the workspace deliberately has no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"ceal-trace-attribution/v1\",\n");
+        let _ = writeln!(s, "  \"digest\": \"{}\",", self.digest_hex);
+        s.push_str("  \"sites\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let id = if r.site == SiteId::NONE {
+                -1
+            } else {
+                r.site.0 as i64
+            };
+            let _ = write!(
+                s,
+                "    {{\"id\": {id}, \"name\": \"{}\", \"kind\": \"{}\", \"reexecs\": {}, \
+                 \"memo_hits\": {}, \"memo_misses\": {}, \"steals\": {}, \"created\": {}, \
+                 \"purged\": {}}}",
+                json_escape(&r.name),
+                r.kind.map_or("none", |k| k.name()),
+                r.reexecs,
+                r.memo_hits,
+                r.memo_misses,
+                r.steals,
+                r.created,
+                r.purged,
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// A human-readable table, one row per site that saw any activity.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "per-site attribution (digest {})", self.digest_hex);
+        let _ = writeln!(
+            s,
+            "  {:<40} {:>8} {:>9} {:>10} {:>7} {:>9} {:>9} {:>9}",
+            "site", "reexecs", "memo_hit", "memo_miss", "hit%", "steals", "created", "purged"
+        );
+        for r in &self.rows {
+            if r.is_quiet() {
+                continue;
+            }
+            let (hits, probes) = r.memo_rate();
+            let rate = if probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", 100.0 * hits as f64 / probes as f64)
+            };
+            let _ = writeln!(
+                s,
+                "  {:<40} {:>8} {:>9} {:>10} {:>7} {:>9} {:>9} {:>9}",
+                r.name, r.reexecs, r.memo_hits, r.memo_misses, rate, r.steals, r.created, r.purged
+            );
+        }
+        s
     }
 }
 
@@ -570,10 +1085,15 @@ mod tests {
     #[test]
     fn counting_hook_tallies() {
         let mut h = CountingHook::default();
-        h.on_event(Event::MemoHit { read: 1 });
-        h.on_event(Event::MemoMiss);
+        h.on_event(Event::MemoHit {
+            read: 1,
+            site: SiteId::NONE,
+        });
+        h.on_event(Event::MemoMiss { site: SiteId(3) });
         h.on_event(Event::TraceCreated {
             kind: TraceKind::Read,
+            index: 1,
+            site: SiteId(3),
         });
         h.on_event(Event::OrderMaintenance {
             relabels: 1,

@@ -9,7 +9,7 @@
 //! [`OpaqueFn`].
 
 use crate::engine::Engine;
-use crate::value::{FuncId, ModRef, Value};
+use crate::value::{FuncId, ModRef, SiteId, Value};
 
 /// Argument list of a trampoline step.
 ///
@@ -175,8 +175,10 @@ pub enum Tail {
     Call(FuncId, ArgVec),
     /// `x := read m; tail f(x, args)`: read the modifiable and continue
     /// with its contents prepended to `args` (the paper's `NULL`
-    /// place-holder convention, §6.2).
-    Read(ModRef, FuncId, ArgVec),
+    /// place-holder convention, §6.2). The [`SiteId`] names the CL read
+    /// site for event attribution; hand-written natives use
+    /// [`SiteId::NONE`].
+    Read(ModRef, FuncId, ArgVec, SiteId),
 }
 
 impl Tail {
@@ -185,9 +187,103 @@ impl Tail {
         Tail::Call(f, ArgVec::from_slice(args))
     }
 
-    /// Convenience constructor for [`Tail::Read`].
+    /// Convenience constructor for [`Tail::Read`] with no site
+    /// attribution (hand-written native code).
     pub fn read(m: ModRef, f: FuncId, args: &[Value]) -> Tail {
-        Tail::Read(m, f, ArgVec::from_slice(args))
+        Tail::Read(m, f, ArgVec::from_slice(args), SiteId::NONE)
+    }
+
+    /// Convenience constructor for [`Tail::Read`] attributed to a
+    /// compiler-assigned read site.
+    pub fn read_at(m: ModRef, f: FuncId, args: &[Value], site: SiteId) -> Tail {
+        Tail::Read(m, f, ArgVec::from_slice(args), site)
+    }
+}
+
+/// What kind of program point a [`Site`] names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A CL read body (`x := read m; tail f(x, ..)`): the unit of
+    /// re-execution and the memo point probed on every read.
+    Read,
+    /// A keyed `alloc` site (steal-able allocation, §7).
+    Alloc,
+    /// A `modref`/`modref_keyed` creation site (a one-word keyed
+    /// allocation in this engine).
+    Modref,
+}
+
+impl SiteKind {
+    /// Short lowercase name, used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteKind::Read => "read",
+            SiteKind::Alloc => "alloc",
+            SiteKind::Modref => "modref",
+        }
+    }
+}
+
+/// One compiler-attributed program point.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Human-readable name, `func@Llabel:kind` for compiled CL code.
+    pub name: String,
+    /// What kind of trace operation this site performs.
+    pub kind: SiteKind,
+}
+
+/// The program's table of stable sites, indexed by [`SiteId`].
+///
+/// Compiled programs carry one entry per CL read body, keyed-alloc site
+/// and modref-creation site; the engine attributes observability events
+/// to these ids. Hand-built native programs normally leave the table
+/// empty and all events carry [`SiteId::NONE`].
+#[derive(Clone, Debug, Default)]
+pub struct SiteTable {
+    sites: Vec<Site>,
+}
+
+impl SiteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a site, returning its id.
+    pub fn push(&mut self, name: String, kind: SiteKind) -> SiteId {
+        self.sites.push(Site { name, kind });
+        SiteId((self.sites.len() - 1) as u32)
+    }
+
+    /// The site named by `id`, or `None` for [`SiteId::NONE`] and
+    /// out-of-range ids.
+    pub fn get(&self, id: SiteId) -> Option<&Site> {
+        self.sites.get(id.0 as usize)
+    }
+
+    /// The display name for `id`: the registered site name, or
+    /// `"<unattributed>"` for [`SiteId::NONE`] / unknown ids.
+    pub fn name(&self, id: SiteId) -> &str {
+        self.get(id).map_or("<unattributed>", |s| s.name.as_str())
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` if no sites are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates over `(id, site)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &Site)> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SiteId(i as u32), s))
     }
 }
 
@@ -231,12 +327,14 @@ enum Impl {
 /// ```
 pub struct Program {
     funcs: Vec<Impl>,
+    sites: SiteTable,
 }
 
 impl std::fmt::Debug for Program {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Program")
             .field("funcs", &self.funcs.len())
+            .field("sites", &self.sites.len())
             .finish()
     }
 }
@@ -250,6 +348,12 @@ impl Program {
     /// Returns `true` if the program has no functions.
     pub fn is_empty(&self) -> bool {
         self.funcs.is_empty()
+    }
+
+    /// The program's stable site table (empty for hand-built programs
+    /// that never called [`ProgramBuilder::set_site_table`]).
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
     }
 
     /// The diagnostic name of function `f`.
@@ -278,6 +382,7 @@ impl Program {
 pub struct ProgramBuilder {
     funcs: Vec<Option<Impl>>,
     names: Vec<String>,
+    sites: SiteTable,
 }
 
 impl ProgramBuilder {
@@ -326,6 +431,12 @@ impl ProgramBuilder {
         f
     }
 
+    /// Installs the program's stable site table (produced by the
+    /// compiler alongside target code). Replaces any previous table.
+    pub fn set_site_table(&mut self, sites: SiteTable) {
+        self.sites = sites;
+    }
+
     /// Defines a previously declared function with an opaque body.
     ///
     /// # Panics
@@ -355,7 +466,10 @@ impl ProgramBuilder {
                 f.unwrap_or_else(|| panic!("function {} declared but not defined", self.names[i]))
             })
             .collect();
-        std::rc::Rc::new(Program { funcs })
+        std::rc::Rc::new(Program {
+            funcs,
+            sites: self.sites,
+        })
     }
 }
 

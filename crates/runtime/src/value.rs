@@ -47,6 +47,40 @@ impl fmt::Debug for StrId {
     }
 }
 
+/// A stable *program point*: index into the program's
+/// [`crate::program::SiteTable`].
+///
+/// Unlike engine slot indices, a `SiteId` survives re-execution, memo
+/// splicing and garbage collection — it names the CL read body, memo
+/// point or keyed-alloc site in the *source program* that produced a
+/// trace record, so observability events can be attributed to durable
+/// program points. Hand-written native programs that do not register a
+/// site table emit [`SiteId::NONE`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The "no site" sentinel, used by trace records created outside
+    /// any compiler-attributed program point.
+    pub const NONE: SiteId = SiteId(u32::MAX);
+
+    /// Returns `true` unless this is the [`SiteId::NONE`] sentinel.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self != SiteId::NONE
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SiteId::NONE {
+            write!(f, "site?")
+        } else {
+            write!(f, "site{}", self.0)
+        }
+    }
+}
+
 /// A word-sized run-time value.
 ///
 /// `Value` is the uniform currency of the run-time system: modifiable

@@ -87,12 +87,26 @@ fn collect_output(e: &Engine, head: ModRef) -> Vec<i64> {
 /// `edits` delete/insert propagations — against a pre-built engine.
 /// Returns the output after the last propagation.
 fn drive_session(e: &mut Engine, map: FuncId, n: usize, edits: usize, seed: u64) -> Vec<i64> {
+    drive_session_with(e, map, n, edits, seed, |_| {})
+}
+
+/// [`drive_session`] with a read-only observation callback invoked at
+/// the halfway point of the edit script — the hook for testing that
+/// mid-run exports do not perturb the session.
+fn drive_session_with(
+    e: &mut Engine,
+    map: FuncId,
+    n: usize,
+    edits: usize,
+    seed: u64,
+    mut mid: impl FnMut(&Engine),
+) -> Vec<i64> {
     let mut rng = Prng::seed_from_u64(seed);
     let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
     let input = build_input(e, &data);
     let out_head = e.meta_modref();
     e.run_core(map, &[Value::ModRef(input.head), Value::ModRef(out_head)]);
-    for _ in 0..edits {
+    for k in 0..edits {
         let i = rng.gen_range(0..n as u64) as usize;
         let (cell, slot) = input.cells[i];
         let after = e.deref(e.load(cell.ptr(), 1).modref());
@@ -100,6 +114,9 @@ fn drive_session(e: &mut Engine, map: FuncId, n: usize, edits: usize, seed: u64)
         e.propagate();
         e.modify(slot, cell);
         e.propagate();
+        if k == edits / 2 {
+            mid(e);
+        }
     }
     collect_output(e, out_head)
 }
@@ -276,4 +293,56 @@ fn observers_do_not_perturb_execution() {
     assert_eq!(out_plain, out_observed);
     assert_eq!(plain.stats(), observed.stats());
     assert_eq!(plain.trace_len(), observed.trace_len());
+}
+
+/// The [`TraceRecorder`] is a pure observer even when its exporters run
+/// *mid-session*: a recorded run — with the Perfetto timeline, the
+/// attribution table and both DDG snapshots exported halfway through
+/// the edit script — produces byte-identical outputs, [`OpCounters`]
+/// and full [`Stats`] to an unobserved run.
+#[cfg(feature = "event-hooks")]
+#[test]
+fn trace_recorder_does_not_perturb_execution() {
+    use std::rc::Rc;
+
+    let (prog, map) = build_map();
+    let mut plain = Engine::new(prog);
+    let out_plain = drive_session(&mut plain, map, 180, 25, 55);
+    plain.clear_core();
+
+    let (prog2, map2) = build_map();
+    let mut traced = Engine::new(prog2);
+    let rec = TraceRecorder::shared();
+    traced.set_event_hook(Box::new(Rc::clone(&rec)));
+    let rec_mid = Rc::clone(&rec);
+    let out_traced = drive_session_with(&mut traced, map2, 180, 25, 55, |e| {
+        // Every exporter is read-only; run them all mid-session.
+        let r = rec_mid.borrow();
+        assert!(!r.chrome_trace_json(e.sites()).is_empty());
+        assert!(!r.attribution(e.sites()).render_table().is_empty());
+        assert!(!e.ddg_dot().is_empty());
+        assert!(!e.ddg_json().is_empty());
+    });
+    traced.clear_core();
+
+    assert_eq!(out_plain, out_traced);
+    assert_eq!(
+        plain.stats().op_counters(),
+        traced.stats().op_counters(),
+        "recording perturbed the deterministic operation counters"
+    );
+    assert_eq!(plain.stats(), traced.stats());
+    assert_eq!(plain.trace_len(), traced.trace_len());
+
+    // The recorded stream is non-trivial and its digest is reproducible:
+    // replaying the identical session yields the identical digest.
+    assert!(!rec.borrow().is_empty());
+    let (prog3, map3) = build_map();
+    let mut replay = Engine::new(prog3);
+    let rec2 = TraceRecorder::shared();
+    replay.set_event_hook(Box::new(Rc::clone(&rec2)));
+    drive_session(&mut replay, map3, 180, 25, 55);
+    replay.clear_core();
+    assert_eq!(rec.borrow().digest(), rec2.borrow().digest());
+    assert_eq!(rec.borrow().events(), rec2.borrow().events());
 }

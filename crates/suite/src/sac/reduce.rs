@@ -100,7 +100,7 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
                 let next_m = e.load(v.ptr(), CELL_NEXT).modref();
                 let mut a = vec![v];
                 a.extend_from_slice(&args[1..]);
-                Tail::Read(next_m, check, a.into())
+                Tail::Read(next_m, check, a.into(), SiteId::NONE)
             }
         }
     });
@@ -158,12 +158,12 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
             let next_m = e.load(c.ptr(), CELL_NEXT).modref();
             let mut a = vec![acc, Value::Ptr(out_cell)];
             a.extend_from_slice(&args[2..]);
-            Tail::Read(next_m, walk, a.into())
+            Tail::Read(next_m, walk, a.into(), SiteId::NONE)
         } else {
             let data_m = e.load(c.ptr(), CELL_DATA).modref();
             let mut a = vec![c, Value::Ptr(out_cell)];
             a.extend_from_slice(&args[2..]);
-            Tail::Read(data_m, acc0, a.into())
+            Tail::Read(data_m, acc0, a.into(), SiteId::NONE)
         }
     });
 
@@ -173,7 +173,7 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
         let next_m = e.load(c.ptr(), CELL_NEXT).modref();
         let mut a = vec![args[0], args[2]];
         a.extend_from_slice(&args[3..]);
-        Tail::Read(next_m, walk, a.into())
+        Tail::Read(next_m, walk, a.into(), SiteId::NONE)
     });
 
     // walk(nv, acc, out_cell, layout, rk, params)
@@ -205,12 +205,12 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
                     let next_m = e.load(d.ptr(), CELL_NEXT).modref();
                     let mut a = vec![acc2, args[2]];
                     a.extend_from_slice(&args[3..]);
-                    Tail::Read(next_m, walk, a.into())
+                    Tail::Read(next_m, walk, a.into(), SiteId::NONE)
                 } else {
                     let data_m = e.load(d.ptr(), CELL_DATA).modref();
                     let mut a = vec![acc, d, args[2]];
                     a.extend_from_slice(&args[3..]);
-                    Tail::Read(data_m, fold, a.into())
+                    Tail::Read(data_m, fold, a.into(), SiteId::NONE)
                 }
             }
         }
@@ -222,7 +222,7 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
         let next_m = e.load(args[2].ptr(), CELL_NEXT).modref();
         let mut a = vec![acc2, args[3]];
         a.extend_from_slice(&args[4..]);
-        Tail::Read(next_m, walk, a.into())
+        Tail::Read(next_m, walk, a.into(), SiteId::NONE)
     });
 
     ReduceFns { entry, entry_mod }

@@ -235,7 +235,7 @@ pub fn validate_target(t: &TProgram) -> Result<(), CealError> {
                     check_op(pc, off, "offset")?;
                     check_op(pc, val, "value")?;
                 }
-                TInstr::Modref { dst, key } => {
+                TInstr::Modref { dst, key, .. } => {
                     check_reg(pc, *dst, "destination")?;
                     check_ops(pc, key, "key")?;
                 }
@@ -252,6 +252,7 @@ pub fn validate_target(t: &TProgram) -> Result<(), CealError> {
                     words,
                     init,
                     args,
+                    ..
                 } => {
                     check_reg(pc, *dst, "destination")?;
                     check_op(pc, words, "size")?;
@@ -272,7 +273,7 @@ pub fn validate_target(t: &TProgram) -> Result<(), CealError> {
                     check_fun(pc, *g, "callee")?;
                     check_ops(pc, args, "argument")?;
                 }
-                TInstr::ReadTail { m, f: g, args } => {
+                TInstr::ReadTail { m, f: g, args, .. } => {
                     check_reg(pc, *m, "modifiable")?;
                     check_fun(pc, *g, "continuation")?;
                     check_ops(pc, args, "argument")?;
@@ -296,6 +297,7 @@ pub fn load(
     opts: VmOptions,
 ) -> Result<LoadedProgram, CealError> {
     validate_target(t)?;
+    b.set_site_table(t.sites.clone());
     let shared = Rc::new(Shared {
         funcs: t.funcs.clone(),
         engine_ids: RefCell::new(Vec::with_capacity(t.funcs.len())),
@@ -451,9 +453,9 @@ impl OpaqueFn for VmFn {
                         e.store(p, o as usize, v);
                         pc += 1;
                     }
-                    TInstr::Modref { dst, key } => {
+                    TInstr::Modref { dst, key, site } => {
                         let k = self.ops(&regs, key);
-                        regs[*dst as usize] = Value::ModRef(e.modref_keyed(&k));
+                        regs[*dst as usize] = Value::ModRef(e.modref_keyed_at(*site, &k));
                         pc += 1;
                     }
                     TInstr::ModrefInit { ptr, off } => {
@@ -472,11 +474,12 @@ impl OpaqueFn for VmFn {
                         words,
                         init,
                         args,
+                        site,
                     } => {
                         let w = self.op(&regs, words).int();
                         let a = self.ops(&regs, args);
                         let init_id = self.shared.engine_ids.borrow()[*init as usize];
-                        let loc = e.alloc(w as usize, init_id, &a);
+                        let loc = e.alloc_at(*site, w as usize, init_id, &a);
                         regs[*dst as usize] = Value::Ptr(loc);
                         pc += 1;
                     }
@@ -506,11 +509,16 @@ impl OpaqueFn for VmFn {
                         self.flush_steps(steps);
                         return Tail::Call(gid, a.into());
                     }
-                    TInstr::ReadTail { m, f: g, args } => {
+                    TInstr::ReadTail {
+                        m,
+                        f: g,
+                        args,
+                        site,
+                    } => {
                         let a = self.ops(&regs, args);
                         let gid = self.shared.engine_ids.borrow()[*g as usize];
                         self.flush_steps(steps);
-                        return Tail::Read(regs[*m as usize].modref(), gid, a.into());
+                        return Tail::Read(regs[*m as usize].modref(), gid, a.into(), *site);
                     }
                     TInstr::Done => {
                         self.flush_steps(steps);
