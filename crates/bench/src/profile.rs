@@ -342,10 +342,56 @@ pub fn collect_profiles_traced(sink: &mut Option<TraceSink>) -> Vec<Profile> {
     ]
 }
 
+/// Per-workload memory summary rows for the `"memory"` section of
+/// `BENCH_profile.json` and the `--profile` console table: the
+/// high-water mark (`max_live_bytes`, the paper's "Max Live" column),
+/// the peak live footprint observed at any phase boundary, and the
+/// post-purge floor. Deterministic — the byte accounting is a cost
+/// model over counted records, not allocator measurements — so these
+/// rows gate exactly like the operation counters.
+pub fn memory_rows(profiles: &[Profile]) -> Vec<(String, u64, u64, u64)> {
+    profiles
+        .iter()
+        .map(|p| {
+            let peak_phase = p.phases.iter().map(|ph| ph.live_bytes).max().unwrap_or(0);
+            (
+                p.name.clone(),
+                p.max_live_bytes,
+                peak_phase,
+                p.live_bytes,
+            )
+        })
+        .collect()
+}
+
+/// The memory table printed by `tables bench --profile`.
+pub fn render_memory_table(profiles: &[Profile]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "memory (accounted bytes):\n  {:<20} {:>16} {:>16} {:>16}",
+        "workload", "max_live_bytes", "peak_phase_live", "final_live"
+    );
+    for (name, max_live, peak_phase, fin) in memory_rows(profiles) {
+        let _ = writeln!(s, "  {name:<20} {max_live:>16} {peak_phase:>16} {fin:>16}");
+    }
+    s
+}
+
 /// The `BENCH_profile.json` document for a set of profiles.
 pub fn profiles_json(profiles: &[Profile]) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"ceal-bench-profile/v1\",\n  \"profiles\": [\n");
+    s.push_str("{\n  \"schema\": \"ceal-bench-profile/v1\",\n  \"memory\": [\n");
+    let rows = memory_rows(profiles);
+    for (i, (name, max_live, peak_phase, fin)) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": {name:?}, \"max_live_bytes\": {max_live}, \
+             \"peak_phase_live_bytes\": {peak_phase}, \"final_live_bytes\": {fin}}}"
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"profiles\": [\n");
     for (i, p) in profiles.iter().enumerate() {
         s.push_str(&p.to_json(4));
         s.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
@@ -459,6 +505,7 @@ pub fn run_profile(opts: &Opts) {
     for p in &profiles {
         println!("{}", p.render_table());
     }
+    println!("{}", render_memory_table(&profiles));
     std::fs::write(&out_path, profiles_json(&profiles)).expect("write profile json");
     println!("profiles written to {out_path}");
 }

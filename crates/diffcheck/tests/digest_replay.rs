@@ -1,0 +1,145 @@
+//! Event-digest replay pins: the recorder digests of the corpus repros
+//! and a few generator seeds, captured on the node-per-action trace
+//! representation, must be reproduced bit-for-bit by the
+//! interval-coalesced representation (and any future one). The digest
+//! folds what the program *did* — re-executions, memo hits, steals,
+//! record creations/purges by kind, index and site — and excludes the
+//! representation-level channels (interval ids, order-maintenance
+//! volume), so it is the contract that trace-storage rewrites change
+//! nothing observable (DESIGN.md §13).
+
+use std::rc::Rc;
+
+use ceal_compiler::pipeline::compile;
+use ceal_lang::frontend;
+use ceal_runtime::engine::Engine;
+use ceal_runtime::program::ProgramBuilder;
+use ceal_runtime::value::{ModRef, Value};
+use ceal_runtime::TraceRecorder;
+use ceal_suite::input::EditList;
+use diffcheck::clvm::load_cl;
+use diffcheck::corpus::{corpus_dir, parse_corpus_file};
+use diffcheck::gen_case;
+use diffcheck::spec::Edit;
+use diffcheck::TestCase;
+
+/// Runs a test case start-to-finish — initial run, the edit script with
+/// a propagation per edit, final `clear_core` — on the runtime executor
+/// with a [`TraceRecorder`] attached, and returns the stream digest.
+fn replay_digest(tc: &TestCase) -> Result<String, String> {
+    let (cl, _names) = frontend(&tc.src)?;
+    let compiled = compile(&cl).map_err(|e| format!("{e:?}"))?;
+    let mut b = ProgramBuilder::new();
+    let loaded = load_cl(&compiled.normalized, &mut b);
+    let entry = loaded.entry("main").ok_or("no main")?;
+    let mut e = Engine::new(b.build());
+    let rec = TraceRecorder::shared();
+    e.set_event_hook(Box::new(Rc::clone(&rec)));
+    let ins: Vec<ModRef> = tc
+        .scalars
+        .iter()
+        .map(|&v| {
+            let m = e.meta_modref();
+            e.modify(m, Value::Int(v));
+            m
+        })
+        .collect();
+    let mut list = tc.list.as_ref().map(|items| {
+        let data: Vec<Value> = items.iter().map(|&v| Value::Int(v)).collect();
+        EditList::build(&mut e, &data)
+    });
+    let out = e.meta_modref();
+    let mut args: Vec<Value> = ins.iter().map(|&m| Value::ModRef(m)).collect();
+    if let Some(l) = &list {
+        args.push(Value::ModRef(l.head));
+    }
+    args.push(Value::ModRef(out));
+    e.run_core(entry, &args);
+    for &edit in &tc.edits {
+        match edit {
+            Edit::Set(k, v) => e.modify(ins[k as usize], Value::Int(v)),
+            Edit::Delete(i) => {
+                if let Some(l) = &mut list {
+                    l.delete(&mut e, i as usize);
+                }
+            }
+            Edit::Restore(i) => {
+                if let Some(l) = &mut list {
+                    l.restore(&mut e, i as usize);
+                }
+            }
+        }
+        e.propagate();
+    }
+    e.clear_core();
+    let digest = rec.borrow().digest_hex();
+    Ok(digest)
+}
+
+/// Digests pinned on the pre-interval (node-per-action) representation.
+/// A mismatch means a trace-storage change altered the *semantic* event
+/// stream, not just its layout — a real behavior change, not a re-bless.
+const CORPUS_PINS: &[(&str, &str)] = &[
+    (
+        "normalize_cond_swap_seed17_normalized-interp-error.ceal",
+        "da83a052df5fa847",
+    ),
+    (
+        "normalize_cond_swap_seed19_normalize-mismatch.ceal",
+        "4a390c558059ffda",
+    ),
+    (
+        "normalize_cond_swap_seed20_normalize-mismatch.ceal",
+        "b4e03b05fdd2b856",
+    ),
+    (
+        "normalize_cond_swap_seed34_panic.ceal",
+        "ead09ad225512df2",
+    ),
+];
+
+const GEN_PINS: &[(u64, &str)] = &[
+    (7, "39f9c3baa8f9ff63"),
+    (501, "5a633b1b0a0d08ba"),
+    (1234, "7f11ce7898c90afe"),
+];
+
+#[test]
+fn corpus_digests_unchanged_by_interval_coalescing() {
+    let dir = corpus_dir();
+    let mut failures = Vec::new();
+    for (name, want) in CORPUS_PINS {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let tc = parse_corpus_file(&text).expect("parse corpus file");
+        match replay_digest(&tc) {
+            Ok(got) if got == *want => {}
+            Ok(got) => failures.push(format!("{name}: digest {got}, pinned {want}")),
+            Err(e) => failures.push(format!("{name}: replay error: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "event digests drifted:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn generated_case_digests_unchanged_by_interval_coalescing() {
+    let mut failures = Vec::new();
+    for (seed, want) in GEN_PINS {
+        let tc = gen_case(*seed).to_test_case();
+        match replay_digest(&tc) {
+            Ok(got) if got == *want => {}
+            Ok(got) => failures.push(format!("seed {seed}: digest {got}, pinned {want}")),
+            Err(e) => failures.push(format!("seed {seed}: replay error: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "event digests drifted:\n{}",
+        failures.join("\n")
+    );
+}

@@ -170,10 +170,8 @@ struct ReadNode {
     args: ArgVec,
     /// The value observed at the last (re-)execution.
     last_value: Value,
-    /// Hash of (modref, func, args, last_value): the memo key.
-    key_hash: u64,
-    start: Time,
-    end: Time,
+    start: Pos,
+    end: Pos,
     prev_reader: u32,
     next_reader: u32,
     queued: bool,
@@ -187,7 +185,7 @@ struct ReadNode {
 struct WriteNode {
     modref: ModRef,
     value: Value,
-    time: Time,
+    pos: Pos,
     prev_write: u32,
     next_write: u32,
     live: bool,
@@ -201,46 +199,112 @@ struct AllocNode {
     init: FuncId,
     args: Box<[Value]>,
     loc: Loc,
-    time: Time,
+    pos: Pos,
     live: bool,
     /// Program point that performed the allocation.
     site: SiteId,
 }
 
-/// What a timestamp in the trace stands for.
+// ----------------------------------------------------------------------
+// Interval-coalesced trace storage (DESIGN.md §13).
+//
+// The trace is a sequence of *intervals*: only interval boundaries own
+// order-maintenance timestamps; the actions inside an interval live in
+// a contiguous span of packed slots, addressed by `(boundary, offset)`.
+// Two positions compare by boundary timestamp first, offset second, so
+// the trace keeps a total order while paying one timestamp per
+// `SPAN_CAP` actions instead of one per action.
+// ----------------------------------------------------------------------
+
+/// A position in the trace: the owning interval boundary's timestamp
+/// plus a 1-based offset into the boundary's span. Offset `0` is the
+/// boundary itself (used for sentinels and freshly opened intervals);
+/// the slot at 0-based index `i` has offset `i + 1`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Payload {
-    /// A bare timestamp (interval boundaries of the core run).
-    Plain,
-    /// Start of a read interval.
-    Read(u32),
-    /// End of a read interval.
-    ReadEnd(u32),
-    /// A write record.
-    Write(u32),
-    /// An allocation record.
-    Alloc(u32),
+struct Pos {
+    anchor: Time,
+    off: u32,
 }
 
-/// The [`TraceKind`] reported to event hooks for a payload.
-fn trace_kind(p: Payload) -> TraceKind {
-    match p {
-        Payload::Plain => TraceKind::Plain,
-        Payload::Read(_) => TraceKind::Read,
-        Payload::ReadEnd(_) => TraceKind::ReadEnd,
-        Payload::Write(_) => TraceKind::Write,
-        Payload::Alloc(_) => TraceKind::Alloc,
+impl Pos {
+    const NONE: Pos = Pos {
+        anchor: Time::NONE,
+        off: 0,
+    };
+
+    fn is_none(self) -> bool {
+        self.anchor.is_none()
     }
 }
 
-/// The record-slot index reported to event hooks for a payload
-/// (`u32::MAX` for bare timestamps, which have no record).
-fn payload_index(p: Payload) -> u32 {
-    match p {
-        Payload::Plain => u32::MAX,
-        Payload::Read(r) | Payload::ReadEnd(r) => r,
-        Payload::Write(w) => w,
-        Payload::Alloc(a) => a,
+/// Actions per interval before a fresh boundary is opened. Bounds both
+/// the worst-case split cost and the slot memory a purged record can
+/// pin (tombstones are reclaimed when their span is disposed or split).
+const SPAN_CAP: usize = 64;
+
+/// Extra live-slot moves a donating front split is allowed over the
+/// back split: a boundary (order-maintenance timestamp + span header +
+/// later disposal, plus slower cross-interval position compares while
+/// it lives) costs roughly this many slot moves.
+const SPLIT_BOUNDARY_BIAS: usize = 8;
+
+/// One interval's packed action slots. Slot `i` lives at offset
+/// `i + 1` under the interval's boundary; offset 0 names the boundary
+/// itself. Slots never shift: front splits leave tombstone padding in
+/// place instead of draining, so every stored offset survives until
+/// its slot moves and is explicitly rewritten.
+#[derive(Debug, Default)]
+struct Span {
+    /// Packed slots: 3-bit tag in the top bits, record index below.
+    slots: Vec<u32>,
+    /// Index of the first possibly-live slot: everything below is
+    /// tombstone padding. Purge and donation walks start here —
+    /// without it, every walk over a span whose head is consumed
+    /// front-to-back (the cascade pattern) would re-skip the whole
+    /// tomb prefix, quadratic per span.
+    head: u32,
+    /// Number of non-tombstone slots.
+    live: u32,
+}
+
+/// `span_of` value for timestamps that own no span (sentinels).
+const SPAN_NONE: u32 = u32::MAX;
+
+/// Slot tags. `TAG_TOMB` marks a purged slot whose storage has not been
+/// reclaimed yet (reclaimed when the span is disposed or split).
+const TAG_TOMB: u32 = 0;
+const TAG_READ: u32 = 1;
+const TAG_READ_END: u32 = 2;
+const TAG_WRITE: u32 = 3;
+const TAG_ALLOC: u32 = 4;
+
+const SLOT_TAG_SHIFT: u32 = 29;
+const SLOT_IDX_MASK: u32 = (1 << SLOT_TAG_SHIFT) - 1;
+
+#[inline]
+fn pack_slot(tag: u32, idx: u32) -> u32 {
+    debug_assert!(idx <= SLOT_IDX_MASK, "record index overflows slot packing");
+    (tag << SLOT_TAG_SHIFT) | idx
+}
+
+#[inline]
+fn slot_tag(s: u32) -> u32 {
+    s >> SLOT_TAG_SHIFT
+}
+
+#[inline]
+fn slot_idx(s: u32) -> u32 {
+    s & SLOT_IDX_MASK
+}
+
+/// The [`TraceKind`] reported to event hooks for a slot tag.
+fn tag_trace_kind(tag: u32) -> TraceKind {
+    match tag {
+        TAG_READ => TraceKind::Read,
+        TAG_READ_END => TraceKind::ReadEnd,
+        TAG_WRITE => TraceKind::Write,
+        TAG_ALLOC => TraceKind::Alloc,
+        _ => TraceKind::Plain,
     }
 }
 
@@ -477,7 +541,16 @@ pub struct Engine {
     program: Rc<Program>,
     config: EngineConfig,
     ord: OrderList,
-    payloads: Vec<Payload>,
+    /// Span arenas, one per live interval boundary (plus pooled spares
+    /// in `free_spans`; capacity is kept across `clear_core`).
+    spans: Vec<Span>,
+    /// Pooled span indices available for reuse.
+    free_spans: Vec<u32>,
+    /// Span index owned by each boundary timestamp, indexed by
+    /// [`Time::index`] (`SPAN_NONE` for sentinels / dead timestamps).
+    span_of: Vec<u32>,
+    /// Non-tombstone slots across all spans — the live trace length.
+    live_slots: usize,
     heap: Heap,
     interner: Interner,
 
@@ -502,9 +575,12 @@ pub struct Engine {
     open: Vec<u32>,
 
     /// Current insertion point in the trace.
-    cur: Time,
-    /// End of the current re-execution window (None during initial run).
-    window_end: Option<Time>,
+    cur: Pos,
+    /// The read whose interval is the current re-execution window
+    /// (`None` during initial runs). The window's end position is
+    /// re-derived from the read node on every use: splits may relocate
+    /// the end slot, so a saved [`Pos`] would go stale.
+    window_read: Option<u32>,
     /// Blocks currently being initialized (write-once enforcement).
     init_stack: Vec<Loc>,
     /// Blocks whose allocation record was purged; freed at the end of
@@ -533,7 +609,7 @@ pub struct Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("trace_len", &self.ord.len())
+            .field("trace_len", &self.live_slots)
             .field("queue", &self.queue.len())
             .field("stats", &self.stats)
             .finish()
@@ -557,12 +633,18 @@ impl Engine {
     pub fn with_config(program: Rc<Program>, config: EngineConfig) -> Result<Self, CealError> {
         config.validate()?;
         let ord = OrderList::new();
-        let cur = ord.first();
+        let cur = Pos {
+            anchor: ord.first(),
+            off: 0,
+        };
         Ok(Engine {
             program,
             config,
             ord,
-            payloads: vec![Payload::Plain; 2],
+            spans: Vec::new(),
+            free_spans: Vec::new(),
+            span_of: Vec::new(),
+            live_slots: 0,
             heap: Heap::new(),
             interner: Interner::new(),
             reads: Vec::new(),
@@ -577,7 +659,7 @@ impl Engine {
             queue: Vec::new(),
             open: Vec::new(),
             cur,
-            window_end: None,
+            window_read: None,
             init_stack: Vec::new(),
             pending_free: Vec::new(),
             sim_garbage: Vec::new(),
@@ -634,7 +716,7 @@ impl Engine {
             name: name.to_string(),
             phases,
             lifetime: self.stats.op_counters(),
-            trace_len: self.ord.len() as u64,
+            trace_len: self.live_slots as u64,
             live_bytes: self.stats.live_bytes as u64,
             max_live_bytes: self.stats.max_live_bytes as u64,
         }
@@ -702,7 +784,7 @@ impl Engine {
         }
         if let Some(p) = &mut self.profiler {
             let snap = OpCounters::from_stats(&self.stats);
-            let trace_len = self.ord.len() as u64;
+            let trace_len = self.live_slots as u64;
             let live_bytes = self.stats.live_bytes as u64;
             p.end(snap, trace_len, live_bytes);
         }
@@ -712,22 +794,6 @@ impl Engine {
     /// Run-time statistics (counters and live-space accounting).
     pub fn stats(&self) -> &Stats {
         &self.stats
-    }
-
-    /// Mutable access to statistics.
-    ///
-    /// Deprecated: observers must not perturb counters (the profiler's
-    /// phase deltas and the counter gate assume [`Stats`] is written
-    /// only by the engine). Read through [`Engine::stats`]; to restart
-    /// space accounting between experiment phases, call
-    /// [`Engine::reset_stats`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "observers must not perturb counters; use `stats()` to read \
-                and `reset_stats()` to restart the space high-water mark"
-    )]
-    pub fn stats_mut(&mut self) -> &mut Stats {
-        &mut self.stats
     }
 
     /// Restarts the live-space high-water mark at the current live
@@ -765,9 +831,24 @@ impl Engine {
         self.interner.cmp(a, b)
     }
 
-    /// Number of live trace timestamps (diagnostics).
+    /// Number of live trace records (diagnostics). Counts non-tombstone
+    /// span slots: a live read contributes its start and end, a write
+    /// or allocation one slot each — the same count the node-per-action
+    /// representation reported as live timestamps.
     pub fn trace_len(&self) -> usize {
+        self.live_slots
+    }
+
+    /// Number of live interval boundaries in the trace (diagnostics).
+    /// Each owns one order-maintenance timestamp and one span arena.
+    pub fn interval_count(&self) -> usize {
         self.ord.len()
+    }
+
+    /// Number of pooled span arenas available for reuse (diagnostics;
+    /// `clear_core` returns every span here with capacity intact).
+    pub fn pooled_spans(&self) -> usize {
+        self.free_spans.len()
     }
 
     /// Number of dirty reads awaiting propagation.
@@ -877,7 +958,7 @@ impl Engine {
         let bound = if first_write == NIL {
             None
         } else {
-            Some(self.writes[first_write as usize].time)
+            Some(self.writes[first_write as usize].pos)
         };
         let mut r = reads_head;
         while r != NIL {
@@ -885,7 +966,7 @@ impl Engine {
             let rd = &self.reads[r as usize];
             let governed = match bound {
                 None => true,
-                Some(t) => self.ord.lt(rd.start, t),
+                Some(p) => self.pos_lt(rd.start, p),
             };
             if governed && rd.last_value != v {
                 self.queue_push(r);
@@ -912,9 +993,16 @@ impl Engine {
         let order_base = self.begin_phase(PhaseKind::InitialRun);
         self.core_ran = true;
         self.executing = true;
-        // Append after all existing trace (before the end sentinel).
-        self.cur = self.ord.prev(self.ord.last());
-        self.window_end = None;
+        // Append after all existing trace (before the end sentinel):
+        // position at the tail of the last interval, or on the start
+        // sentinel when the trace is empty (sentinels own no spans, so
+        // the first append opens a fresh interval after it).
+        let last_b = self.ord.prev(self.ord.last());
+        self.cur = Pos {
+            anchor: last_b,
+            off: self.span_end_off(last_b),
+        };
+        self.window_read = None;
         self.run_chain(f, ArgVec::from_slice(args));
         self.executing = false;
         self.finish_phase(PhaseKind::InitialRun, order_base);
@@ -944,6 +1032,12 @@ impl Engine {
     /// phases, so a batch commit must not open a second one here).
     fn propagate_loop(&mut self) {
         self.executing = true;
+        // Park the cursor on the start sentinel: a stale cursor from the
+        // previous run would pin its interval against disposal.
+        self.cur = Pos {
+            anchor: self.ord.first(),
+            off: 0,
+        };
         while let Some(r) = self.queue_pop() {
             let rd = &self.reads[r as usize];
             let (m, start) = (rd.modref, rd.start);
@@ -1012,15 +1106,28 @@ impl Engine {
         assert!(!self.executing, "clear_core during core execution");
         let order_base = self.begin_phase(PhaseKind::Purge);
         let (first, last) = (self.ord.first(), self.ord.last());
-        self.trash(first, last);
+        // Park the cursor on the start sentinel *before* trashing: a
+        // cursor inside the trace would pin its interval's boundary
+        // against disposal, and the walk below disposes every interval.
+        self.cur = Pos {
+            anchor: first,
+            off: 0,
+        };
+        self.trash(
+            self.cur,
+            Pos {
+                anchor: last,
+                off: 0,
+            },
+        );
         // Every read is dead now; one pop drains the queued zombies and
-        // releases their deferred timestamps.
+        // releases their deferred slots (and the spans they pinned).
         let drained = self.queue_pop();
         debug_assert!(drained.is_none(), "live read survived a full trace purge");
         self.flush_pending_free();
         debug_assert_eq!(self.ord.len(), 0, "trace not empty after clear_core");
-        self.cur = self.ord.prev(self.ord.last());
-        self.window_end = None;
+        debug_assert_eq!(self.live_slots, 0, "live slots after clear_core");
+        self.window_read = None;
         self.core_ran = false;
         self.finish_phase(PhaseKind::Purge, order_base);
     }
@@ -1049,11 +1156,11 @@ impl Engine {
             self.writes[after as usize].value
         };
         let idx = self.alloc_write_slot();
-        let t = self.insert_time(Payload::Write(idx), SiteId::NONE);
+        let p = self.append_record(TAG_WRITE, idx, TraceKind::Write, SiteId::NONE);
         let node = &mut self.writes[idx as usize];
         node.modref = m;
         node.value = v;
-        node.time = t;
+        node.pos = p;
         node.live = true;
         self.stats.writes_created += 1;
         self.stats.grow(cost::WRITE_NODE);
@@ -1063,22 +1170,22 @@ impl Engine {
             eprintln!("  WRITE {m:?} := {v:?} (was {prev:?})");
         }
         if prev != v {
-            // Dirty reads in (t, next write); they observed `prev`.
+            // Dirty reads in (p, next write); they observed `prev`.
             let next_bound = {
                 let nw = self.writes[idx as usize].next_write;
                 if nw == NIL {
                     None
                 } else {
-                    Some(self.writes[nw as usize].time)
+                    Some(self.writes[nw as usize].pos)
                 }
             };
             let mut r = self.heap.meta(m).reads_head;
             while r != NIL {
                 let next = self.reads[r as usize].next_reader;
                 let rd = &self.reads[r as usize];
-                if self.ord.lt(t, rd.start) {
+                if self.pos_lt(p, rd.start) {
                     match next_bound {
-                        Some(b) if !self.ord.lt(rd.start, b) => break,
+                        Some(b) if !self.pos_lt(rd.start, b) => break,
                         _ => {
                             if rd.last_value != v {
                                 self.queue_push(r);
@@ -1184,7 +1291,7 @@ impl Engine {
         assert!(self.executing, "core alloc outside core execution");
         self.sim_op();
         let key_hash = hash_key(0xA110C, words as u64, init.0 as u64, args, None);
-        if self.config.keyed_alloc && self.window_end.is_some() {
+        if self.config.keyed_alloc && self.window_read.is_some() {
             if let Some(idx) = self.find_stealable(key_hash, words, init, args) {
                 return self.steal_alloc(idx, site);
             }
@@ -1192,14 +1299,14 @@ impl Engine {
         let loc = self.heap.alloc_block(words, BlockKind::Core);
         self.stats.grow(words * cost::WORD);
         let idx = self.alloc_alloc_slot();
-        let t = self.insert_time(Payload::Alloc(idx), site);
+        let p = self.append_record(TAG_ALLOC, idx, TraceKind::Alloc, site);
         let node = &mut self.allocs[idx as usize];
         node.key_hash = key_hash;
         node.words = words as u32;
         node.init = init;
         node.args = args.into();
         node.loc = loc;
-        node.time = t;
+        node.pos = p;
         node.live = true;
         node.site = site;
         self.stats.allocs_created += 1;
@@ -1209,7 +1316,7 @@ impl Engine {
         if self.debug_log {
             eprintln!(
                 "  FRESH-ALLOC a{idx} loc={loc:?} key_args={args:?} at@{}",
-                self.ord.label(t)
+                self.ord.label(p.anchor)
             );
         }
         // Run the initializer.
@@ -1297,11 +1404,16 @@ impl Engine {
     /// then the garbage is dropped (swept).
     fn sim_gc(&mut self) {
         self.stats.gc_runs += 1;
-        // Mark: walk the whole live timestamp list.
+        // Mark: walk every interval boundary and its live records.
         let mut t = self.ord.first();
         let mut marked = 0u64;
         while !t.is_none() {
             marked += 1;
+            if let Some(&si) = self.span_of.get(t.index()) {
+                if si != SPAN_NONE {
+                    marked += self.spans[si as usize].live as u64;
+                }
+            }
             if t == self.ord.last() {
                 break;
             }
@@ -1337,7 +1449,7 @@ impl Engine {
                     // and memo key; hand both to `new_read` on a miss so
                     // the write-list walk and hash run once per step.
                     let mut pre = None;
-                    if self.config.memo && self.window_end.is_some() {
+                    if self.config.memo && self.window_read.is_some() {
                         let v = self.value_at_cur_for(m);
                         let key_hash = hash_key(0x5EAD, m.0 as u64, g.0 as u64, &a, Some(v));
                         if let Some(hit) = self.find_memo_match(m, g, &a, v, key_hash) {
@@ -1362,8 +1474,8 @@ impl Engine {
         while self.open.len() > base {
             let r = self.open.pop().expect("open stack underflow");
             let site = self.reads[r as usize].site;
-            let t = self.insert_time(Payload::ReadEnd(r), site);
-            self.reads[r as usize].end = t;
+            let p = self.append_record(TAG_READ_END, r, TraceKind::ReadEnd, site);
+            self.reads[r as usize].end = p;
         }
     }
 
@@ -1383,18 +1495,21 @@ impl Engine {
             eprintln!(
                 "  NEW-READ {m:?} func={} args={args:?} cur@{}",
                 self.program.name(f),
-                self.ord.label(self.cur)
+                self.ord.label(self.cur.anchor)
             );
         }
         let idx = self.alloc_read_slot();
-        let t = self.insert_time(Payload::Read(idx), site);
+        let p = self.append_record(TAG_READ, idx, TraceKind::Read, site);
         if self.debug_log {
-            eprintln!("    (new read id r{idx} at {t:?}@{})", self.ord.label(t));
+            eprintln!(
+                "    (new read id r{idx} at {p:?}@{})",
+                self.ord.label(p.anchor)
+            );
         }
         let (v, key_hash) = match pre {
             Some(p) => p,
             None => {
-                let v = self.value_at(m, t);
+                let v = self.value_at(m, p);
                 (v, hash_key(0x5EAD, m.0 as u64, f.0 as u64, &args, Some(v)))
             }
         };
@@ -1404,9 +1519,8 @@ impl Engine {
         node.func = f;
         node.args = args;
         node.last_value = v;
-        node.key_hash = key_hash;
-        node.start = t;
-        node.end = Time::NONE;
+        node.start = p;
+        node.end = Pos::NONE;
         node.queued = false;
         node.live = true;
         node.site = site;
@@ -1427,7 +1541,7 @@ impl Engine {
         v: Value,
         key_hash: u64,
     ) -> Option<u32> {
-        let wend = self.window_end?;
+        let wend = self.window_end_pos()?;
         let b = self.memo_table.get(&key_hash).copied()?;
         let mut scratch = [0u32; 1];
         let cands = b.records(&self.spill, &mut scratch);
@@ -1447,13 +1561,13 @@ impl Engine {
             }
             // Strictly inside the window: start after the insertion
             // point, whole interval before the window end.
-            if self.ord.lt(self.cur, rd.start)
-                && self.ord.lt(rd.start, wend)
-                && self.ord.lt(rd.end, wend)
+            if self.pos_lt(self.cur, rd.start)
+                && self.pos_lt(rd.start, wend)
+                && self.pos_lt(rd.end, wend)
             {
                 match best {
                     None => best = Some(idx),
-                    Some(b) if self.ord.lt(rd.start, self.reads[b as usize].start) => {
+                    Some(b) if self.pos_lt(rd.start, self.reads[b as usize].start) => {
                         best = Some(idx)
                     }
                     _ => {}
@@ -1471,41 +1585,42 @@ impl Engine {
                 "  MEMO-HIT r{hit} func={} modref={:?} seg=({}..{}) cur@{}",
                 self.program.name(self.reads[hit as usize].func),
                 self.reads[hit as usize].modref,
-                self.ord.label(self.reads[hit as usize].start),
-                self.ord.label(self.reads[hit as usize].end),
-                self.ord.label(self.cur)
+                self.ord.label(self.reads[hit as usize].start.anchor),
+                self.ord.label(self.reads[hit as usize].end.anchor),
+                self.ord.label(self.cur.anchor)
             );
         }
         self.stats.memo_hits += 1;
         self.emit(Event::MemoHit { read: hit, site });
         let start = self.reads[hit as usize].start;
-        let end = self.reads[hit as usize].end;
+        let old_anchor = self.cur.anchor;
         self.trash(self.cur, start);
-        self.cur = end;
+        self.cur = self.reads[hit as usize].end;
+        self.maybe_dispose(old_anchor);
     }
 
     fn re_execute(&mut self, r: u32, v: Value) {
         debug_assert!(self.reads[r as usize].live);
         let saved_cur = self.cur;
-        let saved_window = self.window_end;
+        let saved_window = self.window_read;
         let start = self.reads[r as usize].start;
         let end = self.reads[r as usize].end;
         self.cur = start;
-        self.window_end = Some(end);
-        // Refresh the read's memo identity under the new value.
+        self.window_read = Some(r);
+        // Refresh the read's memo identity under the new value. The
+        // removal hashes the *old* last_value, so it must run first.
         self.memo_remove(r);
-        {
-            let node = &mut self.reads[r as usize];
-            node.last_value = v;
-            node.key_hash = hash_key(
+        self.reads[r as usize].last_value = v;
+        let key_hash = {
+            let node = &self.reads[r as usize];
+            hash_key(
                 0x5EAD,
                 node.modref.0 as u64,
                 node.func.0 as u64,
                 &node.args,
                 Some(v),
-            );
-        }
-        let key_hash = self.reads[r as usize].key_hash;
+            )
+        };
         Bucket::add(&mut self.memo_table, &mut self.spill, key_hash, r);
         self.stats.reads_reexecuted += 1;
         let site = self.reads[r as usize].site;
@@ -1521,16 +1636,19 @@ impl Engine {
                 v,
                 &args[1..],
                 start,
-                self.ord.label(start),
+                self.ord.label(start.anchor),
                 end,
-                self.ord.label(end)
+                self.ord.label(end.anchor)
             );
         }
         self.run_chain(f, args);
-        let wend = self.window_end.expect("window vanished");
+        // Splits during re-execution may have relocated the window end;
+        // re-derive it from the read node.
+        let wend = self.reads[r as usize].end;
+        debug_assert!(!wend.is_none(), "window vanished");
         self.trash(self.cur, wend);
         self.cur = saved_cur;
-        self.window_end = saved_window;
+        self.window_read = saved_window;
     }
 
     // ------------------------------------------------------------------
@@ -1544,7 +1662,7 @@ impl Engine {
         init: FuncId,
         args: &[Value],
     ) -> Option<u32> {
-        let wend = self.window_end?;
+        let wend = self.window_end_pos()?;
         let b = self.alloc_table.get(&key_hash).copied()?;
         let mut scratch = [0u32; 1];
         let cands = b.records(&self.spill, &mut scratch);
@@ -1554,12 +1672,10 @@ impl Engine {
             if !a.live || a.words as usize != words || a.init != init || a.args.as_ref() != args {
                 continue;
             }
-            if self.ord.lt(self.cur, a.time) && self.ord.lt(a.time, wend) {
+            if self.pos_lt(self.cur, a.pos) && self.pos_lt(a.pos, wend) {
                 match best {
                     None => best = Some(idx),
-                    Some(b) if self.ord.lt(a.time, self.allocs[b as usize].time) => {
-                        best = Some(idx)
-                    }
+                    Some(b) if self.pos_lt(a.pos, self.allocs[b as usize].pos) => best = Some(idx),
                     _ => {}
                 }
             }
@@ -1583,86 +1699,431 @@ impl Engine {
                 "  STEAL a{idx} loc={:?} key_args={:?} at@{} cur@{}",
                 self.allocs[idx as usize].loc,
                 self.allocs[idx as usize].args,
-                self.ord.label(self.allocs[idx as usize].time),
-                self.ord.label(self.cur)
+                self.ord.label(self.allocs[idx as usize].pos.anchor),
+                self.ord.label(self.cur.anchor)
             );
         }
         self.stats.allocs_stolen += 1;
         self.emit(Event::AllocStolen { alloc: idx, site });
         self.allocs[idx as usize].site = site;
-        let t = self.allocs[idx as usize].time;
-        self.trash(self.cur, t);
-        self.cur = t;
+        let p = self.allocs[idx as usize].pos;
+        let old_anchor = self.cur.anchor;
+        self.trash(self.cur, p);
+        // Re-read: the merge at the end of the purge can relocate the
+        // alloc's slot.
+        self.cur = self.allocs[idx as usize].pos;
+        self.maybe_dispose(old_anchor);
         self.allocs[idx as usize].loc
+    }
+
+    // ------------------------------------------------------------------
+    // Interval-coalesced trace storage (DESIGN.md §13).
+    // ------------------------------------------------------------------
+
+    /// Slot count of the span owned by `t` (0 for sentinels, which own
+    /// no span).
+    fn span_len(&self, t: Time) -> u32 {
+        match self.span_of.get(t.index()) {
+            Some(&si) if si != SPAN_NONE => self.spans[si as usize].slots.len() as u32,
+            _ => 0,
+        }
+    }
+
+    /// First possibly-live slot index of the span owned by `t` (0 for
+    /// sentinels).
+    fn span_head(&self, t: Time) -> u32 {
+        match self.span_of.get(t.index()) {
+            Some(&si) if si != SPAN_NONE => self.spans[si as usize].head,
+            _ => 0,
+        }
+    }
+
+    /// Offset of the last slot under `t` — the cursor offset that
+    /// appends at the interval's tail (0 for sentinels).
+    fn span_end_off(&self, t: Time) -> u32 {
+        self.span_len(t)
+    }
+
+    /// Total order on trace positions: boundary timestamps compare
+    /// first, offsets within an interval second.
+    fn pos_lt(&self, a: Pos, b: Pos) -> bool {
+        if a.anchor == b.anchor {
+            a.off < b.off
+        } else {
+            self.ord.lt(a.anchor, b.anchor)
+        }
+    }
+
+    fn pos_le(&self, a: Pos, b: Pos) -> bool {
+        !self.pos_lt(b, a)
+    }
+
+    /// End position of the current re-execution window, re-derived from
+    /// the window read's node (splits may relocate the end slot).
+    fn window_end_pos(&self) -> Option<Pos> {
+        self.window_read.map(|r| self.reads[r as usize].end)
+    }
+
+    /// Opens a fresh interval boundary immediately after `after`: one
+    /// order-maintenance timestamp plus a span from the pool (created
+    /// if the pool is empty). Boundaries are representation, not
+    /// records, so no `TraceCreated` is emitted for them.
+    fn new_boundary_after(&mut self, after: Time) -> Time {
+        let b = self.ord.insert_after(after);
+        let si = match self.free_spans.pop() {
+            Some(si) => si,
+            None => {
+                self.spans.push(Span::default());
+                (self.spans.len() - 1) as u32
+            }
+        };
+        debug_assert!(self.spans[si as usize].slots.is_empty());
+        self.spans[si as usize].head = 0;
+        if b.index() >= self.span_of.len() {
+            self.span_of.resize(b.index() + 1, SPAN_NONE);
+        }
+        self.span_of[b.index()] = si;
+        self.stats.trace_intervals += 1;
+        self.stats.grow_interval(cost::TIME_NODE + cost::SPAN_HEADER);
+        b
+    }
+
+    /// Points the record named by slot `s` back at position `p`. Every
+    /// slot move (split or donation) must rewrite the stored position
+    /// so the record and its slot stay in bijection.
+    fn rewrite_slot_pos(&mut self, s: u32, p: Pos) {
+        let idx = slot_idx(s) as usize;
+        match slot_tag(s) {
+            TAG_READ => self.reads[idx].start = p,
+            TAG_READ_END => self.reads[idx].end = p,
+            TAG_WRITE => self.writes[idx].pos = p,
+            TAG_ALLOC => self.allocs[idx].pos = p,
+            _ => unreachable!("invalid slot tag"),
+        }
+    }
+
+    /// Splits the interval anchored at `a` at slot index `at`: the
+    /// slots `at..` move — keeping their order — to a fresh boundary
+    /// inserted right after `a`, and the records they name get their
+    /// stored positions rewritten. Because the moved block stays
+    /// contiguous and lands directly after its old location, the
+    /// relative order of all positions (including queued reads' start
+    /// keys) is preserved. Tombstones are dropped instead of moved;
+    /// when only tombstones lie past the split point no boundary is
+    /// created at all.
+    fn split_back(&mut self, a: Time, at: usize) {
+        let si = self.span_of[a.index()] as usize;
+        let movers = self.spans[si].slots.split_off(at);
+        let live_moved = movers.iter().filter(|&&s| slot_tag(s) != TAG_TOMB).count() as u32;
+        self.spans[si].live -= live_moved;
+        self.spans[si].head = self.spans[si].head.min(at as u32);
+        if live_moved == 0 {
+            return;
+        }
+        let b = self.new_boundary_after(a);
+        self.stats.interval_splits += 1;
+        let bi = self.span_of[b.index()] as usize;
+        for s in movers {
+            if slot_tag(s) == TAG_TOMB {
+                continue;
+            }
+            self.spans[bi].slots.push(s);
+            self.spans[bi].live += 1;
+            let p = Pos {
+                anchor: b,
+                off: self.spans[bi].slots.len() as u32,
+            };
+            self.rewrite_slot_pos(s, p);
+        }
+    }
+
+    /// The mirror split: the prefix `..at` moves out in front and the
+    /// suffix stays put — the vacated slots remain as tombstone
+    /// padding, so the suffix offsets (and every stored position naming
+    /// them) survive unchanged. The prefix lands on the predecessor's
+    /// span tail when
+    /// it fits (no new boundary, and successive re-execution windows
+    /// re-fill spans densely front-to-back), else on a fresh boundary
+    /// inserted right before `a`. Returns the prefix's new anchor,
+    /// which becomes the cursor's anchor. Chosen over
+    /// [`Self::split_back`] when the prefix is the smaller side:
+    /// re-execution windows split at their start, so a cascade of
+    /// adjacent windows would otherwise move each span's tail once per
+    /// window — quadratic in the span length.
+    fn split_front(&mut self, a: Time, at: usize, live_prefix: usize) -> Time {
+        let si = self.span_of[a.index()] as usize;
+        let prev = self.ord.prev(a);
+        let target = match self.span_of.get(prev.index()).copied() {
+            Some(pi)
+                if pi != SPAN_NONE
+                    && self.spans[pi as usize].slots.len() + live_prefix <= SPAN_CAP =>
+            {
+                prev
+            }
+            _ => self.new_boundary_after(prev),
+        };
+        self.stats.interval_splits += 1;
+        let bi = self.span_of[target.index()] as usize;
+        for k in self.spans[si].head as usize..at {
+            let s = self.spans[si].slots[k];
+            if slot_tag(s) == TAG_TOMB {
+                continue;
+            }
+            self.spans[bi].slots.push(s);
+            self.spans[bi].live += 1;
+            let p = Pos {
+                anchor: target,
+                off: self.spans[bi].slots.len() as u32,
+            };
+            self.rewrite_slot_pos(s, p);
+            // The vacated slot stays behind as tombstone padding: no
+            // suffix shift, no offset rewrites. It is reclaimed when
+            // the span is disposed or back-split, like a purge tomb.
+            self.spans[si].slots[k] = pack_slot(TAG_TOMB, 0);
+        }
+        self.spans[si].live -= live_prefix as u32;
+        self.spans[si].head = self.spans[si].head.max(at as u32);
+        target
+    }
+
+    /// Appends a record slot at the cursor, returning its position and
+    /// advancing the cursor past it. An interior cursor first splits
+    /// its interval — peeling off whichever side is smaller (the tail
+    /// must stay ordered after the new record); a full span opens a
+    /// fresh boundary. Emits `TraceCreated`.
+    fn append_record(&mut self, tag: u32, idx: u32, kind: TraceKind, site: SiteId) -> Pos {
+        let Pos { mut anchor, off } = self.cur;
+        let si = self
+            .span_of
+            .get(anchor.index())
+            .copied()
+            .unwrap_or(SPAN_NONE);
+        if si == SPAN_NONE {
+            // Sentinel anchor: open the trace's first interval.
+            anchor = self.new_boundary_after(anchor);
+        } else {
+            let len = self.spans[si as usize].slots.len();
+            let at = off as usize;
+            if at < len {
+                // Peel off whichever side is cheaper. Costs count LIVE
+                // slots moved — moved tombstones are dropped, so
+                // physical lengths (inflated by tomb padding) would
+                // misjudge — plus a charge for the boundary a split
+                // creates. A donating front split creates none, so it
+                // wins even when the prefix is somewhat bigger: that
+                // bias is what re-coalesces spans — without it, a
+                // cascade's window ends always pick the 1-slot back
+                // split and shatter the trace into 3-slot spans.
+                let head = self.spans[si as usize].head as usize;
+                let live_prefix = self.spans[si as usize].slots[head.min(at)..at]
+                    .iter()
+                    .filter(|&&s| slot_tag(s) != TAG_TOMB)
+                    .count();
+                let live_suffix = self.spans[si as usize].live as usize - live_prefix;
+                let front = if live_suffix == 0 {
+                    // All-tomb suffix: the back split is a free
+                    // truncation, no boundary.
+                    false
+                } else {
+                    let prev = self.ord.prev(anchor);
+                    let donate_fits = match self.span_of.get(prev.index()).copied() {
+                        Some(pi) if pi != SPAN_NONE => {
+                            self.spans[pi as usize].slots.len() + live_prefix <= SPAN_CAP
+                        }
+                        _ => false,
+                    };
+                    if donate_fits {
+                        live_prefix <= live_suffix + SPLIT_BOUNDARY_BIAS
+                    } else {
+                        live_prefix < live_suffix
+                    }
+                };
+                if front {
+                    anchor = self.split_front(anchor, at, live_prefix);
+                } else {
+                    self.split_back(anchor, at);
+                }
+            }
+            let si = self.span_of[anchor.index()] as usize;
+            if self.spans[si].slots.len() >= SPAN_CAP {
+                anchor = self.new_boundary_after(anchor);
+            }
+        }
+        let si = self.span_of[anchor.index()] as usize;
+        self.spans[si].slots.push(pack_slot(tag, idx));
+        self.spans[si].live += 1;
+        self.live_slots += 1;
+        self.stats.grow_interval(cost::SPAN_SLOT);
+        let pos = Pos {
+            anchor,
+            off: self.spans[si].slots.len() as u32,
+        };
+        self.cur = pos;
+        self.emit(Event::TraceCreated {
+            kind,
+            index: idx,
+            site,
+            interval: anchor.index() as u32,
+        });
+        pos
+    }
+
+    /// Tombstones the slot at index `i` of span `si`, releasing its
+    /// accounted bytes. The slot storage itself is reclaimed when the
+    /// span is split or disposed.
+    fn tomb_slot(&mut self, si: usize, i: usize) {
+        debug_assert_ne!(slot_tag(self.spans[si].slots[i]), TAG_TOMB);
+        self.spans[si].slots[i] = pack_slot(TAG_TOMB, 0);
+        self.spans[si].live -= 1;
+        self.live_slots -= 1;
+        self.stats.shrink_interval(cost::SPAN_SLOT);
+        // Keep `head` past the contiguous tomb prefix so later walks
+        // skip it wholesale.
+        let span = &mut self.spans[si];
+        if i as u32 == span.head {
+            let len = span.slots.len() as u32;
+            while span.head < len && slot_tag(span.slots[span.head as usize]) == TAG_TOMB {
+                span.head += 1;
+            }
+        }
+    }
+
+    /// Tombstones the slot at position `p`.
+    fn tomb_at(&mut self, p: Pos) {
+        let si = self.span_of[p.anchor.index()] as usize;
+        debug_assert!(p.off > 0, "cannot tombstone a boundary");
+        let i = (p.off - 1) as usize;
+        self.tomb_slot(si, i);
+    }
+
+    /// Disposes boundary `b` if its span holds no live slots — unless
+    /// it is a sentinel or the cursor's anchor (still addressed). The
+    /// timestamp is deleted in O(1) and the span returns to the pool
+    /// with its capacity intact, so repeated rebuild sessions stop
+    /// paying realloc churn.
+    fn maybe_dispose(&mut self, b: Time) {
+        if b == self.ord.first() || b == self.ord.last() || b == self.cur.anchor {
+            return;
+        }
+        let Some(&si) = self.span_of.get(b.index()) else {
+            return;
+        };
+        if si == SPAN_NONE || self.spans[si as usize].live != 0 {
+            return;
+        }
+        self.span_of[b.index()] = SPAN_NONE;
+        self.spans[si as usize].slots.clear();
+        self.spans[si as usize].head = 0;
+        self.free_spans.push(si);
+        self.ord.delete(b);
+        self.stats
+            .shrink_interval(cost::TIME_NODE + cost::SPAN_HEADER);
     }
 
     // ------------------------------------------------------------------
     // Trace purging.
     // ------------------------------------------------------------------
 
-    /// Purges the trace strictly between `from` and `to`: removes every
-    /// record the new execution did not reuse, undoing its effects
-    /// (reader registrations, memo entries, writes, allocations).
-    fn trash(&mut self, from: Time, to: Time) {
-        let mut cur = self.ord.next(from);
-        while cur != to {
-            debug_assert!(!cur.is_none(), "trash ran past the trace end");
-            let next = self.ord.next(cur);
-            let payload = self.payloads[cur.index()];
-            match payload {
-                Payload::Plain => {
-                    self.ord.delete(cur);
-                    self.stats.shrink(cost::TIME_NODE);
+    /// Purges the trace strictly between positions `from` and `to`:
+    /// removes every record the new execution did not reuse, undoing
+    /// its effects (reader registrations, memo entries, writes,
+    /// allocations). Fully purged intermediate intervals are disposed
+    /// whole — O(1) storage reclamation per interval; the record
+    /// finalizers walk the packed slots of each span contiguously.
+    fn trash(&mut self, from: Pos, to: Pos) {
+        // All walks start no earlier than the span's `head`: the slots
+        // below it are tombstones, already purged and reported.
+        if from.anchor == to.anchor {
+            let head = self.span_head(from.anchor) as usize;
+            let start = (from.off as usize).max(head);
+            for i in start..(to.off as usize).saturating_sub(1) {
+                self.purge_slot(from.anchor, i);
+            }
+            return;
+        }
+        // Tail of the from-interval (slots strictly after `from`).
+        let from_len = self.span_len(from.anchor) as usize;
+        let from_head = self.span_head(from.anchor) as usize;
+        for i in (from.off as usize).max(from_head)..from_len {
+            self.purge_slot(from.anchor, i);
+        }
+        // Whole intermediate intervals.
+        let mut b = self.ord.next(from.anchor);
+        while b != to.anchor {
+            debug_assert!(!b.is_none(), "trash ran past the trace end");
+            let next = self.ord.next(b);
+            let len = self.span_len(b) as usize;
+            for i in self.span_head(b) as usize..len {
+                self.purge_slot(b, i);
+            }
+            self.maybe_dispose(b);
+            b = next;
+        }
+        // Head of the to-interval (slots strictly before `to`).
+        for i in self.span_head(to.anchor) as usize..(to.off as usize).saturating_sub(1) {
+            self.purge_slot(to.anchor, i);
+        }
+    }
+
+    /// Purges one span slot (0-based index `i` under boundary `a`):
+    /// runs the record's purge effects, tombstones the slot and reports
+    /// `TracePurged`. Tombstoned slots are skipped silently — their
+    /// record was already purged and reported. A dead-but-queued read
+    /// keeps its start slot live until popped (the queue orders by it)
+    /// and is re-reported by every covering purge walk, matching the
+    /// node-per-action trace event stream exactly.
+    fn purge_slot(&mut self, a: Time, i: usize) {
+        let si = self.span_of[a.index()] as usize;
+        let s = self.spans[si].slots[i];
+        let tag = slot_tag(s);
+        let idx = slot_idx(s);
+        match tag {
+            TAG_TOMB => return,
+            TAG_READ => {
+                let r = idx;
+                if self.reads[r as usize].live {
+                    self.trash_read(r);
                 }
-                Payload::Read(r) => {
-                    if self.reads[r as usize].live {
-                        self.trash_read(r);
-                    }
-                    // Queued zombies keep their start timestamp until
-                    // popped (the queue orders by it).
-                    if !self.reads[r as usize].queued {
-                        self.ord.delete(cur);
-                        self.stats.shrink(cost::TIME_NODE);
-                        self.reads[r as usize].start = Time::NONE;
-                        self.maybe_free_read_slot(r);
-                    }
-                }
-                Payload::ReadEnd(r) => {
-                    debug_assert!(
-                        !self.reads[r as usize].live,
-                        "interval end purged before its start"
-                    );
-                    self.ord.delete(cur);
-                    self.stats.shrink(cost::TIME_NODE);
-                    self.reads[r as usize].end = Time::NONE;
+                if !self.reads[r as usize].queued {
+                    self.tomb_slot(si, i);
+                    self.reads[r as usize].start = Pos::NONE;
                     self.maybe_free_read_slot(r);
                 }
-                Payload::Write(w) => {
-                    self.trash_write(w);
-                    self.ord.delete(cur);
-                    self.stats.shrink(cost::TIME_NODE);
-                }
-                Payload::Alloc(a) => {
-                    self.trash_alloc(a);
-                    self.ord.delete(cur);
-                    self.stats.shrink(cost::TIME_NODE);
-                }
             }
-            self.stats.nodes_purged += 1;
-            // Slot fields survive the purge (slots are recycled, not
-            // cleared), so the site is still readable here.
-            let site = match payload {
-                Payload::Read(r) | Payload::ReadEnd(r) => self.reads[r as usize].site,
-                Payload::Alloc(a) => self.allocs[a as usize].site,
-                Payload::Plain | Payload::Write(_) => SiteId::NONE,
-            };
-            self.emit(Event::TracePurged {
-                kind: trace_kind(payload),
-                index: payload_index(payload),
-                site,
-            });
-            cur = next;
+            TAG_READ_END => {
+                let r = idx;
+                debug_assert!(
+                    !self.reads[r as usize].live,
+                    "interval end purged before its start"
+                );
+                self.tomb_slot(si, i);
+                self.reads[r as usize].end = Pos::NONE;
+                self.maybe_free_read_slot(r);
+            }
+            TAG_WRITE => {
+                self.trash_write(idx);
+                self.tomb_slot(si, i);
+            }
+            TAG_ALLOC => {
+                self.trash_alloc(idx);
+                self.tomb_slot(si, i);
+            }
+            _ => unreachable!("invalid slot tag"),
         }
+        self.stats.nodes_purged += 1;
+        // Record fields survive the purge (record slots are recycled,
+        // not cleared), so the site is still readable here.
+        let site = match tag {
+            TAG_READ | TAG_READ_END => self.reads[idx as usize].site,
+            TAG_ALLOC => self.allocs[idx as usize].site,
+            _ => SiteId::NONE,
+        };
+        self.emit(Event::TracePurged {
+            kind: tag_trace_kind(tag),
+            index: idx,
+            site,
+            interval: a.index() as u32,
+        });
     }
 
     fn trash_read(&mut self, r: u32) {
@@ -1672,7 +2133,7 @@ impl Engine {
                 self.program.name(self.reads[r as usize].func),
                 self.reads[r as usize].modref,
                 self.reads[r as usize].start,
-                self.ord.label(self.reads[r as usize].start),
+                self.ord.label(self.reads[r as usize].start.anchor),
                 self.reads[r as usize].end
             );
         }
@@ -1688,27 +2149,27 @@ impl Engine {
     fn trash_write(&mut self, w: u32) {
         debug_assert!(self.writes[w as usize].live);
         let m = self.writes[w as usize].modref;
-        let wtime = self.writes[w as usize].time;
+        let wpos = self.writes[w as usize].pos;
         let wvalue = self.writes[w as usize].value;
         let next_write = self.writes[w as usize].next_write;
         self.unlink_write(w);
-        // Reads in (wtime, next write) were governed by this write; they
+        // Reads in (wpos, next write) were governed by this write; they
         // are now governed by whatever precedes. Dirty those whose value
         // changes.
-        let newval = self.value_at(m, wtime);
+        let newval = self.value_at(m, wpos);
         if newval != wvalue {
             let bound = if next_write == NIL {
                 None
             } else {
-                Some(self.writes[next_write as usize].time)
+                Some(self.writes[next_write as usize].pos)
             };
             let mut r = self.heap.meta(m).reads_head;
             while r != NIL {
                 let next = self.reads[r as usize].next_reader;
                 let rd = &self.reads[r as usize];
-                if self.ord.lt(wtime, rd.start) {
+                if self.pos_lt(wpos, rd.start) {
                     match bound {
-                        Some(b) if !self.ord.lt(rd.start, b) => break,
+                        Some(b) if !self.pos_lt(rd.start, b) => break,
                         _ => {
                             if rd.last_value != newval {
                                 self.queue_push(r);
@@ -1767,8 +2228,8 @@ impl Engine {
                 let r = self.heap.meta(m).reads_head;
                 if r != NIL {
                     let rd = &self.reads[r as usize];
-                    let lb = if self.ord.is_live(rd.start) {
-                        self.ord.label(rd.start)
+                    let lb = if self.ord.is_live(rd.start.anchor) {
+                        self.ord.label(rd.start.anchor)
                     } else {
                         0
                     };
@@ -1806,7 +2267,7 @@ impl Engine {
     // Modifiable read/write lists and value lookup.
     // ------------------------------------------------------------------
 
-    /// The latest write of `m` at or before time `t` (`NIL` if `t`
+    /// The latest write of `m` at or before position `p` (`NIL` if `p`
     /// precedes every write, in which case the base value governs).
     ///
     /// Lookups during propagation and re-execution are temporally local,
@@ -1815,20 +2276,21 @@ impl Engine {
     /// temporal distance between consecutive lookups, instead of
     /// scanning from the tail of the whole write list every time.
     /// Starting anywhere live is sound: every write before the hint has
-    /// a smaller time and every write after it a larger one, so walking
-    /// backward past all writes `> t` and then forward over writes
-    /// `<= t` lands on the governing write from any starting point.
-    fn find_write_at(&mut self, m: ModRef, t: Time) -> u32 {
+    /// a smaller position and every write after it a larger one, so
+    /// walking backward past all writes `> p` and then forward over
+    /// writes `<= p` lands on the governing write from any starting
+    /// point.
+    fn find_write_at(&mut self, m: ModRef, p: Pos) -> u32 {
         let meta = self.heap.meta(m);
         let hint = meta.cache_write;
         let mut w = if hint != NIL { hint } else { meta.writes_tail };
-        while w != NIL && self.ord.lt(t, self.writes[w as usize].time) {
+        while w != NIL && self.pos_lt(p, self.writes[w as usize].pos) {
             w = self.writes[w as usize].prev_write;
         }
         if w != NIL {
             loop {
                 let n = self.writes[w as usize].next_write;
-                if n != NIL && self.ord.le(self.writes[n as usize].time, t) {
+                if n != NIL && self.pos_le(self.writes[n as usize].pos, p) {
                     w = n;
                 } else {
                     break;
@@ -1843,10 +2305,10 @@ impl Engine {
         w
     }
 
-    /// The value a read at time `t` observes: the latest write at or
-    /// before `t`, else the mutator's base value.
-    fn value_at(&mut self, m: ModRef, t: Time) -> Value {
-        let w = self.find_write_at(m, t);
+    /// The value a read at position `p` observes: the latest write at
+    /// or before `p`, else the mutator's base value.
+    fn value_at(&mut self, m: ModRef, p: Pos) -> Value {
+        let w = self.find_write_at(m, p);
         if w == NIL {
             self.heap.meta(m).base
         } else {
@@ -1905,13 +2367,13 @@ impl Engine {
     }
 
     fn link_reader_sorted(&mut self, m: ModRef, idx: u32) {
-        let t = self.reads[idx as usize].start;
+        let p = self.reads[idx as usize].start;
         let meta = self.heap.meta(m);
         let reads_head = meta.reads_head;
         let mut after = meta.reads_tail;
         while after != NIL {
             let node = &self.reads[after as usize];
-            if !self.ord.lt(t, node.start) {
+            if !self.pos_lt(p, node.start) {
                 break;
             }
             after = node.prev_reader;
@@ -1953,8 +2415,21 @@ impl Engine {
         self.reads[r as usize].next_reader = NIL;
     }
 
+    /// Removes `r` from the memo table. The key is recomputed from the
+    /// node instead of stored: `last_value` still holds the memoized
+    /// value here (re-execution updates it only after this call), so
+    /// the recomputed hash matches the one the entry was added under.
     fn memo_remove(&mut self, r: u32) {
-        let key = self.reads[r as usize].key_hash;
+        let key = {
+            let node = &self.reads[r as usize];
+            hash_key(
+                0x5EAD,
+                node.modref.0 as u64,
+                node.func.0 as u64,
+                &node.args,
+                Some(node.last_value),
+            )
+        };
         Bucket::remove(&mut self.memo_table, &mut self.spill, key, r);
     }
 
@@ -1971,9 +2446,8 @@ impl Engine {
                 func: FuncId(0),
                 args: ArgVec::new(),
                 last_value: Value::Nil,
-                key_hash: 0,
-                start: Time::NONE,
-                end: Time::NONE,
+                start: Pos::NONE,
+                end: Pos::NONE,
                 prev_reader: NIL,
                 next_reader: NIL,
                 queued: false,
@@ -1991,7 +2465,7 @@ impl Engine {
             self.writes.push(WriteNode {
                 modref: ModRef(0),
                 value: Value::Nil,
-                time: Time::NONE,
+                pos: Pos::NONE,
                 prev_write: NIL,
                 next_write: NIL,
                 live: false,
@@ -2010,7 +2484,7 @@ impl Engine {
                 init: FuncId(0),
                 args: Box::new([]),
                 loc: Loc(0),
-                time: Time::NONE,
+                pos: Pos::NONE,
                 live: false,
                 site: SiteId::NONE,
             });
@@ -2018,24 +2492,8 @@ impl Engine {
         }
     }
 
-    fn insert_time(&mut self, p: Payload, site: SiteId) -> Time {
-        let t = self.ord.insert_after(self.cur);
-        if t.index() >= self.payloads.len() {
-            self.payloads.resize(t.index() + 1, Payload::Plain);
-        }
-        self.payloads[t.index()] = p;
-        self.cur = t;
-        self.stats.grow(cost::TIME_NODE);
-        self.emit(Event::TraceCreated {
-            kind: trace_kind(p),
-            index: payload_index(p),
-            site,
-        });
-        t
-    }
-
     // ------------------------------------------------------------------
-    // Priority queue (binary heap over read start timestamps).
+    // Priority queue (binary heap over read start positions).
     // ------------------------------------------------------------------
 
     fn queue_push(&mut self, r: u32) {
@@ -2064,18 +2522,20 @@ impl Engine {
             if self.reads[r as usize].live {
                 return Some(r);
             }
-            // A purged zombie: release its deferred timestamp(s) and slot.
+            // A purged zombie: release its deferred start slot (kept
+            // live while queued so the heap order stays valid) and, if
+            // its interval is now empty, the boundary holding it.
             let start = self.reads[r as usize].start;
             if !start.is_none() {
-                self.ord.delete(start);
-                self.stats.shrink(cost::TIME_NODE);
-                self.reads[r as usize].start = Time::NONE;
+                self.tomb_at(start);
+                self.reads[r as usize].start = Pos::NONE;
+                self.maybe_dispose(start.anchor);
             }
             let end = self.reads[r as usize].end;
             if !end.is_none() {
-                self.ord.delete(end);
-                self.stats.shrink(cost::TIME_NODE);
-                self.reads[r as usize].end = Time::NONE;
+                self.tomb_at(end);
+                self.reads[r as usize].end = Pos::NONE;
+                self.maybe_dispose(end.anchor);
             }
             self.maybe_free_read_slot(r);
         }
@@ -2083,8 +2543,7 @@ impl Engine {
 
     #[inline]
     fn queue_less(&self, a: u32, b: u32) -> bool {
-        self.ord
-            .lt(self.reads[a as usize].start, self.reads[b as usize].start)
+        self.pos_lt(self.reads[a as usize].start, self.reads[b as usize].start)
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -2122,6 +2581,25 @@ impl Engine {
     // Test/debug support.
     // ------------------------------------------------------------------
 
+    /// Walks every non-tombstone slot of the trace in position order,
+    /// handing `(tag, record index)` to `visit`. Shared traversal
+    /// behind the trace/DDG renderers.
+    fn walk_slots(&self, mut visit: impl FnMut(u32, u32)) {
+        let mut t = self.ord.next(self.ord.first());
+        while t != self.ord.last() {
+            if let Some(&si) = self.span_of.get(t.index()) {
+                if si != SPAN_NONE {
+                    for &s in &self.spans[si as usize].slots {
+                        if slot_tag(s) != TAG_TOMB {
+                            visit(slot_tag(s), slot_idx(s));
+                        }
+                    }
+                }
+            }
+            t = self.ord.next(t);
+        }
+    }
+
     /// Renders the current trace (the dynamic dependence graph, §1) as
     /// text: one line per record in trace order, with read intervals,
     /// their closures, and write/alloc records. Intended for debugging
@@ -2130,13 +2608,11 @@ impl Engine {
         use std::fmt::Write as _;
         let mut out = String::new();
         let mut depth = 0usize;
-        let mut t = self.ord.next(self.ord.first());
-        while t != self.ord.last() {
+        self.walk_slots(|tag, idx| {
             let pad = |d: usize| "  ".repeat(d);
-            match self.payloads[t.index()] {
-                Payload::Plain => {}
-                Payload::Read(r) => {
-                    let rd = &self.reads[r as usize];
+            match tag {
+                TAG_READ => {
+                    let rd = &self.reads[idx as usize];
                     if rd.live {
                         let _ = writeln!(
                             out,
@@ -2150,17 +2626,17 @@ impl Engine {
                         depth += 1;
                     }
                 }
-                Payload::ReadEnd(r) => {
-                    if self.reads[r as usize].live {
+                TAG_READ_END => {
+                    if self.reads[idx as usize].live {
                         depth = depth.saturating_sub(1);
                     }
                 }
-                Payload::Write(w) => {
-                    let wr = &self.writes[w as usize];
+                TAG_WRITE => {
+                    let wr = &self.writes[idx as usize];
                     let _ = writeln!(out, "{}write {:?} := {:?}", pad(depth), wr.modref, wr.value);
                 }
-                Payload::Alloc(a) => {
-                    let al = &self.allocs[a as usize];
+                TAG_ALLOC => {
+                    let al = &self.allocs[idx as usize];
                     let _ = writeln!(
                         out,
                         "{}alloc {:?} ({} words, init {})",
@@ -2174,9 +2650,9 @@ impl Engine {
                         },
                     );
                 }
+                _ => unreachable!("invalid slot tag"),
             }
-            t = self.ord.next(t);
-        }
+        });
         out
     }
 
@@ -2193,27 +2669,25 @@ impl Engine {
     /// `[start, end]` in those positions, and `parent` is the innermost
     /// read whose interval contains the record (`None` at top level).
     fn walk_ddg(&self, mut visit: impl FnMut(DdgRecord<'_>)) {
-        // end-timestamp index -> (read, start seq), for closing intervals.
+        // Open stack: (read, start seq), for closing intervals.
         let mut open: Vec<(u32, u64)> = Vec::new();
         let mut seq = 0u64;
-        let mut t = self.ord.next(self.ord.first());
-        while t != self.ord.last() {
+        self.walk_slots(|tag, idx| {
             seq += 1;
             let parent = open.last().map(|&(r, _)| r);
-            match self.payloads[t.index()] {
-                Payload::Plain => {}
-                Payload::Read(r) => {
-                    if self.reads[r as usize].live {
-                        open.push((r, seq));
+            match tag {
+                TAG_READ => {
+                    if self.reads[idx as usize].live {
+                        open.push((idx, seq));
                     }
                 }
-                Payload::ReadEnd(r) => {
-                    if self.reads[r as usize].live {
+                TAG_READ_END => {
+                    if self.reads[idx as usize].live {
                         let (rr, start) = open.pop().expect("DDG read intervals must nest");
-                        debug_assert_eq!(rr, r, "DDG read intervals must nest");
-                        let rd = &self.reads[r as usize];
+                        debug_assert_eq!(rr, idx, "DDG read intervals must nest");
+                        let rd = &self.reads[idx as usize];
                         visit(DdgRecord::Read {
-                            read: r,
+                            read: idx,
                             node: rd,
                             start,
                             end: seq,
@@ -2221,25 +2695,25 @@ impl Engine {
                         });
                     }
                 }
-                Payload::Write(w) => {
+                TAG_WRITE => {
                     visit(DdgRecord::Write {
-                        write: w,
-                        node: &self.writes[w as usize],
+                        write: idx,
+                        node: &self.writes[idx as usize],
                         at: seq,
                         parent,
                     });
                 }
-                Payload::Alloc(a) => {
+                TAG_ALLOC => {
                     visit(DdgRecord::Alloc {
-                        alloc: a,
-                        node: &self.allocs[a as usize],
+                        alloc: idx,
+                        node: &self.allocs[idx as usize],
                         at: seq,
                         parent,
                     });
                 }
+                _ => unreachable!("invalid slot tag"),
             }
-            t = self.ord.next(t);
-        }
+        });
         debug_assert!(open.is_empty(), "unclosed read interval in DDG walk");
     }
 
@@ -2415,59 +2889,118 @@ impl Engine {
     }
 
     /// Checks internal invariants (test support): order-list linkage,
-    /// trace payload consistency, reader/writer list sorting and
-    /// membership, memo-table liveness, and queue flags.
+    /// interval/span consistency (spans disjoint, covering the trace,
+    /// with exact live counts and byte accounting), reader/writer list
+    /// sorting and membership, memo-table liveness, and queue flags.
     pub fn check_invariants(&self) {
         self.ord.check_invariants();
+        // Spans: every non-sentinel boundary owns exactly one span, no
+        // span is owned twice (disjointness), live counts match slot
+        // contents, and every record slot's stored position points back
+        // at its slot (the spans cover the trace: a record is reachable
+        // from exactly the boundary its position names).
+        let mut seen_spans = vec![false; self.spans.len()];
+        let mut live_total = 0usize;
+        let mut boundaries = 0usize;
+        let mut t = self.ord.next(self.ord.first());
+        while t != self.ord.last() {
+            boundaries += 1;
+            let si = self.span_of.get(t.index()).copied().unwrap_or(SPAN_NONE);
+            assert_ne!(si, SPAN_NONE, "boundary {t:?} owns no span");
+            assert!(!seen_spans[si as usize], "span owned by two boundaries");
+            seen_spans[si as usize] = true;
+            let span = &self.spans[si as usize];
+            assert!(span.slots.len() <= SPAN_CAP, "span overflows SPAN_CAP");
+            assert!(
+                span.head as usize <= span.slots.len(),
+                "span head past its length"
+            );
+            assert!(
+                span.slots[..span.head as usize]
+                    .iter()
+                    .all(|&s| slot_tag(s) == TAG_TOMB),
+                "live slot below span head"
+            );
+            let mut live_here = 0usize;
+            for (i, &s) in span.slots.iter().enumerate() {
+                let pos = Pos {
+                    anchor: t,
+                    off: (i + 1) as u32,
+                };
+                let idx = slot_idx(s);
+                match slot_tag(s) {
+                    TAG_TOMB => continue,
+                    TAG_READ => {
+                        let rd = &self.reads[idx as usize];
+                        assert_eq!(rd.start, pos, "read r{idx} start mismatch");
+                        assert!(
+                            rd.live || rd.queued,
+                            "trace contains a dead, unqueued read r{idx}"
+                        );
+                    }
+                    TAG_READ_END => {
+                        let rd = &self.reads[idx as usize];
+                        assert_eq!(rd.end, pos, "read r{idx} end mismatch");
+                        assert!(rd.live, "end marker for dead read r{idx}");
+                    }
+                    TAG_WRITE => {
+                        let wr = &self.writes[idx as usize];
+                        assert!(wr.live, "trace contains dead write w{idx}");
+                        assert_eq!(wr.pos, pos, "write w{idx} position mismatch");
+                    }
+                    TAG_ALLOC => {
+                        let al = &self.allocs[idx as usize];
+                        assert!(al.live, "trace contains dead alloc a{idx}");
+                        assert_eq!(al.pos, pos, "alloc a{idx} position mismatch");
+                        assert!(self.heap.is_live(al.loc), "alloc a{idx} block freed");
+                    }
+                    _ => panic!("invalid slot tag"),
+                }
+                live_here += 1;
+            }
+            assert_eq!(live_here, span.live as usize, "span live count drifted");
+            live_total += live_here;
+            t = self.ord.next(t);
+        }
+        assert_eq!(live_total, self.live_slots, "live slot total drifted");
+        for &si in &self.free_spans {
+            assert!(!seen_spans[si as usize], "pooled span still owned");
+            let span = &self.spans[si as usize];
+            assert!(span.slots.is_empty(), "pooled span not empty");
+            assert_eq!(span.live, 0, "pooled span has live slots");
+            seen_spans[si as usize] = true;
+        }
+        assert!(
+            seen_spans.iter().all(|&b| b),
+            "span neither owned by a boundary nor pooled"
+        );
+        assert_eq!(
+            self.stats.interval_bytes,
+            boundaries * (cost::TIME_NODE + cost::SPAN_HEADER) + self.live_slots * cost::SPAN_SLOT,
+            "interval byte accounting drifted"
+        );
         // Reads: intervals well-formed.
         for (i, rd) in self.reads.iter().enumerate() {
             if rd.live {
-                assert!(self.ord.is_live(rd.start), "live read r{i} has dead start");
+                assert!(
+                    !rd.start.is_none() && self.ord.is_live(rd.start.anchor),
+                    "live read r{i} has dead start"
+                );
                 assert!(
                     self.heap.meta_is_live(rd.modref),
                     "live read r{i} on dead modref {:?}",
                     rd.modref
                 );
                 if !rd.end.is_none() {
-                    assert!(self.ord.is_live(rd.end), "live read r{i} has dead end");
-                    assert!(self.ord.lt(rd.start, rd.end), "read r{i} interval inverted");
-                }
-            }
-        }
-        // Trace walk: every payload matches a live record whose recorded
-        // timestamp is this node.
-        let mut t = self.ord.next(self.ord.first());
-        while t != self.ord.last() {
-            match self.payloads[t.index()] {
-                Payload::Plain => {}
-                Payload::Read(r) => {
-                    let rd = &self.reads[r as usize];
-                    assert_eq!(rd.start, t, "read r{r} start mismatch");
                     assert!(
-                        rd.live || rd.queued,
-                        "trace contains a dead, unqueued read r{r}"
+                        self.ord.is_live(rd.end.anchor),
+                        "live read r{i} has dead end"
                     );
-                }
-                Payload::ReadEnd(r) => {
-                    let rd = &self.reads[r as usize];
-                    assert_eq!(rd.end, t, "read r{r} end mismatch");
-                    assert!(rd.live, "end marker for dead read r{r}");
-                }
-                Payload::Write(w) => {
-                    let wr = &self.writes[w as usize];
-                    assert!(wr.live, "trace contains dead write w{w}");
-                    assert_eq!(wr.time, t, "write w{w} time mismatch");
-                }
-                Payload::Alloc(a) => {
-                    let al = &self.allocs[a as usize];
-                    assert!(al.live, "trace contains dead alloc a{a}");
-                    assert_eq!(al.time, t, "alloc a{a} time mismatch");
-                    assert!(self.heap.is_live(al.loc), "alloc a{a} block freed");
+                    assert!(self.pos_lt(rd.start, rd.end), "read r{i} interval inverted");
                 }
             }
-            t = self.ord.next(t);
         }
-        // Reader and writer lists: sorted by time, members live.
+        // Reader and writer lists: sorted by position, members live.
         for (ri, rd) in self.reads.iter().enumerate() {
             if !rd.live {
                 continue;
@@ -2475,12 +3008,12 @@ impl Engine {
             // The read must be in its modref's reader list.
             let mut found = false;
             let mut r = self.heap.meta(rd.modref).reads_head;
-            let mut prev: Option<Time> = None;
+            let mut prev: Option<Pos> = None;
             while r != crate::heap::NIL {
                 let node = &self.reads[r as usize];
                 assert!(node.live, "reader list contains dead read r{r}");
                 if let Some(p) = prev {
-                    assert!(self.ord.lt(p, node.start), "reader list unsorted");
+                    assert!(self.pos_lt(p, node.start), "reader list unsorted");
                 }
                 prev = Some(node.start);
                 if r as usize == ri {
@@ -2496,14 +3029,14 @@ impl Engine {
             }
             let mut found = false;
             let mut w = self.heap.meta(wr.modref).writes_head;
-            let mut prev: Option<Time> = None;
+            let mut prev: Option<Pos> = None;
             while w != crate::heap::NIL {
                 let node = &self.writes[w as usize];
                 assert!(node.live, "write list contains dead write w{w}");
                 if let Some(p) = prev {
-                    assert!(self.ord.lt(p, node.time), "write list unsorted");
+                    assert!(self.pos_lt(p, node.pos), "write list unsorted");
                 }
-                prev = Some(node.time);
+                prev = Some(node.pos);
                 if w as usize == wi {
                     found = true;
                 }
@@ -2511,13 +3044,21 @@ impl Engine {
             }
             assert!(found, "live write w{wi} missing from its write list");
         }
-        // Memo table entries point at live reads with matching hashes.
+        // Memo table entries point at live reads whose recomputed keys
+        // match their bucket.
         for (&h, &entries) in &self.memo_table {
             let mut scratch = [0u32; 1];
             for &r in entries.records(&self.spill, &mut scratch) {
                 let rd = &self.reads[r as usize];
                 assert!(rd.live, "memo table holds dead read r{r}");
-                assert_eq!(rd.key_hash, h, "memo hash mismatch for r{r}");
+                let key = hash_key(
+                    0x5EAD,
+                    rd.modref.0 as u64,
+                    rd.func.0 as u64,
+                    &rd.args,
+                    Some(rd.last_value),
+                );
+                assert_eq!(key, h, "memo hash mismatch for r{r}");
             }
         }
         for (&h, &entries) in &self.alloc_table {
@@ -2530,7 +3071,11 @@ impl Engine {
         }
         for &q in &self.queue {
             assert!(self.reads[q as usize].queued, "queue entry not flagged");
-            assert!(self.ord.is_live(self.reads[q as usize].start));
+            let start = self.reads[q as usize].start;
+            assert!(
+                !start.is_none() && self.ord.is_live(start.anchor),
+                "queued read start slot missing"
+            );
         }
     }
 }

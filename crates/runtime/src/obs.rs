@@ -114,7 +114,7 @@ pub enum Event {
         /// Program point of the stealing allocation.
         site: SiteId,
     },
-    /// A trace record (timestamp) was created.
+    /// A trace record was created.
     TraceCreated {
         /// The record's kind.
         kind: TraceKind,
@@ -123,6 +123,11 @@ pub enum Event {
         index: u32,
         /// Program point that created the record.
         site: SiteId,
+        /// Raw timestamp index of the interval boundary the record was
+        /// appended under. Interval ids are *representation context*,
+        /// not semantics: they are excluded from the recorder digest,
+        /// which covers only the record-level stream (DESIGN.md §13).
+        interval: u32,
     },
     /// A trace record was purged ("trashed"). Carries the same `index`
     /// (and `site`) as the corresponding [`Event::TraceCreated`].
@@ -134,6 +139,10 @@ pub enum Event {
         index: u32,
         /// Program point that created the record.
         site: SiteId,
+        /// Raw timestamp index of the interval boundary the record was
+        /// purged from (excluded from the digest, like
+        /// [`Event::TraceCreated::interval`]).
+        interval: u32,
     },
     /// An engine phase (a `run_core`, `propagate`, batch commit or
     /// `clear_core` call) began. Phases never nest.
@@ -402,6 +411,20 @@ fn mix(h: u64, x: u64) -> u64 {
     h ^ (h >> 29)
 }
 
+/// Folds one event into the recorder digest.
+///
+/// The fold deliberately covers only *semantic* stream content: record
+/// kinds, slot indices and sites. Two representation-level channels are
+/// excluded so the digest is independent of how the trace is stored:
+///
+/// - the `interval` context on [`Event::TraceCreated`] /
+///   [`Event::TracePurged`] (interval boundary ids depend on span
+///   coalescing and splitting, not on what the program did);
+/// - [`Event::OrderMaintenance`] deltas (how much relabeling the
+///   timestamp list needed is a property of the boundary layout).
+///
+/// This is what lets diffcheck assert digest equality across executors
+/// *and* across trace representations (DESIGN.md §13).
 #[cfg(feature = "event-hooks")]
 fn fold_event(h: u64, ev: &Event) -> u64 {
     let site = |s: SiteId| s.0 as u64;
@@ -414,23 +437,17 @@ fn fold_event(h: u64, ev: &Event) -> u64 {
             kind,
             index,
             site: s,
+            ..
         } => mix(mix(mix(mix(h, 5), kind.tag()), index as u64), site(s)),
         Event::TracePurged {
             kind,
             index,
             site: s,
+            ..
         } => mix(mix(mix(mix(h, 6), kind.tag()), index as u64), site(s)),
         Event::PhaseBegin { kind } => mix(mix(h, 7), kind.tag()),
         Event::PhaseEnd { kind } => mix(mix(h, 8), kind.tag()),
-        Event::OrderMaintenance {
-            relabels,
-            renumbers,
-            splits,
-            merges,
-        } => mix(
-            mix(mix(mix(mix(h, 9), relabels), renumbers), splits),
-            merges,
-        ),
+        Event::OrderMaintenance { .. } => h,
     }
 }
 
@@ -1094,6 +1111,7 @@ mod tests {
             kind: TraceKind::Read,
             index: 1,
             site: SiteId(3),
+            interval: 0,
         });
         h.on_event(Event::OrderMaintenance {
             relabels: 1,

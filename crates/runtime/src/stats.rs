@@ -8,16 +8,33 @@
 
 /// Approximate byte costs of run-time records, used for live-space
 /// accounting. These mirror the field counts of the C RTS records.
+///
+/// Since the interval-coalesced trace representation (DESIGN.md §13),
+/// order-maintenance timestamps exist per *interval boundary* only:
+/// each boundary costs [`TIME_NODE`] + [`SPAN_HEADER`], while each
+/// trace action inside an interval costs one packed [`SPAN_SLOT`] on
+/// top of its record. Trace records no longer carry timestamps or a
+/// cached memo hash, which is what shrinks [`READ_NODE`],
+/// [`WRITE_NODE`] and [`ALLOC_NODE`] relative to the node-per-action
+/// representation.
 pub mod cost {
-    /// One timestamp (label + two links).
+    /// One order-maintenance timestamp (label + two links), paid per
+    /// interval boundary.
     pub const TIME_NODE: usize = 24;
-    /// A read trace node (modref, closure header, two timestamps' links,
-    /// reader-list links, hash).
-    pub const READ_NODE: usize = 72;
-    /// A write trace node.
-    pub const WRITE_NODE: usize = 40;
-    /// An allocation trace node.
-    pub const ALLOC_NODE: usize = 56;
+    /// A span header (slot buffer pointer + length + capacity), paid
+    /// per interval boundary.
+    pub const SPAN_HEADER: usize = 16;
+    /// One packed span slot (tag + record index in a `u32`).
+    pub const SPAN_SLOT: usize = 4;
+    /// A read trace node: modref, closure, last value, start/end
+    /// positions, reader-list links, site and flags. The argument
+    /// vector is accounted separately at [`ARG_WORD`] per word.
+    pub const READ_NODE: usize = 48;
+    /// A write trace node: modref, value, position, write-list links.
+    pub const WRITE_NODE: usize = 28;
+    /// An allocation trace node: key hash, shape (words/init), position,
+    /// location, site. Key arguments accounted at [`ARG_WORD`] per word.
+    pub const ALLOC_NODE: usize = 40;
     /// Modifiable metadata (base value + four list ends + owner).
     pub const META: usize = 48;
     /// One heap word.
@@ -57,6 +74,12 @@ pub struct Stats {
     pub nodes_purged: u64,
     /// Blocks collected when their allocation node was purged.
     pub blocks_collected: u64,
+    /// Interval boundaries created in the trace (cumulative; one
+    /// order-maintenance timestamp plus one span arena each).
+    pub trace_intervals: u64,
+    /// Intervals split because a re-execution landed strictly inside
+    /// them (the tail of the span moves to a fresh boundary).
+    pub interval_splits: u64,
     /// Calls to `propagate`.
     pub propagations: u64,
     /// Reads pushed into the propagation priority queue (dirtied by a
@@ -79,6 +102,9 @@ pub struct Stats {
     pub live_bytes: usize,
     /// High-water mark of `live_bytes`.
     pub max_live_bytes: usize,
+    /// The portion of `live_bytes` spent on the interval structure
+    /// itself: boundary timestamps, span headers and live span slots.
+    pub interval_bytes: usize,
     /// Order maintenance: top-level group relabel passes.
     pub order_group_relabels: u64,
     /// Order maintenance: within-group label renumber passes.
@@ -120,6 +146,10 @@ pub struct OpCounters {
     pub nodes_purged: u64,
     /// Mirrors [`Stats::blocks_collected`].
     pub blocks_collected: u64,
+    /// Mirrors [`Stats::trace_intervals`].
+    pub trace_intervals: u64,
+    /// Mirrors [`Stats::interval_splits`].
+    pub interval_splits: u64,
     /// Mirrors [`Stats::propagations`].
     pub propagations: u64,
     /// Mirrors [`Stats::queue_pushes`].
@@ -142,7 +172,7 @@ pub struct OpCounters {
 
 impl OpCounters {
     /// Counter names, in the order [`OpCounters::values`] returns them.
-    pub const NAMES: [&'static str; 19] = [
+    pub const NAMES: [&'static str; 21] = [
         "reads_created",
         "writes_created",
         "allocs_created",
@@ -153,6 +183,8 @@ impl OpCounters {
         "reads_skipped",
         "nodes_purged",
         "blocks_collected",
+        "trace_intervals",
+        "interval_splits",
         "propagations",
         "queue_pushes",
         "queue_pops",
@@ -177,6 +209,8 @@ impl OpCounters {
             reads_skipped: s.reads_skipped,
             nodes_purged: s.nodes_purged,
             blocks_collected: s.blocks_collected,
+            trace_intervals: s.trace_intervals,
+            interval_splits: s.interval_splits,
             propagations: s.propagations,
             queue_pushes: s.queue_pushes,
             queue_pops: s.queue_pops,
@@ -190,7 +224,7 @@ impl OpCounters {
     }
 
     /// Counter values, in the order of [`OpCounters::NAMES`].
-    pub fn values(&self) -> [u64; 19] {
+    pub fn values(&self) -> [u64; 21] {
         [
             self.reads_created,
             self.writes_created,
@@ -202,6 +236,8 @@ impl OpCounters {
             self.reads_skipped,
             self.nodes_purged,
             self.blocks_collected,
+            self.trace_intervals,
+            self.interval_splits,
             self.propagations,
             self.queue_pushes,
             self.queue_pops,
@@ -248,7 +284,7 @@ impl OpCounters {
         }
     }
 
-    fn values_mut(&mut self) -> [&mut u64; 19] {
+    fn values_mut(&mut self) -> [&mut u64; 21] {
         [
             &mut self.reads_created,
             &mut self.writes_created,
@@ -260,6 +296,8 @@ impl OpCounters {
             &mut self.reads_skipped,
             &mut self.nodes_purged,
             &mut self.blocks_collected,
+            &mut self.trace_intervals,
+            &mut self.interval_splits,
             &mut self.propagations,
             &mut self.queue_pushes,
             &mut self.queue_pops,
@@ -294,6 +332,22 @@ impl Stats {
     pub(crate) fn shrink(&mut self, n: usize) {
         debug_assert!(self.live_bytes >= n, "live-byte accounting underflow");
         self.live_bytes = self.live_bytes.saturating_sub(n);
+    }
+
+    /// Adds `n` bytes of interval structure (boundary timestamps, span
+    /// headers, span slots); feeds `live_bytes` like any other record.
+    #[inline]
+    pub(crate) fn grow_interval(&mut self, n: usize) {
+        self.interval_bytes += n;
+        self.grow(n);
+    }
+
+    /// Removes `n` bytes of interval structure.
+    #[inline]
+    pub(crate) fn shrink_interval(&mut self, n: usize) {
+        debug_assert!(self.interval_bytes >= n, "interval-byte underflow");
+        self.interval_bytes = self.interval_bytes.saturating_sub(n);
+        self.shrink(n);
     }
 
     /// Resets the high-water mark to the current footprint (used by

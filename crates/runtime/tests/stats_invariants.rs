@@ -152,11 +152,30 @@ fn live_bytes_returns_to_floor_after_clear_core() {
     e.check_invariants();
     assert_eq!(e.stats().live_bytes, floor, "purge missed core space");
     assert_eq!(e.trace_len(), trace_floor, "purge left trace records");
+    assert_eq!(e.interval_count(), 0, "purge left interval boundaries");
+    // Span arenas are pooled, not freed: the next session reuses them.
+    let pooled = e.pooled_spans();
+    assert!(pooled > 0, "clear_core pooled no span arenas");
 
     // The engine is reusable: a fresh core run produces the right output.
     e.run_core(map, &[Value::ModRef(input.head), Value::ModRef(out_head)]);
     let expect: Vec<i64> = data.iter().map(|&x| paper_map_fn(x)).collect();
     assert_eq!(collect_output(&e, out_head), expect);
+    assert!(
+        e.pooled_spans() < pooled,
+        "rebuild session did not draw spans from the pool"
+    );
+
+    // A rebuild cycle is allocation-neutral: the second purge returns
+    // every span to the pool, growing it by nothing.
+    e.clear_core();
+    e.check_invariants();
+    assert_eq!(e.stats().live_bytes, floor, "second purge missed core space");
+    assert_eq!(
+        e.pooled_spans(),
+        pooled,
+        "rebuild session allocated fresh span arenas instead of reusing the pool"
+    );
 }
 
 /// `max_live_bytes` is a high-water mark: it never decreases and always
