@@ -353,7 +353,7 @@ fn handopt(opts: &Opts) {
 
 /// DESIGN.md §6 ablations: memoization and keyed allocation switched off.
 fn ablation(opts: &Opts) {
-    use ceal_runtime::EngineConfig;
+    use ceal_runtime::{EngineConfig, PropagationPolicy};
     let n = opts.get_usize("n", 30_000);
     let edits = opts.get_usize("edits", 100);
     let seed = opts.get_usize("seed", 42) as u64;
@@ -364,6 +364,7 @@ fn ablation(opts: &Opts) {
                 memo: true,
                 keyed_alloc: true,
                 sml_sim: None,
+                policy: PropagationPolicy::Eager,
             },
         ),
         (
@@ -372,6 +373,7 @@ fn ablation(opts: &Opts) {
                 memo: false,
                 keyed_alloc: true,
                 sml_sim: None,
+                policy: PropagationPolicy::Eager,
             },
         ),
         (
@@ -380,6 +382,7 @@ fn ablation(opts: &Opts) {
                 memo: true,
                 keyed_alloc: false,
                 sml_sim: None,
+                policy: PropagationPolicy::Eager,
             },
         ),
         (
@@ -388,6 +391,7 @@ fn ablation(opts: &Opts) {
                 memo: false,
                 keyed_alloc: false,
                 sml_sim: None,
+                policy: PropagationPolicy::Eager,
             },
         ),
     ];

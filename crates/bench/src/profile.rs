@@ -322,6 +322,52 @@ fn profile_batch_dense(sink: Option<&mut TraceSink>) -> Profile {
     e.take_profile("batch_dense_512")
 }
 
+/// Cold-session sparse observation under the demand policy: the same
+/// 64-deep copy chain as `engine_chain64`, but with
+/// [`PropagationPolicy::Demand`] and only every fifth edit round
+/// observing the output. The unobserved rounds mark dirt without
+/// re-executing anything; each `observe` runs one coalesced
+/// demand-clean pass. Exercises the `demand` phase counters and the
+/// `dirty_marks`/`demand_cleans` pair that every eager workload leaves
+/// at zero (DESIGN.md §14).
+fn profile_demand_sparse(sink: Option<&mut TraceSink>) -> Profile {
+    let mut b = ProgramBuilder::new();
+    let body = b.native("copy_body", |e, args| {
+        e.write(args[1].modref(), args[0]);
+        Tail::Done
+    });
+    let copy = b.native("copy", move |_e, args| {
+        Tail::read(args[0].modref(), body, &args[1..])
+    });
+    let mut e = Engine::with_config(
+        b.build(),
+        EngineConfig::default().policy(PropagationPolicy::Demand),
+    )
+    .expect("valid demand config");
+    e.enable_profiling();
+    let rec = sink.is_some().then(|| attach_recorder(&mut e));
+    let chain: Vec<_> = (0..65).map(|_| e.meta_modref()).collect();
+    e.modify(chain[0], Value::Int(0));
+    for w in chain.windows(2) {
+        e.run_core(copy, &[Value::ModRef(w[0]), Value::ModRef(w[1])]);
+    }
+    for k in 1..=20i64 {
+        e.modify(chain[0], Value::Int(k));
+        if k % 5 == 0 {
+            assert_eq!(
+                e.observe(chain[64]),
+                Value::Int(k),
+                "demand_sparse observed wrong value"
+            );
+        }
+    }
+    e.clear_core();
+    if let (Some(s), Some(r)) = (sink, &rec) {
+        s.capture("demand_sparse_chain64", r, &e);
+    }
+    e.take_profile("demand_sparse_chain64")
+}
+
 /// Runs every profile workload and returns the reports, in a fixed
 /// order.
 pub fn collect_profiles() -> Vec<Profile> {
@@ -339,6 +385,7 @@ pub fn collect_profiles_traced(sink: &mut Option<TraceSink>) -> Vec<Profile> {
         profile_exptrees(sink.as_mut()),
         profile_tcon(sink.as_mut()),
         profile_batch_dense(sink.as_mut()),
+        profile_demand_sparse(sink.as_mut()),
     ]
 }
 
@@ -354,12 +401,7 @@ pub fn memory_rows(profiles: &[Profile]) -> Vec<(String, u64, u64, u64)> {
         .iter()
         .map(|p| {
             let peak_phase = p.phases.iter().map(|ph| ph.live_bytes).max().unwrap_or(0);
-            (
-                p.name.clone(),
-                p.max_live_bytes,
-                peak_phase,
-                p.live_bytes,
-            )
+            (p.name.clone(), p.max_live_bytes, peak_phase, p.live_bytes)
         })
         .collect()
 }

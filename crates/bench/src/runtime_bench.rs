@@ -69,6 +69,7 @@ pub fn run(opts: &Opts) {
     order_benches(&mut entries, ord_n, budget, seed);
     engine_benches(&mut entries, budget);
     let cascade = batch_dense_benches(&mut entries, budget);
+    let demand = demand_sparse_benches(&mut entries, budget);
     tcon_bench(&mut entries, tcon_n, tcon_edits, seed, reps);
 
     // Attach baseline numbers captured by an earlier `--save-baseline`
@@ -104,8 +105,11 @@ pub fn run(opts: &Opts) {
         println!("\nbaseline saved to {path}");
     }
 
-    std::fs::write(&out_path, to_json(&entries, quick, seed, Some(&cascade)))
-        .expect("write bench json");
+    std::fs::write(
+        &out_path,
+        to_json(&entries, quick, seed, Some(&cascade), Some(&demand)),
+    )
+    .expect("write bench json");
     println!("\nresults written to {out_path}");
 
     // Profile mode: also run the deterministic counter workloads and
@@ -312,6 +316,12 @@ impl CascadeOps {
 /// at a time pays O(stages²) queue traffic, while a batch commit
 /// dirties everything first and each stage re-executes once.
 fn build_cascade() -> (Engine, Vec<ModRef>, ModRef) {
+    build_cascade_with(PropagationPolicy::Eager)
+}
+
+/// [`build_cascade`] under an explicit propagation policy (the
+/// sparse-observation workload runs it under both).
+fn build_cascade_with(policy: PropagationPolicy) -> (Engine, Vec<ModRef>, ModRef) {
     let mut b = ProgramBuilder::new();
     let add_c = b.native("add2_c", |e, args| {
         // args: [b, out, a]
@@ -328,7 +338,8 @@ fn build_cascade() -> (Engine, Vec<ModRef>, ModRef) {
         Tail::read(args[0].modref(), add_b, &args[1..])
     });
 
-    let mut e = Engine::new(b.build());
+    let mut e = Engine::with_config(b.build(), EngineConfig::default().policy(policy))
+        .expect("valid cascade config");
     let xs: Vec<ModRef> = (0..CASCADE_STAGES).map(|_| e.meta_modref()).collect();
     let ss: Vec<ModRef> = (0..CASCADE_STAGES).map(|_| e.meta_modref()).collect();
     for (i, &x) in xs.iter().enumerate() {
@@ -432,6 +443,136 @@ fn batch_dense_benches(entries: &mut Vec<Entry>, budget: u64) -> CascadeOps {
     ops
 }
 
+/// Rounds of the sparse-observation workload: one input edit per round.
+pub const DEMAND_ROUNDS: u64 = 16;
+/// Only every fourth round observes the output.
+pub const DEMAND_OBSERVE_EVERY: u64 = 4;
+
+/// Re-execution traffic of the sparse-observation workload per policy.
+/// Deterministic: pure counter deltas, no timing.
+pub struct DemandSparseOps {
+    /// Reads re-executed by the eager route (one propagation per edit).
+    pub eager_reexecs: u64,
+    /// Reads re-executed by the demand route (one demand-clean pass per
+    /// observed round; unobserved rounds only mark).
+    pub demand_reexecs: u64,
+    /// Interval boundaries created by the eager route's re-executions.
+    pub eager_intervals: u64,
+    /// Interval boundaries created by the demand route's re-executions.
+    pub demand_intervals: u64,
+    /// Eager propagation passes (= edit rounds).
+    pub eager_passes: u64,
+    /// Demand-clean passes (= observed rounds).
+    pub demand_passes: u64,
+}
+
+impl DemandSparseOps {
+    /// How many times fewer reads the demand route re-executes.
+    pub fn reexec_reduction(&self) -> f64 {
+        self.eager_reexecs as f64 / self.demand_reexecs as f64
+    }
+}
+
+/// Measures the cold-session sparse-observation workload on the
+/// cascade: [`DEMAND_ROUNDS`] single-input edits, the output observed
+/// every [`DEMAND_OBSERVE_EVERY`] rounds. The eager route pays a full
+/// propagation per edit; the demand route defers, so the unobserved
+/// rounds coalesce into the next observation's single pass. Both routes
+/// must observe identical values.
+pub fn measure_demand_sparse() -> DemandSparseOps {
+    let run = |policy: PropagationPolicy| -> (OpCounters, Vec<Value>) {
+        let (mut e, xs, out) = build_cascade_with(policy);
+        let before = e.stats().op_counters();
+        let mut seen = Vec::new();
+        for k in 1..=DEMAND_ROUNDS {
+            e.modify(xs[0], Value::Int(1000 + k as i64));
+            match policy {
+                PropagationPolicy::Eager => {
+                    e.propagate();
+                    if k % DEMAND_OBSERVE_EVERY == 0 {
+                        seen.push(e.observe(out));
+                    }
+                }
+                PropagationPolicy::Demand => {
+                    if k % DEMAND_OBSERVE_EVERY == 0 {
+                        seen.push(e.observe(out));
+                    }
+                }
+            }
+        }
+        (e.stats().op_counters().delta(&before), seen)
+    };
+    let (eager, seen_eager) = run(PropagationPolicy::Eager);
+    let (demand, seen_demand) = run(PropagationPolicy::Demand);
+    assert_eq!(
+        seen_eager, seen_demand,
+        "policies observed different values"
+    );
+    assert_eq!(eager.propagations, DEMAND_ROUNDS, "eager pass per round");
+    assert_eq!(
+        demand.demand_cleans,
+        DEMAND_ROUNDS / DEMAND_OBSERVE_EVERY,
+        "demand pass per observed round"
+    );
+    DemandSparseOps {
+        eager_reexecs: eager.reads_reexecuted,
+        demand_reexecs: demand.reads_reexecuted,
+        eager_intervals: eager.trace_intervals,
+        demand_intervals: demand.trace_intervals,
+        eager_passes: eager.propagations,
+        demand_passes: demand.demand_cleans,
+    }
+}
+
+/// Sparse-observation benches: wall-clock per round for each policy,
+/// plus the deterministic re-execution comparison behind the ≥2x claim.
+fn demand_sparse_benches(entries: &mut Vec<Entry>, budget: u64) -> DemandSparseOps {
+    let (mut e, xs, out) = build_cascade_with(PropagationPolicy::Eager);
+    let mut k = 0i64;
+    let s = bench_with_budget("demand_sparse/eager_round16_obs4", budget, || {
+        for _ in 0..DEMAND_ROUNDS {
+            k += 1;
+            e.modify(xs[0], Value::Int(k));
+            e.propagate();
+            if k % DEMAND_OBSERVE_EVERY as i64 == 0 {
+                std::hint::black_box(e.observe(out));
+            }
+        }
+    });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
+
+    let (mut e, xs, out) = build_cascade_with(PropagationPolicy::Demand);
+    let mut k = 0i64;
+    let s = bench_with_budget("demand_sparse/demand_round16_obs4", budget, || {
+        for _ in 0..DEMAND_ROUNDS {
+            k += 1;
+            e.modify(xs[0], Value::Int(k));
+            if k % DEMAND_OBSERVE_EVERY as i64 == 0 {
+                std::hint::black_box(e.observe(out));
+            }
+        }
+    });
+    entries.push(Entry {
+        name: s.name,
+        secs: s.secs_per_iter,
+        baseline_secs: None,
+    });
+
+    let ops = measure_demand_sparse();
+    println!(
+        "{:<40} {} eager vs {} demand reexecs ({:.2}x fewer)",
+        "demand_sparse/reexecs_round16_obs4",
+        ops.eager_reexecs,
+        ops.demand_reexecs,
+        ops.reexec_reduction()
+    );
+    ops
+}
+
 /// The Fig. 13 anchor point: tcon at full size, from scratch and per
 /// update. `Bench::measure` does its own timing; rerun it `reps` times
 /// and keep the fastest of each column to suppress scheduler noise.
@@ -488,7 +629,13 @@ fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
 
 /// Hand-rolled JSON so the workspace needs no serialization dependency;
 /// every value is a string-keyed object of plain numbers.
-fn to_json(entries: &[Entry], quick: bool, seed: u64, cascade: Option<&CascadeOps>) -> String {
+fn to_json(
+    entries: &[Entry],
+    quick: bool,
+    seed: u64,
+    cascade: Option<&CascadeOps>,
+    demand: Option<&DemandSparseOps>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"ceal-bench-runtime/v1\",\n");
@@ -503,6 +650,24 @@ fn to_json(entries: &[Entry], quick: bool, seed: u64, cascade: Option<&CascadeOp
             c.per_edit,
             c.batched,
             c.reduction()
+        );
+    }
+    if let Some(d) = demand {
+        let _ = writeln!(
+            s,
+            "  \"demand_sparse\": {{\"rounds\": {}, \"observe_every\": {}, \
+             \"eager_reads_reexecuted\": {}, \"demand_reads_reexecuted\": {}, \
+             \"eager_intervals\": {}, \"demand_intervals\": {}, \
+             \"eager_passes\": {}, \"demand_cleans\": {}, \"reexec_reduction\": {:.3}}},",
+            DEMAND_ROUNDS,
+            DEMAND_OBSERVE_EVERY,
+            d.eager_reexecs,
+            d.demand_reexecs,
+            d.eager_intervals,
+            d.demand_intervals,
+            d.eager_passes,
+            d.demand_passes,
+            d.reexec_reduction()
         );
     }
     s.push_str("  \"results\": {\n");
@@ -541,7 +706,7 @@ mod tests {
                 baseline_secs: None,
             },
         ];
-        let j = to_json(&entries, true, 42, None);
+        let j = to_json(&entries, true, 42, None, None);
         assert!(j.contains("\"a/b_1k\""));
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.ends_with("}\n"));
@@ -549,8 +714,18 @@ mod tests {
             per_edit: 300,
             batched: 100,
         };
-        let j = to_json(&entries, true, 42, Some(&c));
+        let d = DemandSparseOps {
+            eager_reexecs: 400,
+            demand_reexecs: 100,
+            eager_intervals: 40,
+            demand_intervals: 10,
+            eager_passes: 16,
+            demand_passes: 4,
+        };
+        let j = to_json(&entries, true, 42, Some(&c), Some(&d));
         assert!(j.contains("\"queue_op_reduction\": 3.000"));
+        assert!(j.contains("\"reexec_reduction\": 4.000"));
+        assert!(j.contains("\"demand_cleans\": 4"));
         // Baseline files round-trip through the parser.
         let dir = std::env::temp_dir().join("ceal_bench_baseline_test.txt");
         std::fs::write(&dir, "a/b_1k 1.5e-3\nc 2e0\n").unwrap();
@@ -565,6 +740,28 @@ mod tests {
     /// (64 dependent edits per round) the batched route performs at
     /// least 1.3x fewer propagation-queue operations than per-edit
     /// propagation. Deterministic counters, so this can gate CI.
+    /// The acceptance bar for the demand policy: on the cascade with
+    /// only every fourth round observed, the demand route re-executes
+    /// at least 2x fewer reads than eager per-round propagation.
+    /// Deterministic counters, so this can gate CI.
+    #[test]
+    fn demand_route_cuts_reexecution() {
+        let ops = measure_demand_sparse();
+        assert!(
+            ops.eager_reexecs as f64 >= 2.0 * ops.demand_reexecs as f64,
+            "expected >=2x fewer re-executed reads, got {} eager vs {} demand ({:.2}x)",
+            ops.eager_reexecs,
+            ops.demand_reexecs,
+            ops.reexec_reduction()
+        );
+        assert!(
+            ops.demand_passes < ops.eager_passes,
+            "demand must run fewer passes ({} vs {})",
+            ops.demand_passes,
+            ops.eager_passes
+        );
+    }
+
     #[test]
     fn batched_route_cuts_queue_ops() {
         let ops = measure_cascade_queue_ops();

@@ -13,7 +13,7 @@ fn workloads_match_golden_and_detect_drift() {
     // Every workload contributes counters, and totals partition
     // lifetimes (per-phase sums were checked inside the runtime; here
     // just sanity-check the flattened shape).
-    assert_eq!(profiles.len(), 6);
+    assert_eq!(profiles.len(), 7);
     assert!(current
         .iter()
         .any(|(k, _)| k == "tcon_2k/propagate/reads_reexecuted"));
@@ -23,6 +23,9 @@ fn workloads_match_golden_and_detect_drift() {
     assert!(current
         .iter()
         .any(|(k, v)| k == "batch_dense_512/batch/batch_commits" && *v > 0));
+    assert!(current
+        .iter()
+        .any(|(k, v)| k == "demand_sparse_chain64/demand/demand_cleans" && *v > 0));
 
     // The gate passes against the checked-in golden: these counters are
     // a deterministic function of the code, not of the machine or the

@@ -313,15 +313,15 @@ impl Json {
     }
 }
 
-/// All six counter-gate workloads export schema-valid, span-balanced
+/// All seven counter-gate workloads export schema-valid, span-balanced
 /// Chrome trace JSON plus well-formed attribution JSON.
 #[test]
 fn chrome_traces_are_valid_for_all_gate_workloads() {
     let mut sink = Some(TraceSink::default());
     let profiles = collect_profiles_traced(&mut sink);
     let sink = sink.unwrap();
-    assert_eq!(profiles.len(), 6, "expected the six gate workloads");
-    assert_eq!(sink.traces.len(), 6, "one trace per workload");
+    assert_eq!(profiles.len(), 7, "expected the seven gate workloads");
+    assert_eq!(sink.traces.len(), 7, "one trace per workload");
 
     for t in &sink.traces {
         check_chrome_trace(&t.name, &t.trace_json);

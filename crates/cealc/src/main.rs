@@ -13,6 +13,9 @@
 //!                                # With --batch, all edits are staged in
 //!                                # one transaction and committed with a
 //!                                # single coalesced propagation pass.
+//!                                # With --policy demand, edits only mark
+//!                                # dirty and the pass runs on demand when
+//!                                # the output is observed (DESIGN.md §14).
 //! cealc FILE.ceal --run ENTRY --in 1,2,3 --trace-out DIR
 //!                                # additionally record the attributed
 //!                                # event stream and write trace
@@ -54,7 +57,7 @@ fn main() -> ExitCode {
         eprintln!("usage: cealc FILE.ceal [--emit-cl|--emit-norm|--emit-c]");
         eprintln!(
             "       cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit IDX=VAL ...] \
-             [--batch] [--trace-out DIR]"
+             [--batch] [--policy eager|demand] [--trace-out DIR]"
         );
         return ExitCode::from(2);
     };
@@ -134,7 +137,27 @@ fn main() -> ExitCode {
             .position(|a| a == "--trace-out")
             .and_then(|i| args.get(i + 1))
             .map(std::path::PathBuf::from);
-        let mut e = Engine::new(b.build());
+        let policy = match args
+            .iter()
+            .position(|a| a == "--policy")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+        {
+            None | Some("eager") => PropagationPolicy::Eager,
+            Some("demand") => PropagationPolicy::Demand,
+            Some(other) => {
+                eprintln!("cealc: unknown --policy {other} (expected eager or demand)");
+                return ExitCode::FAILURE;
+            }
+        };
+        let config = EngineConfig::default().policy(policy);
+        let mut e = match Engine::with_config(b.build(), config) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!("cealc: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
         let recorder = trace_dir.as_ref().map(|_| {
             let rec = TraceRecorder::shared();
             e.set_event_hook(Box::new(std::rc::Rc::clone(&rec)));
@@ -153,6 +176,7 @@ fn main() -> ExitCode {
         run_args.push(Value::ModRef(res));
         e.run_core(entry, &run_args);
         println!("{entry_name}({ins:?}) = {}", e.deref(res));
+        let demand = policy == PropagationPolicy::Demand;
         // Collect edits: --edit IDX=VAL, in order.
         let mut edits: Vec<(usize, i64)> = Vec::new();
         let mut it = args.iter();
@@ -181,10 +205,12 @@ fn main() -> ExitCode {
                 batch.modify(in_mods[i], Value::Int(v));
             }
             batch.commit();
+            // Under the demand policy the commit defers: the observe
+            // below triggers the (single) demand-clean pass.
+            let val = e.observe(res);
             println!(
-                "after batch of {}: {} ({} reads re-executed)",
+                "after batch of {}: {val} ({} reads re-executed)",
                 edits.len(),
-                e.deref(res),
                 e.stats().reads_reexecuted - before
             );
         } else {
@@ -193,12 +219,19 @@ fn main() -> ExitCode {
                 let mut batch = e.batch();
                 batch.modify(in_mods[i], Value::Int(v));
                 batch.commit();
+                let val = e.observe(res);
                 println!(
-                    "after in[{i}] := {v}: {} ({} reads re-executed)",
-                    e.deref(res),
+                    "after in[{i}] := {v}: {val} ({} reads re-executed)",
                     e.stats().reads_reexecuted - before
                 );
             }
+        }
+        if demand {
+            println!(
+                "demand policy: {} dirty marks, {} demand-clean passes",
+                e.stats().dirty_marks,
+                e.stats().demand_cleans
+            );
         }
         if let (Some(dir), Some(rec)) = (&trace_dir, &recorder) {
             if let Err(err) = write_trace_artifacts(dir, &rec.borrow(), &e) {

@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use diffcheck::corpus::{corpus_dir, to_corpus_file};
 use diffcheck::gen::gen_case;
-use diffcheck::oracle::run_test_case;
+use diffcheck::oracle::{run_test_case_with, PolicySuite};
 use diffcheck::shrink::shrink;
 
 struct Options {
@@ -20,12 +20,13 @@ struct Options {
     write_corpus: bool,
     corpus_dir: std::path::PathBuf,
     verbose: bool,
+    policy: PolicySuite,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: diffcheck [--seed N] [--count M] [--shrink-runs N] \
-         [--corpus-dir PATH] [--no-corpus] [--verbose]"
+         [--corpus-dir PATH] [--no-corpus] [--policy eager|demand|mixed|all] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -38,6 +39,7 @@ fn parse_args() -> Options {
         write_corpus: true,
         corpus_dir: corpus_dir(),
         verbose: false,
+        policy: PolicySuite::All,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,6 +56,9 @@ fn parse_args() -> Options {
                 opts.shrink_runs = next("--shrink-runs").parse().unwrap_or_else(|_| usage())
             }
             "--corpus-dir" => opts.corpus_dir = next("--corpus-dir").into(),
+            "--policy" => {
+                opts.policy = PolicySuite::parse(&next("--policy")).unwrap_or_else(|| usage())
+            }
             "--no-corpus" => opts.write_corpus = false,
             "--verbose" | "-v" => opts.verbose = true,
             "--help" | "-h" => usage(),
@@ -81,7 +86,7 @@ fn main() -> ExitCode {
         let seed = opts.seed.wrapping_add(i);
         let case = gen_case(seed);
         let tc = case.to_test_case();
-        match run_test_case(&tc) {
+        match run_test_case_with(&tc, opts.policy) {
             Ok(report) => {
                 edits_checked += tc.edits.len() as u64;
                 digest = digest.wrapping_mul(0x100000001b3) ^ report.digest();

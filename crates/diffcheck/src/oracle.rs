@@ -44,6 +44,22 @@
 //! program points over the same normalized CL, so every re-execution,
 //! memo probe, steal and trace create/purge must agree event by event
 //! — order and slot indices included, not just totals.
+//!
+//! Finally the **demand policy** (DESIGN.md §14) is checked against the
+//! same reference: two more engine sessions (VM-backed and
+//! clvm-backed) run under [`PropagationPolicy::Demand`], applying each
+//! edit without propagating and calling [`Engine::observe`] instead —
+//! every observed value must equal the eager/from-scratch answer
+//! (failure kind `policy-mismatch`, detailed with the first diverging
+//! observation). The demand pair must also agree with *each other* on
+//! counters and event digests (demand digests legitimately differ from
+//! eager ones — passes run at observation points, not edit points — so
+//! digests are only ever compared within a policy). A seventh session
+//! drives a *randomly-interleaved mixed schedule*: edits defer as in
+//! demand mode but only a pseudo-random subset of rounds observes,
+//! so demand-clean passes land after arbitrary runs of unobserved
+//! edits. Which suites run is selected by [`PolicySuite`]
+//! (`diffcheck --policy`); the default runs everything.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,7 +70,7 @@ use ceal_ir::cl::{FuncRef, Program};
 use ceal_ir::interp::{IValue, Machine};
 use ceal_ir::validate::{is_normal, validate};
 use ceal_lang::frontend;
-use ceal_runtime::engine::Engine;
+use ceal_runtime::engine::{Engine, EngineConfig, PropagationPolicy};
 use ceal_runtime::prng::Prng;
 use ceal_runtime::program::ProgramBuilder;
 use ceal_runtime::value::{FuncId, ModRef, Value};
@@ -216,6 +232,59 @@ fn edit_routes(tc: &TestCase) -> Vec<Route> {
         .collect()
 }
 
+/// Which policy suites [`run_test_case_with`] exercises. The sweep in
+/// CI splits one seed range across the variants; local runs and the
+/// shrinker use [`PolicySuite::All`] so every failure kind stays
+/// reachable (and `policy-mismatch` repros minimize like any other).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PolicySuite {
+    /// Eager executors only (interp ×2, vm, clvm, route pair).
+    Eager,
+    /// Demand executors only (vm + clvm under the demand policy,
+    /// observing after every edit).
+    Demand,
+    /// The mixed-schedule executor only (demand policy, pseudo-random
+    /// observation points).
+    Mixed,
+    /// Everything.
+    #[default]
+    All,
+}
+
+impl PolicySuite {
+    /// Parses a `--policy` argument.
+    pub fn parse(s: &str) -> Option<PolicySuite> {
+        match s {
+            "eager" => Some(PolicySuite::Eager),
+            "demand" => Some(PolicySuite::Demand),
+            "mixed" => Some(PolicySuite::Mixed),
+            "all" => Some(PolicySuite::All),
+            _ => None,
+        }
+    }
+
+    fn eager(self) -> bool {
+        matches!(self, PolicySuite::Eager | PolicySuite::All)
+    }
+    fn demand(self) -> bool {
+        matches!(self, PolicySuite::Demand | PolicySuite::All)
+    }
+    fn mixed(self) -> bool {
+        matches!(self, PolicySuite::Mixed | PolicySuite::All)
+    }
+}
+
+/// The mixed-schedule observation points: deterministic for a given
+/// script shape (so failures replay), observing roughly half the
+/// rounds. The final round always observes, so every deferred edit is
+/// eventually demanded and checked.
+fn mixed_observes(tc: &TestCase) -> Vec<bool> {
+    let mut rng =
+        Prng::seed_from_u64(0x0B5E ^ (tc.edits.len() as u64) << 23 ^ tc.scalars.len() as u64);
+    let n = tc.edits.len();
+    (0..n).map(|i| i + 1 == n || rng.gen_bool(0.5)).collect()
+}
+
 /// One self-adjusting engine session (VM-backed or clvm-backed).
 struct Session {
     e: Engine,
@@ -290,18 +359,78 @@ impl Session {
         }
     }
 
+    /// Applies one edit without forcing a propagation pass: the
+    /// demand-mode analogue of [`Session::apply`]. Per-edit route =
+    /// bare mutator edit (marks dirty, no `propagate`); batch route =
+    /// a one-edit commit, which the demand policy defers. Cleaning
+    /// happens at the next [`Session::observe_out`].
+    fn apply_deferred(&mut self, edit: Edit, route: Route) {
+        match route {
+            Route::PerEdit => match edit {
+                Edit::Set(k, v) => {
+                    let m = self.ins[k as usize];
+                    self.e.modify(m, Value::Int(v));
+                }
+                Edit::Delete(i) => {
+                    if let Some(l) = &mut self.list {
+                        l.delete(&mut self.e, i as usize);
+                    }
+                }
+                Edit::Restore(i) => {
+                    if let Some(l) = &mut self.list {
+                        l.restore(&mut self.e, i as usize);
+                    }
+                }
+            },
+            Route::Batch => {
+                let mut b = self.e.batch();
+                match edit {
+                    Edit::Set(k, v) => b.modify(self.ins[k as usize], Value::Int(v)),
+                    Edit::Delete(i) => {
+                        if let Some(l) = &mut self.list {
+                            l.delete(&mut b, i as usize);
+                        }
+                    }
+                    Edit::Restore(i) => {
+                        if let Some(l) = &mut self.list {
+                            l.restore(&mut b, i as usize);
+                        }
+                    }
+                }
+                b.commit();
+            }
+        }
+    }
+
     fn out(&self) -> String {
         format!("{:?}", self.e.deref(self.out))
     }
+
+    /// Demands the output: under the demand policy this runs a
+    /// demand-clean pass over whatever the deferred edits dirtied.
+    fn observe_out(&mut self) -> String {
+        format!("{:?}", self.e.observe(self.out))
+    }
 }
 
-/// Runs the full oracle on one test case.
+/// Runs the full oracle on one test case (all policy suites).
 ///
 /// # Errors
 ///
 /// Returns the first [`Failure`] encountered: a pipeline error, an
 /// executor disagreement, or an engine panic/invariant violation.
 pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
+    run_test_case_with(tc, PolicySuite::All)
+}
+
+/// Runs the oracle on one test case, restricted to one policy suite.
+/// The pipeline stages and the interpreter reference always run (they
+/// define the expected outputs every suite is checked against).
+///
+/// # Errors
+///
+/// Returns the first [`Failure`] encountered in the selected suites.
+pub fn run_test_case_with(tc: &TestCase, suite: PolicySuite) -> Result<RunReport, Failure> {
     let (cl, _names) = match frontend(&tc.src) {
         Ok(x) => x,
         Err(e) => return fail("frontend", e),
@@ -355,15 +484,14 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
         Err(e) => return fail("normalized-interp-error", e),
     }
 
-    // Event-stream recorders for the digest oracle: both engine-backed
-    // executors assign sites over the same normalized program, so their
-    // attributed event streams — and hence the deterministic digests —
-    // must be bit-identical.
-    let vm_rec = TraceRecorder::shared();
-    let clvm_rec = TraceRecorder::shared();
-
-    // Executor 3: full pipeline on the engine (target code via the VM).
-    let mut vm = {
+    // Session factories shared by every policy suite: one runs the
+    // full pipeline (target code via the VM), one runs normalized CL
+    // directly on the engine. Each suite builds fresh sessions with
+    // its own [`EngineConfig`].
+    let start_vm = |stage: &str,
+                    rec: Option<&Rc<RefCell<TraceRecorder>>>,
+                    config: EngineConfig|
+     -> Result<Session, Failure> {
         let mut b = ProgramBuilder::new();
         let loaded = match ceal_vm::load(&compiled.target, &mut b, VmOptions::default()) {
             Ok(l) => l,
@@ -373,141 +501,258 @@ pub fn run_test_case(tc: &TestCase) -> Result<RunReport, Failure> {
             Ok(f) => f,
             Err(e) => return fail("vm-load", e.to_string()),
         };
-        guard("vm-init", || {
-            let mut e = Engine::new(b.build());
-            e.set_event_hook(Box::new(Rc::clone(&vm_rec)));
+        let rec = rec.map(Rc::clone);
+        guard(stage, || {
+            let mut e = Engine::with_config(b.build(), config).expect("valid oracle config");
+            if let Some(r) = rec {
+                e.set_event_hook(Box::new(r));
+            }
             Session::start(e, entry, tc)
-        })?
+        })
     };
+    let start_clvm = |stage: &str,
+                      rec: Option<&Rc<RefCell<TraceRecorder>>>,
+                      config: EngineConfig|
+     -> Result<Session, Failure> {
+        let rec = rec.map(Rc::clone);
+        guard(stage, || {
+            let mut b = ProgramBuilder::new();
+            let loaded = load_cl(&compiled.normalized, &mut b);
+            let entry = loaded.entry("main").expect("main in normalized CL");
+            let mut e = Engine::with_config(b.build(), config).expect("valid oracle config");
+            if let Some(r) = rec {
+                e.set_event_hook(Box::new(r));
+            }
+            Session::start(e, entry, tc)
+        })
+    };
+    let demand_cfg = || EngineConfig::default().policy(PropagationPolicy::Demand);
 
-    // Executor 4: normalized CL directly on the engine.
-    let start_clvm =
-        |stage: &str, rec: Option<&Rc<RefCell<TraceRecorder>>>| -> Result<Session, Failure> {
-            guard(stage, || {
-                let mut b = ProgramBuilder::new();
-                let loaded = load_cl(&compiled.normalized, &mut b);
-                let entry = loaded.entry("main").expect("main in normalized CL");
-                let mut e = Engine::new(b.build());
-                if let Some(r) = rec {
-                    e.set_event_hook(Box::new(Rc::clone(r)));
-                }
-                Session::start(e, entry, tc)
-            })
-        };
-    let mut clvm = start_clvm("clvm-init", Some(&clvm_rec))?;
-
-    let vm0 = vm.out();
-    if vm0 != expected0 {
-        return fail(
-            "vm-fresh-mismatch",
-            format!("vm computes {vm0}, interp computes {expected0}"),
-        );
-    }
-    let clvm0 = clvm.out();
-    if clvm0 != expected0 {
-        return fail(
-            "clvm-fresh-mismatch",
-            format!("clvm computes {clvm0}, interp computes {expected0}"),
-        );
-    }
-
-    // Route equivalence (fifth and sixth executor): one session per
-    // mutation surface, same program, same edits. `route_b`'s one-edit
-    // batch commits must match `route_a`'s per-edit loop step for step
-    // and leave an identical trace.
-    let mut route_a = start_clvm("route-a-init", None)?;
-    let mut route_b = start_clvm("route-b-init", None)?;
-
-    let mut outs = vec![expected0];
+    // From-scratch expected output after every edit prefix — the
+    // policy-independent reference all suites are compared against.
     let routes = edit_routes(tc);
-
-    // Edit loop: propagate must equal a fresh from-scratch run.
-    let mut scalars = tc.scalars.clone();
-    let mut live: Vec<bool> = vec![true; tc.list.as_ref().map_or(0, |l| l.len())];
-    for (i, &edit) in tc.edits.iter().enumerate() {
-        match edit {
-            Edit::Set(k, v) => scalars[k as usize] = v,
-            Edit::Delete(j) => live[j as usize] = false,
-            Edit::Restore(j) => live[j as usize] = true,
+    let mut expecteds = vec![expected0.clone()];
+    {
+        let mut scalars = tc.scalars.clone();
+        let mut live: Vec<bool> = vec![true; tc.list.as_ref().map_or(0, |l| l.len())];
+        for (i, &edit) in tc.edits.iter().enumerate() {
+            match edit {
+                Edit::Set(k, v) => scalars[k as usize] = v,
+                Edit::Delete(j) => live[j as usize] = false,
+                Edit::Restore(j) => live[j as usize] = true,
+            }
+            let cur_list: Option<Vec<i64>> = tc.list.as_ref().map(|items| {
+                items
+                    .iter()
+                    .zip(&live)
+                    .filter(|(_, &l)| l)
+                    .map(|(&v, _)| v)
+                    .collect()
+            });
+            match interp_run(&cl, entry_cl, &scalars, cur_list.as_deref()) {
+                Ok(v) => expecteds.push(v),
+                Err(e) => return fail("interp-error", format!("after edit {i}: {e}")),
+            }
         }
-        let cur_list: Option<Vec<i64>> = tc.list.as_ref().map(|items| {
-            items
-                .iter()
-                .zip(&live)
-                .filter(|(_, &l)| l)
-                .map(|(&v, _)| v)
-                .collect()
-        });
-
-        // Both main sessions take the same (mixed) route so their op
-        // counters stay comparable at the end.
-        guard(&format!("vm-edit-{i}"), || vm.apply(edit, routes[i]))?;
-        guard(&format!("clvm-edit-{i}"), || clvm.apply(edit, routes[i]))?;
-        guard(&format!("route-a-edit-{i}"), || {
-            route_a.apply(edit, Route::PerEdit)
-        })?;
-        guard(&format!("route-b-edit-{i}"), || {
-            route_b.apply(edit, Route::Batch)
-        })?;
-        let (a_out, b_out) = (route_a.out(), route_b.out());
-        if a_out != b_out {
-            return fail(
-                "route-mismatch",
-                format!(
-                    "edit {i} ({edit:?}): per-edit route gives {a_out}, batch route gives {b_out}"
-                ),
-            );
-        }
-
-        let expected = match interp_run(&cl, entry_cl, &scalars, cur_list.as_deref()) {
-            Ok(v) => v,
-            Err(e) => return fail("interp-error", format!("after edit {i}: {e}")),
-        };
-        let vm_out = vm.out();
-        if vm_out != expected {
-            return fail(
-                "vm-propagate-mismatch",
-                format!("edit {i} ({edit:?}): propagate gives {vm_out}, from-scratch {expected}"),
-            );
-        }
-        let clvm_out = clvm.out();
-        if clvm_out != expected {
-            return fail(
-                "clvm-propagate-mismatch",
-                format!("edit {i} ({edit:?}): propagate gives {clvm_out}, from-scratch {expected}"),
-            );
-        }
-        outs.push(expected);
     }
 
-    guard("invariants", || {
-        vm.e.check_invariants();
-        clvm.e.check_invariants();
-        route_a.e.check_invariants();
-        route_b.e.check_invariants();
-    })?;
+    if suite.eager() {
+        // Event-stream recorders for the digest oracle: both
+        // engine-backed executors assign sites over the same
+        // normalized program, so their attributed event streams — and
+        // hence the deterministic digests — must be bit-identical.
+        let vm_rec = TraceRecorder::shared();
+        let clvm_rec = TraceRecorder::shared();
 
-    check_counter_agreement(&vm, &clvm)?;
-    check_digest_agreement(&vm_rec.borrow(), &clvm_rec.borrow())?;
-    check_route_state_agreement(&route_a, &route_b)?;
+        // Executor 3: full pipeline on the engine (target code via
+        // the VM). Executor 4: normalized CL directly on the engine.
+        let mut vm = start_vm("vm-init", Some(&vm_rec), EngineConfig::default())?;
+        let mut clvm = start_clvm("clvm-init", Some(&clvm_rec), EngineConfig::default())?;
 
-    Ok(RunReport { outs })
+        let vm0 = vm.out();
+        if vm0 != expected0 {
+            return fail(
+                "vm-fresh-mismatch",
+                format!("vm computes {vm0}, interp computes {expected0}"),
+            );
+        }
+        let clvm0 = clvm.out();
+        if clvm0 != expected0 {
+            return fail(
+                "clvm-fresh-mismatch",
+                format!("clvm computes {clvm0}, interp computes {expected0}"),
+            );
+        }
+
+        // Route equivalence (fifth and sixth executor): one session
+        // per mutation surface, same program, same edits. `route_b`'s
+        // one-edit batch commits must match `route_a`'s per-edit loop
+        // step for step and leave an identical trace.
+        let mut route_a = start_clvm("route-a-init", None, EngineConfig::default())?;
+        let mut route_b = start_clvm("route-b-init", None, EngineConfig::default())?;
+
+        // Edit loop: propagate must equal a fresh from-scratch run.
+        for (i, &edit) in tc.edits.iter().enumerate() {
+            // Both main sessions take the same (mixed) route so their
+            // op counters stay comparable at the end.
+            guard(&format!("vm-edit-{i}"), || vm.apply(edit, routes[i]))?;
+            guard(&format!("clvm-edit-{i}"), || clvm.apply(edit, routes[i]))?;
+            guard(&format!("route-a-edit-{i}"), || {
+                route_a.apply(edit, Route::PerEdit)
+            })?;
+            guard(&format!("route-b-edit-{i}"), || {
+                route_b.apply(edit, Route::Batch)
+            })?;
+            let (a_out, b_out) = (route_a.out(), route_b.out());
+            if a_out != b_out {
+                return fail(
+                    "route-mismatch",
+                    format!(
+                        "edit {i} ({edit:?}): per-edit route gives {a_out}, batch route gives {b_out}"
+                    ),
+                );
+            }
+
+            let expected = &expecteds[i + 1];
+            let vm_out = vm.out();
+            if vm_out != *expected {
+                return fail(
+                    "vm-propagate-mismatch",
+                    format!(
+                        "edit {i} ({edit:?}): propagate gives {vm_out}, from-scratch {expected}"
+                    ),
+                );
+            }
+            let clvm_out = clvm.out();
+            if clvm_out != *expected {
+                return fail(
+                    "clvm-propagate-mismatch",
+                    format!(
+                        "edit {i} ({edit:?}): propagate gives {clvm_out}, from-scratch {expected}"
+                    ),
+                );
+            }
+        }
+
+        guard("invariants", || {
+            vm.e.check_invariants();
+            clvm.e.check_invariants();
+            route_a.e.check_invariants();
+            route_b.e.check_invariants();
+        })?;
+
+        check_counter_agreement(&vm, &clvm, "vm", "clvm")?;
+        check_digest_agreement(&vm_rec.borrow(), &clvm_rec.borrow(), "vm", "clvm")?;
+        check_route_state_agreement(&route_a, &route_b)?;
+    }
+
+    if suite.demand() {
+        // Demand suite: same program, same edit script, but edits
+        // defer (no propagation pass) and the output is *observed*
+        // after every edit — the demand-clean pass at each observation
+        // point must reconstruct exactly the from-scratch answer. The
+        // two demand executors must also agree with each other on
+        // counters and event digests (never compared against eager:
+        // demand passes run at observation points, not edit points).
+        let vm_rec = TraceRecorder::shared();
+        let clvm_rec = TraceRecorder::shared();
+        let mut vm_d = start_vm("vm-demand-init", Some(&vm_rec), demand_cfg())?;
+        let mut clvm_d = start_clvm("clvm-demand-init", Some(&clvm_rec), demand_cfg())?;
+
+        for (i, &edit) in tc.edits.iter().enumerate() {
+            let expected = &expecteds[i + 1];
+            let got_vm = guard(&format!("vm-demand-edit-{i}"), || {
+                vm_d.apply_deferred(edit, routes[i]);
+                vm_d.observe_out()
+            })?;
+            if got_vm != *expected {
+                return fail(
+                    "policy-mismatch",
+                    format!(
+                        "first diverging observation at edit {i} ({edit:?}): demand vm \
+                         observes {got_vm}, eager/from-scratch computes {expected}"
+                    ),
+                );
+            }
+            let got_clvm = guard(&format!("clvm-demand-edit-{i}"), || {
+                clvm_d.apply_deferred(edit, routes[i]);
+                clvm_d.observe_out()
+            })?;
+            if got_clvm != *expected {
+                return fail(
+                    "policy-mismatch",
+                    format!(
+                        "first diverging observation at edit {i} ({edit:?}): demand clvm \
+                         observes {got_clvm}, eager/from-scratch computes {expected}"
+                    ),
+                );
+            }
+        }
+
+        guard("demand-invariants", || {
+            vm_d.e.check_invariants();
+            clvm_d.e.check_invariants();
+        })?;
+
+        check_counter_agreement(&vm_d, &clvm_d, "vm-demand", "clvm-demand")?;
+        check_digest_agreement(
+            &vm_rec.borrow(),
+            &clvm_rec.borrow(),
+            "vm-demand",
+            "clvm-demand",
+        )?;
+    }
+
+    if suite.mixed() {
+        // Mixed schedule: deferred edits with observation at
+        // pseudo-random rounds only, so each demand-clean pass
+        // coalesces an arbitrary run of unobserved edits.
+        let mut mixed = start_clvm("mixed-init", None, demand_cfg())?;
+        let schedule = mixed_observes(tc);
+        for (i, &edit) in tc.edits.iter().enumerate() {
+            guard(&format!("mixed-edit-{i}"), || {
+                mixed.apply_deferred(edit, routes[i])
+            })?;
+            if schedule[i] {
+                let got = guard(&format!("mixed-observe-{i}"), || mixed.observe_out())?;
+                let expected = &expecteds[i + 1];
+                if got != *expected {
+                    return fail(
+                        "policy-mismatch",
+                        format!(
+                            "first diverging observation at edit {i} ({edit:?}, mixed \
+                             schedule): demand observes {got}, eager/from-scratch \
+                             computes {expected}"
+                        ),
+                    );
+                }
+            }
+        }
+        guard("mixed-invariants", || mixed.e.check_invariants())?;
+    }
+
+    Ok(RunReport { outs: expecteds })
 }
 
 /// Asserts that the VM-backed and clvm-backed engines performed the
-/// same deterministic operations over the whole session. On mismatch
-/// the failure detail is a per-counter delta table of every diverging
-/// counter.
-fn check_counter_agreement(vm: &Session, clvm: &Session) -> Result<(), Failure> {
+/// same deterministic operations over the whole session (within one
+/// policy — the labels name the pair). On mismatch the failure detail
+/// is a per-counter delta table of every diverging counter.
+fn check_counter_agreement(
+    vm: &Session,
+    clvm: &Session,
+    la: &str,
+    lb: &str,
+) -> Result<(), Failure> {
     let a = vm.e.stats().op_counters();
     let b = clvm.e.stats().op_counters();
     if a == b {
         return Ok(());
     }
-    let mut table = String::from("vm and clvm disagree on engine op counters:\n");
+    let mut table = format!("{la} and {lb} disagree on engine op counters:\n");
     table.push_str(&format!(
         "  {:<24} {:>12} {:>12} {:>12}\n",
-        "counter", "vm", "clvm", "delta"
+        "counter", la, lb, "delta"
     ));
     for ((name, va), (_, vb)) in a.entries().zip(b.entries()) {
         if va != vb {
@@ -521,9 +766,15 @@ fn check_counter_agreement(vm: &Session, clvm: &Session) -> Result<(), Failure> 
 /// Asserts that the VM-backed and clvm-backed engines emitted
 /// bit-identical attributed event streams over the whole session, via
 /// the [`TraceRecorder`] digest — the trace-introspection analogue of
-/// [`check_counter_agreement`]. On mismatch the failure detail names
-/// the first diverging event (or the length divergence).
-fn check_digest_agreement(vm: &TraceRecorder, clvm: &TraceRecorder) -> Result<(), Failure> {
+/// [`check_counter_agreement`]. Digests are only ever compared within
+/// one policy (the labels name the pair). On mismatch the failure
+/// detail names the first diverging event (or the length divergence).
+fn check_digest_agreement(
+    vm: &TraceRecorder,
+    clvm: &TraceRecorder,
+    la: &str,
+    lb: &str,
+) -> Result<(), Failure> {
     if vm.digest() == clvm.digest() {
         return Ok(());
     }
@@ -533,7 +784,7 @@ fn check_digest_agreement(vm: &TraceRecorder, clvm: &TraceRecorder) -> Result<()
         .zip(clvm.events())
         .enumerate()
         .find(|(_, (a, b))| a != b)
-        .map(|(i, (a, b))| format!("first diff at event {i}: vm {a:?} vs clvm {b:?}"))
+        .map(|(i, (a, b))| format!("first diff at event {i}: {la} {a:?} vs {lb} {b:?}"))
         .unwrap_or_else(|| {
             format!(
                 "streams agree on a {}-event prefix, lengths {} vs {}",
@@ -545,7 +796,7 @@ fn check_digest_agreement(vm: &TraceRecorder, clvm: &TraceRecorder) -> Result<()
     fail(
         "digest-mismatch",
         format!(
-            "event-stream digests diverge: vm {} ({} events) vs clvm {} ({} events); {first_diff}",
+            "event-stream digests diverge: {la} {} ({} events) vs {lb} {} ({} events); {first_diff}",
             vm.digest_hex(),
             vm.len(),
             clvm.digest_hex(),

@@ -92,10 +92,7 @@ const CORPUS_PINS: &[(&str, &str)] = &[
         "normalize_cond_swap_seed20_normalize-mismatch.ceal",
         "b4e03b05fdd2b856",
     ),
-    (
-        "normalize_cond_swap_seed34_panic.ceal",
-        "ead09ad225512df2",
-    ),
+    ("normalize_cond_swap_seed34_panic.ceal", "ead09ad225512df2"),
 ];
 
 const GEN_PINS: &[(u64, &str)] = &[

@@ -67,6 +67,13 @@ pub trait Mutator {
     /// Reads the current contents of a modifiable (see
     /// [`Engine::deref`]). On a batch, staged writes win.
     fn deref(&self, m: ModRef) -> Value;
+    /// Observes the up-to-date contents of a modifiable (see
+    /// [`Engine::observe`]): under the demand policy this first runs a
+    /// demand-clean pass over any pending dirty marks; under the eager
+    /// policy it is a plain [`Mutator::deref`]. On a batch, staged
+    /// writes win (and nothing is cleaned — the staged value *is* the
+    /// post-commit answer for that modifiable).
+    fn observe(&mut self, m: ModRef) -> Value;
     /// Reads a block slot (see [`Engine::load`]).
     fn load(&self, loc: Loc, off: usize) -> Value;
 }
@@ -77,6 +84,9 @@ impl Mutator for Engine {
     }
     fn deref(&self, m: ModRef) -> Value {
         Engine::deref(self, m)
+    }
+    fn observe(&mut self, m: ModRef) -> Value {
+        Engine::observe(self, m)
     }
     fn load(&self, loc: Loc, off: usize) -> Value {
         Engine::load(self, loc, off)
@@ -146,6 +156,17 @@ impl<'e> EditBatch<'e> {
         }
     }
 
+    /// Observes the value `m` will hold after commit: the staged write
+    /// if one exists (nothing is cleaned — the staged value is already
+    /// the answer), else [`Engine::observe`], which under the demand
+    /// policy demand-cleans dirt pending from *previous* commits.
+    pub fn observe(&mut self, m: ModRef) -> Value {
+        match self.index.get(&m) {
+            Some(&i) => self.writes[i].1,
+            None => self.engine.observe(m),
+        }
+    }
+
     /// Reads a block slot (pass-through: block stores are applied
     /// eagerly, see [`EditBatch::meta_store`]).
     pub fn load(&self, loc: Loc, off: usize) -> Value {
@@ -201,6 +222,11 @@ impl<'e> EditBatch<'e> {
     ///
     /// A batch whose staged writes are all no-ops (and with no kills)
     /// commits without touching counters or recording a profile phase.
+    ///
+    /// Under [`crate::engine::PropagationPolicy::Demand`] the pass is
+    /// deferred to the next [`Engine::observe`] — unless the batch
+    /// stages kills, which force it (a freed block must not be left
+    /// with dangling dirty readers; DESIGN.md §14).
     pub fn commit(self) {
         self.engine.commit_batch(&self.writes, &self.kills);
     }
@@ -217,6 +243,9 @@ impl Mutator for EditBatch<'_> {
     }
     fn deref(&self, m: ModRef) -> Value {
         EditBatch::deref(self, m)
+    }
+    fn observe(&mut self, m: ModRef) -> Value {
+        EditBatch::observe(self, m)
     }
     fn load(&self, loc: Loc, off: usize) -> Value {
         EditBatch::load(self, loc, off)

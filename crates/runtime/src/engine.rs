@@ -72,6 +72,32 @@ impl Default for SmlSim {
     }
 }
 
+/// When change propagation repairs the trace (DESIGN.md §14).
+///
+/// Both policies produce observationally identical values — the
+/// `diffcheck` oracle runs every generated program under both and
+/// asserts exactly that. What differs is *when* the repair work is
+/// paid for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PropagationPolicy {
+    /// The paper's discipline: the mutator calls
+    /// [`Engine::propagate`] after its edits (or commits an
+    /// [`EditBatch`](crate::batch::EditBatch), whose commit runs the
+    /// pass). Every edit round pays its propagation immediately, so
+    /// [`Engine::deref`] always sees a consistent trace between rounds.
+    #[default]
+    Eager,
+    /// Demand-driven (Adapton-style) deferral: mutator writes only
+    /// *mark* the governed reads dirty (they accumulate in the
+    /// position-ordered dirty set), batch commits stage marks without
+    /// propagating, and the repair pass runs lazily when an
+    /// observation ([`Engine::observe`]) demands a clean value. Rounds
+    /// without an observation pay zero re-execution; an observation
+    /// after `k` edit rounds pays one coalesced pass in which
+    /// same-value round trips are skipped outright.
+    Demand,
+}
+
 /// Feature switches for ablation experiments (DESIGN.md §6).
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -84,6 +110,8 @@ pub struct EngineConfig {
     /// SML-style cost simulation (boxed values, tracing GC); see
     /// [`SmlSim`]. `None` (the default) disables it entirely.
     pub sml_sim: Option<SmlSim>,
+    /// When change propagation runs; see [`PropagationPolicy`].
+    pub policy: PropagationPolicy,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +120,7 @@ impl Default for EngineConfig {
             memo: true,
             keyed_alloc: true,
             sml_sim: None,
+            policy: PropagationPolicy::Eager,
         }
     }
 }
@@ -128,6 +157,13 @@ impl EngineConfig {
     #[must_use]
     pub fn sml_sim(mut self, sim: Option<SmlSim>) -> Self {
         self.sml_sim = sim;
+        self
+    }
+
+    /// Sets the propagation policy (eager or demand-driven).
+    #[must_use]
+    pub fn policy(mut self, policy: PropagationPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -796,6 +832,11 @@ impl Engine {
         &self.stats
     }
 
+    /// The engine's propagation policy (from its [`EngineConfig`]).
+    pub fn policy(&self) -> PropagationPolicy {
+        self.config.policy
+    }
+
     /// Restarts the live-space high-water mark at the current live
     /// size, so a subsequent phase's peak is measured on its own. The
     /// monotone operation counters are left untouched — the profiler's
@@ -918,6 +959,13 @@ impl Engine {
     }
 
     /// Reads the current contents of a modifiable (`deref`).
+    ///
+    /// This is a raw peek at the trace: it never triggers propagation.
+    /// Under [`PropagationPolicy::Eager`] the mutator keeps the trace
+    /// consistent itself (`propagate` after edits), so a peek between
+    /// rounds is exact. Under [`PropagationPolicy::Demand`] dirty marks
+    /// may be pending; use [`Engine::observe`] to get the value a fully
+    /// propagated trace would hold.
     pub fn deref(&self, m: ModRef) -> Value {
         let meta = self.heap.meta(m);
         if meta.writes_tail == NIL {
@@ -925,6 +973,41 @@ impl Engine {
         } else {
             self.writes[meta.writes_tail as usize].value
         }
+    }
+
+    /// Reads `m` through the propagation policy: the demand-driven
+    /// observation surface.
+    ///
+    /// Under [`PropagationPolicy::Demand`], if any dirty marks are
+    /// pending this first runs a *demand clean* — one coalesced
+    /// propagation pass over the whole dirty set, reusing the same
+    /// trace-order loop as [`Engine::propagate`] — and then reads the
+    /// (now consistent) value. The pass is counted in
+    /// [`Stats::demand_cleans`](crate::stats::Stats::demand_cleans) and
+    /// recorded as a [`PhaseKind::DemandClean`] profile phase. An
+    /// observation with no pending dirt is exactly a [`Engine::deref`]:
+    /// no phase, no counters.
+    ///
+    /// Under [`PropagationPolicy::Eager`] this is always exactly
+    /// [`Engine::deref`] — eager mutators flush explicitly.
+    ///
+    /// The pass cleans the *entire* dirty set, not a slice feeding `m`:
+    /// re-execution can write modifiables its old trace never touched
+    /// (a branch flip), so no graph reachable from `m`'s producers
+    /// over the stale trace bounds the repair soundly. Deferral and
+    /// coalescing, not slicing, are where demand mode wins
+    /// (DESIGN.md §14).
+    pub fn observe(&mut self, m: ModRef) -> Value {
+        if self.config.policy == PropagationPolicy::Demand
+            && self.core_ran
+            && !self.queue.is_empty()
+        {
+            let order_base = self.begin_phase(PhaseKind::DemandClean);
+            self.stats.demand_cleans += 1;
+            self.propagate_loop();
+            self.finish_phase(PhaseKind::DemandClean, order_base);
+        }
+        self.deref(m)
     }
 
     /// Modifies the contents of `m` (`modify`), dirtying the reads that
@@ -960,6 +1043,7 @@ impl Engine {
         } else {
             Some(self.writes[first_write as usize].pos)
         };
+        let demand = self.config.policy == PropagationPolicy::Demand;
         let mut r = reads_head;
         while r != NIL {
             let next = self.reads[r as usize].next_reader;
@@ -969,6 +1053,14 @@ impl Engine {
                 Some(p) => self.pos_lt(rd.start, p),
             };
             if governed && rd.last_value != v {
+                // Under the demand policy this push is a *dirty mark*:
+                // nothing re-executes until an observation (or explicit
+                // propagate) drains the set. Marking is idempotent — an
+                // already-queued read is not re-marked — so
+                // `dirty_marks` counts distinct dirty transitions.
+                if demand && !self.reads[r as usize].queued {
+                    self.stats.dirty_marks += 1;
+                }
                 self.queue_push(r);
             } else if governed {
                 // value restored before propagation: nothing to do
@@ -1017,6 +1109,11 @@ impl Engine {
     /// [`Engine::batch`] + `commit()` is the same pass over the same
     /// queue, with the staging (and its write coalescing) done up
     /// front.
+    ///
+    /// Works identically under both propagation policies: under
+    /// [`PropagationPolicy::Demand`] it is the explicit flush, draining
+    /// every pending dirty mark (the same pass [`Engine::observe`]
+    /// would run on demand).
     pub fn propagate(&mut self) {
         assert!(self.core_ran, "propagate before run_core");
         let order_base = self.begin_phase(PhaseKind::Propagate);
@@ -1058,6 +1155,13 @@ impl Engine {
     /// [`EditBatch::commit`](crate::batch::EditBatch::commit); `writes`
     /// arrive already coalesced (at most one per modifiable).
     ///
+    /// Under [`PropagationPolicy::Demand`] the pass is deferred: the
+    /// commit stages coalesced dirty marks and returns, and the next
+    /// [`Engine::observe`] (or explicit [`Engine::propagate`]) pays for
+    /// the repair — unless the batch stages kills, which force the
+    /// pass so freed blocks cannot be left with dangling dirty
+    /// readers.
+    ///
     /// A commit whose writes are all no-ops (each value equals the
     /// current contents) and which stages no kills returns before
     /// touching any counter or opening a profile phase, so an empty
@@ -1074,9 +1178,20 @@ impl Engine {
                 self.stats.batch_writes += 1;
             }
         }
+        // Under the demand policy a commit only coalesces and stages
+        // the dirty marks — the pass is deferred to the next
+        // observation. EXCEPT when kills are staged: freeing a block
+        // asserts its modifiables have no surviving readers, which
+        // only the propagation pass (re-executing past the unlinking
+        // writes) guarantees. A kill-carrying commit therefore cleans
+        // first in either policy, so staged kills can never leave
+        // dangling dirty edges into freed blocks.
         if self.core_ran {
-            self.stats.propagations += 1;
-            self.propagate_loop();
+            let defer = self.config.policy == PropagationPolicy::Demand && kills.is_empty();
+            if !defer {
+                self.stats.propagations += 1;
+                self.propagate_loop();
+            }
         }
         // Kills run after propagation: unlinking writes have already
         // re-executed (and purged) the readers of the doomed blocks'
@@ -1784,7 +1899,8 @@ impl Engine {
         }
         self.span_of[b.index()] = si;
         self.stats.trace_intervals += 1;
-        self.stats.grow_interval(cost::TIME_NODE + cost::SPAN_HEADER);
+        self.stats
+            .grow_interval(cost::TIME_NODE + cost::SPAN_HEADER);
         b
     }
 

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod value;
 
 pub use batch::{EditBatch, Mutator};
-pub use engine::{Engine, EngineConfig, SmlSim};
+pub use engine::{Engine, EngineConfig, PropagationPolicy, SmlSim};
 pub use error::CealError;
 #[cfg(feature = "event-hooks")]
 pub use obs::{Attribution, SiteRow, TraceRecorder};
@@ -68,7 +68,7 @@ pub use value::{FuncId, Interner, Loc, ModRef, SiteId, StrId, Value};
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::batch::{EditBatch, Mutator};
-    pub use crate::engine::{Engine, EngineConfig, SmlSim};
+    pub use crate::engine::{Engine, EngineConfig, PropagationPolicy, SmlSim};
     pub use crate::error::CealError;
     #[cfg(feature = "event-hooks")]
     pub use crate::obs::TraceRecorder;

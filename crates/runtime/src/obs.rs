@@ -236,6 +236,12 @@ pub enum PhaseKind {
     Batch,
     /// A `clear_core` call (full trace purge).
     Purge,
+    /// A demand-clean pass: an [`crate::engine::Engine::observe`] call
+    /// found pending dirty marks under the demand policy and ran a
+    /// coalesced propagation pass before dereferencing (DESIGN.md §14).
+    /// Never emitted under the eager policy, so eager-mode event
+    /// digests are unaffected by the variant's existence.
+    DemandClean,
 }
 
 impl PhaseKind {
@@ -246,6 +252,7 @@ impl PhaseKind {
             PhaseKind::Propagate => "propagate",
             PhaseKind::Batch => "batch",
             PhaseKind::Purge => "purge",
+            PhaseKind::DemandClean => "demand",
         }
     }
 
@@ -256,6 +263,7 @@ impl PhaseKind {
             PhaseKind::Propagate => 1,
             PhaseKind::Batch => 2,
             PhaseKind::Purge => 3,
+            PhaseKind::DemandClean => 4,
         }
     }
 }
@@ -297,6 +305,7 @@ pub struct Profiler {
     propagations: u32,
     batches: u32,
     purges: u32,
+    demand_cleans: u32,
 }
 
 impl Profiler {
@@ -328,6 +337,10 @@ impl Profiler {
             PhaseKind::Purge => {
                 self.purges += 1;
                 self.purges - 1
+            }
+            PhaseKind::DemandClean => {
+                self.demand_cleans += 1;
+                self.demand_cleans - 1
             }
         };
         self.phases.push(Phase {
@@ -881,9 +894,15 @@ impl Profile {
             PhaseKind::Propagate,
             PhaseKind::Batch,
             PhaseKind::Purge,
+            PhaseKind::DemandClean,
         ] {
             let (n, sum) = self.total(kind);
-            if n == 0 && matches!(kind, PhaseKind::Purge | PhaseKind::Batch) {
+            if n == 0
+                && matches!(
+                    kind,
+                    PhaseKind::Purge | PhaseKind::Batch | PhaseKind::DemandClean
+                )
+            {
                 continue;
             }
             let _ = writeln!(s, "{pad}  \"{}\": {{", kind.name());
@@ -934,6 +953,7 @@ impl Profile {
             PhaseKind::Propagate,
             PhaseKind::Batch,
             PhaseKind::Purge,
+            PhaseKind::DemandClean,
         ] {
             let (n, sum) = self.total(kind);
             if n == 0 {
@@ -961,24 +981,30 @@ impl Profile {
         let (np, prop) = self.total(PhaseKind::Propagate);
         let (nb, batch) = self.total(PhaseKind::Batch);
         let (nu, purge) = self.total(PhaseKind::Purge);
+        let (nd, demand) = self.total(PhaseKind::DemandClean);
         let _ = writeln!(s, "profile: {}", self.name);
         let _ = writeln!(
             s,
-            "  {:<24} {:>14} {:>14} {:>14} {:>14}",
+            "  {:<24} {:>14} {:>14} {:>14} {:>14} {:>14}",
             "counter",
             format!("init({ni})"),
             format!("propagate({np})"),
             format!("batch({nb})"),
-            format!("purge({nu})")
+            format!("purge({nu})"),
+            format!("demand({nd})")
         );
         for (i, (name, iv)) in init.entries().enumerate() {
             let pv = prop.values()[i];
             let bv = batch.values()[i];
             let uv = purge.values()[i];
-            if iv == 0 && pv == 0 && bv == 0 && uv == 0 {
+            let dv = demand.values()[i];
+            if iv == 0 && pv == 0 && bv == 0 && uv == 0 && dv == 0 {
                 continue;
             }
-            let _ = writeln!(s, "  {name:<24} {iv:>14} {pv:>14} {bv:>14} {uv:>14}");
+            let _ = writeln!(
+                s,
+                "  {name:<24} {iv:>14} {pv:>14} {bv:>14} {uv:>14} {dv:>14}"
+            );
         }
         let _ = writeln!(s, "  {:<24} {:>14}", "trace_len (final)", self.trace_len);
         let _ = writeln!(s, "  {:<24} {:>14}", "live_bytes (final)", self.live_bytes);

@@ -94,6 +94,15 @@ pub struct Stats {
     /// Effective writes applied by batch commits, after last-write-wins
     /// coalescing and no-op elision.
     pub batch_writes: u64,
+    /// Reads newly marked dirty by meta-level writes under the demand
+    /// policy (distinct clean→dirty transitions only; re-marking an
+    /// already-dirty read is idempotent and not counted). Always zero
+    /// under the eager policy.
+    pub dirty_marks: u64,
+    /// Demand-clean passes triggered by
+    /// [`Engine::observe`](crate::engine::Engine::observe) finding
+    /// pending dirty marks. Always zero under the eager policy.
+    pub demand_cleans: u64,
     /// Simulated-GC runs (SML simulation only).
     pub gc_runs: u64,
     /// Total objects marked by the simulated GC.
@@ -160,6 +169,10 @@ pub struct OpCounters {
     pub batch_commits: u64,
     /// Mirrors [`Stats::batch_writes`].
     pub batch_writes: u64,
+    /// Mirrors [`Stats::dirty_marks`].
+    pub dirty_marks: u64,
+    /// Mirrors [`Stats::demand_cleans`].
+    pub demand_cleans: u64,
     /// Mirrors [`Stats::order_group_relabels`].
     pub order_group_relabels: u64,
     /// Mirrors [`Stats::order_local_renumbers`].
@@ -172,7 +185,7 @@ pub struct OpCounters {
 
 impl OpCounters {
     /// Counter names, in the order [`OpCounters::values`] returns them.
-    pub const NAMES: [&'static str; 21] = [
+    pub const NAMES: [&'static str; 23] = [
         "reads_created",
         "writes_created",
         "allocs_created",
@@ -190,6 +203,8 @@ impl OpCounters {
         "queue_pops",
         "batch_commits",
         "batch_writes",
+        "dirty_marks",
+        "demand_cleans",
         "order_group_relabels",
         "order_local_renumbers",
         "order_group_splits",
@@ -216,6 +231,8 @@ impl OpCounters {
             queue_pops: s.queue_pops,
             batch_commits: s.batch_commits,
             batch_writes: s.batch_writes,
+            dirty_marks: s.dirty_marks,
+            demand_cleans: s.demand_cleans,
             order_group_relabels: s.order_group_relabels,
             order_local_renumbers: s.order_local_renumbers,
             order_group_splits: s.order_group_splits,
@@ -224,7 +241,7 @@ impl OpCounters {
     }
 
     /// Counter values, in the order of [`OpCounters::NAMES`].
-    pub fn values(&self) -> [u64; 21] {
+    pub fn values(&self) -> [u64; 23] {
         [
             self.reads_created,
             self.writes_created,
@@ -243,6 +260,8 @@ impl OpCounters {
             self.queue_pops,
             self.batch_commits,
             self.batch_writes,
+            self.dirty_marks,
+            self.demand_cleans,
             self.order_group_relabels,
             self.order_local_renumbers,
             self.order_group_splits,
@@ -284,7 +303,7 @@ impl OpCounters {
         }
     }
 
-    fn values_mut(&mut self) -> [&mut u64; 21] {
+    fn values_mut(&mut self) -> [&mut u64; 23] {
         [
             &mut self.reads_created,
             &mut self.writes_created,
@@ -303,6 +322,8 @@ impl OpCounters {
             &mut self.queue_pops,
             &mut self.batch_commits,
             &mut self.batch_writes,
+            &mut self.dirty_marks,
+            &mut self.demand_cleans,
             &mut self.order_group_relabels,
             &mut self.order_local_renumbers,
             &mut self.order_group_splits,

@@ -73,10 +73,7 @@ fn mid_interval_write_splits_and_localizes() {
     // stage, so a mid-trace window can be dirtied directly.
     let mut b = ProgramBuilder::new();
     let add_body = b.native("add_body", |e, args| {
-        e.write(
-            args[2].modref(),
-            Value::Int(args[1].int() + args[0].int()),
-        );
+        e.write(args[2].modref(), Value::Int(args[1].int() + args[0].int()));
         Tail::Done
     });
     let sum_body = b.native("sum_body", move |_e, args| {

@@ -152,6 +152,7 @@ fn map_correct_without_memo() {
         memo: false,
         keyed_alloc: true,
         sml_sim: None,
+        policy: PropagationPolicy::Eager,
     });
 }
 
@@ -161,6 +162,7 @@ fn map_correct_without_keyed_alloc() {
         memo: true,
         keyed_alloc: false,
         sml_sim: None,
+        policy: PropagationPolicy::Eager,
     });
 }
 
@@ -170,6 +172,7 @@ fn map_correct_without_either() {
         memo: false,
         keyed_alloc: false,
         sml_sim: None,
+        policy: PropagationPolicy::Eager,
     });
 }
 

@@ -170,7 +170,11 @@ fn live_bytes_returns_to_floor_after_clear_core() {
     // every span to the pool, growing it by nothing.
     e.clear_core();
     e.check_invariants();
-    assert_eq!(e.stats().live_bytes, floor, "second purge missed core space");
+    assert_eq!(
+        e.stats().live_bytes,
+        floor,
+        "second purge missed core space"
+    );
     assert_eq!(
         e.pooled_spans(),
         pooled,

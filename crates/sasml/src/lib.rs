@@ -27,7 +27,7 @@
 
 #![warn(missing_docs)]
 
-use ceal_runtime::{EngineConfig, SmlSim};
+use ceal_runtime::{EngineConfig, PropagationPolicy, SmlSim};
 use ceal_suite::harness::{Bench, Measurement};
 
 /// The engine configuration modeling SaSML.
@@ -42,6 +42,7 @@ pub fn sasml_config(heap_limit: Option<usize>) -> EngineConfig {
     EngineConfig {
         memo: true,
         keyed_alloc: true,
+        policy: PropagationPolicy::Eager,
         sml_sim: Some(SmlSim {
             heap_limit,
             box_words: 4,

@@ -33,6 +33,7 @@ fn gc_runs_are_counted() {
     let cfg = EngineConfig {
         memo: true,
         keyed_alloc: true,
+        policy: PropagationPolicy::Eager,
         sml_sim: Some(SmlSim {
             heap_limit: Some(64 * 1024),
             box_words: 4,

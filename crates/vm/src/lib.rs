@@ -324,6 +324,12 @@ pub fn load(
 /// from scratch, and returns the engine ready for
 /// `modify`/`batch`/`propagate` rounds.
 ///
+/// The propagation policy rides along in `config`: pass
+/// `EngineConfig::default().policy(PropagationPolicy::Demand)` and the
+/// returned engine defers edits, cleaning on `Engine::observe` instead
+/// of on every commit (DESIGN.md §14). The VM itself is
+/// policy-agnostic — nothing here inspects the policy.
+///
 /// # Errors
 ///
 /// Returns [`CealError::MalformedProgram`] when `t` fails
