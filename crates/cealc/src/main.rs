@@ -24,6 +24,12 @@
 //!                                # attribution (sites.json/sites.txt),
 //!                                # the final DDG (ddg.dot/ddg.json) and
 //!                                # the stream digest (digest.txt).
+//! cealc --serve --addr 127.0.0.1:7077 [--shards N]
+//!                                # run the sharded incremental-session
+//!                                # service (ceal-service): many engine
+//!                                # sessions behind a line-protocol TCP
+//!                                # frontend. See README "Running as a
+//!                                # service" and examples/service_client.
 //! ```
 
 use ceal_compiler::pipeline::compile;
@@ -51,14 +57,69 @@ fn write_trace_artifacts(
     Ok(())
 }
 
+/// `cealc --serve`: boot the sharded session service and block until
+/// the process is killed (the container/runner owns the lifetime).
+fn serve(args: &[String]) -> ExitCode {
+    let get = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let addr = get("--addr").unwrap_or("127.0.0.1:7077");
+    let mut cfg = ceal_service::ServiceConfig::default();
+    if let Some(s) = get("--shards") {
+        match s.parse() {
+            Ok(n) if n >= 1 => cfg.shards = n,
+            _ => {
+                eprintln!("cealc: --shards wants a positive integer, got {s}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(m) = get("--mem-budget-mb") {
+        match m.parse::<usize>() {
+            Ok(mb) if mb >= 1 => cfg.mem_budget_bytes = mb << 20,
+            _ => {
+                eprintln!("cealc: --mem-budget-mb wants a positive integer, got {m}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let svc = ceal_service::Service::start(cfg);
+    let frontend = match ceal_service::TcpFrontend::spawn(svc, addr) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cealc: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The bound address goes to stdout (and flushes) so scripts that
+    // pass port 0 can scrape the ephemeral port.
+    println!(
+        "cealc: serving on {} ({} shards)",
+        frontend.addr(),
+        cfg.shards
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--serve") {
+        return serve(&args);
+    }
     let Some(path) = args.first() else {
         eprintln!("usage: cealc FILE.ceal [--emit-cl|--emit-norm|--emit-c]");
         eprintln!(
             "       cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit IDX=VAL ...] \
              [--batch] [--policy eager|demand] [--trace-out DIR]"
         );
+        eprintln!("       cealc --serve [--addr HOST:PORT] [--shards N] [--mem-budget-mb M]");
         return ExitCode::from(2);
     };
     let src = match std::fs::read_to_string(path) {

@@ -52,6 +52,7 @@ pub mod obs;
 pub mod order;
 pub mod prng;
 pub mod program;
+pub mod snapshot;
 pub mod stats;
 pub mod value;
 
@@ -62,6 +63,7 @@ pub use error::CealError;
 pub use obs::{Attribution, SiteRow, TraceRecorder};
 pub use obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
 pub use program::{NativeFn, OpaqueFn, Program, ProgramBuilder, Site, SiteKind, SiteTable, Tail};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{OpCounters, Stats};
 pub use value::{FuncId, Interner, Loc, ModRef, SiteId, StrId, Value};
 

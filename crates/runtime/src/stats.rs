@@ -11,12 +11,12 @@
 ///
 /// Since the interval-coalesced trace representation (DESIGN.md §13),
 /// order-maintenance timestamps exist per *interval boundary* only:
-/// each boundary costs [`TIME_NODE`] + [`SPAN_HEADER`], while each
-/// trace action inside an interval costs one packed [`SPAN_SLOT`] on
-/// top of its record. Trace records no longer carry timestamps or a
-/// cached memo hash, which is what shrinks [`READ_NODE`],
-/// [`WRITE_NODE`] and [`ALLOC_NODE`] relative to the node-per-action
-/// representation.
+/// each boundary costs [`cost::TIME_NODE`] + [`cost::SPAN_HEADER`],
+/// while each trace action inside an interval costs one packed
+/// [`cost::SPAN_SLOT`] on top of its record. Trace records no longer
+/// carry timestamps or a cached memo hash, which is what shrinks
+/// [`cost::READ_NODE`], [`cost::WRITE_NODE`] and [`cost::ALLOC_NODE`]
+/// relative to the node-per-action representation.
 pub mod cost {
     /// One order-maintenance timestamp (label + two links), paid per
     /// interval boundary.

@@ -1,0 +1,576 @@
+//! The deterministic load generator behind the `service-bench` binary
+//! and the `service-smoke` CI gate (`BENCH_service.json`).
+//!
+//! Two passes over the same kind of splitmix64-seeded open-loop
+//! schedule:
+//!
+//! 1. **Lockstep (gated).** A single-threaded simulation of the shard
+//!    scheduler: per tick, arrivals enter bounded per-shard queues
+//!    (overflow sheds), then each shard drains a fixed number of
+//!    requests via the *same* [`Shard::handle`] the threaded service
+//!    runs. Every service-tier counter — admitted, shed, evicted,
+//!    restored, snapshot bytes, replayed ops, aggregated engine deltas —
+//!    is a pure function of the schedule, so the flattened counters are
+//!    diffed against `crates/service/baselines/service_golden.json`
+//!    exactly like the runtime counter gate (wall clock excluded, same
+//!    rationale: shared runners can perturb time, not arithmetic).
+//!    The gate spec is fixed (512 sessions, 4 shards) regardless of
+//!    `--quick`, and deliberately tight enough to force shed *and*
+//!    eviction/restore cycles every run.
+//!
+//! 2. **Timed (reported, not gated).** The real threaded [`Service`]
+//!    under a paced open-loop arrival schedule: latency for each
+//!    edit/observe is measured from its *scheduled* arrival time, so
+//!    queueing delay counts (the honest tail). Reports p50/p99/p999
+//!    edit-to-result latency, throughput, and sessions/core at a fixed
+//!    SLO (highest rung of a load ladder whose p99 meets the SLO).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use ceal_bench::prng::Prng;
+use ceal_runtime::Value;
+
+use crate::service::{route_key, Service, ServiceConfig};
+use crate::shard::{Shard, ShardConfig};
+use crate::wire::{EditOp, PolicyArg, Reply, Request, ServiceCounters, Workload};
+
+/// A load-generation spec: sessions, shape of the request stream, and
+/// the scheduler limits that create backpressure.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSpec {
+    /// Distinct sessions driven.
+    pub sessions: usize,
+    /// Shards (fixed — the deterministic counters depend on it).
+    pub shards: usize,
+    /// Input-list length per session.
+    pub n: u32,
+    /// Edit rounds after all opens.
+    pub rounds: usize,
+    /// Ops per edit batch.
+    pub batch_size: usize,
+    /// Probability a session is active in a round (storm rounds force
+    /// 100%).
+    pub activity: f64,
+    /// Every `observe_every`-th active round also observes.
+    pub observe_every: usize,
+    /// Round index whose tick fires an edit from *every* session at
+    /// once (forces deterministic shed in lockstep).
+    pub storm_round: usize,
+    /// Opens enqueued per tick during the ramp-up phase.
+    pub opens_per_tick: usize,
+    /// Bounded per-shard queue depth.
+    pub queue_cap: usize,
+    /// Requests each shard drains per lockstep tick.
+    pub drain_per_tick: usize,
+    /// Per-shard memory budget (drives eviction/restore).
+    pub mem_budget_bytes: usize,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+/// The fixed gate spec: every value here is load-bearing for the
+/// committed golden — change one and the golden must be re-blessed.
+pub const GATE_SPEC: LoadSpec = LoadSpec {
+    sessions: 512,
+    shards: 4,
+    n: 16,
+    rounds: 6,
+    batch_size: 2,
+    activity: 0.35,
+    observe_every: 2,
+    storm_round: 3,
+    opens_per_tick: 64,
+    queue_cap: 48,
+    drain_per_tick: 24,
+    mem_budget_bytes: 512 << 10,
+    seed: 0xCEA1_5E55,
+};
+
+fn sid(i: usize) -> String {
+    format!("s{i}")
+}
+
+fn session_workload(i: usize) -> Workload {
+    if i % 2 == 0 {
+        Workload::Sum
+    } else {
+        Workload::Min
+    }
+}
+
+fn session_policy(i: usize) -> PolicyArg {
+    // A deterministic mix: every fourth session runs demand-driven, so
+    // the gate covers both propagation policies.
+    if i % 4 == 3 {
+        PolicyArg::Demand
+    } else {
+        PolicyArg::Eager
+    }
+}
+
+/// Builds the open-loop arrival schedule: one `Vec<Request>` per tick.
+pub fn build_schedule(spec: &LoadSpec) -> Vec<Vec<Request>> {
+    let mut rng = Prng::seed_from_u64(spec.seed);
+    let mut ticks: Vec<Vec<Request>> = Vec::new();
+
+    // Ramp-up: open sessions in slabs.
+    let mut i = 0;
+    while i < spec.sessions {
+        let mut tick = Vec::new();
+        for _ in 0..spec.opens_per_tick.min(spec.sessions - i) {
+            tick.push(Request::Open {
+                sid: sid(i),
+                workload: session_workload(i),
+                n: spec.n,
+                seed: spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                policy: session_policy(i),
+            });
+            i += 1;
+        }
+        ticks.push(tick);
+    }
+
+    // Steady state: per round, a pseudo-random subset of sessions
+    // submits an edit batch (everyone during the storm round), and
+    // observers follow on the next tick.
+    for round in 0..spec.rounds {
+        let storm = round == spec.storm_round;
+        let mut edits = Vec::new();
+        let mut observes = Vec::new();
+        for s in 0..spec.sessions {
+            let active = storm || rng.gen_bool(spec.activity);
+            if !active {
+                continue;
+            }
+            let mut ops = Vec::with_capacity(spec.batch_size);
+            for _ in 0..spec.batch_size {
+                let idx = rng.gen_range(0..spec.n);
+                if rng.gen_bool(0.5) {
+                    ops.push(EditOp::Delete(idx));
+                } else {
+                    ops.push(EditOp::Restore(idx));
+                }
+            }
+            edits.push(Request::Edit { sid: sid(s), ops });
+            if round % spec.observe_every == 0 {
+                observes.push(Request::Observe { sid: sid(s) });
+            }
+        }
+        ticks.push(edits);
+        if !observes.is_empty() {
+            ticks.push(observes);
+        }
+    }
+    ticks
+}
+
+/// Lockstep result: the gated deterministic counters plus the shape of
+/// the run.
+#[derive(Clone, Copy, Debug)]
+pub struct LockstepResult {
+    /// Aggregated deterministic service counters.
+    pub counters: ServiceCounters,
+    /// Ticks simulated (ramp + steady + final drain).
+    pub ticks: u64,
+    /// Requests generated by the schedule.
+    pub generated: u64,
+}
+
+/// Runs the schedule through the deterministic lockstep scheduler.
+///
+/// # Panics
+///
+/// Panics on any reply that is neither `ok` nor an expected typed
+/// error — the load generator doubles as an end-to-end semantics
+/// check (an unknown-session reply here means a lost open that was
+/// *not* shed, i.e. a scheduler bug).
+pub fn run_lockstep(spec: &LoadSpec) -> LockstepResult {
+    let schedule = build_schedule(spec);
+    let generated: u64 = schedule.iter().map(|t| t.len() as u64).sum();
+    let shard_cfg = ShardConfig {
+        mem_budget_bytes: spec.mem_budget_bytes,
+        max_sessions: usize::MAX,
+    };
+    let mut shards: Vec<Shard> = (0..spec.shards).map(|_| Shard::new(shard_cfg)).collect();
+    let mut queues: Vec<VecDeque<Request>> = (0..spec.shards).map(|_| VecDeque::new()).collect();
+    // Sessions whose open was shed: their later requests legitimately
+    // answer unknown-session, everything else must be ok.
+    let mut lost_opens = std::collections::HashSet::new();
+    let mut shed = 0u64;
+    let mut ticks = 0u64;
+
+    let drain = |shards: &mut Vec<Shard>,
+                 queues: &mut Vec<VecDeque<Request>>,
+                 lost: &std::collections::HashSet<String>,
+                 budget: Option<usize>| {
+        for (s, q) in queues.iter_mut().enumerate() {
+            let k = budget.unwrap_or(q.len()).min(q.len());
+            for _ in 0..k {
+                let req = q.pop_front().unwrap();
+                let known = match req.sid() {
+                    Some(id) => !lost.contains(id),
+                    None => true,
+                };
+                let reply = shards[s].handle(&req);
+                match &reply {
+                    Reply::Err(kind, detail) if known => {
+                        panic!("lockstep: unexpected error {kind:?} {detail} for {req:?}")
+                    }
+                    _ => {}
+                }
+            }
+        }
+    };
+
+    for tick in &schedule {
+        ticks += 1;
+        for req in tick {
+            let target = route_key(req.sid().expect("schedule requests are keyed"), spec.shards);
+            if queues[target].len() >= spec.queue_cap {
+                shed += 1;
+                if let Request::Open { sid, .. } = req {
+                    lost_opens.insert(sid.clone());
+                }
+            } else {
+                queues[target].push_back(req.clone());
+            }
+        }
+        drain(
+            &mut shards,
+            &mut queues,
+            &lost_opens,
+            Some(spec.drain_per_tick),
+        );
+    }
+    // Final drain: completion of everything admitted.
+    while queues.iter().any(|q| !q.is_empty()) {
+        ticks += 1;
+        drain(&mut shards, &mut queues, &lost_opens, None);
+    }
+
+    let mut counters = ServiceCounters::default();
+    for s in &shards {
+        counters.add(s.counters());
+    }
+    counters.shed = shed;
+    LockstepResult {
+        counters,
+        ticks,
+        generated,
+    }
+}
+
+/// Flattens the lockstep counters into gate rows (`service/<name>`).
+/// The `/`-shaped keys let [`ceal_bench::profile::parse_golden`] read
+/// the service golden with the same parser as the runtime golden.
+pub fn flatten_counters(c: &ServiceCounters) -> Vec<(String, u64)> {
+    ServiceCounters::NAMES
+        .iter()
+        .zip(c.values())
+        .map(|(name, v)| (format!("service/{name}"), v))
+        .collect()
+}
+
+/// Timed-pass report for one load rung.
+#[derive(Clone, Copy, Debug)]
+pub struct TimedResult {
+    /// Sessions driven.
+    pub sessions: usize,
+    /// Shards serving them.
+    pub shards: usize,
+    /// Edit/observe requests measured.
+    pub measured: u64,
+    /// Requests shed by admission.
+    pub shed: u64,
+    /// Latency percentiles over edit/observe, microseconds, measured
+    /// from scheduled arrival (queueing included).
+    pub p50_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Wall-clock duration of the rung.
+    pub wall_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives the threaded [`Service`] with the schedule at `tick` pacing
+/// and measures edit-to-result latency.
+///
+/// Sessions are pinned to client threads (per-key order must be
+/// preserved); the pool is sized so clients, shards and the scheduler
+/// oversubscribe a small CI runner only mildly.
+pub fn run_timed(spec: &LoadSpec, tick: Duration, clients: usize) -> TimedResult {
+    let schedule = build_schedule(spec);
+    let svc = Service::start(ServiceConfig {
+        shards: spec.shards,
+        queue_cap: spec.queue_cap,
+        mem_budget_bytes: spec.mem_budget_bytes,
+        max_sessions: usize::MAX,
+    });
+
+    // Split the schedule per client, preserving tick order: session i
+    // belongs to client i % clients. Opens are the *warmup* phase —
+    // building an engine is from-scratch-run territory, not the steady
+    // state the latency figures describe — so they run unpaced and
+    // unmeasured; the paced open-loop clock starts at the first
+    // steady-state tick.
+    let clients = clients.max(1);
+    let mut warmup: Vec<Vec<Request>> = vec![Vec::new(); clients];
+    let mut per_client: Vec<Vec<(u64, Request)>> = vec![Vec::new(); clients];
+    let mut first_steady: Option<usize> = None;
+    for (t, reqs) in schedule.iter().enumerate() {
+        for req in reqs {
+            let Some(id) = req.sid() else { continue };
+            let i: usize = id[1..].parse().unwrap_or(0);
+            if matches!(req, Request::Open { .. }) {
+                warmup[i % clients].push(req.clone());
+            } else {
+                let t0 = *first_steady.get_or_insert(t);
+                per_client[i % clients].push(((t - t0) as u64, req.clone()));
+            }
+        }
+    }
+
+    // Warmup: open every session, in parallel across clients.
+    let mut warm_joins = Vec::new();
+    for work in warmup {
+        let svc = svc.clone();
+        warm_joins.push(std::thread::spawn(move || {
+            for req in work {
+                let reply = svc.call(req);
+                assert!(reply.is_ok(), "warmup open failed: {reply}");
+            }
+        }));
+    }
+    for j in warm_joins {
+        j.join().expect("warmup thread");
+    }
+
+    let start = Instant::now() + Duration::from_millis(20);
+    let mut joins = Vec::new();
+    for work in per_client {
+        let svc = svc.clone();
+        joins.push(std::thread::spawn(move || {
+            // Spread each client's per-tick requests uniformly across
+            // the tick (open-loop arrivals, not a burst at tick start).
+            let mut per_tick: std::collections::HashMap<u64, u32> =
+                std::collections::HashMap::new();
+            for (t, _) in &work {
+                *per_tick.entry(*t).or_default() += 1;
+            }
+            let mut seen: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+            let mut lat_us: Vec<f64> = Vec::with_capacity(work.len());
+            let mut shed = 0u64;
+            for (t, req) in work {
+                let j = seen.entry(t).or_default();
+                let frac = f64::from(*j) / f64::from(per_tick[&t]);
+                *j += 1;
+                let scheduled = start + tick * (t as u32) + tick.mul_f64(frac);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let reply = svc.call(req);
+                match reply {
+                    Reply::Err(crate::wire::ErrKind::Shed, _) => shed += 1,
+                    r if r.is_ok() => {
+                        lat_us.push(scheduled.elapsed().as_secs_f64() * 1e6);
+                    }
+                    _ => {}
+                }
+            }
+            (lat_us, shed)
+        }));
+    }
+
+    let mut lat: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    for j in joins {
+        let (l, s) = j.join().expect("client thread");
+        lat.extend(l);
+        shed += s;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    svc.shutdown();
+
+    lat.sort_by(|a, b| a.total_cmp(b));
+    TimedResult {
+        sessions: spec.sessions,
+        shards: spec.shards,
+        measured: lat.len() as u64,
+        shed,
+        p50_us: percentile(&lat, 50.0),
+        p99_us: percentile(&lat, 99.0),
+        p999_us: percentile(&lat, 99.9),
+        throughput_rps: lat.len() as f64 / wall_s.max(1e-9),
+        wall_s,
+    }
+}
+
+/// The fixed SLO used for the sessions/core figure, in milliseconds.
+pub const SLO_MS: f64 = 5.0;
+
+/// Renders `BENCH_service.json`: the gated deterministic section plus
+/// the timed rungs.
+pub fn render_json(
+    lockstep: &LockstepResult,
+    rungs: &[TimedResult],
+    quick: bool,
+    sessions_per_core_at_slo: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"ceal-service-bench/v1\",\n");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"gate_spec\": {{ \"sessions\": {}, \"shards\": {}, \"n\": {}, \"rounds\": {}, \"seed\": {} }},",
+        GATE_SPEC.sessions, GATE_SPEC.shards, GATE_SPEC.n, GATE_SPEC.rounds, GATE_SPEC.seed
+    );
+    let _ = writeln!(
+        s,
+        "  \"lockstep\": {{ \"ticks\": {}, \"generated\": {}, \"counters\": {{",
+        lockstep.ticks, lockstep.generated
+    );
+    let flat = flatten_counters(&lockstep.counters);
+    for (i, (k, v)) in flat.iter().enumerate() {
+        let comma = if i + 1 < flat.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{k}\": {v}{comma}");
+    }
+    s.push_str("  } },\n");
+    let _ = writeln!(s, "  \"slo_ms\": {SLO_MS},");
+    let _ = writeln!(
+        s,
+        "  \"sessions_per_core_at_slo\": {sessions_per_core_at_slo:.1},"
+    );
+    // The summary percentiles mirror the highest rung that met the SLO
+    // (or the lightest rung if none did) so dashboards have stable keys.
+    let summary = rungs
+        .iter()
+        .rev()
+        .find(|r| r.p99_us <= SLO_MS * 1e3)
+        .or(rungs.first())
+        .expect("at least one timed rung");
+    let _ = writeln!(s, "  \"p50_us\": {:.1},", summary.p50_us);
+    let _ = writeln!(s, "  \"p99_us\": {:.1},", summary.p99_us);
+    let _ = writeln!(s, "  \"p999_us\": {:.1},", summary.p999_us);
+    let _ = writeln!(
+        s,
+        "  \"sessions_per_core\": {:.1},",
+        summary.sessions as f64 / summary.shards as f64
+    );
+    s.push_str("  \"timed_rungs\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        let comma = if i + 1 < rungs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{ \"sessions\": {}, \"shards\": {}, \"measured\": {}, \"shed\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"throughput_rps\": {:.1}, \"wall_s\": {:.3}, \"slo_met\": {} }}{comma}",
+            r.sessions, r.shards, r.measured, r.shed, r.p50_us, r.p99_us, r.p999_us,
+            r.throughput_rps, r.wall_s, r.p99_us <= SLO_MS * 1e3
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the service golden file (same line-diff-friendly shape as
+/// the runtime profile golden, service schema string).
+pub fn render_golden(flat: &[(String, u64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"ceal-service-golden/v1\",\n  \"counters\": {\n");
+    for (i, (k, v)) in flat.iter().enumerate() {
+        let _ = write!(s, "    \"{k}\": {v}");
+        s.push_str(if i + 1 < flat.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// The checked-in service golden, next to the crate sources.
+pub fn golden_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/service_golden.json"
+    ))
+}
+
+/// A tiny sanity probe used by tests: the sum-session oracle for the
+/// first generated session.
+pub fn expected_open_value(spec: &LoadSpec, i: usize) -> Value {
+    let seed = spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+    let data = ceal_suite::input::random_ints(spec.n as usize, seed);
+    match session_workload(i) {
+        Workload::Sum => Value::Int(data.iter().sum()),
+        Workload::Min => Value::Int(*data.iter().min().expect("n > 0")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = build_schedule(&GATE_SPEC);
+        let b = build_schedule(&GATE_SPEC);
+        assert_eq!(a, b);
+        let total: usize = a.iter().map(|t| t.len()).sum();
+        assert!(total > GATE_SPEC.sessions, "schedule must outnumber opens");
+    }
+
+    #[test]
+    fn lockstep_counters_are_reproducible_and_exercise_the_lifecycle() {
+        let r1 = run_lockstep(&GATE_SPEC);
+        let r2 = run_lockstep(&GATE_SPEC);
+        assert_eq!(r1.counters, r2.counters, "lockstep must be deterministic");
+        let c = &r1.counters;
+        assert!(
+            c.opened >= 500,
+            "gate drives ≥500 sessions, got {}",
+            c.opened
+        );
+        assert!(c.shed > 0, "storm round must shed");
+        assert!(c.evicted > 0, "budget must evict");
+        assert!(c.restored > 0, "evicted sessions must come back");
+        assert!(c.snapshot_bytes > 0);
+        assert!(c.replayed_ops > 0);
+        assert_eq!(c.admitted + c.shed, r1.generated);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 51.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn timed_pass_smoke() {
+        // Tiny rung: this checks the machinery (pinning, pacing,
+        // percentile plumbing), not performance.
+        let spec = LoadSpec {
+            sessions: 16,
+            rounds: 2,
+            storm_round: usize::MAX,
+            ..GATE_SPEC
+        };
+        let r = run_timed(&spec, Duration::from_micros(100), 4);
+        assert!(r.measured > 0);
+        assert!(r.p50_us > 0.0);
+        assert!(r.p999_us >= r.p99_us && r.p99_us >= r.p50_us);
+    }
+}

@@ -1,0 +1,131 @@
+//! `service-bench` — the service load generator and its counter gate.
+//!
+//! ```text
+//! service-bench [--quick] [--gate] [--out BENCH_service.json] [--golden PATH]
+//! ```
+//!
+//! Always runs the fixed deterministic lockstep pass (the gated
+//! counters are independent of `--quick`), then one or more timed rungs
+//! against the threaded service:
+//!
+//! * `--quick`  — one small timed rung (CI smoke; seconds).
+//! * default    — a load ladder (1×, 2×, 4× sessions) to place
+//!   `sessions_per_core_at_slo`.
+//! * `--gate`   — additionally diff the lockstep counters against
+//!   `crates/service/baselines/service_golden.json`; bless deliberate
+//!   changes with `UPDATE_GOLDEN=1`.
+//! * `--out`    — write `BENCH_service.json`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ceal_bench::profile::{diff_counters, parse_golden};
+use ceal_bench::Opts;
+use ceal_service::bench::{
+    flatten_counters, golden_path, render_golden, render_json, run_lockstep, run_timed, LoadSpec,
+    TimedResult, GATE_SPEC, SLO_MS,
+};
+
+fn main() -> ExitCode {
+    let (sub, opts) = Opts::from_env();
+    // No subcommands: tolerate the binary name's args starting at the
+    // first `--flag` (Opts treats the first arg as a subcommand slot).
+    let quick = opts.has("quick") || sub.as_deref() == Some("--quick");
+    let gate = opts.has("gate") || sub.as_deref() == Some("--gate");
+
+    eprintln!(
+        "service-bench: lockstep gate pass ({} sessions, {} shards)",
+        GATE_SPEC.sessions, GATE_SPEC.shards
+    );
+    let lockstep = run_lockstep(&GATE_SPEC);
+    let c = &lockstep.counters;
+    eprintln!(
+        "  admitted={} shed={} opened={} evicted={} restored={} replayed_ops={}",
+        c.admitted, c.shed, c.opened, c.evicted, c.restored, c.replayed_ops
+    );
+
+    if gate {
+        let flat = flatten_counters(c);
+        let path = golden_path();
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            let rendered = render_golden(&flat);
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("service-bench: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("service-bench: blessed {}", path.display());
+        } else {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "service-bench: cannot read golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let golden = match parse_golden(&text) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("service-bench: bad golden: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(table) = diff_counters(&flat, &golden) {
+                eprintln!("service-bench: deterministic counters drifted from golden:\n{table}");
+                eprintln!("If the change is deliberate, bless with UPDATE_GOLDEN=1.");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("service-bench: counter gate OK ({} counters)", flat.len());
+        }
+    }
+
+    // Timed rungs. Tick pacing and the client pool are wall-clock
+    // domain: reported, never gated.
+    let tick = Duration::from_micros(opts.get_usize("tick-us", 20_000) as u64);
+    let clients = opts.get_usize("clients", 8);
+    let mut rungs: Vec<TimedResult> = Vec::new();
+    let scales: &[usize] = if quick { &[1] } else { &[1, 2, 4] };
+    for &scale in scales {
+        let spec = LoadSpec {
+            sessions: GATE_SPEC.sessions * scale,
+            // Generous budget and queue, and no storm burst: the rungs
+            // measure steady-state scheduling latency, not eviction
+            // thrash or shed behaviour (the gate pass covers those);
+            // either would distort the percentiles.
+            mem_budget_bytes: 512 << 20,
+            queue_cap: 1024,
+            storm_round: usize::MAX,
+            ..GATE_SPEC
+        };
+        eprintln!("service-bench: timed rung — {} sessions", spec.sessions);
+        let r = run_timed(&spec, tick, clients);
+        eprintln!(
+            "  measured={} shed={} p50={:.0}us p99={:.0}us p999={:.0}us {:.0} req/s",
+            r.measured, r.shed, r.p50_us, r.p99_us, r.p999_us, r.throughput_rps
+        );
+        rungs.push(r);
+        if r.p99_us > SLO_MS * 1e3 {
+            break; // the ladder found the knee; higher rungs add nothing
+        }
+    }
+    let best = rungs
+        .iter()
+        .rev()
+        .find(|r| r.p99_us <= SLO_MS * 1e3)
+        .map_or(0.0, |r| r.sessions as f64 / r.shards as f64);
+    eprintln!("service-bench: sessions/core at p99<={SLO_MS}ms SLO: {best:.1}");
+
+    let json = render_json(&lockstep, &rungs, quick, best);
+    if let Some(out) = opts.get("out") {
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("service-bench: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("service-bench: wrote {out}");
+    } else {
+        println!("{json}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,122 @@
+//! The TCP frontend: line-in, line-out over `std::net`.
+//!
+//! One acceptor thread plus one thread per connection, each holding a
+//! cheap [`Service`] clone. The frontend is deliberately thin — parse a
+//! line, admit it (never blocking on a full shard queue: admission
+//! sheds), write the reply — so that swapping the transport for an
+//! async reactor changes nothing behind [`Service::try_call`]. A tokio
+//! frontend would replace exactly this file (one task per connection,
+//! `try_call`'s reply receiver awaited instead of blocked on); the
+//! dependency is not vendored in this workspace, so the thread-based
+//! frontend is the one that ships (DESIGN.md §15).
+//!
+//! Protocol details live in [`crate::wire`]; a session's requests must
+//! arrive on one connection (or otherwise be externally ordered) for
+//! per-key ordering to be meaningful, which is the natural affinity a
+//! tenant connection has anyway.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::service::Service;
+use crate::wire::{parse_request, ErrKind, Reply, MAX_LINE};
+
+/// A running TCP frontend.
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+fn serve_conn(service: Service, stream: TcpStream, stop: Arc<AtomicBool>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        line.clear();
+        // Bounded read: a peer streaming an endless line gets cut off.
+        match reader
+            .by_ref()
+            .take(MAX_LINE as u64 + 1)
+            .read_line(&mut line)
+        {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.len() > MAX_LINE {
+            let _ = writeln!(writer, "{}", Reply::err(ErrKind::Parse, "line too long"));
+            return;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" {
+            return;
+        }
+        let reply = match parse_request(trimmed) {
+            Ok(req) => service.call(req),
+            Err(msg) => Reply::err(ErrKind::Parse, msg),
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            return;
+        }
+    }
+}
+
+impl TcpFrontend {
+    /// Binds `addr` (e.g. `127.0.0.1:7077`, port 0 for ephemeral) and
+    /// starts accepting connections against `service`.
+    pub fn spawn(service: Service, addr: &str) -> std::io::Result<TcpFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("ceal-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let svc = service.clone();
+                    let stop3 = Arc::clone(&stop2);
+                    let _ = std::thread::Builder::new()
+                        .name("ceal-conn".into())
+                        .spawn(move || serve_conn(svc, stream, stop3));
+                }
+            })?;
+        Ok(TcpFrontend {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the acceptor thread.
+    /// In-flight connection threads exit on their next read or on EOF.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.acceptor.take() {
+            let _ = j.join();
+        }
+    }
+}

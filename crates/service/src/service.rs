@@ -1,0 +1,343 @@
+//! The threaded service: shard worker threads behind bounded admission
+//! queues, with key-hash routing and load-shed backpressure.
+//!
+//! Architecture (DESIGN.md §15): requests enter through any number of
+//! frontend threads (TCP connections, the load generator, `cealc
+//! --serve`), are routed by a stable hash of the session key to the
+//! owning shard's *bounded* queue, and are processed by that shard's
+//! single worker thread, which exclusively owns every engine it hosts.
+//! `try_send` admission means a full queue immediately returns a typed
+//! [`ErrKind::Shed`] reply instead of blocking the frontend — the
+//! backpressure surface is explicit and clients are expected to retry.
+//!
+//! The handle is `Clone`; clones share the same shards, and
+//! [`Service::shutdown`] disconnects every clone at once. This mirrors
+//! how a tokio frontend would hold the service (one handle per
+//! connection task) — the async runtime is not vendored in this
+//! dependency-free workspace, so the shipped frontends are thread-based
+//! (see `frontend.rs`), but the admission surface is exactly the
+//! non-blocking `try_call` an async reactor needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use crate::shard::{Shard, ShardConfig};
+use crate::wire::{ErrKind, Reply, Request, ServiceCounters};
+
+/// Service-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards (worker threads). Session keys are partitioned
+    /// across shards by stable hash; each shard owns its partition.
+    pub shards: usize,
+    /// Bounded depth of each shard's admission queue; a full queue
+    /// sheds.
+    pub queue_cap: usize,
+    /// Per-shard memory budget driving LRU eviction.
+    pub mem_budget_bytes: usize,
+    /// Per-shard session cap.
+    pub max_sessions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_cap: 128,
+            mem_budget_bytes: 64 << 20,
+            max_sessions: 100_000,
+        }
+    }
+}
+
+/// Stable routing hash (splitmix64-style over the key bytes): must not
+/// vary across platforms or runs, because the deterministic bench
+/// golden depends on the shard partition.
+pub fn route_key(key: &str, shards: usize) -> usize {
+    let mut h: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+struct Job {
+    req: Request,
+    reply: SyncSender<Reply>,
+}
+
+#[derive(Clone)]
+struct ShardHandle {
+    tx: SyncSender<Job>,
+}
+
+struct Inner {
+    /// `None` after shutdown; taking it drops every queue sender, which
+    /// is what tells the workers to drain and exit.
+    handles: RwLock<Option<Vec<ShardHandle>>>,
+    sheds: Vec<AtomicU64>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    shards: usize,
+}
+
+/// A handle to the running service. Cloning is cheap; all clones share
+/// the shard workers.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+}
+
+fn shard_worker(rx: Receiver<Job>, cfg: ShardConfig) {
+    let mut shard = Shard::new(cfg);
+    while let Ok(job) = rx.recv() {
+        let reply = shard.handle(&job.req);
+        // A dropped reply receiver (client gone) is fine; the shard's
+        // state change stands either way.
+        let _ = job.reply.send(reply);
+    }
+}
+
+impl Service {
+    /// Starts the shard workers.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let shard_cfg = ShardConfig {
+            mem_budget_bytes: cfg.mem_budget_bytes,
+            max_sessions: cfg.max_sessions,
+        };
+        let shards = cfg.shards.max(1);
+        let mut handles = Vec::with_capacity(shards);
+        let mut joins = Vec::new();
+        let mut sheds = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = sync_channel::<Job>(cfg.queue_cap.max(1));
+            let join = std::thread::Builder::new()
+                .name(format!("ceal-shard-{i}"))
+                .spawn(move || shard_worker(rx, shard_cfg))
+                .expect("spawn shard worker");
+            handles.push(ShardHandle { tx });
+            sheds.push(AtomicU64::new(0));
+            joins.push(join);
+        }
+        Service {
+            inner: Arc::new(Inner {
+                handles: RwLock::new(Some(handles)),
+                sheds,
+                joins: Mutex::new(joins),
+                shards,
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards
+    }
+
+    fn shard_of(&self, req: &Request) -> usize {
+        match req.sid() {
+            Some(sid) => route_key(sid, self.inner.shards),
+            // Keyless requests (ping) go to shard 0; `stats`
+            // aggregation fans out explicitly below.
+            None => 0,
+        }
+    }
+
+    /// Non-blocking admission: routes `req` to its owning shard and
+    /// returns a receiver for the reply, or an immediate
+    /// [`ErrKind::Shed`] reply if the shard's queue is full.
+    ///
+    /// This is the whole backpressure contract: admission either
+    /// succeeds (the request *will* be processed, in arrival order for
+    /// its key) or fails now; it never blocks the caller.
+    #[allow(clippy::result_large_err)]
+    pub fn try_call(&self, req: Request) -> Result<Receiver<Reply>, Reply> {
+        // `stats` is not a shard request: it aggregates across every
+        // shard (plus the frontend-side shed counts no shard can see).
+        if matches!(req, Request::Stats) {
+            {
+                let guard = self.inner.handles.read().unwrap();
+                if guard.is_none() {
+                    return Err(Reply::err(ErrKind::Shutdown, "service stopped"));
+                }
+            }
+            let (tx, rx) = sync_channel(1);
+            let _ = tx.send(Reply::Stats(self.stats()));
+            return Ok(rx);
+        }
+        let shard = self.shard_of(&req);
+        let guard = self.inner.handles.read().unwrap();
+        let Some(handles) = guard.as_ref() else {
+            return Err(Reply::err(ErrKind::Shutdown, "service stopped"));
+        };
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            req,
+            reply: reply_tx,
+        };
+        match handles[shard].tx.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => {
+                self.inner.sheds[shard].fetch_add(1, Ordering::Relaxed);
+                Err(Reply::err(
+                    ErrKind::Shed,
+                    format!("shard {shard} queue full"),
+                ))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(Reply::err(ErrKind::Shutdown, "service stopped"))
+            }
+        }
+    }
+
+    /// Blocking convenience wrapper: admit (shedding if full) and wait
+    /// for the reply.
+    pub fn call(&self, req: Request) -> Reply {
+        match self.try_call(req) {
+            Ok(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| Reply::err(ErrKind::Shutdown, "service stopped")),
+            Err(shed) => shed,
+        }
+    }
+
+    /// Aggregated deterministic counters across all shards, including
+    /// frontend-side shed counts (sheds never reach a shard, so shard
+    /// counters cannot see them).
+    pub fn stats(&self) -> ServiceCounters {
+        let mut total = ServiceCounters::default();
+        let mut receivers = Vec::new();
+        {
+            let guard = self.inner.handles.read().unwrap();
+            if let Some(handles) = guard.as_ref() {
+                for h in handles {
+                    let (reply_tx, reply_rx) = sync_channel(1);
+                    // Blocking send: `stats` participates in queue order
+                    // but is never itself shed.
+                    if h.tx
+                        .send(Job {
+                            req: Request::Stats,
+                            reply: reply_tx,
+                        })
+                        .is_ok()
+                    {
+                        receivers.push(reply_rx);
+                    }
+                }
+            }
+        }
+        for rx in receivers {
+            if let Ok(Reply::Stats(c)) = rx.recv() {
+                // Shard-side `admitted` counts every request the worker
+                // processed, including these per-shard Stats probes; back
+                // them out so `stats()` is observation-only.
+                let mut c = c;
+                c.admitted -= 1;
+                total.add(&c);
+            }
+        }
+        for s in &self.inner.sheds {
+            total.shed += s.load(Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// Stops admission for every clone, drains the queues, and joins
+    /// the shard workers.
+    pub fn shutdown(&self) {
+        // Take the senders: new calls (on any clone) see Shutdown, and
+        // the workers exit once their queues drain.
+        *self.inner.handles.write().unwrap() = None;
+        let joins = std::mem::take(&mut *self.inner.joins.lock().unwrap());
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{EditOp, PolicyArg, Workload};
+    use ceal_runtime::Value;
+    use ceal_suite::input::random_ints;
+
+    #[test]
+    fn routed_sessions_process_in_order() {
+        let svc = Service::start(ServiceConfig {
+            shards: 3,
+            ..Default::default()
+        });
+        for sid in 0..30 {
+            let r = svc.call(Request::Open {
+                sid: format!("s{sid}"),
+                workload: Workload::Sum,
+                n: 16,
+                seed: sid,
+                policy: PolicyArg::Eager,
+            });
+            let expect: i64 = random_ints(16, sid).iter().sum();
+            assert_eq!(
+                r,
+                Reply::Opened {
+                    value: Value::Int(expect)
+                }
+            );
+        }
+        for sid in 0..30u64 {
+            let r = svc.call(Request::Edit {
+                sid: format!("s{sid}"),
+                ops: vec![EditOp::Delete(3)],
+            });
+            assert!(r.is_ok(), "{r}");
+        }
+        for sid in 0..30u64 {
+            let Reply::Observed { value, .. } = svc.call(Request::Observe {
+                sid: format!("s{sid}"),
+            }) else {
+                panic!("observe failed")
+            };
+            let data = random_ints(16, sid);
+            let expect: i64 = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 3)
+                .map(|(_, &x)| x)
+                .sum();
+            assert_eq!(value, Value::Int(expect), "session {sid}");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.opened, 30);
+        assert_eq!(stats.edit_batches, 30);
+        assert_eq!(stats.observes, 30);
+        assert_eq!(stats.admitted, 90);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        for shards in [1usize, 2, 4, 7] {
+            for key in ["a", "tenant-123", "zz.9"] {
+                let s = route_key(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, route_key(key, shards), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_disconnects_every_clone() {
+        let svc = Service::start(ServiceConfig {
+            shards: 1,
+            ..Default::default()
+        });
+        let clone = svc.clone();
+        assert_eq!(clone.call(Request::Ping), Reply::Pong);
+        svc.shutdown();
+        let r = clone.call(Request::Ping);
+        assert!(matches!(r, Reply::Err(ErrKind::Shutdown, _)));
+    }
+}
