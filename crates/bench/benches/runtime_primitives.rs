@@ -26,7 +26,7 @@ fn order_maintenance() {
     });
 }
 
-fn copy_program() -> (std::rc::Rc<Program>, FuncId) {
+fn copy_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let body = b.native("copy_body", |e, args| {
         e.write(args[1].modref(), args[0]);

@@ -26,10 +26,9 @@ use ceal_runtime::prelude::*;
 use ceal_runtime::prng::Prng;
 use ceal_suite::input;
 use ceal_suite::sac::{exptrees, listops, sort, tcon};
-use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Per-workload trace artifacts captured by `tables bench --trace`.
 pub struct WorkloadTrace {
@@ -59,15 +58,15 @@ pub struct TraceSink {
     pub traces: Vec<WorkloadTrace>,
 }
 
-fn attach_recorder(e: &mut Engine) -> Rc<RefCell<TraceRecorder>> {
+fn attach_recorder(e: &mut Engine) -> Arc<Mutex<TraceRecorder>> {
     let rec = TraceRecorder::shared();
-    e.set_event_hook(Box::new(Rc::clone(&rec)));
+    e.set_event_hook(Box::new(Arc::clone(&rec)));
     rec
 }
 
 impl TraceSink {
-    fn capture(&mut self, name: &str, rec: &Rc<RefCell<TraceRecorder>>, e: &Engine) {
-        let r = rec.borrow();
+    fn capture(&mut self, name: &str, rec: &Arc<Mutex<TraceRecorder>>, e: &Engine) {
+        let r = rec.lock().unwrap();
         let sites = e.sites();
         let attr = r.attribution(sites);
         self.traces.push(WorkloadTrace {

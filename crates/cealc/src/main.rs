@@ -221,7 +221,7 @@ fn main() -> ExitCode {
         };
         let recorder = trace_dir.as_ref().map(|_| {
             let rec = TraceRecorder::shared();
-            e.set_event_hook(Box::new(std::rc::Rc::clone(&rec)));
+            e.set_event_hook(Box::new(std::sync::Arc::clone(&rec)));
             rec
         });
         let in_mods: Vec<ModRef> = ins
@@ -295,14 +295,14 @@ fn main() -> ExitCode {
             );
         }
         if let (Some(dir), Some(rec)) = (&trace_dir, &recorder) {
-            if let Err(err) = write_trace_artifacts(dir, &rec.borrow(), &e) {
+            if let Err(err) = write_trace_artifacts(dir, &rec.lock().unwrap(), &e) {
                 eprintln!("cealc: cannot write trace artifacts: {err}");
                 return ExitCode::FAILURE;
             }
             println!(
                 "trace artifacts written to {} (digest {})",
                 dir.display(),
-                rec.borrow().digest_hex()
+                rec.lock().unwrap().digest_hex()
             );
         }
         return ExitCode::SUCCESS;

@@ -12,18 +12,17 @@
 //! including the §6.3 read-trampolining refinement (tail calls that do
 //! not follow a read transfer directly inside the interpreter loop).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ceal_ir::cl::{Atom, Block, Cmd, Expr, Func, FuncRef, Jump, Prim, Program, Var};
 use ceal_ir::sites::{SiteAssignment, SiteKind as IrSiteKind};
-use ceal_runtime::engine::Engine;
+use ceal_runtime::api::RegionCx;
 use ceal_runtime::program::{OpaqueFn, ProgramBuilder, SiteKind, SiteTable, Tail};
 use ceal_runtime::value::{FuncId, SiteId, Value};
 
 struct Shared {
     funcs: Vec<Func>,
-    engine_ids: RefCell<Vec<FuncId>>,
+    engine_ids: Vec<FuncId>,
     /// Program points over the same normalized CL the VM compiles, so
     /// both executors attribute events to identical site ids.
     sites: SiteAssignment,
@@ -32,13 +31,13 @@ struct Shared {
 /// Handle mapping CL functions to engine ids.
 #[derive(Clone)]
 pub struct ClLoaded {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
 }
 
 impl ClLoaded {
     /// The engine [`FuncId`] of CL function `f`.
     pub fn engine_id(&self, f: FuncRef) -> FuncId {
-        self.shared.engine_ids.borrow()[f.0 as usize]
+        self.shared.engine_ids[f.0 as usize]
     }
 
     /// Looks up a function by name.
@@ -47,7 +46,7 @@ impl ClLoaded {
             .funcs
             .iter()
             .position(|f| f.name == name)
-            .map(|i| self.shared.engine_ids.borrow()[i])
+            .map(|i| self.shared.engine_ids[i])
     }
 }
 
@@ -65,18 +64,19 @@ pub fn load_cl(p: &Program, b: &mut ProgramBuilder) -> ClLoaded {
         table.push(s.name.clone(), kind);
     }
     b.set_site_table(table);
-    let shared = Rc::new(Shared {
+    // Declare first so the id table is plain shareable data before any
+    // `ClFn` captures it.
+    let engine_ids: Vec<FuncId> = p.funcs.iter().map(|f| b.declare(&f.name)).collect();
+    let shared = Arc::new(Shared {
         funcs: p.funcs.clone(),
-        engine_ids: RefCell::new(Vec::with_capacity(p.funcs.len())),
+        engine_ids,
         sites: assign,
     });
-    for (i, f) in p.funcs.iter().enumerate() {
-        let id = b.declare(&f.name);
-        shared.engine_ids.borrow_mut().push(id);
+    for (i, &id) in shared.engine_ids.iter().enumerate() {
         b.define_opaque(
             id,
             Box::new(ClFn {
-                shared: Rc::clone(&shared),
+                shared: Arc::clone(&shared),
                 idx: i,
             }),
         );
@@ -85,7 +85,7 @@ pub fn load_cl(p: &Program, b: &mut ProgramBuilder) -> ClLoaded {
 }
 
 struct ClFn {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
     idx: usize,
 }
 
@@ -121,7 +121,7 @@ fn prim_eval(op: Prim, vals: &[Value]) -> Value {
 
 impl ClFn {
     fn fid(&self, f: FuncRef) -> FuncId {
-        self.shared.engine_ids.borrow()[f.0 as usize]
+        self.shared.engine_ids[f.0 as usize]
     }
 
     fn atom(&self, env: &[Value], a: &Atom) -> Value {
@@ -145,7 +145,7 @@ impl ClFn {
             .map_or(SiteId::NONE, SiteId)
     }
 
-    fn exec(&self, e: &mut Engine, env: &mut [Value], c: &Cmd, site: SiteId) {
+    fn exec(&self, e: &mut RegionCx<'_>, env: &mut [Value], c: &Cmd, site: SiteId) {
         match c {
             Cmd::Nop => {}
             Cmd::Assign(d, expr) => {
@@ -208,7 +208,7 @@ impl OpaqueFn for ClFn {
         &self.shared.funcs[self.idx].name
     }
 
-    fn invoke(&self, e: &mut Engine, args: &[Value]) -> Tail {
+    fn invoke(&self, e: &mut RegionCx<'_>, args: &[Value]) -> Tail {
         let mut fidx = self.idx;
         let mut argbuf: Vec<Value> = args.to_vec();
         'function: loop {
@@ -269,7 +269,7 @@ mod tests {
     use super::*;
     use ceal_compiler::pipeline::compile;
     use ceal_lang::frontend;
-    use ceal_runtime::value::ModRef;
+    use ceal_runtime::api::{Engine, ModRef};
 
     fn session(src: &str) -> (Engine, FuncId, Vec<ModRef>) {
         let (cl, _) = frontend(src).expect("frontend");

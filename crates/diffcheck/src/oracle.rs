@@ -61,9 +61,8 @@
 //! edits. Which suites run is selected by [`PolicySuite`]
 //! (`diffcheck --policy`); the default runs everything.
 
-use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ceal_compiler::pipeline::compile;
 use ceal_ir::cl::{FuncRef, Program};
@@ -489,7 +488,7 @@ pub fn run_test_case_with(tc: &TestCase, suite: PolicySuite) -> Result<RunReport
     // directly on the engine. Each suite builds fresh sessions with
     // its own [`EngineConfig`].
     let start_vm = |stage: &str,
-                    rec: Option<&Rc<RefCell<TraceRecorder>>>,
+                    rec: Option<&Arc<Mutex<TraceRecorder>>>,
                     config: EngineConfig|
      -> Result<Session, Failure> {
         let mut b = ProgramBuilder::new();
@@ -501,7 +500,7 @@ pub fn run_test_case_with(tc: &TestCase, suite: PolicySuite) -> Result<RunReport
             Ok(f) => f,
             Err(e) => return fail("vm-load", e.to_string()),
         };
-        let rec = rec.map(Rc::clone);
+        let rec = rec.map(Arc::clone);
         guard(stage, || {
             let mut e = Engine::with_config(b.build(), config).expect("valid oracle config");
             if let Some(r) = rec {
@@ -511,10 +510,10 @@ pub fn run_test_case_with(tc: &TestCase, suite: PolicySuite) -> Result<RunReport
         })
     };
     let start_clvm = |stage: &str,
-                      rec: Option<&Rc<RefCell<TraceRecorder>>>,
+                      rec: Option<&Arc<Mutex<TraceRecorder>>>,
                       config: EngineConfig|
      -> Result<Session, Failure> {
-        let rec = rec.map(Rc::clone);
+        let rec = rec.map(Arc::clone);
         guard(stage, || {
             let mut b = ProgramBuilder::new();
             let loaded = load_cl(&compiled.normalized, &mut b);
@@ -642,7 +641,12 @@ pub fn run_test_case_with(tc: &TestCase, suite: PolicySuite) -> Result<RunReport
         })?;
 
         check_counter_agreement(&vm, &clvm, "vm", "clvm")?;
-        check_digest_agreement(&vm_rec.borrow(), &clvm_rec.borrow(), "vm", "clvm")?;
+        check_digest_agreement(
+            &vm_rec.lock().unwrap(),
+            &clvm_rec.lock().unwrap(),
+            "vm",
+            "clvm",
+        )?;
         check_route_state_agreement(&route_a, &route_b)?;
     }
 
@@ -696,8 +700,8 @@ pub fn run_test_case_with(tc: &TestCase, suite: PolicySuite) -> Result<RunReport
 
         check_counter_agreement(&vm_d, &clvm_d, "vm-demand", "clvm-demand")?;
         check_digest_agreement(
-            &vm_rec.borrow(),
-            &clvm_rec.borrow(),
+            &vm_rec.lock().unwrap(),
+            &clvm_rec.lock().unwrap(),
             "vm-demand",
             "clvm-demand",
         )?;

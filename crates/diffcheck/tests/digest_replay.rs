@@ -8,7 +8,7 @@
 //! volume), so it is the contract that trace-storage rewrites change
 //! nothing observable (DESIGN.md §13).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ceal_compiler::pipeline::compile;
 use ceal_lang::frontend;
@@ -34,7 +34,7 @@ fn replay_digest(tc: &TestCase) -> Result<String, String> {
     let entry = loaded.entry("main").ok_or("no main")?;
     let mut e = Engine::new(b.build());
     let rec = TraceRecorder::shared();
-    e.set_event_hook(Box::new(Rc::clone(&rec)));
+    e.set_event_hook(Box::new(Arc::clone(&rec)));
     let ins: Vec<ModRef> = tc
         .scalars
         .iter()
@@ -72,7 +72,7 @@ fn replay_digest(tc: &TestCase) -> Result<String, String> {
         e.propagate();
     }
     e.clear_core();
-    let digest = rec.borrow().digest_hex();
+    let digest = rec.lock().unwrap().digest_hex();
     Ok(digest)
 }
 

@@ -1,0 +1,213 @@
+//! The shared half of the split engine: configuration and the
+//! structurally-immutable-during-propagation [`EngineCore`].
+//!
+//! Everything a re-execution *reads* but never mutates lives here —
+//! the program (function table and site table), the feature switches,
+//! and the string interner. A leased
+//! [`RegionCx`](super::region::RegionCx) borrows the core shared and
+//! its [`RegionState`](super::region::RegionState) exclusively, which
+//! is what will let a future scheduler run disjoint regions from one
+//! core on several threads (DESIGN.md §16).
+
+use std::sync::Arc;
+
+use crate::error::CealError;
+use crate::program::Program;
+use crate::value::Interner;
+
+/// Simulation of an SML-style run-time (boxed values + tracing GC),
+/// used by the `ceal-sasml` crate to reproduce the paper's Table 2 /
+/// Fig. 14 comparison against SaSML (see DESIGN.md §2). Every traced
+/// operation allocates `box_words` of short-lived garbage; when the
+/// garbage allocated since the last collection exceeds the headroom
+/// between the live set and `heap_limit`, a mark pass walks the whole
+/// live trace — so propagation slows down without bound as the heap
+/// limit approaches the live size, as the paper observes (§8.4).
+#[derive(Clone, Copy, Debug)]
+pub struct SmlSim {
+    /// Simulated heap limit in bytes (`None` = unbounded heap, GC every
+    /// 8 MiB of garbage).
+    pub heap_limit: Option<usize>,
+    /// Words per garbage box.
+    pub box_words: usize,
+    /// Boxes allocated per traced operation. Calibrated (see
+    /// `ceal-sasml`) so the from-scratch slowdown matches the ~9×
+    /// the paper measures for SaSML; the propagation and space
+    /// behaviors then *emerge* from the model.
+    pub boxes_per_op: usize,
+}
+
+impl Default for SmlSim {
+    fn default() -> Self {
+        SmlSim {
+            heap_limit: None,
+            box_words: 4,
+            boxes_per_op: 100,
+        }
+    }
+}
+
+/// When change propagation repairs the trace (DESIGN.md §14).
+///
+/// Both policies produce observationally identical values — the
+/// `diffcheck` oracle runs every generated program under both and
+/// asserts exactly that. What differs is *when* the repair work is
+/// paid for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PropagationPolicy {
+    /// The paper's discipline: the mutator calls
+    /// [`Engine::propagate`](super::Engine::propagate) after its edits (or commits an
+    /// [`EditBatch`](crate::batch::EditBatch), whose commit runs the
+    /// pass). Every edit round pays its propagation immediately, so
+    /// [`Engine::deref`](super::Engine::deref) always sees a consistent trace between rounds.
+    #[default]
+    Eager,
+    /// Demand-driven (Adapton-style) deferral: mutator writes only
+    /// *mark* the governed reads dirty (they accumulate in the
+    /// position-ordered dirty set), batch commits stage marks without
+    /// propagating, and the repair pass runs lazily when an
+    /// observation ([`Engine::observe`](super::Engine::observe)) demands a clean value. Rounds
+    /// without an observation pay zero re-execution; an observation
+    /// after `k` edit rounds pays one coalesced pass in which
+    /// same-value round trips are skipped outright.
+    Demand,
+}
+
+/// Feature switches for ablation experiments (DESIGN.md §6).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Enable read-level memoization (trace reuse). Off ⇒ every dirty
+    /// read re-executes its entire extent.
+    pub memo: bool,
+    /// Enable keyed allocation (location reuse). Off ⇒ every
+    /// re-execution allocates fresh blocks.
+    pub keyed_alloc: bool,
+    /// SML-style cost simulation (boxed values, tracing GC); see
+    /// [`SmlSim`]. `None` (the default) disables it entirely.
+    pub sml_sim: Option<SmlSim>,
+    /// When change propagation runs; see [`PropagationPolicy`].
+    pub policy: PropagationPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            memo: true,
+            keyed_alloc: true,
+            sml_sim: None,
+            policy: PropagationPolicy::Eager,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (memoization and keyed allocation on,
+    /// no SML simulation), as a chainable starting point:
+    ///
+    /// ```
+    /// # use ceal_runtime::prelude::*;
+    /// let config = EngineConfig::new().memo(false).keyed_alloc(true);
+    /// assert!(!config.memo);
+    /// ```
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets read-level memoization (trace reuse).
+    #[must_use]
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
+
+    /// Sets keyed allocation (location reuse).
+    #[must_use]
+    pub fn keyed_alloc(mut self, on: bool) -> Self {
+        self.keyed_alloc = on;
+        self
+    }
+
+    /// Sets (or clears) the SML-style cost simulation.
+    #[must_use]
+    pub fn sml_sim(mut self, sim: Option<SmlSim>) -> Self {
+        self.sml_sim = sim;
+        self
+    }
+
+    /// Sets the propagation policy (eager or demand-driven).
+    #[must_use]
+    pub fn policy(mut self, policy: PropagationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Checks the configuration for internal consistency — the
+    /// validation behind [`Engine::with_config`](super::Engine::with_config).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CealError::InvalidConfig`] when the SML simulation is
+    /// enabled with zero-sized boxes, a zero allocation rate, or a zero
+    /// heap limit (each would divide by zero or deadlock the simulated
+    /// collector).
+    pub fn validate(&self) -> Result<(), CealError> {
+        if let Some(sim) = &self.sml_sim {
+            if sim.box_words == 0 {
+                return Err(CealError::InvalidConfig(
+                    "sml_sim.box_words must be at least 1".into(),
+                ));
+            }
+            if sim.boxes_per_op == 0 {
+                return Err(CealError::InvalidConfig(
+                    "sml_sim.boxes_per_op must be at least 1".into(),
+                ));
+            }
+            if sim.heap_limit == Some(0) {
+                return Err(CealError::InvalidConfig(
+                    "sml_sim.heap_limit of 0 can never hold a live heap".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The shared, structurally-immutable-during-propagation half of a
+/// split [`Engine`](super::Engine): the program (function table plus
+/// site table), the engine configuration and the string interner.
+///
+/// An `EngineCore` is only ever borrowed shared during core execution
+/// and change propagation — every [`RegionCx`](super::region::RegionCx)
+/// leased from the same engine reads the same core, so the core must
+/// be (and is) `Sync`. Mutation happens exclusively at the mutator
+/// level, between leases (interning via
+/// [`Engine::intern`](super::Engine::intern)).
+pub struct EngineCore {
+    pub(crate) program: Arc<Program>,
+    pub(crate) config: EngineConfig,
+    pub(crate) interner: Interner,
+}
+
+impl EngineCore {
+    /// The program this engine executes.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The engine configuration (feature switches).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The string interner (read-only view).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The program's site table (program points for event
+    /// attribution; empty for hand-assembled native programs).
+    pub fn sites(&self) -> &crate::program::SiteTable {
+        self.program.sites()
+    }
+}

@@ -1,0 +1,96 @@
+//! The self-adjusting computation engine: trace construction, change
+//! propagation, memoization and keyed allocation.
+//!
+//! This is the run-time system of §6.1 together with the semantics of
+//! §1's "dynamic dependence graph": executing a core program builds a
+//! *trace* — a time-ordered sequence of read, write and allocation
+//! records. A read record stores the closure that consumed the value
+//! (the paper's `modref_read(m, c)`), and the *interval* of timestamps
+//! its execution covered. When the mutator modifies a modifiable,
+//! the reads that observed the old value become *dirty*; `propagate`
+//! re-executes them in trace order, splicing new trace over old and
+//! purging whatever the new execution did not reuse.
+//!
+//! Two mechanisms make propagation fast (§1, §6.1):
+//!
+//! * **Memoization**: when a re-execution performs a read whose
+//!   (modifiable, closure, value) key matches a read in the discarded
+//!   region, the old subtrace is reused as-is and re-execution stops.
+//! * **Keyed allocation** (ISMM'08): `alloc(size, init, args)` performed
+//!   during re-execution *steals* a matching allocation from the
+//!   discarded region, so locations — and therefore the modifiables
+//!   inside them — keep their identity across updates.
+//!
+//! Execution is trampoline-based exactly as in §6.2: core functions
+//! return [`Tail`](crate::program::Tail) values; `Tail::Call` continues
+//! the chain, and `Tail::Read` both records the dependence and
+//! continues with the value substituted as the first argument.
+//!
+//! ## Module layout (DESIGN.md §16)
+//!
+//! The engine is split along the ownership seam that parallel change
+//! propagation needs:
+//!
+//! * [`core`] — [`EngineCore`]: the shared, structurally-immutable-
+//!   during-propagation state (program, configuration, interner, site
+//!   tables). `Sync`; a future scheduler shares one by reference.
+//! * [`region`] — [`RegionState`] (trace arenas, propagation queue,
+//!   heap, memo tables, counters) and [`RegionCx`], the leased
+//!   re-execution context (`&EngineCore` + `&mut RegionState` + a
+//!   counter baseline) that every core-side operation runs against.
+//!   `RegionCx: Send`, pinned by doctest.
+//! * [`facade`] — [`Engine`]: the mutator-facing pairing of one core
+//!   with one region state, preserving the pre-split public API.
+
+pub mod core;
+pub mod facade;
+pub mod region;
+
+pub use self::core::{EngineConfig, EngineCore, PropagationPolicy, SmlSim};
+pub use self::facade::Engine;
+pub use self::region::{RegionCx, RegionState};
+
+use crate::value::{Loc, ModRef, StrId, Value};
+
+/// The read-only surface shared by the mutator facade ([`Engine`]) and
+/// the leased re-execution context ([`RegionCx`]).
+///
+/// Helper functions that inspect values — comparators, coordinate
+/// unpacking, list walkers — are used both inside core bodies (which
+/// hold a `RegionCx`) and by mutator-side oracles (which hold an
+/// `Engine`). Writing them against this trait lets one definition serve
+/// both sides of the lease seam.
+pub trait ReadView {
+    /// Reads a block slot (untracked; see [`Engine::load`]).
+    fn load(&self, loc: Loc, off: usize) -> Value;
+    /// Raw peek at a modifiable's current contents (see
+    /// [`Engine::deref`] for the staleness caveats under demand
+    /// propagation).
+    fn deref(&self, m: ModRef) -> Value;
+    /// Compares two interned strings by content.
+    fn str_cmp(&self, a: StrId, b: StrId) -> std::cmp::Ordering;
+}
+
+impl ReadView for Engine {
+    fn load(&self, loc: Loc, off: usize) -> Value {
+        Engine::load(self, loc, off)
+    }
+    fn deref(&self, m: ModRef) -> Value {
+        Engine::deref(self, m)
+    }
+    fn str_cmp(&self, a: StrId, b: StrId) -> std::cmp::Ordering {
+        Engine::str_cmp(self, a, b)
+    }
+}
+
+impl ReadView for RegionCx<'_> {
+    fn load(&self, loc: Loc, off: usize) -> Value {
+        self.state.load(loc, off)
+    }
+    fn deref(&self, m: ModRef) -> Value {
+        self.state.deref(m)
+    }
+    fn str_cmp(&self, a: StrId, b: StrId) -> std::cmp::Ordering {
+        RegionCx::str_cmp(self, a, b)
+    }
+}

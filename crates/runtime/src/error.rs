@@ -30,6 +30,18 @@ pub enum CealError {
     MalformedProgram(String),
     /// A requested entry-point name is not defined by the program.
     UnknownEntry(String),
+    /// A raw [`Engine::checked_deref`](crate::engine::Engine::checked_deref)
+    /// under [`PropagationPolicy::Demand`](crate::engine::PropagationPolicy)
+    /// while dirty marks are pending: the unpropagated trace could hold
+    /// a stale value. Call
+    /// [`Engine::observe`](crate::engine::Engine::observe) instead to
+    /// propagate on demand.
+    StaleRead {
+        /// The modifiable id whose read was refused.
+        modref: u32,
+        /// How many dirty reads were pending at the time.
+        pending: usize,
+    },
 }
 
 impl fmt::Display for CealError {
@@ -38,6 +50,11 @@ impl fmt::Display for CealError {
             CealError::InvalidConfig(d) => write!(f, "invalid engine config: {d}"),
             CealError::MalformedProgram(d) => write!(f, "malformed program: {d}"),
             CealError::UnknownEntry(name) => write!(f, "unknown entry function `{name}`"),
+            CealError::StaleRead { modref, pending } => write!(
+                f,
+                "stale read of modref {modref}: {pending} dirty read(s) pending \
+                 under demand propagation (use observe)"
+            ),
         }
     }
 }

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batch;
 pub mod engine;
 pub mod error;
@@ -57,7 +58,9 @@ pub mod stats;
 pub mod value;
 
 pub use batch::{EditBatch, Mutator};
-pub use engine::{Engine, EngineConfig, PropagationPolicy, SmlSim};
+pub use engine::{
+    Engine, EngineConfig, EngineCore, PropagationPolicy, ReadView, RegionCx, RegionState, SmlSim,
+};
 pub use error::CealError;
 #[cfg(feature = "event-hooks")]
 pub use obs::{Attribution, SiteRow, TraceRecorder};
@@ -70,7 +73,9 @@ pub use value::{FuncId, Interner, Loc, ModRef, SiteId, StrId, Value};
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::batch::{EditBatch, Mutator};
-    pub use crate::engine::{Engine, EngineConfig, PropagationPolicy, SmlSim};
+    pub use crate::engine::{
+        Engine, EngineConfig, EngineCore, PropagationPolicy, ReadView, RegionCx, SmlSim,
+    };
     pub use crate::error::CealError;
     #[cfg(feature = "event-hooks")]
     pub use crate::obs::TraceRecorder;

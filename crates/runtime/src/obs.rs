@@ -178,7 +178,11 @@ pub enum Event {
 /// engine's hot paths. When no hook is installed the per-event cost is
 /// one predictable branch; when the `event-hooks` cargo feature is
 /// disabled the call sites compile to nothing at all.
-pub trait EventHook {
+///
+/// Hooks are `Send`: they live inside
+/// [`RegionState`](crate::engine::RegionState), and the leased
+/// [`RegionCx`](crate::engine::RegionCx) is `Send` (DESIGN.md §16).
+pub trait EventHook: Send {
     /// Called for every engine event, in program order.
     fn on_event(&mut self, ev: Event);
 }
@@ -365,11 +369,13 @@ impl Profiler {
 }
 
 /// Forwarding impl so several owners can share one hook state
-/// (`Rc<RefCell<CountingHook>>` is the common test pattern: keep a
-/// clone, install the other in the engine).
-impl<H: EventHook> EventHook for std::rc::Rc<std::cell::RefCell<H>> {
+/// (`Arc<Mutex<CountingHook>>` is the common test pattern: keep a
+/// clone, install the other in the engine). The mutex is uncontended in
+/// today's single-region engine; it exists so hook state stays `Send`
+/// across the region seam.
+impl<H: EventHook> EventHook for std::sync::Arc<std::sync::Mutex<H>> {
     fn on_event(&mut self, ev: Event) {
-        self.borrow_mut().on_event(ev);
+        self.lock().expect("event hook poisoned").on_event(ev);
     }
 }
 
@@ -381,17 +387,17 @@ impl<H: EventHook> EventHook for std::rc::Rc<std::cell::RefCell<H>> {
 /// [`crate::engine::Engine::set_event_hook`]:
 ///
 /// ```
-/// use std::{cell::RefCell, rc::Rc};
+/// use std::sync::{Arc, Mutex};
 /// use ceal_runtime::prelude::*;
 /// use ceal_runtime::obs::TraceRecorder;
 ///
 /// let mut b = ProgramBuilder::new();
 /// let noop = b.native("noop", |_e, _a| Tail::Done);
 /// let mut e = Engine::new(b.build());
-/// let rec = Rc::new(RefCell::new(TraceRecorder::new()));
-/// e.set_event_hook(Box::new(Rc::clone(&rec)));
+/// let rec = Arc::new(Mutex::new(TraceRecorder::new()));
+/// e.set_event_hook(Box::new(Arc::clone(&rec)));
 /// e.run_core(noop, &[]);
-/// assert!(!rec.borrow().is_empty());
+/// assert!(!rec.lock().unwrap().is_empty());
 /// ```
 ///
 /// The recorder is an append-only arena of [`Event`]s (which are
@@ -487,11 +493,11 @@ impl TraceRecorder {
     }
 
     /// A shared handle suitable for both keeping and installing:
-    /// `Rc<RefCell<TraceRecorder>>` implements [`EventHook`] through
+    /// `Arc<Mutex<TraceRecorder>>` implements [`EventHook`] through
     /// the forwarding impl, so clone one end into
     /// [`crate::engine::Engine::set_event_hook`] and keep the other.
-    pub fn shared() -> std::rc::Rc<std::cell::RefCell<TraceRecorder>> {
-        std::rc::Rc::new(std::cell::RefCell::new(TraceRecorder::new()))
+    pub fn shared() -> std::sync::Arc<std::sync::Mutex<TraceRecorder>> {
+        std::sync::Arc::new(std::sync::Mutex::new(TraceRecorder::new()))
     }
 
     /// The recorded events, in emission order.

@@ -8,7 +8,7 @@
 //! VM crate additionally registers interpreted functions through
 //! [`OpaqueFn`].
 
-use crate::engine::Engine;
+use crate::engine::RegionCx;
 use crate::value::{FuncId, ModRef, SiteId, Value};
 
 /// Argument list of a trampoline step.
@@ -290,15 +290,19 @@ impl SiteTable {
 /// A core function implemented as a Rust closure: the analogue of the C
 /// functions `cealc` emits. Closures may capture the [`FuncId`]s of the
 /// other functions they tail-call.
-pub type NativeFn = Box<dyn Fn(&mut Engine, &[Value]) -> Tail>;
+///
+/// Bodies run against the leased [`RegionCx`], never the whole engine,
+/// and must be `Send + Sync` so a shared [`Program`]
+/// can be invoked from any region's thread (DESIGN.md §16).
+pub type NativeFn = Box<dyn Fn(&mut RegionCx<'_>, &[Value]) -> Tail + Send + Sync>;
 
 /// A core function with interpreted or stateful implementation (used by
 /// the `ceal-vm` crate for translated target code).
-pub trait OpaqueFn {
+pub trait OpaqueFn: Send + Sync {
     /// Runs the function body; like [`NativeFn`], the body may perform
     /// engine operations (`alloc`, `write`, nested `call`) and must end
     /// by returning a [`Tail`].
-    fn invoke(&self, engine: &mut Engine, args: &[Value]) -> Tail;
+    fn invoke(&self, cx: &mut RegionCx<'_>, args: &[Value]) -> Tail;
 
     /// Human-readable name for diagnostics.
     fn name(&self) -> &str {
@@ -365,10 +369,10 @@ impl Program {
     }
 
     /// Invokes function `f`. Used by the engine's trampoline.
-    pub(crate) fn invoke(&self, f: FuncId, engine: &mut Engine, args: &[Value]) -> Tail {
+    pub(crate) fn invoke(&self, f: FuncId, cx: &mut RegionCx<'_>, args: &[Value]) -> Tail {
         match &self.funcs[f.0 as usize] {
-            Impl::Native { f, .. } => f(engine, args),
-            Impl::Opaque(b) => b.invoke(engine, args),
+            Impl::Native { f, .. } => f(cx, args),
+            Impl::Opaque(b) => b.invoke(cx, args),
         }
     }
 }
@@ -406,7 +410,7 @@ impl ProgramBuilder {
     pub fn define_native(
         &mut self,
         f: FuncId,
-        body: impl Fn(&mut Engine, &[Value]) -> Tail + 'static,
+        body: impl Fn(&mut RegionCx<'_>, &[Value]) -> Tail + Send + Sync + 'static,
     ) {
         let slot = &mut self.funcs[f.0 as usize];
         assert!(
@@ -424,7 +428,7 @@ impl ProgramBuilder {
     pub fn native(
         &mut self,
         name: &str,
-        body: impl Fn(&mut Engine, &[Value]) -> Tail + 'static,
+        body: impl Fn(&mut RegionCx<'_>, &[Value]) -> Tail + Send + Sync + 'static,
     ) -> FuncId {
         let f = self.declare(name);
         self.define_native(f, body);
@@ -457,7 +461,7 @@ impl ProgramBuilder {
     /// # Panics
     ///
     /// Panics if any declared function was never defined.
-    pub fn build(self) -> std::rc::Rc<Program> {
+    pub fn build(self) -> std::sync::Arc<Program> {
         let funcs = self
             .funcs
             .into_iter()
@@ -466,7 +470,7 @@ impl ProgramBuilder {
                 f.unwrap_or_else(|| panic!("function {} declared but not defined", self.names[i]))
             })
             .collect();
-        std::rc::Rc::new(Program {
+        std::sync::Arc::new(Program {
             funcs,
             sites: self.sites,
         })

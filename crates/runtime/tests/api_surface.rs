@@ -1,0 +1,180 @@
+//! Public-API-surface golden: every `pub` item signature in
+//! `ceal-runtime` is extracted (no extra dependencies — a small
+//! line-oriented scanner over `src/**/*.rs`), normalized, sorted, and
+//! diffed against `baselines/api_surface.txt`. An accidental API break
+//! — a renamed method, a changed signature, a dropped re-export — fails
+//! deterministically in CI (the lint job runs this test); a deliberate
+//! change is blessed with `UPDATE_GOLDEN=1`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under `dir`, depth-first, sorted by path
+/// so the output order is stable across platforms.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Does this line begin a `pub` item? (`pub fn`, `pub struct`, `pub
+/// use`, `pub(crate) …` is deliberately *excluded* — crate-internal
+/// surface may churn freely.)
+fn starts_pub_item(t: &str) -> bool {
+    let Some(rest) = t.strip_prefix("pub ") else {
+        return false;
+    };
+    [
+        "fn ",
+        "struct ",
+        "enum ",
+        "trait ",
+        "type ",
+        "const ",
+        "static ",
+        "mod ",
+        "use ",
+        "unsafe fn ",
+    ]
+    .iter()
+    .any(|k| rest.starts_with(k))
+}
+
+/// Extracts the normalized signatures of public items in one file.
+/// Signatures span lines until the opening `{` or terminating `;`;
+/// whitespace runs collapse so rustfmt churn cannot move the golden.
+fn extract(src: &str) -> Vec<String> {
+    let mut sigs = Vec::new();
+    let mut lines = src.lines().peekable();
+    let mut skip_depth: i32 = 0; // inside #[cfg(test)] mod … { }
+    let mut pending_cfg_test = false;
+    while let Some(line) = lines.next() {
+        let t = line.trim();
+        if skip_depth > 0 {
+            skip_depth += (t.matches('{').count() as i32) - (t.matches('}').count() as i32);
+            continue;
+        }
+        if t.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                skip_depth = (t.matches('{').count() as i32) - (t.matches('}').count() as i32);
+                pending_cfg_test = false;
+                continue;
+            }
+            if !t.starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+        if !starts_pub_item(t) {
+            continue;
+        }
+        // `pub use` groups contain braces as part of the item list, so
+        // they terminate (and are cut) at `;`; everything else stops at
+        // the body's `{` or its own `;`.
+        let is_use = t.starts_with("pub use ");
+        let done = |s: &str| {
+            if is_use {
+                s.contains(';')
+            } else {
+                s.contains('{') || s.contains(';')
+            }
+        };
+        let mut sig = t.to_string();
+        while !done(&sig) {
+            match lines.next() {
+                Some(cont) => {
+                    sig.push(' ');
+                    sig.push_str(cont.trim());
+                }
+                None => break,
+            }
+        }
+        let end = if is_use {
+            sig.find(';').unwrap_or(sig.len())
+        } else {
+            sig.find(" {")
+                .or_else(|| sig.find('{'))
+                .or_else(|| sig.find(';'))
+                .unwrap_or(sig.len())
+        };
+        let head: String = sig[..end].split_whitespace().collect::<Vec<_>>().join(" ");
+        sigs.push(head);
+    }
+    sigs
+}
+
+fn surface() -> String {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    rs_files(&root, &mut files);
+    let mut out = String::new();
+    for f in &files {
+        let rel = f.strip_prefix(&root).unwrap().display().to_string();
+        let src = fs::read_to_string(f).unwrap_or_else(|e| panic!("read {}: {e}", f.display()));
+        let mut sigs = extract(&src);
+        sigs.sort();
+        for s in sigs {
+            writeln!(out, "{rel}: {s}").unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_surface_matches_golden() {
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/api_surface.txt");
+    let got = surface();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(golden_path.parent().unwrap()).expect("create baselines dir");
+        fs::write(&golden_path, &got).expect("write golden");
+        eprintln!(
+            "blessed {} ({} lines)",
+            golden_path.display(),
+            got.lines().count()
+        );
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing API-surface golden {} ({e}); run with UPDATE_GOLDEN=1 to bless",
+            golden_path.display()
+        )
+    });
+    if got != want {
+        let got_set: std::collections::BTreeSet<_> = got.lines().collect();
+        let want_set: std::collections::BTreeSet<_> = want.lines().collect();
+        let added: Vec<_> = got_set.difference(&want_set).collect();
+        let removed: Vec<_> = want_set.difference(&got_set).collect();
+        panic!(
+            "public API surface drifted from baselines/api_surface.txt\n\
+             added ({}):\n  {}\nremoved ({}):\n  {}\n\
+             If the change is deliberate, re-bless with:\n  \
+             UPDATE_GOLDEN=1 cargo test -p ceal-runtime --test api_surface",
+            added.len(),
+            added
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("\n  "),
+            removed.len(),
+            removed
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("\n  "),
+        );
+    }
+}

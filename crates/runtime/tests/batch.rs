@@ -12,7 +12,7 @@ fn paper_map_fn(x: i64) -> i64 {
 }
 
 /// Builds the `map` core program in normalized trampolined form.
-fn build_map() -> (std::rc::Rc<Program>, FuncId) {
+fn build_map() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init_cell = b.native("init_cell", |e, args| {
         let loc = args[0].ptr();
@@ -229,7 +229,7 @@ const PLUS: i64 = 0;
 const MINUS: i64 = 1;
 
 /// Builds the §3 expression-tree evaluator in trampolined form.
-fn build_eval() -> (std::rc::Rc<Program>, FuncId) {
+fn build_eval() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let eval = b.declare("eval");
     let read_r = b.declare("eval_read_r");

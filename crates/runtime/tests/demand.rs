@@ -374,3 +374,45 @@ fn eager_observe_is_plain_deref() {
     assert_eq!(e.deref(out), Value::Int(5));
     assert_eq!(e.stats().op_counters(), before);
 }
+
+/// `checked_deref` closes the `deref`/`observe` asymmetry: while
+/// demand-mode dirty marks are pending it returns a typed
+/// [`CealError::StaleRead`] instead of the raw (possibly stale) peek,
+/// and reverts to a plain `deref` once the dirt is cleaned.
+#[test]
+fn checked_deref_flags_pending_demand_dirt() {
+    let (mut e, chain) = chain_session(3, PropagationPolicy::Demand);
+    let out = *chain.last().unwrap();
+
+    // Clean trace: checked_deref is just deref.
+    assert_eq!(e.observe(out), Value::Int(0));
+    assert_eq!(e.checked_deref(out), Ok(Value::Int(0)));
+
+    // A mutator write defers re-execution under demand; the raw peek
+    // now reads the unpropagated trace, and checked_deref says so.
+    e.modify(chain[0], Value::Int(7));
+    assert_eq!(e.deref(out), Value::Int(0), "raw peek is stale");
+    match e.checked_deref(out) {
+        Err(CealError::StaleRead { modref, pending }) => {
+            assert_eq!(modref, out.0);
+            assert!(pending > 0, "StaleRead must report pending dirt");
+        }
+        other => panic!("expected StaleRead, got {other:?}"),
+    }
+
+    // Observing cleans on demand; checked_deref succeeds again.
+    assert_eq!(e.observe(out), Value::Int(7));
+    assert_eq!(e.checked_deref(out), Ok(Value::Int(7)));
+}
+
+/// Eager sessions keep the trace consistent at propagation boundaries,
+/// so checked_deref never errs there — even right after a modify (the
+/// eager policy cleans inside `modify` itself).
+#[test]
+fn checked_deref_is_infallible_under_eager() {
+    let (mut e, chain) = chain_session(3, PropagationPolicy::Eager);
+    let out = *chain.last().unwrap();
+    e.modify(chain[0], Value::Int(9));
+    e.propagate();
+    assert_eq!(e.checked_deref(out), Ok(Value::Int(9)));
+}

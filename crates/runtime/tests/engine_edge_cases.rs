@@ -4,7 +4,7 @@
 
 use ceal_runtime::prelude::*;
 
-fn copy_program() -> (std::rc::Rc<Program>, FuncId) {
+fn copy_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let body = b.native("copy_body", |e, args| {
         e.write(args[1].modref(), args[0]);
@@ -92,7 +92,9 @@ fn core_write_from_mutator_panics() {
     let (p, _) = copy_program();
     let mut e = Engine::new(p);
     let m = e.meta_modref();
-    e.write(m, Value::Int(1));
+    // `write` is a core-side operation: it now lives on the leased
+    // region context, and still panics outside core execution.
+    e.lease_region().write(m, Value::Int(1));
 }
 
 #[test]

@@ -12,7 +12,7 @@ const MINUS: i64 = 1;
 /// Builds the core program of Fig. 2, in the normalized, trampolined
 /// form the compiler produces (Fig. 5): `eval` reads the root, `read_r`
 /// dispatches on the node, `read_a`/`read_b` consume the sub-results.
-fn build_eval() -> (std::rc::Rc<Program>, FuncId) {
+fn build_eval() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let eval = b.declare("eval");
     let read_r = b.declare("eval_read_r");

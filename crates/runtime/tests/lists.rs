@@ -11,7 +11,7 @@ fn paper_map_fn(x: i64) -> i64 {
 }
 
 /// Builds the `map` core program in normalized trampolined form.
-fn build_map() -> (std::rc::Rc<Program>, FuncId) {
+fn build_map() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init_cell = b.native("init_cell", |e, args| {
         let loc = args[0].ptr();

@@ -13,7 +13,7 @@ fn paper_map_fn(x: i64) -> i64 {
 
 /// The `map` core program in normalized trampolined form (same shape as
 /// `tests/lists.rs`; small enough to run many sessions).
-fn build_map() -> (std::rc::Rc<Program>, FuncId) {
+fn build_map() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init_cell = b.native("init_cell", |e, args| {
         let loc = args[0].ptr();
@@ -266,21 +266,20 @@ fn phase_counters_sum_to_lifetime_totals() {
 #[cfg(feature = "event-hooks")]
 #[test]
 fn event_hook_tallies_match_stats() {
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     use ceal_runtime::obs::CountingHook;
 
     let (prog, map) = build_map();
     let mut e = Engine::new(prog);
-    let hook = Rc::new(RefCell::new(CountingHook::default()));
-    e.set_event_hook(Box::new(Rc::clone(&hook)));
+    let hook = Arc::new(Mutex::new(CountingHook::default()));
+    e.set_event_hook(Box::new(Arc::clone(&hook)));
 
     drive_session(&mut e, map, 200, 30, 33);
     e.clear_core();
 
     let s = e.stats().clone();
-    let h = hook.borrow();
+    let h = hook.lock().unwrap();
     assert_eq!(h.reads_reexecuted, s.reads_reexecuted);
     assert_eq!(h.memo_hits, s.memo_hits);
     assert_eq!(h.memo_misses, s.memo_misses);
@@ -326,7 +325,7 @@ fn observers_do_not_perturb_execution() {
 #[cfg(feature = "event-hooks")]
 #[test]
 fn trace_recorder_does_not_perturb_execution() {
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     let (prog, map) = build_map();
     let mut plain = Engine::new(prog);
@@ -336,11 +335,11 @@ fn trace_recorder_does_not_perturb_execution() {
     let (prog2, map2) = build_map();
     let mut traced = Engine::new(prog2);
     let rec = TraceRecorder::shared();
-    traced.set_event_hook(Box::new(Rc::clone(&rec)));
-    let rec_mid = Rc::clone(&rec);
+    traced.set_event_hook(Box::new(Arc::clone(&rec)));
+    let rec_mid = Arc::clone(&rec);
     let out_traced = drive_session_with(&mut traced, map2, 180, 25, 55, |e| {
         // Every exporter is read-only; run them all mid-session.
-        let r = rec_mid.borrow();
+        let r = rec_mid.lock().unwrap();
         assert!(!r.chrome_trace_json(e.sites()).is_empty());
         assert!(!r.attribution(e.sites()).render_table().is_empty());
         assert!(!e.ddg_dot().is_empty());
@@ -359,13 +358,14 @@ fn trace_recorder_does_not_perturb_execution() {
 
     // The recorded stream is non-trivial and its digest is reproducible:
     // replaying the identical session yields the identical digest.
-    assert!(!rec.borrow().is_empty());
+    assert!(!rec.lock().unwrap().is_empty());
     let (prog3, map3) = build_map();
     let mut replay = Engine::new(prog3);
     let rec2 = TraceRecorder::shared();
-    replay.set_event_hook(Box::new(Rc::clone(&rec2)));
+    replay.set_event_hook(Box::new(Arc::clone(&rec2)));
     drive_session(&mut replay, map3, 180, 25, 55);
     replay.clear_core();
-    assert_eq!(rec.borrow().digest(), rec2.borrow().digest());
-    assert_eq!(rec.borrow().events(), rec2.borrow().events());
+    let (rec, rec2) = (rec.lock().unwrap(), rec2.lock().unwrap());
+    assert_eq!(rec.digest(), rec2.digest());
+    assert_eq!(rec.events(), rec2.events());
 }

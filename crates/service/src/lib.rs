@@ -9,8 +9,11 @@
 //!
 //! ## Shard-ownership model (no `Mutex<Engine>`)
 //!
-//! [`ceal_runtime::Engine`] is single-threaded by design — it is built
-//! on `Rc` and interior queues, so it is neither `Send` nor `Sync`.
+//! [`ceal_runtime::Engine`] is single-threaded by design: since the
+//! core/region split (runtime DESIGN.md §16) its state would be
+//! structurally `Send`, so the facade pins a `PhantomData<Rc<()>>`
+//! marker to keep the mutator surface single-threaded on purpose. The
+//! `Send` seam is the leased `ceal_runtime::RegionCx`, not the engine.
 //! Rather than wrap it in a lock, the service partitions session keys
 //! across **shards** (stable hash), and each shard's worker thread
 //! exclusively owns every engine it hosts. Requests are routed to the
@@ -29,7 +32,9 @@
 //!
 //! ```compile_fail
 //! fn assert_send<T: Send>() {}
-//! // Engine owns Rc<Program> and other thread-local state: not Send.
+//! // Engine is !Send by deliberate PhantomData<Rc<()>> marker
+//! // (crates/runtime/src/engine/facade.rs), not by accident of its
+//! // fields: removing the marker makes this compile and the audit fire.
 //! assert_send::<ceal_runtime::Engine>();
 //! ```
 //!

@@ -18,7 +18,7 @@
 //! run is always a correct fallback, and propagation makes the replay
 //! of each subsequent batch cheap (§2).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ceal_runtime::prelude::*;
 use ceal_runtime::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
@@ -57,16 +57,16 @@ pub enum SessionOp {
 
 /// Per-shard cache of built programs: sessions hosting the same
 /// workload on one shard share the immutable [`Program`] through an
-/// `Rc` (programs are engine-independent; `FuncId`s are deterministic
+/// `Arc` (programs are engine-independent; `FuncId`s are deterministic
 /// per builder, so shared and per-session builds are interchangeable).
 #[derive(Debug, Default)]
 pub struct ProgramCache {
-    built: std::collections::HashMap<Workload, (Rc<Program>, FuncId)>,
+    built: std::collections::HashMap<Workload, (Arc<Program>, FuncId)>,
 }
 
 impl ProgramCache {
     /// Returns (building on first use) the program for `w`.
-    pub fn get(&mut self, w: Workload) -> (Rc<Program>, FuncId) {
+    pub fn get(&mut self, w: Workload) -> (Arc<Program>, FuncId) {
         self.built
             .entry(w)
             .or_insert_with(|| {

@@ -15,17 +15,16 @@
 //! snapshot bytes must yield typed [`SnapshotError`]s — never panics,
 //! never a silently wrong session.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ceal_runtime::prelude::*;
 use ceal_runtime::snapshot::{SnapshotError, SnapshotWriter};
 use ceal_service::session::{ProgramCache, Session, SessionSpec};
 use ceal_service::wire::{EditOp, PolicyArg, Workload};
 
-fn attach(s: &mut Session) -> Rc<RefCell<TraceRecorder>> {
+fn attach(s: &mut Session) -> Arc<Mutex<TraceRecorder>> {
     let rec = TraceRecorder::shared();
-    s.set_event_hook(Box::new(Rc::clone(&rec)));
+    s.set_event_hook(Box::new(Arc::clone(&rec)));
     rec
 }
 
@@ -87,12 +86,12 @@ fn roundtrip_matches_unevicted(policy: PolicyArg, workload: Workload) {
         "{policy:?} observed values diverge"
     );
     assert_eq!(
-        rec_control.borrow().digest_hex(),
-        rec_restored.borrow().digest_hex(),
+        rec_control.lock().unwrap().digest_hex(),
+        rec_restored.lock().unwrap().digest_hex(),
         "{policy:?} post-restore event digests diverge"
     );
     assert!(
-        !rec_control.borrow().is_empty(),
+        !rec_control.lock().unwrap().is_empty(),
         "oracle vacuous: no events recorded"
     );
     assert_eq!(

@@ -249,7 +249,7 @@ fn edit_positions(n: usize, max_edits: usize, seed: u64) -> Vec<usize> {
 #[allow(clippy::too_many_arguments)]
 fn list_bench(
     name: &'static str,
-    p: std::rc::Rc<Program>,
+    p: std::sync::Arc<Program>,
     entry: FuncId,
     n: usize,
     max_edits: usize,
@@ -303,7 +303,7 @@ fn list_bench(
 #[allow(clippy::too_many_arguments)]
 fn scalar_list_bench(
     name: &'static str,
-    p: std::rc::Rc<Program>,
+    p: std::sync::Arc<Program>,
     entry: FuncId,
     n: usize,
     max_edits: usize,
@@ -357,7 +357,7 @@ fn scalar_list_bench(
 #[allow(clippy::too_many_arguments)]
 fn sort_bench(
     name: &'static str,
-    p: std::rc::Rc<Program>,
+    p: std::sync::Arc<Program>,
     entry: FuncId,
     n: usize,
     max_edits: usize,

@@ -74,7 +74,7 @@ pub fn build_exptrees(b: &mut ProgramBuilder) -> FuncId {
 }
 
 /// Builds the standalone exptrees program.
-pub fn exptrees_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn exptrees_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let f = build_exptrees(&mut b);
     (b.build(), f)

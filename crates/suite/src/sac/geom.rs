@@ -20,21 +20,21 @@ use crate::sac::listops::build_filter;
 use crate::sac::reduce::build_reduce;
 
 #[inline]
-fn coords(e: &Engine, v: Value) -> (f64, f64) {
+fn coords<V: ReadView>(e: &V, v: Value) -> (f64, f64) {
     let l = v.ptr();
     (e.load(l, PT_X).float(), e.load(l, PT_Y).float())
 }
 
 /// Twice the signed area of (a, b, p): > 0 when `p` is strictly left of
 /// the directed line a→b. Arguments are point-cell pointers.
-fn cross3(e: &Engine, p: Value, a: Value, b: Value) -> f64 {
+fn cross3<V: ReadView>(e: &V, p: Value, a: Value, b: Value) -> f64 {
     let (px, py) = coords(e, p);
     let (ax, ay) = coords(e, a);
     let (bx, by) = coords(e, b);
     (bx - ax) * (py - ay) - (by - ay) * (px - ax)
 }
 
-fn dist2(e: &Engine, p: Value, q: Value) -> f64 {
+fn dist2<V: ReadView>(e: &V, p: Value, q: Value) -> f64 {
     let (px, py) = coords(e, p);
     let (qx, qy) = coords(e, q);
     (px - qx) * (px - qx) + (py - qy) * (py - qy)
@@ -432,7 +432,7 @@ pub fn build_geom(b: &mut ProgramBuilder) -> GeomFns {
 }
 
 /// Builds the standalone geometry program.
-pub fn geom_program() -> (std::rc::Rc<Program>, GeomFns) {
+pub fn geom_program() -> (std::sync::Arc<Program>, GeomFns) {
     let mut b = ProgramBuilder::new();
     let fns = build_geom(&mut b);
     (b.build(), fns)

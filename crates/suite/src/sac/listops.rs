@@ -17,10 +17,10 @@ use crate::input::{CELL_DATA, CELL_NEXT};
 
 /// Per-element transformation; `params` are the trailing arguments given
 /// to the pass entry (empty for the standalone benchmarks).
-pub type ElemFn = fn(&mut Engine, Value, &[Value]) -> Value;
+pub type ElemFn = fn(&mut RegionCx<'_>, Value, &[Value]) -> Value;
 
 /// Per-element predicate for `filter`.
-pub type PredFn = fn(&mut Engine, Value, &[Value]) -> bool;
+pub type PredFn = fn(&mut RegionCx<'_>, Value, &[Value]) -> bool;
 
 /// Builds the shared output-cell initializer: `init(loc, data, ..key)`
 /// stores `data` and creates the `next` modifiable. Extra arguments are
@@ -151,7 +151,7 @@ pub fn paper_filter_keep(x: i64) -> bool {
 }
 
 /// Convenience: build the standalone `map` benchmark program.
-pub fn map_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn map_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init = build_init_cell(&mut b);
     let f = build_map(&mut b, "map", init, |_e, v, _p| {
@@ -161,7 +161,7 @@ pub fn map_program() -> (std::rc::Rc<Program>, FuncId) {
 }
 
 /// Convenience: build the standalone `filter` benchmark program.
-pub fn filter_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn filter_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init = build_init_cell(&mut b);
     let f = build_filter(&mut b, "filter", init, |_e, v, _p| {
@@ -171,7 +171,7 @@ pub fn filter_program() -> (std::rc::Rc<Program>, FuncId) {
 }
 
 /// Convenience: build the standalone `reverse` benchmark program.
-pub fn reverse_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn reverse_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let init = build_init_cell(&mut b);
     let f = build_reverse(&mut b, "reverse", init);

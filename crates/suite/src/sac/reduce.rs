@@ -21,7 +21,7 @@ use ceal_runtime::prelude::*;
 use crate::input::{CELL_DATA, CELL_NEXT};
 
 /// Binary combination; `params` are the trailing entry arguments.
-pub type CombineFn = fn(&mut Engine, Value, Value, &[Value]) -> Value;
+pub type CombineFn = fn(&mut RegionCx<'_>, Value, Value, &[Value]) -> Value;
 
 /// Input-list layout: data stored directly in slot 0.
 const LAYOUT_PLAIN: i64 = 0;
@@ -229,7 +229,7 @@ pub fn build_reduce(b: &mut ProgramBuilder, name: &str, combine: CombineFn) -> R
 }
 
 /// Builds the standalone `minimum` benchmark program.
-pub fn minimum_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn minimum_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let f = build_reduce(&mut b, "minimum", |_e, a, b, _p| {
         Value::Int(a.int().min(b.int()))
@@ -238,7 +238,7 @@ pub fn minimum_program() -> (std::rc::Rc<Program>, FuncId) {
 }
 
 /// Builds the standalone `sum` benchmark program.
-pub fn sum_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn sum_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let f = build_reduce(&mut b, "sum", |_e, a, b, _p| Value::Int(a.int() + b.int()));
     (b.build(), f.entry)
@@ -249,7 +249,7 @@ mod tests {
     use super::*;
     use crate::input::{build_list, int_list};
 
-    fn run_reduce_session(prog: std::rc::Rc<Program>, entry: FuncId, oracle: fn(&[i64]) -> i64) {
+    fn run_reduce_session(prog: std::sync::Arc<Program>, entry: FuncId, oracle: fn(&[i64]) -> i64) {
         use ceal_runtime::prng::Prng;
         let mut rng = Prng::seed_from_u64(21);
         let mut e = Engine::new(prog);

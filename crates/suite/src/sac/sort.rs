@@ -13,7 +13,7 @@ use ceal_runtime::prelude::*;
 use crate::input::{CELL_DATA, CELL_NEXT};
 
 /// Total order on sortable values (ints, floats, interned strings).
-pub fn value_le(e: &Engine, a: Value, b: Value) -> bool {
+pub fn value_le<V: ReadView>(e: &V, a: Value, b: Value) -> bool {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => x <= y,
         (Value::Float(x), Value::Float(y)) => x <= y,
@@ -292,14 +292,14 @@ pub fn build_mergesort(b: &mut ProgramBuilder, name: &str) -> FuncId {
 }
 
 /// Builds the standalone `quicksort` benchmark program.
-pub fn quicksort_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn quicksort_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let f = build_quicksort(&mut b, "quicksort");
     (b.build(), f)
 }
 
 /// Builds the standalone `mergesort` benchmark program.
-pub fn mergesort_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn mergesort_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let f = build_mergesort(&mut b, "mergesort");
     (b.build(), f)
@@ -312,7 +312,7 @@ mod tests {
     use ceal_runtime::prng::Prng;
 
     fn check_sort_session(
-        make: fn() -> (std::rc::Rc<Program>, FuncId),
+        make: fn() -> (std::sync::Arc<Program>, FuncId),
         n: usize,
         strings: bool,
         seed: u64,

@@ -495,7 +495,7 @@ pub fn build_tcon(b: &mut ProgramBuilder) -> FuncId {
 }
 
 /// Builds the standalone tcon program.
-pub fn tcon_program() -> (std::rc::Rc<Program>, FuncId) {
+pub fn tcon_program() -> (std::sync::Arc<Program>, FuncId) {
     let mut b = ProgramBuilder::new();
     let f = build_tcon(&mut b);
     (b.build(), f)

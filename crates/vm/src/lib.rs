@@ -52,12 +52,12 @@
 
 #![warn(missing_docs)]
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ceal_compiler::target::{TFunc, TInstr, TOperand, TProgram};
 use ceal_ir::cl::Prim;
-use ceal_runtime::engine::{Engine, EngineConfig};
+use ceal_runtime::api::{Engine, EngineConfig, RegionCx};
 use ceal_runtime::error::CealError;
 use ceal_runtime::program::{OpaqueFn, ProgramBuilder, Tail};
 use ceal_runtime::value::{FuncId, Value};
@@ -87,21 +87,21 @@ impl Default for VmOptions {
 
 struct Shared {
     funcs: Vec<TFunc>,
-    engine_ids: RefCell<Vec<FuncId>>,
+    engine_ids: Vec<FuncId>,
     opts: VmOptions,
-    steps: Cell<u64>,
+    steps: AtomicU64,
 }
 
 /// Handle returned by [`load`]: maps target functions to engine ids.
 #[derive(Clone)]
 pub struct LoadedProgram {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
 }
 
 impl LoadedProgram {
     /// The engine [`FuncId`] of target function index `i`.
     pub fn engine_id(&self, i: u32) -> FuncId {
-        self.shared.engine_ids.borrow()[i as usize]
+        self.shared.engine_ids[i as usize]
     }
 
     /// Looks up a function by name in `t` and returns its engine id.
@@ -126,12 +126,12 @@ impl LoadedProgram {
     /// VM instructions executed so far across every function of this
     /// program. Always zero unless [`VmOptions::count_steps`] is set.
     pub fn steps(&self) -> u64 {
-        self.shared.steps.get()
+        self.shared.steps.load(Ordering::Relaxed)
     }
 
     /// Resets the instruction counter to zero (for per-phase measures).
     pub fn reset_steps(&self) {
-        self.shared.steps.set(0);
+        self.shared.steps.store(0, Ordering::Relaxed);
     }
 }
 
@@ -298,19 +298,20 @@ pub fn load(
 ) -> Result<LoadedProgram, CealError> {
     validate_target(t)?;
     b.set_site_table(t.sites.clone());
-    let shared = Rc::new(Shared {
+    // Declare every function first so the id table is complete (and
+    // plain, shareable data) before any `VmFn` captures the table.
+    let engine_ids: Vec<FuncId> = t.funcs.iter().map(|f| b.declare(&f.name)).collect();
+    let shared = Arc::new(Shared {
         funcs: t.funcs.clone(),
-        engine_ids: RefCell::new(Vec::with_capacity(t.funcs.len())),
+        engine_ids,
         opts,
-        steps: Cell::new(0),
+        steps: AtomicU64::new(0),
     });
-    for (i, f) in t.funcs.iter().enumerate() {
-        let id = b.declare(&f.name);
-        shared.engine_ids.borrow_mut().push(id);
+    for (i, &id) in shared.engine_ids.iter().enumerate() {
         b.define_opaque(
             id,
             Box::new(VmFn {
-                shared: Rc::clone(&shared),
+                shared: Arc::clone(&shared),
                 idx: i,
             }),
         );
@@ -353,7 +354,7 @@ pub fn run(
 }
 
 struct VmFn {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
     idx: usize,
 }
 
@@ -398,7 +399,7 @@ impl VmFn {
         match o {
             TOperand::Reg(r) => regs[*r as usize],
             TOperand::Imm(v) => *v,
-            TOperand::Fun(f) => Value::Func(self.shared.engine_ids.borrow()[*f as usize]),
+            TOperand::Fun(f) => Value::Func(self.shared.engine_ids[*f as usize]),
         }
     }
 
@@ -412,7 +413,7 @@ impl VmFn {
     #[inline]
     fn flush_steps(&self, n: u64) {
         if self.shared.opts.count_steps {
-            self.shared.steps.set(self.shared.steps.get() + n);
+            self.shared.steps.fetch_add(n, Ordering::Relaxed);
         }
     }
 }
@@ -422,7 +423,7 @@ impl OpaqueFn for VmFn {
         &self.shared.funcs[self.idx].name
     }
 
-    fn invoke(&self, e: &mut Engine, args: &[Value]) -> Tail {
+    fn invoke(&self, e: &mut RegionCx<'_>, args: &[Value]) -> Tail {
         let mut fidx = self.idx;
         let mut argbuf: Vec<Value> = args.to_vec();
         let mut steps = 0u64;
@@ -484,14 +485,14 @@ impl OpaqueFn for VmFn {
                     } => {
                         let w = self.op(&regs, words).int();
                         let a = self.ops(&regs, args);
-                        let init_id = self.shared.engine_ids.borrow()[*init as usize];
+                        let init_id = self.shared.engine_ids[*init as usize];
                         let loc = e.alloc_at(*site, w as usize, init_id, &a);
                         regs[*dst as usize] = Value::Ptr(loc);
                         pc += 1;
                     }
                     TInstr::Call { f: g, args } => {
                         let a = self.ops(&regs, args);
-                        let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        let gid = self.shared.engine_ids[*g as usize];
                         e.call(gid, &a);
                         pc += 1;
                     }
@@ -511,7 +512,7 @@ impl OpaqueFn for VmFn {
                             argbuf = a;
                             continue 'function;
                         }
-                        let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        let gid = self.shared.engine_ids[*g as usize];
                         self.flush_steps(steps);
                         return Tail::Call(gid, a.into());
                     }
@@ -522,7 +523,7 @@ impl OpaqueFn for VmFn {
                         site,
                     } => {
                         let a = self.ops(&regs, args);
-                        let gid = self.shared.engine_ids.borrow()[*g as usize];
+                        let gid = self.shared.engine_ids[*g as usize];
                         self.flush_steps(steps);
                         return Tail::Read(regs[*m as usize].modref(), gid, a.into(), *site);
                     }
@@ -735,7 +736,7 @@ mod tests {
 
     #[test]
     fn run_reports_unknown_entry_and_runs_known_ones() {
-        use ceal_runtime::engine::EngineConfig;
+        use ceal_runtime::api::EngineConfig;
         use ceal_runtime::CealError;
 
         let out = compile_copy();

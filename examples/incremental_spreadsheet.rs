@@ -64,7 +64,7 @@ fn build_program(b: &mut ProgramBuilder) -> FuncId {
             Tail::read(cell, leaf_fan, &args[1..])
         } else {
             let mk =
-                |e: &mut Engine, k: i64| Value::ModRef(e.modref_keyed(&[args[0], Value::Int(k)]));
+                |e: &mut RegionCx, k: i64| Value::ModRef(e.modref_keyed(&[args[0], Value::Int(k)]));
             let (ls, lm, lx) = (mk(e, 0), mk(e, 1), mk(e, 2));
             let (rs, rm, rx) = (mk(e, 3), mk(e, 4), mk(e, 5));
             e.call(agg, &[e.load(t, 1), ls, lm, lx]);

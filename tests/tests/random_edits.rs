@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 
 /// Drives a list benchmark through a random multi-delete session.
 fn list_session(
-    entry_builder: fn() -> (std::rc::Rc<Program>, FuncId),
+    entry_builder: fn() -> (std::sync::Arc<Program>, FuncId),
     oracle: impl Fn(&[i64]) -> Vec<i64>,
     seed: u64,
 ) {
@@ -121,7 +121,7 @@ fn mergesort_survives_random_multi_deletes() {
 
 /// Scalar reductions under the same sessions.
 fn reduce_session(
-    entry_builder: fn() -> (std::rc::Rc<Program>, FuncId),
+    entry_builder: fn() -> (std::sync::Arc<Program>, FuncId),
     oracle: impl Fn(&[i64]) -> Option<i64>,
     seed: u64,
 ) {
