@@ -30,6 +30,13 @@
 //!                                # sessions behind a line-protocol TCP
 //!                                # frontend. See README "Running as a
 //!                                # service" and examples/service_client.
+//!                                # --metrics-addr H:P additionally
+//!                                # serves GET /metrics (Prometheus) and
+//!                                # /metrics.json; --slow-ms sets the
+//!                                # slow-request log threshold and
+//!                                # --idle-timeout-s the client idle
+//!                                # timeout (0 disables). See README
+//!                                # "Monitoring".
 //! ```
 
 use ceal_compiler::pipeline::compile;
@@ -86,21 +93,54 @@ fn serve(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(ms) = get("--slow-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) => cfg.telemetry.slow_threshold_us = ms.saturating_mul(1000),
+            Err(_) => {
+                eprintln!("cealc: --slow-ms wants an integer, got {ms}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut fe_cfg = ceal_service::FrontendConfig::default();
+    if let Some(s) = get("--idle-timeout-s") {
+        match s.parse::<u64>() {
+            Ok(0) => fe_cfg.read_timeout = None,
+            Ok(secs) => fe_cfg.read_timeout = Some(std::time::Duration::from_secs(secs)),
+            Err(_) => {
+                eprintln!("cealc: --idle-timeout-s wants an integer (0 disables), got {s}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let svc = ceal_service::Service::start(cfg);
-    let frontend = match ceal_service::TcpFrontend::spawn(svc, addr) {
+    let metrics = match get("--metrics-addr") {
+        Some(maddr) => match ceal_service::MetricsServer::spawn(svc.clone(), maddr) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("cealc: cannot bind metrics address {maddr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let frontend = match ceal_service::TcpFrontend::spawn_with(svc, addr, fe_cfg) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("cealc: cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    // The bound address goes to stdout (and flushes) so scripts that
-    // pass port 0 can scrape the ephemeral port.
+    // The bound addresses go to stdout (and flush) so scripts that
+    // pass port 0 can scrape the ephemeral ports.
     println!(
         "cealc: serving on {} ({} shards)",
         frontend.addr(),
         cfg.shards
     );
+    if let Some(m) = &metrics {
+        println!("cealc: metrics on http://{}/metrics", m.addr());
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     loop {
@@ -119,7 +159,10 @@ fn main() -> ExitCode {
             "       cealc FILE.ceal --run ENTRY --in 1,2,3 [--edit IDX=VAL ...] \
              [--batch] [--policy eager|demand] [--trace-out DIR]"
         );
-        eprintln!("       cealc --serve [--addr HOST:PORT] [--shards N] [--mem-budget-mb M]");
+        eprintln!(
+            "       cealc --serve [--addr HOST:PORT] [--shards N] [--mem-budget-mb M] \
+             [--metrics-addr HOST:PORT] [--slow-ms MS] [--idle-timeout-s S]"
+        );
         return ExitCode::from(2);
     };
     let src = match std::fs::read_to_string(path) {

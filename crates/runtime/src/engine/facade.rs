@@ -198,6 +198,19 @@ impl Engine {
         }
     }
 
+    /// Drains the recorded phases without building a [`Profile`] — the
+    /// per-request form used by the service telemetry layer, which
+    /// aggregates the slice into [`crate::obs::PhaseCost`] rows and
+    /// must not pay a report allocation on every request. Profiling
+    /// stays enabled; returns an empty vec when it never was.
+    pub fn drain_phases(&mut self) -> Vec<crate::obs::Phase> {
+        self.state
+            .profiler
+            .as_mut()
+            .map(|p| p.take_phases())
+            .unwrap_or_default()
+    }
+
     /// Installs an event sink called synchronously at read
     /// re-execution, memo hit/miss, allocation stealing, trace
     /// create/purge, and order-maintenance sites. Replaces any

@@ -55,6 +55,7 @@ pub mod prng;
 pub mod program;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod value;
 
 pub use batch::{EditBatch, Mutator};
@@ -64,10 +65,13 @@ pub use engine::{
 pub use error::CealError;
 #[cfg(feature = "event-hooks")]
 pub use obs::{Attribution, SiteRow, TraceRecorder};
-pub use obs::{Event, EventHook, PhaseKind, Profile, TraceKind};
+pub use obs::{Event, EventHook, PhaseCost, PhaseKind, Profile, SiteTally, TraceKind};
 pub use program::{NativeFn, OpaqueFn, Program, ProgramBuilder, Site, SiteKind, SiteTable, Tail};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{OpCounters, Stats};
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SlowRequestRecord,
+};
 pub use value::{FuncId, Interner, Loc, ModRef, SiteId, StrId, Value};
 
 /// Convenient glob-import of the commonly used types.

@@ -830,6 +830,137 @@ impl Attribution {
     }
 }
 
+/// The aggregate cost of the phases of one kind within a profiled
+/// window — the compact per-request form of [`Phase`] that goes into
+/// [`crate::telemetry::SlowRequestRecord`] (DESIGN.md §17). Where
+/// [`Profile`] keeps every phase with its full [`OpCounters`], a slow
+/// log line wants one row per phase kind with the three counters that
+/// explain propagation time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Phase kind name ([`PhaseKind::name`]).
+    pub phase: &'static str,
+    /// Number of phases of this kind in the window.
+    pub count: u64,
+    /// Dirty reads re-executed across them.
+    pub reads_reexecuted: u64,
+    /// Memo hits (trace reuse) across them.
+    pub memo_hits: u64,
+    /// Propagation queue pops across them.
+    pub queue_pops: u64,
+}
+
+impl PhaseCost {
+    /// Aggregates drained profiler phases by kind, in first-seen order.
+    /// Feed it the slice from
+    /// [`Engine::profiled_phases`](crate::engine::Engine::profiled_phases)
+    /// (or the phases of a [`Profile`]) scoped to one request.
+    pub fn aggregate(phases: &[Phase]) -> Vec<PhaseCost> {
+        let mut out: Vec<PhaseCost> = Vec::new();
+        for p in phases {
+            let name = p.kind.name();
+            let row = match out.iter_mut().find(|r| r.phase == name) {
+                Some(r) => r,
+                None => {
+                    out.push(PhaseCost {
+                        phase: name,
+                        ..PhaseCost::default()
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            row.count += 1;
+            row.reads_reexecuted += p.counters.reads_reexecuted;
+            row.memo_hits += p.counters.memo_hits;
+            row.queue_pops += p.counters.queue_pops;
+        }
+        out
+    }
+}
+
+/// An [`EventHook`] that tallies *work events* (re-executions, memo
+/// probes, steals) per [`SiteId`] into a dense array — the cheap
+/// always-on sibling of the full [`TraceRecorder`]: one bounds check
+/// and one add per event, no event stream retained.
+///
+/// The service installs one per session (shared as
+/// `Arc<Mutex<SiteTally>>` via the forwarding [`EventHook`] impl) and
+/// drains it per request to attribute a slow request's propagation work
+/// to the top-k program points.
+#[derive(Clone, Debug, Default)]
+pub struct SiteTally {
+    counts: Vec<u64>,
+    unattributed: u64,
+    total: u64,
+}
+
+impl SiteTally {
+    /// Creates an empty tally.
+    pub fn new() -> SiteTally {
+        SiteTally::default()
+    }
+
+    /// Total work events since the last [`SiteTally::drain`].
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn bump(&mut self, site: SiteId) {
+        self.total += 1;
+        if site == SiteId::NONE {
+            self.unattributed += 1;
+            return;
+        }
+        let i = site.0 as usize;
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+
+    /// Returns the top-`k` sites by event count as `(name, events)` —
+    /// resolved against `sites`, ties broken by [`SiteId`] for
+    /// determinism — and resets the tally for the next request window.
+    pub fn drain(&mut self, sites: &crate::program::SiteTable, k: usize) -> Vec<(String, u64)> {
+        let mut rows: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        let mut out: Vec<(String, u64)> = rows
+            .into_iter()
+            .map(|(i, c)| (sites.name(SiteId(i as u32)).to_string(), c))
+            .collect();
+        if self.unattributed != 0 && out.len() < k {
+            out.push(("<unattributed>".to_string(), self.unattributed));
+        }
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.unattributed = 0;
+        self.total = 0;
+        out
+    }
+}
+
+impl EventHook for SiteTally {
+    fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::ReadReexecuted { site, .. }
+            | Event::MemoHit { site, .. }
+            | Event::MemoMiss { site }
+            | Event::AllocStolen { site, .. } => self.bump(site),
+            Event::TraceCreated { .. }
+            | Event::TracePurged { .. }
+            | Event::PhaseBegin { .. }
+            | Event::PhaseEnd { .. }
+            | Event::OrderMaintenance { .. } => {}
+        }
+    }
+}
+
 /// A complete profile of one engine session: per-phase counters plus
 /// lifetime totals and space gauges — the report the paper's Tables 1–2
 /// are made of, per benchmark.

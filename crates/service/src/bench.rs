@@ -27,11 +27,14 @@
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ceal_bench::prng::Prng;
+use ceal_runtime::telemetry::MetricsSnapshot;
 use ceal_runtime::Value;
 
+use crate::metrics::{merge_shards, ShardTelemetry, TelemetryConfig, REQ_KINDS};
 use crate::service::{route_key, Service, ServiceConfig};
 use crate::shard::{Shard, ShardConfig};
 use crate::wire::{EditOp, PolicyArg, Reply, Request, ServiceCounters, Workload};
@@ -168,7 +171,7 @@ pub fn build_schedule(spec: &LoadSpec) -> Vec<Vec<Request>> {
 
 /// Lockstep result: the gated deterministic counters plus the shape of
 /// the run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LockstepResult {
     /// Aggregated deterministic service counters.
     pub counters: ServiceCounters,
@@ -176,6 +179,45 @@ pub struct LockstepResult {
     pub ticks: u64,
     /// Requests generated by the schedule.
     pub generated: u64,
+    /// Deterministic telemetry counter rows (`telemetry/<name>`), gated
+    /// alongside the service counters: the metrics registry must count
+    /// the same world the service counters do, on every platform.
+    pub telemetry: Vec<(String, u64)>,
+}
+
+/// The telemetry config the gated lockstep pass runs under: everything
+/// on, slow threshold zero (every handled request takes the slow path,
+/// so the gate exercises phase/site attribution), logging off (the gate
+/// compares counters, not stderr).
+pub const GATE_TELEMETRY: TelemetryConfig = TelemetryConfig {
+    enabled: true,
+    slow_threshold_us: 0,
+    slow_log: false,
+    top_sites: 3,
+};
+
+/// Extracts the gateable (count-only, deterministic) telemetry rows
+/// from a merged snapshot. Wall-clock series (histogram sums of
+/// microseconds) are deliberately absent — time is never gated.
+pub fn telemetry_rows(snap: &MetricsSnapshot) -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    for kind in REQ_KINDS {
+        rows.push((
+            format!("telemetry/requests_{}", kind.name()),
+            snap.counter_with_label("ceal_requests_total", "kind", kind.name()),
+        ));
+    }
+    for (row, metric) in [
+        ("shed", "ceal_shed_total"),
+        ("errors", "ceal_errors_total"),
+        ("slow_requests", "ceal_slow_requests_total"),
+        ("evicted", "ceal_sessions_evicted_total"),
+        ("restored", "ceal_sessions_restored_total"),
+        ("replayed_ops", "ceal_replayed_ops_total"),
+    ] {
+        rows.push((format!("telemetry/{row}"), snap.counter_total(metric)));
+    }
+    rows
 }
 
 /// Runs the schedule through the deterministic lockstep scheduler.
@@ -187,13 +229,27 @@ pub struct LockstepResult {
 /// check (an unknown-session reply here means a lost open that was
 /// *not* shed, i.e. a scheduler bug).
 pub fn run_lockstep(spec: &LoadSpec) -> LockstepResult {
+    run_lockstep_cfg(spec, GATE_TELEMETRY)
+}
+
+/// [`run_lockstep`] with an explicit telemetry config (the overhead
+/// gate runs the same schedule with telemetry off to price the
+/// instrumentation).
+pub fn run_lockstep_cfg(spec: &LoadSpec, telemetry: TelemetryConfig) -> LockstepResult {
     let schedule = build_schedule(spec);
     let generated: u64 = schedule.iter().map(|t| t.len() as u64).sum();
     let shard_cfg = ShardConfig {
         mem_budget_bytes: spec.mem_budget_bytes,
         max_sessions: usize::MAX,
+        telemetry,
     };
-    let mut shards: Vec<Shard> = (0..spec.shards).map(|_| Shard::new(shard_cfg)).collect();
+    let tels: Vec<Arc<ShardTelemetry>> = (0..spec.shards)
+        .map(|i| Arc::new(ShardTelemetry::new(i, telemetry)))
+        .collect();
+    let mut shards: Vec<Shard> = tels
+        .iter()
+        .map(|t| Shard::with_telemetry(shard_cfg, t.clone()))
+        .collect();
     let mut queues: Vec<VecDeque<Request>> = (0..spec.shards).map(|_| VecDeque::new()).collect();
     // Sessions whose open was shed: their later requests legitimately
     // answer unknown-session, everything else must be ok.
@@ -230,6 +286,12 @@ pub fn run_lockstep(spec: &LoadSpec) -> LockstepResult {
             let target = route_key(req.sid().expect("schedule requests are keyed"), spec.shards);
             if queues[target].len() >= spec.queue_cap {
                 shed += 1;
+                // Lockstep sheds happen driver-side (the queue is
+                // simulated); mirror them into the target shard's
+                // telemetry exactly as `Service::try_call` does.
+                if tels[target].on() {
+                    tels[target].shed.inc();
+                }
                 if let Request::Open { sid, .. } = req {
                     lost_opens.insert(sid.clone());
                 }
@@ -255,11 +317,40 @@ pub fn run_lockstep(spec: &LoadSpec) -> LockstepResult {
         counters.add(s.counters());
     }
     counters.shed = shed;
+    let telemetry = telemetry_rows(&merge_shards(&tels));
     LockstepResult {
         counters,
         ticks,
         generated,
+        telemetry,
     }
+}
+
+/// Prices the instrumentation: best-of-`trials` lockstep wall clock
+/// with telemetry off versus on at the *production* default config
+/// (250 ms slow threshold — nothing in lockstep is slow, so this
+/// measures the always-on hot-path cost, not the slow-path cost).
+/// Returns `(off_best_s, on_best_s)`.
+pub fn overhead_probe(spec: &LoadSpec, trials: usize) -> (f64, f64) {
+    let prod = TelemetryConfig {
+        slow_log: false,
+        ..TelemetryConfig::default()
+    };
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        let t = Instant::now();
+        let off = run_lockstep_cfg(spec, TelemetryConfig::disabled());
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let on = run_lockstep_cfg(spec, prod);
+        best_on = best_on.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            off.counters, on.counters,
+            "telemetry must not perturb deterministic counters"
+        );
+    }
+    (best_off, best_on)
 }
 
 /// Flattens the lockstep counters into gate rows (`service/<name>`).
@@ -284,13 +375,30 @@ pub struct TimedResult {
     pub measured: u64,
     /// Requests shed by admission.
     pub shed: u64,
-    /// Latency percentiles over edit/observe, microseconds, measured
-    /// from scheduled arrival (queueing included).
+    /// Latency percentiles over edit/observe, microseconds, sourced
+    /// from the service's own `ceal_request_us` histograms (queue wait
+    /// plus handling, measured from admission): the number production
+    /// dashboards would show. Reported as the histogram bucket's upper
+    /// bound (≤12.5% relative width).
     pub p50_us: f64,
-    /// 99th percentile.
+    /// 99th percentile (histogram-sourced).
     pub p99_us: f64,
-    /// 99.9th percentile.
+    /// 99.9th percentile (histogram-sourced).
     pub p999_us: f64,
+    /// Scheduled-arrival percentiles (external stopwatch, open-loop
+    /// coordinated-omission-free): the honest tail the SLO is judged
+    /// against, since it includes client-side backlog the in-system
+    /// histograms cannot see.
+    pub sched_p50_us: f64,
+    /// 99th percentile from scheduled arrival.
+    pub sched_p99_us: f64,
+    /// 99.9th percentile from scheduled arrival.
+    pub sched_p999_us: f64,
+    /// Whether the in-system histogram agreed with an external
+    /// per-call stopwatch: equal counts, and external p50/p99 inside
+    /// the histogram's quantile bucket (plus one bucket of slack for
+    /// reply-delivery overhead the histogram excludes).
+    pub crosscheck_ok: bool,
     /// Completed requests per second of wall time.
     pub throughput_rps: f64,
     /// Wall-clock duration of the rung.
@@ -318,6 +426,12 @@ pub fn run_timed(spec: &LoadSpec, tick: Duration, clients: usize) -> TimedResult
         queue_cap: spec.queue_cap,
         mem_budget_bytes: spec.mem_budget_bytes,
         max_sessions: usize::MAX,
+        // Production defaults, minus the stderr log line (a bench run
+        // measuring a deliberately overloaded rung would spam it).
+        telemetry: TelemetryConfig {
+            slow_log: false,
+            ..TelemetryConfig::default()
+        },
     });
 
     // Split the schedule per client, preserving tick order: session i
@@ -372,6 +486,7 @@ pub fn run_timed(spec: &LoadSpec, tick: Duration, clients: usize) -> TimedResult
             }
             let mut seen: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
             let mut lat_us: Vec<f64> = Vec::with_capacity(work.len());
+            let mut call_us: Vec<u64> = Vec::with_capacity(work.len());
             let mut shed = 0u64;
             for (t, req) in work {
                 let j = seen.entry(t).or_default();
@@ -382,38 +497,77 @@ pub fn run_timed(spec: &LoadSpec, tick: Duration, clients: usize) -> TimedResult
                 if scheduled > now {
                     std::thread::sleep(scheduled - now);
                 }
+                // Two stopwatches per request: from scheduled arrival
+                // (the honest open-loop tail) and from the call itself
+                // (the external check on the in-system histograms).
+                let called = Instant::now();
                 let reply = svc.call(req);
                 match reply {
                     Reply::Err(crate::wire::ErrKind::Shed, _) => shed += 1,
                     r if r.is_ok() => {
                         lat_us.push(scheduled.elapsed().as_secs_f64() * 1e6);
+                        call_us.push(called.elapsed().as_micros() as u64);
                     }
                     _ => {}
                 }
             }
-            (lat_us, shed)
+            (lat_us, call_us, shed)
         }));
     }
 
     let mut lat: Vec<f64> = Vec::new();
+    let mut calls: Vec<u64> = Vec::new();
     let mut shed = 0u64;
     for j in joins {
-        let (l, s) = j.join().expect("client thread");
+        let (l, c, s) = j.join().expect("client thread");
         lat.extend(l);
+        calls.extend(c);
         shed += s;
     }
     let wall_s = start.elapsed().as_secs_f64();
+    // The dashboards' view: queue wait + handling, recorded by the
+    // shards themselves into `ceal_request_us{kind=edit|observe}`.
+    let hist = svc
+        .metrics_snapshot()
+        .merged_histogram("ceal_request_us", |labels| {
+            labels
+                .iter()
+                .any(|(k, v)| k == "kind" && (v == "edit" || v == "observe"))
+        });
     svc.shutdown();
 
     lat.sort_by(|a, b| a.total_cmp(b));
+    calls.sort_unstable();
+    // Cross-check: the histogram must describe the same population the
+    // external stopwatch saw. Counts must match exactly; the external
+    // p50/p99 must land inside the histogram's quantile bucket, with
+    // one bucket width (12.5%) plus a small absolute pad of slack for
+    // the reply-channel hop the in-system clock stops before.
+    let crosscheck_ok = hist.count == calls.len() as u64
+        && [(1u64, 2u64), (99, 100)].iter().all(|&(num, den)| {
+            let n = calls.len() as u64;
+            if n == 0 {
+                return true;
+            }
+            let rank = (n * num).div_ceil(den).clamp(1, n);
+            let ext = calls[rank as usize - 1];
+            match hist.quantile_bounds(num, den) {
+                Some((lo, hi)) => ext >= lo && ext <= hi + hi / 8 + 500,
+                None => false,
+            }
+        });
     TimedResult {
         sessions: spec.sessions,
         shards: spec.shards,
         measured: lat.len() as u64,
         shed,
-        p50_us: percentile(&lat, 50.0),
-        p99_us: percentile(&lat, 99.0),
-        p999_us: percentile(&lat, 99.9),
+        p50_us: hist.p50() as f64,
+        p99_us: hist.p99() as f64,
+        p999_us: hist.p999() as f64,
+        sched_p50_us: percentile(&lat, 50.0),
+        sched_p99_us: percentile(&lat, 99.0),
+        sched_p999_us: percentile(&lat, 99.9),
+        crosscheck_ok,
         throughput_rps: lat.len() as f64 / wall_s.max(1e-9),
         wall_s,
     }
@@ -431,7 +585,7 @@ pub fn render_json(
     sessions_per_core_at_slo: f64,
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"ceal-service-bench/v1\",\n");
+    s.push_str("{\n  \"schema\": \"ceal-service-bench/v2\",\n");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(
         s,
@@ -443,7 +597,8 @@ pub fn render_json(
         "  \"lockstep\": {{ \"ticks\": {}, \"generated\": {}, \"counters\": {{",
         lockstep.ticks, lockstep.generated
     );
-    let flat = flatten_counters(&lockstep.counters);
+    let mut flat = flatten_counters(&lockstep.counters);
+    flat.extend(lockstep.telemetry.iter().cloned());
     for (i, (k, v)) in flat.iter().enumerate() {
         let comma = if i + 1 < flat.len() { "," } else { "" };
         let _ = writeln!(s, "    \"{k}\": {v}{comma}");
@@ -455,16 +610,24 @@ pub fn render_json(
         "  \"sessions_per_core_at_slo\": {sessions_per_core_at_slo:.1},"
     );
     // The summary percentiles mirror the highest rung that met the SLO
-    // (or the lightest rung if none did) so dashboards have stable keys.
+    // (or the lightest rung if none did) so dashboards have stable
+    // keys. Since v2, `p50/p99/p999_us` come from the service's own
+    // request histograms (cross-checked against an external stopwatch);
+    // `sched_*` keep the scheduled-arrival percentiles the SLO is
+    // judged against.
     let summary = rungs
         .iter()
         .rev()
-        .find(|r| r.p99_us <= SLO_MS * 1e3)
+        .find(|r| r.sched_p99_us <= SLO_MS * 1e3)
         .or(rungs.first())
         .expect("at least one timed rung");
     let _ = writeln!(s, "  \"p50_us\": {:.1},", summary.p50_us);
     let _ = writeln!(s, "  \"p99_us\": {:.1},", summary.p99_us);
     let _ = writeln!(s, "  \"p999_us\": {:.1},", summary.p999_us);
+    let _ = writeln!(s, "  \"sched_p50_us\": {:.1},", summary.sched_p50_us);
+    let _ = writeln!(s, "  \"sched_p99_us\": {:.1},", summary.sched_p99_us);
+    let _ = writeln!(s, "  \"sched_p999_us\": {:.1},", summary.sched_p999_us);
+    let _ = writeln!(s, "  \"crosscheck_ok\": {},", summary.crosscheck_ok);
     let _ = writeln!(
         s,
         "  \"sessions_per_core\": {:.1},",
@@ -475,9 +638,10 @@ pub fn render_json(
         let comma = if i + 1 < rungs.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{ \"sessions\": {}, \"shards\": {}, \"measured\": {}, \"shed\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"throughput_rps\": {:.1}, \"wall_s\": {:.3}, \"slo_met\": {} }}{comma}",
+            "    {{ \"sessions\": {}, \"shards\": {}, \"measured\": {}, \"shed\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"sched_p50_us\": {:.1}, \"sched_p99_us\": {:.1}, \"sched_p999_us\": {:.1}, \"crosscheck_ok\": {}, \"throughput_rps\": {:.1}, \"wall_s\": {:.3}, \"slo_met\": {} }}{comma}",
             r.sessions, r.shards, r.measured, r.shed, r.p50_us, r.p99_us, r.p999_us,
-            r.throughput_rps, r.wall_s, r.p99_us <= SLO_MS * 1e3
+            r.sched_p50_us, r.sched_p99_us, r.sched_p999_us, r.crosscheck_ok,
+            r.throughput_rps, r.wall_s, r.sched_p99_us <= SLO_MS * 1e3
         );
     }
     s.push_str("  ]\n}\n");
@@ -546,6 +710,50 @@ mod tests {
         assert!(c.snapshot_bytes > 0);
         assert!(c.replayed_ops > 0);
         assert_eq!(c.admitted + c.shed, r1.generated);
+        assert_eq!(
+            r1.telemetry, r2.telemetry,
+            "telemetry rows must be deterministic"
+        );
+    }
+
+    #[test]
+    fn lockstep_telemetry_agrees_with_service_counters() {
+        let r = run_lockstep(&GATE_SPEC);
+        let rows: std::collections::HashMap<&str, u64> =
+            r.telemetry.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let c = &r.counters;
+        assert_eq!(rows["telemetry/requests_open"], c.opened);
+        assert_eq!(rows["telemetry/shed"], c.shed);
+        assert_eq!(rows["telemetry/evicted"], c.evicted);
+        assert_eq!(rows["telemetry/restored"], c.restored);
+        assert_eq!(rows["telemetry/replayed_ops"], c.replayed_ops);
+        // Every handled request is routed in lockstep (no stats probes),
+        // and the gate threshold is zero, so the slow counter covers all
+        // of them.
+        let handled: u64 = ["open", "edit", "observe", "close", "ping"]
+            .iter()
+            .map(|k| rows[format!("telemetry/requests_{k}").as_str()])
+            .sum();
+        assert_eq!(handled, c.admitted);
+        assert_eq!(rows["telemetry/slow_requests"], handled);
+    }
+
+    #[test]
+    fn telemetry_off_matches_on_counters() {
+        // The overhead probe's correctness half, on a small spec: the
+        // deterministic counters are identical with telemetry on or off.
+        let spec = LoadSpec {
+            sessions: 64,
+            rounds: 3,
+            ..GATE_SPEC
+        };
+        let on = run_lockstep_cfg(&spec, GATE_TELEMETRY);
+        let off = run_lockstep_cfg(&spec, TelemetryConfig::disabled());
+        assert_eq!(on.counters, off.counters);
+        assert!(
+            off.telemetry.iter().all(|(_, v)| *v == 0),
+            "disabled telemetry must record nothing"
+        );
     }
 
     #[test]
@@ -570,7 +778,13 @@ mod tests {
         };
         let r = run_timed(&spec, Duration::from_micros(100), 4);
         assert!(r.measured > 0);
-        assert!(r.p50_us > 0.0);
+        assert!(r.sched_p50_us > 0.0);
+        assert!(r.sched_p999_us >= r.sched_p99_us && r.sched_p99_us >= r.sched_p50_us);
         assert!(r.p999_us >= r.p99_us && r.p99_us >= r.p50_us);
+        assert!(
+            r.crosscheck_ok,
+            "in-system histogram disagrees with external stopwatch: hist p50={} p99={}",
+            r.p50_us, r.p99_us
+        );
     }
 }

@@ -14,6 +14,10 @@
 //! * `--gate`   — additionally diff the lockstep counters against
 //!   `crates/service/baselines/service_golden.json`; bless deliberate
 //!   changes with `UPDATE_GOLDEN=1`.
+//! * `--overhead-gate` — price the telemetry instrumentation: run the
+//!   lockstep schedule with telemetry off and on (production config)
+//!   and fail if the instrumented hot path costs more than 5% (plus a
+//!   small absolute floor for timer noise on tiny runs).
 //! * `--out`    — write `BENCH_service.json`.
 
 use std::process::ExitCode;
@@ -22,8 +26,8 @@ use std::time::Duration;
 use ceal_bench::profile::{diff_counters, parse_golden};
 use ceal_bench::Opts;
 use ceal_service::bench::{
-    flatten_counters, golden_path, render_golden, render_json, run_lockstep, run_timed, LoadSpec,
-    TimedResult, GATE_SPEC, SLO_MS,
+    flatten_counters, golden_path, overhead_probe, render_golden, render_json, run_lockstep,
+    run_timed, LoadSpec, TimedResult, GATE_SPEC, SLO_MS,
 };
 
 fn main() -> ExitCode {
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
     // first `--flag` (Opts treats the first arg as a subcommand slot).
     let quick = opts.has("quick") || sub.as_deref() == Some("--quick");
     let gate = opts.has("gate") || sub.as_deref() == Some("--gate");
+    let overhead_gate = opts.has("overhead-gate") || sub.as_deref() == Some("--overhead-gate");
 
     eprintln!(
         "service-bench: lockstep gate pass ({} sessions, {} shards)",
@@ -44,8 +49,28 @@ fn main() -> ExitCode {
         c.admitted, c.shed, c.opened, c.evicted, c.restored, c.replayed_ops
     );
 
+    if overhead_gate {
+        // Best-of-3 each way; the absolute floor keeps sub-second runs
+        // from failing on scheduler jitter alone.
+        let (off_s, on_s) = overhead_probe(&GATE_SPEC, 3);
+        let budget = off_s * 1.05 + 0.030;
+        eprintln!(
+            "service-bench: telemetry overhead — off={:.3}s on={:.3}s budget={:.3}s ({:+.1}%)",
+            off_s,
+            on_s,
+            budget,
+            (on_s / off_s - 1.0) * 100.0
+        );
+        if on_s > budget {
+            eprintln!("service-bench: telemetry hot-path overhead exceeds 5% gate");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("service-bench: overhead gate OK");
+    }
+
     if gate {
-        let flat = flatten_counters(c);
+        let mut flat = flatten_counters(c);
+        flat.extend(lockstep.telemetry.iter().cloned());
         let path = golden_path();
         if std::env::var_os("UPDATE_GOLDEN").is_some() {
             let rendered = render_golden(&flat);
@@ -102,18 +127,23 @@ fn main() -> ExitCode {
         eprintln!("service-bench: timed rung — {} sessions", spec.sessions);
         let r = run_timed(&spec, tick, clients);
         eprintln!(
-            "  measured={} shed={} p50={:.0}us p99={:.0}us p999={:.0}us {:.0} req/s",
-            r.measured, r.shed, r.p50_us, r.p99_us, r.p999_us, r.throughput_rps
+            "  measured={} shed={} hist p50={:.0}us p99={:.0}us p999={:.0}us (sched p99={:.0}us, crosscheck={}) {:.0} req/s",
+            r.measured, r.shed, r.p50_us, r.p99_us, r.p999_us, r.sched_p99_us, r.crosscheck_ok,
+            r.throughput_rps
         );
+        if !r.crosscheck_ok {
+            eprintln!("service-bench: histogram percentiles disagree with external stopwatch");
+            return ExitCode::FAILURE;
+        }
         rungs.push(r);
-        if r.p99_us > SLO_MS * 1e3 {
+        if r.sched_p99_us > SLO_MS * 1e3 {
             break; // the ladder found the knee; higher rungs add nothing
         }
     }
     let best = rungs
         .iter()
         .rev()
-        .find(|r| r.p99_us <= SLO_MS * 1e3)
+        .find(|r| r.sched_p99_us <= SLO_MS * 1e3)
         .map_or(0.0, |r| r.sessions as f64 / r.shards as f64);
     eprintln!("service-bench: sessions/core at p99<={SLO_MS}ms SLO: {best:.1}");
 

@@ -20,9 +20,27 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::service::Service;
 use crate::wire::{parse_request, ErrKind, Reply, MAX_LINE};
+
+/// Frontend connection policy.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendConfig {
+    /// How long a connection may sit idle (no complete line read)
+    /// before the frontend writes a typed `err idle-timeout` line and
+    /// closes it. `None` disables the timeout.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            read_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
 
 /// A running TCP frontend.
 pub struct TcpFrontend {
@@ -31,7 +49,8 @@ pub struct TcpFrontend {
     acceptor: Option<JoinHandle<()>>,
 }
 
-fn serve_conn(service: Service, stream: TcpStream, stop: Arc<AtomicBool>) {
+fn serve_conn(service: Service, stream: TcpStream, stop: Arc<AtomicBool>, cfg: FrontendConfig) {
+    let _ = stream.set_read_timeout(cfg.read_timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -51,6 +70,22 @@ fn serve_conn(service: Service, stream: TcpStream, stop: Arc<AtomicBool>) {
         {
             Ok(0) => return, // EOF
             Ok(_) => {}
+            // An idle socket trips the read timeout (reported as
+            // WouldBlock on unix, TimedOut on windows): tell the peer
+            // why it is being hung up on, then close.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    Reply::err(ErrKind::IdleTimeout, "connection idle, closing")
+                );
+                return;
+            }
             Err(_) => return,
         }
         if line.len() > MAX_LINE {
@@ -76,8 +111,18 @@ fn serve_conn(service: Service, stream: TcpStream, stop: Arc<AtomicBool>) {
 
 impl TcpFrontend {
     /// Binds `addr` (e.g. `127.0.0.1:7077`, port 0 for ephemeral) and
-    /// starts accepting connections against `service`.
+    /// starts accepting connections against `service` with the default
+    /// connection policy.
     pub fn spawn(service: Service, addr: &str) -> std::io::Result<TcpFrontend> {
+        TcpFrontend::spawn_with(service, addr, FrontendConfig::default())
+    }
+
+    /// [`TcpFrontend::spawn`] with an explicit connection policy.
+    pub fn spawn_with(
+        service: Service,
+        addr: &str,
+        cfg: FrontendConfig,
+    ) -> std::io::Result<TcpFrontend> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -94,7 +139,7 @@ impl TcpFrontend {
                     let stop3 = Arc::clone(&stop2);
                     let _ = std::thread::Builder::new()
                         .name("ceal-conn".into())
-                        .spawn(move || serve_conn(svc, stream, stop3));
+                        .spawn(move || serve_conn(svc, stream, stop3, cfg));
                 }
             })?;
         Ok(TcpFrontend {

@@ -73,15 +73,19 @@
 
 pub mod bench;
 pub mod frontend;
+pub mod metrics;
+pub mod metrics_http;
 pub mod service;
 pub mod session;
 pub mod shard;
 pub mod wire;
 
-pub use frontend::TcpFrontend;
+pub use frontend::{FrontendConfig, TcpFrontend};
+pub use metrics::{merge_shards, ReqKind, ReqMeta, ShardTelemetry, TelemetryConfig};
+pub use metrics_http::MetricsServer;
 pub use service::{route_key, Service, ServiceConfig};
 pub use session::{ProgramCache, Session, SessionSpec};
 pub use shard::{Shard, ShardConfig};
 pub use wire::{
-    CounterDelta, EditOp, ErrKind, PolicyArg, Reply, Request, ServiceCounters, Workload,
+    CounterDelta, EditOp, ErrKind, PolicyArg, Reply, Request, ServiceCounters, ShardStat, Workload,
 };

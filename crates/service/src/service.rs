@@ -22,9 +22,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use ceal_runtime::telemetry::MetricsSnapshot;
+
+use crate::metrics::{merge_shards, ReqKind, ReqMeta, ShardTelemetry, TelemetryConfig};
 use crate::shard::{Shard, ShardConfig};
-use crate::wire::{ErrKind, Reply, Request, ServiceCounters};
+use crate::wire::{ErrKind, Reply, Request, ServiceCounters, ShardStat};
 
 /// Service-level configuration.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +43,8 @@ pub struct ServiceConfig {
     pub mem_budget_bytes: usize,
     /// Per-shard session cap.
     pub max_sessions: usize,
+    /// Telemetry switches, shared by every shard (DESIGN.md §17).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +54,7 @@ impl Default for ServiceConfig {
             queue_cap: 128,
             mem_budget_bytes: 64 << 20,
             max_sessions: 100_000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -68,6 +75,10 @@ pub fn route_key(key: &str, shards: usize) -> usize {
 struct Job {
     req: Request,
     reply: SyncSender<Reply>,
+    /// Monotonic request id stamped at admission (tracing only).
+    id: u64,
+    /// Admission timestamp; the worker derives queue wait from it.
+    enqueued: Instant,
 }
 
 #[derive(Clone)]
@@ -82,6 +93,10 @@ struct Inner {
     sheds: Vec<AtomicU64>,
     joins: Mutex<Vec<JoinHandle<()>>>,
     shards: usize,
+    /// Per-shard metric registries, merged at scrape time.
+    tels: Vec<Arc<ShardTelemetry>>,
+    /// Monotonic request id source (all frontends share it).
+    next_id: AtomicU64,
 }
 
 /// A handle to the running service. Cloning is cheap; all clones share
@@ -91,13 +106,35 @@ pub struct Service {
     inner: Arc<Inner>,
 }
 
-fn shard_worker(rx: Receiver<Job>, cfg: ShardConfig) {
-    let mut shard = Shard::new(cfg);
+fn shard_worker(rx: Receiver<Job>, cfg: ShardConfig, tel: Arc<ShardTelemetry>) {
+    let mut shard = Shard::with_telemetry(cfg, tel.clone());
     while let Ok(job) = rx.recv() {
-        let reply = shard.handle(&job.req);
+        let on = tel.on();
+        let routed = ReqKind::of(&job.req).is_some();
+        let queue_us = if on {
+            tel.queue_depth.dec();
+            let us = job.enqueued.elapsed().as_micros() as u64;
+            if routed {
+                tel.queue_wait_us.record(us);
+            }
+            us
+        } else {
+            0
+        };
+        let meta = ReqMeta {
+            id: job.id,
+            queue_us,
+        };
+        let reply = shard.handle_traced(&job.req, meta);
+        let t = on.then(Instant::now);
         // A dropped reply receiver (client gone) is fine; the shard's
         // state change stands either way.
         let _ = job.reply.send(reply);
+        if let Some(t) = t {
+            if routed {
+                tel.reply_us.record(t.elapsed().as_micros() as u64);
+            }
+        }
     }
 }
 
@@ -107,19 +144,24 @@ impl Service {
         let shard_cfg = ShardConfig {
             mem_budget_bytes: cfg.mem_budget_bytes,
             max_sessions: cfg.max_sessions,
+            telemetry: cfg.telemetry,
         };
         let shards = cfg.shards.max(1);
         let mut handles = Vec::with_capacity(shards);
         let mut joins = Vec::new();
         let mut sheds = Vec::with_capacity(shards);
+        let mut tels = Vec::with_capacity(shards);
         for i in 0..shards {
+            let tel = Arc::new(ShardTelemetry::new(i, cfg.telemetry));
             let (tx, rx) = sync_channel::<Job>(cfg.queue_cap.max(1));
+            let worker_tel = tel.clone();
             let join = std::thread::Builder::new()
                 .name(format!("ceal-shard-{i}"))
-                .spawn(move || shard_worker(rx, shard_cfg))
+                .spawn(move || shard_worker(rx, shard_cfg, worker_tel))
                 .expect("spawn shard worker");
             handles.push(ShardHandle { tx });
             sheds.push(AtomicU64::new(0));
+            tels.push(tel);
             joins.push(join);
         }
         Service {
@@ -128,6 +170,8 @@ impl Service {
                 sheds,
                 joins: Mutex::new(joins),
                 shards,
+                tels,
+                next_id: AtomicU64::new(0),
             }),
         }
     }
@@ -155,9 +199,10 @@ impl Service {
     /// its key) or fails now; it never blocks the caller.
     #[allow(clippy::result_large_err)]
     pub fn try_call(&self, req: Request) -> Result<Receiver<Reply>, Reply> {
-        // `stats` is not a shard request: it aggregates across every
-        // shard (plus the frontend-side shed counts no shard can see).
-        if matches!(req, Request::Stats) {
+        // `stats` and `metrics` are not shard requests: they aggregate
+        // across every shard (plus the frontend-side shed counts no
+        // shard can see).
+        if matches!(req, Request::Stats | Request::Metrics) {
             {
                 let guard = self.inner.handles.read().unwrap();
                 if guard.is_none() {
@@ -165,7 +210,13 @@ impl Service {
                 }
             }
             let (tx, rx) = sync_channel(1);
-            let _ = tx.send(Reply::Stats(self.stats()));
+            let reply = if matches!(req, Request::Stats) {
+                let (counters, shards) = self.stats_detailed();
+                Reply::Stats { counters, shards }
+            } else {
+                Reply::Metrics(self.metrics_snapshot().to_json(true))
+            };
+            let _ = tx.send(reply);
             return Ok(rx);
         }
         let shard = self.shard_of(&req);
@@ -177,17 +228,33 @@ impl Service {
         let job = Job {
             req,
             reply: reply_tx,
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1,
+            enqueued: Instant::now(),
         };
+        let tel = &self.inner.tels[shard];
+        // Inc the depth gauge *before* the send: the worker's dec on
+        // dequeue must never race ahead of it (Gauge::dec saturates,
+        // so the race would otherwise strand a phantom +1).
+        if tel.on() {
+            tel.queue_depth.inc();
+        }
         match handles[shard].tx.try_send(job) {
             Ok(()) => Ok(reply_rx),
             Err(TrySendError::Full(_)) => {
                 self.inner.sheds[shard].fetch_add(1, Ordering::Relaxed);
+                if tel.on() {
+                    tel.queue_depth.dec();
+                    tel.shed.inc();
+                }
                 Err(Reply::err(
                     ErrKind::Shed,
                     format!("shard {shard} queue full"),
                 ))
             }
             Err(TrySendError::Disconnected(_)) => {
+                if tel.on() {
+                    tel.queue_depth.dec();
+                }
                 Err(Reply::err(ErrKind::Shutdown, "service stopped"))
             }
         }
@@ -208,41 +275,72 @@ impl Service {
     /// frontend-side shed counts (sheds never reach a shard, so shard
     /// counters cannot see them).
     pub fn stats(&self) -> ServiceCounters {
+        self.stats_detailed().0
+    }
+
+    /// [`Service::stats`] plus the per-shard gauge breakdown reported
+    /// in the `stats` wire reply (queue depth, live/evicted sessions,
+    /// resident bytes), ordered by shard index.
+    pub fn stats_detailed(&self) -> (ServiceCounters, Vec<ShardStat>) {
         let mut total = ServiceCounters::default();
+        let mut rows = Vec::new();
         let mut receivers = Vec::new();
         {
             let guard = self.inner.handles.read().unwrap();
             if let Some(handles) = guard.as_ref() {
-                for h in handles {
+                for (i, h) in handles.iter().enumerate() {
                     let (reply_tx, reply_rx) = sync_channel(1);
                     // Blocking send: `stats` participates in queue order
-                    // but is never itself shed.
-                    if h.tx
-                        .send(Job {
+                    // but is never itself shed. Depth inc precedes the
+                    // send (see try_call).
+                    let on = self.inner.tels[i].on();
+                    if on {
+                        self.inner.tels[i].queue_depth.inc();
+                    }
+                    let sent =
+                        h.tx.send(Job {
                             req: Request::Stats,
                             reply: reply_tx,
+                            id: 0,
+                            enqueued: Instant::now(),
                         })
-                        .is_ok()
-                    {
+                        .is_ok();
+                    if sent {
                         receivers.push(reply_rx);
+                    } else if on {
+                        self.inner.tels[i].queue_depth.dec();
                     }
                 }
             }
         }
         for rx in receivers {
-            if let Ok(Reply::Stats(c)) = rx.recv() {
+            if let Ok(Reply::Stats {
+                counters: c,
+                shards: mut shard_rows,
+            }) = rx.recv()
+            {
                 // Shard-side `admitted` counts every request the worker
                 // processed, including these per-shard Stats probes; back
                 // them out so `stats()` is observation-only.
                 let mut c = c;
                 c.admitted -= 1;
                 total.add(&c);
+                rows.append(&mut shard_rows);
             }
         }
         for s in &self.inner.sheds {
             total.shed += s.load(Ordering::Relaxed);
         }
-        total
+        rows.sort_by_key(|r| r.shard);
+        (total, rows)
+    }
+
+    /// Merged metrics snapshot across every shard registry. Lock-free
+    /// with respect to the request hot path: only the (cold) per-shard
+    /// registration mutexes are taken, and recorded values are read
+    /// with relaxed atomic loads.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        merge_shards(&self.inner.tels)
     }
 
     /// Stops admission for every clone, drains the queues, and joins

@@ -104,6 +104,11 @@ pub struct Session {
     history: Vec<SessionOp>,
     /// LRU stamp, maintained by the shard.
     pub(crate) last_used: u64,
+    /// Per-site work tally for slow-request attribution, installed by
+    /// [`Session::enable_tracing`] (shared with the engine's event-hook
+    /// slot through the forwarding `Arc<Mutex<_>>` impl).
+    #[cfg(feature = "event-hooks")]
+    tally: Option<Arc<std::sync::Mutex<ceal_runtime::SiteTally>>>,
 }
 
 impl Session {
@@ -128,7 +133,55 @@ impl Session {
             out,
             history: Vec::new(),
             last_used: 0,
+            #[cfg(feature = "event-hooks")]
+            tally: None,
         }
+    }
+
+    /// Turns on per-request tracing for this session: engine phase
+    /// profiling (drained per request with [`Session::drain_phases`])
+    /// and, when the `event-hooks` feature is on, a
+    /// [`ceal_runtime::SiteTally`] hook for top-k site attribution.
+    ///
+    /// Called by the shard right after open/restore when the telemetry
+    /// config asks for site attribution (`top_sites > 0`); note the
+    /// initial from-scratch run is *not* covered — the phases that
+    /// matter for slow requests are the per-request propagation ones.
+    pub fn enable_tracing(&mut self) {
+        self.engine.enable_profiling();
+        // Discard phases recorded before tracing was requested (none
+        // today — enable_tracing runs before the first traced request —
+        // but drain defensively so the first request's report is clean).
+        let _ = self.engine.drain_phases();
+        #[cfg(feature = "event-hooks")]
+        {
+            let tally = Arc::new(std::sync::Mutex::new(ceal_runtime::SiteTally::new()));
+            self.engine.set_event_hook(Box::new(Arc::clone(&tally)));
+            self.tally = Some(tally);
+        }
+    }
+
+    /// Drains the engine phases recorded since the last drain,
+    /// aggregated per phase kind. Empty unless
+    /// [`Session::enable_tracing`] ran.
+    pub fn drain_phases(&mut self) -> Vec<ceal_runtime::PhaseCost> {
+        let phases = self.engine.drain_phases();
+        ceal_runtime::PhaseCost::aggregate(&phases)
+    }
+
+    /// Drains the top-`k` sites by attributed work since the last
+    /// drain. Empty without tracing (or without the `event-hooks`
+    /// feature).
+    pub fn drain_top_sites(&mut self, k: usize) -> Vec<(String, u64)> {
+        #[cfg(feature = "event-hooks")]
+        {
+            if let Some(tally) = &self.tally {
+                let mut t = tally.lock().expect("site tally poisoned");
+                return t.drain(self.engine.sites(), k);
+            }
+        }
+        let _ = k;
+        Vec::new()
     }
 
     /// The spec this session was opened with.

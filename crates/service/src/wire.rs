@@ -13,7 +13,8 @@
 //! edit <sid> <op>...        ops: d<idx> (delete) | r<idx> (restore)
 //! observe <sid>             demand-clean (if needed) and read the output
 //! close <sid>               drop the session and its snapshot
-//! stats                     service-level counters
+//! stats                     service-level counters + per-shard gauges
+//! metrics                   one-line JSON metrics snapshot (all shards)
 //! ping                      liveness probe
 //! ```
 //!
@@ -130,6 +131,9 @@ pub enum Request {
     },
     /// Service-level counters.
     Stats,
+    /// A one-line JSON snapshot of the telemetry metrics (DESIGN.md
+    /// §17) — the wire twin of the HTTP `GET /metrics.json` surface.
+    Metrics,
     /// Liveness probe.
     Ping,
 }
@@ -142,7 +146,7 @@ impl Request {
             | Request::Edit { sid, .. }
             | Request::Observe { sid }
             | Request::Close { sid } => Some(sid),
-            Request::Stats | Request::Ping => None,
+            Request::Stats | Request::Metrics | Request::Ping => None,
         }
     }
 }
@@ -166,6 +170,9 @@ pub enum ErrKind {
     Capacity,
     /// The service is shutting down.
     Shutdown,
+    /// The connection sat idle past the frontend's read timeout and is
+    /// being closed (sent as a courtesy line before the close).
+    IdleTimeout,
 }
 
 impl ErrKind {
@@ -180,6 +187,7 @@ impl ErrKind {
             ErrKind::Snapshot => "snapshot",
             ErrKind::Capacity => "capacity",
             ErrKind::Shutdown => "shutdown",
+            ErrKind::IdleTimeout => "idle-timeout",
         }
     }
 }
@@ -345,6 +353,34 @@ impl ServiceCounters {
     }
 }
 
+/// One shard's live gauges, reported in the `stats` reply so an
+/// operator can see skew (hot shards, parked sessions) that the
+/// service-wide aggregate hides.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: u32,
+    /// Requests currently queued for the shard.
+    pub queue_depth: u64,
+    /// Live (un-evicted) sessions.
+    pub live_sessions: u64,
+    /// Sessions parked as snapshot bytes.
+    pub evicted_sessions: u64,
+    /// Estimated resident session bytes.
+    pub live_bytes: u64,
+}
+
+impl ShardStat {
+    fn fmt_fields(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.shard;
+        write!(
+            f,
+            " shard{s}.queue={} shard{s}.live={} shard{s}.evicted={} shard{s}.bytes={}",
+            self.queue_depth, self.live_sessions, self.evicted_sessions, self.live_bytes
+        )
+    }
+}
+
 /// A reply, rendered as one `ok ...` / `err ...` line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Reply {
@@ -374,8 +410,18 @@ pub enum Reply {
     },
     /// Session closed.
     Closed,
-    /// Service counters.
-    Stats(ServiceCounters),
+    /// Service counters plus per-shard breakdown (empty when a single
+    /// shard answers for itself, populated by the service-wide
+    /// aggregation).
+    Stats {
+        /// Aggregated deterministic counters.
+        counters: ServiceCounters,
+        /// Per-shard live gauges, in shard order.
+        shards: Vec<ShardStat>,
+    },
+    /// Telemetry metrics snapshot as one line of compact JSON
+    /// (`ceal-metrics/v1`).
+    Metrics(String),
     /// Liveness reply.
     Pong,
     /// Typed failure.
@@ -403,13 +449,17 @@ impl fmt::Display for Reply {
                 counters.fmt_fields(f)
             }
             Reply::Closed => write!(f, "ok closed"),
-            Reply::Stats(c) => {
+            Reply::Stats { counters, shards } => {
                 write!(f, "ok stats")?;
-                for (name, v) in ServiceCounters::NAMES.iter().zip(c.values()) {
+                for (name, v) in ServiceCounters::NAMES.iter().zip(counters.values()) {
                     write!(f, " {name}={v}")?;
+                }
+                for s in shards {
+                    s.fmt_fields(f)?;
                 }
                 Ok(())
             }
+            Reply::Metrics(json) => write!(f, "ok metrics {json}"),
             Reply::Pong => write!(f, "ok pong"),
             Reply::Err(kind, detail) => {
                 if detail.is_empty() {
@@ -511,6 +561,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             sid: it.next().ok_or("close: missing session id")?.to_string(),
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         other => return Err(format!("unknown verb `{other}`")),
     };
@@ -549,6 +600,7 @@ pub fn format_request(req: &Request) -> String {
         Request::Observe { sid } => format!("observe {sid}"),
         Request::Close { sid } => format!("close {sid}"),
         Request::Stats => "stats".into(),
+        Request::Metrics => "metrics".into(),
         Request::Ping => "ping".into(),
     }
 }
@@ -574,6 +626,7 @@ mod tests {
             Request::Observe { sid: "t".into() },
             Request::Close { sid: "t".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
         ];
         for r in reqs {
@@ -621,6 +674,46 @@ mod tests {
         let e = Reply::err(ErrKind::Shed, "queue full");
         assert_eq!(e.to_string(), "err shed queue full");
         assert!(!e.is_ok());
+        assert_eq!(
+            Reply::err(ErrKind::IdleTimeout, "60s").to_string(),
+            "err idle-timeout 60s"
+        );
+    }
+
+    #[test]
+    fn stats_reply_renders_per_shard_breakdown() {
+        let r = Reply::Stats {
+            counters: ServiceCounters {
+                admitted: 9,
+                ..Default::default()
+            },
+            shards: vec![
+                ShardStat {
+                    shard: 0,
+                    queue_depth: 2,
+                    live_sessions: 5,
+                    evicted_sessions: 1,
+                    live_bytes: 4096,
+                },
+                ShardStat {
+                    shard: 1,
+                    ..Default::default()
+                },
+            ],
+        };
+        let s = r.to_string();
+        assert!(s.starts_with("ok stats admitted=9"), "{s}");
+        assert!(s.contains("shard0.queue=2 shard0.live=5 shard0.evicted=1 shard0.bytes=4096"));
+        assert!(s.contains("shard1.queue=0"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn metrics_reply_is_one_line() {
+        let r = Reply::Metrics("{\"schema\": \"ceal-metrics/v1\", \"series\": []}".into());
+        let s = r.to_string();
+        assert!(s.starts_with("ok metrics {"), "{s}");
+        assert!(!s.contains('\n'));
     }
 
     #[test]

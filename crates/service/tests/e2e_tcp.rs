@@ -5,8 +5,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use ceal_service::frontend::TcpFrontend;
+use ceal_service::frontend::{FrontendConfig, TcpFrontend};
 use ceal_service::service::{Service, ServiceConfig};
 use ceal_service::wire::Request;
 use ceal_suite::input::random_ints;
@@ -94,16 +95,54 @@ fn two_sessions_edit_observe_round_trip() {
     let r = bob.call("ping");
     assert_eq!(r, "ok pong");
 
-    // Stats reflect both connections' traffic.
+    // Stats reflect both connections' traffic, with the per-shard
+    // breakdown appended.
     let r = alice.call("stats");
     assert!(r.starts_with("ok stats"), "{r}");
     assert!(r.contains("opened=2"), "{r}");
     assert!(r.contains("closed=1"), "{r}");
+    assert!(r.contains("shard0.queue="), "{r}");
+    assert!(r.contains("shard1.live="), "{r}");
+
+    // The metrics verb returns the merged registry as one JSON line.
+    let r = alice.call("metrics");
+    assert!(r.starts_with("ok metrics {"), "{r}");
+    assert!(r.contains("ceal_requests_total"), "{r}");
 
     frontend.stop();
     svc.shutdown();
     let reply = svc.call(Request::Ping);
     assert!(!reply.is_ok(), "service must refuse after shutdown");
+}
+
+#[test]
+fn idle_connections_get_a_typed_timeout() {
+    let svc = Service::start(ServiceConfig {
+        shards: 1,
+        ..Default::default()
+    });
+    let frontend = TcpFrontend::spawn_with(
+        svc.clone(),
+        "127.0.0.1:0",
+        FrontendConfig {
+            read_timeout: Some(Duration::from_millis(150)),
+        },
+    )
+    .expect("bind");
+    let mut c = Client::connect(frontend.addr());
+    // An active connection is unaffected by the timeout between its
+    // own requests.
+    assert_eq!(c.call("ping"), "ok pong");
+    // Then go idle past the threshold: the frontend announces the
+    // typed close reason and hangs up (EOF on the next read).
+    let mut line = String::new();
+    c.reader.read_line(&mut line).expect("read close reason");
+    assert!(line.starts_with("err idle-timeout"), "{line}");
+    line.clear();
+    let n = c.reader.read_line(&mut line).expect("read EOF");
+    assert_eq!(n, 0, "connection must be closed after the timeout line");
+    frontend.stop();
+    svc.shutdown();
 }
 
 #[test]
@@ -113,10 +152,21 @@ fn oversized_lines_are_cut_off() {
         ..Default::default()
     });
     let frontend = TcpFrontend::spawn(svc.clone(), "127.0.0.1:0").expect("bind");
-    let mut c = Client::connect(frontend.addr());
-    let huge = format!("edit x {}", "d1 ".repeat(40_000));
-    let r = c.call(huge.trim());
-    assert!(r.starts_with("err parse"), "{r}");
+    // The server cuts the line off at MAX_LINE and hangs up; depending
+    // on timing the client sees the typed parse error, or a reset while
+    // still streaming the tail of the oversized line. Either way the
+    // connection must die and the server must keep serving others.
+    let stream = TcpStream::connect(frontend.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let huge = format!("edit x {}\n", "d1 ".repeat(40_000));
+    let _ = writer.write_all(huge.as_bytes());
+    let mut reply = String::new();
+    if reader.read_line(&mut reply).is_ok() && !reply.is_empty() {
+        assert!(reply.starts_with("err parse"), "{reply}");
+    }
+    let mut fresh = Client::connect(frontend.addr());
+    assert_eq!(fresh.call("ping"), "ok pong");
     frontend.stop();
     svc.shutdown();
 }

@@ -61,6 +61,7 @@ fn threaded_service_matches_directly_driven_shards() {
             Shard::new(ShardConfig {
                 mem_budget_bytes: budget,
                 max_sessions: 1000,
+                ..Default::default()
             })
         })
         .collect();
@@ -79,6 +80,7 @@ fn threaded_service_matches_directly_driven_shards() {
         queue_cap: 64,
         mem_budget_bytes: budget,
         max_sessions: 1000,
+        ..Default::default()
     });
     let mut threaded_replies = Vec::new();
     for req in &reqs {

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Strict validator for the Prometheus text exposition format (0.0.4).
+
+Used by CI to check what `cealc --serve --metrics-addr` actually serves
+on `GET /metrics` (see .github/workflows/ci.yml, service-smoke job):
+
+    curl -s http://127.0.0.1:9100/metrics | python3 tools/validate_prometheus.py \
+        --require ceal_requests_total --require ceal_request_us
+
+Checks, per scrape:
+  * every non-comment line parses as `name{labels} value`
+  * every sample's family was declared with `# TYPE` first, and the
+    sample name matches the declared type's naming contract
+    (counter families end in `_total`; histogram samples are
+    `_bucket`/`_sum`/`_count`)
+  * `# HELP` precedes samples of its family and is unique per family
+  * label values are properly quoted/escaped, `le` parses as a number
+    or `+Inf`
+  * histogram buckets are cumulative (non-decreasing with `le`), end in
+    a `+Inf` bucket, and the `+Inf` bucket equals `_count`
+  * values are non-negative integers or floats (counters/gauges here
+    are integer-valued)
+  * duplicate (name, labelset) samples are rejected
+
+Exit status 0 and a one-line summary on success; 1 with the first
+failure otherwise. Reads stdin, or a file given as the sole positional
+argument.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{label="value",...} value  — no timestamps in our exposition.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(lineno, msg):
+    print(f"validate_prometheus: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(sample_name, types):
+    """Maps a sample name to its declared family, honoring histogram
+    sample suffixes."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_labels(lineno, raw):
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            fail(lineno, f"malformed label fragment: {rest!r}")
+        k, v = m.group(1), m.group(2)
+        if k in labels:
+            fail(lineno, f"duplicate label {k!r}")
+        labels[k] = v
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            fail(lineno, f"expected ',' between labels, got {rest!r}")
+    return labels
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file", nargs="?", help="scrape to validate (default stdin)")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="fail unless this metric family is present with samples",
+    )
+    args = ap.parse_args()
+    text = open(args.file).read() if args.file else sys.stdin.read()
+
+    types = {}  # family -> type
+    helps = set()
+    samples = {}  # (name, frozenset(labels.items())) -> float
+    family_samples = {}  # family -> count of samples seen
+    histograms = {}  # (family, non-le labelset) -> list[(le, value)]
+    hist_counts = {}  # (family, labelset) -> _count value
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                fail(lineno, "HELP line without text")
+            name = parts[2]
+            if not NAME_RE.match(name):
+                fail(lineno, f"bad family name {name!r}")
+            if name in helps:
+                fail(lineno, f"duplicate HELP for {name}")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(lineno, "TYPE line must be `# TYPE name type`")
+            name, mtype = parts[2], parts[3]
+            if mtype not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                fail(lineno, f"unknown type {mtype!r}")
+            if name in types:
+                fail(lineno, f"duplicate TYPE for {name}")
+            if family_samples.get(name):
+                fail(lineno, f"TYPE for {name} after its samples")
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"unparseable sample line: {line!r}")
+        name, _, rawlabels, rawvalue = m.groups()
+        fam = family_of(name, types)
+        if fam is None:
+            fail(lineno, f"sample {name} has no preceding # TYPE declaration")
+        mtype = types[fam]
+        if mtype == "counter" and not name.endswith("_total"):
+            fail(lineno, f"counter sample {name} must end in _total")
+        if mtype == "histogram" and name == fam:
+            fail(lineno, f"histogram family {fam} exposes bare samples")
+        labels = parse_labels(lineno, rawlabels) if rawlabels else {}
+        for k in labels:
+            if not LABEL_NAME_RE.match(k):
+                fail(lineno, f"bad label name {k!r}")
+        try:
+            value = float(rawvalue)
+        except ValueError:
+            fail(lineno, f"bad sample value {rawvalue!r}")
+        if value < 0:
+            fail(lineno, f"negative sample value on {name}")
+        key = (name, frozenset(labels.items()))
+        if key in samples:
+            fail(lineno, f"duplicate sample {name} with identical labels")
+        samples[key] = value
+        family_samples[fam] = family_samples.get(fam, 0) + 1
+
+        if name.endswith("_bucket") and mtype == "histogram":
+            if "le" not in labels:
+                fail(lineno, f"histogram bucket {name} without le label")
+            le_raw = labels["le"]
+            le = float("inf") if le_raw == "+Inf" else None
+            if le is None:
+                try:
+                    le = float(le_raw)
+                except ValueError:
+                    fail(lineno, f"bad le value {le_raw!r}")
+            base = frozenset((k, v) for k, v in labels.items() if k != "le")
+            histograms.setdefault((fam, base), []).append((le, value))
+        if name.endswith("_count") and mtype == "histogram":
+            hist_counts[(fam, frozenset(labels.items()))] = value
+
+    for (fam, base), buckets in histograms.items():
+        buckets.sort(key=lambda p: p[0])
+        les = [le for le, _ in buckets]
+        if les[-1] != float("inf"):
+            fail(0, f"histogram {fam}{dict(base)} missing +Inf bucket")
+        if len(set(les)) != len(les):
+            fail(0, f"histogram {fam}{dict(base)} has duplicate le boundaries")
+        prev = -1.0
+        for le, v in buckets:
+            if v < prev:
+                fail(0, f"histogram {fam}{dict(base)} buckets not cumulative at le={le}")
+            prev = v
+        count = hist_counts.get((fam, base))
+        if count is None:
+            fail(0, f"histogram {fam}{dict(base)} missing _count")
+        if buckets[-1][1] != count:
+            fail(
+                0,
+                f"histogram {fam}{dict(base)}: +Inf bucket {buckets[-1][1]} != _count {count}",
+            )
+
+    for fam in types:
+        if fam not in helps:
+            fail(0, f"family {fam} declared without HELP")
+    for fam in args.require:
+        if not family_samples.get(fam):
+            fail(0, f"required family {fam} absent or sampleless")
+
+    print(
+        f"validate_prometheus: OK — {len(types)} families, "
+        f"{len(samples)} samples, {len(histograms)} histogram series"
+    )
+
+
+if __name__ == "__main__":
+    main()
